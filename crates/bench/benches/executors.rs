@@ -1,0 +1,81 @@
+//! Real-thread executor benchmarks: the four loop executors on a
+//! 32×32-mesh triangular solve (Figure 8 body).
+//!
+//! Absolute times depend on how many hardware cores this host exposes —
+//! the executors stay correct when oversubscribed (busy-waits yield), but
+//! speedups need real cores. The comparison of interest is the relative
+//! overhead of the synchronization disciplines.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rtpl::executor::{doacross, pre_scheduled, self_executing, WorkerPool};
+use rtpl::inspector::{DepGraph, Schedule, Wavefronts};
+use rtpl::sparse::gen::laplacian_5pt;
+use rtpl::sparse::triangular::row_substitution_lower;
+use std::time::Duration;
+
+fn bench_executors(c: &mut Criterion) {
+    let a = laplacian_5pt(32, 32);
+    let l = a.strict_lower();
+    let n = l.nrows();
+    let rhs: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.02).cos()).collect();
+    let g = DepGraph::from_lower_triangular(&l).unwrap();
+    let wf = Wavefronts::compute(&g).unwrap();
+
+    let nprocs = std::thread::available_parallelism().map_or(2, |v| v.get().min(4));
+    let pool = WorkerPool::new(nprocs);
+    let schedule = Schedule::global(&wf, nprocs).unwrap();
+    let body = |i: usize, src: &dyn rtpl::executor::ValueSource| {
+        row_substitution_lower(&l, &rhs, i, |j| src.get(j))
+    };
+
+    let mut group = c.benchmark_group("executors_32x32");
+    group.measurement_time(Duration::from_secs(2)).sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter_batched(
+            || vec![0.0; n],
+            |mut x| rtpl::executor::sequential(n, body, &mut x),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function(format!("self_executing_p{nprocs}"), |b| {
+        b.iter_batched(
+            || vec![0.0; n],
+            |mut x| self_executing(&pool, &schedule, &body, &mut x),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function(format!("pre_scheduled_p{nprocs}"), |b| {
+        b.iter_batched(
+            || vec![0.0; n],
+            |mut x| pre_scheduled(&pool, &schedule, &body, &mut x),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function(format!("doacross_p{nprocs}"), |b| {
+        b.iter_batched(
+            || vec![0.0; n],
+            |mut x| doacross(&pool, n, &body, &mut x),
+            BatchSize::SmallInput,
+        )
+    });
+    let order = wf.sorted_list();
+    group.bench_function(format!("self_scheduling_guided_p{nprocs}"), |b| {
+        b.iter_batched(
+            || vec![0.0; n],
+            |mut x| {
+                rtpl::executor::self_scheduling(
+                    &pool,
+                    &order,
+                    rtpl::executor::Chunking::Guided,
+                    &body,
+                    &mut x,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_executors);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Scheduling-strategy benchmarks: the ablations DESIGN.md calls out —
+//! wrapped/contiguous/striped partitions under global and local sorting,
+//! plus the simulator throughput itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtpl::inspector::{DepGraph, Partition, Schedule, Wavefronts};
+use rtpl::sim::{self, CostModel};
+use rtpl::workload::SyntheticSpec;
+use std::time::Duration;
+
+fn bench_scheduling(c: &mut Criterion) {
+    let spec = SyntheticSpec {
+        mesh: 65,
+        mean_degree: 4.0,
+        mean_distance: 3.0,
+    };
+    let m = spec.generate(0xC0FFEE);
+    let l = m.strict_lower();
+    let g = DepGraph::from_lower_triangular(&l).unwrap();
+    let wf = Wavefronts::compute(&g).unwrap();
+    let n = g.n();
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 + g.deps(i).len() as f64).collect();
+
+    let mut group = c.benchmark_group("scheduling_65-4-3");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group.bench_function("global_p16", |b| {
+        b.iter(|| Schedule::global(&wf, 16).unwrap())
+    });
+    group.bench_function("local_striped_p16", |b| {
+        let p = Partition::striped(n, 16).unwrap();
+        b.iter(|| Schedule::local(&wf, &p).unwrap())
+    });
+    group.bench_function("local_contiguous_p16", |b| {
+        let p = Partition::contiguous(n, 16).unwrap();
+        b.iter(|| Schedule::local(&wf, &p).unwrap())
+    });
+    group.finish();
+
+    let s = Schedule::global(&wf, 16).unwrap();
+    let cost = CostModel::multimax();
+    let mut group = c.benchmark_group("simulator_65-4-3");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group.bench_function("sim_self_executing", |b| {
+        b.iter(|| sim::sim_self_executing(&s, &g, Some(&weights), &cost))
+    });
+    group.bench_function("sim_pre_scheduled", |b| {
+        b.iter(|| sim::sim_pre_scheduled(&s, Some(&weights), &cost))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

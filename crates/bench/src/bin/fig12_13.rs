@@ -1,0 +1,80 @@
+//! **Figures 12 & 13** — the crucial role of the synchronization mechanism
+//! under *local* ordering.
+//!
+//! Setup exactly as §5.1.4: the 65×65 five-point mesh, indices assigned to
+//! processors **striped** (`i mod p`), schedule from a topological sort of
+//! each processor's own indices. Figure 12 shows that barrier
+//! synchronization makes efficiency fluctuate wildly with processor count
+//! (whole phases can land on one processor); Figure 13 shows the
+//! self-executing busy-wait recovering robust performance via pipelining.
+
+use rtpl::inspector::{DepGraph, Partition, Schedule, Wavefronts};
+use rtpl::sim::{self, CostModel};
+use rtpl::sparse::gen::laplacian_5pt;
+use rtpl_bench::{f3, Table};
+
+fn main() {
+    let a = laplacian_5pt(65, 65);
+    let l = a.strict_lower();
+    let g = DepGraph::from_lower_triangular(&l).unwrap();
+    let wf = Wavefronts::compute(&g).unwrap();
+    let n = l.nrows();
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 + g.deps(i).len() as f64).collect();
+    let zero = CostModel::zero_overhead();
+    let seq = sim::sim_sequential(n, Some(&weights), &zero);
+
+    println!(
+        "Figures 12/13: 65x65 5-pt mesh, striped local ordering, estimated efficiency\n"
+    );
+    let mut table = Table::new(&["p", "E barrier (Fig 12)", "E self-execute (Fig 13)"]);
+    let mut barrier_series = Vec::new();
+    let mut selfexec_series = Vec::new();
+    for p in 1..=16usize {
+        let part = Partition::striped(n, p).unwrap();
+        let s = Schedule::local(&wf, &part).unwrap();
+        let e_barrier = sim::sim_pre_scheduled(&s, Some(&weights), &zero).efficiency(seq);
+        let e_self =
+            sim::sim_self_executing(&s, &g, Some(&weights), &zero).efficiency(seq);
+        barrier_series.push(e_barrier);
+        selfexec_series.push(e_self);
+        table.row(vec![p.to_string(), f3(e_barrier), f3(e_self)]);
+    }
+    table.print();
+
+    // ASCII rendition of the two curves.
+    println!("\nefficiency vs processors (#=self-execute, o=barrier):");
+    for level in (1..=10).rev() {
+        let thr = level as f64 / 10.0;
+        let mut line = format!("{:>4.1} |", thr);
+        for p in 0..16 {
+            let se = selfexec_series[p] >= thr - 0.05;
+            let ba = barrier_series[p] >= thr - 0.05;
+            line.push_str(match (se, ba) {
+                (true, true) => " *",
+                (true, false) => " #",
+                (false, true) => " o",
+                (false, false) => "  ",
+            });
+        }
+        println!("{line}");
+    }
+    println!("      +{}", "-".repeat(32));
+    println!("        {}", (1..=16).map(|p| format!("{p:>2}")).collect::<String>());
+
+    // Quantified shape checks.
+    let fluctuation = |s: &[f64]| {
+        s.windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .fold(0.0f64, f64::max)
+    };
+    println!(
+        "\nmax step-to-step fluctuation: barrier {:.3}, self-execute {:.3}",
+        fluctuation(&barrier_series),
+        fluctuation(&selfexec_series)
+    );
+    println!(
+        "Shape check vs paper: the barrier curve varies wildly with p (e.g. whole\n\
+         anti-diagonals stuck on one processor when p divides the mesh stride) while\n\
+         the self-executing curve stays smooth and high."
+    );
+}

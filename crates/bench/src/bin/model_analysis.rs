@@ -1,0 +1,108 @@
+//! **§4 analysis** — the closed-form model problem versus the event
+//! simulator.
+//!
+//! Reports, for the m×n five-point model problem: exact Eopt (eq. 3), the
+//! approximation (eq. 4), the self-executing Eopt (eq. 5), the event
+//! simulator's answer for both, the pre/self time ratio (eq. 6) with its
+//! thin-mesh and square-mesh limits (eqs. 6–7), and the dense-triangular
+//! extreme case.
+
+use rtpl::inspector::{DepGraph, Schedule, Wavefronts};
+use rtpl::sim::model;
+use rtpl::sim::{self, CostModel};
+use rtpl::sparse::gen::{dense_lower, laplacian_5pt};
+use rtpl_bench::{f3, Table};
+
+fn mesh_case(m: usize, n: usize) -> (DepGraph, Wavefronts) {
+    let a = laplacian_5pt(n, m); // nx = n columns, ny = m rows
+    let g = DepGraph::from_lower_triangular(&a.strict_lower()).unwrap();
+    let wf = Wavefronts::compute(&g).unwrap();
+    (g, wf)
+}
+
+fn main() {
+    let zero = CostModel::zero_overhead();
+    println!("Section 4 model problem: m x n mesh, p processors, load balance only\n");
+    let mut table = Table::new(&[
+        "m", "n", "p", "PS eq(3)", "PS eq(4)", "PS sim", "SE eq(5)", "SE sim",
+    ]);
+    for (m, n, p) in [
+        (16usize, 16usize, 4usize),
+        (16, 16, 8),
+        (32, 32, 8),
+        (9, 64, 8),
+        (17, 48, 16),
+        (64, 64, 16),
+    ] {
+        let (g, wf) = mesh_case(m, n);
+        let s = Schedule::global(&wf, p).unwrap();
+        let seq = sim::sim_sequential(m * n, None, &zero);
+        let ps_sim = sim::sim_pre_scheduled(&s, None, &zero).efficiency(seq);
+        let se_sim = sim::sim_self_executing(&s, &g, None, &zero).efficiency(seq);
+        table.row(vec![
+            m.to_string(),
+            n.to_string(),
+            p.to_string(),
+            f3(model::presched_eopt(m, n, p)),
+            f3(model::presched_eopt_approx(m, n, p)),
+            f3(ps_sim),
+            f3(model::selfexec_eopt(m, n, p)),
+            f3(se_sim),
+        ]);
+    }
+    table.print();
+
+    println!("\nEquation (6) ratio T_presched / T_selfexec (>1 means self-execution wins):");
+    let cost = CostModel::multimax();
+    let mut rt = Table::new(&["mesh", "p", "ratio eq(6)", "limit"]);
+    for (m, n, p, which) in [
+        (17usize, 4000usize, 16usize, "thin"),
+        (9, 4000, 8, "thin"),
+        // The square limit converges as O(p·Rsynch/n): a 2000² mesh still
+        // favours self-execution under Multimax barrier costs, 40000² shows
+        // the asymptote where pre-scheduling wins.
+        (2000, 2000, 16, "square"),
+        (40000, 40000, 16, "square"),
+    ] {
+        let r = model::ratio_presched_over_selfexec(m, n, p, &cost);
+        let lim = if which == "thin" {
+            model::ratio_limit_thin(p, &cost)
+        } else {
+            model::ratio_limit_square(&cost)
+        };
+        rt.row(vec![
+            format!("{m}x{n} ({which})"),
+            p.to_string(),
+            f3(r),
+            f3(lim),
+        ]);
+    }
+    rt.print();
+
+    println!("\nDense n x n triangular extreme (p = n-1):");
+    let nn = 32usize;
+    let l = dense_lower(nn).strict_lower();
+    let g = DepGraph::from_lower_triangular(&l).unwrap();
+    let wf = Wavefronts::compute(&g).unwrap();
+    let p = nn - 1;
+    let s = Schedule::global(&wf, p).unwrap();
+    let weights: Vec<f64> = (0..nn).map(|i| i.max(1) as f64).collect();
+    let seq = sim::sim_sequential(nn, Some(&weights), &zero);
+    let se = sim::sim_self_executing_fine(&s, &g, Some(&weights), &zero);
+    let ps = sim::sim_pre_scheduled(&s, Some(&weights), &zero);
+    println!(
+        "  E self-exec: formula {:.3}, simulated {:.3}",
+        model::dense_selfexec_eopt(nn),
+        se.efficiency(seq)
+    );
+    println!(
+        "  E pre-sched: formula {:.3}, simulated {:.3}",
+        model::dense_presched_eopt(nn),
+        ps.efficiency(seq)
+    );
+    println!(
+        "\nShape check vs paper: eq(3) == simulated pre-scheduled efficiency exactly;\n\
+         self-execution pipelines to ~1/2 on the dense extreme while pre-scheduling\n\
+         collapses to 1/(n-1)."
+    );
+}

@@ -1,0 +1,83 @@
+//! **Figure 1** — the 2×2 solution-space summary, recomputed from this
+//! reproduction's own numbers.
+//!
+//! Local/Global sorting × Pre-scheduled/Self-executing, with the paper's
+//! verdicts checked against the simulator on the 65×65 mesh workload.
+
+use rtpl::inspector::{DepGraph, Partition, Schedule, Wavefronts};
+use rtpl::sim::{self, CostModel};
+use rtpl::sparse::gen::laplacian_5pt;
+
+fn main() {
+    let a = laplacian_5pt(65, 65);
+    let l = a.strict_lower();
+    let g = DepGraph::from_lower_triangular(&l).unwrap();
+    let wf = Wavefronts::compute(&g).unwrap();
+    let n = l.nrows();
+    let weights: Vec<f64> = (0..n).map(|i| 1.0 + g.deps(i).len() as f64).collect();
+    let cost = CostModel::multimax();
+    let seq = sim::sim_sequential(n, Some(&weights), &cost);
+
+    // Worst-over-p efficiency characterizes robustness.
+    let mut worst = [[f64::INFINITY; 2]; 2]; // [sort][exec]
+    let mut best = [[0.0f64; 2]; 2];
+    for p in 2..=16usize {
+        let scheds = [
+            Schedule::local(&wf, &Partition::striped(n, p).unwrap()).unwrap(),
+            Schedule::global(&wf, p).unwrap(),
+        ];
+        for (si, s) in scheds.iter().enumerate() {
+            let e_ps = sim::sim_pre_scheduled(s, Some(&weights), &cost).efficiency(seq);
+            let e_se =
+                sim::sim_self_executing(s, &g, Some(&weights), &cost).efficiency(seq);
+            for (ei, e) in [e_ps, e_se].into_iter().enumerate() {
+                worst[si][ei] = worst[si][ei].min(e);
+                best[si][ei] = best[si][ei].max(e);
+            }
+        }
+    }
+
+    println!("Figure 1: performance of scheduling and sorting strategies");
+    println!("(worst..best efficiency over p = 2..16, 65x65 mesh, Multimax cost model)\n");
+    let cell = |s: usize, e: usize| format!("{:.2}..{:.2}", worst[s][e], best[s][e]);
+    println!("              |  Pre-Scheduled     |  Self-Executing");
+    println!("  ------------+--------------------+-------------------");
+    println!("  Sort: Local |  {:<18}|  {:<18}", cell(0, 0), cell(0, 1));
+    println!("              |  can degrade       |  recommended: robust,");
+    println!("              |  catastrophically  |  low setup overhead");
+    println!("  ------------+--------------------+-------------------");
+    println!("  Sort: Global|  {:<18}|  {:<18}", cell(1, 0), cell(1, 1));
+    println!("              |  robust but limits |  most robust, higher");
+    println!("              |  concurrency       |  setup time");
+
+    println!("\nPaper verdicts checked:");
+    let v1 = worst[0][0] < 0.5 * worst[0][1];
+    println!(
+        "  [{}] local+barrier degrades catastrophically vs local+self-exec ({:.2} vs {:.2})",
+        ok(v1),
+        worst[0][0],
+        worst[0][1]
+    );
+    let v2 = worst[0][1] > 0.8 * worst[1][1];
+    println!(
+        "  [{}] with self-execution, cheap local sorting ~ matches global sorting ({:.2} vs {:.2})",
+        ok(v2),
+        worst[0][1],
+        worst[1][1]
+    );
+    let v3 = worst[1][1] >= worst[1][0];
+    println!(
+        "  [{}] self-execution >= pre-scheduling under global sorting ({:.2} vs {:.2})",
+        ok(v3),
+        worst[1][1],
+        worst[1][0]
+    );
+}
+
+fn ok(b: bool) -> &'static str {
+    if b {
+        "ok"
+    } else {
+        "??"
+    }
+}

@@ -1,0 +1,55 @@
+//! **Table 3** — Parallel time and estimates for **pre-scheduled**
+//! triangular solves (16 simulated processors).
+//!
+//! As Table 2, but with barrier synchronization: the "Rotating Estimate +
+//! Barrier" decomposition of the paper appears here as the zero-overhead
+//! time plus the explicit `Tsynch × (phases − 1)` barrier bill.
+
+use rtpl::sim::{self, CostModel};
+use rtpl::workload::ProblemId;
+use rtpl_bench::{f3, SolveCase, Table};
+
+fn main() {
+    let p = 16usize;
+    let cost = CostModel::multimax();
+    let zero = CostModel::zero_overhead();
+    println!("Table 3: pre-scheduled lower triangular solves, {p} simulated processors\n");
+    let mut table = Table::new(&[
+        "Problem",
+        "Phases",
+        "Symbolic Eff",
+        "Parallel Time",
+        "No-Barrier Time",
+        "Barrier Bill",
+        "1 PE Seq",
+    ]);
+    for id in ProblemId::analysis_set() {
+        let c = SolveCase::build(id);
+        let s = c.global_schedule(p);
+        let seq = c.seq_time(&zero);
+
+        let sym = sim::sim_pre_scheduled(&s, Some(&c.weights), &zero);
+        let sym_eff = sym.efficiency(seq);
+
+        let par = sim::sim_pre_scheduled(&s, Some(&c.weights), &cost);
+        let barrier_bill = cost.tsynch * (s.num_phases() - 1) as f64;
+        let one_pe_seq = seq / (p as f64 * sym_eff);
+
+        table.row(vec![
+            c.name.clone(),
+            s.num_phases().to_string(),
+            f3(sym_eff),
+            format!("{:.0}", par.time),
+            format!("{:.0}", par.time - barrier_bill),
+            format!("{:.0}", barrier_bill),
+            format!("{:.0}", one_pe_seq),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nShape check vs paper: symbolic efficiencies are uniformly below Table 2's\n\
+         (barriers forbid cross-wavefront overlap); problems with many phases pay a\n\
+         large barrier bill — the SPE/5-PT cases lose to self-execution, only the\n\
+         well-balanced 7-PT problem stays competitive."
+    );
+}

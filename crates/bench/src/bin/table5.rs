@@ -1,0 +1,95 @@
+//! **Table 5** — Local vs global index-set scheduling (self-executing
+//! loops).
+//!
+//! Host-measured inspector costs (sequential wavefront sweep, parallel
+//! sweep, global rearrangement, local sort) and 16-processor simulated run
+//! times under the resulting schedules, for the SPE problems and the
+//! synthetic workloads 65-4-1.5, 65-4-3 and the plain 65-point mesh.
+
+use rtpl::inspector::{Partition, Schedule, Wavefronts};
+use rtpl::sim::{self, CostModel};
+use rtpl::sparse::gen::laplacian_5pt;
+use rtpl::workload::{ProblemId, SyntheticSpec};
+use rtpl_bench::{time_ms_median, SolveCase, Table};
+
+fn main() {
+    let p = 16usize;
+    let cost = CostModel::multimax();
+    println!("Table 5: local vs global index set scheduling, {p} simulated processors\n");
+    let mut table = Table::new(&[
+        "Problem", "Seq Solve", "Seq Sort ms", "Par Sort ms", "Global Sched ms",
+        "Local Sched ms", "Global Run", "Local Run",
+    ]);
+
+    let mut cases: Vec<SolveCase> = ProblemId::analysis_set()
+        .iter()
+        .map(|&id| SolveCase::build(id))
+        .collect();
+    for spec in [
+        SyntheticSpec {
+            mesh: 65,
+            mean_degree: 4.0,
+            mean_distance: 1.5,
+        },
+        SyntheticSpec {
+            mesh: 65,
+            mean_degree: 4.0,
+            mean_distance: 3.0,
+        },
+    ] {
+        cases.push(SolveCase::from_lower(spec.name(), &spec.generate(0xC0FFEE)));
+    }
+    cases.push(SolveCase::from_lower(
+        "65mesh".to_string(),
+        &laplacian_5pt(65, 65).lower(),
+    ));
+
+    for c in &cases {
+        let g = &c.graph;
+        let seq_sort_ms = time_ms_median(5, || {
+            let _ = Wavefronts::compute(g).unwrap();
+        });
+        let par_sort_ms = time_ms_median(3, || {
+            let _ = Wavefronts::compute_parallel(g, 4).unwrap();
+        });
+        let wf = Wavefronts::compute(g).unwrap();
+        let global_ms = time_ms_median(5, || {
+            let _ = Schedule::global(&wf, p).unwrap();
+        });
+        let part = Partition::striped(c.n, p).unwrap();
+        let local_ms = time_ms_median(5, || {
+            let _ = Schedule::local(&wf, &part).unwrap();
+        });
+
+        let s_global = Schedule::global(&wf, p).unwrap();
+        let s_local = Schedule::local(&wf, &part).unwrap();
+        let run_global =
+            sim::sim_self_executing(&s_global, g, Some(&c.weights), &cost).time;
+        let run_local = sim::sim_self_executing(&s_local, g, Some(&c.weights), &cost).time;
+        let seq = c.seq_time(&cost);
+
+        table.row(vec![
+            c.name.clone(),
+            format!("{seq:.0}"),
+            format!("{seq_sort_ms:.2}"),
+            format!("{par_sort_ms:.2}"),
+            format!("{global_ms:.2}"),
+            format!("{local_ms:.2}"),
+            format!("{run_global:.0}"),
+            format!("{run_local:.0}"),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nShape check vs paper: the self-executing run times under local and global\n\
+         schedules stay comparable (each wins on some problems, with global ahead on\n\
+         the long-range synthetic workloads). Divergence note: in 1989 global\n\
+         scheduling cost far more than local because the global rearrangement moved\n\
+         index data across processor memories and resisted parallelization; our\n\
+         single-address-space counting sort hides that gap, so the setup-cost columns\n\
+         here are close. The paper's cost *ordering* (seq sort < one sequential\n\
+         iteration; schedules amortized over many iterations) still holds — compare\n\
+         'Seq Sort ms' to the per-iteration solve cost. The parallel sort runs real\n\
+         threads on this host; on a single-core machine it shows overhead, not speedup."
+    );
+}

@@ -1,0 +1,263 @@
+//! The `doconsider` pipeline: inspect → schedule → execute.
+//!
+//! Mirrors the five automated steps of §2.3 of the paper:
+//!
+//! 1. indices are logically distributed among processors (partition),
+//! 2. the compiler-generated topological sort runs at program start
+//!    ([`DoConsider::inspect`]),
+//! 3. the loop is transformed into a self-executing or pre-scheduled
+//!    version ([`PlannedLoop`]),
+//! 4. wavefronts are computed and indices sorted / repartitioned
+//!    ([`DoConsider::schedule`]),
+//! 5. each processor executes its assigned subset with the generated
+//!    executor ([`PlannedLoop::run_self_executing`] /
+//!    [`PlannedLoop::run_pre_scheduled`]).
+
+use rtpl_executor::{ExecStats, ValueSource, WorkerPool};
+use rtpl_inspector::{DepGraph, Partition, Result, Schedule, Wavefronts};
+use rtpl_sparse::Csr;
+
+/// Index-set sorting/partitioning strategy (the paper's two schedulers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheduling {
+    /// Global topological sort, wrapped assignment — balances every
+    /// wavefront at the highest inspector cost.
+    Global,
+    /// Fixed striped partition (`i mod p`), local wavefront sort only.
+    LocalStriped,
+    /// Fixed contiguous partition, local wavefront sort only.
+    LocalContiguous,
+}
+
+/// The inspector: a dependence graph plus its wavefront decomposition.
+#[derive(Clone, Debug)]
+pub struct DoConsider {
+    graph: DepGraph,
+    wavefronts: Wavefronts,
+}
+
+impl DoConsider {
+    /// Runs the inspector on an explicit dependence graph.
+    pub fn inspect(graph: DepGraph) -> Result<Self> {
+        let wavefronts = Wavefronts::compute(&graph)?;
+        Ok(DoConsider { graph, wavefronts })
+    }
+
+    /// Inspector for the simple loop `x(i) = x(i) + b(i)·x(ia(i))`
+    /// (Figure 2): a flow dependence on `ia(i)` when `ia(i) < i`.
+    pub fn from_index_array(ia: &[usize]) -> Result<Self> {
+        Self::inspect(DepGraph::from_index_array(ia)?)
+    }
+
+    /// Inspector for the nested loop of Figure 6
+    /// (`y(i) += temp·y(g(i,j))`).
+    pub fn from_nested_index_array(g: &[Vec<usize>]) -> Result<Self> {
+        Self::inspect(DepGraph::from_nested_index_array(g)?)
+    }
+
+    /// Inspector for a sparse lower triangular solve (Figure 8): row `i`
+    /// depends on every stored column `j < i`.
+    pub fn from_lower_triangular(l: &Csr) -> Result<Self> {
+        Self::inspect(DepGraph::from_lower_triangular(l)?)
+    }
+
+    /// The dependence graph.
+    pub fn graph(&self) -> &DepGraph {
+        &self.graph
+    }
+
+    /// The wavefront decomposition.
+    pub fn wavefronts(&self) -> &Wavefronts {
+        &self.wavefronts
+    }
+
+    /// Number of wavefronts (phases).
+    pub fn num_wavefronts(&self) -> usize {
+        self.wavefronts.num_wavefronts()
+    }
+
+    /// Builds an execution plan for `nprocs` processors.
+    pub fn schedule(self, strategy: Scheduling, nprocs: usize) -> Result<PlannedLoop> {
+        let schedule = match strategy {
+            Scheduling::Global => Schedule::global(&self.wavefronts, nprocs)?,
+            Scheduling::LocalStriped => Schedule::local(
+                &self.wavefronts,
+                &Partition::striped(self.graph.n(), nprocs)?,
+            )?,
+            Scheduling::LocalContiguous => Schedule::local(
+                &self.wavefronts,
+                &Partition::contiguous(self.graph.n(), nprocs)?,
+            )?,
+        };
+        Ok(PlannedLoop {
+            graph: self.graph,
+            schedule,
+        })
+    }
+}
+
+/// A scheduled loop, ready to execute (step 3's transformed loop).
+#[derive(Clone, Debug)]
+pub struct PlannedLoop {
+    graph: DepGraph,
+    schedule: Schedule,
+}
+
+impl PlannedLoop {
+    /// The schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The dependence graph.
+    pub fn graph(&self) -> &DepGraph {
+        &self.graph
+    }
+
+    /// Executes with busy-wait synchronization (Figure 4). `body(i, src)`
+    /// computes index `i`'s value, reading dependences through `src`.
+    pub fn run_self_executing(
+        &self,
+        pool: &WorkerPool,
+        body: &(dyn Fn(usize, &dyn ValueSource) -> f64 + Sync),
+        out: &mut [f64],
+    ) -> ExecStats {
+        rtpl_executor::self_executing(pool, &self.schedule, body, out)
+    }
+
+    /// Executes with global barriers between phases (Figure 5).
+    pub fn run_pre_scheduled(
+        &self,
+        pool: &WorkerPool,
+        body: &(dyn Fn(usize, &dyn ValueSource) -> f64 + Sync),
+        out: &mut [f64],
+    ) -> ExecStats {
+        rtpl_executor::pre_scheduled(pool, &self.schedule, body, out)
+    }
+
+    /// Executes sequentially in schedule order (debugging / baselines).
+    pub fn run_sequential(
+        &self,
+        body: &(dyn Fn(usize, &dyn ValueSource) -> f64 + Sync),
+        out: &mut [f64],
+    ) {
+        rtpl_executor::sequential(self.schedule.n(), |i, src| body(i, src), out)
+    }
+}
+
+/// The companion **`dodynamic`** construct (the paper's reference [11]) for
+/// loops that are *not* start-time schedulable: the dependence targets are
+/// themselves computed during the loop, so no inspector can run ahead of
+/// execution. Iterations execute in natural order, index `i` on processor
+/// `i mod p`, and the body discovers its operands on the fly — each
+/// `src.get(j)` busy-waits until iteration `j` has produced its value.
+/// Dependences must still be *forward* (`j < i`), which guarantees
+/// progress.
+///
+/// Without the inspector there is no reordering, so exploitable concurrency
+/// is whatever the natural order exposes — the doconsider pipeline exists
+/// precisely to do better when the dependence data is available up front.
+pub fn dodynamic(
+    pool: &WorkerPool,
+    n: usize,
+    body: &(dyn Fn(usize, &dyn ValueSource) -> f64 + Sync),
+    out: &mut [f64],
+) -> ExecStats {
+    rtpl_executor::doacross(pool, n, body, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_end_to_end() {
+        // y(i) = 1 + sum over deps — a counting DAG.
+        let g = DepGraph::from_lists(5, vec![vec![], vec![0], vec![0], vec![1, 2], vec![3]])
+            .unwrap();
+        let dc = DoConsider::inspect(g).unwrap();
+        assert_eq!(dc.num_wavefronts(), 4);
+        let plan = dc.schedule(Scheduling::Global, 2).unwrap();
+        let pool = WorkerPool::new(2);
+        let mut out = vec![0.0; 5];
+        let graph = plan.graph().clone();
+        plan.run_self_executing(
+            &pool,
+            &move |i, src| {
+                1.0 + graph
+                    .deps(i)
+                    .iter()
+                    .map(|&d| src.get(d as usize))
+                    .sum::<f64>()
+            },
+            &mut out,
+        );
+        assert_eq!(out, vec![1.0, 2.0, 2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn dodynamic_handles_runtime_computed_dependences() {
+        // The operand of iteration i is x[i-1] *rounded to an index* — the
+        // dependence target literally depends on computed values, so only
+        // on-the-fly detection works.
+        let n = 40usize;
+        let pool = WorkerPool::new(3);
+        let body = |i: usize, src: &dyn ValueSource| {
+            if i == 0 {
+                2.0
+            } else {
+                let prev = src.get(i - 1);
+                let target = (prev as usize) % i; // computed at run time
+                src.get(target) + 1.0 + (i % 3) as f64 * 0.5
+            }
+        };
+        let mut out = vec![0.0; n];
+        dodynamic(&pool, n, &body, &mut out);
+        // Sequential reference.
+        let mut expect = vec![0.0; n];
+        for i in 0..n {
+            expect[i] = if i == 0 {
+                2.0
+            } else {
+                let target = (expect[i - 1] as usize) % i;
+                expect[target] + 1.0 + (i % 3) as f64 * 0.5
+            };
+        }
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let ia = vec![9usize, 0, 1, 0, 3, 2, 5, 4, 7, 6];
+        let b = vec![0.25; 10];
+        let xold: Vec<f64> = (0..10).map(|i| i as f64 + 1.0).collect();
+        let pool = WorkerPool::new(3);
+        let mut results = Vec::new();
+        for strat in [
+            Scheduling::Global,
+            Scheduling::LocalStriped,
+            Scheduling::LocalContiguous,
+        ] {
+            let plan = DoConsider::from_index_array(&ia)
+                .unwrap()
+                .schedule(strat, 3)
+                .unwrap();
+            let mut out = vec![0.0; 10];
+            let ia2 = ia.clone();
+            let xold2 = xold.clone();
+            let b2 = b.clone();
+            plan.run_self_executing(
+                &pool,
+                &move |i, src| {
+                    let t = ia2[i];
+                    let operand = if t >= i { xold2[t] } else { src.get(t) };
+                    xold2[i] + b2[i] * operand
+                },
+                &mut out,
+            );
+            results.push(out);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+}

@@ -1,0 +1,80 @@
+//! # rtpl — Run-Time Parallelization and scheduling of Loops
+//!
+//! A Rust implementation of the inspector/executor system of
+//! **Saltz, Mirchandaney & Baxter, "Run-Time Parallelization and Scheduling
+//! of Loops"** (ICASE 88-70, 1989) — the `doconsider` construct.
+//!
+//! Many scientific loops carry substantial parallelism that a compiler
+//! cannot see because the cross-iteration dependences run through index
+//! arrays whose contents exist only at run time:
+//!
+//! ```text
+//! do i = 1, n
+//!     x(i) = x(i) + b(i) * x(ia(i))
+//! end do
+//! ```
+//!
+//! The `doconsider` transformation splits such a loop into an **inspector**
+//! (analyze the dependences, topologically sort indices into wavefronts,
+//! build a per-processor schedule) and an **executor** (run the schedule
+//! with either barrier or busy-wait synchronization). [`DoConsider`] is
+//! that pipeline:
+//!
+//! ```
+//! use rtpl::prelude::*;
+//!
+//! // The run-time index array: x(i) += b(i) * x(ia(i)).
+//! let ia = vec![0usize, 0, 1, 5, 2, 3];
+//! let b = vec![0.5; 6];
+//! let xold = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+//!
+//! // Inspector: dependence analysis + wavefront sort (compile time would
+//! // emit this; we run it at the start of execution).
+//! let plan = DoConsider::from_index_array(&ia)?
+//!     .schedule(Scheduling::Global, 2)?;
+//!
+//! // Executor: the paper's recommended self-executing loop.
+//! let pool = WorkerPool::new(2);
+//! let mut x = vec![0.0; 6];
+//! plan.run_self_executing(&pool, &|i, src| {
+//!     let t = ia[i];
+//!     let operand = if t >= i { xold[t] } else { src.get(t) };
+//!     xold[i] + b[i] * operand
+//! }, &mut x);
+//!
+//! // Same result as the sequential loop.
+//! assert_eq!(x[0], 1.0 + 0.5 * 1.0);
+//! # Ok::<(), rtpl::inspector::InspectorError>(())
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`inspector`] | dependence graphs, wavefronts, schedules |
+//! | [`executor`] | worker pool, barrier, the four executors |
+//! | [`sparse`] | CSR matrices, ILU factorization, generators |
+//! | [`krylov`] | PCGPAK substitute: CG/GMRES + parallel kernels |
+//! | [`sim`] | multiprocessor performance model (event + closed form) |
+//! | [`workload`] | the paper's test problems and synthetic generator |
+
+pub use rtpl_executor as executor;
+pub use rtpl_inspector as inspector;
+pub use rtpl_krylov as krylov;
+pub use rtpl_sim as sim;
+pub use rtpl_sparse as sparse;
+pub use rtpl_workload as workload;
+
+pub mod doconsider;
+pub mod transform;
+
+pub use doconsider::{dodynamic, DoConsider, PlannedLoop, Scheduling};
+pub use transform::{compile, CompiledLoop, Env, ExecChoice, LoopSpec, Op};
+
+/// Everything needed for typical use.
+pub mod prelude {
+    pub use crate::doconsider::{DoConsider, PlannedLoop, Scheduling};
+    pub use rtpl_executor::{ValueSource, WorkerPool};
+    pub use rtpl_inspector::{DepGraph, Partition, Schedule, Wavefronts};
+    pub use rtpl_sparse::Csr;
+}

@@ -1,0 +1,131 @@
+//! A centralized spinning barrier.
+//!
+//! The pre-scheduled executor calls `global synchronization` between
+//! consecutive phases (Figure 5, line 1d). On the Encore Multimax this was a
+//! shared-memory counter barrier; [`SpinBarrier`] is the classic
+//! generation-counter (sense-reversing) formulation: the last arriving
+//! thread resets the count and bumps the generation, everyone else spins on
+//! the generation word.
+//!
+//! The spin loop yields to the OS scheduler each iteration so the barrier
+//! stays live even when worker threads outnumber hardware cores (this host
+//! may run 16 simulated processors on fewer cores).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A reusable spinning barrier for a fixed number of participants.
+pub struct SpinBarrier {
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    poisoned: AtomicBool,
+    n: usize,
+}
+
+impl SpinBarrier {
+    /// Creates a barrier for `n >= 1` participants.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1);
+        SpinBarrier {
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            n,
+        }
+    }
+
+    /// Number of participants.
+    #[inline]
+    pub fn participants(&self) -> usize {
+        self.n
+    }
+
+    /// Marks the barrier poisoned: a participant died and will never
+    /// arrive, so pending and future waits panic instead of spinning
+    /// forever.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Whether the barrier is poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Blocks until all `n` participants have called `wait` for the current
+    /// generation. Returns `true` on exactly one participant per generation
+    /// (the "leader", i.e. the last to arrive). Panics if the barrier is
+    /// poisoned while waiting.
+    pub fn wait(&self) -> bool {
+        let gen = self.generation.load(Ordering::Acquire);
+        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+            true
+        } else {
+            while self.generation.load(Ordering::Acquire) == gen {
+                if self.is_poisoned() {
+                    panic!("barrier poisoned: a participant died before arriving");
+                }
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = SpinBarrier::new(1);
+        for _ in 0..5 {
+            assert!(b.wait());
+        }
+    }
+
+    #[test]
+    fn phases_are_totally_ordered() {
+        // Each thread appends its phase stamp; after a barrier, no thread may
+        // still be in an earlier phase.
+        const THREADS: usize = 4;
+        const PHASES: usize = 8;
+        let b = SpinBarrier::new(THREADS);
+        let phase_done = [(); PHASES].map(|_| AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for ph in 0..PHASES {
+                        phase_done[ph].fetch_add(1, Ordering::SeqCst);
+                        b.wait();
+                        // After the barrier every participant finished ph.
+                        assert_eq!(phase_done[ph].load(Ordering::SeqCst), THREADS);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn exactly_one_leader_per_generation() {
+        const THREADS: usize = 3;
+        let b = SpinBarrier::new(THREADS);
+        let leaders = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..10 {
+                        if b.wait() {
+                            leaders.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::SeqCst), 10);
+    }
+}

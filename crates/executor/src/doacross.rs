@@ -1,0 +1,105 @@
+//! The plain doacross baseline.
+//!
+//! §5.1.2 compares the reordered executors against "a doacross loop": the
+//! **original** index order striped across processors, with busy-wait
+//! synchronization on the values. No inspector runs — that saves the
+//! reordered-index-set accesses (the paper measured those as relatively
+//! expensive on the Multimax) but forfeits the concurrency the wavefront
+//! reordering exposes.
+//!
+//! Deadlock freedom: for a forward dependence graph (`dep < i`), the lowest
+//! unexecuted index's operands are all complete, and each processor's local
+//! order is increasing, so some processor can always advance.
+
+use crate::pool::WorkerPool;
+use crate::shared::{SharedVec, WaitingSource};
+use crate::{ExecStats, ValueSource};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Runs `body` over `0..n` in natural order, index `i` on processor
+/// `i mod p`, busy-waiting on dependence values. The dependence graph must
+/// be forward (`dep < i`), which is the paper's start-time schedulable
+/// setting.
+pub fn doacross(
+    pool: &WorkerPool,
+    n: usize,
+    body: &(dyn Fn(usize, &dyn ValueSource) -> f64 + Sync),
+    out: &mut [f64],
+) -> ExecStats {
+    assert_eq!(out.len(), n);
+    let nprocs = pool.nworkers();
+    let shared = SharedVec::new(n);
+    let stalls = AtomicU64::new(0);
+    pool.run(&|p| {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let src = WaitingSource::new(&shared);
+            let mut i = p;
+            while i < n {
+                let v = body(i, &src);
+                shared.publish(i, v);
+                i += nprocs;
+            }
+            stalls.fetch_add(src.stalls(), Ordering::Relaxed);
+        }));
+        if let Err(e) = outcome {
+            shared.poison();
+            std::panic::resume_unwind(e);
+        }
+    });
+    shared.copy_into(out);
+    ExecStats {
+        barriers: 0,
+        stalls: stalls.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtpl_sparse::gen::{laplacian_5pt, random_lower, tridiagonal};
+    use rtpl_sparse::triangular::{row_substitution_lower, solve_lower, Diag};
+
+    fn check(l: &rtpl_sparse::Csr, nprocs: usize) {
+        let n = l.nrows();
+        let b: Vec<f64> = (0..n).map(|i| ((i * 13 % 17) as f64) - 8.0).collect();
+        let mut expect = vec![0.0; n];
+        solve_lower(l, &b, Diag::Unit, &mut expect).unwrap();
+        let pool = WorkerPool::new(nprocs);
+        let mut out = vec![0.0; n];
+        let body = |i: usize, src: &dyn crate::ValueSource| {
+            row_substitution_lower(l, &b, i, |j| src.get(j))
+        };
+        doacross(&pool, n, &body, &mut out);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn mesh_solve_matches_sequential() {
+        check(&laplacian_5pt(6, 6).strict_lower(), 3);
+    }
+
+    #[test]
+    fn chain_is_fully_sequential_but_correct() {
+        check(&tridiagonal(40, 2.0, -1.0).strict_lower(), 4);
+    }
+
+    #[test]
+    fn random_dag_matches() {
+        check(&random_lower(100, 6, 3).strict_lower(), 2);
+    }
+
+    #[test]
+    fn counts_stalls_on_chain() {
+        // A pure chain forces nearly every cross-processor read to stall.
+        let l = tridiagonal(30, 2.0, -1.0).strict_lower();
+        let n = l.nrows();
+        let b = vec![1.0; n];
+        let pool = WorkerPool::new(2);
+        let mut out = vec![0.0; n];
+        let body = |i: usize, src: &dyn crate::ValueSource| {
+            row_substitution_lower(&l, &b, i, |j| src.get(j))
+        };
+        let stats = doacross(&pool, n, &body, &mut out);
+        assert!(stats.stalls > 0, "chain must produce busy-wait stalls");
+    }
+}

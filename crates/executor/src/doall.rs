@@ -1,0 +1,111 @@
+//! `doall` — fully independent iterations.
+//!
+//! The "easily parallelizable procedures" of Appendix II (SAXPY, vector
+//! inner products, sparse matrix–vector products) divide `0..n` into `p`
+//! contiguous blocks, one per processor. No synchronization beyond the
+//! final join is needed.
+
+use crate::pool::WorkerPool;
+use crate::rows::DisjointSlice;
+use rtpl_inspector::partition::contiguous_range;
+
+/// Evaluates `out[i] = body(i)` for all `i` in parallel over contiguous
+/// blocks.
+pub fn doall(pool: &WorkerPool, n: usize, body: &(dyn Fn(usize) -> f64 + Sync), out: &mut [f64]) {
+    assert_eq!(out.len(), n);
+    let nprocs = pool.nworkers();
+    let ds = DisjointSlice::new(out);
+    pool.run(&|p| {
+        let (lo, hi) = contiguous_range(n, nprocs, p);
+        // SAFETY: contiguous ranges of distinct workers are disjoint.
+        let chunk = unsafe { ds.range_mut(lo, hi) };
+        for (k, slot) in chunk.iter_mut().enumerate() {
+            *slot = body(lo + k);
+        }
+    });
+}
+
+/// Runs `body(p, lo, hi)` on every worker with its contiguous range — the
+/// SPMD form used when the body wants to process a whole block at once
+/// (e.g. a blocked matvec).
+pub fn doall_blocked(pool: &WorkerPool, n: usize, body: &(dyn Fn(usize, usize, usize) + Sync)) {
+    let nprocs = pool.nworkers();
+    pool.run(&|p| {
+        let (lo, hi) = contiguous_range(n, nprocs, p);
+        body(p, lo, hi);
+    });
+}
+
+/// Parallel sum-reduction: `Σ_i body(i)` over contiguous blocks, partials
+/// combined deterministically in worker order.
+pub fn doall_reduce(pool: &WorkerPool, n: usize, body: &(dyn Fn(usize) -> f64 + Sync)) -> f64 {
+    let nprocs = pool.nworkers();
+    let mut partials = vec![0.0f64; nprocs];
+    {
+        let ds = DisjointSlice::new(&mut partials);
+        pool.run(&|p| {
+            let (lo, hi) = contiguous_range(n, nprocs, p);
+            let mut acc = 0.0;
+            for i in lo..hi {
+                acc += body(i);
+            }
+            // SAFETY: each worker writes only its own slot.
+            unsafe { ds.write(p, acc) };
+        });
+    }
+    partials.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doall_computes_all_indices() {
+        let pool = WorkerPool::new(4);
+        let mut out = vec![0.0; 103];
+        doall(&pool, 103, &|i| (i * i) as f64, &mut out);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i * i) as f64);
+        }
+    }
+
+    #[test]
+    fn doall_reduce_matches_sequential_sum() {
+        let pool = WorkerPool::new(3);
+        let x: Vec<f64> = (0..50).map(|i| (i as f64) * 0.5).collect();
+        let y: Vec<f64> = (0..50).map(|i| 2.0 - i as f64 * 0.01).collect();
+        let dot = doall_reduce(&pool, 50, &|i| x[i] * y[i]);
+        let expect: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doall_blocked_covers_all() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = WorkerPool::new(4);
+        let covered: Vec<AtomicUsize> = (0..37).map(|_| AtomicUsize::new(0)).collect();
+        doall_blocked(&pool, 37, &|_, lo, hi| {
+            for i in lo..hi {
+                covered[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(covered.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn empty_range_ok() {
+        let pool = WorkerPool::new(4);
+        let mut out: Vec<f64> = vec![];
+        doall(&pool, 0, &|_| 1.0, &mut out);
+        assert_eq!(doall_reduce(&pool, 0, &|_| 1.0), 0.0);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let pool = WorkerPool::new(8);
+        let mut out = vec![0.0; 3];
+        doall(&pool, 3, &|i| i as f64 + 1.0, &mut out);
+        assert_eq!(out, vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,121 @@
+//! # rtpl-executor — parallel loop executors
+//!
+//! The *executor* half of the paper's inspector/executor pair: transformed
+//! loop structures that run an inspector-produced [`Schedule`] on an SPMD
+//! worker pool. Two synchronization disciplines are implemented, exactly as
+//! in the paper:
+//!
+//! * [`pre_scheduled`] (Figure 5) — processors execute their phase slices
+//!   and meet at a **global barrier** between consecutive wavefronts;
+//! * [`self_executing`] (Figure 4) — a shared `ready` array records which
+//!   solution values have been produced, and consumers **busy-wait** on the
+//!   entries they need, letting consecutive wavefronts pipeline.
+//!
+//! Two baselines complete the §5 comparison set:
+//!
+//! * [`doacross`] — the original index order striped over processors with
+//!   busy-wait synchronization (a doacross loop *without* index reordering);
+//! * [`doall`] — for fully independent iterations (the SAXPY/dot/matvec
+//!   kernels of Appendix II).
+//!
+//! ## Memory-safety design
+//!
+//! The dynamically scheduled writes that make this pattern "fight the borrow
+//! checker" are expressed through [`shared::SharedVec`]: solution values
+//! live in `AtomicU64` cells (f64 bit patterns) paired with an atomic ready
+//! flag per index. Publishing is a `Release` store, consuming is an
+//! `Acquire` load, so every executor here is 100 % safe code. The only
+//! `unsafe` in the crate is [`rows::SharedRows`] (variable-length row
+//! outputs for the parallel numeric factorization), with its invariant
+//! documented and checked in debug builds.
+//!
+//! [`Schedule`]: rtpl_inspector::Schedule
+
+pub mod barrier;
+pub mod doacross;
+pub mod doall;
+pub mod pool;
+pub mod presched;
+pub mod rows;
+pub mod selfexec;
+pub mod selfsched;
+pub mod shared;
+
+pub use barrier::SpinBarrier;
+pub use doacross::doacross;
+pub use doall::{doall, doall_reduce};
+pub use pool::WorkerPool;
+pub use presched::{pre_scheduled, pre_scheduled_elided};
+pub use rows::SharedRows;
+pub use selfexec::self_executing;
+pub use selfsched::{self_scheduling, Chunking};
+pub use shared::{ReadyFlags, SharedVec};
+
+/// Execution statistics returned by the parallel executors.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Number of global synchronizations performed (pre-scheduled only).
+    pub barriers: u64,
+    /// Number of reads that found their operand not yet ready and had to
+    /// busy-wait (self-executing / doacross only).
+    pub stalls: u64,
+}
+
+/// A value source handed to loop bodies: `get(j)` returns the (possibly
+/// awaited) value of index `j`.
+///
+/// * In the self-executing executor, `get` busy-waits on the ready flag.
+/// * In the pre-scheduled executor, `get` is a plain read — the phase
+///   barrier already guaranteed availability.
+/// * In the sequential executor, `get` reads the output vector directly.
+pub trait ValueSource {
+    /// Value of index `j`; may block (busy-wait) until it is produced.
+    fn get(&self, j: usize) -> f64;
+}
+
+struct DirectSource<'a>(&'a [f64]);
+
+impl ValueSource for DirectSource<'_> {
+    #[inline]
+    fn get(&self, j: usize) -> f64 {
+        self.0[j]
+    }
+}
+
+/// Runs the loop body sequentially in natural index order — the reference
+/// executor every parallel variant is checked against. The body may read any
+/// already-computed index (`j < i` for forward loops) through the
+/// [`ValueSource`].
+pub fn sequential(n: usize, body: impl Fn(usize, &dyn ValueSource) -> f64, out: &mut [f64]) {
+    assert_eq!(out.len(), n);
+    for i in 0..n {
+        let val = {
+            let src = DirectSource(out);
+            body(i, &src)
+        };
+        out[i] = val;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_runs_simple_loop() {
+        // x(i) = i + x(i-1), x(0) = 0  =>  x(i) = i(i+1)/2
+        let mut out = vec![0.0; 6];
+        sequential(
+            6,
+            |i, src| {
+                if i == 0 {
+                    0.0
+                } else {
+                    i as f64 + src.get(i - 1)
+                }
+            },
+            &mut out,
+        );
+        assert_eq!(out, vec![0.0, 1.0, 3.0, 6.0, 10.0, 15.0]);
+    }
+}

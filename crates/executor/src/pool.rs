@@ -1,0 +1,226 @@
+//! A persistent SPMD worker pool.
+//!
+//! The paper's executors are SPMD: every processor runs the same transformed
+//! loop over its own schedule slice. [`WorkerPool`] keeps `p` OS threads
+//! alive across executor invocations (schedules are reused over many solver
+//! iterations, so thread spawn cost must be amortized exactly like the
+//! paper amortizes its topological sort).
+//!
+//! `run` hands every worker the same closure plus its worker id and blocks
+//! until all workers finish — a fork/join on a persistent team.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Type-erased pointer to the caller's job closure.
+///
+/// The pointee is only dereferenced between the epoch announcement in
+/// [`WorkerPool::run`] and the completion signal that `run` blocks on, so it
+/// never outlives the borrow it was created from.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (required at creation) and the pointer is
+// only dereferenced while `WorkerPool::run` keeps the original reference
+// alive (it blocks until `remaining == 0`).
+unsafe impl Send for JobPtr {}
+
+struct State {
+    epoch: u64,
+    job: Option<JobPtr>,
+    remaining: usize,
+    panicked: usize,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// A fixed-size team of worker threads executing SPMD jobs.
+pub struct WorkerPool {
+    inner: Arc<Inner>,
+    handles: Vec<JoinHandle<()>>,
+    nworkers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `nworkers` threads (`nworkers >= 1`).
+    pub fn new(nworkers: usize) -> Self {
+        assert!(nworkers >= 1, "worker pool needs at least one worker");
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                panicked: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..nworkers)
+            .map(|id| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("rtpl-worker-{id}"))
+                    .spawn(move || worker_loop(&inner, id))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            inner,
+            handles,
+            nworkers,
+        }
+    }
+
+    /// Number of workers (the paper's `p`).
+    #[inline]
+    pub fn nworkers(&self) -> usize {
+        self.nworkers
+    }
+
+    /// Runs `job(worker_id)` on every worker concurrently; returns when all
+    /// workers have finished. The calling thread only coordinates (it is not
+    /// one of the workers).
+    ///
+    /// If any worker's job panics, the panic is contained (the worker thread
+    /// survives for subsequent jobs) and `run` itself panics after the whole
+    /// team has finished — a fork/join never hangs on a buggy body.
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        let mut st = self.inner.state.lock();
+        debug_assert!(st.job.is_none(), "pool is already running a job");
+        // SAFETY: erase the borrow lifetime. `run` blocks below until every
+        // worker has finished calling the closure, so the pointee outlives
+        // all dereferences.
+        let ptr: JobPtr = unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), JobPtr>(job as *const _)
+        };
+        st.job = Some(ptr);
+        st.remaining = self.nworkers;
+        st.panicked = 0;
+        st.epoch += 1;
+        self.inner.work_cv.notify_all();
+        while st.remaining > 0 {
+            self.inner.done_cv.wait(&mut st);
+        }
+        st.job = None;
+        let panicked = st.panicked;
+        drop(st);
+        assert!(
+            panicked == 0,
+            "{panicked} worker(s) panicked while executing the job"
+        );
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock();
+            st.shutdown = true;
+            self.inner.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner, id: usize) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = inner.state.lock();
+            while !st.shutdown && (st.epoch == seen_epoch || st.job.is_none()) {
+                inner.work_cv.wait(&mut st);
+            }
+            if st.shutdown {
+                return;
+            }
+            seen_epoch = st.epoch;
+            st.job.expect("woken without a job")
+        };
+        // SAFETY: `WorkerPool::run` keeps the closure alive until every
+        // worker has decremented `remaining`, which happens strictly after
+        // this call returns. The catch_unwind keeps a panicking job from
+        // killing the worker (which would hang the join).
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+            (*job.0)(id)
+        }));
+        let mut st = inner.state.lock();
+        st.remaining -= 1;
+        if outcome.is_err() {
+            st.panicked += 1;
+        }
+        if st.remaining == 0 {
+            inner.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_workers_run_once() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicUsize::new(0);
+        let mask = AtomicUsize::new(0);
+        pool.run(&|id| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            mask.fetch_or(1 << id, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+        assert_eq!(mask.load(Ordering::Relaxed), 0b1111);
+    }
+
+    #[test]
+    fn pool_is_reusable() {
+        let pool = WorkerPool::new(3);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..10 {
+            pool.run(&|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 30);
+    }
+
+    #[test]
+    fn single_worker_pool() {
+        let pool = WorkerPool::new(1);
+        let counter = AtomicUsize::new(0);
+        pool.run(&|id| {
+            assert_eq!(id, 0);
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn workers_can_mutate_disjoint_slices() {
+        let pool = WorkerPool::new(4);
+        let data: Vec<AtomicUsize> = (0..16).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(&|id| {
+            for k in (id..16).step_by(4) {
+                data[k].store(k * 10, Ordering::Relaxed);
+            }
+        });
+        for (k, v) in data.iter().enumerate() {
+            assert_eq!(v.load(Ordering::Relaxed), k * 10);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_workers_rejected() {
+        let _ = WorkerPool::new(0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Shared row storage for row-granularity loops, plus a disjoint-write
+//! slice used by the `doall` kernels.
+//!
+//! The parallel numeric factorization (Appendix II-2.2) produces a whole
+//! matrix *row* per outer-loop index, not a single scalar, so the
+//! `AtomicU64`-per-value trick of [`crate::shared`] would be wasteful.
+//! [`SharedRows`] instead hands the unique scheduled writer a `&mut [f64]`
+//! for its row through a claim/publish protocol enforced at run time:
+//!
+//! * each row has an atomic state `FREE → CLAIMED → PUBLISHED`;
+//! * [`SharedRows::claim_row`] CAS-transitions `FREE → CLAIMED` (panicking
+//!   on a double claim, which would indicate a malformed schedule) and
+//!   returns a write guard;
+//! * dropping the guard (or calling [`RowWriteGuard::publish`]) stores
+//!   `PUBLISHED` with `Release`;
+//! * [`SharedRows::wait_row`] busy-waits for `PUBLISHED` with `Acquire` and
+//!   returns a shared slice.
+//!
+//! The protocol makes the API safe: a row is writable by exactly one guard,
+//! and readable only after the guard is gone.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+const FREE: u32 = 0;
+const CLAIMED: u32 = 1;
+const PUBLISHED: u32 = 2;
+
+/// Concurrently writable storage partitioned into rows by an `indptr` array.
+pub struct SharedRows<'a> {
+    data: &'a [UnsafeCell<f64>],
+    indptr: &'a [usize],
+    state: Vec<AtomicU32>,
+    poisoned: AtomicBool,
+}
+
+// SAFETY: all access to `data` is mediated by the per-row state machine —
+// a row is written only through the unique `RowWriteGuard` and read only
+// after the `PUBLISHED` Release store, which `wait_row` Acquire-loads.
+unsafe impl Sync for SharedRows<'_> {}
+
+impl<'a> SharedRows<'a> {
+    /// Wraps `data`, whose row `i` occupies `indptr[i]..indptr[i+1]`.
+    pub fn new(data: &'a mut [f64], indptr: &'a [usize]) -> Self {
+        let nrows = indptr.len() - 1;
+        assert_eq!(indptr[nrows], data.len(), "indptr must cover data exactly");
+        // Transmuting &mut [f64] to &[UnsafeCell<f64>] is sound: UnsafeCell
+        // has the same layout as its contents, and the unique borrow is held
+        // for 'a.
+        let cells =
+            unsafe { &*(data as *mut [f64] as *const [UnsafeCell<f64>]) };
+        SharedRows {
+            data: cells,
+            indptr,
+            state: (0..nrows).map(|_| AtomicU32::new(FREE)).collect(),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Marks the store poisoned (a producer died); pending and future
+    /// [`SharedRows::wait_row`] calls panic instead of spinning forever.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Whether the store is poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Claims exclusive write access to row `i`.
+    ///
+    /// Panics if the row was already claimed or published — that means two
+    /// schedule entries map to the same row, i.e. the schedule is not a
+    /// permutation.
+    pub fn claim_row(&self, i: usize) -> RowWriteGuard<'_, 'a> {
+        self.state[i]
+            .compare_exchange(FREE, CLAIMED, Ordering::Acquire, Ordering::Relaxed)
+            .unwrap_or_else(|s| {
+                panic!("row {i} claimed twice (state {s}): schedule is not a permutation")
+            });
+        RowWriteGuard {
+            rows: self,
+            i,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Busy-waits until row `i` is published, then returns it. Returns the
+    /// number of spin iterations alongside the slice.
+    pub fn wait_row(&self, i: usize) -> (&[f64], u64) {
+        let mut spins = 0u64;
+        while self.state[i].load(Ordering::Acquire) != PUBLISHED {
+            if self.is_poisoned() {
+                panic!("shared rows poisoned while waiting for row {i}");
+            }
+            spins += 1;
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        (unsafe { self.row_unchecked(i) }, spins)
+    }
+
+    /// Row `i` if already published.
+    pub fn try_row(&self, i: usize) -> Option<&[f64]> {
+        if self.state[i].load(Ordering::Acquire) == PUBLISHED {
+            Some(unsafe { self.row_unchecked(i) })
+        } else {
+            None
+        }
+    }
+
+    /// True once row `i` is published.
+    pub fn is_published(&self, i: usize) -> bool {
+        self.state[i].load(Ordering::Acquire) == PUBLISHED
+    }
+
+    unsafe fn row_unchecked(&self, i: usize) -> &[f64] {
+        let (lo, hi) = (self.indptr[i], self.indptr[i + 1]);
+        // SAFETY: caller observed PUBLISHED with Acquire; no writer exists.
+        unsafe {
+            std::slice::from_raw_parts(
+                UnsafeCell::raw_get(self.data.as_ptr().add(lo)) as *const f64,
+                hi - lo,
+            )
+        }
+    }
+}
+
+/// Exclusive write access to one row; publishing happens on drop.
+pub struct RowWriteGuard<'s, 'a> {
+    rows: &'s SharedRows<'a>,
+    i: usize,
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl RowWriteGuard<'_, '_> {
+    /// The row index this guard owns.
+    pub fn index(&self) -> usize {
+        self.i
+    }
+
+    /// Publishes the row explicitly (equivalent to dropping the guard).
+    pub fn publish(self) {}
+}
+
+impl std::ops::Deref for RowWriteGuard<'_, '_> {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        unsafe { self.rows.row_unchecked(self.i) }
+    }
+}
+
+impl std::ops::DerefMut for RowWriteGuard<'_, '_> {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        let (lo, hi) = (self.rows.indptr[self.i], self.rows.indptr[self.i + 1]);
+        // SAFETY: the CLAIMED state guarantees this guard is the unique
+        // accessor of the row until publication.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                UnsafeCell::raw_get(self.rows.data.as_ptr().add(lo)),
+                hi - lo,
+            )
+        }
+    }
+}
+
+impl Drop for RowWriteGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.rows.state[self.i].store(PUBLISHED, Ordering::Release);
+    }
+}
+
+/// A slice that workers may write at **disjoint** positions concurrently.
+///
+/// Used by the `doall` kernels, where worker `p` writes exactly the
+/// contiguous range the partition assigns it. Disjointness is the caller's
+/// obligation — the write method is `unsafe` and the requirement is spelled
+/// out there.
+pub struct DisjointSlice<'a> {
+    data: &'a [UnsafeCell<f64>],
+}
+
+// SAFETY: writes go through `unsafe` methods whose contract demands
+// disjointness; reads happen only after the parallel section joins.
+unsafe impl Sync for DisjointSlice<'_> {}
+
+impl<'a> DisjointSlice<'a> {
+    /// Wraps a uniquely borrowed slice.
+    pub fn new(data: &'a mut [f64]) -> Self {
+        let cells =
+            unsafe { &*(data as *mut [f64] as *const [UnsafeCell<f64>]) };
+        DisjointSlice { data: cells }
+    }
+
+    /// Length of the underlying slice.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Writes `v` at position `i`.
+    ///
+    /// # Safety
+    /// No other thread may access position `i` concurrently (each position
+    /// must be written by at most one worker during a parallel section).
+    #[inline]
+    pub unsafe fn write(&self, i: usize, v: f64) {
+        unsafe { *self.data[i].get() = v };
+    }
+
+    /// Mutable access to `lo..hi`.
+    ///
+    /// # Safety
+    /// The range must be disjoint from every range any other thread accesses
+    /// during the current parallel section.
+    // Interior mutability through UnsafeCell: &mut from &self is the whole
+    // point, with uniqueness guaranteed by the caller's disjointness
+    // contract above.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    pub unsafe fn range_mut(&self, lo: usize, hi: usize) -> &mut [f64] {
+        debug_assert!(lo <= hi && hi <= self.data.len());
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                UnsafeCell::raw_get(self.data.as_ptr().add(lo)),
+                hi - lo,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_write_publish_read() {
+        let mut data = vec![0.0; 6];
+        let indptr = vec![0usize, 2, 6];
+        let rows = SharedRows::new(&mut data, &indptr);
+        {
+            let mut g = rows.claim_row(0);
+            g[0] = 1.0;
+            g[1] = 2.0;
+            g.publish();
+        }
+        let (r0, spins) = rows.wait_row(0);
+        assert_eq!(r0, &[1.0, 2.0]);
+        assert_eq!(spins, 0);
+        assert!(rows.try_row(1).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "claimed twice")]
+    fn double_claim_panics() {
+        let mut data = vec![0.0; 2];
+        let indptr = vec![0usize, 1, 2];
+        let rows = SharedRows::new(&mut data, &indptr);
+        let _g1 = rows.claim_row(0);
+        let _g2 = rows.claim_row(0);
+    }
+
+    #[test]
+    fn cross_thread_row_pipeline() {
+        let mut data = vec![0.0; 8];
+        let indptr = vec![0usize, 4, 8];
+        let rows = SharedRows::new(&mut data, &indptr);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(3));
+                let mut g = rows.claim_row(0);
+                for (k, x) in g.iter_mut().enumerate() {
+                    *x = k as f64;
+                }
+            });
+            s.spawn(|| {
+                let (r, _) = rows.wait_row(0);
+                let mut g = rows.claim_row(1);
+                for (k, x) in g.iter_mut().enumerate() {
+                    *x = r[k] * 10.0;
+                }
+            });
+        });
+        drop(rows);
+        assert_eq!(data, vec![0.0, 1.0, 2.0, 3.0, 0.0, 10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn disjoint_slice_parallel_writes() {
+        let mut data = vec![0.0; 10];
+        {
+            let ds = DisjointSlice::new(&mut data);
+            std::thread::scope(|s| {
+                for p in 0..2 {
+                    let ds = &ds;
+                    s.spawn(move || {
+                        let (lo, hi) = (p * 5, (p + 1) * 5);
+                        // SAFETY: ranges [0,5) and [5,10) are disjoint.
+                        let chunk = unsafe { ds.range_mut(lo, hi) };
+                        for (k, x) in chunk.iter_mut().enumerate() {
+                            *x = (lo + k) as f64;
+                        }
+                    });
+                }
+            });
+        }
+        assert_eq!(data, (0..10).map(|i| i as f64).collect::<Vec<_>>());
+    }
+}

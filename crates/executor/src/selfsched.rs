@@ -1,0 +1,179 @@
+//! Self-*scheduling* executors: dynamic assignment of iterations.
+//!
+//! The paper's related work (§3) contrasts its statically scheduled
+//! executors with **self-scheduled** execution à la Lusk & Overbeek and the
+//! **guided self-scheduling** of Polychronopoulos & Kuck, where processors
+//! repeatedly claim the next chunk of iterations from a shared counter.
+//! This module implements that alternative over a wavefront-sorted index
+//! list, with busy-wait dependence synchronization — so load balance is
+//! dynamic (no inspector partitioning step) at the price of contended
+//! counter traffic and lost locality.
+//!
+//! Progress: chunks are claimed in topological-list order and each worker
+//! processes its chunk in order, so the globally earliest unfinished index
+//! always has its dependences complete and an owner that can run it.
+
+use crate::pool::WorkerPool;
+use crate::shared::{SharedVec, WaitingSource};
+use crate::{ExecStats, ValueSource};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Chunk-size policy for dynamic claiming.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Chunking {
+    /// One iteration per claim (maximum balance, maximum contention —
+    /// Lusk & Overbeek style).
+    Unit,
+    /// Guided self-scheduling: claim `ceil(remaining / p)` iterations
+    /// (Polychronopoulos & Kuck).
+    Guided,
+    /// Fixed chunks of `k` iterations.
+    Fixed(usize),
+}
+
+/// Runs `body` over the topologically sorted `order` (e.g.
+/// [`rtpl_inspector::Wavefronts::sorted_list`]) with dynamically claimed
+/// chunks and busy-wait synchronization.
+///
+/// `order` must be a permutation of `0..out.len()` in an order consistent
+/// with the dependences read through the [`ValueSource`] (checked in debug
+/// builds by the publication flags).
+pub fn self_scheduling(
+    pool: &WorkerPool,
+    order: &[u32],
+    chunking: Chunking,
+    body: &(dyn Fn(usize, &dyn ValueSource) -> f64 + Sync),
+    out: &mut [f64],
+) -> ExecStats {
+    let n = order.len();
+    assert_eq!(out.len(), n);
+    if let Chunking::Fixed(k) = chunking {
+        assert!(k >= 1, "fixed chunk size must be >= 1");
+    }
+    let nprocs = pool.nworkers();
+    let shared = SharedVec::new(n);
+    let cursor = AtomicUsize::new(0);
+    let stalls = AtomicU64::new(0);
+    pool.run(&|_| {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let src = WaitingSource::new(&shared);
+        loop {
+            // Claim the next chunk [lo, hi).
+            let lo = match chunking {
+                Chunking::Unit => cursor.fetch_add(1, Ordering::Relaxed),
+                Chunking::Fixed(k) => cursor.fetch_add(k, Ordering::Relaxed),
+                Chunking::Guided => {
+                    // CAS loop recomputing the guided chunk from `remaining`.
+                    let mut lo = cursor.load(Ordering::Relaxed);
+                    loop {
+                        if lo >= n {
+                            break;
+                        }
+                        let remaining = n - lo;
+                        let chunk = remaining.div_ceil(nprocs);
+                        match cursor.compare_exchange_weak(
+                            lo,
+                            lo + chunk,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => break,
+                            Err(cur) => lo = cur,
+                        }
+                    }
+                    lo
+                }
+            };
+            if lo >= n {
+                break;
+            }
+            let hi = match chunking {
+                Chunking::Unit => lo + 1,
+                Chunking::Fixed(k) => (lo + k).min(n),
+                Chunking::Guided => (lo + (n - lo).div_ceil(nprocs)).min(n),
+            };
+            for &i in &order[lo..hi.min(n)] {
+                let i = i as usize;
+                let v = body(i, &src);
+                shared.publish(i, v);
+            }
+        }
+        stalls.fetch_add(src.stalls(), Ordering::Relaxed);
+        }));
+        if let Err(e) = outcome {
+            shared.poison();
+            std::panic::resume_unwind(e);
+        }
+    });
+    shared.copy_into(out);
+    ExecStats {
+        barriers: 0,
+        stalls: stalls.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtpl_inspector::{DepGraph, Wavefronts};
+    use rtpl_sparse::gen::{laplacian_5pt, random_lower};
+    use rtpl_sparse::triangular::{row_substitution_lower, solve_lower, Diag};
+
+    fn check(l: &rtpl_sparse::Csr, nprocs: usize, chunking: Chunking) {
+        let n = l.nrows();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 7 % 13) as f64)).collect();
+        let mut expect = vec![0.0; n];
+        solve_lower(l, &b, Diag::Unit, &mut expect).unwrap();
+        let g = DepGraph::from_lower_triangular(l).unwrap();
+        let order = Wavefronts::compute(&g).unwrap().sorted_list();
+        let pool = WorkerPool::new(nprocs);
+        let mut out = vec![0.0; n];
+        let body = |i: usize, src: &dyn crate::ValueSource| {
+            row_substitution_lower(l, &b, i, |j| src.get(j))
+        };
+        self_scheduling(&pool, &order, chunking, &body, &mut out);
+        assert_eq!(out, expect, "{chunking:?} p={nprocs}");
+    }
+
+    #[test]
+    fn unit_chunks_match_sequential() {
+        check(&laplacian_5pt(7, 7).strict_lower(), 3, Chunking::Unit);
+    }
+
+    #[test]
+    fn guided_chunks_match_sequential() {
+        check(&laplacian_5pt(8, 6).strict_lower(), 4, Chunking::Guided);
+        check(&random_lower(90, 4, 21).strict_lower(), 2, Chunking::Guided);
+    }
+
+    #[test]
+    fn fixed_chunks_match_sequential() {
+        check(&laplacian_5pt(6, 6).strict_lower(), 2, Chunking::Fixed(5));
+        check(&laplacian_5pt(6, 6).strict_lower(), 2, Chunking::Fixed(100));
+    }
+
+    #[test]
+    fn natural_order_also_valid() {
+        // The natural order 0..n is itself topological for forward graphs.
+        let l = random_lower(60, 3, 5).strict_lower();
+        let n = l.nrows();
+        let b = vec![1.0; n];
+        let mut expect = vec![0.0; n];
+        solve_lower(&l, &b, Diag::Unit, &mut expect).unwrap();
+        let order: Vec<u32> = (0..n as u32).collect();
+        let pool = WorkerPool::new(3);
+        let mut out = vec![0.0; n];
+        let body = |i: usize, src: &dyn crate::ValueSource| {
+            row_substitution_lower(&l, &b, i, |j| src.get(j))
+        };
+        self_scheduling(&pool, &order, Chunking::Guided, &body, &mut out);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn single_worker_any_chunking() {
+        for c in [Chunking::Unit, Chunking::Guided, Chunking::Fixed(3)] {
+            check(&laplacian_5pt(5, 5).strict_lower(), 1, c);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Shared solution vectors with publication flags.
+//!
+//! The self-executing loop of Figure 4 coordinates through two shared
+//! arrays: the solution vector `x` and a `ready` array recording which
+//! entries "have been COMPLETED". [`SharedVec`] packages both: values are
+//! `AtomicU64` cells holding `f64` bit patterns, flags are `AtomicU32`.
+//! Publishing stores the value (relaxed) and then the flag with `Release`;
+//! consuming loads the flag with `Acquire` before reading the value — the
+//! flag carries the happens-before edge, so no `unsafe` is needed anywhere.
+
+use crate::ValueSource;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+const NOT_READY: u32 = 0;
+const READY: u32 = 1;
+
+/// A shared array of publication flags (the paper's `ready` array).
+pub struct ReadyFlags {
+    flags: Vec<AtomicU32>,
+}
+
+impl ReadyFlags {
+    /// All-clear flags for `n` indices.
+    pub fn new(n: usize) -> Self {
+        ReadyFlags {
+            flags: (0..n).map(|_| AtomicU32::new(NOT_READY)).collect(),
+        }
+    }
+
+    /// Number of indices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Marks index `i` complete (Release).
+    #[inline]
+    pub fn mark(&self, i: usize) {
+        self.flags[i].store(READY, Ordering::Release);
+    }
+
+    /// Non-blocking completion probe (Acquire).
+    #[inline]
+    pub fn is_ready(&self, i: usize) -> bool {
+        self.flags[i].load(Ordering::Acquire) == READY
+    }
+
+    /// Busy-waits until index `i` is complete; returns the number of spin
+    /// iterations (0 when the operand was already available — the common,
+    /// pipelined case the paper's §5.1.4 relies on).
+    #[inline]
+    pub fn wait(&self, i: usize) -> u64 {
+        let mut spins = 0u64;
+        while self.flags[i].load(Ordering::Acquire) != READY {
+            spins += 1;
+            std::hint::spin_loop();
+            // Stay live when workers outnumber cores.
+            std::thread::yield_now();
+        }
+        spins
+    }
+
+    /// Clears all flags (single-threaded phase, e.g. between solver
+    /// iterations).
+    pub fn reset(&mut self) {
+        for f in &mut self.flags {
+            *f.get_mut() = NOT_READY;
+        }
+    }
+}
+
+/// A shared `f64` vector whose entries become readable once published.
+pub struct SharedVec {
+    vals: Vec<AtomicU64>,
+    ready: ReadyFlags,
+    poisoned: AtomicBool,
+}
+
+impl SharedVec {
+    /// An unpublished vector of length `n` (values default to 0.0 but are
+    /// unreadable until published).
+    pub fn new(n: usize) -> Self {
+        SharedVec {
+            vals: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            ready: ReadyFlags::new(n),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Marks the vector poisoned: a producer died, so pending and future
+    /// waits must panic instead of spinning forever. Called by the executors
+    /// when a loop body panics.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Whether [`SharedVec::poison`] was called.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Publishes `v` as the value of index `i`: value store first, then the
+    /// Release flag store (Figure 4 lines 3b/3c).
+    #[inline]
+    pub fn publish(&self, i: usize, v: f64) {
+        self.vals[i].store(v.to_bits(), Ordering::Relaxed);
+        self.ready.mark(i);
+    }
+
+    /// Busy-waits for index `i` and returns its value plus the spin count.
+    ///
+    /// Panics if the vector is poisoned while waiting (the producer of a
+    /// needed value died) — turning a would-be livelock into a clean panic
+    /// that the worker pool reports.
+    #[inline]
+    pub fn wait_get(&self, i: usize) -> (f64, u64) {
+        let mut spins = 0u64;
+        while !self.ready.is_ready(i) {
+            if self.is_poisoned() {
+                panic!("shared vector poisoned while waiting for index {i}");
+            }
+            spins += 1;
+            std::hint::spin_loop();
+            std::thread::yield_now();
+        }
+        (f64::from_bits(self.vals[i].load(Ordering::Relaxed)), spins)
+    }
+
+    /// Reads a value that is already known to be published (e.g. in an
+    /// earlier pre-scheduled phase, after a barrier). Debug builds verify
+    /// the flag.
+    #[inline]
+    pub fn get_published(&self, i: usize) -> f64 {
+        debug_assert!(self.ready.is_ready(i), "read of unpublished index {i}");
+        f64::from_bits(self.vals[i].load(Ordering::Relaxed))
+    }
+
+    /// Non-blocking read: `Some(v)` if published.
+    pub fn try_get(&self, i: usize) -> Option<f64> {
+        if self.ready.is_ready(i) {
+            Some(f64::from_bits(self.vals[i].load(Ordering::Relaxed)))
+        } else {
+            None
+        }
+    }
+
+    /// Copies all published values out; panics in debug builds if any index
+    /// was never published.
+    pub fn into_vec(self) -> Vec<f64> {
+        debug_assert!((0..self.len()).all(|i| self.ready.is_ready(i)));
+        self.vals
+            .into_iter()
+            .map(|v| f64::from_bits(v.into_inner()))
+            .collect()
+    }
+
+    /// Copies published values into `out`.
+    pub fn copy_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.len());
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.get_published(i);
+        }
+    }
+}
+
+/// [`ValueSource`] adapter that busy-waits on a [`SharedVec`] and counts
+/// stalls — the reader the self-executing executor hands to loop bodies.
+pub struct WaitingSource<'a> {
+    shared: &'a SharedVec,
+    stalls: std::cell::Cell<u64>,
+}
+
+impl<'a> WaitingSource<'a> {
+    /// Wraps a shared vector.
+    pub fn new(shared: &'a SharedVec) -> Self {
+        WaitingSource {
+            shared,
+            stalls: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Number of reads that had to spin.
+    pub fn stalls(&self) -> u64 {
+        self.stalls.get()
+    }
+}
+
+impl ValueSource for WaitingSource<'_> {
+    #[inline]
+    fn get(&self, j: usize) -> f64 {
+        let (v, spins) = self.shared.wait_get(j);
+        if spins > 0 {
+            self.stalls.set(self.stalls.get() + 1);
+        }
+        v
+    }
+}
+
+/// [`ValueSource`] adapter for barrier-synchronized reads (no waiting).
+pub struct PublishedSource<'a>(pub &'a SharedVec);
+
+impl ValueSource for PublishedSource<'_> {
+    #[inline]
+    fn get(&self, j: usize) -> f64 {
+        self.0.get_published(j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_then_read() {
+        let v = SharedVec::new(4);
+        v.publish(2, 3.25);
+        assert_eq!(v.try_get(2), Some(3.25));
+        assert_eq!(v.try_get(0), None);
+        assert_eq!(v.wait_get(2), (3.25, 0));
+    }
+
+    #[test]
+    fn flags_reset() {
+        let mut f = ReadyFlags::new(3);
+        f.mark(1);
+        assert!(f.is_ready(1));
+        f.reset();
+        assert!(!f.is_ready(1));
+    }
+
+    #[test]
+    fn cross_thread_publication_is_visible() {
+        let v = SharedVec::new(1);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                v.publish(0, 42.0);
+            });
+            let (val, _) = v.wait_get(0);
+            assert_eq!(val, 42.0);
+        });
+    }
+
+    #[test]
+    fn waiting_source_counts_stalls() {
+        let v = SharedVec::new(2);
+        v.publish(0, 1.0);
+        let src = WaitingSource::new(&v);
+        assert_eq!(src.get(0), 1.0);
+        assert_eq!(src.stalls(), 0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                v.publish(1, 2.0);
+            });
+            assert_eq!(src.get(1), 2.0);
+        });
+        assert!(src.stalls() >= 1);
+    }
+
+    #[test]
+    fn into_vec_round_trip() {
+        let v = SharedVec::new(3);
+        for i in 0..3 {
+            v.publish(i, i as f64 * 1.5);
+        }
+        assert_eq!(v.into_vec(), vec![0.0, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn negative_and_special_values_survive_bit_transport() {
+        let v = SharedVec::new(3);
+        v.publish(0, -0.0);
+        v.publish(1, f64::INFINITY);
+        v.publish(2, 1e-308);
+        assert_eq!(v.get_published(0), -0.0);
+        assert_eq!(v.get_published(1), f64::INFINITY);
+        assert_eq!(v.get_published(2), 1e-308);
+    }
+}

@@ -1,0 +1,274 @@
+//! Dependence graphs over loop index sets.
+//!
+//! A [`DepGraph`] records, for every outer-loop index `i`, the set of indices
+//! whose results `i` consumes. For the paper's *start-time schedulable*
+//! loops all dependences are **forward**: `dep < i` in the original
+//! sequential order (a row substitution only reads already-computed rows).
+//! The graph is stored in CSR-like adjacency form.
+
+use crate::{InspectorError, Result};
+use rtpl_sparse::Csr;
+
+/// An immutable dependence DAG: `deps(i)` lists the indices that must
+/// complete before `i` may execute.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DepGraph {
+    n: usize,
+    indptr: Vec<usize>,
+    deps: Vec<u32>,
+    forward: bool,
+}
+
+impl DepGraph {
+    /// Builds a graph from per-index dependence lists.
+    ///
+    /// Validates bounds and self-dependences. The graph is *forward* if every
+    /// dependence satisfies `dep < i`; forward graphs are trivially acyclic.
+    /// Non-forward graphs are accepted but [`crate::Wavefronts`] will detect
+    /// cycles.
+    pub fn from_lists(n: usize, lists: impl IntoIterator<Item = Vec<u32>>) -> Result<Self> {
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut deps = Vec::new();
+        indptr.push(0usize);
+        let mut forward = true;
+        for (i, list) in lists.into_iter().enumerate() {
+            for &d in &list {
+                if d as usize >= n {
+                    return Err(InspectorError::DependenceOutOfBounds {
+                        index: i,
+                        dep: d as usize,
+                    });
+                }
+                if d as usize == i {
+                    return Err(InspectorError::Cycle { at: i });
+                }
+                forward &= (d as usize) < i;
+            }
+            deps.extend_from_slice(&list);
+            indptr.push(deps.len());
+        }
+        if indptr.len() != n + 1 {
+            return Err(InspectorError::InvalidSchedule(format!(
+                "expected {n} dependence lists, got {}",
+                indptr.len() - 1
+            )));
+        }
+        Ok(DepGraph {
+            n,
+            indptr,
+            deps,
+            forward,
+        })
+    }
+
+    /// Builds a graph by calling `f(i)` for each index.
+    pub fn from_fn(n: usize, f: impl FnMut(usize) -> Vec<u32>) -> Result<Self> {
+        Self::from_lists(n, (0..n).map(f))
+    }
+
+    /// Dependences of the paper's Figure 8 lower triangular solve: row `i`
+    /// depends on every stored column `j < i` of `l`. Entries with `j == i`
+    /// (a stored diagonal) are ignored; entries with `j > i` are an error.
+    pub fn from_lower_triangular(l: &Csr) -> Result<Self> {
+        let n = l.nrows();
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut deps: Vec<u32> = Vec::with_capacity(l.nnz());
+        indptr.push(0usize);
+        for i in 0..n {
+            for &c in l.row_indices(i) {
+                let j = c as usize;
+                if j < i {
+                    deps.push(c);
+                } else if j > i {
+                    return Err(InspectorError::DependenceOutOfBounds { index: i, dep: j });
+                }
+            }
+            indptr.push(deps.len());
+        }
+        Ok(DepGraph {
+            n,
+            indptr,
+            deps,
+            forward: true,
+        })
+    }
+
+    /// Dependences of an upper triangular (backward) solve, expressed in the
+    /// *reversed* index space: executor position `k` stands for row
+    /// `n - 1 - k`, so all dependences become forward again and the same
+    /// schedulers/executors apply unchanged.
+    pub fn from_upper_triangular(u: &Csr) -> Result<Self> {
+        let n = u.nrows();
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for &c in u.row_indices(i) {
+                let j = c as usize;
+                if j > i {
+                    // row i needs row j; in reversed space: (n-1-i) needs (n-1-j)
+                    lists[n - 1 - i].push((n - 1 - j) as u32);
+                } else if j < i {
+                    return Err(InspectorError::DependenceOutOfBounds { index: i, dep: j });
+                }
+            }
+        }
+        for l in &mut lists {
+            l.sort_unstable();
+        }
+        Self::from_lists(n, lists)
+    }
+
+    /// Dependences of the paper's Figure 2 "simple" loop
+    /// `x(i) = x(i) + b(i) * x(ia(i))`: a flow dependence exists only when
+    /// `ia(i) < i`; when `ia(i) >= i` the executor reads the *old* value
+    /// (`xold`), so no ordering is required (Figure 4, line 2a).
+    pub fn from_index_array(ia: &[usize]) -> Result<Self> {
+        let n = ia.len();
+        Self::from_fn(n, |i| {
+            let t = ia[i];
+            if t < i {
+                vec![t as u32]
+            } else {
+                Vec::new()
+            }
+        })
+    }
+
+    /// Dependences of the nested loop of Figure 6
+    /// (`y(i) += temp * y(g(i,j))` for `j = 1..m`): index `i` depends on
+    /// every `g(i, j) < i`.
+    pub fn from_nested_index_array(g: &[Vec<usize>]) -> Result<Self> {
+        let n = g.len();
+        Self::from_fn(n, |i| {
+            let mut d: Vec<u32> = g[i]
+                .iter()
+                .filter(|&&t| t < i)
+                .map(|&t| t as u32)
+                .collect();
+            d.sort_unstable();
+            d.dedup();
+            d
+        })
+    }
+
+    /// Number of loop indices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of dependence edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Dependences of index `i`.
+    #[inline]
+    pub fn deps(&self, i: usize) -> &[u32] {
+        &self.deps[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// True if every dependence is forward (`dep < i`), i.e. the loop is
+    /// start-time schedulable in its original order.
+    #[inline]
+    pub fn is_forward(&self) -> bool {
+        self.forward
+    }
+
+    /// Out-degree view: for each index, how many later indices consume it.
+    /// (Used by schedulers and by the synthetic-workload statistics.)
+    pub fn consumer_counts(&self) -> Vec<u32> {
+        let mut counts = vec![0u32; self.n];
+        for &d in &self.deps {
+            counts[d as usize] += 1;
+        }
+        counts
+    }
+
+    /// The longest dependence chain length (number of indices on the
+    /// critical path); equals the number of wavefronts.
+    pub fn critical_path_len(&self) -> Result<usize> {
+        Ok(crate::Wavefronts::compute(self)?.num_wavefronts())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtpl_sparse::gen::laplacian_5pt;
+
+    #[test]
+    fn from_lists_basic() {
+        let g = DepGraph::from_lists(3, vec![vec![], vec![0], vec![0, 1]]).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.deps(2), &[0, 1]);
+        assert!(g.is_forward());
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let err = DepGraph::from_lists(2, vec![vec![], vec![5]]);
+        assert!(matches!(
+            err,
+            Err(InspectorError::DependenceOutOfBounds { index: 1, dep: 5 })
+        ));
+    }
+
+    #[test]
+    fn rejects_self_dependence() {
+        let err = DepGraph::from_lists(2, vec![vec![], vec![1]]);
+        assert!(matches!(err, Err(InspectorError::Cycle { at: 1 })));
+    }
+
+    #[test]
+    fn backward_edges_mark_non_forward() {
+        let g = DepGraph::from_lists(2, vec![vec![1], vec![]]).unwrap();
+        assert!(!g.is_forward());
+    }
+
+    #[test]
+    fn from_lower_triangular_matches_structure() {
+        let a = laplacian_5pt(3, 3);
+        let l = a.lower();
+        let g = DepGraph::from_lower_triangular(&l).unwrap();
+        // Interior point 4 depends on west (3) and south (1).
+        assert_eq!(g.deps(4), &[1, 3]);
+        assert_eq!(g.deps(0), &[] as &[u32]);
+        assert!(g.is_forward());
+    }
+
+    #[test]
+    fn from_upper_triangular_reverses() {
+        let a = laplacian_5pt(3, 3);
+        let u = a.upper();
+        let g = DepGraph::from_upper_triangular(&u).unwrap();
+        assert!(g.is_forward());
+        // Row 4 (reversed position 4) depends on rows 5 and 7 (positions 3, 1).
+        assert_eq!(g.deps(4), &[1, 3]);
+    }
+
+    #[test]
+    fn from_index_array_flow_vs_anti() {
+        // ia = [2, 0, 1, 3]: i=0 reads x(2) (old value, no dep);
+        // i=1 reads x(0) (flow dep); i=2 reads x(1); i=3 reads itself's old.
+        let g = DepGraph::from_index_array(&[2, 0, 1, 3]).unwrap();
+        assert_eq!(g.deps(0), &[] as &[u32]);
+        assert_eq!(g.deps(1), &[0]);
+        assert_eq!(g.deps(2), &[1]);
+        assert_eq!(g.deps(3), &[] as &[u32]);
+    }
+
+    #[test]
+    fn nested_index_array_dedups() {
+        let g = DepGraph::from_nested_index_array(&[vec![], vec![0, 0], vec![1, 0, 1]]).unwrap();
+        assert_eq!(g.deps(1), &[0]);
+        assert_eq!(g.deps(2), &[0, 1]);
+    }
+
+    #[test]
+    fn consumer_counts() {
+        let g = DepGraph::from_lists(3, vec![vec![], vec![0], vec![0, 1]]).unwrap();
+        assert_eq!(g.consumer_counts(), vec![2, 1, 0]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Index-to-processor partitions.
+//!
+//! Local scheduling (§2.3) "begins with a fixed assignment of indices to
+//! processors"; the partition strategies here are the ones the paper uses:
+//! **striped** (`i mod p`, Figure 12's assignment), **wrapped** assignment of
+//! a sorted list (global scheduling deals list position `k` to processor
+//! `k mod p`), and **contiguous** blocks (used for the easily parallel
+//! SAXPY/dot/matvec kernels of Appendix II).
+
+use crate::{InspectorError, Result};
+
+/// An assignment of `n` loop indices to `p` processors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Partition {
+    owner: Vec<u32>,
+    nprocs: usize,
+}
+
+impl Partition {
+    /// Striped assignment: index `i` goes to processor `i mod p`.
+    pub fn striped(n: usize, nprocs: usize) -> Result<Self> {
+        check_procs(nprocs)?;
+        Ok(Partition {
+            owner: (0..n).map(|i| (i % nprocs) as u32).collect(),
+            nprocs,
+        })
+    }
+
+    /// Contiguous blocks of roughly equal size: processor `k` owns indices
+    /// `[k*n/p, (k+1)*n/p)`.
+    pub fn contiguous(n: usize, nprocs: usize) -> Result<Self> {
+        check_procs(nprocs)?;
+        let mut owner = vec![0u32; n];
+        for p in 0..nprocs {
+            let (lo, hi) = contiguous_range(n, nprocs, p);
+            for o in &mut owner[lo..hi] {
+                *o = p as u32;
+            }
+        }
+        Ok(Partition { owner, nprocs })
+    }
+
+    /// Wrapped assignment of an index list: list position `k` goes to
+    /// processor `k mod p`. With `list` the wavefront-sorted list this is the
+    /// paper's global-scheduling assignment (Figure 10).
+    pub fn wrapped_from_list(n: usize, list: &[u32], nprocs: usize) -> Result<Self> {
+        check_procs(nprocs)?;
+        if list.len() != n {
+            return Err(InspectorError::InvalidSchedule(format!(
+                "list length {} != n = {n}",
+                list.len()
+            )));
+        }
+        let mut owner = vec![u32::MAX; n];
+        for (k, &i) in list.iter().enumerate() {
+            if (i as usize) >= n || owner[i as usize] != u32::MAX {
+                return Err(InspectorError::InvalidSchedule(format!(
+                    "list is not a permutation at position {k}"
+                )));
+            }
+            owner[i as usize] = (k % nprocs) as u32;
+        }
+        Ok(Partition { owner, nprocs })
+    }
+
+    /// Explicit owner array.
+    pub fn from_owners(owner: Vec<u32>, nprocs: usize) -> Result<Self> {
+        check_procs(nprocs)?;
+        if let Some(&bad) = owner.iter().find(|&&o| o as usize >= nprocs) {
+            return Err(InspectorError::InvalidSchedule(format!(
+                "owner {bad} out of range for {nprocs} processors"
+            )));
+        }
+        Ok(Partition { owner, nprocs })
+    }
+
+    /// Owner of index `i`.
+    #[inline]
+    pub fn owner(&self, i: usize) -> usize {
+        self.owner[i] as usize
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Number of indices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// The indices owned by each processor, in increasing index order.
+    pub fn proc_lists(&self) -> Vec<Vec<u32>> {
+        let mut lists = vec![Vec::new(); self.nprocs];
+        for (i, &o) in self.owner.iter().enumerate() {
+            lists[o as usize].push(i as u32);
+        }
+        lists
+    }
+
+    /// Per-processor index counts.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.nprocs];
+        for &o in &self.owner {
+            s[o as usize] += 1;
+        }
+        s
+    }
+}
+
+/// The contiguous range `[lo, hi)` of processor `p` out of `nprocs` over `n`
+/// items (balanced to within one item).
+pub fn contiguous_range(n: usize, nprocs: usize, p: usize) -> (usize, usize) {
+    let lo = p * n / nprocs;
+    let hi = (p + 1) * n / nprocs;
+    (lo, hi)
+}
+
+fn check_procs(nprocs: usize) -> Result<()> {
+    if nprocs == 0 {
+        Err(InspectorError::NoProcessors)
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn striped_assignment() {
+        let p = Partition::striped(7, 3).unwrap();
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(p.owner(1), 1);
+        assert_eq!(p.owner(2), 2);
+        assert_eq!(p.owner(3), 0);
+        assert_eq!(p.sizes(), vec![3, 2, 2]);
+    }
+
+    #[test]
+    fn contiguous_assignment_balanced() {
+        let p = Partition::contiguous(10, 3).unwrap();
+        let sizes = p.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+        // Ownership is monotone for contiguous partitions.
+        let owners: Vec<usize> = (0..10).map(|i| p.owner(i)).collect();
+        let mut sorted = owners.clone();
+        sorted.sort_unstable();
+        assert_eq!(owners, sorted);
+    }
+
+    #[test]
+    fn wrapped_from_list_matches_figure10() {
+        // Figure 10: wavefront-sorted list dealt round-robin.
+        let list = vec![4, 2, 0, 1, 3];
+        let p = Partition::wrapped_from_list(5, &list, 2).unwrap();
+        assert_eq!(p.owner(4), 0);
+        assert_eq!(p.owner(2), 1);
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(p.owner(1), 1);
+        assert_eq!(p.owner(3), 0);
+    }
+
+    #[test]
+    fn wrapped_rejects_non_permutation() {
+        assert!(Partition::wrapped_from_list(3, &[0, 0, 1], 2).is_err());
+        assert!(Partition::wrapped_from_list(3, &[0, 1], 2).is_err());
+    }
+
+    #[test]
+    fn zero_processors_rejected() {
+        assert!(matches!(
+            Partition::striped(4, 0),
+            Err(InspectorError::NoProcessors)
+        ));
+    }
+
+    #[test]
+    fn proc_lists_sorted() {
+        let p = Partition::striped(9, 4).unwrap();
+        for list in p.proc_lists() {
+            assert!(list.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

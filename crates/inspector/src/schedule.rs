@@ -1,0 +1,361 @@
+//! Execution schedules — the inspector's output.
+//!
+//! A [`Schedule`] fixes, for each of `p` processors, the order in which it
+//! will execute its assigned loop indices, together with the phase
+//! (wavefront) boundaries the pre-scheduled executor synchronizes on (the
+//! `NEWPHASE` markers of Figure 5).
+//!
+//! **Progress invariant.** Every schedule keeps each processor's list in
+//! nondecreasing wavefront order. Because a dependence always crosses to a
+//! strictly smaller wavefront, the index with the smallest wavefront among
+//! all processors' current heads can always run — so neither the barrier
+//! executor nor the busy-wait executor can deadlock on a valid schedule.
+//! [`Schedule::validate`] checks this invariant along with permutation-ness.
+
+use crate::partition::Partition;
+use crate::wavefront::Wavefronts;
+use crate::{DepGraph, InspectorError, Result};
+
+/// A per-processor execution order with phase markers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Schedule {
+    nprocs: usize,
+    num_phases: usize,
+    /// `per_proc[p]` — indices processor `p` executes, in order.
+    per_proc: Vec<Vec<u32>>,
+    /// `phase_ptr[p][w]..phase_ptr[p][w+1]` — slice of `per_proc[p]` that
+    /// belongs to phase `w`.
+    phase_ptr: Vec<Vec<usize>>,
+    /// Wavefront number of each index (copied from the inspector).
+    wavefront: Vec<u32>,
+}
+
+impl Schedule {
+    /// **Global scheduling**: sort the whole index set by wavefront (stable,
+    /// so within a wavefront the natural order is kept) and deal list
+    /// position `k` to processor `k mod p` — evenly partitioning the work of
+    /// every wavefront (Figure 10).
+    pub fn global(wf: &Wavefronts, nprocs: usize) -> Result<Self> {
+        if nprocs == 0 {
+            return Err(InspectorError::NoProcessors);
+        }
+        let list = wf.sorted_list();
+        let mut per_proc: Vec<Vec<u32>> = vec![Vec::with_capacity(list.len() / nprocs + 1); nprocs];
+        for (k, &i) in list.iter().enumerate() {
+            per_proc[k % nprocs].push(i);
+        }
+        Ok(Self::assemble(per_proc, wf))
+    }
+
+    /// **Local scheduling**: keep the fixed `partition` and reorder each
+    /// processor's own indices by wavefront (stable counting sort, so the
+    /// natural order is preserved within a wavefront). Much cheaper than
+    /// global scheduling — no cross-processor data movement — at the price
+    /// of per-phase load balance.
+    pub fn local(wf: &Wavefronts, partition: &Partition) -> Result<Self> {
+        if partition.n() != wf.n() {
+            return Err(InspectorError::InvalidSchedule(format!(
+                "partition size {} != index count {}",
+                partition.n(),
+                wf.n()
+            )));
+        }
+        let nw = wf.num_wavefronts();
+        let mut per_proc: Vec<Vec<u32>> = partition.proc_lists();
+        // Counting-sort each processor's list by wavefront (stable).
+        let mut counts = vec![0usize; nw + 1];
+        for list in &mut per_proc {
+            if list.is_empty() {
+                continue;
+            }
+            counts[..=nw].fill(0);
+            for &i in list.iter() {
+                counts[wf.of(i as usize) as usize + 1] += 1;
+            }
+            for w in 0..nw {
+                counts[w + 1] += counts[w];
+            }
+            let mut sorted = vec![0u32; list.len()];
+            for &i in list.iter() {
+                let w = wf.of(i as usize) as usize;
+                sorted[counts[w]] = i;
+                counts[w] += 1;
+            }
+            *list = sorted;
+        }
+        Ok(Self::assemble(per_proc, wf))
+    }
+
+    /// Builds phase pointers for per-processor lists already sorted by
+    /// wavefront.
+    fn assemble(per_proc: Vec<Vec<u32>>, wf: &Wavefronts) -> Self {
+        let nprocs = per_proc.len();
+        let num_phases = wf.num_wavefronts();
+        let mut phase_ptr = Vec::with_capacity(nprocs);
+        for list in &per_proc {
+            let mut ptr = Vec::with_capacity(num_phases + 1);
+            ptr.push(0usize);
+            let mut pos = 0usize;
+            for w in 0..num_phases as u32 {
+                while pos < list.len() && wf.of(list[pos] as usize) == w {
+                    pos += 1;
+                }
+                ptr.push(pos);
+            }
+            debug_assert_eq!(pos, list.len());
+            phase_ptr.push(ptr);
+        }
+        Schedule {
+            nprocs,
+            num_phases,
+            per_proc,
+            phase_ptr,
+            wavefront: wf.as_slice().to_vec(),
+        }
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Number of phases (= wavefronts; the pre-scheduled executor performs
+    /// `num_phases - 1` interior global synchronizations).
+    #[inline]
+    pub fn num_phases(&self) -> usize {
+        self.num_phases
+    }
+
+    /// Total number of indices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.wavefront.len()
+    }
+
+    /// Processor `p`'s full execution order.
+    #[inline]
+    pub fn proc(&self, p: usize) -> &[u32] {
+        &self.per_proc[p]
+    }
+
+    /// Processor `p`'s slice of phase `w`.
+    #[inline]
+    pub fn phase_slice(&self, p: usize, w: usize) -> &[u32] {
+        &self.per_proc[p][self.phase_ptr[p][w]..self.phase_ptr[p][w + 1]]
+    }
+
+    /// Wavefront of index `i`.
+    #[inline]
+    pub fn wavefront_of(&self, i: usize) -> u32 {
+        self.wavefront[i]
+    }
+
+    /// All wavefront numbers.
+    #[inline]
+    pub fn wavefronts(&self) -> &[u32] {
+        &self.wavefront
+    }
+
+    /// Owner array implied by the schedule.
+    pub fn owners(&self) -> Vec<u32> {
+        let mut owner = vec![0u32; self.n()];
+        for (p, list) in self.per_proc.iter().enumerate() {
+            for &i in list {
+                owner[i as usize] = p as u32;
+            }
+        }
+        owner
+    }
+
+    /// Validates the schedule against a dependence graph:
+    /// * union of processor lists is a permutation of `0..n`;
+    /// * each processor's list is in nondecreasing wavefront order (the
+    ///   progress invariant);
+    /// * phase pointers delimit exactly the indices of that wavefront;
+    /// * wavefront numbers satisfy the dependence property.
+    pub fn validate(&self, g: &DepGraph) -> Result<()> {
+        let n = self.n();
+        if g.n() != n {
+            return Err(InspectorError::InvalidSchedule(format!(
+                "graph size {} != schedule size {n}",
+                g.n()
+            )));
+        }
+        let mut seen = vec![false; n];
+        for (p, list) in self.per_proc.iter().enumerate() {
+            let mut prev = 0u32;
+            for (k, &i) in list.iter().enumerate() {
+                let i = i as usize;
+                if i >= n || seen[i] {
+                    return Err(InspectorError::InvalidSchedule(format!(
+                        "processor {p} position {k}: index {i} duplicated or out of range"
+                    )));
+                }
+                seen[i] = true;
+                let w = self.wavefront[i];
+                if k > 0 && w < prev {
+                    return Err(InspectorError::InvalidSchedule(format!(
+                        "processor {p} violates wavefront order at position {k}"
+                    )));
+                }
+                prev = w;
+            }
+            // Phase pointers must agree with wavefronts.
+            let ptr = &self.phase_ptr[p];
+            if ptr.len() != self.num_phases + 1 || ptr[self.num_phases] != list.len() {
+                return Err(InspectorError::InvalidSchedule(format!(
+                    "processor {p}: malformed phase pointers"
+                )));
+            }
+            for w in 0..self.num_phases {
+                for &i in &list[ptr[w]..ptr[w + 1]] {
+                    if self.wavefront[i as usize] as usize != w {
+                        return Err(InspectorError::InvalidSchedule(format!(
+                            "processor {p}: index {i} listed in phase {w} but has wavefront {}",
+                            self.wavefront[i as usize]
+                        )));
+                    }
+                }
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(InspectorError::InvalidSchedule(format!(
+                "index {missing} not scheduled on any processor"
+            )));
+        }
+        // Wavefront property w.r.t. the dependence graph.
+        for i in 0..n {
+            for &d in g.deps(i) {
+                if self.wavefront[d as usize] >= self.wavefront[i] {
+                    return Err(InspectorError::InvalidSchedule(format!(
+                        "dependence {d} -> {i} does not cross wavefronts"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtpl_sparse::gen::laplacian_5pt;
+
+    fn mesh(nx: usize, ny: usize) -> (DepGraph, Wavefronts) {
+        let a = laplacian_5pt(nx, ny);
+        let g = DepGraph::from_lower_triangular(&a.strict_lower()).unwrap();
+        let wf = Wavefronts::compute(&g).unwrap();
+        (g, wf)
+    }
+
+    #[test]
+    fn global_schedule_valid_and_balanced() {
+        let (g, wf) = mesh(5, 7);
+        let s = Schedule::global(&wf, 4).unwrap();
+        s.validate(&g).unwrap();
+        let sizes: Vec<usize> = (0..4).map(|p| s.proc(p).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 35);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn global_schedule_balances_each_wavefront() {
+        let (_, wf) = mesh(8, 8);
+        let p = 4;
+        let s = Schedule::global(&wf, p).unwrap();
+        // Wavefront 7 (longest anti-diagonal, 8 indices) must be spread
+        // evenly: 2 per processor.
+        for q in 0..p {
+            assert_eq!(s.phase_slice(q, 7).len(), 2);
+        }
+    }
+
+    #[test]
+    fn local_schedule_preserves_ownership() {
+        let (g, wf) = mesh(6, 6);
+        let part = Partition::striped(36, 3).unwrap();
+        let s = Schedule::local(&wf, &part).unwrap();
+        s.validate(&g).unwrap();
+        for p in 0..3 {
+            for &i in s.proc(p) {
+                assert_eq!(part.owner(i as usize), p, "local scheduling must not move indices");
+            }
+        }
+    }
+
+    #[test]
+    fn local_schedule_sorts_by_wavefront_stably() {
+        let (_, wf) = mesh(4, 4);
+        let part = Partition::striped(16, 2).unwrap();
+        let s = Schedule::local(&wf, &part).unwrap();
+        for p in 0..2 {
+            let list = s.proc(p);
+            for w in list.windows(2) {
+                let (a, b) = (w[0] as usize, w[1] as usize);
+                assert!(
+                    wf.of(a) < wf.of(b) || (wf.of(a) == wf.of(b) && a < b),
+                    "stable wavefront order violated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phase_slices_partition_proc_lists() {
+        let (_, wf) = mesh(5, 5);
+        let s = Schedule::global(&wf, 3).unwrap();
+        for p in 0..3 {
+            let total: usize = (0..s.num_phases()).map(|w| s.phase_slice(p, w).len()).sum();
+            assert_eq!(total, s.proc(p).len());
+        }
+    }
+
+    #[test]
+    fn single_processor_schedule_is_topological_order() {
+        let (g, wf) = mesh(4, 5);
+        let s = Schedule::global(&wf, 1).unwrap();
+        s.validate(&g).unwrap();
+        assert_eq!(s.proc(0).len(), 20);
+        // Executing in this order never reads an unwritten value.
+        let mut done = [false; 20];
+        for &i in s.proc(0) {
+            for &d in g.deps(i as usize) {
+                assert!(done[d as usize]);
+            }
+            done[i as usize] = true;
+        }
+    }
+
+    #[test]
+    fn more_processors_than_indices() {
+        let (g, wf) = mesh(2, 2);
+        let s = Schedule::global(&wf, 16).unwrap();
+        s.validate(&g).unwrap();
+        assert_eq!(s.nprocs(), 16);
+    }
+
+    #[test]
+    fn owners_round_trip() {
+        let (_, wf) = mesh(4, 4);
+        let part = Partition::striped(16, 4).unwrap();
+        let s = Schedule::local(&wf, &part).unwrap();
+        let owners = s.owners();
+        for i in 0..16 {
+            assert_eq!(owners[i] as usize, part.owner(i));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_tampered_schedule() {
+        let (g, wf) = mesh(3, 3);
+        let mut s = Schedule::global(&wf, 2).unwrap();
+        // Swap two entries on processor 0 to break wavefront order.
+        let last = s.per_proc[0].len() - 1;
+        if last >= 1 {
+            s.per_proc[0].swap(0, last);
+        }
+        assert!(s.validate(&g).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Schedule statistics — phase structure and load-balance summaries.
+//!
+//! The paper's §5.1.2 explains measured timings through the *distribution of
+//! floating point operations* across processors and phases. These summaries
+//! expose exactly that: per-phase work per processor, imbalance, and the
+//! pre-scheduled "symbolically estimated efficiency" (the self-executing one
+//! needs the event simulator in `rtpl-sim`).
+
+use crate::schedule::Schedule;
+
+/// Work-weighted statistics of a schedule.
+#[derive(Clone, Debug)]
+pub struct ScheduleStats {
+    /// Number of phases (wavefronts).
+    pub num_phases: usize,
+    /// Number of processors.
+    pub nprocs: usize,
+    /// Total work (sum of index weights).
+    pub total_work: f64,
+    /// `work[w][p]` — work processor `p` performs in phase `w`.
+    pub work: Vec<Vec<f64>>,
+}
+
+impl ScheduleStats {
+    /// Computes statistics with one weight per index (e.g. the row's flop
+    /// count for a triangular solve). Pass `None` for unit weights.
+    pub fn compute(s: &Schedule, weights: Option<&[f64]>) -> Self {
+        let nprocs = s.nprocs();
+        let num_phases = s.num_phases();
+        let mut work = vec![vec![0.0f64; nprocs]; num_phases];
+        let mut total = 0.0;
+        for p in 0..nprocs {
+            for w in 0..num_phases {
+                let mut acc = 0.0;
+                for &i in s.phase_slice(p, w) {
+                    acc += weights.map_or(1.0, |ws| ws[i as usize]);
+                }
+                work[w][p] = acc;
+                total += acc;
+            }
+        }
+        ScheduleStats {
+            num_phases,
+            nprocs,
+            total_work: total,
+            work,
+        }
+    }
+
+    /// The paper's pre-scheduled *symbolically estimated efficiency*: the
+    /// phase-barrier execution time is `Σ_w max_p work[w][p]`, and
+    /// efficiency is `total / (p · Σ_w max_p work[w][p])` (load balance
+    /// only, no overheads).
+    pub fn presched_symbolic_efficiency(&self) -> f64 {
+        let t: f64 = self
+            .work
+            .iter()
+            .map(|phase| phase.iter().cloned().fold(0.0, f64::max))
+            .sum();
+        if t == 0.0 {
+            return 1.0;
+        }
+        self.total_work / (self.nprocs as f64 * t)
+    }
+
+    /// Largest single-phase imbalance ratio `max/mean` over phases with any
+    /// work (diagnostic for Figure 12-style catastrophes).
+    pub fn worst_phase_imbalance(&self) -> f64 {
+        let mut worst: f64 = 1.0;
+        for phase in &self.work {
+            let sum: f64 = phase.iter().sum();
+            if sum == 0.0 {
+                continue;
+            }
+            let max = phase.iter().cloned().fold(0.0, f64::max);
+            let mean = sum / self.nprocs as f64;
+            worst = worst.max(max / mean);
+        }
+        worst
+    }
+
+    /// Per-phase total work (the wavefront profile).
+    pub fn phase_totals(&self) -> Vec<f64> {
+        self.work.iter().map(|p| p.iter().sum()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DepGraph, Partition, Schedule, Wavefronts};
+    use rtpl_sparse::gen::laplacian_5pt;
+
+    fn mesh_schedule(nx: usize, ny: usize, p: usize) -> Schedule {
+        let a = laplacian_5pt(nx, ny);
+        let g = DepGraph::from_lower_triangular(&a.strict_lower()).unwrap();
+        let wf = Wavefronts::compute(&g).unwrap();
+        Schedule::global(&wf, p).unwrap()
+    }
+
+    #[test]
+    fn unit_weight_totals() {
+        let s = mesh_schedule(4, 4, 2);
+        let st = ScheduleStats::compute(&s, None);
+        assert_eq!(st.total_work, 16.0);
+        assert_eq!(st.phase_totals().iter().sum::<f64>(), 16.0);
+        // Phase totals on a 4×4 mesh: 1,2,3,4,3,2,1.
+        assert_eq!(
+            st.phase_totals(),
+            vec![1.0, 2.0, 3.0, 4.0, 3.0, 2.0, 1.0]
+        );
+    }
+
+    #[test]
+    fn global_schedule_efficiency_reasonable() {
+        let s = mesh_schedule(16, 16, 4);
+        let st = ScheduleStats::compute(&s, None);
+        let e = st.presched_symbolic_efficiency();
+        assert!(e > 0.5 && e <= 1.0, "efficiency {e}");
+    }
+
+    #[test]
+    fn single_processor_is_perfectly_efficient() {
+        let s = mesh_schedule(5, 5, 1);
+        let st = ScheduleStats::compute(&s, None);
+        assert!((st.presched_symbolic_efficiency() - 1.0).abs() < 1e-12);
+        assert!((st.worst_phase_imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_striped_schedule_can_be_imbalanced() {
+        // Figure 12's pathology: striped assignment + barrier sync puts many
+        // wavefront-mates on one processor for particular p.
+        let a = laplacian_5pt(8, 8);
+        let g = DepGraph::from_lower_triangular(&a.strict_lower()).unwrap();
+        let wf = Wavefronts::compute(&g).unwrap();
+        let part = Partition::striped(64, 8).unwrap();
+        let s = Schedule::local(&wf, &part).unwrap();
+        let st = ScheduleStats::compute(&s, None);
+        // On an 8-wide mesh with stripe 8, each anti-diagonal of the mesh
+        // maps heavily onto few processors.
+        assert!(st.worst_phase_imbalance() > 1.5);
+    }
+
+    #[test]
+    fn efficiency_bounds() {
+        // Efficiency always lies in [1/p_effective, 1].
+        for (nx, ny, p) in [(7usize, 9usize, 3usize), (12, 4, 5), (6, 6, 16)] {
+            let a = laplacian_5pt(nx, ny);
+            let g = DepGraph::from_lower_triangular(&a.strict_lower()).unwrap();
+            let wf = Wavefronts::compute(&g).unwrap();
+            let s = Schedule::global(&wf, p).unwrap();
+            let st = ScheduleStats::compute(&s, None);
+            let e = st.presched_symbolic_efficiency();
+            assert!(e <= 1.0 + 1e-12, "{nx}x{ny} p={p}: e = {e}");
+            assert!(e >= 1.0 / p as f64 - 1e-12, "{nx}x{ny} p={p}: e = {e}");
+        }
+    }
+
+    #[test]
+    fn weighted_stats_use_weights() {
+        let s = mesh_schedule(3, 3, 2);
+        let w = vec![2.0; 9];
+        let st = ScheduleStats::compute(&s, Some(&w));
+        assert_eq!(st.total_work, 18.0);
+    }
+}

@@ -1,0 +1,377 @@
+//! Wavefront computation — the topological sort of the paper's Figure 7.
+//!
+//! The wavefront number of an index is one plus the maximum wavefront of the
+//! indices it depends on, so a single sequential sweep suffices for forward
+//! graphs:
+//!
+//! ```text
+//! do i = 1, n
+//!     mywf = 0
+//!     do j = 1, m
+//!         mywf = max(maxwfy(g(i,j)), mywf)
+//!     end do
+//!     maxwfy(i) = mywf + 1
+//! end do
+//! ```
+//!
+//! §2.3 of the paper notes the sweep can be parallelized "by striping
+//! consecutive indices across the processors and by using busy waits";
+//! [`Wavefronts::compute_parallel`] implements exactly that scheme.
+
+use crate::dep::DepGraph;
+use crate::{InspectorError, Result};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// The wavefront (phase) number of every index, with wavefronts numbered
+/// from 0.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Wavefronts {
+    wf: Vec<u32>,
+    num_wavefronts: usize,
+}
+
+impl Wavefronts {
+    /// Sequential wavefront sweep (Figure 7). For forward graphs this is a
+    /// single left-to-right pass; general DAGs fall back to a Kahn-style
+    /// propagation that also detects cycles.
+    ///
+    /// ```
+    /// use rtpl_inspector::{DepGraph, Wavefronts};
+    /// // 0 ─► 1 ─► 3,  0 ─► 2 ─► 3
+    /// let g = DepGraph::from_lists(4, vec![vec![], vec![0], vec![0], vec![1, 2]])?;
+    /// let wf = Wavefronts::compute(&g)?;
+    /// assert_eq!(wf.as_slice(), &[0, 1, 1, 2]);
+    /// assert_eq!(wf.num_wavefronts(), 3);
+    /// # Ok::<(), rtpl_inspector::InspectorError>(())
+    /// ```
+    pub fn compute(g: &DepGraph) -> Result<Self> {
+        if g.is_forward() {
+            let n = g.n();
+            let mut wf = vec![0u32; n];
+            let mut maxw = 0u32;
+            for i in 0..n {
+                let mut w = 0u32;
+                for &d in g.deps(i) {
+                    // Forward graphs guarantee d < i, so wf[d] is final.
+                    w = w.max(wf[d as usize] + 1);
+                }
+                wf[i] = w;
+                maxw = maxw.max(w);
+            }
+            let num_wavefronts = if n == 0 { 0 } else { maxw as usize + 1 };
+            Ok(Wavefronts { wf, num_wavefronts })
+        } else {
+            Self::compute_general(g)
+        }
+    }
+
+    /// Kahn-style longest-path labelling for general DAGs; detects cycles.
+    fn compute_general(g: &DepGraph) -> Result<Self> {
+        let n = g.n();
+        // Build consumer adjacency (reverse edges).
+        let mut out_ptr = vec![0usize; n + 1];
+        for i in 0..n {
+            for &d in g.deps(i) {
+                out_ptr[d as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            out_ptr[i + 1] += out_ptr[i];
+        }
+        let mut out_adj = vec![0u32; g.num_edges()];
+        let mut cursor = out_ptr.clone();
+        for i in 0..n {
+            for &d in g.deps(i) {
+                out_adj[cursor[d as usize]] = i as u32;
+                cursor[d as usize] += 1;
+            }
+        }
+        let mut indeg: Vec<u32> = (0..n).map(|i| g.deps(i).len() as u32).collect();
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&i| indeg[i as usize] == 0).collect();
+        let mut wf = vec![0u32; n];
+        let mut seen = 0usize;
+        let mut head = 0usize;
+        let mut maxw = 0u32;
+        while head < queue.len() {
+            let i = queue[head] as usize;
+            head += 1;
+            seen += 1;
+            maxw = maxw.max(wf[i]);
+            for &c in &out_adj[out_ptr[i]..out_ptr[i + 1]] {
+                let c = c as usize;
+                wf[c] = wf[c].max(wf[i] + 1);
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    queue.push(c as u32);
+                }
+            }
+        }
+        if seen != n {
+            let at = indeg.iter().position(|&d| d > 0).unwrap_or(0);
+            return Err(InspectorError::Cycle { at });
+        }
+        let num_wavefronts = if n == 0 { 0 } else { maxw as usize + 1 };
+        Ok(Wavefronts { wf, num_wavefronts })
+    }
+
+    /// Parallel wavefront sweep (§2.3): indices are striped across
+    /// `nthreads` workers (`i mod nthreads`); each worker busy-waits until
+    /// the wavefronts of its dependences have been produced. Requires a
+    /// forward graph (the paper's start-time schedulable setting).
+    ///
+    /// The shared array stores `wf + 1`, with `0` meaning "not yet
+    /// computed" — the same shared-array protocol the self-executing
+    /// executor uses for solution values.
+    pub fn compute_parallel(g: &DepGraph, nthreads: usize) -> Result<Self> {
+        if !g.is_forward() {
+            return Self::compute_general(g);
+        }
+        if nthreads <= 1 || g.n() == 0 {
+            return Self::compute(g);
+        }
+        let n = g.n();
+        let shared: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        std::thread::scope(|s| {
+            for t in 0..nthreads {
+                let shared = &shared;
+                s.spawn(move || {
+                    let mut i = t;
+                    while i < n {
+                        let mut w = 0u32;
+                        for &d in g.deps(i) {
+                            // Busy-wait until the producer stores wf+1.
+                            let mut v = shared[d as usize].load(Ordering::Acquire);
+                            while v == 0 {
+                                std::hint::spin_loop();
+                                std::thread::yield_now();
+                                v = shared[d as usize].load(Ordering::Acquire);
+                            }
+                            w = w.max(v); // v = wf[d] + 1 = candidate wf[i]
+                        }
+                        shared[i].store(w + 1, Ordering::Release);
+                        i += nthreads;
+                    }
+                });
+            }
+        });
+        let wf: Vec<u32> = shared
+            .into_iter()
+            .map(|a| a.into_inner() - 1)
+            .collect();
+        let maxw = wf.iter().copied().max().unwrap_or(0);
+        Ok(Wavefronts {
+            wf,
+            num_wavefronts: maxw as usize + 1,
+        })
+    }
+
+    /// Wavefront number of index `i` (0-based).
+    #[inline]
+    pub fn of(&self, i: usize) -> u32 {
+        self.wf[i]
+    }
+
+    /// All wavefront numbers.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.wf
+    }
+
+    /// Number of indices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.wf.len()
+    }
+
+    /// Number of distinct wavefronts (the paper's "phases").
+    #[inline]
+    pub fn num_wavefronts(&self) -> usize {
+        self.num_wavefronts
+    }
+
+    /// Histogram: how many indices fall in each wavefront.
+    pub fn counts(&self) -> Vec<usize> {
+        let mut c = vec![0usize; self.num_wavefronts];
+        for &w in &self.wf {
+            c[w as usize] += 1;
+        }
+        c
+    }
+
+    /// Indices sorted by `(wavefront, index)` — the paper's global sorted
+    /// list `L` (within a wavefront the natural order is preserved, which on
+    /// a mesh walks each anti-diagonal from upper-right to lower-left,
+    /// Figure 9). Implemented as a counting sort: O(n + #wavefronts).
+    pub fn sorted_list(&self) -> Vec<u32> {
+        let counts = self.counts();
+        let mut offset = vec![0usize; self.num_wavefronts + 1];
+        for w in 0..self.num_wavefronts {
+            offset[w + 1] = offset[w] + counts[w];
+        }
+        let mut list = vec![0u32; self.wf.len()];
+        let mut cursor = offset;
+        for (i, &w) in self.wf.iter().enumerate() {
+            list[cursor[w as usize]] = i as u32;
+            cursor[w as usize] += 1;
+        }
+        list
+    }
+
+    /// Checks the defining wavefront property against a dependence graph:
+    /// every dependence crosses strictly increasing wavefronts.
+    pub fn validate(&self, g: &DepGraph) -> Result<()> {
+        if g.n() != self.n() {
+            return Err(InspectorError::InvalidSchedule(format!(
+                "wavefront length {} != graph size {}",
+                self.n(),
+                g.n()
+            )));
+        }
+        for i in 0..g.n() {
+            for &d in g.deps(i) {
+                if self.wf[d as usize] >= self.wf[i] {
+                    return Err(InspectorError::InvalidSchedule(format!(
+                        "index {i} (wf {}) depends on {d} (wf {})",
+                        self.wf[i],
+                        self.wf[d as usize]
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtpl_sparse::gen::{dense_lower, laplacian_5pt, tridiagonal};
+
+    fn mesh_graph(nx: usize, ny: usize) -> DepGraph {
+        let a = laplacian_5pt(nx, ny);
+        DepGraph::from_lower_triangular(&a.strict_lower()).unwrap()
+    }
+
+    #[test]
+    fn mesh_wavefronts_are_antidiagonals() {
+        // Figure 9: on an m×n grid with natural ordering the wavefront of
+        // (x, y) is x + y.
+        let (nx, ny) = (5, 7);
+        let g = mesh_graph(nx, ny);
+        let wf = Wavefronts::compute(&g).unwrap();
+        for y in 0..ny {
+            for x in 0..nx {
+                assert_eq!(wf.of(y * nx + x), (x + y) as u32);
+            }
+        }
+        assert_eq!(wf.num_wavefronts(), nx + ny - 1);
+    }
+
+    #[test]
+    fn chain_has_one_index_per_wavefront() {
+        let a = tridiagonal(6, 2.0, -1.0);
+        let g = DepGraph::from_lower_triangular(&a.strict_lower()).unwrap();
+        let wf = Wavefronts::compute(&g).unwrap();
+        assert_eq!(wf.num_wavefronts(), 6);
+        assert_eq!(wf.counts(), vec![1; 6]);
+    }
+
+    #[test]
+    fn dense_lower_fully_sequential() {
+        // §4 extreme case: every row substitution forms its own wavefront.
+        let g = DepGraph::from_lower_triangular(&dense_lower(10).strict_lower()).unwrap();
+        let wf = Wavefronts::compute(&g).unwrap();
+        assert_eq!(wf.num_wavefronts(), 10);
+    }
+
+    #[test]
+    fn independent_indices_single_wavefront() {
+        let g = DepGraph::from_lists(5, vec![vec![]; 5]).unwrap();
+        let wf = Wavefronts::compute(&g).unwrap();
+        assert_eq!(wf.num_wavefronts(), 1);
+        assert_eq!(wf.counts(), vec![5]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DepGraph::from_lists(0, Vec::<Vec<u32>>::new()).unwrap();
+        let wf = Wavefronts::compute(&g).unwrap();
+        assert_eq!(wf.num_wavefronts(), 0);
+        assert!(wf.sorted_list().is_empty());
+    }
+
+    #[test]
+    fn general_dag_matches_forward_result() {
+        // Same DAG expressed with backward edges must yield identical
+        // wavefronts (computed via the Kahn path).
+        let fwd = DepGraph::from_lists(4, vec![vec![], vec![0], vec![0], vec![1, 2]]).unwrap();
+        let wf_f = Wavefronts::compute(&fwd).unwrap();
+        // Permute indices 0<->3 : 3 has no deps; 1 dep 3; 2 dep 3; 0 dep {1,2}
+        let perm = DepGraph::from_lists(4, vec![vec![1, 2], vec![3], vec![3], vec![]]).unwrap();
+        assert!(!perm.is_forward());
+        let wf_p = Wavefronts::compute(&perm).unwrap();
+        assert_eq!(wf_p.of(3), wf_f.of(0));
+        assert_eq!(wf_p.of(0), wf_f.of(3));
+        assert_eq!(wf_p.num_wavefronts(), wf_f.num_wavefronts());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let g = DepGraph::from_lists(3, vec![vec![2], vec![0], vec![1]]).unwrap();
+        assert!(matches!(
+            Wavefronts::compute(&g),
+            Err(InspectorError::Cycle { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let g = mesh_graph(13, 11);
+        let seq = Wavefronts::compute(&g).unwrap();
+        for t in [2, 3, 4] {
+            let par = Wavefronts::compute_parallel(&g, t).unwrap();
+            assert_eq!(par, seq, "parallel sweep with {t} threads");
+        }
+    }
+
+    #[test]
+    fn sorted_list_is_stable_counting_sort() {
+        let g = mesh_graph(3, 3);
+        let wf = Wavefronts::compute(&g).unwrap();
+        let l = wf.sorted_list();
+        // 3×3 mesh: wavefronts {0}, {1,3}, {2,4,6}, {5,7}, {8}
+        assert_eq!(l, vec![0, 1, 3, 2, 4, 6, 5, 7, 8]);
+        // Figure 9 check on 5×7: list starts 1,2,8,3,9,15 (1-based) =
+        // 0,1,7,2,8,14 (0-based, nx=5 wide ⇒ 7 is start of row 1... )
+        let g57 = mesh_graph(5, 7);
+        let wf57 = Wavefronts::compute(&g57).unwrap();
+        let l57 = wf57.sorted_list();
+        assert_eq!(&l57[..6], &[0, 1, 5, 2, 6, 10]);
+    }
+
+    #[test]
+    fn figure9_printed_list_reproduced() {
+        // The paper prints the sorted list of its 5-row × 7-column example
+        // (1-based): 1,2,8,3,9,15,4,10,16,22,5,11,17,23,29,...
+        let g = mesh_graph(7, 5); // nx = 7 columns, ny = 5 rows
+        let wf = Wavefronts::compute(&g).unwrap();
+        let got: Vec<u32> = wf.sorted_list().iter().map(|&i| i + 1).collect();
+        let paper = [
+            1u32, 2, 8, 3, 9, 15, 4, 10, 16, 22, 5, 11, 17, 23, 29, 6, 12, 18, 24, 30, 7,
+            13, 19, 25, 31, 14, 20, 26, 32, 21, 27, 33, 28, 34, 35,
+        ];
+        assert_eq!(got, paper);
+    }
+
+    #[test]
+    fn validate_accepts_and_rejects() {
+        let g = mesh_graph(4, 4);
+        let wf = Wavefronts::compute(&g).unwrap();
+        wf.validate(&g).unwrap();
+        let bogus = Wavefronts {
+            wf: vec![0; 16],
+            num_wavefronts: 1,
+        };
+        assert!(bogus.validate(&g).is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Parallel numeric incomplete factorization (Appendix II-2.2).
+//!
+//! "Elimination in each row `i` requires the use of a sequence of stabilized
+//! pivot rows ... In parallelizing the numeric factorization, a topological
+//! sort of the dependencies pertaining to the outer loop indices is
+//! performed" — the dependences are the strictly-lower entries of the
+//! *factored* pattern (a row may be eliminated once all its pivot rows are
+//! stabilized), exactly the structure of the triangular solve but at **row
+//! granularity**: each index produces a whole factored row, so workers
+//! exchange rows through [`SharedRows`] instead of scalars.
+//!
+//! The symbolic factorization (fill pattern discovery) is performed
+//! sequentially here; the paper also treats it separately ("the data
+//! dependencies in symbolic factorization cannot be analyzed before the
+//! algorithm executes") and self-schedules it — its cost is amortized once
+//! per sparsity structure.
+
+use crate::Result;
+use rtpl_executor::{SharedRows, SpinBarrier, WorkerPool};
+use rtpl_inspector::{DepGraph, Schedule, Wavefronts};
+use rtpl_sparse::ilu::{symbolic_iluk, IluFactors};
+use rtpl_sparse::{Csr, SparseError};
+
+/// Synchronization discipline for the parallel factorization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FactorSync {
+    /// Busy-wait on pivot rows as they stabilize (pipelined).
+    SelfExecuting,
+    /// Global barrier between wavefronts of rows.
+    PreScheduled,
+}
+
+/// Computes ILU(`level`) of `a` in parallel on `pool`.
+///
+/// Equivalent to [`rtpl_sparse::iluk`] (bitwise, since the elimination
+/// order within a row is fixed by the pattern), but rows are eliminated
+/// concurrently by wavefront.
+pub fn parallel_iluk(
+    pool: &WorkerPool,
+    a: &Csr,
+    level: usize,
+    sync: FactorSync,
+) -> Result<IluFactors> {
+    let n = a.nrows();
+    let pattern = symbolic_iluk(a, level)?;
+    // Dependences: row i needs every pivot row k < i in its pattern row.
+    let g = DepGraph::from_lower_triangular(&pattern.lower())?;
+    let wf = Wavefronts::compute(&g)?;
+    let nprocs = pool.nworkers();
+    let schedule = Schedule::global(&wf, nprocs)?;
+
+    // Offset of the diagonal within each pattern row (needed to read pivot
+    // values out of published rows).
+    let mut diag_off = vec![usize::MAX; n];
+    for i in 0..n {
+        let cols = pattern.row_indices(i);
+        match cols.binary_search(&(i as u32)) {
+            Ok(off) => diag_off[i] = off,
+            Err(_) => return Err(SparseError::MissingDiagonal { row: i }.into()),
+        }
+    }
+
+    let mut vals = vec![0.0f64; pattern.nnz()];
+    {
+        let rows = SharedRows::new(&mut vals, pattern.indptr());
+        let barrier = SpinBarrier::new(nprocs);
+        let num_phases = schedule.num_phases();
+        pool.run(&|p| {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Worker-local scatter map: column -> (position in current row)+1.
+            let mut pos = vec![0u32; n];
+            let mut run_row = |i: usize| {
+                let cols = pattern.row_indices(i);
+                let mut guard = rows.claim_row(i);
+                // Scatter A's values onto the pattern (absent entries zero).
+                for slot in guard.iter_mut() {
+                    *slot = 0.0;
+                }
+                for (off, &c) in cols.iter().enumerate() {
+                    pos[c as usize] = off as u32 + 1;
+                }
+                for (j, v) in a.row(i) {
+                    if pos[j] != 0 {
+                        guard[pos[j] as usize - 1] = v;
+                    }
+                }
+                // Eliminate with pivot rows k < i in increasing order.
+                for (koff, &ck) in cols.iter().enumerate() {
+                    let k = ck as usize;
+                    if k >= i {
+                        break;
+                    }
+                    let (krow, _) = match sync {
+                        FactorSync::SelfExecuting => rows.wait_row(k),
+                        // Pre-scheduled: the barrier guarantees stability.
+                        FactorSync::PreScheduled => {
+                            (rows.try_row(k).expect("pivot row not stabilized"), 0)
+                        }
+                    };
+                    let d = krow[diag_off[k]];
+                    let lik = guard[koff] / d;
+                    guard[koff] = lik;
+                    let kcols = pattern.row_indices(k);
+                    for (joff, &cj) in kcols.iter().enumerate().skip(diag_off[k] + 1) {
+                        let j = cj as usize;
+                        if pos[j] != 0 {
+                            guard[pos[j] as usize - 1] -= lik * krow[joff];
+                        }
+                    }
+                }
+                // Reset the scatter map.
+                for &c in cols {
+                    pos[c as usize] = 0;
+                }
+                drop(guard); // publish
+            };
+            match sync {
+                FactorSync::SelfExecuting => {
+                    for &i in schedule.proc(p) {
+                        run_row(i as usize);
+                    }
+                }
+                FactorSync::PreScheduled => {
+                    for w in 0..num_phases {
+                        for &i in schedule.phase_slice(p, w) {
+                            run_row(i as usize);
+                        }
+                        if w + 1 < num_phases {
+                            barrier.wait();
+                        }
+                    }
+                }
+            }
+            }));
+            if let Err(e) = outcome {
+                rows.poison();
+                barrier.poison();
+                std::panic::resume_unwind(e);
+            }
+        });
+    }
+
+    // Detect numerical breakdown (a zero/NaN pivot poisons its dependents).
+    for i in 0..n {
+        let d = vals[pattern.indptr()[i] + diag_off[i]];
+        if d == 0.0 || !d.is_finite() {
+            return Err(SparseError::ZeroPivot { row: i }.into());
+        }
+    }
+
+    // Split the combined factored values into L (strict lower) and U.
+    Ok(split_factors(&pattern, &vals))
+}
+
+fn split_factors(pattern: &Csr, vals: &[f64]) -> IluFactors {
+    let n = pattern.nrows();
+    let mut l_indptr = Vec::with_capacity(n + 1);
+    let mut l_indices = Vec::new();
+    let mut l_data = Vec::new();
+    let mut u_indptr = Vec::with_capacity(n + 1);
+    let mut u_indices = Vec::new();
+    let mut u_data = Vec::new();
+    l_indptr.push(0usize);
+    u_indptr.push(0usize);
+    for i in 0..n {
+        let base = pattern.indptr()[i];
+        for (off, &c) in pattern.row_indices(i).iter().enumerate() {
+            if (c as usize) < i {
+                l_indices.push(c);
+                l_data.push(vals[base + off]);
+            } else {
+                u_indices.push(c);
+                u_data.push(vals[base + off]);
+            }
+        }
+        l_indptr.push(l_indices.len());
+        u_indptr.push(u_indices.len());
+    }
+    IluFactors {
+        l: Csr::new_unchecked(n, n, l_indptr, l_indices, l_data),
+        u: Csr::new_unchecked(n, n, u_indptr, u_indices, u_data),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtpl_sparse::dense::max_abs_diff;
+    use rtpl_sparse::gen::{laplacian_5pt, laplacian_7pt};
+    use rtpl_sparse::iluk;
+
+    fn assert_factors_equal(a: &IluFactors, b: &IluFactors, tol: f64) {
+        assert_eq!(a.l.indices(), b.l.indices());
+        assert_eq!(a.u.indices(), b.u.indices());
+        assert!(max_abs_diff(a.l.data(), b.l.data()) <= tol);
+        assert!(max_abs_diff(a.u.data(), b.u.data()) <= tol);
+    }
+
+    #[test]
+    fn parallel_ilu0_matches_sequential() {
+        let a = laplacian_5pt(8, 9);
+        let seq = iluk(&a, 0).unwrap();
+        let pool = WorkerPool::new(3);
+        for sync in [FactorSync::SelfExecuting, FactorSync::PreScheduled] {
+            let par = parallel_iluk(&pool, &a, 0, sync).unwrap();
+            assert_factors_equal(&seq, &par, 1e-13);
+        }
+    }
+
+    #[test]
+    fn parallel_iluk_matches_sequential_with_fill() {
+        let a = laplacian_7pt(5, 4, 3);
+        for level in [1, 2] {
+            let seq = iluk(&a, level).unwrap();
+            let pool = WorkerPool::new(4);
+            let par = parallel_iluk(&pool, &a, level, FactorSync::SelfExecuting).unwrap();
+            assert_factors_equal(&seq, &par, 1e-13);
+        }
+    }
+
+    #[test]
+    fn single_worker_factorization() {
+        let a = laplacian_5pt(6, 6);
+        let seq = iluk(&a, 1).unwrap();
+        let pool = WorkerPool::new(1);
+        let par = parallel_iluk(&pool, &a, 1, FactorSync::SelfExecuting).unwrap();
+        assert_factors_equal(&seq, &par, 0.0);
+    }
+
+    #[test]
+    fn zero_pivot_detected() {
+        use rtpl_sparse::CooBuilder;
+        // A 2×2 matrix whose elimination annihilates the second pivot:
+        // [1 1; 1 1] -> u22 = 1 - 1*1 = 0.
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 0, 1.0);
+        b.push(0, 1, 1.0);
+        b.push(1, 0, 1.0);
+        b.push(1, 1, 1.0);
+        let a = b.build();
+        let pool = WorkerPool::new(2);
+        let r = parallel_iluk(&pool, &a, 0, FactorSync::SelfExecuting);
+        assert!(matches!(
+            r,
+            Err(crate::KrylovError::Sparse(SparseError::ZeroPivot { row: 1 }))
+        ));
+    }
+}

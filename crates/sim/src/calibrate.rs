@@ -1,0 +1,105 @@
+//! Host calibration of the cost model.
+//!
+//! The paper's §5.1.2 derives per-operation overheads from single-processor
+//! timings and uses them to predict multiprocessor times. These helpers do
+//! the analogous measurement on the current host, so simulated times can be
+//! expressed in real nanoseconds rather than abstract flop units.
+
+use crate::cost::CostModel;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Measures per-operation costs on the current host and returns a
+/// [`CostModel`] in nanoseconds. `tsynch` cannot be measured without a
+/// thread team, so it is set to `barrier_estimate_ns` (pass a measured
+/// value, or use [`default_tsynch_ns`] for a conservative guess).
+pub fn calibrate_host(barrier_estimate_ns: f64) -> CostModel {
+    CostModel {
+        tp: measure_tp_ns(),
+        tsynch: barrier_estimate_ns,
+        tinc: measure_tinc_ns(),
+        tcheck: measure_tcheck_ns(),
+    }
+}
+
+/// A conservative software-barrier cost estimate for `p` participants:
+/// each arrival is roughly one contended RMW plus propagation.
+pub fn default_tsynch_ns(p: usize) -> f64 {
+    50.0 * p as f64
+}
+
+/// Nanoseconds per multiply–add over an in-cache array.
+pub fn measure_tp_ns() -> f64 {
+    const N: usize = 1 << 12;
+    const REPS: usize = 200;
+    let a: Vec<f64> = (0..N).map(|i| 1.0 + (i % 17) as f64 * 1e-3).collect();
+    let x: Vec<f64> = (0..N).map(|i| 0.5 + (i % 13) as f64 * 1e-3).collect();
+    let mut acc = 0.0f64;
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        let mut s = 0.0;
+        for i in 0..N {
+            s += a[i] * x[i];
+        }
+        acc += s;
+    }
+    let dt = t0.elapsed().as_nanos() as f64;
+    std::hint::black_box(acc);
+    dt / (N * REPS) as f64
+}
+
+/// Nanoseconds per Release store to an atomic flag (the ready-array
+/// increment).
+pub fn measure_tinc_ns() -> f64 {
+    const N: usize = 1 << 12;
+    const REPS: usize = 200;
+    let flags: Vec<AtomicU32> = (0..N).map(|_| AtomicU32::new(0)).collect();
+    let t0 = Instant::now();
+    for r in 0..REPS {
+        for f in &flags {
+            f.store(r as u32, Ordering::Release);
+        }
+    }
+    let dt = t0.elapsed().as_nanos() as f64;
+    std::hint::black_box(&flags);
+    dt / (N * REPS) as f64
+}
+
+/// Nanoseconds per Acquire load of an atomic value (the ready-array check).
+pub fn measure_tcheck_ns() -> f64 {
+    const N: usize = 1 << 12;
+    const REPS: usize = 200;
+    let vals: Vec<AtomicU64> = (0..N).map(|i| AtomicU64::new(i as u64)).collect();
+    let mut acc = 0u64;
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        for v in &vals {
+            acc = acc.wrapping_add(v.load(Ordering::Acquire));
+        }
+    }
+    let dt = t0.elapsed().as_nanos() as f64;
+    std::hint::black_box(acc);
+    dt / (N * REPS) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurements_are_positive_and_sane() {
+        let tp = measure_tp_ns();
+        let tinc = measure_tinc_ns();
+        let tcheck = measure_tcheck_ns();
+        assert!(tp > 0.0 && tp < 1000.0, "tp = {tp} ns");
+        assert!(tinc > 0.0 && tinc < 1000.0, "tinc = {tinc} ns");
+        assert!(tcheck > 0.0 && tcheck < 1000.0, "tcheck = {tcheck} ns");
+    }
+
+    #[test]
+    fn calibrated_model_is_consistent() {
+        let c = calibrate_host(default_tsynch_ns(16));
+        assert!(c.r_synch() > 1.0, "a barrier must cost more than a flop");
+        assert!(c.tp > 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Cost models for the multiprocessor simulation.
+
+/// Per-operation costs, in arbitrary consistent time units (the tables use
+/// `Tp = 1`, i.e. times are expressed in floating-point work units; the
+/// calibration module can fill in measured nanoseconds instead).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Time per unit of floating-point work (one multiply–add pair of the
+    /// row substitution).
+    pub tp: f64,
+    /// Time of one global synchronization (the pre-scheduled barrier).
+    pub tsynch: f64,
+    /// Time to increment/mark one entry of the shared ready array
+    /// (self-executing publication, Figure 4 line 3c).
+    pub tinc: f64,
+    /// Time to check one shared ready entry (Figure 4 line 3a, the
+    /// *successful* check; waiting time is modeled by the event simulation
+    /// itself).
+    pub tcheck: f64,
+}
+
+impl CostModel {
+    /// All overheads zero — load balance only. Running the event simulator
+    /// under this model yields the paper's *symbolically estimated
+    /// efficiency*.
+    pub const fn zero_overhead() -> Self {
+        CostModel {
+            tp: 1.0,
+            tsynch: 0.0,
+            tinc: 0.0,
+            tcheck: 0.0,
+        }
+    }
+
+    /// Default Multimax-like ratios used by the table harnesses: a global
+    /// barrier costs tens of flop-times, shared-array operations a fraction
+    /// of one. (The paper's `R` ratios: `Rsynch = Tsynch/Tp`,
+    /// `Rinc = Tinc/Tp`, `Rcheck = Tcheck/Tp`.)
+    pub const fn multimax() -> Self {
+        CostModel {
+            tp: 1.0,
+            tsynch: 60.0,
+            tinc: 0.3,
+            tcheck: 0.3,
+        }
+    }
+
+    /// The paper's overhead ratios.
+    pub fn r_synch(&self) -> f64 {
+        self.tsynch / self.tp
+    }
+
+    /// `Rinc = Tinc/Tp`.
+    pub fn r_inc(&self) -> f64 {
+        self.tinc / self.tp
+    }
+
+    /// `Rcheck = Tcheck/Tp`.
+    pub fn r_check(&self) -> f64 {
+        self.tcheck / self.tp
+    }
+
+    /// Models a **non-scaling shared bus** (§5.1.3's caveat: projections
+    /// assume shared resources "are engineered to scale with the size of
+    /// the machine"; if they are not, per-operation costs grow with the
+    /// processor count). Returns a cost model whose every per-operation
+    /// cost is inflated by `1 + alpha·(p − 1)` — contention proportional to
+    /// the number of other processors hitting the bus.
+    pub fn with_bus_contention(&self, alpha: f64, p: usize) -> CostModel {
+        let f = 1.0 + alpha * (p.saturating_sub(1)) as f64;
+        CostModel {
+            tp: self.tp * f,
+            tsynch: self.tsynch * f,
+            tinc: self.tinc * f,
+            tcheck: self.tcheck * f,
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::multimax()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let c = CostModel {
+            tp: 2.0,
+            tsynch: 100.0,
+            tinc: 1.0,
+            tcheck: 0.5,
+        };
+        assert_eq!(c.r_synch(), 50.0);
+        assert_eq!(c.r_inc(), 0.5);
+        assert_eq!(c.r_check(), 0.25);
+    }
+
+    #[test]
+    fn bus_contention_scales_costs() {
+        let c = CostModel::multimax();
+        let c16 = c.with_bus_contention(0.05, 16);
+        assert!((c16.tp - c.tp * 1.75).abs() < 1e-12);
+        assert!((c16.tsynch - c.tsynch * 1.75).abs() < 1e-12);
+        // One processor: no contention.
+        assert_eq!(c.with_bus_contention(0.05, 1), c);
+    }
+
+    #[test]
+    fn zero_overhead_is_pure_load_balance() {
+        let c = CostModel::zero_overhead();
+        assert_eq!(c.tsynch, 0.0);
+        assert_eq!(c.tinc, 0.0);
+        assert_eq!(c.tcheck, 0.0);
+        assert_eq!(c.tp, 1.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Closed-form analysis of the §4 model problem.
+//!
+//! The model problem is the lower triangular system from the zero-fill
+//! factorization of an `m × n` five-point mesh, solved on
+//! `p ≤ min(m, n)` processors. Wavefronts are the mesh anti-diagonals, the
+//! global sort assigns anti-diagonal strips to processors wrapped. The
+//! functions here implement the paper's equations (1)–(7):
+//!
+//! * [`mc`] — strips-per-processor count `MC(j)` of phase `j`;
+//! * [`presched_eopt`] — exact load-balance-only efficiency, eq. (3);
+//! * [`presched_eopt_approx`] — the end-effect approximation, eq. (4);
+//! * [`selfexec_eopt`] — pipelined efficiency, eq. (5);
+//! * [`ratio_presched_over_selfexec`] — modeled time ratio with overheads,
+//!   eq. (6);
+//! * [`ratio_limit_thin`] / [`ratio_limit_square`] — the two asymptotic
+//!   regimes (long thin mesh: self-execution wins by ≈ 2×; large square
+//!   mesh: pre-scheduling preferable), eqs. (6)–(7);
+//! * [`dense_selfexec_eopt`] / [`dense_presched_eopt`] — the dense
+//!   triangular extreme case.
+//!
+//! All are validated against the discrete-event simulator in
+//! `tests/model_validation.rs`.
+
+use crate::cost::CostModel;
+
+/// `MC(j)`: number of anti-diagonal strips processor-rounds needed in phase
+/// `j` (1-based, `1 ≤ j ≤ n + m − 1`), equations (1)–(2).
+pub fn mc(j: usize, m: usize, n: usize, p: usize) -> usize {
+    assert!(j >= 1 && j < n + m);
+    let mn = m.min(n);
+    if j < mn {
+        div_ceil(j, p)
+    } else if j <= n + m - mn {
+        div_ceil(mn, p)
+    } else {
+        div_ceil(n + m - j, p)
+    }
+}
+
+/// Total phase-count-weighted computation `Σ_j MC(j)` — the pre-scheduled
+/// compute time in units of `Tp` (one strip-point each).
+pub fn presched_phase_work(m: usize, n: usize, p: usize) -> usize {
+    (1..=(n + m - 1)).map(|j| mc(j, m, n, p)).sum()
+}
+
+/// Exact load-balance-only efficiency of pre-scheduling, eq. (3):
+/// `E = mn / (p · Σ_j MC(j))`.
+pub fn presched_eopt(m: usize, n: usize, p: usize) -> f64 {
+    (m * n) as f64 / (p as f64 * presched_phase_work(m, n, p) as f64)
+}
+
+/// End-effect approximation of [`presched_eopt`], eq. (4): estimate the
+/// cumulative idle time of the ramp-up/ramp-down phases plus the middle
+/// phases' `(p − min mod p) mod p` idle processors.
+pub fn presched_eopt_approx(m: usize, n: usize, p: usize) -> f64 {
+    let mn = m.min(n);
+    // m̂, n̂: largest multiples of p not exceeding m, n.
+    let m_hat = (m / p) * p;
+    let n_hat = (n / p) * p;
+    let mn_hat = m_hat.min(n_hat).max(1);
+    // Ramp idle: during phase j < min(m̂,n̂), p − (j mod p) processors idle
+    // unless j is a multiple of p.
+    let ramp: usize = (1..mn_hat)
+        .map(|j| if j % p == 0 { 0 } else { p - j % p })
+        .sum();
+    // Middle idle per phase.
+    let mid_per_phase = (p - mn % p) % p;
+    let mid_phases = (n + m - 1).saturating_sub(2 * (mn_hat.saturating_sub(1)));
+    let idle = 2 * ramp + mid_phases * mid_per_phase;
+    (m * n) as f64 / ((m * n + idle) as f64)
+}
+
+/// Self-executing load-balance-only efficiency, eq. (5):
+/// `E = mn / (mn + p(p − 1))` — only the first and last `p − 1` wavefronts
+/// contribute idle time once the pipeline fills.
+pub fn selfexec_eopt(m: usize, n: usize, p: usize) -> f64 {
+    let mn = (m * n) as f64;
+    mn / (mn + (p * (p - 1)) as f64)
+}
+
+/// Modeled pre-scheduled solve time for the m×n model problem (in `Tp`
+/// units per point): compute plus `Tsynch` per phase boundary.
+pub fn presched_time(m: usize, n: usize, p: usize, cost: &CostModel) -> f64 {
+    cost.tp * presched_phase_work(m, n, p) as f64 + cost.tsynch * (n + m - 1) as f64
+}
+
+/// Modeled self-executing solve time: pipelined compute inflated by the
+/// shared-array overhead ratios (`1 + Rinc + 2Rcheck`; each point checks
+/// two operands and performs one increment).
+pub fn selfexec_time(m: usize, n: usize, p: usize, cost: &CostModel) -> f64 {
+    let mn = (m * n) as f64;
+    let overhead = 1.0 + cost.r_inc() + 2.0 * cost.r_check();
+    cost.tp * overhead * (mn + (p * (p - 1)) as f64) / p as f64
+}
+
+/// Equation (6): ratio of pre-scheduled to self-executing model time
+/// (> 1 ⇒ self-execution wins).
+///
+/// ```
+/// use rtpl_sim::{model, CostModel};
+/// let cost = CostModel::multimax();
+/// // Long thin mesh: self-execution wins big.
+/// assert!(model::ratio_presched_over_selfexec(17, 4000, 16, &cost) > 2.0);
+/// // Huge square mesh: pre-scheduling eventually wins.
+/// assert!(model::ratio_presched_over_selfexec(40_000, 40_000, 16, &cost) < 1.0);
+/// ```
+pub fn ratio_presched_over_selfexec(m: usize, n: usize, p: usize, cost: &CostModel) -> f64 {
+    presched_time(m, n, p, cost) / selfexec_time(m, n, p, cost)
+}
+
+/// The long-thin-mesh limit of eq. (6) (`m = p + 1`, `n → ∞`):
+/// `(2p + p·Rsynch) / ((p + 1)(1 + Rinc + 2Rcheck))` — slightly under half
+/// the processors idle under pre-scheduling, so self-execution wins by
+/// about 2× even with free synchronization.
+pub fn ratio_limit_thin(p: usize, cost: &CostModel) -> f64 {
+    let overhead = 1.0 + cost.r_inc() + 2.0 * cost.r_check();
+    (2.0 * p as f64 + p as f64 * cost.r_synch()) / ((p + 1) as f64 * overhead)
+}
+
+/// The large-square-mesh limit of eq. (7) (`m = n → ∞`): end effects vanish
+/// and the number of barriers grows only as `n + m − 1`, so the ratio tends
+/// to `1 / (1 + Rinc + 2Rcheck) < 1` — pre-scheduling preferable.
+pub fn ratio_limit_square(cost: &CostModel) -> f64 {
+    1.0 / (1.0 + cost.r_inc() + 2.0 * cost.r_check())
+}
+
+/// Dense n×n unit-diagonal triangular solve on `n − 1` processors:
+/// self-executing efficiency (op-level pipelining finishes in
+/// `Tsaxpy·(n−1)`), ≈ 1/2.
+pub fn dense_selfexec_eopt(n: usize) -> f64 {
+    let work = (n * (n - 1) / 2) as f64;
+    work / ((n - 1) as f64 * (n - 1) as f64)
+}
+
+/// Dense n×n triangular solve, pre-scheduled on `n − 1` processors: every
+/// row is its own wavefront, so no parallelism at all — `E = 1/(n−1)`.
+pub fn dense_presched_eopt(n: usize) -> f64 {
+    1.0 / (n - 1) as f64
+}
+
+/// Number of wavefronts (phases) of the m×n model problem.
+pub fn model_num_phases(m: usize, n: usize) -> usize {
+    n + m - 1
+}
+
+fn div_ceil(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mc_piecewise_shape() {
+        // 5×7 mesh, p = 2.
+        let (m, n, p) = (5, 7, 2);
+        assert_eq!(mc(1, m, n, p), 1); // 1 strip
+        assert_eq!(mc(3, m, n, p), 2); // 3 strips on 2 procs
+        assert_eq!(mc(6, m, n, p), 3); // min(m,n)=5 strips
+        assert_eq!(mc(11, m, n, p), 1); // 1 strip left
+    }
+
+    #[test]
+    fn mc_sums_cover_all_points() {
+        // Σ_j (#strips in phase j) = mn regardless of p; with p = 1,
+        // Σ MC(j) = mn exactly.
+        for (m, n) in [(5, 7), (8, 8), (3, 12)] {
+            assert_eq!(presched_phase_work(m, n, 1), m * n);
+        }
+    }
+
+    #[test]
+    fn eopt_exact_reasonable_and_monotone_in_p() {
+        let (m, n) = (16, 16);
+        let e4 = presched_eopt(m, n, 4);
+        let e8 = presched_eopt(m, n, 8);
+        assert!(e4 > e8, "more processors, more end-effect waste");
+        assert!(e4 > 0.5 && e4 <= 1.0);
+        assert!((presched_eopt(m, n, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approx_tracks_exact() {
+        for (m, n, p) in [(16, 16, 4), (32, 32, 8), (64, 48, 16), (17, 23, 4)] {
+            let exact = presched_eopt(m, n, p);
+            let approx = presched_eopt_approx(m, n, p);
+            assert!(
+                (exact - approx).abs() < 0.12,
+                "m={m} n={n} p={p}: exact {exact} vs approx {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn selfexec_eopt_superior() {
+        for (m, n, p) in [(16, 16, 8), (9, 64, 8), (17, 17, 16)] {
+            assert!(selfexec_eopt(m, n, p) > presched_eopt(m, n, p));
+        }
+    }
+
+    #[test]
+    fn thin_mesh_favours_self_execution() {
+        let p = 8;
+        let cost = CostModel::zero_overhead();
+        let r = ratio_presched_over_selfexec(p + 1, 4000, p, &cost);
+        let limit = ratio_limit_thin(p, &cost);
+        assert!(r > 1.5, "thin mesh ratio {r} should approach ~2");
+        assert!((r - limit).abs() < 0.05, "ratio {r} vs limit {limit}");
+    }
+
+    #[test]
+    fn square_mesh_favours_pre_scheduling() {
+        let cost = CostModel {
+            tp: 1.0,
+            tsynch: 5.0,
+            tinc: 0.3,
+            tcheck: 0.3,
+        };
+        // Convergence to the limit is O((p·Rsynch)/n), so use a large mesh.
+        let r = ratio_presched_over_selfexec(20_000, 20_000, 16, &cost);
+        let limit = ratio_limit_square(&cost);
+        assert!(r < 1.0, "square mesh should favour pre-scheduling, r={r}");
+        assert!((r - limit).abs() < 0.05, "ratio {r} vs limit {limit}");
+        // And the finite 600² mesh already favours pre-scheduling too.
+        assert!(ratio_presched_over_selfexec(600, 600, 16, &cost) < 1.0);
+    }
+
+    #[test]
+    fn expensive_barriers_flip_square_verdict() {
+        // With slow global synchronization even the square mesh favours
+        // self-execution at moderate size.
+        let cost = CostModel {
+            tp: 1.0,
+            tsynch: 500.0,
+            tinc: 0.1,
+            tcheck: 0.1,
+        };
+        let r = ratio_presched_over_selfexec(64, 64, 16, &cost);
+        assert!(r > 1.0, "barrier-dominated regime, r={r}");
+    }
+
+    #[test]
+    fn dense_case_formulas() {
+        assert!((dense_selfexec_eopt(100) - 0.505).abs() < 0.01);
+        assert!((dense_presched_eopt(100) - 1.0 / 99.0).abs() < 1e-12);
+    }
+}

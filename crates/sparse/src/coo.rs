@@ -1,0 +1,145 @@
+//! Coordinate-format builder for assembling matrices entry by entry.
+//!
+//! The finite-difference generators of [`crate::gen`] and the synthetic
+//! workload generator assemble matrices by pushing `(row, col, value)`
+//! triplets in arbitrary order; [`CooBuilder::build`] sorts them into CSR
+//! form, summing duplicates (the usual finite-element/finite-difference
+//! assembly convention).
+
+use crate::csr::Csr;
+
+/// An append-only triplet buffer convertible to [`Csr`].
+///
+/// ```
+/// use rtpl_sparse::CooBuilder;
+/// let mut b = CooBuilder::new(2, 2);
+/// b.push(0, 0, 1.0);
+/// b.push(1, 0, 2.0);
+/// b.push(1, 0, 0.5); // duplicates are summed
+/// let a = b.build();
+/// assert_eq!(a.get(1, 0), Some(2.5));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CooBuilder {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl CooBuilder {
+    /// Creates a builder for an `nrows x ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        assert!(nrows <= u32::MAX as usize && ncols <= u32::MAX as usize);
+        CooBuilder {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with capacity for `cap` triplets.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        let mut b = Self::new(nrows, ncols);
+        b.entries.reserve(cap);
+        b
+    }
+
+    /// Adds `value` at `(row, col)`; duplicate positions are summed at build
+    /// time.
+    #[inline]
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.nrows && col < self.ncols);
+        self.entries.push((row as u32, col as u32, value));
+    }
+
+    /// Number of buffered triplets (duplicates not yet combined).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no triplets have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sorts the triplets, combines duplicates and produces a valid [`Csr`].
+    pub fn build(mut self) -> Csr {
+        self.entries
+            .sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+        let mut indptr = vec![0usize; self.nrows + 1];
+        let mut indices: Vec<u32> = Vec::with_capacity(self.entries.len());
+        let mut data: Vec<f64> = Vec::with_capacity(self.entries.len());
+        for &(r, c, v) in &self.entries {
+            if let (Some(&lc), true) = (indices.last(), indptr[r as usize + 1] > 0) {
+                // Same row as the previous entry and same column: combine.
+                if lc == c && indptr[r as usize + 1] == indices.len() {
+                    *data.last_mut().unwrap() += v;
+                    continue;
+                }
+            }
+            indices.push(c);
+            data.push(v);
+            indptr[r as usize + 1] = indices.len();
+        }
+        // Rows with no entries keep 0; convert per-row end markers into
+        // cumulative offsets.
+        for i in 1..=self.nrows {
+            if indptr[i] < indptr[i - 1] {
+                indptr[i] = indptr[i - 1];
+            }
+        }
+        Csr::new_unchecked(self.nrows, self.ncols, indptr, indices, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_sorts_rows_and_columns() {
+        let mut b = CooBuilder::new(3, 3);
+        b.push(2, 1, 5.0);
+        b.push(0, 2, 2.0);
+        b.push(0, 0, 1.0);
+        b.push(1, 1, 3.0);
+        let a = b.build();
+        assert_eq!(a.get(0, 0), Some(1.0));
+        assert_eq!(a.get(0, 2), Some(2.0));
+        assert_eq!(a.get(2, 1), Some(5.0));
+        assert_eq!(a.nnz(), 4);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 0, 1.0);
+        b.push(0, 0, 2.5);
+        b.push(1, 0, -1.0);
+        b.push(1, 0, 1.0);
+        let a = b.build();
+        assert_eq!(a.get(0, 0), Some(3.5));
+        assert_eq!(a.get(1, 0), Some(0.0));
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn empty_rows_are_represented() {
+        let mut b = CooBuilder::new(4, 4);
+        b.push(0, 0, 1.0);
+        b.push(3, 3, 4.0);
+        let a = b.build();
+        assert_eq!(a.row_nnz(0), 1);
+        assert_eq!(a.row_nnz(1), 0);
+        assert_eq!(a.row_nnz(2), 0);
+        assert_eq!(a.row_nnz(3), 1);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_matrix() {
+        let a = CooBuilder::new(3, 2).build();
+        assert_eq!(a.nnz(), 0);
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.ncols(), 2);
+    }
+}

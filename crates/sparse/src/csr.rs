@@ -1,0 +1,513 @@
+//! Compressed sparse row matrices.
+//!
+//! The CSR layout is the `ija`/`a` representation used throughout the paper
+//! (Figure 8): `indptr[i]..indptr[i+1]` delimits the nonzeros of row `i`,
+//! whose column indices live in `indices` and values in `data`. Column
+//! indices are kept **strictly increasing within each row**; every routine in
+//! the workspace relies on that invariant, so [`Csr::try_new`] enforces it.
+
+use crate::{Result, SparseError};
+
+/// A sparse matrix in compressed sparse row format with sorted rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    data: Vec<f64>,
+}
+
+impl Csr {
+    /// Builds a CSR matrix, validating the structure.
+    ///
+    /// Requirements checked:
+    /// * `indptr` has length `nrows + 1`, starts at 0, is non-decreasing and
+    ///   ends at `indices.len()`;
+    /// * `indices` and `data` have equal length;
+    /// * column indices are in bounds and strictly increasing within each
+    ///   row (sorted, no duplicates).
+    pub fn try_new(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        data: Vec<f64>,
+    ) -> Result<Self> {
+        if indptr.len() != nrows + 1 {
+            return Err(SparseError::InvalidStructure(format!(
+                "indptr length {} != nrows + 1 = {}",
+                indptr.len(),
+                nrows + 1
+            )));
+        }
+        if indices.len() != data.len() {
+            return Err(SparseError::InvalidStructure(format!(
+                "indices length {} != data length {}",
+                indices.len(),
+                data.len()
+            )));
+        }
+        if indptr[0] != 0 || indptr[nrows] != indices.len() {
+            return Err(SparseError::InvalidStructure(
+                "indptr must start at 0 and end at nnz".to_string(),
+            ));
+        }
+        for i in 0..nrows {
+            if indptr[i] > indptr[i + 1] {
+                return Err(SparseError::InvalidStructure(format!(
+                    "indptr not monotone at row {i}"
+                )));
+            }
+            let row = &indices[indptr[i]..indptr[i + 1]];
+            for (k, &c) in row.iter().enumerate() {
+                if c as usize >= ncols {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "column {c} out of bounds in row {i} (ncols = {ncols})"
+                    )));
+                }
+                if k > 0 && row[k - 1] >= c {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "row {i} columns not strictly increasing at position {k}"
+                    )));
+                }
+            }
+        }
+        Ok(Csr {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            data,
+        })
+    }
+
+    /// Builds a CSR matrix without validation.
+    ///
+    /// The caller must uphold the invariants documented on [`Csr::try_new`];
+    /// they are checked in debug builds.
+    pub fn new_unchecked(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        data: Vec<f64>,
+    ) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            Self::try_new(nrows, ncols, indptr, indices, data)
+                .expect("Csr::new_unchecked: invalid structure")
+        }
+        #[cfg(not(debug_assertions))]
+        Csr {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// The identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        Csr {
+            nrows: n,
+            ncols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n as u32).collect(),
+            data: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The row-pointer array (`ija` of the paper).
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// All column indices.
+    #[inline]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// All stored values.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the stored values (structure stays fixed).
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Column indices of row `i`.
+    #[inline]
+    pub fn row_indices(&self, i: usize) -> &[u32] {
+        &self.indices[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Values of row `i`.
+    #[inline]
+    pub fn row_values(&self, i: usize) -> &[f64] {
+        &self.data[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Iterator over `(column, value)` pairs of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.row_indices(i)
+            .iter()
+            .zip(self.row_values(i))
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Number of stored entries in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.indptr[i + 1] - self.indptr[i]
+    }
+
+    /// Value at `(i, j)` if stored (binary search within the sorted row).
+    pub fn get(&self, i: usize, j: usize) -> Option<f64> {
+        let row = self.row_indices(i);
+        row.binary_search(&(j as u32))
+            .ok()
+            .map(|k| self.data[self.indptr[i] + k])
+    }
+
+    /// `y = A * x`.
+    pub fn matvec(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        if x.len() != self.ncols {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.ncols,
+                found: x.len(),
+            });
+        }
+        if y.len() != self.nrows {
+            return Err(SparseError::DimensionMismatch {
+                expected: self.nrows,
+                found: y.len(),
+            });
+        }
+        for i in 0..self.nrows {
+            let mut acc = 0.0;
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                acc += self.data[k] * x[self.indices[k] as usize];
+            }
+            y[i] = acc;
+        }
+        Ok(())
+    }
+
+    /// `y = A * x` restricted to rows `lo..hi` — the unit of work handed to
+    /// one processor by the block-partitioned matvec of Appendix II.
+    pub fn matvec_rows(&self, x: &[f64], y: &mut [f64], lo: usize, hi: usize) {
+        debug_assert!(hi <= self.nrows && x.len() == self.ncols && y.len() == self.nrows);
+        for i in lo..hi {
+            let mut acc = 0.0;
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                acc += self.data[k] * x[self.indices[k] as usize];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// The transpose as a new CSR matrix (counting sort over columns).
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            counts[j + 1] += counts[j];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut data = vec![0.0; self.nnz()];
+        // Rows are visited in increasing order, so each transposed row is
+        // filled with strictly increasing column indices automatically.
+        for i in 0..self.nrows {
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                let c = self.indices[k] as usize;
+                let dst = counts[c];
+                counts[c] += 1;
+                indices[dst] = i as u32;
+                data[dst] = self.data[k];
+            }
+        }
+        Csr {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Extracts the strictly lower triangular part.
+    pub fn strict_lower(&self) -> Csr {
+        self.filter(|i, j| j < i)
+    }
+
+    /// Extracts the strictly upper triangular part.
+    pub fn strict_upper(&self) -> Csr {
+        self.filter(|i, j| j > i)
+    }
+
+    /// Extracts the lower triangle including the diagonal.
+    pub fn lower(&self) -> Csr {
+        self.filter(|i, j| j <= i)
+    }
+
+    /// Extracts the upper triangle including the diagonal.
+    pub fn upper(&self) -> Csr {
+        self.filter(|i, j| j >= i)
+    }
+
+    /// Keeps entries `(i, j)` for which the predicate holds.
+    pub fn filter(&self, keep: impl Fn(usize, usize) -> bool) -> Csr {
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        indptr.push(0);
+        for i in 0..self.nrows {
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                let j = self.indices[k] as usize;
+                if keep(i, j) {
+                    indices.push(self.indices[k]);
+                    data.push(self.data[k]);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// The diagonal as a dense vector; errors if an entry is structurally
+    /// missing (square matrices only).
+    pub fn diagonal(&self) -> Result<Vec<f64>> {
+        let mut d = Vec::with_capacity(self.nrows);
+        for i in 0..self.nrows {
+            match self.get(i, i) {
+                Some(v) => d.push(v),
+                None => return Err(SparseError::MissingDiagonal { row: i }),
+            }
+        }
+        Ok(d)
+    }
+
+    /// True if every stored entry satisfies `col <= row`.
+    pub fn is_lower_triangular(&self) -> bool {
+        (0..self.nrows).all(|i| self.row_indices(i).iter().all(|&c| c as usize <= i))
+    }
+
+    /// True if every stored entry satisfies `col >= row`.
+    pub fn is_upper_triangular(&self) -> bool {
+        (0..self.nrows).all(|i| self.row_indices(i).iter().all(|&c| c as usize >= i))
+    }
+
+    /// Dense row-major copy (for testing small matrices).
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.nrows * self.ncols];
+        for i in 0..self.nrows {
+            for (j, v) in self.row(i) {
+                out[i * self.ncols + j] = v;
+            }
+        }
+        out
+    }
+
+    /// Builds a CSR matrix from a dense row-major slice, keeping entries with
+    /// magnitude above `tol`.
+    pub fn from_dense(nrows: usize, ncols: usize, dense: &[f64], tol: f64) -> Csr {
+        assert_eq!(dense.len(), nrows * ncols);
+        let mut indptr = Vec::with_capacity(nrows + 1);
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        indptr.push(0);
+        for i in 0..nrows {
+            for j in 0..ncols {
+                let v = dense[i * ncols + j];
+                if v.abs() > tol {
+                    indices.push(j as u32);
+                    data.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        Csr {
+            nrows,
+            ncols,
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Total floating-point work (multiply-add pairs) of a row-substitution
+    /// sweep; used by the performance model to weight loop indices.
+    pub fn flops_per_row(&self) -> Vec<u64> {
+        (0..self.nrows).map(|i| self.row_nnz(i) as u64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Csr {
+        // [ 1 0 2 ]
+        // [ 0 3 0 ]
+        // [ 4 0 5 ]
+        Csr::try_new(
+            3,
+            3,
+            vec![0, 2, 3, 5],
+            vec![0, 2, 1, 0, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_valid() {
+        let a = small();
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.nnz(), 5);
+        assert_eq!(a.get(0, 2), Some(2.0));
+        assert_eq!(a.get(0, 1), None);
+        assert_eq!(a.row_nnz(1), 1);
+    }
+
+    #[test]
+    fn construction_rejects_bad_indptr() {
+        let err = Csr::try_new(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 1.0]);
+        assert!(matches!(err, Err(SparseError::InvalidStructure(_))));
+        let err = Csr::try_new(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]);
+        assert!(matches!(err, Err(SparseError::InvalidStructure(_))));
+    }
+
+    #[test]
+    fn construction_rejects_unsorted_row() {
+        let err = Csr::try_new(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]);
+        assert!(matches!(err, Err(SparseError::InvalidStructure(_))));
+    }
+
+    #[test]
+    fn construction_rejects_duplicate_column() {
+        let err = Csr::try_new(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]);
+        assert!(matches!(err, Err(SparseError::InvalidStructure(_))));
+    }
+
+    #[test]
+    fn construction_rejects_out_of_bounds_column() {
+        let err = Csr::try_new(1, 2, vec![0, 1], vec![5], vec![1.0]);
+        assert!(matches!(err, Err(SparseError::InvalidStructure(_))));
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = small();
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![0.0; 3];
+        a.matvec(&x, &mut y).unwrap();
+        assert_eq!(y, vec![1.0 + 6.0, 6.0, 4.0 + 15.0]);
+    }
+
+    #[test]
+    fn matvec_rows_partial() {
+        let a = small();
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![-1.0; 3];
+        a.matvec_rows(&x, &mut y, 1, 3);
+        assert_eq!(y, vec![-1.0, 6.0, 19.0], "row 0 untouched");
+    }
+
+    #[test]
+    fn flops_per_row_counts_nnz() {
+        let a = small();
+        assert_eq!(a.flops_per_row(), vec![2, 1, 2]);
+    }
+
+    #[test]
+    fn matvec_dimension_checked() {
+        let a = small();
+        let mut y = vec![0.0; 3];
+        assert!(a.matvec(&[1.0, 2.0], &mut y).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = small();
+        let att = a.transpose().transpose();
+        assert_eq!(a, att);
+        assert_eq!(a.transpose().get(2, 0), Some(2.0));
+    }
+
+    #[test]
+    fn triangular_split() {
+        let a = small();
+        let l = a.lower();
+        let u = a.strict_upper();
+        assert!(l.is_lower_triangular());
+        assert!(u.is_upper_triangular());
+        assert_eq!(l.nnz() + u.nnz(), a.nnz());
+        assert_eq!(l.get(2, 0), Some(4.0));
+        assert_eq!(u.get(0, 2), Some(2.0));
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = small();
+        assert_eq!(a.diagonal().unwrap(), vec![1.0, 3.0, 5.0]);
+        let b = Csr::try_new(2, 2, vec![0, 1, 1], vec![1], vec![1.0]).unwrap();
+        assert!(matches!(
+            b.diagonal(),
+            Err(SparseError::MissingDiagonal { row: 0 })
+        ));
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let a = small();
+        let d = a.to_dense();
+        let b = Csr::from_dense(3, 3, &d, 0.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identity_is_identity() {
+        let i = Csr::identity(4);
+        let x = vec![1.0, -2.0, 3.0, 0.5];
+        let mut y = vec![0.0; 4];
+        i.matvec(&x, &mut y).unwrap();
+        assert_eq!(x, y);
+    }
+}

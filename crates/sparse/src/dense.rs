@@ -1,0 +1,208 @@
+//! Small dense-matrix helpers used to cross-check the sparse kernels.
+//!
+//! These are intentionally simple O(n³) reference routines; they exist so the
+//! tests can verify ILU factorizations and triangular solves against an
+//! independent implementation on small problems.
+
+/// A dense row-major square matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dense {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Dense {
+    /// Zero matrix of order `n`.
+    pub fn zeros(n: usize) -> Self {
+        Dense {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Builds from a row-major slice.
+    pub fn from_slice(n: usize, data: &[f64]) -> Self {
+        assert_eq!(data.len(), n * n);
+        Dense {
+            n,
+            data: data.to_vec(),
+        }
+    }
+
+    /// Dense copy of a square CSR matrix.
+    pub fn from_csr(a: &crate::Csr) -> Self {
+        assert_eq!(a.nrows(), a.ncols());
+        Dense {
+            n: a.nrows(),
+            data: a.to_dense(),
+        }
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// `self * other`.
+    pub fn matmul(&self, other: &Dense) -> Dense {
+        assert_eq!(self.n, other.n);
+        let n = self.n;
+        let mut out = Dense::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out.data[i * n + j] += aik * other.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        (0..self.n)
+            .map(|i| (0..self.n).map(|j| self.get(i, j) * x[j]).sum())
+            .collect()
+    }
+
+    /// In-place LU factorization without pivoting: on return the strict lower
+    /// triangle holds `L` (unit diagonal implicit) and the upper triangle
+    /// holds `U`. Returns `Err(row)` on a zero pivot.
+    pub fn lu_nopivot(&mut self) -> Result<(), usize> {
+        let n = self.n;
+        for k in 0..n {
+            let pivot = self.get(k, k);
+            if pivot == 0.0 {
+                return Err(k);
+            }
+            for i in (k + 1)..n {
+                let m = self.get(i, k) / pivot;
+                self.set(i, k, m);
+                for j in (k + 1)..n {
+                    let v = self.get(i, j) - m * self.get(k, j);
+                    self.set(i, j, v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Forward substitution with the unit lower triangle of an LU-factored
+    /// matrix.
+    pub fn solve_unit_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        let mut x = b.to_vec();
+        for i in 0..n {
+            for j in 0..i {
+                x[i] -= self.get(i, j) * x[j];
+            }
+        }
+        x
+    }
+
+    /// Backward substitution with the upper triangle of an LU-factored
+    /// matrix.
+    pub fn solve_upper(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        let mut x = b.to_vec();
+        for i in (0..n).rev() {
+            for j in (i + 1)..n {
+                x[i] -= self.get(i, j) * x[j];
+            }
+            x[i] /= self.get(i, i);
+        }
+        x
+    }
+
+    /// Largest absolute elementwise difference to `other`.
+    pub fn max_abs_diff(&self, other: &Dense) -> f64 {
+        assert_eq!(self.n, other.n);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Largest absolute elementwise difference between two vectors.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Euclidean norm.
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_reconstructs_matrix() {
+        let a = Dense::from_slice(3, &[4.0, 1.0, 0.0, 1.0, 4.0, 1.0, 0.0, 1.0, 4.0]);
+        let mut f = a.clone();
+        f.lu_nopivot().unwrap();
+        // Rebuild L * U and compare.
+        let n = 3;
+        let mut l = Dense::zeros(n);
+        let mut u = Dense::zeros(n);
+        for i in 0..n {
+            l.set(i, i, 1.0);
+            for j in 0..i {
+                l.set(i, j, f.get(i, j));
+            }
+            for j in i..n {
+                u.set(i, j, f.get(i, j));
+            }
+        }
+        let lu = l.matmul(&u);
+        assert!(lu.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn lu_solve_round_trip() {
+        let a = Dense::from_slice(3, &[4.0, 1.0, 0.0, 1.0, 4.0, 1.0, 0.0, 1.0, 4.0]);
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let mut f = a.clone();
+        f.lu_nopivot().unwrap();
+        let y = f.solve_unit_lower(&b);
+        let x = f.solve_upper(&y);
+        assert!(max_abs_diff(&x, &x_true) < 1e-12);
+    }
+
+    #[test]
+    fn lu_detects_zero_pivot() {
+        let mut a = Dense::from_slice(2, &[0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(a.lu_nopivot(), Err(0));
+    }
+
+    #[test]
+    fn norm_and_diff_helpers() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[1.5, 2.0]), 0.5);
+    }
+}

@@ -1,0 +1,174 @@
+//! Three-dimensional 7-point stencil generator.
+
+use super::idx3;
+use crate::coo::CooBuilder;
+use crate::csr::Csr;
+
+/// Variable PDE coefficients at a point `(x, y, z)` of the unit cube for
+///
+/// ```text
+/// -(ax u_x)_x - (ay u_y)_y - (az u_z)_z + cx u_x + cy u_y + cz u_z + r u = f
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Coeffs3 {
+    /// Diffusion in x.
+    pub ax: f64,
+    /// Diffusion in y.
+    pub ay: f64,
+    /// Diffusion in z.
+    pub az: f64,
+    /// Convection in x.
+    pub cx: f64,
+    /// Convection in y.
+    pub cy: f64,
+    /// Convection in z.
+    pub cz: f64,
+    /// Reaction term.
+    pub r: f64,
+}
+
+impl Coeffs3 {
+    /// Pure Laplacian coefficients.
+    pub fn laplace() -> Self {
+        Coeffs3 {
+            ax: 1.0,
+            ay: 1.0,
+            az: 1.0,
+            cx: 0.0,
+            cy: 0.0,
+            cz: 0.0,
+            r: 0.0,
+        }
+    }
+}
+
+/// Seven-point central-difference discretization on an `nx × ny × nz`
+/// interior grid of the unit cube with Dirichlet boundaries, natural
+/// ordering — the scheme behind the paper's 7-PT problem and the SPE
+/// reservoir surrogates.
+pub fn grid3d_7pt(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    coeff: impl Fn(f64, f64, f64) -> Coeffs3,
+) -> Csr {
+    assert!(nx >= 1 && ny >= 1 && nz >= 1);
+    let n = nx * ny * nz;
+    let hx = 1.0 / (nx as f64 + 1.0);
+    let hy = 1.0 / (ny as f64 + 1.0);
+    let hz = 1.0 / (nz as f64 + 1.0);
+    let mut b = CooBuilder::with_capacity(n, n, 7 * n);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let (px, py, pz) = (
+                    (x as f64 + 1.0) * hx,
+                    (y as f64 + 1.0) * hy,
+                    (z as f64 + 1.0) * hz,
+                );
+                let c = coeff(px, py, pz);
+                let ce = coeff(px + 0.5 * hx, py, pz);
+                let cw = coeff(px - 0.5 * hx, py, pz);
+                let cn = coeff(px, py + 0.5 * hy, pz);
+                let cs = coeff(px, py - 0.5 * hy, pz);
+                let cu = coeff(px, py, pz + 0.5 * hz);
+                let cd = coeff(px, py, pz - 0.5 * hz);
+                let i = idx3(nx, ny, x, y, z);
+
+                let diag = (ce.ax + cw.ax) / (hx * hx)
+                    + (cn.ay + cs.ay) / (hy * hy)
+                    + (cu.az + cd.az) / (hz * hz)
+                    + c.r;
+
+                if x + 1 < nx {
+                    b.push(
+                        i,
+                        idx3(nx, ny, x + 1, y, z),
+                        -ce.ax / (hx * hx) + c.cx / (2.0 * hx),
+                    );
+                }
+                if x > 0 {
+                    b.push(
+                        i,
+                        idx3(nx, ny, x - 1, y, z),
+                        -cw.ax / (hx * hx) - c.cx / (2.0 * hx),
+                    );
+                }
+                if y + 1 < ny {
+                    b.push(
+                        i,
+                        idx3(nx, ny, x, y + 1, z),
+                        -cn.ay / (hy * hy) + c.cy / (2.0 * hy),
+                    );
+                }
+                if y > 0 {
+                    b.push(
+                        i,
+                        idx3(nx, ny, x, y - 1, z),
+                        -cs.ay / (hy * hy) - c.cy / (2.0 * hy),
+                    );
+                }
+                if z + 1 < nz {
+                    b.push(
+                        i,
+                        idx3(nx, ny, x, y, z + 1),
+                        -cu.az / (hz * hz) + c.cz / (2.0 * hz),
+                    );
+                }
+                if z > 0 {
+                    b.push(
+                        i,
+                        idx3(nx, ny, x, y, z - 1),
+                        -cd.az / (hz * hz) - c.cz / (2.0 * hz),
+                    );
+                }
+                b.push(i, i, diag);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The 7-point Laplacian on an `nx × ny × nz` grid.
+pub fn laplacian_7pt(nx: usize, ny: usize, nz: usize) -> Csr {
+    grid3d_7pt(nx, ny, nz, |_, _, _| Coeffs3::laplace())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laplacian_7pt_structure() {
+        let a = laplacian_7pt(3, 3, 3);
+        assert_eq!(a.nrows(), 27);
+        // Center point couples to 6 neighbours + itself.
+        assert_eq!(a.row_nnz(13), 7);
+        // Corner couples to 3 neighbours + itself.
+        assert_eq!(a.row_nnz(0), 4);
+        assert_eq!(a, a.transpose());
+    }
+
+    #[test]
+    fn lower_deps_are_three_previous_axes() {
+        let a = laplacian_7pt(4, 4, 4);
+        let l = a.strict_lower();
+        let i = idx3(4, 4, 2, 2, 2);
+        let deps: Vec<usize> = l.row_indices(i).iter().map(|&c| c as usize).collect();
+        assert_eq!(
+            deps,
+            vec![
+                idx3(4, 4, 2, 2, 1),
+                idx3(4, 4, 2, 1, 2),
+                idx3(4, 4, 1, 2, 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn grid_sizes_match_paper_problems() {
+        // SPE1 is 10×10×10 (1000 unknowns), 7-PT is 20×20×20 (8000).
+        assert_eq!(laplacian_7pt(10, 10, 10).nrows(), 1000);
+        assert_eq!(laplacian_7pt(20, 20, 20).nrows(), 8000);
+    }
+}

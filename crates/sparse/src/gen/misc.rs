@@ -1,0 +1,92 @@
+//! Miscellaneous generators: dense triangles, tridiagonals, random lower
+//! triangular DAG matrices (test inputs for the schedulers).
+
+use crate::coo::CooBuilder;
+use crate::csr::Csr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fully dense lower triangular matrix of order `n` with unit diagonal —
+/// the paper's §4 extreme case where every row substitution forms its own
+/// wavefront (`n + m - 1` phases, no pre-scheduled parallelism at all).
+pub fn dense_lower(n: usize) -> Csr {
+    let mut b = CooBuilder::with_capacity(n, n, n * (n + 1) / 2);
+    for i in 0..n {
+        for j in 0..i {
+            b.push(i, j, -1.0 / (n as f64));
+        }
+        b.push(i, i, 1.0);
+    }
+    b.build()
+}
+
+/// Symmetric tridiagonal `(off, d, off)` of order `n` — a chain dependence
+/// graph (one index per wavefront, fully sequential lower solve).
+pub fn tridiagonal(n: usize, d: f64, off: f64) -> Csr {
+    let mut b = CooBuilder::with_capacity(n, n, 3 * n);
+    for i in 0..n {
+        if i > 0 {
+            b.push(i, i - 1, off);
+        }
+        b.push(i, i, d);
+        if i + 1 < n {
+            b.push(i, i + 1, off);
+        }
+    }
+    b.build()
+}
+
+/// A random unit-diagonal lower triangular matrix: row `i` receives
+/// `deg ~ U[0, max_deg]` strictly-lower entries at uniformly random columns.
+/// Deterministic in `seed`; used by the property tests to generate arbitrary
+/// dependence DAGs.
+pub fn random_lower(n: usize, max_deg: usize, seed: u64) -> Csr {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CooBuilder::with_capacity(n, n, n * (max_deg + 1));
+    for i in 0..n {
+        if i > 0 && max_deg > 0 {
+            let deg = rng.gen_range(0..=max_deg.min(i));
+            for _ in 0..deg {
+                let j = rng.gen_range(0..i);
+                // Duplicates sum — harmless for structure, keeps values small.
+                b.push(i, j, rng.gen_range(-0.5..0.5) / (max_deg as f64));
+            }
+        }
+        b.push(i, i, 1.0);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_lower_is_lower_unit() {
+        let a = dense_lower(6);
+        assert!(a.is_lower_triangular());
+        assert_eq!(a.nnz(), 21);
+        for i in 0..6 {
+            assert_eq!(a.get(i, i), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn tridiagonal_structure() {
+        let a = tridiagonal(5, 2.0, -1.0);
+        assert_eq!(a.nnz(), 13);
+        assert_eq!(a.get(2, 1), Some(-1.0));
+        assert_eq!(a.get(2, 3), Some(-1.0));
+        assert_eq!(a.get(2, 2), Some(2.0));
+    }
+
+    #[test]
+    fn random_lower_is_valid_and_deterministic() {
+        let a = random_lower(50, 4, 9);
+        assert!(a.is_lower_triangular());
+        assert_eq!(a, random_lower(50, 4, 9));
+        for i in 0..50 {
+            assert_eq!(a.get(i, i), Some(1.0));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Finite-difference matrix generators.
+//!
+//! The paper's test problems (Appendix I) are central-difference
+//! discretizations of second-order elliptic PDEs on 2-D and 3-D rectangular
+//! grids with the **natural ordering** (index `= z*ny*nx + y*nx + x`), plus
+//! block-structured variants for the multi-unknown reservoir problems. These
+//! modules provide the generic stencil machinery; the concrete Appendix-I
+//! problems live in `rtpl-workload`.
+
+mod block;
+mod grid2d;
+mod grid3d;
+mod misc;
+
+pub use block::block_expand;
+pub use grid2d::{grid2d_5pt, grid2d_9pt, laplacian_5pt, laplacian_9pt, Coeffs2};
+pub use grid3d::{grid3d_7pt, laplacian_7pt, Coeffs3};
+pub use misc::{dense_lower, random_lower, tridiagonal};
+
+/// Natural-ordering index of grid point `(x, y)` on an `nx`-wide grid.
+#[inline]
+pub fn idx2(nx: usize, x: usize, y: usize) -> usize {
+    y * nx + x
+}
+
+/// Natural-ordering index of grid point `(x, y, z)` on an `nx × ny × _` grid.
+#[inline]
+pub fn idx3(nx: usize, ny: usize, x: usize, y: usize, z: usize) -> usize {
+    (z * ny + y) * nx + x
+}

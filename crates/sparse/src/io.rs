@@ -1,0 +1,223 @@
+//! Matrix Market I/O.
+//!
+//! The de-facto exchange format for sparse matrices (the real SPE matrices
+//! circulate as `.mtx` files). Supports the `matrix coordinate
+//! real/integer/pattern general/symmetric` subset, which covers every
+//! matrix this workspace produces or consumes.
+
+use crate::coo::CooBuilder;
+use crate::csr::Csr;
+use crate::{Result, SparseError};
+use std::io::{BufRead, Write};
+
+/// Parses a Matrix Market `coordinate` stream into CSR.
+///
+/// Supported qualifiers: field `real`, `integer` or `pattern` (pattern
+/// entries get value 1.0); symmetry `general` or `symmetric` (symmetric
+/// off-diagonal entries are mirrored).
+pub fn read_matrix_market(reader: impl BufRead) -> Result<Csr> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| SparseError::InvalidStructure("empty stream".into()))?
+        .map_err(io_err)?;
+    let h: Vec<String> = header.split_whitespace().map(str::to_lowercase).collect();
+    if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" || h[2] != "coordinate" {
+        return Err(SparseError::InvalidStructure(format!(
+            "unsupported MatrixMarket header: {header}"
+        )));
+    }
+    let field = h[3].as_str();
+    if !matches!(field, "real" | "integer" | "pattern") {
+        return Err(SparseError::InvalidStructure(format!(
+            "unsupported field type: {field}"
+        )));
+    }
+    let symmetric = match h[4].as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => {
+            return Err(SparseError::InvalidStructure(format!(
+                "unsupported symmetry: {other}"
+            )))
+        }
+    };
+
+    // Skip comments, read the size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line.map_err(io_err)?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line =
+        size_line.ok_or_else(|| SparseError::InvalidStructure("missing size line".into()))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| bad_token(t)))
+        .collect::<Result<_>>()?;
+    if dims.len() != 3 {
+        return Err(SparseError::InvalidStructure(format!(
+            "bad size line: {size_line}"
+        )));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut b = CooBuilder::with_capacity(nrows, ncols, if symmetric { 2 * nnz } else { nnz });
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line.map_err(io_err)?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut toks = t.split_whitespace();
+        let i: usize = toks
+            .next()
+            .ok_or_else(|| bad_token(t))?
+            .parse()
+            .map_err(|_| bad_token(t))?;
+        let j: usize = toks
+            .next()
+            .ok_or_else(|| bad_token(t))?
+            .parse()
+            .map_err(|_| bad_token(t))?;
+        let v: f64 = if field == "pattern" {
+            1.0
+        } else {
+            toks.next()
+                .ok_or_else(|| bad_token(t))?
+                .parse()
+                .map_err(|_| bad_token(t))?
+        };
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(SparseError::InvalidStructure(format!(
+                "entry ({i}, {j}) out of bounds for {nrows}x{ncols}"
+            )));
+        }
+        b.push(i - 1, j - 1, v);
+        if symmetric && i != j {
+            b.push(j - 1, i - 1, v);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(SparseError::InvalidStructure(format!(
+            "expected {nnz} entries, found {seen}"
+        )));
+    }
+    Ok(b.build())
+}
+
+/// Writes `a` as `matrix coordinate real general`.
+pub fn write_matrix_market(a: &Csr, mut w: impl Write) -> Result<()> {
+    let wr = |e: std::io::Error| io_err(e);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general").map_err(wr)?;
+    writeln!(w, "% written by rtpl-sparse").map_err(wr)?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz()).map_err(wr)?;
+    for i in 0..a.nrows() {
+        for (j, v) in a.row(i) {
+            writeln!(w, "{} {} {:.17e}", i + 1, j + 1, v).map_err(wr)?;
+        }
+    }
+    Ok(())
+}
+
+fn io_err(e: std::io::Error) -> SparseError {
+    SparseError::InvalidStructure(format!("I/O error: {e}"))
+}
+
+fn bad_token(t: &str) -> SparseError {
+    SparseError::InvalidStructure(format!("malformed entry line: {t}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::laplacian_5pt;
+
+    #[test]
+    fn round_trip_general_real() {
+        let a = laplacian_5pt(6, 5);
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reads_symmetric_pattern() {
+        let text = "\
+%%MatrixMarket matrix coordinate pattern symmetric
+% a 3x3 path graph
+3 3 3
+1 1
+2 1
+3 2
+";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 0), Some(1.0));
+        assert_eq!(a.get(0, 1), Some(1.0), "mirrored entry");
+        assert_eq!(a.get(1, 0), Some(1.0));
+        assert_eq!(a.nnz(), 5);
+    }
+
+    #[test]
+    fn reads_integer_field() {
+        let text = "\
+%%MatrixMarket matrix coordinate integer general
+2 2 2
+1 1 4
+2 2 -7
+";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(1, 1), Some(-7.0));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let a = laplacian_5pt(4, 4);
+        let path = std::env::temp_dir().join("rtpl_io_roundtrip_test.mtx");
+        {
+            let f = std::fs::File::create(&path).unwrap();
+            write_matrix_market(&a, std::io::BufWriter::new(f)).unwrap();
+        }
+        let f = std::fs::File::open(&path).unwrap();
+        let b = read_matrix_market(std::io::BufReader::new(f)).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes())
+            .is_err());
+        assert!(read_matrix_market("garbage\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_and_count_mismatch() {
+        let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(oob.as_bytes()).is_err());
+        let short = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market(short.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "\
+%%MatrixMarket matrix coordinate real general
+% comment
+
+2 2 1
+% another
+1 2 3.5
+";
+        let a = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 1), Some(3.5));
+    }
+}

@@ -1,0 +1,266 @@
+//! Sequential sparse triangular substitution — the loop of the paper's
+//! Figure 8.
+//!
+//! ```text
+//! S1: do i = 1, n
+//!         y(i) = rhs(i)
+//! S2:     do j = ija(i), ija(i+1)-1
+//!             y(i) = y(i) - a(j) * y(ija(j))
+//!         end do
+//!     end do
+//! ```
+//!
+//! The dependences of the outer loop `S1` are exactly the strictly-lower
+//! entries of the matrix: row `i` needs `y(j)` for every stored `(i, j)` with
+//! `j < i`. These sequential kernels are (a) the baseline the parallel
+//! executors are checked against, and (b) the per-row body those executors
+//! run.
+
+use crate::csr::Csr;
+use crate::{Result, SparseError};
+
+/// Handling of the diagonal during substitution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Diag {
+    /// The diagonal is implicitly one and must not be stored.
+    Unit,
+    /// The diagonal is stored in the matrix and divided by.
+    Stored,
+}
+
+/// Solves `L x = b` by forward substitution.
+///
+/// `l` must be lower triangular; with [`Diag::Unit`] any stored diagonal is
+/// an error, with [`Diag::Stored`] a missing or zero diagonal is an error.
+pub fn solve_lower(l: &Csr, b: &[f64], diag: Diag, x: &mut [f64]) -> Result<()> {
+    let n = l.nrows();
+    check_dims(l, b, x)?;
+    for i in 0..n {
+        let mut acc = b[i];
+        let mut dv: Option<f64> = None;
+        for (j, v) in l.row(i) {
+            if j < i {
+                acc -= v * x[j];
+            } else if j == i {
+                dv = Some(v);
+            } else {
+                return Err(SparseError::NotTriangular { row: i, col: j });
+            }
+        }
+        x[i] = match diag {
+            Diag::Unit => {
+                if dv.is_some() {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "unit-diagonal solve but row {i} stores a diagonal entry"
+                    )));
+                }
+                acc
+            }
+            Diag::Stored => {
+                let d = dv.ok_or(SparseError::MissingDiagonal { row: i })?;
+                if d == 0.0 {
+                    return Err(SparseError::ZeroPivot { row: i });
+                }
+                acc / d
+            }
+        };
+    }
+    Ok(())
+}
+
+/// Solves `U x = b` by backward substitution (same diagonal conventions as
+/// [`solve_lower`]).
+pub fn solve_upper(u: &Csr, b: &[f64], diag: Diag, x: &mut [f64]) -> Result<()> {
+    let n = u.nrows();
+    check_dims(u, b, x)?;
+    for i in (0..n).rev() {
+        let mut acc = b[i];
+        let mut dv: Option<f64> = None;
+        for (j, v) in u.row(i) {
+            if j > i {
+                acc -= v * x[j];
+            } else if j == i {
+                dv = Some(v);
+            } else {
+                return Err(SparseError::NotTriangular { row: i, col: j });
+            }
+        }
+        x[i] = match diag {
+            Diag::Unit => {
+                if dv.is_some() {
+                    return Err(SparseError::InvalidStructure(format!(
+                        "unit-diagonal solve but row {i} stores a diagonal entry"
+                    )));
+                }
+                acc
+            }
+            Diag::Stored => {
+                let d = dv.ok_or(SparseError::MissingDiagonal { row: i })?;
+                if d == 0.0 {
+                    return Err(SparseError::ZeroPivot { row: i });
+                }
+                acc / d
+            }
+        };
+    }
+    Ok(())
+}
+
+/// The body of one row substitution of `L x = b` (`L` strictly lower +
+/// implicit unit diagonal): returns the value of `x[i]` given read access to
+/// already-computed entries. This is the per-index work item handed to the
+/// parallel executors; `read` receives only column indices `< i`.
+#[inline]
+pub fn row_substitution_lower(
+    l: &Csr,
+    b: &[f64],
+    i: usize,
+    mut read: impl FnMut(usize) -> f64,
+) -> f64 {
+    let mut acc = b[i];
+    let idx = l.row_indices(i);
+    let val = l.row_values(i);
+    for k in 0..idx.len() {
+        acc -= val[k] * read(idx[k] as usize);
+    }
+    acc
+}
+
+fn check_dims(a: &Csr, b: &[f64], x: &[f64]) -> Result<()> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::DimensionMismatch {
+            expected: a.nrows(),
+            found: a.ncols(),
+        });
+    }
+    if b.len() != a.nrows() {
+        return Err(SparseError::DimensionMismatch {
+            expected: a.nrows(),
+            found: b.len(),
+        });
+    }
+    if x.len() != a.nrows() {
+        return Err(SparseError::DimensionMismatch {
+            expected: a.nrows(),
+            found: x.len(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::max_abs_diff;
+    use crate::CooBuilder;
+
+    fn lower3() -> Csr {
+        // [ 2 0 0 ]
+        // [ 1 3 0 ]
+        // [ 0 4 5 ]
+        let mut b = CooBuilder::new(3, 3);
+        b.push(0, 0, 2.0);
+        b.push(1, 0, 1.0);
+        b.push(1, 1, 3.0);
+        b.push(2, 1, 4.0);
+        b.push(2, 2, 5.0);
+        b.build()
+    }
+
+    #[test]
+    fn forward_substitution_stored_diag() {
+        let l = lower3();
+        let x_true = vec![1.0, 2.0, 3.0];
+        let mut bvec = vec![0.0; 3];
+        l.matvec(&x_true, &mut bvec).unwrap();
+        let mut x = vec![0.0; 3];
+        solve_lower(&l, &bvec, Diag::Stored, &mut x).unwrap();
+        assert!(max_abs_diff(&x, &x_true) < 1e-14);
+    }
+
+    #[test]
+    fn forward_substitution_unit_diag() {
+        let l = lower3().strict_lower();
+        // (I + L_strict) x = b
+        let x_true = vec![1.0, -1.0, 2.0];
+        let mut bvec = vec![0.0; 3];
+        l.matvec(&x_true, &mut bvec).unwrap();
+        for i in 0..3 {
+            bvec[i] += x_true[i];
+        }
+        let mut x = vec![0.0; 3];
+        solve_lower(&l, &bvec, Diag::Unit, &mut x).unwrap();
+        assert!(max_abs_diff(&x, &x_true) < 1e-14);
+    }
+
+    #[test]
+    fn backward_substitution() {
+        let u = lower3().transpose();
+        let x_true = vec![2.0, 0.5, -1.0];
+        let mut bvec = vec![0.0; 3];
+        u.matvec(&x_true, &mut bvec).unwrap();
+        let mut x = vec![0.0; 3];
+        solve_upper(&u, &bvec, Diag::Stored, &mut x).unwrap();
+        assert!(max_abs_diff(&x, &x_true) < 1e-14);
+    }
+
+    #[test]
+    fn rejects_non_triangular() {
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 0, 1.0);
+        b.push(0, 1, 1.0); // upper entry in a "lower" solve
+        b.push(1, 1, 1.0);
+        let a = b.build();
+        let mut x = vec![0.0; 2];
+        assert!(matches!(
+            solve_lower(&a, &[1.0, 1.0], Diag::Stored, &mut x),
+            Err(SparseError::NotTriangular { row: 0, col: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_pivot() {
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 0, 0.0);
+        b.push(1, 1, 1.0);
+        let a = b.build();
+        let mut x = vec![0.0; 2];
+        assert!(matches!(
+            solve_lower(&a, &[1.0, 1.0], Diag::Stored, &mut x),
+            Err(SparseError::ZeroPivot { row: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_diag() {
+        let mut b = CooBuilder::new(2, 2);
+        b.push(1, 0, 1.0);
+        b.push(1, 1, 1.0);
+        let a = b.build();
+        let mut x = vec![0.0; 2];
+        assert!(matches!(
+            solve_lower(&a, &[1.0, 1.0], Diag::Stored, &mut x),
+            Err(SparseError::MissingDiagonal { row: 0 })
+        ));
+    }
+
+    #[test]
+    fn unit_diag_rejects_stored_diag() {
+        let l = lower3();
+        let mut x = vec![0.0; 3];
+        assert!(solve_lower(&l, &[1.0; 3], Diag::Unit, &mut x).is_err());
+    }
+
+    #[test]
+    fn row_substitution_matches_full_solve() {
+        let l = lower3().strict_lower();
+        let b = vec![1.0, 2.0, 3.0];
+        let mut x_ref = vec![0.0; 3];
+        solve_lower(&l, &b, Diag::Unit, &mut x_ref).unwrap();
+        let mut x = vec![0.0; 3];
+        for i in 0..3 {
+            x[i] = row_substitution_lower(&l, &b, i, |j| x[j]);
+        }
+        assert!(max_abs_diff(&x, &x_ref) < 1e-14);
+    }
+}

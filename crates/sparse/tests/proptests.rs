@@ -1,0 +1,162 @@
+//! Property tests for the sparse substrate: structural invariants, dense
+//! cross-checks, I/O round trips, ordering correctness.
+
+use proptest::prelude::*;
+use rtpl_sparse::dense::{max_abs_diff, Dense};
+use rtpl_sparse::gen::random_lower;
+use rtpl_sparse::io::{read_matrix_market, write_matrix_market};
+use rtpl_sparse::ordering::{reverse_cuthill_mckee, Permutation};
+use rtpl_sparse::triangular::{solve_lower, Diag};
+use rtpl_sparse::{ilu0, iluk, CooBuilder, Csr};
+
+/// Strategy: a random square matrix as (n, triplets).
+fn matrix_strategy(nmax: usize) -> impl Strategy<Value = Csr> {
+    (2..nmax).prop_flat_map(|n| {
+        prop::collection::vec(((0..n), (0..n), -10.0f64..10.0), 0..4 * n).prop_map(
+            move |trips| {
+                let mut b = CooBuilder::new(n, n);
+                for (i, j, v) in trips {
+                    b.push(i, j, v);
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+/// Strategy: a random strictly diagonally dominant matrix (ILU-friendly).
+fn dominant_strategy(nmax: usize) -> impl Strategy<Value = Csr> {
+    (3..nmax).prop_flat_map(|n| {
+        prop::collection::vec(((0..n), (0..n), -1.0f64..1.0), n..5 * n).prop_map(
+            move |trips| {
+                let mut b = CooBuilder::new(n, n);
+                let mut row_abs = vec![0.0f64; n];
+                let mut kept = Vec::new();
+                for (i, j, v) in trips {
+                    if i != j {
+                        row_abs[i] += v.abs();
+                        kept.push((i, j, v));
+                    }
+                }
+                for (i, j, v) in kept {
+                    b.push(i, j, v);
+                }
+                for i in 0..n {
+                    b.push(i, i, row_abs[i] + 1.0);
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    #[test]
+    fn dense_round_trip(a in matrix_strategy(20)) {
+        let d = a.to_dense();
+        let b = Csr::from_dense(a.nrows(), a.ncols(), &d, -1.0);
+        // from_dense with tol < 0 keeps explicit zeros too, so structures
+        // can differ only where COO summed duplicates to zero; compare
+        // dense forms instead.
+        prop_assert_eq!(d, b.to_dense());
+    }
+
+    #[test]
+    fn transpose_is_involution(a in matrix_strategy(24)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matvec_agrees_with_dense(a in matrix_strategy(16)) {
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut y = vec![0.0; n];
+        a.matvec(&x, &mut y).unwrap();
+        let yd = Dense::from_csr(&a).matvec(&x);
+        prop_assert!(max_abs_diff(&y, &yd) < 1e-10);
+    }
+
+    #[test]
+    fn transpose_matvec_identity(a in matrix_strategy(14)) {
+        // y' A x == x' A' y for random probes.
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 3 % 7) as f64) - 3.0).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 5 % 11) as f64) * 0.5).collect();
+        let mut ax = vec![0.0; n];
+        a.matvec(&x, &mut ax).unwrap();
+        let lhs: f64 = y.iter().zip(&ax).map(|(a, b)| a * b).sum();
+        let at = a.transpose();
+        let mut aty = vec![0.0; n];
+        at.matvec(&y, &mut aty).unwrap();
+        let rhs: f64 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn ilu0_reproduces_pattern_entries(a in dominant_strategy(14)) {
+        // Defining property of ILU(0): (LU)_ij == A_ij on the pattern of A.
+        let f = ilu0(&a).unwrap();
+        let lu = f.to_dense_product();
+        for i in 0..a.nrows() {
+            for (j, v) in a.row(i) {
+                prop_assert!(
+                    (lu.get(i, j) - v).abs() < 1e-8 * (1.0 + v.abs()),
+                    "entry ({}, {}): {} vs {}", i, j, lu.get(i, j), v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_level_iluk_is_exact_lu(a in dominant_strategy(10)) {
+        let n = a.nrows();
+        let f = iluk(&a, n).unwrap();
+        let lu = f.to_dense_product();
+        let ad = Dense::from_csr(&a);
+        prop_assert!(lu.max_abs_diff(&ad) < 1e-8);
+    }
+
+    #[test]
+    fn triangular_solve_matches_dense(seed in 0u64..200, n in 4usize..40) {
+        let l = random_lower(n, 4, seed);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let mut x = vec![0.0; n];
+        solve_lower(&l, &b, Diag::Stored, &mut x).unwrap();
+        // Check L x == b via matvec.
+        let mut lx = vec![0.0; n];
+        l.matvec(&x, &mut lx).unwrap();
+        prop_assert!(max_abs_diff(&lx, &b) < 1e-9);
+    }
+
+    #[test]
+    fn matrix_market_round_trip(a in matrix_strategy(16)) {
+        let mut buf = Vec::new();
+        write_matrix_market(&a, &mut buf).unwrap();
+        let b = read_matrix_market(&buf[..]).unwrap();
+        prop_assert_eq!(a.nrows(), b.nrows());
+        prop_assert!(max_abs_diff(&a.to_dense(), &b.to_dense()) < 1e-12);
+    }
+
+    #[test]
+    fn rcm_permutation_preserves_matvec(a in matrix_strategy(16)) {
+        let p = reverse_cuthill_mckee(&a).unwrap();
+        let b = p.apply_symmetric(&a).unwrap();
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let mut ax = vec![0.0; n];
+        a.matvec(&x, &mut ax).unwrap();
+        let mut bxp = vec![0.0; n];
+        b.matvec(&p.gather(&x), &mut bxp).unwrap();
+        prop_assert!(max_abs_diff(&bxp, &p.gather(&ax)) < 1e-10);
+    }
+
+    #[test]
+    fn permutation_gather_scatter_roundtrip(n in 1usize..50, shift in 0usize..49) {
+        let perm: Vec<u32> = (0..n).map(|i| ((i + shift) % n) as u32).collect();
+        let p = Permutation::new(perm).unwrap();
+        let x: Vec<f64> = (0..n).map(|i| i as f64 * 1.5).collect();
+        prop_assert_eq!(p.scatter(&p.gather(&x)), x);
+    }
+}

@@ -1,0 +1,18 @@
+//! # rtpl-workload — test problem and synthetic workload generation
+//!
+//! Two sources of matrices, mirroring §4.1 of the paper:
+//!
+//! * [`problems`] — the eight Appendix-I test problems (SPE1–SPE5 reservoir
+//!   surrogates, the 5-PT/9-PT/7-PT PDE discretizations and their large
+//!   variants). The proprietary SPE matrices are reproduced structurally:
+//!   same grids, same stencils, same block sizes, seeded values.
+//! * [`synthetic`] — the parameterized workload generator: a 2-D mesh where
+//!   each index's out-degree is Poisson(λ) and link distance is geometric,
+//!   named `"65-4-3"` style (65×65 mesh, mean degree 4, mean Manhattan
+//!   distance 3).
+
+pub mod problems;
+pub mod synthetic;
+
+pub use problems::{ProblemId, TestProblem};
+pub use synthetic::SyntheticSpec;

@@ -1,0 +1,275 @@
+//! The parameterized synthetic workload generator of §4.1.
+//!
+//! The input domain is an `N × N` mesh of points in natural order. For each
+//! point, the number of dependency links is drawn from a **Poisson(λ)**
+//! density ("several physical phenomena can be modeled using this random
+//! variable"); each link's Manhattan distance is drawn from a **geometric**
+//! density (`Pr[X = i] = (1 − q)·q^{i−1}`, capturing that "spatial regions
+//! tend to interact more intensely with adjacent regions"); the partner is
+//! chosen uniformly among the mesh points at exactly that distance. Links
+//! are oriented from the lower to the higher index, so the result is a
+//! data-dependency matrix in unit-lower-triangular form.
+//!
+//! A matrix described as `65-4-3` is a 65×65 mesh with λ = 4 and mean link
+//! distance 3.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtpl_sparse::{CooBuilder, Csr};
+
+/// Parameters of one synthetic workload.
+///
+/// ```
+/// use rtpl_workload::SyntheticSpec;
+/// let spec = SyntheticSpec { mesh: 65, mean_degree: 4.0, mean_distance: 3.0 };
+/// assert_eq!(spec.name(), "65-4-3");
+/// let m = spec.generate(42);
+/// assert_eq!(m.nrows(), 65 * 65);
+/// assert!(m.is_lower_triangular());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SyntheticSpec {
+    /// Mesh side length `N` (the domain has `N²` indices).
+    pub mesh: usize,
+    /// Mean number of dependency links per index (Poisson λ).
+    pub mean_degree: f64,
+    /// Mean Manhattan link distance (geometric mean, ≥ 1).
+    pub mean_distance: f64,
+}
+
+impl SyntheticSpec {
+    /// The paper's `65-4-3` naming: `N-λ-distance`.
+    pub fn name(&self) -> String {
+        format!(
+            "{}-{}-{}",
+            self.mesh,
+            trim(self.mean_degree),
+            trim(self.mean_distance)
+        )
+    }
+
+    /// Number of indices.
+    pub fn n(&self) -> usize {
+        self.mesh * self.mesh
+    }
+
+    /// Generates the dependency matrix (unit lower triangular: ones on the
+    /// diagonal, one entry per link below it). Deterministic in `seed`.
+    pub fn generate(&self, seed: u64) -> Csr {
+        assert!(self.mesh >= 2, "mesh must be at least 2x2");
+        assert!(self.mean_distance >= 1.0, "mean distance must be >= 1");
+        let n = self.n();
+        let nmesh = self.mesh;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Geometric on {1, 2, ...} with mean 1/(1-q)  =>  q = 1 - 1/mean.
+        let q = 1.0 - 1.0 / self.mean_distance;
+        let mut b = CooBuilder::with_capacity(n, n, n * (self.mean_degree as usize + 2));
+        let mut ring = Vec::new();
+        for k in 0..n {
+            b.push(k, k, 1.0);
+            let links = sample_poisson(&mut rng, self.mean_degree);
+            for _ in 0..links {
+                // Retry a few times if the sampled distance leaves no
+                // in-bounds partners ("one of these indices (if any) is
+                // selected").
+                for _attempt in 0..4 {
+                    let d = sample_geometric(&mut rng, q);
+                    ring_at_distance(nmesh, k, d, &mut ring);
+                    if ring.is_empty() {
+                        continue;
+                    }
+                    let partner = ring[rng.gen_range(0..ring.len())];
+                    let (lo, hi) = (k.min(partner), k.max(partner));
+                    // Dependency: the later index consumes the earlier one.
+                    b.push(hi, lo, -1.0 / (self.mean_degree + 1.0));
+                    break;
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+fn trim(x: f64) -> String {
+    if x.fract() == 0.0 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Knuth's Poisson sampler (λ is small in all our workloads).
+fn sample_poisson(rng: &mut StdRng, lambda: f64) -> usize {
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen_range(0.0..1.0f64);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 64 {
+            return k; // extreme-tail guard
+        }
+    }
+}
+
+/// Geometric on {1, 2, ...}: `Pr[X = i] = (1 − q)·q^{i−1}`.
+fn sample_geometric(rng: &mut StdRng, q: f64) -> usize {
+    if q <= 0.0 {
+        return 1;
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    1 + (u.ln() / q.ln()).floor() as usize
+}
+
+/// Collects the mesh indices at exactly Manhattan distance `d` from `k`.
+fn ring_at_distance(nmesh: usize, k: usize, d: usize, out: &mut Vec<usize>) {
+    out.clear();
+    let (x0, y0) = ((k % nmesh) as isize, (k / nmesh) as isize);
+    let d = d as isize;
+    let nm = nmesh as isize;
+    for dx in -d..=d {
+        let rem = d - dx.abs();
+        for dy in [-rem, rem] {
+            let (x, y) = (x0 + dx, y0 + dy);
+            if x >= 0 && x < nm && y >= 0 && y < nm {
+                out.push((y * nm + x) as usize);
+            }
+            if dy == 0 {
+                break; // avoid double-counting (dx, 0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naming_matches_paper_convention() {
+        let s = SyntheticSpec {
+            mesh: 65,
+            mean_degree: 4.0,
+            mean_distance: 3.0,
+        };
+        assert_eq!(s.name(), "65-4-3");
+        let s = SyntheticSpec {
+            mesh: 65,
+            mean_degree: 4.0,
+            mean_distance: 1.5,
+        };
+        assert_eq!(s.name(), "65-4-1.5");
+    }
+
+    #[test]
+    fn generated_matrix_is_unit_lower_triangular() {
+        let s = SyntheticSpec {
+            mesh: 12,
+            mean_degree: 3.0,
+            mean_distance: 2.0,
+        };
+        let a = s.generate(17);
+        assert_eq!(a.nrows(), 144);
+        assert!(a.is_lower_triangular());
+        for i in 0..a.nrows() {
+            assert_eq!(a.get(i, i), Some(1.0), "unit diagonal at {i}");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let s = SyntheticSpec {
+            mesh: 10,
+            mean_degree: 4.0,
+            mean_distance: 3.0,
+        };
+        assert_eq!(s.generate(1), s.generate(1));
+        assert_ne!(s.generate(1), s.generate(2));
+    }
+
+    #[test]
+    fn mean_degree_roughly_respected() {
+        let s = SyntheticSpec {
+            mesh: 40,
+            mean_degree: 4.0,
+            mean_distance: 2.0,
+        };
+        let a = s.generate(7);
+        // strict-lower nnz ≈ number of links kept; some links are lost to
+        // boundary effects and duplicate-merging, so allow a generous band.
+        let links = a.nnz() - a.nrows();
+        let per_index = links as f64 / a.nrows() as f64;
+        assert!(
+            (2.0..=4.5).contains(&per_index),
+            "mean realized degree {per_index}"
+        );
+    }
+
+    #[test]
+    fn locality_increases_with_mean_distance() {
+        // Mean realized Manhattan distance should grow with the parameter.
+        fn mean_dist(spec: &SyntheticSpec, seed: u64) -> f64 {
+            let a = spec.generate(seed);
+            let nm = spec.mesh;
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for i in 0..a.nrows() {
+                for (j, _) in a.row(i) {
+                    if j == i {
+                        continue;
+                    }
+                    let (xi, yi) = ((i % nm) as isize, (i / nm) as isize);
+                    let (xj, yj) = ((j % nm) as isize, (j / nm) as isize);
+                    total += ((xi - xj).abs() + (yi - yj).abs()) as f64;
+                    count += 1;
+                }
+            }
+            total / count as f64
+        }
+        let near = SyntheticSpec {
+            mesh: 30,
+            mean_degree: 4.0,
+            mean_distance: 1.5,
+        };
+        let far = SyntheticSpec {
+            mesh: 30,
+            mean_degree: 4.0,
+            mean_distance: 4.0,
+        };
+        assert!(mean_dist(&far, 3) > mean_dist(&near, 3) + 0.5);
+    }
+
+    #[test]
+    fn ring_enumeration_correct() {
+        let mut out = Vec::new();
+        // Center of a 5×5 mesh, distance 1: the 4 von Neumann neighbours.
+        ring_at_distance(5, 12, 1, &mut out);
+        let mut got = out.clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![7, 11, 13, 17]);
+        // Distance 2 from a corner is clipped by the boundary.
+        ring_at_distance(5, 0, 2, &mut out);
+        let mut got = out.clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![2, 6, 10]);
+    }
+
+    #[test]
+    fn no_self_links_or_duplicates_break_structure() {
+        let s = SyntheticSpec {
+            mesh: 20,
+            mean_degree: 6.0,
+            mean_distance: 1.2,
+        };
+        // Csr::try_new inside build() would reject unsorted/duplicate columns.
+        let a = s.generate(99);
+        for i in 0..a.nrows() {
+            for (j, _) in a.row(i) {
+                assert!(j <= i);
+            }
+        }
+    }
+}

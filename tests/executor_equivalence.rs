@@ -1,0 +1,127 @@
+//! Property tests: every parallel executor computes exactly what the
+//! sequential loop computes, on arbitrary forward dependence DAGs, any
+//! schedule, any processor count.
+
+use proptest::prelude::*;
+use rtpl::executor::{doacross, pre_scheduled, self_executing, WorkerPool};
+use rtpl::inspector::{DepGraph, Partition, Schedule, Wavefronts};
+
+/// Strategy: a random forward DAG of `n` indices with up to `maxdeg`
+/// dependences each.
+fn dag_strategy(nmax: usize, maxdeg: usize) -> impl Strategy<Value = DepGraph> {
+    (2..nmax).prop_flat_map(move |n| {
+        let lists: Vec<_> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    Just(Vec::new()).boxed()
+                } else {
+                    prop::collection::vec(0..(i as u32), 0..=maxdeg.min(i))
+                        .prop_map(|mut v| {
+                            v.sort_unstable();
+                            v.dedup();
+                            v
+                        })
+                        .boxed()
+                }
+            })
+            .collect();
+        lists.prop_map(move |ls| DepGraph::from_lists(n, ls).unwrap())
+    })
+}
+
+/// The loop body: a deterministic function of the index and its operands.
+fn run_body(g: &DepGraph, i: usize, get: impl Fn(usize) -> f64) -> f64 {
+    let mut acc = (i as f64 + 1.0).sqrt();
+    for &d in g.deps(i) {
+        acc += 0.25 * get(d as usize) + 0.01 * (d as f64);
+    }
+    acc
+}
+
+fn sequential_reference(g: &DepGraph) -> Vec<f64> {
+    let n = g.n();
+    let mut out = vec![0.0; n];
+    for i in 0..n {
+        out[i] = run_body(g, i, |j| out[j]);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn self_executing_matches_sequential(g in dag_strategy(60, 4), p in 1usize..4) {
+        let wf = Wavefronts::compute(&g).unwrap();
+        let s = Schedule::global(&wf, p).unwrap();
+        s.validate(&g).unwrap();
+        let pool = WorkerPool::new(p);
+        let mut out = vec![0.0; g.n()];
+        let gref = &g;
+        self_executing(&pool, &s, &|i, src| run_body(gref, i, |j| src.get(j)), &mut out);
+        prop_assert_eq!(out, sequential_reference(&g));
+    }
+
+    #[test]
+    fn pre_scheduled_matches_sequential(g in dag_strategy(60, 4), p in 1usize..4) {
+        let wf = Wavefronts::compute(&g).unwrap();
+        let s = Schedule::global(&wf, p).unwrap();
+        let pool = WorkerPool::new(p);
+        let mut out = vec![0.0; g.n()];
+        let gref = &g;
+        pre_scheduled(&pool, &s, &|i, src| run_body(gref, i, |j| src.get(j)), &mut out);
+        prop_assert_eq!(out, sequential_reference(&g));
+    }
+
+    #[test]
+    fn local_schedules_match_sequential(g in dag_strategy(50, 3), p in 1usize..4) {
+        let wf = Wavefronts::compute(&g).unwrap();
+        let pool = WorkerPool::new(p);
+        for part in [
+            Partition::striped(g.n(), p).unwrap(),
+            Partition::contiguous(g.n(), p).unwrap(),
+        ] {
+            let s = Schedule::local(&wf, &part).unwrap();
+            s.validate(&g).unwrap();
+            let mut out = vec![0.0; g.n()];
+            let gref = &g;
+            self_executing(&pool, &s, &|i, src| run_body(gref, i, |j| src.get(j)), &mut out);
+            prop_assert_eq!(out, sequential_reference(&g));
+        }
+    }
+
+    #[test]
+    fn doacross_matches_sequential(g in dag_strategy(50, 3), p in 1usize..4) {
+        let pool = WorkerPool::new(p);
+        let mut out = vec![0.0; g.n()];
+        let gref = &g;
+        doacross(&pool, g.n(), &|i, src| run_body(gref, i, |j| src.get(j)), &mut out);
+        prop_assert_eq!(out, sequential_reference(&g));
+    }
+
+    #[test]
+    fn wavefronts_valid_on_random_dags(g in dag_strategy(80, 5)) {
+        let wf = Wavefronts::compute(&g).unwrap();
+        wf.validate(&g).unwrap();
+        // Counting-sorted list is a permutation in nondecreasing wavefront order.
+        let list = wf.sorted_list();
+        let mut seen = vec![false; g.n()];
+        let mut prev = 0u32;
+        for &i in &list {
+            prop_assert!(!seen[i as usize]);
+            seen[i as usize] = true;
+            let w = wf.of(i as usize);
+            prop_assert!(w >= prev);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn parallel_wavefront_sweep_matches(g in dag_strategy(60, 4), t in 2usize..4) {
+        let seq = Wavefronts::compute(&g).unwrap();
+        let par = Wavefronts::compute_parallel(&g, t).unwrap();
+        prop_assert_eq!(seq, par);
+    }
+}

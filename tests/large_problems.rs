@@ -1,0 +1,64 @@
+//! Scale checks on the paper's large problem variants: the full inspector
+//! pipeline (factorization, wavefronts, schedules, simulation) on tens of
+//! thousands of unknowns, plus the documented figures for the small set.
+
+use rtpl::inspector::{DepGraph, Schedule, Wavefronts};
+use rtpl::sim::{self, CostModel};
+use rtpl::sparse::ilu0;
+use rtpl::workload::{ProblemId, TestProblem};
+
+fn phases_of(id: ProblemId) -> (usize, usize) {
+    let p = TestProblem::build(id);
+    let f = ilu0(&p.matrix).unwrap();
+    let g = DepGraph::from_lower_triangular(&f.l).unwrap();
+    let wf = Wavefronts::compute(&g).unwrap();
+    (p.n(), wf.num_wavefronts())
+}
+
+#[test]
+fn l7pt_full_pipeline() {
+    // 30×30×30 = 27000 unknowns; phases = 30+30+30-2 = 88 for the 7-pt
+    // ILU(0) factor.
+    let (n, phases) = phases_of(ProblemId::L7Pt);
+    assert_eq!(n, 27000);
+    assert_eq!(phases, 88);
+}
+
+#[test]
+fn l5pt_full_pipeline_and_simulation() {
+    // 200×200 = 40000 unknowns; phases = 200+200-1 = 399.
+    let p = TestProblem::build(ProblemId::L5Pt);
+    assert_eq!(p.n(), 40000);
+    let f = ilu0(&p.matrix).unwrap();
+    let g = DepGraph::from_lower_triangular(&f.l).unwrap();
+    let wf = Wavefronts::compute(&g).unwrap();
+    assert_eq!(wf.num_wavefronts(), 399);
+
+    // Large square meshes are pre-scheduling's best case (§4, eq. 7):
+    // at 16 processors its symbolic efficiency approaches self-execution's.
+    let s = Schedule::global(&wf, 16).unwrap();
+    let zero = CostModel::zero_overhead();
+    let weights: Vec<f64> = (0..p.n()).map(|i| 1.0 + g.deps(i).len() as f64).collect();
+    let seq = sim::sim_sequential(p.n(), Some(&weights), &zero);
+    let e_se = sim::sim_self_executing(&s, &g, Some(&weights), &zero).efficiency(seq);
+    let e_ps = sim::sim_pre_scheduled(&s, Some(&weights), &zero).efficiency(seq);
+    assert!(e_se > 0.95, "self-exec efficiency {e_se}");
+    assert!(e_ps > 0.85, "pre-sched efficiency {e_ps}");
+    assert!(e_se >= e_ps);
+}
+
+#[test]
+fn l9pt_builds() {
+    let (n, phases) = phases_of(ProblemId::L9Pt);
+    assert_eq!(n, 16129); // 127×127
+    // 9-pt stencil with corner couplings: deeper chains than 5-pt.
+    assert!(phases > 127);
+}
+
+#[test]
+fn small_problem_phase_documentation() {
+    // The values recorded in EXPERIMENTS.md.
+    assert_eq!(phases_of(ProblemId::FivePt).1, 125);
+    assert_eq!(phases_of(ProblemId::SevenPt).1, 58);
+    assert_eq!(phases_of(ProblemId::Spe1).1, 28);
+}

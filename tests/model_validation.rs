@@ -1,0 +1,107 @@
+//! Validates the §4 closed-form model against the discrete-event simulator
+//! on real mesh dependence graphs.
+
+use proptest::prelude::*;
+use rtpl::inspector::{DepGraph, Schedule, Wavefronts};
+use rtpl::sim::{model, sim_pre_scheduled, sim_self_executing, sim_sequential, CostModel};
+use rtpl::sparse::gen::laplacian_5pt;
+
+fn mesh(m: usize, n: usize) -> (DepGraph, Wavefronts) {
+    // m rows (ny), n columns (nx): wavefront of (x, y) is x + y.
+    let a = laplacian_5pt(n, m);
+    let g = DepGraph::from_lower_triangular(&a.strict_lower()).unwrap();
+    let wf = Wavefronts::compute(&g).unwrap();
+    (g, wf)
+}
+
+#[test]
+fn eq3_matches_simulator_exactly() {
+    // The exact expression (eq. 3) and the event simulator must agree to
+    // rounding on every mesh/processor combination.
+    for (m, n) in [(5, 7), (16, 16), (9, 33), (12, 4)] {
+        for p in [1usize, 2, 3, 4, 8] {
+            if p > m.min(n) {
+                continue;
+            }
+            let (_, wf) = mesh(m, n);
+            let s = Schedule::global(&wf, p).unwrap();
+            let zero = CostModel::zero_overhead();
+            let seq = sim_sequential(m * n, None, &zero);
+            let e_sim = sim_pre_scheduled(&s, None, &zero).efficiency(seq);
+            let e_formula = model::presched_eopt(m, n, p);
+            assert!(
+                (e_sim - e_formula).abs() < 1e-12,
+                "m={m} n={n} p={p}: sim {e_sim} vs eq(3) {e_formula}"
+            );
+        }
+    }
+}
+
+#[test]
+fn eq5_close_to_simulator_on_divisible_meshes() {
+    // eq. (5) assumes the pipeline only loses the first/last p-1 wavefront
+    // ramps; on p-divisible meshes the simulator tracks it closely.
+    for (m, n, p) in [(16usize, 16usize, 4usize), (32, 32, 8), (24, 48, 8)] {
+        let (g, wf) = mesh(m, n);
+        let s = Schedule::global(&wf, p).unwrap();
+        let zero = CostModel::zero_overhead();
+        let seq = sim_sequential(m * n, None, &zero);
+        let e_sim = sim_self_executing(&s, &g, None, &zero).efficiency(seq);
+        let e_formula = model::selfexec_eopt(m, n, p);
+        assert!(
+            (e_sim - e_formula).abs() < 0.08,
+            "m={m} n={n} p={p}: sim {e_sim} vs eq(5) {e_formula}"
+        );
+    }
+}
+
+#[test]
+fn phase_count_is_m_plus_n_minus_1() {
+    for (m, n) in [(5usize, 7usize), (16, 16), (3, 9)] {
+        let (_, wf) = mesh(m, n);
+        assert_eq!(wf.num_wavefronts(), model::model_num_phases(m, n));
+    }
+}
+
+#[test]
+fn self_execution_dominates_pre_scheduling_in_load_balance() {
+    // The paper: "it is possible to show that the parallelism available
+    // from the self-executing version of the program is always better".
+    for (m, n) in [(8usize, 8usize), (11, 5), (16, 24)] {
+        for p in [2usize, 4, 5] {
+            let (g, wf) = mesh(m, n);
+            let s = Schedule::global(&wf, p).unwrap();
+            let zero = CostModel::zero_overhead();
+            let se = sim_self_executing(&s, &g, None, &zero).time;
+            let ps = sim_pre_scheduled(&s, None, &zero).time;
+            assert!(se <= ps + 1e-9, "m={m} n={n} p={p}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    #[test]
+    fn eq3_matches_simulator_randomized(m in 3usize..14, n in 3usize..14, p in 1usize..5) {
+        prop_assume!(p <= m.min(n));
+        let (_, wf) = mesh(m, n);
+        let s = Schedule::global(&wf, p).unwrap();
+        let zero = CostModel::zero_overhead();
+        let seq = sim_sequential(m * n, None, &zero);
+        let e_sim = sim_pre_scheduled(&s, None, &zero).efficiency(seq);
+        prop_assert!((e_sim - model::presched_eopt(m, n, p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mc_matches_wavefront_census(m in 3usize..12, n in 3usize..12, p in 1usize..5) {
+        // MC(j) = ceil(strips in phase j / p) must match the actual schedule.
+        prop_assume!(p <= m.min(n));
+        let (_, wf) = mesh(m, n);
+        let counts = wf.counts();
+        for (j0, &cnt) in counts.iter().enumerate() {
+            let j = j0 + 1; // the paper's phases are 1-based
+            prop_assert_eq!(model::mc(j, m, n, p), cnt.div_ceil(p));
+        }
+    }
+}
