@@ -1,19 +1,63 @@
 //! Real-thread executor benchmarks: the four loop executors on a
-//! 32×32-mesh triangular solve (Figure 8 body).
+//! 32×32-mesh triangular solve (Figure 8 body), plus a **dyn-dispatch
+//! baseline** — the pre-redesign executor shape with
+//! `&dyn Fn(usize, &dyn ValueSource)` bodies — so the static-dispatch
+//! redesign is measured against exactly what it replaced, in the same
+//! build.
 //!
 //! Absolute times depend on how many hardware cores this host exposes —
 //! the executors stay correct when oversubscribed (busy-waits yield), but
-//! speedups need real cores. The comparison of interest is the relative
-//! overhead of the synchronization disciplines.
+//! speedups need real cores. The comparisons of interest are (1) the
+//! relative overhead of the synchronization disciplines and (2) generic vs
+//! dyn dispatch on the same discipline.
+//!
+//! Run with: `cargo bench --bench executors`
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use rtpl::executor::{doacross, pre_scheduled, self_executing, WorkerPool};
+use rtpl::executor::{
+    Chunking, ExecPolicy, LoopBody, PlannedLoop, SharedVec, ValueSource, WaitingSource, WorkerPool,
+};
 use rtpl::inspector::{DepGraph, Schedule, Wavefronts};
 use rtpl::sparse::gen::laplacian_5pt;
 use rtpl::sparse::triangular::row_substitution_lower;
-use std::time::Duration;
+use rtpl::sparse::Csr;
+use rtpl_bench::bench_case;
 
-fn bench_executors(c: &mut Criterion) {
+/// The Figure 8 row-substitution body as a [`LoopBody`] (static dispatch).
+struct Solve<'a> {
+    l: &'a Csr,
+    rhs: &'a [f64],
+}
+
+impl LoopBody for Solve<'_> {
+    #[inline]
+    fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64 {
+        row_substitution_lower(self.l, self.rhs, i, |j| src.get(j))
+    }
+}
+
+/// The pre-redesign executor shape: busy-wait discipline with two virtual
+/// dispatches per iteration (`dyn Fn` body over a `dyn ValueSource`). Kept
+/// here, not in the library, purely as the regression baseline.
+fn dyn_self_executing(
+    pool: &WorkerPool,
+    schedule: &Schedule,
+    body: &(dyn Fn(usize, &dyn ValueSource) -> f64 + Sync),
+    out: &mut [f64],
+) {
+    let shared = SharedVec::new(schedule.n());
+    let epoch = shared.begin_run();
+    pool.run(&|p| {
+        let src = WaitingSource::new(&shared, epoch);
+        for &i in schedule.proc(p) {
+            let i = i as usize;
+            let v = body(i, &src as &dyn ValueSource);
+            shared.publish_at(i, v, epoch);
+        }
+    });
+    shared.copy_into_at(out, epoch);
+}
+
+fn main() {
     let a = laplacian_5pt(32, 32);
     let l = a.strict_lower();
     let n = l.nrows();
@@ -24,58 +68,49 @@ fn bench_executors(c: &mut Criterion) {
     let nprocs = std::thread::available_parallelism().map_or(2, |v| v.get().min(4));
     let pool = WorkerPool::new(nprocs);
     let schedule = Schedule::global(&wf, nprocs).unwrap();
-    let body = |i: usize, src: &dyn rtpl::executor::ValueSource| {
-        row_substitution_lower(&l, &rhs, i, |j| src.get(j))
-    };
+    let plan = PlannedLoop::new(g, schedule.clone()).unwrap();
+    let body = Solve { l: &l, rhs: &rhs };
 
-    let mut group = c.benchmark_group("executors_32x32");
-    group.measurement_time(Duration::from_secs(2)).sample_size(10);
-    group.bench_function("sequential", |b| {
-        b.iter_batched(
-            || vec![0.0; n],
-            |mut x| rtpl::executor::sequential(n, body, &mut x),
-            BatchSize::SmallInput,
-        )
+    println!("executors_32x32 (p = {nprocs})");
+    let mut x = vec![0.0; n];
+    bench_case("sequential", 5, 30, || {
+        plan.run_sequential(&body, &mut x);
     });
-    group.bench_function(format!("self_executing_p{nprocs}"), |b| {
-        b.iter_batched(
-            || vec![0.0; n],
-            |mut x| self_executing(&pool, &schedule, &body, &mut x),
-            BatchSize::SmallInput,
-        )
+    bench_case(&format!("self_executing_p{nprocs}"), 5, 30, || {
+        plan.run(&pool, ExecPolicy::SelfExecuting, &body, &mut x);
     });
-    group.bench_function(format!("pre_scheduled_p{nprocs}"), |b| {
-        b.iter_batched(
-            || vec![0.0; n],
-            |mut x| pre_scheduled(&pool, &schedule, &body, &mut x),
-            BatchSize::SmallInput,
-        )
+    bench_case(&format!("pre_scheduled_p{nprocs}"), 5, 30, || {
+        plan.run(&pool, ExecPolicy::PreScheduled, &body, &mut x);
     });
-    group.bench_function(format!("doacross_p{nprocs}"), |b| {
-        b.iter_batched(
-            || vec![0.0; n],
-            |mut x| doacross(&pool, n, &body, &mut x),
-            BatchSize::SmallInput,
-        )
+    bench_case(&format!("pre_scheduled_elided_p{nprocs}"), 5, 30, || {
+        plan.run(&pool, ExecPolicy::PreScheduledElided, &body, &mut x);
+    });
+    bench_case(&format!("doacross_p{nprocs}"), 5, 30, || {
+        plan.run(&pool, ExecPolicy::Doacross, &body, &mut x);
     });
     let order = wf.sorted_list();
-    group.bench_function(format!("self_scheduling_guided_p{nprocs}"), |b| {
-        b.iter_batched(
-            || vec![0.0; n],
-            |mut x| {
-                rtpl::executor::self_scheduling(
-                    &pool,
-                    &order,
-                    rtpl::executor::Chunking::Guided,
-                    &body,
-                    &mut x,
-                )
-            },
-            BatchSize::SmallInput,
-        )
+    bench_case(&format!("self_scheduling_guided_p{nprocs}"), 5, 30, || {
+        rtpl::executor::self_scheduling(
+            &pool,
+            &order,
+            Chunking::Guided,
+            &|i, src| row_substitution_lower(&l, &rhs, i, |j| src.get(j)),
+            &mut x,
+        );
     });
-    group.finish();
-}
 
-criterion_group!(benches, bench_executors);
-criterion_main!(benches);
+    // --- static vs dyn dispatch on the identical discipline ---------------
+    println!("\ndispatch comparison (self-executing, identical schedule):");
+    let t_static = bench_case("generic (static dispatch)", 5, 50, || {
+        plan.run(&pool, ExecPolicy::SelfExecuting, &body, &mut x);
+    });
+    let dyn_body =
+        |i: usize, src: &dyn ValueSource| row_substitution_lower(&l, &rhs, i, |j| src.get(j));
+    let t_dyn = bench_case("dyn-dispatch baseline", 5, 50, || {
+        dyn_self_executing(&pool, &schedule, &dyn_body, &mut x);
+    });
+    println!(
+        "\nstatic/dyn time ratio: {:.3} (< 1.0 means the generic redesign is faster)",
+        t_static / t_dyn
+    );
+}

@@ -1,61 +1,51 @@
 //! Kernel-level microbenchmarks: the inspector pipeline and the sequential
 //! numerical kernels it schedules.
+//!
+//! Run with: `cargo bench --bench kernels`
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rtpl::inspector::{DepGraph, Partition, Schedule, Wavefronts};
 use rtpl::sparse::gen::laplacian_5pt;
 use rtpl::sparse::triangular::{solve_lower, Diag};
 use rtpl::sparse::{ilu0, iluk};
-use std::time::Duration;
+use rtpl_bench::bench_case;
 
-fn bench_inspector(c: &mut Criterion) {
+fn main() {
     let a = laplacian_5pt(63, 63);
     let l = a.strict_lower();
     let g = DepGraph::from_lower_triangular(&l).unwrap();
     let wf = Wavefronts::compute(&g).unwrap();
     let part = Partition::striped(g.n(), 16).unwrap();
 
-    let mut group = c.benchmark_group("inspector");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
-    group.bench_function("wavefronts_63x63", |b| {
-        b.iter(|| Wavefronts::compute(&g).unwrap())
+    println!("inspector");
+    bench_case("wavefronts_63x63", 3, 20, || {
+        let _ = Wavefronts::compute(&g).unwrap();
     });
-    group.bench_function("schedule_global_p16", |b| {
-        b.iter(|| Schedule::global(&wf, 16).unwrap())
+    bench_case("schedule_global_p16", 3, 20, || {
+        let _ = Schedule::global(&wf, 16).unwrap();
     });
-    group.bench_function("schedule_local_p16", |b| {
-        b.iter(|| Schedule::local(&wf, &part).unwrap())
+    bench_case("schedule_local_p16", 3, 20, || {
+        let _ = Schedule::local(&wf, &part).unwrap();
     });
-    group.bench_function("sorted_list", |b| b.iter(|| wf.sorted_list()));
-    group.finish();
-}
+    bench_case("sorted_list", 3, 20, || {
+        let _ = wf.sorted_list();
+    });
 
-fn bench_numeric(c: &mut Criterion) {
-    let a = laplacian_5pt(63, 63);
+    println!("\nnumeric");
     let f = ilu0(&a).unwrap();
     let n = a.nrows();
     let rhs: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.01).sin()).collect();
-
-    let mut group = c.benchmark_group("numeric");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
-    group.bench_function("ilu0_63x63", |b| b.iter(|| ilu0(&a).unwrap()));
-    group.bench_function("iluk2_63x63", |b| b.iter(|| iluk(&a, 2).unwrap()));
-    group.bench_function("trisolve_seq_63x63", |b| {
-        b.iter_batched(
-            || vec![0.0; n],
-            |mut x| solve_lower(&f.l, &rhs, Diag::Unit, &mut x).unwrap(),
-            BatchSize::SmallInput,
-        )
+    let mut x = vec![0.0; n];
+    bench_case("ilu0_63x63", 3, 20, || {
+        let _ = ilu0(&a).unwrap();
     });
-    group.bench_function("matvec_63x63", |b| {
-        b.iter_batched(
-            || vec![0.0; n],
-            |mut y| a.matvec(&rhs, &mut y).unwrap(),
-            BatchSize::SmallInput,
-        )
+    bench_case("iluk2_63x63", 3, 20, || {
+        let _ = iluk(&a, 2).unwrap();
     });
-    group.finish();
+    bench_case("trisolve_seq_63x63", 3, 20, || {
+        solve_lower(&f.l, &rhs, Diag::Unit, &mut x).unwrap();
+    });
+    let mut y = vec![0.0; n];
+    bench_case("matvec_63x63", 3, 20, || {
+        a.matvec(&rhs, &mut y).unwrap();
+    });
 }
-
-criterion_group!(benches, bench_inspector, bench_numeric);
-criterion_main!(benches);

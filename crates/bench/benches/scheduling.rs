@@ -1,14 +1,15 @@
 //! Scheduling-strategy benchmarks: the ablations DESIGN.md calls out —
 //! wrapped/contiguous/striped partitions under global and local sorting,
 //! plus the simulator throughput itself.
+//!
+//! Run with: `cargo bench --bench scheduling`
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use rtpl::inspector::{DepGraph, Partition, Schedule, Wavefronts};
 use rtpl::sim::{self, CostModel};
 use rtpl::workload::SyntheticSpec;
-use std::time::Duration;
+use rtpl_bench::bench_case;
 
-fn bench_scheduling(c: &mut Criterion) {
+fn main() {
     let spec = SyntheticSpec {
         mesh: 65,
         mean_degree: 4.0,
@@ -21,33 +22,26 @@ fn bench_scheduling(c: &mut Criterion) {
     let n = g.n();
     let weights: Vec<f64> = (0..n).map(|i| 1.0 + g.deps(i).len() as f64).collect();
 
-    let mut group = c.benchmark_group("scheduling_65-4-3");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
-    group.bench_function("global_p16", |b| {
-        b.iter(|| Schedule::global(&wf, 16).unwrap())
+    println!("scheduling_65-4-3");
+    bench_case("global_p16", 3, 20, || {
+        let _ = Schedule::global(&wf, 16).unwrap();
     });
-    group.bench_function("local_striped_p16", |b| {
-        let p = Partition::striped(n, 16).unwrap();
-        b.iter(|| Schedule::local(&wf, &p).unwrap())
+    let striped = Partition::striped(n, 16).unwrap();
+    bench_case("local_striped_p16", 3, 20, || {
+        let _ = Schedule::local(&wf, &striped).unwrap();
     });
-    group.bench_function("local_contiguous_p16", |b| {
-        let p = Partition::contiguous(n, 16).unwrap();
-        b.iter(|| Schedule::local(&wf, &p).unwrap())
+    let contiguous = Partition::contiguous(n, 16).unwrap();
+    bench_case("local_contiguous_p16", 3, 20, || {
+        let _ = Schedule::local(&wf, &contiguous).unwrap();
     });
-    group.finish();
 
     let s = Schedule::global(&wf, 16).unwrap();
     let cost = CostModel::multimax();
-    let mut group = c.benchmark_group("simulator_65-4-3");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
-    group.bench_function("sim_self_executing", |b| {
-        b.iter(|| sim::sim_self_executing(&s, &g, Some(&weights), &cost))
+    println!("\nsimulator_65-4-3");
+    bench_case("sim_self_executing", 3, 20, || {
+        let _ = sim::sim_self_executing(&s, &g, Some(&weights), &cost);
     });
-    group.bench_function("sim_pre_scheduled", |b| {
-        b.iter(|| sim::sim_pre_scheduled(&s, Some(&weights), &cost))
+    bench_case("sim_pre_scheduled", 3, 20, || {
+        let _ = sim::sim_pre_scheduled(&s, Some(&weights), &cost);
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_scheduling);
-criterion_main!(benches);

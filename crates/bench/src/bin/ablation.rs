@@ -9,7 +9,7 @@
 //! 3. *ILU fill level*: phases and GMRES iteration counts for k = 0, 1, 2 —
 //!    deeper fill improves convergence but lengthens dependence chains.
 
-use rtpl::executor::WorkerPool;
+use rtpl::executor::{ValueSource, WorkerPool};
 use rtpl::inspector::{BarrierPlan, DepGraph, Partition, Schedule, Wavefronts};
 use rtpl::krylov::{
     gmres, ExecutorKind, KrylovConfig, Preconditioner, Sorting, TriangularSolvePlan,
@@ -24,7 +24,12 @@ fn main() {
 
     println!("Ablation 1: barrier elision (pre-scheduled, {p} simulated processors)\n");
     let mut t = Table::new(&[
-        "Problem", "Schedule", "Phases", "Barriers kept", "Full Time", "Elided Time",
+        "Problem",
+        "Schedule",
+        "Phases",
+        "Barriers kept",
+        "Full Time",
+        "Elided Time",
         "Speedup",
     ]);
     for id in [ProblemId::Spe2, ProblemId::FivePt, ProblemId::SevenPt] {
@@ -39,8 +44,7 @@ fn main() {
             let plan = BarrierPlan::minimal(&s, &c.graph).unwrap();
             plan.validate(&s, &c.graph).unwrap();
             let full = sim::sim_pre_scheduled(&s, Some(&c.weights), &cost);
-            let elided =
-                sim::sim_pre_scheduled_elided(&s, &plan, Some(&c.weights), &cost);
+            let elided = sim::sim_pre_scheduled_elided(&s, &plan, Some(&c.weights), &cost);
             t.row(vec![
                 c.name.clone(),
                 label.to_string(),
@@ -96,8 +100,7 @@ fn main() {
             c.global_schedule(p),
         ] {
             effs.push(
-                sim::sim_self_executing(&s, &c.graph, Some(&c.weights), &zero)
-                    .efficiency(seq),
+                sim::sim_self_executing(&s, &c.graph, Some(&c.weights), &zero).efficiency(seq),
             );
         }
         t.row(vec![c.name.clone(), f3(effs[0]), f3(effs[1]), f3(effs[2])]);
@@ -131,8 +134,7 @@ fn main() {
         let g = DepGraph::from_lower_triangular(&f.l).unwrap();
         let phases = Wavefronts::compute(&g).unwrap().num_wavefronts();
         let plan =
-            TriangularSolvePlan::new(&f, 2, ExecutorKind::SelfExecuting, Sorting::Global)
-                .unwrap();
+            TriangularSolvePlan::new(&f, 2, ExecutorKind::SelfExecuting, Sorting::Global).unwrap();
         let m = Preconditioner::Ilu(plan);
         let mut x = vec![0.0; n];
         let stats = gmres(
@@ -168,14 +170,18 @@ fn main() {
          (related work: Lusk & Overbeek unit chunks; Polychronopoulos & Kuck guided)\n"
     );
     let mut t = Table::new(&[
-        "Problem", "static stalls", "unit stalls", "guided stalls", "all correct",
+        "Problem",
+        "static stalls",
+        "unit stalls",
+        "guided stalls",
+        "all correct",
     ]);
     for id in [ProblemId::Spe4, ProblemId::FivePt] {
         let c = SolveCase::build(id);
         let order = c.wf.sorted_list();
         let b: Vec<f64> = (0..c.n).map(|i| 1.0 + (i as f64 * 0.01).cos()).collect();
         let l = &c.l;
-        let body = |i: usize, src: &dyn rtpl::executor::ValueSource| {
+        let body = |i: usize, src: &rtpl::executor::WaitingSource<'_>| {
             rtpl::sparse::triangular::row_substitution_lower(l, &b, i, |j| src.get(j))
         };
         let mut expect = vec![0.0; c.n];

@@ -23,9 +23,7 @@ fn main() {
     let zero = CostModel::zero_overhead();
     let seq = sim::sim_sequential(n, Some(&weights), &zero);
 
-    println!(
-        "Figures 12/13: 65x65 5-pt mesh, striped local ordering, estimated efficiency\n"
-    );
+    println!("Figures 12/13: 65x65 5-pt mesh, striped local ordering, estimated efficiency\n");
     let mut table = Table::new(&["p", "E barrier (Fig 12)", "E self-execute (Fig 13)"]);
     let mut barrier_series = Vec::new();
     let mut selfexec_series = Vec::new();
@@ -33,8 +31,7 @@ fn main() {
         let part = Partition::striped(n, p).unwrap();
         let s = Schedule::local(&wf, &part).unwrap();
         let e_barrier = sim::sim_pre_scheduled(&s, Some(&weights), &zero).efficiency(seq);
-        let e_self =
-            sim::sim_self_executing(&s, &g, Some(&weights), &zero).efficiency(seq);
+        let e_self = sim::sim_self_executing(&s, &g, Some(&weights), &zero).efficiency(seq);
         barrier_series.push(e_barrier);
         selfexec_series.push(e_self);
         table.row(vec![p.to_string(), f3(e_barrier), f3(e_self)]);
@@ -59,7 +56,10 @@ fn main() {
         println!("{line}");
     }
     println!("      +{}", "-".repeat(32));
-    println!("        {}", (1..=16).map(|p| format!("{p:>2}")).collect::<String>());
+    println!(
+        "        {}",
+        (1..=16).map(|p| format!("{p:>2}")).collect::<String>()
+    );
 
     // Quantified shape checks.
     let fluctuation = |s: &[f64]| {

@@ -28,8 +28,7 @@ fn main() {
         ];
         for (si, s) in scheds.iter().enumerate() {
             let e_ps = sim::sim_pre_scheduled(s, Some(&weights), &cost).efficiency(seq);
-            let e_se =
-                sim::sim_self_executing(s, &g, Some(&weights), &cost).efficiency(seq);
+            let e_se = sim::sim_self_executing(s, &g, Some(&weights), &cost).efficiency(seq);
             for (ei, e) in [e_ps, e_se].into_iter().enumerate() {
                 worst[si][ei] = worst[si][ei].min(e);
                 best[si][ei] = best[si][ei].max(e);

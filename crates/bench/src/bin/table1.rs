@@ -29,8 +29,15 @@ fn main() {
         cost.tsynch, cost.tinc, cost.tcheck
     );
     let mut table = Table::new(&[
-        "Problem", "n", "iters", "S.E. time", "S.E. eff", "P.S. time", "P.S. eff",
-        "S.E./P.S.", "sort ms",
+        "Problem",
+        "n",
+        "iters",
+        "S.E. time",
+        "S.E. eff",
+        "P.S. time",
+        "P.S. eff",
+        "S.E./P.S.",
+        "sort ms",
     ]);
 
     let ids: Vec<ProblemId> = ProblemId::table1_set()
@@ -78,8 +85,8 @@ fn main() {
         // Backward weights in reversed index space.
         let w_u: Vec<f64> = (0..n).map(|k| f.u.row_nnz(n - 1 - k) as f64).collect();
 
-        let tri_seq = sim::sim_sequential(n, Some(&w_l), &cost)
-            + sim::sim_sequential(n, Some(&w_u), &cost);
+        let tri_seq =
+            sim::sim_sequential(n, Some(&w_l), &cost) + sim::sim_sequential(n, Some(&w_u), &cost);
         let se_tri = sim::sim_self_executing(&s_l, &g_l, Some(&w_l), &cost).time
             + sim::sim_self_executing(&s_u, &g_u, Some(&w_u), &cost).time;
         let ps_tri = sim::sim_pre_scheduled(&s_l, Some(&w_l), &cost).time

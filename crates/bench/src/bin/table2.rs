@@ -30,7 +30,12 @@ fn main() {
         }
     );
     let mut table = Table::new(&[
-        "Problem", "Phases", "Symbolic Eff", "Parallel Time", "1 PE Seq", "Doacross",
+        "Problem",
+        "Phases",
+        "Symbolic Eff",
+        "Parallel Time",
+        "1 PE Seq",
+        "Doacross",
     ]);
     for id in ProblemId::analysis_set() {
         let c = SolveCase::build(id);

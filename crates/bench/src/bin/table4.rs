@@ -15,8 +15,15 @@ fn main() {
     let zero = CostModel::zero_overhead();
     println!("Table 4: projected efficiencies (self-executing S.E. / pre-scheduled P.S.)\n");
     let mut table = Table::new(&[
-        "Problem", "Best S.E.", "Best P.S.", "16 S.E.", "16 P.S.", "32 S.E.", "32 P.S.",
-        "64 S.E.", "64 P.S.",
+        "Problem",
+        "Best S.E.",
+        "Best P.S.",
+        "16 S.E.",
+        "16 P.S.",
+        "32 S.E.",
+        "32 P.S.",
+        "64 S.E.",
+        "64 P.S.",
     ]);
     for id in ProblemId::analysis_set() {
         let c = SolveCase::build(id);
@@ -63,11 +70,11 @@ fn main() {
         let mut cells = vec![c.name.clone()];
         for p in [16usize, 64] {
             let s = c.global_schedule(p);
-            let e_scaled = sim::sim_self_executing(&s, &c.graph, Some(&c.weights), &cost)
-                .efficiency(seq);
+            let e_scaled =
+                sim::sim_self_executing(&s, &c.graph, Some(&c.weights), &cost).efficiency(seq);
             let bus = cost.with_bus_contention(0.02, p);
-            let e_bus = sim::sim_self_executing(&s, &c.graph, Some(&c.weights), &bus)
-                .efficiency(seq);
+            let e_bus =
+                sim::sim_self_executing(&s, &c.graph, Some(&c.weights), &bus).efficiency(seq);
             cells.push(f3(e_scaled));
             cells.push(f3(e_bus));
         }

@@ -17,8 +17,14 @@ fn main() {
     let cost = CostModel::multimax();
     println!("Table 5: local vs global index set scheduling, {p} simulated processors\n");
     let mut table = Table::new(&[
-        "Problem", "Seq Solve", "Seq Sort ms", "Par Sort ms", "Global Sched ms",
-        "Local Sched ms", "Global Run", "Local Run",
+        "Problem",
+        "Seq Solve",
+        "Seq Sort ms",
+        "Par Sort ms",
+        "Global Sched ms",
+        "Local Sched ms",
+        "Global Run",
+        "Local Run",
     ]);
 
     let mut cases: Vec<SolveCase> = ProblemId::analysis_set()
@@ -63,8 +69,7 @@ fn main() {
 
         let s_global = Schedule::global(&wf, p).unwrap();
         let s_local = Schedule::local(&wf, &part).unwrap();
-        let run_global =
-            sim::sim_self_executing(&s_global, g, Some(&c.weights), &cost).time;
+        let run_global = sim::sim_self_executing(&s_global, g, Some(&c.weights), &cost).time;
         let run_local = sim::sim_self_executing(&s_local, g, Some(&c.weights), &cost).time;
         let seq = c.seq_time(&cost);
 

@@ -122,6 +122,18 @@ pub fn time_ms_median(reps: usize, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Minimal benchmark harness for the `harness = false` bench targets: runs
+/// `f` for `warmup + reps` iterations, prints and returns the median
+/// iteration time in milliseconds.
+pub fn bench_case(name: &str, warmup: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let med = time_ms_median(reps, f);
+    println!("{name:<44} {med:>10.4} ms/iter (median of {reps})");
+    med
+}
+
 /// Simple fixed-width table printer.
 pub struct Table {
     headers: Vec<String>,

@@ -5,17 +5,22 @@
 //! 1. indices are logically distributed among processors (partition),
 //! 2. the compiler-generated topological sort runs at program start
 //!    ([`DoConsider::inspect`]),
-//! 3. the loop is transformed into a self-executing or pre-scheduled
-//!    version ([`PlannedLoop`]),
+//! 3. the loop is transformed into its executable form ([`PlannedLoop`]),
 //! 4. wavefronts are computed and indices sorted / repartitioned
 //!    ([`DoConsider::schedule`]),
 //! 5. each processor executes its assigned subset with the generated
-//!    executor ([`PlannedLoop::run_self_executing`] /
-//!    [`PlannedLoop::run_pre_scheduled`]).
+//!    executor ([`PlannedLoop::run`] under the chosen
+//!    [`ExecPolicy`]).
+//!
+//! The planned loop owns everything reusable across executions (schedule,
+//! barrier plan, shared ready-flag buffer), so the paper's amortization —
+//! one inspection, many runs — holds with zero per-run allocation.
 
-use rtpl_executor::{ExecStats, ValueSource, WorkerPool};
+use rtpl_executor::{ExecReport, WorkerPool};
 use rtpl_inspector::{DepGraph, Partition, Result, Schedule, Wavefronts};
 use rtpl_sparse::Csr;
+
+pub use rtpl_executor::{ExecPolicy, LoopBody, PlannedLoop};
 
 /// Index-set sorting/partitioning strategy (the paper's two schedulers).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -27,6 +32,26 @@ pub enum Scheduling {
     LocalStriped,
     /// Fixed contiguous partition, local wavefront sort only.
     LocalContiguous,
+}
+
+impl Scheduling {
+    /// All strategies, for exhaustive sweeps.
+    pub const ALL: [Scheduling; 3] = [
+        Scheduling::Global,
+        Scheduling::LocalStriped,
+        Scheduling::LocalContiguous,
+    ];
+
+    /// Builds the schedule this strategy prescribes for `nprocs`
+    /// processors over the `n`-index wavefront decomposition `wf` — the
+    /// single home of the strategy → schedule mapping.
+    pub fn build_schedule(self, wf: &Wavefronts, n: usize, nprocs: usize) -> Result<Schedule> {
+        match self {
+            Scheduling::Global => Schedule::global(wf, nprocs),
+            Scheduling::LocalStriped => Schedule::local(wf, &Partition::striped(n, nprocs)?),
+            Scheduling::LocalContiguous => Schedule::local(wf, &Partition::contiguous(n, nprocs)?),
+        }
+    }
 }
 
 /// The inspector: a dependence graph plus its wavefront decomposition.
@@ -76,72 +101,12 @@ impl DoConsider {
         self.wavefronts.num_wavefronts()
     }
 
-    /// Builds an execution plan for `nprocs` processors.
+    /// Builds an execution plan for `nprocs` processors. The returned
+    /// [`PlannedLoop`] runs any [`ExecPolicy`] and is reusable across
+    /// arbitrarily many executions.
     pub fn schedule(self, strategy: Scheduling, nprocs: usize) -> Result<PlannedLoop> {
-        let schedule = match strategy {
-            Scheduling::Global => Schedule::global(&self.wavefronts, nprocs)?,
-            Scheduling::LocalStriped => Schedule::local(
-                &self.wavefronts,
-                &Partition::striped(self.graph.n(), nprocs)?,
-            )?,
-            Scheduling::LocalContiguous => Schedule::local(
-                &self.wavefronts,
-                &Partition::contiguous(self.graph.n(), nprocs)?,
-            )?,
-        };
-        Ok(PlannedLoop {
-            graph: self.graph,
-            schedule,
-        })
-    }
-}
-
-/// A scheduled loop, ready to execute (step 3's transformed loop).
-#[derive(Clone, Debug)]
-pub struct PlannedLoop {
-    graph: DepGraph,
-    schedule: Schedule,
-}
-
-impl PlannedLoop {
-    /// The schedule.
-    pub fn schedule(&self) -> &Schedule {
-        &self.schedule
-    }
-
-    /// The dependence graph.
-    pub fn graph(&self) -> &DepGraph {
-        &self.graph
-    }
-
-    /// Executes with busy-wait synchronization (Figure 4). `body(i, src)`
-    /// computes index `i`'s value, reading dependences through `src`.
-    pub fn run_self_executing(
-        &self,
-        pool: &WorkerPool,
-        body: &(dyn Fn(usize, &dyn ValueSource) -> f64 + Sync),
-        out: &mut [f64],
-    ) -> ExecStats {
-        rtpl_executor::self_executing(pool, &self.schedule, body, out)
-    }
-
-    /// Executes with global barriers between phases (Figure 5).
-    pub fn run_pre_scheduled(
-        &self,
-        pool: &WorkerPool,
-        body: &(dyn Fn(usize, &dyn ValueSource) -> f64 + Sync),
-        out: &mut [f64],
-    ) -> ExecStats {
-        rtpl_executor::pre_scheduled(pool, &self.schedule, body, out)
-    }
-
-    /// Executes sequentially in schedule order (debugging / baselines).
-    pub fn run_sequential(
-        &self,
-        body: &(dyn Fn(usize, &dyn ValueSource) -> f64 + Sync),
-        out: &mut [f64],
-    ) {
-        rtpl_executor::sequential(self.schedule.n(), |i, src| body(i, src), out)
+        let schedule = strategy.build_schedule(&self.wavefronts, self.graph.n(), nprocs)?;
+        PlannedLoop::new(self.graph, schedule)
     }
 }
 
@@ -157,39 +122,45 @@ impl PlannedLoop {
 /// Without the inspector there is no reordering, so exploitable concurrency
 /// is whatever the natural order exposes — the doconsider pipeline exists
 /// precisely to do better when the dependence data is available up front.
-pub fn dodynamic(
-    pool: &WorkerPool,
-    n: usize,
-    body: &(dyn Fn(usize, &dyn ValueSource) -> f64 + Sync),
-    out: &mut [f64],
-) -> ExecStats {
+pub fn dodynamic<F>(pool: &WorkerPool, n: usize, body: &F, out: &mut [f64]) -> ExecReport
+where
+    F: for<'s> Fn(usize, &rtpl_executor::WaitingSource<'s>) -> f64 + Sync,
+{
     rtpl_executor::doacross(pool, n, body, out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtpl_executor::ValueSource;
+
+    /// y(i) = 1 + sum over deps — a counting DAG.
+    struct CountBody<'a>(&'a DepGraph);
+
+    impl LoopBody for CountBody<'_> {
+        fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64 {
+            1.0 + self
+                .0
+                .deps(i)
+                .iter()
+                .map(|&d| src.get(d as usize))
+                .sum::<f64>()
+        }
+    }
 
     #[test]
     fn pipeline_end_to_end() {
-        // y(i) = 1 + sum over deps — a counting DAG.
-        let g = DepGraph::from_lists(5, vec![vec![], vec![0], vec![0], vec![1, 2], vec![3]])
-            .unwrap();
+        let g =
+            DepGraph::from_lists(5, vec![vec![], vec![0], vec![0], vec![1, 2], vec![3]]).unwrap();
         let dc = DoConsider::inspect(g).unwrap();
         assert_eq!(dc.num_wavefronts(), 4);
         let plan = dc.schedule(Scheduling::Global, 2).unwrap();
         let pool = WorkerPool::new(2);
         let mut out = vec![0.0; 5];
-        let graph = plan.graph().clone();
-        plan.run_self_executing(
+        plan.run(
             &pool,
-            &move |i, src| {
-                1.0 + graph
-                    .deps(i)
-                    .iter()
-                    .map(|&d| src.get(d as usize))
-                    .sum::<f64>()
-            },
+            ExecPolicy::SelfExecuting,
+            &CountBody(plan.graph()),
             &mut out,
         );
         assert_eq!(out, vec![1.0, 2.0, 2.0, 5.0, 6.0]);
@@ -202,17 +173,21 @@ mod tests {
         // on-the-fly detection works.
         let n = 40usize;
         let pool = WorkerPool::new(3);
-        let body = |i: usize, src: &dyn ValueSource| {
-            if i == 0 {
-                2.0
-            } else {
-                let prev = src.get(i - 1);
-                let target = (prev as usize) % i; // computed at run time
-                src.get(target) + 1.0 + (i % 3) as f64 * 0.5
-            }
-        };
         let mut out = vec![0.0; n];
-        dodynamic(&pool, n, &body, &mut out);
+        dodynamic(
+            &pool,
+            n,
+            &|i, src| {
+                if i == 0 {
+                    2.0
+                } else {
+                    let prev = src.get(i - 1);
+                    let target = (prev as usize) % i; // computed at run time
+                    src.get(target) + 1.0 + (i % 3) as f64 * 0.5
+                }
+            },
+            &mut out,
+        );
         // Sequential reference.
         let mut expect = vec![0.0; n];
         for i in 0..n {
@@ -226,38 +201,47 @@ mod tests {
         assert_eq!(out, expect);
     }
 
+    /// Figure 2 body: x(i) = xold(i) + b(i)·x(ia(i)), old values for
+    /// ia(i) >= i.
+    struct Figure2<'a> {
+        ia: &'a [usize],
+        b: &'a [f64],
+        xold: &'a [f64],
+    }
+
+    impl LoopBody for Figure2<'_> {
+        fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64 {
+            let t = self.ia[i];
+            let operand = if t >= i { self.xold[t] } else { src.get(t) };
+            self.xold[i] + self.b[i] * operand
+        }
+    }
+
     #[test]
-    fn all_strategies_agree() {
+    fn all_strategies_and_policies_agree() {
         let ia = vec![9usize, 0, 1, 0, 3, 2, 5, 4, 7, 6];
         let b = vec![0.25; 10];
         let xold: Vec<f64> = (0..10).map(|i| i as f64 + 1.0).collect();
         let pool = WorkerPool::new(3);
+        let body = Figure2 {
+            ia: &ia,
+            b: &b,
+            xold: &xold,
+        };
         let mut results = Vec::new();
-        for strat in [
-            Scheduling::Global,
-            Scheduling::LocalStriped,
-            Scheduling::LocalContiguous,
-        ] {
+        for strat in Scheduling::ALL {
             let plan = DoConsider::from_index_array(&ia)
                 .unwrap()
                 .schedule(strat, 3)
                 .unwrap();
-            let mut out = vec![0.0; 10];
-            let ia2 = ia.clone();
-            let xold2 = xold.clone();
-            let b2 = b.clone();
-            plan.run_self_executing(
-                &pool,
-                &move |i, src| {
-                    let t = ia2[i];
-                    let operand = if t >= i { xold2[t] } else { src.get(t) };
-                    xold2[i] + b2[i] * operand
-                },
-                &mut out,
-            );
-            results.push(out);
+            for policy in ExecPolicy::ALL {
+                let mut out = vec![0.0; 10];
+                plan.run(&pool, policy, &body, &mut out);
+                results.push(out);
+            }
         }
-        assert_eq!(results[0], results[1]);
-        assert_eq!(results[0], results[2]);
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
     }
 }

@@ -17,33 +17,51 @@
 //! The `doconsider` transformation splits such a loop into an **inspector**
 //! (analyze the dependences, topologically sort indices into wavefronts,
 //! build a per-processor schedule) and an **executor** (run the schedule
-//! with either barrier or busy-wait synchronization). [`DoConsider`] is
-//! that pipeline:
+//! under any synchronization discipline). [`DoConsider`] is that pipeline;
+//! it produces a [`PlannedLoop`] that is planned **once** and then run as
+//! many times as the application iterates, under any [`ExecPolicy`],
+//! through one generic, statically dispatched entry point:
 //!
 //! ```
 //! use rtpl::prelude::*;
 //!
-//! // The run-time index array: x(i) += b(i) * x(ia(i)).
+//! // The run-time index array: x(i) = xold(i) + b(i) * x(ia(i)).
+//! // A loop body implements `LoopBody` once and runs under every policy.
+//! struct Body<'a> {
+//!     ia: &'a [usize],
+//!     b: &'a [f64],
+//!     xold: &'a [f64],
+//! }
+//! impl LoopBody for Body<'_> {
+//!     fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64 {
+//!         let t = self.ia[i];
+//!         // Old value for t >= i (no ordering needed), flow dependence
+//!         // through the source otherwise.
+//!         let operand = if t >= i { self.xold[t] } else { src.get(t) };
+//!         self.xold[i] + self.b[i] * operand
+//!     }
+//! }
+//!
 //! let ia = vec![0usize, 0, 1, 5, 2, 3];
 //! let b = vec![0.5; 6];
 //! let xold = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+//! let body = Body { ia: &ia, b: &b, xold: &xold };
 //!
-//! // Inspector: dependence analysis + wavefront sort (compile time would
-//! // emit this; we run it at the start of execution).
+//! // Inspector: dependence analysis + wavefront sort, planned once.
 //! let plan = DoConsider::from_index_array(&ia)?
 //!     .schedule(Scheduling::Global, 2)?;
 //!
-//! // Executor: the paper's recommended self-executing loop.
+//! // Executor: plan.run(pool, policy, body, out) -> ExecReport.
 //! let pool = WorkerPool::new(2);
 //! let mut x = vec![0.0; 6];
-//! plan.run_self_executing(&pool, &|i, src| {
-//!     let t = ia[i];
-//!     let operand = if t >= i { xold[t] } else { src.get(t) };
-//!     xold[i] + b[i] * operand
-//! }, &mut x);
-//!
-//! // Same result as the sequential loop.
+//! let report = plan.run(&pool, ExecPolicy::SelfExecuting, &body, &mut x);
 //! assert_eq!(x[0], 1.0 + 0.5 * 1.0);
+//! assert_eq!(report.total_iters(), 6);
+//!
+//! // Same loop, same plan, barrier discipline — identical results.
+//! let mut x2 = vec![0.0; 6];
+//! plan.run(&pool, ExecPolicy::PreScheduled, &body, &mut x2);
+//! assert_eq!(x, x2);
 //! # Ok::<(), rtpl::inspector::InspectorError>(())
 //! ```
 //!
@@ -68,13 +86,14 @@ pub use rtpl_workload as workload;
 pub mod doconsider;
 pub mod transform;
 
-pub use doconsider::{dodynamic, DoConsider, PlannedLoop, Scheduling};
+pub use doconsider::{dodynamic, DoConsider, ExecPolicy, LoopBody, PlannedLoop, Scheduling};
+pub use rtpl_executor::ExecReport;
 pub use transform::{compile, CompiledLoop, Env, ExecChoice, LoopSpec, Op};
 
 /// Everything needed for typical use.
 pub mod prelude {
-    pub use crate::doconsider::{DoConsider, PlannedLoop, Scheduling};
-    pub use rtpl_executor::{ValueSource, WorkerPool};
+    pub use crate::doconsider::{DoConsider, ExecPolicy, LoopBody, PlannedLoop, Scheduling};
+    pub use rtpl_executor::{ExecReport, ValueSource, WorkerPool};
     pub use rtpl_inspector::{DepGraph, Partition, Schedule, Wavefronts};
     pub use rtpl_sparse::Csr;
 }

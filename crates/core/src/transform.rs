@@ -25,8 +25,8 @@
 //! change during execution (§2.1).
 
 use crate::doconsider::Scheduling;
-use rtpl_executor::{ValueSource, WorkerPool};
-use rtpl_inspector::{DepGraph, Partition, Schedule, Wavefronts};
+use rtpl_executor::{ExecPolicy, LoopBody, PlannedLoop, ValueSource, WorkerPool};
+use rtpl_inspector::{DepGraph, Wavefronts};
 use std::collections::HashMap;
 
 /// One operation of the loop-body stack program. The loop variable is `i`;
@@ -118,7 +118,10 @@ impl std::fmt::Display for TransformError {
                 name,
                 expected,
                 found,
-            } => write!(f, "array `{name}`: expected length {expected}, found {found}"),
+            } => write!(
+                f,
+                "array `{name}`: expected length {expected}, found {found}"
+            ),
             TransformError::BadProgram(m) => write!(f, "malformed body program: {m}"),
             TransformError::IndexOutOfBounds { name, at } => {
                 write!(f, "index array `{name}` out of bounds at i = {at}")
@@ -225,7 +228,10 @@ fn validate(spec: &LoopSpec, env: &Env) -> Result<(), TransformError> {
                 expect_len(targets, n, g.len())?;
                 for (i, row) in g.iter().enumerate() {
                     if row.iter().any(|&t| t >= n) {
-                        return Err(TransformError::IndexOutOfBounds { name: targets, at: i });
+                        return Err(TransformError::IndexOutOfBounds {
+                            name: targets,
+                            at: i,
+                        });
                     }
                 }
                 if let Some(cname) = coeffs {
@@ -286,6 +292,21 @@ pub enum ExecChoice {
     SelfExecuting,
     /// Pre-scheduled with barriers (Figure 5).
     PreScheduled,
+    /// Pre-scheduled with the minimal barrier set.
+    PreScheduledElided,
+    /// Natural-order doacross baseline (no reordering).
+    Doacross,
+}
+
+/// [`LoopBody`] view of a compiled loop: evaluates the stack program for
+/// one index, statically dispatched over the executor's value source.
+struct CompiledBody<'a>(&'a CompiledLoop);
+
+impl LoopBody for CompiledBody<'_> {
+    #[inline]
+    fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64 {
+        self.0.eval(i, src)
+    }
 }
 
 impl CompiledLoop {
@@ -301,7 +322,7 @@ impl CompiledLoop {
 
     /// Evaluates the body for index `i`, reading flow-dependent values
     /// through `src` and everything else from the environment.
-    fn eval(&self, i: usize, src: &dyn ValueSource) -> f64 {
+    fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64 {
         let env = &self.env;
         let mut stack: Vec<f64> = Vec::with_capacity(4);
         for op in &self.spec.ops {
@@ -346,6 +367,13 @@ impl CompiledLoop {
         stack.pop().unwrap()
     }
 
+    /// Builds the reusable execution plan (run-time step 4): schedule for
+    /// `nprocs` processors with the chosen sorting strategy.
+    pub fn plan(&self, strategy: Scheduling, nprocs: usize) -> Result<PlannedLoop, TransformError> {
+        let schedule = strategy.build_schedule(&self.wavefronts, self.spec.n, nprocs)?;
+        Ok(PlannedLoop::new(self.graph.clone(), schedule)?)
+    }
+
     /// Run-time steps (§2.3, 4–5): schedule for `nprocs` processors with the
     /// chosen sorting strategy and execute. Returns the computed `x`.
     pub fn run(
@@ -356,30 +384,19 @@ impl CompiledLoop {
     ) -> Result<Vec<f64>, TransformError> {
         let n = self.spec.n;
         let mut out = vec![0.0f64; n];
-        if matches!(exec, ExecChoice::Sequential) {
-            rtpl_executor::sequential(n, |i, src| self.eval(i, src), &mut out);
-            return Ok(out);
-        }
-        let nprocs = pool.nworkers();
-        let schedule = match strategy {
-            Scheduling::Global => Schedule::global(&self.wavefronts, nprocs)?,
-            Scheduling::LocalStriped => {
-                Schedule::local(&self.wavefronts, &Partition::striped(n, nprocs)?)?
+        let body = CompiledBody(self);
+        let policy = match exec {
+            ExecChoice::Sequential => {
+                rtpl_executor::sequential_body(n, &body, &mut out);
+                return Ok(out);
             }
-            Scheduling::LocalContiguous => {
-                Schedule::local(&self.wavefronts, &Partition::contiguous(n, nprocs)?)?
-            }
+            ExecChoice::SelfExecuting => ExecPolicy::SelfExecuting,
+            ExecChoice::PreScheduled => ExecPolicy::PreScheduled,
+            ExecChoice::PreScheduledElided => ExecPolicy::PreScheduledElided,
+            ExecChoice::Doacross => ExecPolicy::Doacross,
         };
-        let body = |i: usize, src: &dyn ValueSource| self.eval(i, src);
-        match exec {
-            ExecChoice::SelfExecuting => {
-                rtpl_executor::self_executing(pool, &schedule, &body, &mut out);
-            }
-            ExecChoice::PreScheduled => {
-                rtpl_executor::pre_scheduled(pool, &schedule, &body, &mut out);
-            }
-            ExecChoice::Sequential => unreachable!(),
-        }
+        let plan = self.plan(strategy, pool.nworkers())?;
+        plan.run(pool, policy, &body, &mut out);
         Ok(out)
     }
 }
@@ -390,7 +407,9 @@ mod tests {
 
     /// Figure 2: `x(i) = x(i) + b(i) * x(ia(i))`.
     fn figure2_spec(n: usize) -> (LoopSpec, Env) {
-        let ia: Vec<usize> = (0..n).map(|i| if i % 4 == 0 { (i + 3) % n } else { i / 2 }).collect();
+        let ia: Vec<usize> = (0..n)
+            .map(|i| if i % 4 == 0 { (i + 3) % n } else { i / 2 })
+            .collect();
         let b: Vec<f64> = (0..n).map(|i| 0.25 + (i % 3) as f64 * 0.1).collect();
         let xold: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
         let spec = LoopSpec {
@@ -432,7 +451,12 @@ mod tests {
             Scheduling::LocalStriped,
             Scheduling::LocalContiguous,
         ] {
-            for exec in [ExecChoice::SelfExecuting, ExecChoice::PreScheduled] {
+            for exec in [
+                ExecChoice::SelfExecuting,
+                ExecChoice::PreScheduled,
+                ExecChoice::PreScheduledElided,
+                ExecChoice::Doacross,
+            ] {
                 let got = c.run(&pool, strategy, exec).unwrap();
                 assert_eq!(got, expect, "{strategy:?}/{exec:?}");
             }

@@ -12,33 +12,47 @@
 //! order is increasing, so some processor can always advance.
 
 use crate::pool::WorkerPool;
+use crate::report::ExecReport;
 use crate::shared::{SharedVec, WaitingSource};
-use crate::{ExecStats, ValueSource};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
-/// Runs `body` over `0..n` in natural order, index `i` on processor
-/// `i mod p`, busy-waiting on dependence values. The dependence graph must
-/// be forward (`dep < i`), which is the paper's start-time schedulable
-/// setting.
-pub fn doacross(
+/// The doacross loop over caller-provided buffers (see
+/// [`crate::PlannedLoop`] for the reusing caller).
+pub(crate) fn doacross_core<F>(
     pool: &WorkerPool,
     n: usize,
-    body: &(dyn Fn(usize, &dyn ValueSource) -> f64 + Sync),
+    shared: &SharedVec,
+    iters: &[AtomicU64],
+    body: &F,
     out: &mut [f64],
-) -> ExecStats {
+) -> ExecReport
+where
+    F: for<'s> Fn(usize, &WaitingSource<'s>) -> f64 + Sync,
+{
     assert_eq!(out.len(), n);
+    assert_eq!(shared.len(), n);
+    assert_eq!(
+        iters.len(),
+        pool.nworkers(),
+        "planned processor count must match the pool"
+    );
     let nprocs = pool.nworkers();
-    let shared = SharedVec::new(n);
+    let epoch = shared.begin_run();
     let stalls = AtomicU64::new(0);
+    let t0 = Instant::now();
     pool.run(&|p| {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let src = WaitingSource::new(&shared);
+            let src = WaitingSource::new(shared, epoch);
+            let mut count = 0u64;
             let mut i = p;
             while i < n {
                 let v = body(i, &src);
-                shared.publish(i, v);
+                shared.publish_at(i, v, epoch);
+                count += 1;
                 i += nprocs;
             }
+            iters[p].store(count, Ordering::Relaxed);
             stalls.fetch_add(src.stalls(), Ordering::Relaxed);
         }));
         if let Err(e) = outcome {
@@ -46,16 +60,33 @@ pub fn doacross(
             std::panic::resume_unwind(e);
         }
     });
-    shared.copy_into(out);
-    ExecStats {
+    let wall = t0.elapsed();
+    shared.copy_into_at(out, epoch);
+    ExecReport {
         barriers: 0,
         stalls: stalls.load(Ordering::Relaxed),
+        iters_per_proc: iters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        wall,
     }
+}
+
+/// Runs `body` over `0..n` in natural order, index `i` on processor
+/// `i mod p`, busy-waiting on dependence values. The dependence graph must
+/// be forward (`dep < i`), which is the paper's start-time schedulable
+/// setting.
+pub fn doacross<F>(pool: &WorkerPool, n: usize, body: &F, out: &mut [f64]) -> ExecReport
+where
+    F: for<'s> Fn(usize, &WaitingSource<'s>) -> f64 + Sync,
+{
+    let shared = SharedVec::new(n);
+    let iters: Vec<AtomicU64> = (0..pool.nworkers()).map(|_| AtomicU64::new(0)).collect();
+    doacross_core(pool, n, &shared, &iters, body, out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ValueSource;
     use rtpl_sparse::gen::{laplacian_5pt, random_lower, tridiagonal};
     use rtpl_sparse::triangular::{row_substitution_lower, solve_lower, Diag};
 
@@ -66,11 +97,14 @@ mod tests {
         solve_lower(l, &b, Diag::Unit, &mut expect).unwrap();
         let pool = WorkerPool::new(nprocs);
         let mut out = vec![0.0; n];
-        let body = |i: usize, src: &dyn crate::ValueSource| {
-            row_substitution_lower(l, &b, i, |j| src.get(j))
-        };
-        doacross(&pool, n, &body, &mut out);
+        let report = doacross(
+            &pool,
+            n,
+            &|i, src| row_substitution_lower(l, &b, i, |j| src.get(j)),
+            &mut out,
+        );
         assert_eq!(out, expect);
+        assert_eq!(report.total_iters() as usize, n);
     }
 
     #[test]
@@ -96,10 +130,12 @@ mod tests {
         let b = vec![1.0; n];
         let pool = WorkerPool::new(2);
         let mut out = vec![0.0; n];
-        let body = |i: usize, src: &dyn crate::ValueSource| {
-            row_substitution_lower(&l, &b, i, |j| src.get(j))
-        };
-        let stats = doacross(&pool, n, &body, &mut out);
-        assert!(stats.stalls > 0, "chain must produce busy-wait stalls");
+        let report = doacross(
+            &pool,
+            n,
+            &|i, src| row_substitution_lower(&l, &b, i, |j| src.get(j)),
+            &mut out,
+        );
+        assert!(report.stalls > 0, "chain must produce busy-wait stalls");
     }
 }

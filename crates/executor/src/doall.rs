@@ -3,18 +3,41 @@
 //! The "easily parallelizable procedures" of Appendix II (SAXPY, vector
 //! inner products, sparse matrix–vector products) divide `0..n` into `p`
 //! contiguous blocks, one per processor. No synchronization beyond the
-//! final join is needed.
+//! final join is needed. Like every other executor, the doall family
+//! reports its run through an [`ExecReport`] (barriers and stalls are
+//! structurally zero; the iteration distribution and wall time remain
+//! informative).
 
 use crate::pool::WorkerPool;
+use crate::report::ExecReport;
 use crate::rows::DisjointSlice;
 use rtpl_inspector::partition::contiguous_range;
+use std::time::Instant;
+
+fn block_report(n: usize, nprocs: usize, wall: std::time::Duration) -> ExecReport {
+    ExecReport {
+        barriers: 0,
+        stalls: 0,
+        iters_per_proc: (0..nprocs)
+            .map(|p| {
+                let (lo, hi) = contiguous_range(n, nprocs, p);
+                (hi - lo) as u64
+            })
+            .collect(),
+        wall,
+    }
+}
 
 /// Evaluates `out[i] = body(i)` for all `i` in parallel over contiguous
 /// blocks.
-pub fn doall(pool: &WorkerPool, n: usize, body: &(dyn Fn(usize) -> f64 + Sync), out: &mut [f64]) {
+pub fn doall<F>(pool: &WorkerPool, n: usize, body: &F, out: &mut [f64]) -> ExecReport
+where
+    F: Fn(usize) -> f64 + Sync,
+{
     assert_eq!(out.len(), n);
     let nprocs = pool.nworkers();
     let ds = DisjointSlice::new(out);
+    let t0 = Instant::now();
     pool.run(&|p| {
         let (lo, hi) = contiguous_range(n, nprocs, p);
         // SAFETY: contiguous ranges of distinct workers are disjoint.
@@ -23,24 +46,35 @@ pub fn doall(pool: &WorkerPool, n: usize, body: &(dyn Fn(usize) -> f64 + Sync), 
             *slot = body(lo + k);
         }
     });
+    block_report(n, nprocs, t0.elapsed())
 }
 
 /// Runs `body(p, lo, hi)` on every worker with its contiguous range — the
 /// SPMD form used when the body wants to process a whole block at once
 /// (e.g. a blocked matvec).
-pub fn doall_blocked(pool: &WorkerPool, n: usize, body: &(dyn Fn(usize, usize, usize) + Sync)) {
+pub fn doall_blocked<F>(pool: &WorkerPool, n: usize, body: &F) -> ExecReport
+where
+    F: Fn(usize, usize, usize) + Sync,
+{
     let nprocs = pool.nworkers();
+    let t0 = Instant::now();
     pool.run(&|p| {
         let (lo, hi) = contiguous_range(n, nprocs, p);
         body(p, lo, hi);
     });
+    block_report(n, nprocs, t0.elapsed())
 }
 
 /// Parallel sum-reduction: `Σ_i body(i)` over contiguous blocks, partials
-/// combined deterministically in worker order.
-pub fn doall_reduce(pool: &WorkerPool, n: usize, body: &(dyn Fn(usize) -> f64 + Sync)) -> f64 {
+/// combined deterministically in worker order. Returns the sum and the run
+/// report.
+pub fn doall_reduce<F>(pool: &WorkerPool, n: usize, body: &F) -> (f64, ExecReport)
+where
+    F: Fn(usize) -> f64 + Sync,
+{
     let nprocs = pool.nworkers();
     let mut partials = vec![0.0f64; nprocs];
+    let t0 = Instant::now();
     {
         let ds = DisjointSlice::new(&mut partials);
         pool.run(&|p| {
@@ -53,7 +87,8 @@ pub fn doall_reduce(pool: &WorkerPool, n: usize, body: &(dyn Fn(usize) -> f64 + 
             unsafe { ds.write(p, acc) };
         });
     }
-    partials.iter().sum()
+    let report = block_report(n, nprocs, t0.elapsed());
+    (partials.iter().sum(), report)
 }
 
 #[cfg(test)]
@@ -64,10 +99,13 @@ mod tests {
     fn doall_computes_all_indices() {
         let pool = WorkerPool::new(4);
         let mut out = vec![0.0; 103];
-        doall(&pool, 103, &|i| (i * i) as f64, &mut out);
+        let report = doall(&pool, 103, &|i| (i * i) as f64, &mut out);
         for (i, &v) in out.iter().enumerate() {
             assert_eq!(v, (i * i) as f64);
         }
+        assert_eq!(report.total_iters(), 103);
+        assert_eq!(report.barriers, 0);
+        assert_eq!(report.stalls, 0);
     }
 
     #[test]
@@ -75,9 +113,10 @@ mod tests {
         let pool = WorkerPool::new(3);
         let x: Vec<f64> = (0..50).map(|i| (i as f64) * 0.5).collect();
         let y: Vec<f64> = (0..50).map(|i| 2.0 - i as f64 * 0.01).collect();
-        let dot = doall_reduce(&pool, 50, &|i| x[i] * y[i]);
+        let (dot, report) = doall_reduce(&pool, 50, &|i| x[i] * y[i]);
         let expect: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
         assert!((dot - expect).abs() < 1e-9);
+        assert_eq!(report.total_iters(), 50);
     }
 
     #[test]
@@ -98,14 +137,15 @@ mod tests {
         let pool = WorkerPool::new(4);
         let mut out: Vec<f64> = vec![];
         doall(&pool, 0, &|_| 1.0, &mut out);
-        assert_eq!(doall_reduce(&pool, 0, &|_| 1.0), 0.0);
+        assert_eq!(doall_reduce(&pool, 0, &|_| 1.0).0, 0.0);
     }
 
     #[test]
     fn more_workers_than_items() {
         let pool = WorkerPool::new(8);
         let mut out = vec![0.0; 3];
-        doall(&pool, 3, &|i| i as f64 + 1.0, &mut out);
+        let report = doall(&pool, 3, &|i| i as f64 + 1.0, &mut out);
         assert_eq!(out, vec![1.0, 2.0, 3.0]);
+        assert_eq!(report.iters_per_proc.iter().sum::<u64>(), 3);
     }
 }

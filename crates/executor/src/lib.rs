@@ -2,40 +2,69 @@
 //!
 //! The *executor* half of the paper's inspector/executor pair: transformed
 //! loop structures that run an inspector-produced [`Schedule`] on an SPMD
-//! worker pool. Two synchronization disciplines are implemented, exactly as
-//! in the paper:
+//! worker pool, unified behind one generic entry point:
 //!
-//! * [`pre_scheduled`] (Figure 5) — processors execute their phase slices
-//!   and meet at a **global barrier** between consecutive wavefronts;
-//! * [`self_executing`] (Figure 4) — a shared `ready` array records which
-//!   solution values have been produced, and consumers **busy-wait** on the
-//!   entries they need, letting consecutive wavefronts pipeline.
+//! ```text
+//! PlannedLoop::run(&pool, ExecPolicy, &body, &mut out) -> ExecReport
+//! ```
 //!
-//! Two baselines complete the §5 comparison set:
+//! A [`PlannedLoop`] is built **once** per dependence structure (it owns the
+//! schedule, the minimal barrier plan, and the shared ready-flag buffer) and
+//! then run **many** times — the paper's core economics: the inspector cost
+//! is amortized over repeated executions, and repeated executions allocate
+//! nothing. The four synchronization disciplines are selected by
+//! [`ExecPolicy`]:
 //!
-//! * [`doacross`] — the original index order striped over processors with
-//!   busy-wait synchronization (a doacross loop *without* index reordering);
-//! * [`doall`] — for fully independent iterations (the SAXPY/dot/matvec
-//!   kernels of Appendix II).
+//! * [`ExecPolicy::PreScheduled`] (Figure 5) — processors execute their
+//!   phase slices and meet at a **global barrier** between consecutive
+//!   wavefronts;
+//! * [`ExecPolicy::PreScheduledElided`] — as above, but only the barriers
+//!   the minimal [`BarrierPlan`] proves necessary are performed
+//!   (Nicol & Saltz synchronization reduction);
+//! * [`ExecPolicy::SelfExecuting`] (Figure 4) — a shared `ready` array
+//!   records which solution values have been produced, and consumers
+//!   **busy-wait** on the entries they need, letting consecutive wavefronts
+//!   pipeline — the paper's recommended executor;
+//! * [`ExecPolicy::Doacross`] — the original index order striped over
+//!   processors with busy-wait synchronization (no inspector reordering).
+//!
+//! Loop bodies are **statically dispatched**: a body implements [`LoopBody`]
+//! with a generic `eval<S: ValueSource>` method, so each executor
+//! monomorphizes the body against its own concrete value source (the
+//! busy-waiting [`shared::WaitingSource`], the barrier-synchronized
+//! [`shared::PublishedSource`], or the sequential [`DirectSource`]) — there
+//! is no `dyn Fn` or `dyn ValueSource` call anywhere on an executor hot
+//! path. The per-discipline free functions ([`pre_scheduled`],
+//! [`self_executing`], [`doacross`], [`doall`], …) remain available and are
+//! equally generic; `PlannedLoop::run` is a thin planner-owned dispatcher
+//! over the same cores.
+//!
+//! Every executor — including the embarrassingly parallel [`doall`] family —
+//! reports its run through one [`ExecReport`]: barriers performed, busy-wait
+//! stalls, per-processor iteration counts, and wall time.
 //!
 //! ## Memory-safety design
 //!
 //! The dynamically scheduled writes that make this pattern "fight the borrow
 //! checker" are expressed through [`shared::SharedVec`]: solution values
-//! live in `AtomicU64` cells (f64 bit patterns) paired with an atomic ready
-//! flag per index. Publishing is a `Release` store, consuming is an
-//! `Acquire` load, so every executor here is 100 % safe code. The only
-//! `unsafe` in the crate is [`rows::SharedRows`] (variable-length row
-//! outputs for the parallel numeric factorization), with its invariant
-//! documented and checked in debug builds.
+//! live in `AtomicU64` cells (f64 bit patterns) paired with an atomic
+//! epoch-stamped ready flag per index. Publishing is a `Release` store,
+//! consuming is an `Acquire` load, so every executor here is 100 % safe
+//! code. The only `unsafe` in the crate is [`rows::SharedRows`]
+//! (variable-length row outputs for the parallel numeric factorization) and
+//! the worker-pool job pointer, with invariants documented and checked in
+//! debug builds.
 //!
 //! [`Schedule`]: rtpl_inspector::Schedule
+//! [`BarrierPlan`]: rtpl_inspector::BarrierPlan
 
 pub mod barrier;
 pub mod doacross;
 pub mod doall;
+pub mod planned;
 pub mod pool;
 pub mod presched;
+pub mod report;
 pub mod rows;
 pub mod selfexec;
 pub mod selfsched;
@@ -43,37 +72,74 @@ pub mod shared;
 
 pub use barrier::SpinBarrier;
 pub use doacross::doacross;
-pub use doall::{doall, doall_reduce};
+pub use doall::{doall, doall_blocked, doall_reduce};
+pub use planned::{ExecPolicy, PlannedLoop};
 pub use pool::WorkerPool;
 pub use presched::{pre_scheduled, pre_scheduled_elided};
+pub use report::ExecReport;
 pub use rows::SharedRows;
 pub use selfexec::self_executing;
 pub use selfsched::{self_scheduling, Chunking};
-pub use shared::{ReadyFlags, SharedVec};
-
-/// Execution statistics returned by the parallel executors.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct ExecStats {
-    /// Number of global synchronizations performed (pre-scheduled only).
-    pub barriers: u64,
-    /// Number of reads that found their operand not yet ready and had to
-    /// busy-wait (self-executing / doacross only).
-    pub stalls: u64,
-}
+pub use shared::{PublishedSource, SharedVec, WaitingSource};
 
 /// A value source handed to loop bodies: `get(j)` returns the (possibly
 /// awaited) value of index `j`.
 ///
-/// * In the self-executing executor, `get` busy-waits on the ready flag.
+/// * In the self-executing executors, `get` busy-waits on the ready flag
+///   ([`shared::WaitingSource`]).
 /// * In the pre-scheduled executor, `get` is a plain read — the phase
-///   barrier already guaranteed availability.
-/// * In the sequential executor, `get` reads the output vector directly.
+///   barrier already guaranteed availability ([`shared::PublishedSource`]).
+/// * In the sequential executor, `get` reads the output vector directly
+///   ([`DirectSource`]).
+///
+/// Executors name these types concretely in their signatures, so `get` is
+/// always statically dispatched and inlinable.
 pub trait ValueSource {
     /// Value of index `j`; may block (busy-wait) until it is produced.
     fn get(&self, j: usize) -> f64;
 }
 
-struct DirectSource<'a>(&'a [f64]);
+/// A loop body usable with **every** execution discipline.
+///
+/// `eval` is generic over the concrete [`ValueSource`], so one body
+/// definition monomorphizes separately against the busy-wait, the
+/// barrier-synchronized, and the direct source — static dispatch on every
+/// hot path, one source of truth for the numerics.
+///
+/// Plain closures cannot be generic over the source type; when a body is
+/// only used with a single discipline, pass a closure to the matching free
+/// function ([`self_executing`], [`pre_scheduled`], …) instead. Implement
+/// `LoopBody` when the same body must run under several policies through
+/// [`PlannedLoop::run`]:
+///
+/// ```
+/// use rtpl_executor::{LoopBody, ValueSource};
+///
+/// /// x(i) = 1 + x(i-1) — a chain.
+/// struct Chain;
+/// impl LoopBody for Chain {
+///     fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64 {
+///         if i == 0 { 1.0 } else { 1.0 + src.get(i - 1) }
+///     }
+/// }
+/// ```
+pub trait LoopBody: Sync {
+    /// Computes the value of index `i`, reading dependence values through
+    /// `src` *only* (reads through `src` are what the synchronization
+    /// discipline protects).
+    fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64;
+}
+
+impl<B: LoopBody + ?Sized> LoopBody for &B {
+    #[inline]
+    fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64 {
+        (**self).eval(i, src)
+    }
+}
+
+/// Direct reads from the (partially written) output vector — the value
+/// source of the sequential reference executor.
+pub struct DirectSource<'a>(&'a [f64]);
 
 impl ValueSource for DirectSource<'_> {
     #[inline]
@@ -85,8 +151,11 @@ impl ValueSource for DirectSource<'_> {
 /// Runs the loop body sequentially in natural index order — the reference
 /// executor every parallel variant is checked against. The body may read any
 /// already-computed index (`j < i` for forward loops) through the
-/// [`ValueSource`].
-pub fn sequential(n: usize, body: impl Fn(usize, &dyn ValueSource) -> f64, out: &mut [f64]) {
+/// [`DirectSource`].
+pub fn sequential<F>(n: usize, body: F, out: &mut [f64])
+where
+    F: for<'a> Fn(usize, &DirectSource<'a>) -> f64,
+{
     assert_eq!(out.len(), n);
     for i in 0..n {
         let val = {
@@ -95,6 +164,11 @@ pub fn sequential(n: usize, body: impl Fn(usize, &dyn ValueSource) -> f64, out: 
         };
         out[i] = val;
     }
+}
+
+/// Runs a [`LoopBody`] sequentially (the reference for [`PlannedLoop`]).
+pub fn sequential_body<B: LoopBody>(n: usize, body: &B, out: &mut [f64]) {
+    sequential(n, |i, src| body.eval(i, src), out);
 }
 
 #[cfg(test)]
@@ -116,6 +190,23 @@ mod tests {
             },
             &mut out,
         );
+        assert_eq!(out, vec![0.0, 1.0, 3.0, 6.0, 10.0, 15.0]);
+    }
+
+    #[test]
+    fn sequential_body_matches_closure_form() {
+        struct Sum;
+        impl LoopBody for Sum {
+            fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64 {
+                if i == 0 {
+                    0.0
+                } else {
+                    i as f64 + src.get(i - 1)
+                }
+            }
+        }
+        let mut out = vec![0.0; 6];
+        sequential_body(6, &Sum, &mut out);
         assert_eq!(out, vec![0.0, 1.0, 3.0, 6.0, 10.0, 15.0]);
     }
 }

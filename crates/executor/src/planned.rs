@@ -1,0 +1,380 @@
+//! The unified plan-once / run-many execution API.
+//!
+//! A [`PlannedLoop`] is the product of the inspector pipeline: it owns the
+//! dependence graph, the per-processor [`Schedule`], the minimal
+//! [`BarrierPlan`], and the shared epoch-stamped value/ready buffer. Build
+//! it once per dependence structure, then call [`PlannedLoop::run`] as many
+//! times as the application iterates (Krylov solvers run the same two
+//! triangular-solve plans hundreds of times) — repeated runs perform **no
+//! O(n) allocation or flag clearing**; invalidation is an O(1) epoch bump.
+//!
+//! All four synchronization disciplines of the paper's §5 comparison are
+//! reachable through the single generic entry point:
+//!
+//! ```
+//! use rtpl_executor::{ExecPolicy, LoopBody, PlannedLoop, ValueSource, WorkerPool};
+//! use rtpl_inspector::{DepGraph, Schedule, Wavefronts};
+//!
+//! // x(i) = 1 + sum of deps — a counting DAG.
+//! struct Count<'a>(&'a DepGraph);
+//! impl LoopBody for Count<'_> {
+//!     fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64 {
+//!         1.0 + self.0.deps(i).iter().map(|&d| src.get(d as usize)).sum::<f64>()
+//!     }
+//! }
+//!
+//! let g = DepGraph::from_lists(5, vec![vec![], vec![0], vec![0], vec![1, 2], vec![3]])?;
+//! let wf = Wavefronts::compute(&g)?;
+//! let schedule = Schedule::global(&wf, 2)?;
+//! let plan = PlannedLoop::new(g, schedule)?;
+//! let pool = WorkerPool::new(2);
+//! let mut out = vec![0.0; 5];
+//! for policy in [
+//!     ExecPolicy::SelfExecuting,
+//!     ExecPolicy::PreScheduled,
+//!     ExecPolicy::PreScheduledElided,
+//!     ExecPolicy::Doacross,
+//! ] {
+//!     let report = plan.run(&pool, policy, &Count(plan.graph()), &mut out);
+//!     assert_eq!(out, vec![1.0, 2.0, 2.0, 5.0, 6.0]);
+//!     assert_eq!(report.total_iters(), 5);
+//! }
+//! # Ok::<(), rtpl_inspector::InspectorError>(())
+//! ```
+//!
+//! [`Schedule`]: rtpl_inspector::Schedule
+//! [`BarrierPlan`]: rtpl_inspector::BarrierPlan
+
+use crate::pool::WorkerPool;
+use crate::report::ExecReport;
+use crate::shared::SharedVec;
+use crate::LoopBody;
+use rtpl_inspector::{BarrierPlan, DepGraph, Result, Schedule};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Which synchronization discipline [`PlannedLoop::run`] uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecPolicy {
+    /// Busy-wait on the shared ready array (Figure 4) — the paper's
+    /// recommended executor; consecutive wavefronts pipeline.
+    SelfExecuting,
+    /// Wavefront phases separated by global barriers (Figure 5).
+    PreScheduled,
+    /// Pre-scheduled, keeping only the barriers the minimal
+    /// [`rtpl_inspector::BarrierPlan`] proves necessary (Nicol & Saltz).
+    PreScheduledElided,
+    /// Natural index order striped over processors with busy-wait
+    /// synchronization — the no-inspector baseline. Requires a forward
+    /// dependence graph (`dep < i`); checked when a run starts (a plan
+    /// over a non-forward DAG remains valid for the other policies).
+    Doacross,
+}
+
+impl ExecPolicy {
+    /// All policies, in the order the paper discusses them.
+    pub const ALL: [ExecPolicy; 4] = [
+        ExecPolicy::SelfExecuting,
+        ExecPolicy::PreScheduled,
+        ExecPolicy::PreScheduledElided,
+        ExecPolicy::Doacross,
+    ];
+}
+
+/// A scheduled loop, ready to execute many times (step 3's transformed
+/// loop, owning everything reusable across executions).
+///
+/// `run` takes `&self`; the shared buffer is invalidated per run by an
+/// epoch bump. A `PlannedLoop` must not execute two runs concurrently —
+/// they would publish into the same cells. Overlapping calls are detected
+/// at run entry and panic immediately rather than corrupting results or
+/// livelocking.
+#[derive(Debug)]
+pub struct PlannedLoop {
+    graph: DepGraph,
+    schedule: Schedule,
+    barriers: BarrierPlan,
+    full_barriers: BarrierPlan,
+    shared: SharedVec,
+    iters: Vec<AtomicU64>,
+    running: AtomicBool,
+}
+
+/// Clears the run-in-progress flag even when an executor panics.
+struct RunGuard<'a>(&'a AtomicBool);
+
+impl Drop for RunGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+impl PlannedLoop {
+    /// Builds the plan: validates `schedule` against `graph` and computes
+    /// the minimal barrier set for the elided policy.
+    pub fn new(graph: DepGraph, schedule: Schedule) -> Result<Self> {
+        schedule.validate(&graph)?;
+        let barriers = BarrierPlan::minimal(&schedule, &graph)?;
+        let full_barriers = BarrierPlan::full(schedule.num_phases());
+        let n = schedule.n();
+        let nprocs = schedule.nprocs();
+        Ok(PlannedLoop {
+            graph,
+            schedule,
+            barriers,
+            full_barriers,
+            shared: SharedVec::new(n),
+            iters: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
+            running: AtomicBool::new(false),
+        })
+    }
+
+    /// The schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The dependence graph.
+    pub fn graph(&self) -> &DepGraph {
+        &self.graph
+    }
+
+    /// The minimal barrier plan used by [`ExecPolicy::PreScheduledElided`].
+    pub fn barrier_plan(&self) -> &BarrierPlan {
+        &self.barriers
+    }
+
+    /// Trip count.
+    pub fn n(&self) -> usize {
+        self.schedule.n()
+    }
+
+    /// Processor count the schedule targets.
+    pub fn nprocs(&self) -> usize {
+        self.schedule.nprocs()
+    }
+
+    /// Number of wavefront phases.
+    pub fn num_phases(&self) -> usize {
+        self.schedule.num_phases()
+    }
+
+    /// Executes the loop under `policy`, writing results to `out`.
+    ///
+    /// The body is statically dispatched: `B::eval` monomorphizes against
+    /// the policy's concrete value source. The pool must match the
+    /// schedule's processor count (checked).
+    pub fn run<B: LoopBody>(
+        &self,
+        pool: &WorkerPool,
+        policy: ExecPolicy,
+        body: &B,
+        out: &mut [f64],
+    ) -> ExecReport {
+        assert!(
+            self.running
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok(),
+            "PlannedLoop::run called while another run on this plan is in progress"
+        );
+        let _guard = RunGuard(&self.running);
+        match policy {
+            ExecPolicy::SelfExecuting => crate::selfexec::self_executing_core(
+                pool,
+                &self.schedule,
+                &self.shared,
+                &self.iters,
+                &|i, src| body.eval(i, src),
+                out,
+            ),
+            ExecPolicy::PreScheduled => crate::presched::pre_scheduled_core(
+                pool,
+                &self.schedule,
+                &self.full_barriers,
+                &self.shared,
+                &self.iters,
+                &|i, src| body.eval(i, src),
+                out,
+            ),
+            ExecPolicy::PreScheduledElided => crate::presched::pre_scheduled_core(
+                pool,
+                &self.schedule,
+                &self.barriers,
+                &self.shared,
+                &self.iters,
+                &|i, src| body.eval(i, src),
+                out,
+            ),
+            ExecPolicy::Doacross => {
+                assert!(
+                    self.graph.is_forward(),
+                    "the doacross policy requires a forward dependence graph"
+                );
+                crate::doacross::doacross_core(
+                    pool,
+                    self.schedule.n(),
+                    &self.shared,
+                    &self.iters,
+                    &|i, src| body.eval(i, src),
+                    out,
+                )
+            }
+        }
+    }
+
+    /// Executes the loop body sequentially in natural index order — the
+    /// reference every policy is checked against. The report shows all
+    /// iterations on one (virtual) processor; barriers and stalls are
+    /// structurally zero.
+    pub fn run_sequential<B: LoopBody>(&self, body: &B, out: &mut [f64]) -> ExecReport {
+        let n = self.schedule.n();
+        let t0 = std::time::Instant::now();
+        crate::sequential_body(n, body, out);
+        ExecReport {
+            barriers: 0,
+            stalls: 0,
+            iters_per_proc: vec![n as u64],
+            wall: t0.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LoopBody, ValueSource};
+    use rtpl_inspector::Wavefronts;
+    use rtpl_sparse::gen::laplacian_5pt;
+    use rtpl_sparse::triangular::{row_substitution_lower, solve_lower, Diag};
+
+    struct Solve<'a> {
+        l: &'a rtpl_sparse::Csr,
+        b: &'a [f64],
+    }
+
+    impl LoopBody for Solve<'_> {
+        fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64 {
+            row_substitution_lower(self.l, self.b, i, |j| src.get(j))
+        }
+    }
+
+    fn mesh_plan(nx: usize, ny: usize, p: usize) -> PlannedLoop {
+        let l = laplacian_5pt(nx, ny).strict_lower();
+        let g = DepGraph::from_lower_triangular(&l).unwrap();
+        let wf = Wavefronts::compute(&g).unwrap();
+        let s = Schedule::global(&wf, p).unwrap();
+        PlannedLoop::new(g, s).unwrap()
+    }
+
+    #[test]
+    fn all_policies_match_sequential() {
+        let l = laplacian_5pt(7, 6).strict_lower();
+        let n = l.nrows();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.2).sin()).collect();
+        let mut expect = vec![0.0; n];
+        solve_lower(&l, &b, Diag::Unit, &mut expect).unwrap();
+        let plan = mesh_plan(7, 6, 3);
+        let pool = WorkerPool::new(3);
+        let body = Solve { l: &l, b: &b };
+        for policy in ExecPolicy::ALL {
+            let mut out = vec![0.0; n];
+            let report = plan.run(&pool, policy, &body, &mut out);
+            assert_eq!(out, expect, "{policy:?}");
+            assert_eq!(report.total_iters() as usize, n, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn repeated_runs_reuse_buffers() {
+        let l = laplacian_5pt(5, 5).strict_lower();
+        let n = l.nrows();
+        let plan = mesh_plan(5, 5, 2);
+        let pool = WorkerPool::new(2);
+        for round in 0..20 {
+            let b: Vec<f64> = (0..n).map(|i| (i + round) as f64 * 0.1).collect();
+            let mut expect = vec![0.0; n];
+            solve_lower(&l, &b, Diag::Unit, &mut expect).unwrap();
+            let mut out = vec![0.0; n];
+            plan.run(
+                &pool,
+                ExecPolicy::SelfExecuting,
+                &Solve { l: &l, b: &b },
+                &mut out,
+            );
+            assert_eq!(out, expect, "round {round}");
+        }
+    }
+
+    #[test]
+    fn elided_policy_uses_fewer_or_equal_barriers() {
+        use rtpl_inspector::Partition;
+        let l = laplacian_5pt(8, 8).strict_lower();
+        let n = l.nrows();
+        let b = vec![1.0; n];
+        let g = DepGraph::from_lower_triangular(&l).unwrap();
+        let wf = Wavefronts::compute(&g).unwrap();
+        let s = Schedule::local(&wf, &Partition::contiguous(n, 4).unwrap()).unwrap();
+        let plan = PlannedLoop::new(g, s).unwrap();
+        let pool = WorkerPool::new(4);
+        let body = Solve { l: &l, b: &b };
+        let mut out = vec![0.0; n];
+        let full = plan.run(&pool, ExecPolicy::PreScheduled, &body, &mut out);
+        let mut out2 = vec![0.0; n];
+        let elided = plan.run(&pool, ExecPolicy::PreScheduledElided, &body, &mut out2);
+        assert_eq!(out, out2);
+        assert!(elided.barriers <= full.barriers);
+        assert_eq!(full.barriers as usize, plan.num_phases() - 1);
+    }
+
+    #[test]
+    fn sequential_reference_matches() {
+        let l = laplacian_5pt(4, 6).strict_lower();
+        let n = l.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let plan = mesh_plan(4, 6, 2);
+        let mut seq = vec![0.0; n];
+        plan.run_sequential(&Solve { l: &l, b: &b }, &mut seq);
+        let mut expect = vec![0.0; n];
+        solve_lower(&l, &b, Diag::Unit, &mut expect).unwrap();
+        assert_eq!(seq, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the pool")]
+    fn doacross_policy_rejects_mismatched_pool() {
+        let l = laplacian_5pt(4, 4).strict_lower();
+        let b = vec![1.0; 16];
+        let plan = mesh_plan(4, 4, 2);
+        let pool = WorkerPool::new(4);
+        let mut out = vec![0.0; 16];
+        plan.run(
+            &pool,
+            ExecPolicy::Doacross,
+            &Solve { l: &l, b: &b },
+            &mut out,
+        );
+    }
+
+    #[test]
+    fn plan_rejects_invalid_inputs_at_plan_time() {
+        let l = laplacian_5pt(3, 3).strict_lower();
+        let g = DepGraph::from_lower_triangular(&l).unwrap();
+        let wf = Wavefronts::compute(&g).unwrap();
+        let s = Schedule::global(&wf, 2).unwrap();
+        // A schedule for a different loop (wrong size) is rejected.
+        let g_other = DepGraph::from_lists(4, vec![vec![]; 4]).unwrap();
+        assert!(PlannedLoop::new(g_other, s.clone()).is_err());
+        // A graph whose dependences the schedule's wavefronts do not cover
+        // (an extra edge between two indices of one wavefront) is rejected
+        // too.
+        let mut lists: Vec<Vec<u32>> = (0..g.n()).map(|i| g.deps(i).to_vec()).collect();
+        let (i, j) = (1..g.n())
+            .flat_map(|i| (0..i).map(move |j| (i, j)))
+            .find(|&(i, j)| wf.of(i) == wf.of(j))
+            .expect("mesh has a wavefront with two indices");
+        lists[i].push(j as u32);
+        lists[i].sort_unstable();
+        lists[i].dedup();
+        let g_tampered = DepGraph::from_lists(g.n(), lists).unwrap();
+        assert!(PlannedLoop::new(g_tampered, s).is_err());
+    }
+}

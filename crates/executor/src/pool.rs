@@ -9,8 +9,7 @@
 //! `run` hands every worker the same closure plus its worker id and blocks
 //! until all workers finish — a fork/join on a persistent team.
 
-use parking_lot::{Condvar, Mutex};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// Type-erased pointer to the caller's job closure.
@@ -92,7 +91,7 @@ impl WorkerPool {
     /// survives for subsequent jobs) and `run` itself panics after the whole
     /// team has finished — a fork/join never hangs on a buggy body.
     pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
-        let mut st = self.inner.state.lock();
+        let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
         debug_assert!(st.job.is_none(), "pool is already running a job");
         // SAFETY: erase the borrow lifetime. `run` blocks below until every
         // worker has finished calling the closure, so the pointee outlives
@@ -106,7 +105,11 @@ impl WorkerPool {
         st.epoch += 1;
         self.inner.work_cv.notify_all();
         while st.remaining > 0 {
-            self.inner.done_cv.wait(&mut st);
+            st = self
+                .inner
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
         }
         st.job = None;
         let panicked = st.panicked;
@@ -121,7 +124,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut st = self.inner.state.lock();
+            let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
             st.shutdown = true;
             self.inner.work_cv.notify_all();
         }
@@ -135,9 +138,9 @@ fn worker_loop(inner: &Inner, id: usize) {
     let mut seen_epoch = 0u64;
     loop {
         let job = {
-            let mut st = inner.state.lock();
+            let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
             while !st.shutdown && (st.epoch == seen_epoch || st.job.is_none()) {
-                inner.work_cv.wait(&mut st);
+                st = inner.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
             }
             if st.shutdown {
                 return;
@@ -149,10 +152,9 @@ fn worker_loop(inner: &Inner, id: usize) {
         // worker has decremented `remaining`, which happens strictly after
         // this call returns. The catch_unwind keeps a panicking job from
         // killing the worker (which would hang the join).
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
-            (*job.0)(id)
-        }));
-        let mut st = inner.state.lock();
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe { (*job.0)(id) }));
+        let mut st = inner.state.lock().unwrap_or_else(|e| e.into_inner());
         st.remaining -= 1;
         if outcome.is_err() {
             st.panicked += 1;

@@ -15,63 +15,100 @@
 //! separates consecutive phases, so a value produced in phase `w` may be
 //! read without any per-value check in phases `> w`. Cheap per element, but
 //! the whole machine waits for the slowest processor of every phase — the
-//! end-effect load imbalance analyzed in §4.
+//! end-effect load imbalance analyzed in §4. The elided variant keeps only
+//! the barriers a [`BarrierPlan`] proves necessary.
 
 use crate::barrier::SpinBarrier;
 use crate::pool::WorkerPool;
+use crate::report::ExecReport;
 use crate::shared::{PublishedSource, SharedVec};
-use crate::{ExecStats, ValueSource};
 use rtpl_inspector::{BarrierPlan, Schedule};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
-/// Runs `body` over all indices of `schedule` with one global barrier
-/// between consecutive phases; results are written to `out`.
-///
-/// `body(i, src)` reads dependence values through `src`; because of the
-/// barriers those reads never wait (and in debug builds, reading a value
-/// that was not produced in an earlier phase panics — catching schedule
-/// bugs).
-pub fn pre_scheduled(
+/// Core of both pre-scheduled variants over caller-provided buffers: runs
+/// every phase slice, synchronizing at the interior boundaries `plan`
+/// keeps. `BarrierPlan::full` reproduces the plain Figure 5 executor.
+pub(crate) fn pre_scheduled_core<F>(
     pool: &WorkerPool,
     schedule: &Schedule,
-    body: &(dyn Fn(usize, &dyn ValueSource) -> f64 + Sync),
+    plan: &BarrierPlan,
+    shared: &SharedVec,
+    iters: &[AtomicU64],
+    body: &F,
     out: &mut [f64],
-) -> ExecStats {
+) -> ExecReport
+where
+    F: for<'s> Fn(usize, &PublishedSource<'s>) -> f64 + Sync,
+{
     assert_eq!(
         schedule.nprocs(),
         pool.nworkers(),
         "schedule processor count must match the pool"
     );
     assert_eq!(out.len(), schedule.n());
-    let shared = SharedVec::new(schedule.n());
-    let barrier = SpinBarrier::new(pool.nworkers());
+    assert_eq!(shared.len(), schedule.n());
     let num_phases = schedule.num_phases();
+    assert_eq!(plan.len(), num_phases.saturating_sub(1));
+    let epoch = shared.begin_run();
+    let barrier = SpinBarrier::new(pool.nworkers());
+    let t0 = Instant::now();
     pool.run(&|p| {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let src = PublishedSource(&shared);
+            let src = PublishedSource::new(shared, epoch);
+            let mut count = 0u64;
             for w in 0..num_phases {
                 for &i in schedule.phase_slice(p, w) {
                     let i = i as usize;
                     let v = body(i, &src);
-                    shared.publish(i, v);
+                    shared.publish_at(i, v, epoch);
+                    count += 1;
                 }
                 // Figure 5 line 1d: end-of-phase global synchronization.
                 // The final join of `pool.run` covers the last phase.
-                if w + 1 < num_phases {
+                if w + 1 < num_phases && plan.is_kept(w) {
                     barrier.wait();
                 }
             }
+            iters[p].store(count, Ordering::Relaxed);
         }));
         if let Err(e) = outcome {
             // Release peers parked at the barrier before re-panicking.
             barrier.poison();
+            shared.poison();
             std::panic::resume_unwind(e);
         }
     });
-    shared.copy_into(out);
-    ExecStats {
-        barriers: num_phases.saturating_sub(1) as u64,
+    let wall = t0.elapsed();
+    shared.copy_into_at(out, epoch);
+    ExecReport {
+        barriers: plan.count() as u64,
         stalls: 0,
+        iters_per_proc: iters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        wall,
     }
+}
+
+/// Runs `body` over all indices of `schedule` with one global barrier
+/// between consecutive phases; results are written to `out`.
+///
+/// `body(i, src)` reads dependence values through the concrete
+/// [`PublishedSource`] (statically dispatched); because of the barriers
+/// those reads never wait (and in debug builds, reading a value that was
+/// not produced in an earlier phase panics — catching schedule bugs).
+pub fn pre_scheduled<F>(
+    pool: &WorkerPool,
+    schedule: &Schedule,
+    body: &F,
+    out: &mut [f64],
+) -> ExecReport
+where
+    F: for<'s> Fn(usize, &PublishedSource<'s>) -> f64 + Sync,
+{
+    let plan = BarrierPlan::full(schedule.num_phases());
+    let shared = SharedVec::new(schedule.n());
+    let iters: Vec<AtomicU64> = (0..pool.nworkers()).map(|_| AtomicU64::new(0)).collect();
+    pre_scheduled_core(pool, schedule, &plan, &shared, &iters, body, out)
 }
 
 /// Pre-scheduled execution with **barrier elision**: only the barriers the
@@ -79,52 +116,26 @@ pub fn pre_scheduled(
 /// computed (or validated) against this schedule and the loop's dependence
 /// graph — an under-covering plan is unsound; in debug builds a read of a
 /// genuinely unpublished value panics.
-pub fn pre_scheduled_elided(
+pub fn pre_scheduled_elided<F>(
     pool: &WorkerPool,
     schedule: &Schedule,
     plan: &BarrierPlan,
-    body: &(dyn Fn(usize, &dyn ValueSource) -> f64 + Sync),
+    body: &F,
     out: &mut [f64],
-) -> ExecStats {
-    assert_eq!(
-        schedule.nprocs(),
-        pool.nworkers(),
-        "schedule processor count must match the pool"
-    );
-    assert_eq!(out.len(), schedule.n());
-    let num_phases = schedule.num_phases();
-    assert_eq!(plan.len(), num_phases.saturating_sub(1));
+) -> ExecReport
+where
+    F: for<'s> Fn(usize, &PublishedSource<'s>) -> f64 + Sync,
+{
     let shared = SharedVec::new(schedule.n());
-    let barrier = SpinBarrier::new(pool.nworkers());
-    pool.run(&|p| {
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let src = PublishedSource(&shared);
-            for w in 0..num_phases {
-                for &i in schedule.phase_slice(p, w) {
-                    let i = i as usize;
-                    let v = body(i, &src);
-                    shared.publish(i, v);
-                }
-                if w + 1 < num_phases && plan.is_kept(w) {
-                    barrier.wait();
-                }
-            }
-        }));
-        if let Err(e) = outcome {
-            barrier.poison();
-            std::panic::resume_unwind(e);
-        }
-    });
-    shared.copy_into(out);
-    ExecStats {
-        barriers: plan.count() as u64,
-        stalls: 0,
-    }
+    let iters: Vec<AtomicU64> = (0..pool.nworkers()).map(|_| AtomicU64::new(0)).collect();
+    pre_scheduled_core(pool, schedule, plan, &shared, &iters, body, out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shared::WaitingSource;
+    use crate::ValueSource;
     use rtpl_inspector::{DepGraph, Partition, Schedule, Wavefronts};
     use rtpl_sparse::gen::{laplacian_5pt, random_lower};
     use rtpl_sparse::triangular::{row_substitution_lower, solve_lower, Diag};
@@ -147,13 +158,16 @@ mod tests {
                 Schedule::local(&wf, &Partition::striped(n, nprocs).unwrap()).unwrap(),
             ] {
                 let mut out = vec![0.0; n];
-                let body = |i: usize, src: &dyn crate::ValueSource| {
-                    row_substitution_lower(&l, &b, i, |j| src.get(j))
-                };
-                let stats = pre_scheduled(&pool, &schedule, &body, &mut out);
+                let report = pre_scheduled(
+                    &pool,
+                    &schedule,
+                    &|i, src| row_substitution_lower(&l, &b, i, |j| src.get(j)),
+                    &mut out,
+                );
                 assert_eq!(out, expect);
-                assert_eq!(stats.barriers as usize, schedule.num_phases() - 1);
-                assert_eq!(stats.stalls, 0);
+                assert_eq!(report.barriers as usize, schedule.num_phases() - 1);
+                assert_eq!(report.stalls, 0);
+                assert_eq!(report.total_iters() as usize, n);
             }
         }
     }
@@ -167,42 +181,55 @@ mod tests {
         let wf = Wavefronts::compute(&g).unwrap();
         let pool = WorkerPool::new(3);
         let schedule = Schedule::global(&wf, 3).unwrap();
-        let body = |i: usize, src: &dyn crate::ValueSource| {
-            row_substitution_lower(&l, &b, i, |j| src.get(j))
-        };
         let mut out_pre = vec![0.0; n];
-        pre_scheduled(&pool, &schedule, &body, &mut out_pre);
+        pre_scheduled(
+            &pool,
+            &schedule,
+            &|i, src: &PublishedSource<'_>| row_substitution_lower(&l, &b, i, |j| src.get(j)),
+            &mut out_pre,
+        );
         let mut out_self = vec![0.0; n];
-        crate::self_executing(&pool, &schedule, &body, &mut out_self);
+        crate::self_executing(
+            &pool,
+            &schedule,
+            &|i, src: &WaitingSource<'_>| row_substitution_lower(&l, &b, i, |j| src.get(j)),
+            &mut out_self,
+        );
         assert_eq!(out_pre, out_self);
     }
 
     #[test]
     fn elided_execution_matches_full_execution() {
-        use rtpl_inspector::BarrierPlan;
         let a = laplacian_5pt(8, 7);
         let l = a.strict_lower();
         let n = l.nrows();
         let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin() + 2.0).collect();
         let g = DepGraph::from_lower_triangular(&l).unwrap();
         let wf = Wavefronts::compute(&g).unwrap();
-        let body = |i: usize, src: &dyn crate::ValueSource| {
-            row_substitution_lower(&l, &b, i, |j| src.get(j))
-        };
         for nprocs in [1usize, 2, 3] {
             let pool = WorkerPool::new(nprocs);
             // Contiguous local schedules give real elision opportunities.
-            let s =
-                Schedule::local(&wf, &Partition::contiguous(n, nprocs).unwrap()).unwrap();
+            let s = Schedule::local(&wf, &Partition::contiguous(n, nprocs).unwrap()).unwrap();
             let plan = BarrierPlan::minimal(&s, &g).unwrap();
             plan.validate(&s, &g).unwrap();
             let mut full = vec![0.0; n];
-            pre_scheduled(&pool, &s, &body, &mut full);
+            pre_scheduled(
+                &pool,
+                &s,
+                &|i, src| row_substitution_lower(&l, &b, i, |j| src.get(j)),
+                &mut full,
+            );
             let mut elided = vec![0.0; n];
-            let stats = pre_scheduled_elided(&pool, &s, &plan, &body, &mut elided);
+            let report = pre_scheduled_elided(
+                &pool,
+                &s,
+                &plan,
+                &|i, src| row_substitution_lower(&l, &b, i, |j| src.get(j)),
+                &mut elided,
+            );
             assert_eq!(full, elided, "nprocs={nprocs}");
-            assert_eq!(stats.barriers, plan.count() as u64);
-            assert!(stats.barriers <= (s.num_phases() - 1) as u64);
+            assert_eq!(report.barriers, plan.count() as u64);
+            assert!(report.barriers <= (s.num_phases() - 1) as u64);
         }
     }
 
@@ -214,8 +241,13 @@ mod tests {
         let pool = WorkerPool::new(2);
         let schedule = Schedule::global(&wf, 2).unwrap();
         let mut out = vec![0.0; 8];
-        let stats = pre_scheduled(&pool, &schedule, &|i, _| i as f64, &mut out);
-        assert_eq!(stats.barriers, 0);
+        let report = pre_scheduled(
+            &pool,
+            &schedule,
+            &|i, _: &PublishedSource<'_>| i as f64,
+            &mut out,
+        );
+        assert_eq!(report.barriers, 0);
         assert_eq!(out, (0..8).map(|i| i as f64).collect::<Vec<_>>());
     }
 }

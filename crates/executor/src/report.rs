@@ -1,0 +1,69 @@
+//! The unified execution report.
+//!
+//! Every executor — barrier-synchronized, busy-waiting, dynamically
+//! self-scheduled, and the embarrassingly parallel `doall` family — returns
+//! one [`ExecReport`] describing what the run actually did: synchronization
+//! counts, busy-wait stalls, the per-processor iteration distribution, and
+//! wall time. The report replaces the old per-executor `ExecStats` and makes
+//! the §5 comparisons (barrier bill vs stall bill vs load balance) readable
+//! off a single struct.
+
+use std::time::Duration;
+
+/// Statistics of one parallel execution.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExecReport {
+    /// Number of global synchronizations performed (pre-scheduled
+    /// executors; zero for busy-wait disciplines).
+    pub barriers: u64,
+    /// Number of reads that found their operand not yet ready and had to
+    /// busy-wait (self-executing / doacross / self-scheduling; zero for
+    /// barrier discipline).
+    pub stalls: u64,
+    /// How many loop iterations each processor executed. Sums to the trip
+    /// count on success; the spread is the realized load (im)balance.
+    pub iters_per_proc: Vec<u64>,
+    /// Wall-clock time of the parallel section (including the fork/join).
+    pub wall: Duration,
+}
+
+impl ExecReport {
+    /// Total iterations executed across all processors.
+    pub fn total_iters(&self) -> u64 {
+        self.iters_per_proc.iter().sum()
+    }
+
+    /// Ratio of the most-loaded processor to the mean load (1.0 = perfectly
+    /// balanced). Returns 1.0 for empty runs.
+    pub fn imbalance(&self) -> f64 {
+        let total = self.total_iters();
+        if total == 0 || self.iters_per_proc.is_empty() {
+            return 1.0;
+        }
+        let max = *self.iters_per_proc.iter().max().unwrap() as f64;
+        let mean = total as f64 / self.iters_per_proc.len() as f64;
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_imbalance() {
+        let r = ExecReport {
+            barriers: 2,
+            stalls: 5,
+            iters_per_proc: vec![10, 30],
+            wall: Duration::from_millis(1),
+        };
+        assert_eq!(r.total_iters(), 40);
+        assert!((r.imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_balanced() {
+        assert_eq!(ExecReport::default().imbalance(), 1.0);
+    }
+}

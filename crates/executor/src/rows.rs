@@ -48,8 +48,7 @@ impl<'a> SharedRows<'a> {
         // Transmuting &mut [f64] to &[UnsafeCell<f64>] is sound: UnsafeCell
         // has the same layout as its contents, and the unique borrow is held
         // for 'a.
-        let cells =
-            unsafe { &*(data as *mut [f64] as *const [UnsafeCell<f64>]) };
+        let cells = unsafe { &*(data as *mut [f64] as *const [UnsafeCell<f64>]) };
         SharedRows {
             data: cells,
             indptr,
@@ -194,8 +193,7 @@ unsafe impl Sync for DisjointSlice<'_> {}
 impl<'a> DisjointSlice<'a> {
     /// Wraps a uniquely borrowed slice.
     pub fn new(data: &'a mut [f64]) -> Self {
-        let cells =
-            unsafe { &*(data as *mut [f64] as *const [UnsafeCell<f64>]) };
+        let cells = unsafe { &*(data as *mut [f64] as *const [UnsafeCell<f64>]) };
         DisjointSlice { data: cells }
     }
 
@@ -232,10 +230,7 @@ impl<'a> DisjointSlice<'a> {
     pub unsafe fn range_mut(&self, lo: usize, hi: usize) -> &mut [f64] {
         debug_assert!(lo <= hi && hi <= self.data.len());
         unsafe {
-            std::slice::from_raw_parts_mut(
-                UnsafeCell::raw_get(self.data.as_ptr().add(lo)),
-                hi - lo,
-            )
+            std::slice::from_raw_parts_mut(UnsafeCell::raw_get(self.data.as_ptr().add(lo)), hi - lo)
         }
     }
 }

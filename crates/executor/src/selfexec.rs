@@ -17,10 +17,66 @@
 //! is the paper's recommended executor.
 
 use crate::pool::WorkerPool;
+use crate::report::ExecReport;
 use crate::shared::{SharedVec, WaitingSource};
-use crate::{ExecStats, ValueSource};
 use rtpl_inspector::Schedule;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The discipline's core loop over caller-provided buffers; used both by
+/// the free function below and by [`crate::PlannedLoop`] (which reuses its
+/// own buffers across runs).
+pub(crate) fn self_executing_core<F>(
+    pool: &WorkerPool,
+    schedule: &Schedule,
+    shared: &SharedVec,
+    iters: &[AtomicU64],
+    body: &F,
+    out: &mut [f64],
+) -> ExecReport
+where
+    F: for<'s> Fn(usize, &WaitingSource<'s>) -> f64 + Sync,
+{
+    assert_eq!(
+        schedule.nprocs(),
+        pool.nworkers(),
+        "schedule processor count must match the pool"
+    );
+    assert_eq!(out.len(), schedule.n());
+    assert_eq!(shared.len(), schedule.n());
+    let epoch = shared.begin_run();
+    let stalls = AtomicU64::new(0);
+    let t0 = Instant::now();
+    pool.run(&|p| {
+        // Poison the shared vector if this worker's body panics, so peers
+        // busy-waiting on values it would have produced fail cleanly
+        // instead of spinning forever.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let src = WaitingSource::new(shared, epoch);
+            let mut count = 0u64;
+            for &i in schedule.proc(p) {
+                let i = i as usize;
+                let v = body(i, &src);
+                shared.publish_at(i, v, epoch);
+                count += 1;
+            }
+            iters[p].store(count, Ordering::Relaxed);
+            stalls.fetch_add(src.stalls(), Ordering::Relaxed);
+        }));
+        if let Err(e) = outcome {
+            shared.poison();
+            std::panic::resume_unwind(e);
+        }
+    });
+    let wall = t0.elapsed();
+    shared.copy_into_at(out, epoch);
+    ExecReport {
+        barriers: 0,
+        stalls: stalls.load(Ordering::Relaxed),
+        iters_per_proc: iters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        wall,
+    }
+}
 
 /// Runs `body` over all indices of `schedule` with busy-wait
 /// synchronization; results are written to `out`.
@@ -29,10 +85,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// its dependences through `src` *only* (reads through `src` are what the
 /// ready array protects). The schedule must target exactly
 /// `pool.nworkers()` processors and must satisfy the wavefront progress
-/// invariant ([`Schedule::validate`]); both are checked.
+/// invariant ([`Schedule::validate`]); both are checked. The body is a
+/// plain generic closure over the concrete [`WaitingSource`] — fully
+/// statically dispatched.
 ///
 /// ```
-/// use rtpl_executor::{self_executing, WorkerPool};
+/// use rtpl_executor::{self_executing, ValueSource, WorkerPool};
 /// use rtpl_inspector::{DepGraph, Schedule, Wavefronts};
 /// // x(i) = 1 + x(i-1): a chain, still executes correctly in parallel.
 /// let g = DepGraph::from_fn(5, |i| if i == 0 { vec![] } else { vec![i as u32 - 1] })?;
@@ -46,48 +104,24 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// assert_eq!(out, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
 /// # Ok::<(), rtpl_inspector::InspectorError>(())
 /// ```
-pub fn self_executing(
+pub fn self_executing<F>(
     pool: &WorkerPool,
     schedule: &Schedule,
-    body: &(dyn Fn(usize, &dyn ValueSource) -> f64 + Sync),
+    body: &F,
     out: &mut [f64],
-) -> ExecStats {
-    assert_eq!(
-        schedule.nprocs(),
-        pool.nworkers(),
-        "schedule processor count must match the pool"
-    );
-    assert_eq!(out.len(), schedule.n());
+) -> ExecReport
+where
+    F: for<'s> Fn(usize, &WaitingSource<'s>) -> f64 + Sync,
+{
     let shared = SharedVec::new(schedule.n());
-    let stalls = AtomicU64::new(0);
-    pool.run(&|p| {
-        // Poison the shared vector if this worker's body panics, so peers
-        // busy-waiting on values it would have produced fail cleanly
-        // instead of spinning forever.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let src = WaitingSource::new(&shared);
-            for &i in schedule.proc(p) {
-                let i = i as usize;
-                let v = body(i, &src);
-                shared.publish(i, v);
-            }
-            stalls.fetch_add(src.stalls(), Ordering::Relaxed);
-        }));
-        if let Err(e) = outcome {
-            shared.poison();
-            std::panic::resume_unwind(e);
-        }
-    });
-    shared.copy_into(out);
-    ExecStats {
-        barriers: 0,
-        stalls: stalls.load(Ordering::Relaxed),
-    }
+    let iters: Vec<AtomicU64> = (0..pool.nworkers()).map(|_| AtomicU64::new(0)).collect();
+    self_executing_core(pool, schedule, &shared, &iters, body, out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ValueSource;
     use rtpl_inspector::{DepGraph, Partition, Schedule, Wavefronts};
     use rtpl_sparse::gen::{laplacian_5pt, random_lower};
     use rtpl_sparse::triangular::{row_substitution_lower, solve_lower, Diag};
@@ -109,10 +143,14 @@ mod tests {
             Schedule::local(&wf, &Partition::striped(n, nprocs).unwrap()).unwrap(),
         ] {
             let mut out = vec![0.0; n];
-            let body = |i: usize, src: &dyn crate::ValueSource| {
-                row_substitution_lower(&l, &b, i, |j| src.get(j))
-            };
-            self_executing(&pool, &schedule, &body, &mut out);
+            let report = self_executing(
+                &pool,
+                &schedule,
+                &|i, src| row_substitution_lower(&l, &b, i, |j| src.get(j)),
+                &mut out,
+            );
+            assert_eq!(report.total_iters() as usize, n);
+            assert_eq!(report.iters_per_proc.len(), nprocs);
             for i in 0..n {
                 assert!(
                     (out[i] - expect[i]).abs() < 1e-12,
@@ -146,10 +184,12 @@ mod tests {
         let mut expect = vec![0.0; n];
         solve_lower(&l, &b, Diag::Unit, &mut expect).unwrap();
         let mut out = vec![0.0; n];
-        let body = |i: usize, src: &dyn crate::ValueSource| {
-            row_substitution_lower(&l, &b, i, |j| src.get(j))
-        };
-        self_executing(&pool, &schedule, &body, &mut out);
+        self_executing(
+            &pool,
+            &schedule,
+            &|i, src| row_substitution_lower(&l, &b, i, |j| src.get(j)),
+            &mut out,
+        );
         assert_eq!(out, expect);
     }
 
@@ -167,17 +207,25 @@ mod tests {
         // Sequential reference per Figure 4 semantics.
         let mut expect = xold.clone();
         for i in 0..5 {
-            let operand = if ia[i] >= i { xold[ia[i]] } else { expect[ia[i]] };
+            let operand = if ia[i] >= i {
+                xold[ia[i]]
+            } else {
+                expect[ia[i]]
+            };
             expect[i] = xold[i] + bcoef[i] * operand;
         }
 
         let mut out = vec![0.0; 5];
-        let body = |i: usize, src: &dyn crate::ValueSource| {
-            let t = ia[i];
-            let operand = if t >= i { xold[t] } else { src.get(t) };
-            xold[i] + bcoef[i] * operand
-        };
-        self_executing(&pool, &schedule, &body, &mut out);
+        self_executing(
+            &pool,
+            &schedule,
+            &|i, src: &WaitingSource<'_>| {
+                let t = ia[i];
+                let operand = if t >= i { xold[t] } else { src.get(t) };
+                xold[i] + bcoef[i] * operand
+            },
+            &mut out,
+        );
         assert_eq!(out, expect);
     }
 
@@ -189,6 +237,6 @@ mod tests {
         let schedule = Schedule::global(&wf, 3).unwrap();
         let pool = WorkerPool::new(2);
         let mut out = vec![0.0; 2];
-        self_executing(&pool, &schedule, &|_, _| 0.0, &mut out);
+        self_executing(&pool, &schedule, &|_, _: &WaitingSource<'_>| 0.0, &mut out);
     }
 }

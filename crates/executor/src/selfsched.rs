@@ -14,9 +14,10 @@
 //! always has its dependences complete and an owner that can run it.
 
 use crate::pool::WorkerPool;
+use crate::report::ExecReport;
 use crate::shared::{SharedVec, WaitingSource};
-use crate::{ExecStats, ValueSource};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Chunk-size policy for dynamic claiming.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,15 +37,19 @@ pub enum Chunking {
 /// chunks and busy-wait synchronization.
 ///
 /// `order` must be a permutation of `0..out.len()` in an order consistent
-/// with the dependences read through the [`ValueSource`] (checked in debug
-/// builds by the publication flags).
-pub fn self_scheduling(
+/// with the dependences read through the source (checked in debug builds by
+/// the publication flags). The report's `iters_per_proc` shows the chunk
+/// distribution the dynamic claiming actually produced.
+pub fn self_scheduling<F>(
     pool: &WorkerPool,
     order: &[u32],
     chunking: Chunking,
-    body: &(dyn Fn(usize, &dyn ValueSource) -> f64 + Sync),
+    body: &F,
     out: &mut [f64],
-) -> ExecStats {
+) -> ExecReport
+where
+    F: for<'s> Fn(usize, &WaitingSource<'s>) -> f64 + Sync,
+{
     let n = order.len();
     assert_eq!(out.len(), n);
     if let Chunking::Fixed(k) = chunking {
@@ -52,69 +57,79 @@ pub fn self_scheduling(
     }
     let nprocs = pool.nworkers();
     let shared = SharedVec::new(n);
+    let epoch = shared.begin_run();
+    let iters: Vec<AtomicU64> = (0..nprocs).map(|_| AtomicU64::new(0)).collect();
     let cursor = AtomicUsize::new(0);
     let stalls = AtomicU64::new(0);
-    pool.run(&|_| {
+    let t0 = Instant::now();
+    pool.run(&|p| {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let src = WaitingSource::new(&shared);
-        loop {
-            // Claim the next chunk [lo, hi).
-            let lo = match chunking {
-                Chunking::Unit => cursor.fetch_add(1, Ordering::Relaxed),
-                Chunking::Fixed(k) => cursor.fetch_add(k, Ordering::Relaxed),
-                Chunking::Guided => {
-                    // CAS loop recomputing the guided chunk from `remaining`.
-                    let mut lo = cursor.load(Ordering::Relaxed);
-                    loop {
-                        if lo >= n {
-                            break;
+            let src = WaitingSource::new(&shared, epoch);
+            let mut count = 0u64;
+            loop {
+                // Claim the next chunk [lo, hi).
+                let lo = match chunking {
+                    Chunking::Unit => cursor.fetch_add(1, Ordering::Relaxed),
+                    Chunking::Fixed(k) => cursor.fetch_add(k, Ordering::Relaxed),
+                    Chunking::Guided => {
+                        // CAS loop recomputing the guided chunk from `remaining`.
+                        let mut lo = cursor.load(Ordering::Relaxed);
+                        loop {
+                            if lo >= n {
+                                break;
+                            }
+                            let remaining = n - lo;
+                            let chunk = remaining.div_ceil(nprocs);
+                            match cursor.compare_exchange_weak(
+                                lo,
+                                lo + chunk,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            ) {
+                                Ok(_) => break,
+                                Err(cur) => lo = cur,
+                            }
                         }
-                        let remaining = n - lo;
-                        let chunk = remaining.div_ceil(nprocs);
-                        match cursor.compare_exchange_weak(
-                            lo,
-                            lo + chunk,
-                            Ordering::Relaxed,
-                            Ordering::Relaxed,
-                        ) {
-                            Ok(_) => break,
-                            Err(cur) => lo = cur,
-                        }
+                        lo
                     }
-                    lo
+                };
+                if lo >= n {
+                    break;
                 }
-            };
-            if lo >= n {
-                break;
+                let hi = match chunking {
+                    Chunking::Unit => lo + 1,
+                    Chunking::Fixed(k) => (lo + k).min(n),
+                    Chunking::Guided => (lo + (n - lo).div_ceil(nprocs)).min(n),
+                };
+                for &i in &order[lo..hi.min(n)] {
+                    let i = i as usize;
+                    let v = body(i, &src);
+                    shared.publish_at(i, v, epoch);
+                    count += 1;
+                }
             }
-            let hi = match chunking {
-                Chunking::Unit => lo + 1,
-                Chunking::Fixed(k) => (lo + k).min(n),
-                Chunking::Guided => (lo + (n - lo).div_ceil(nprocs)).min(n),
-            };
-            for &i in &order[lo..hi.min(n)] {
-                let i = i as usize;
-                let v = body(i, &src);
-                shared.publish(i, v);
-            }
-        }
-        stalls.fetch_add(src.stalls(), Ordering::Relaxed);
+            iters[p].store(count, Ordering::Relaxed);
+            stalls.fetch_add(src.stalls(), Ordering::Relaxed);
         }));
         if let Err(e) = outcome {
             shared.poison();
             std::panic::resume_unwind(e);
         }
     });
-    shared.copy_into(out);
-    ExecStats {
+    let wall = t0.elapsed();
+    shared.copy_into_at(out, epoch);
+    ExecReport {
         barriers: 0,
         stalls: stalls.load(Ordering::Relaxed),
+        iters_per_proc: iters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        wall,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ValueSource;
     use rtpl_inspector::{DepGraph, Wavefronts};
     use rtpl_sparse::gen::{laplacian_5pt, random_lower};
     use rtpl_sparse::triangular::{row_substitution_lower, solve_lower, Diag};
@@ -128,11 +143,15 @@ mod tests {
         let order = Wavefronts::compute(&g).unwrap().sorted_list();
         let pool = WorkerPool::new(nprocs);
         let mut out = vec![0.0; n];
-        let body = |i: usize, src: &dyn crate::ValueSource| {
-            row_substitution_lower(l, &b, i, |j| src.get(j))
-        };
-        self_scheduling(&pool, &order, chunking, &body, &mut out);
+        let report = self_scheduling(
+            &pool,
+            &order,
+            chunking,
+            &|i, src| row_substitution_lower(l, &b, i, |j| src.get(j)),
+            &mut out,
+        );
         assert_eq!(out, expect, "{chunking:?} p={nprocs}");
+        assert_eq!(report.total_iters() as usize, n, "{chunking:?} p={nprocs}");
     }
 
     #[test]
@@ -163,10 +182,13 @@ mod tests {
         let order: Vec<u32> = (0..n as u32).collect();
         let pool = WorkerPool::new(3);
         let mut out = vec![0.0; n];
-        let body = |i: usize, src: &dyn crate::ValueSource| {
-            row_substitution_lower(&l, &b, i, |j| src.get(j))
-        };
-        self_scheduling(&pool, &order, Chunking::Guided, &body, &mut out);
+        self_scheduling(
+            &pool,
+            &order,
+            Chunking::Guided,
+            &|i, src| row_substitution_lower(&l, &b, i, |j| src.get(j)),
+            &mut out,
+        );
         assert_eq!(out, expect);
     }
 

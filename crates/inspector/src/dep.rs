@@ -139,11 +139,7 @@ impl DepGraph {
     pub fn from_nested_index_array(g: &[Vec<usize>]) -> Result<Self> {
         let n = g.len();
         Self::from_fn(n, |i| {
-            let mut d: Vec<u32> = g[i]
-                .iter()
-                .filter(|&&t| t < i)
-                .map(|&t| t as u32)
-                .collect();
+            let mut d: Vec<u32> = g[i].iter().filter(|&&t| t < i).map(|&t| t as u32).collect();
             d.sort_unstable();
             d.dedup();
             d

@@ -200,8 +200,8 @@ mod tests {
     fn chain_on_contiguous_blocks_needs_p_minus_1_barriers() {
         // A pure chain split into contiguous blocks: only the block-to-block
         // handoffs need synchronization.
-        let g = DepGraph::from_lower_triangular(&tridiagonal(20, 2.0, -1.0).strict_lower())
-            .unwrap();
+        let g =
+            DepGraph::from_lower_triangular(&tridiagonal(20, 2.0, -1.0).strict_lower()).unwrap();
         let wf = Wavefronts::compute(&g).unwrap();
         let part = Partition::contiguous(20, 4).unwrap();
         let s = Schedule::local(&wf, &part).unwrap();
@@ -230,8 +230,7 @@ mod tests {
             let g = DepGraph::from_lower_triangular(&l).unwrap();
             let wf = Wavefronts::compute(&g).unwrap();
             for p in [2usize, 3] {
-                let s =
-                    Schedule::local(&wf, &Partition::contiguous(60, p).unwrap()).unwrap();
+                let s = Schedule::local(&wf, &Partition::contiguous(60, p).unwrap()).unwrap();
                 let min = BarrierPlan::minimal(&s, &g).unwrap();
                 min.validate(&s, &g).unwrap();
                 assert!(min.count() <= s.num_phases().saturating_sub(1));

@@ -280,7 +280,11 @@ mod tests {
         s.validate(&g).unwrap();
         for p in 0..3 {
             for &i in s.proc(p) {
-                assert_eq!(part.owner(i as usize), p, "local scheduling must not move indices");
+                assert_eq!(
+                    part.owner(i as usize),
+                    p,
+                    "local scheduling must not move indices"
+                );
             }
         }
     }

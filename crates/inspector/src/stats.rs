@@ -105,10 +105,7 @@ mod tests {
         assert_eq!(st.total_work, 16.0);
         assert_eq!(st.phase_totals().iter().sum::<f64>(), 16.0);
         // Phase totals on a 4×4 mesh: 1,2,3,4,3,2,1.
-        assert_eq!(
-            st.phase_totals(),
-            vec![1.0, 2.0, 3.0, 4.0, 3.0, 2.0, 1.0]
-        );
+        assert_eq!(st.phase_totals(), vec![1.0, 2.0, 3.0, 4.0, 3.0, 2.0, 1.0]);
     }
 
     #[test]

@@ -154,10 +154,7 @@ impl Wavefronts {
                 });
             }
         });
-        let wf: Vec<u32> = shared
-            .into_iter()
-            .map(|a| a.into_inner() - 1)
-            .collect();
+        let wf: Vec<u32> = shared.into_iter().map(|a| a.into_inner() - 1).collect();
         let maxw = wf.iter().copied().max().unwrap_or(0);
         Ok(Wavefronts {
             wf,
@@ -232,8 +229,7 @@ impl Wavefronts {
                 if self.wf[d as usize] >= self.wf[i] {
                     return Err(InspectorError::InvalidSchedule(format!(
                         "index {i} (wf {}) depends on {d} (wf {})",
-                        self.wf[i],
-                        self.wf[d as usize]
+                        self.wf[i], self.wf[d as usize]
                     )));
                 }
             }
@@ -357,8 +353,8 @@ mod tests {
         let wf = Wavefronts::compute(&g).unwrap();
         let got: Vec<u32> = wf.sorted_list().iter().map(|&i| i + 1).collect();
         let paper = [
-            1u32, 2, 8, 3, 9, 15, 4, 10, 16, 22, 5, 11, 17, 23, 29, 6, 12, 18, 24, 30, 7,
-            13, 19, 25, 31, 14, 20, 26, 32, 21, 27, 33, 28, 34, 35,
+            1u32, 2, 8, 3, 9, 15, 4, 10, 16, 22, 5, 11, 17, 23, 29, 6, 12, 18, 24, 30, 7, 13, 19,
+            25, 31, 14, 20, 26, 32, 21, 27, 33, 28, 34, 35,
         ];
         assert_eq!(got, paper);
     }

@@ -67,70 +67,70 @@ pub fn parallel_iluk(
         let num_phases = schedule.num_phases();
         pool.run(&|p| {
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            // Worker-local scatter map: column -> (position in current row)+1.
-            let mut pos = vec![0u32; n];
-            let mut run_row = |i: usize| {
-                let cols = pattern.row_indices(i);
-                let mut guard = rows.claim_row(i);
-                // Scatter A's values onto the pattern (absent entries zero).
-                for slot in guard.iter_mut() {
-                    *slot = 0.0;
-                }
-                for (off, &c) in cols.iter().enumerate() {
-                    pos[c as usize] = off as u32 + 1;
-                }
-                for (j, v) in a.row(i) {
-                    if pos[j] != 0 {
-                        guard[pos[j] as usize - 1] = v;
+                // Worker-local scatter map: column -> (position in current row)+1.
+                let mut pos = vec![0u32; n];
+                let mut run_row = |i: usize| {
+                    let cols = pattern.row_indices(i);
+                    let mut guard = rows.claim_row(i);
+                    // Scatter A's values onto the pattern (absent entries zero).
+                    for slot in guard.iter_mut() {
+                        *slot = 0.0;
                     }
-                }
-                // Eliminate with pivot rows k < i in increasing order.
-                for (koff, &ck) in cols.iter().enumerate() {
-                    let k = ck as usize;
-                    if k >= i {
-                        break;
+                    for (off, &c) in cols.iter().enumerate() {
+                        pos[c as usize] = off as u32 + 1;
                     }
-                    let (krow, _) = match sync {
-                        FactorSync::SelfExecuting => rows.wait_row(k),
-                        // Pre-scheduled: the barrier guarantees stability.
-                        FactorSync::PreScheduled => {
-                            (rows.try_row(k).expect("pivot row not stabilized"), 0)
-                        }
-                    };
-                    let d = krow[diag_off[k]];
-                    let lik = guard[koff] / d;
-                    guard[koff] = lik;
-                    let kcols = pattern.row_indices(k);
-                    for (joff, &cj) in kcols.iter().enumerate().skip(diag_off[k] + 1) {
-                        let j = cj as usize;
+                    for (j, v) in a.row(i) {
                         if pos[j] != 0 {
-                            guard[pos[j] as usize - 1] -= lik * krow[joff];
+                            guard[pos[j] as usize - 1] = v;
                         }
                     }
-                }
-                // Reset the scatter map.
-                for &c in cols {
-                    pos[c as usize] = 0;
-                }
-                drop(guard); // publish
-            };
-            match sync {
-                FactorSync::SelfExecuting => {
-                    for &i in schedule.proc(p) {
-                        run_row(i as usize);
+                    // Eliminate with pivot rows k < i in increasing order.
+                    for (koff, &ck) in cols.iter().enumerate() {
+                        let k = ck as usize;
+                        if k >= i {
+                            break;
+                        }
+                        let (krow, _) = match sync {
+                            FactorSync::SelfExecuting => rows.wait_row(k),
+                            // Pre-scheduled: the barrier guarantees stability.
+                            FactorSync::PreScheduled => {
+                                (rows.try_row(k).expect("pivot row not stabilized"), 0)
+                            }
+                        };
+                        let d = krow[diag_off[k]];
+                        let lik = guard[koff] / d;
+                        guard[koff] = lik;
+                        let kcols = pattern.row_indices(k);
+                        for (joff, &cj) in kcols.iter().enumerate().skip(diag_off[k] + 1) {
+                            let j = cj as usize;
+                            if pos[j] != 0 {
+                                guard[pos[j] as usize - 1] -= lik * krow[joff];
+                            }
+                        }
                     }
-                }
-                FactorSync::PreScheduled => {
-                    for w in 0..num_phases {
-                        for &i in schedule.phase_slice(p, w) {
+                    // Reset the scatter map.
+                    for &c in cols {
+                        pos[c as usize] = 0;
+                    }
+                    drop(guard); // publish
+                };
+                match sync {
+                    FactorSync::SelfExecuting => {
+                        for &i in schedule.proc(p) {
                             run_row(i as usize);
                         }
-                        if w + 1 < num_phases {
-                            barrier.wait();
+                    }
+                    FactorSync::PreScheduled => {
+                        for w in 0..num_phases {
+                            for &i in schedule.phase_slice(p, w) {
+                                run_row(i as usize);
+                            }
+                            if w + 1 < num_phases {
+                                barrier.wait();
+                            }
                         }
                     }
                 }
-            }
             }));
             if let Err(e) = outcome {
                 rows.poison();
@@ -242,7 +242,9 @@ mod tests {
         let r = parallel_iluk(&pool, &a, 0, FactorSync::SelfExecuting);
         assert!(matches!(
             r,
-            Err(crate::KrylovError::Sparse(SparseError::ZeroPivot { row: 1 }))
+            Err(crate::KrylovError::Sparse(SparseError::ZeroPivot {
+                row: 1
+            }))
         ));
     }
 }

@@ -42,7 +42,7 @@ pub fn xpby(pool: &WorkerPool, x: &[f64], beta: f64, y: &mut [f64]) {
 /// Inner product `xᵀy` with deterministic partial-sum combination.
 pub fn dot(pool: &WorkerPool, x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len());
-    rtpl_executor::doall_reduce(pool, x.len(), &|i| x[i] * y[i])
+    rtpl_executor::doall_reduce(pool, x.len(), &|i| x[i] * y[i]).0
 }
 
 /// Euclidean norm.

@@ -6,6 +6,10 @@ use rtpl_executor::WorkerPool;
 use rtpl_sparse::Csr;
 
 /// A preconditioner `M ≈ A` applied as `z = M⁻¹ r`.
+// One preconditioner exists per solve; the variant size spread is
+// irrelevant at that cardinality, and boxing the plan would cost a pointer
+// chase per application.
+#[allow(clippy::large_enum_variant)]
 pub enum Preconditioner {
     /// `M = I` (unpreconditioned iteration).
     Identity,
@@ -181,8 +185,7 @@ mod tests {
         let mut iters = Vec::new();
         for m in [
             Preconditioner::jacobi(&a).unwrap(),
-            Preconditioner::ssor(&a, 1.0, 2, ExecutorKind::SelfExecuting, Sorting::Global)
-                .unwrap(),
+            Preconditioner::ssor(&a, 1.0, 2, ExecutorKind::SelfExecuting, Sorting::Global).unwrap(),
         ] {
             let mut x = vec![0.0; n];
             let s = cg(&pool, &a, &b, &mut x, &m, &cfg).unwrap();
@@ -200,10 +203,12 @@ mod tests {
     #[test]
     fn ssor_rejects_bad_omega() {
         let a = laplacian_5pt(3, 3);
-        assert!(Preconditioner::ssor(&a, 0.0, 1, ExecutorKind::Sequential, Sorting::Global)
-            .is_err());
-        assert!(Preconditioner::ssor(&a, 2.0, 1, ExecutorKind::Sequential, Sorting::Global)
-            .is_err());
+        assert!(
+            Preconditioner::ssor(&a, 0.0, 1, ExecutorKind::Sequential, Sorting::Global).is_err()
+        );
+        assert!(
+            Preconditioner::ssor(&a, 2.0, 1, ExecutorKind::Sequential, Sorting::Global).is_err()
+        );
     }
 
     #[test]
@@ -211,8 +216,7 @@ mod tests {
         let a = laplacian_5pt(4, 4);
         let f = ilu0(&a).unwrap();
         let plan =
-            TriangularSolvePlan::new(&f, 2, ExecutorKind::SelfExecuting, Sorting::Global)
-                .unwrap();
+            TriangularSolvePlan::new(&f, 2, ExecutorKind::SelfExecuting, Sorting::Global).unwrap();
         let m = Preconditioner::Ilu(plan);
         let pool = WorkerPool::new(2);
         let r = vec![1.0; 16];

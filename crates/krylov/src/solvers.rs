@@ -425,8 +425,7 @@ mod tests {
 
         let f = ilu0(&a).unwrap();
         let plan =
-            TriangularSolvePlan::new(&f, 2, ExecutorKind::SelfExecuting, Sorting::Global)
-                .unwrap();
+            TriangularSolvePlan::new(&f, 2, ExecutorKind::SelfExecuting, Sorting::Global).unwrap();
         let mut x1 = vec![0.0; n];
         let pre = cg(&pool, &a, &b, &mut x1, &Preconditioner::Ilu(plan), &cfg).unwrap();
 
@@ -461,8 +460,7 @@ mod tests {
         };
         let f = ilu0(&a).unwrap();
         let plan =
-            TriangularSolvePlan::new(&f, 2, ExecutorKind::SelfExecuting, Sorting::Global)
-                .unwrap();
+            TriangularSolvePlan::new(&f, 2, ExecutorKind::SelfExecuting, Sorting::Global).unwrap();
         let mut x = vec![0.0; n];
         let stats = gmres(&pool, &a, &b, &mut x, &Preconditioner::Ilu(plan), &cfg).unwrap();
         assert!(stats.converged, "{stats:?}");
@@ -488,11 +486,9 @@ mod tests {
         };
         let f = ilu0(&a).unwrap();
         let plan =
-            TriangularSolvePlan::new(&f, 2, ExecutorKind::SelfExecuting, Sorting::Global)
-                .unwrap();
+            TriangularSolvePlan::new(&f, 2, ExecutorKind::SelfExecuting, Sorting::Global).unwrap();
         let mut x = vec![0.0; n];
-        let stats =
-            bicgstab(&pool, &a, &b, &mut x, &Preconditioner::Ilu(plan), &cfg).unwrap();
+        let stats = bicgstab(&pool, &a, &b, &mut x, &Preconditioner::Ilu(plan), &cfg).unwrap();
         assert!(stats.converged, "{stats:?}");
         assert!(residual_norm(&a, &b, &x) < 1e-6 * rtpl_sparse::dense::norm2(&b));
     }

@@ -4,16 +4,18 @@
 //! run-time-schedulable loops at the heart of the paper: their dependences
 //! are the factor's off-diagonal structure, known only after the (numeric)
 //! factorization. A [`TriangularSolvePlan`] runs the inspector **once** —
-//! wavefronts plus schedules for both sweeps — and then executes it every
-//! iteration with the chosen executor, amortizing the sort exactly as the
-//! paper does.
+//! wavefronts, schedules, and barrier plans for both sweeps, as two
+//! [`PlannedLoop`]s — and then executes it every iteration with the chosen
+//! executor, amortizing the sort exactly as the paper does. Repeated solves
+//! allocate nothing: the planned loops reuse their shared buffers via an
+//! O(1) epoch bump.
 //!
 //! The backward sweep is scheduled in *reversed* index space (position
 //! `k` stands for row `n−1−k`), which turns its dependences forward so the
 //! same machinery applies unchanged.
 
 use crate::{KrylovError, Result};
-use rtpl_executor::{doacross, pre_scheduled, self_executing, WorkerPool};
+use rtpl_executor::{ExecPolicy, ExecReport, LoopBody, PlannedLoop, ValueSource, WorkerPool};
 use rtpl_inspector::{DepGraph, Partition, Schedule, Wavefronts};
 use rtpl_sparse::ilu::IluFactors;
 use rtpl_sparse::Csr;
@@ -28,9 +30,24 @@ pub enum ExecutorKind {
     Doacross,
     /// Wavefront phases separated by global barriers (Figure 5).
     PreScheduled,
+    /// Pre-scheduled with the minimal barrier set (Nicol & Saltz elision).
+    PreScheduledElided,
     /// Busy-wait on the shared ready array (Figure 4) — the paper's
     /// recommended executor.
     SelfExecuting,
+}
+
+impl ExecutorKind {
+    /// The parallel policy this kind maps to (`None` for `Sequential`).
+    pub fn policy(self) -> Option<ExecPolicy> {
+        match self {
+            ExecutorKind::Sequential => None,
+            ExecutorKind::Doacross => Some(ExecPolicy::Doacross),
+            ExecutorKind::PreScheduled => Some(ExecPolicy::PreScheduled),
+            ExecutorKind::PreScheduledElided => Some(ExecPolicy::PreScheduledElided),
+            ExecutorKind::SelfExecuting => Some(ExecPolicy::SelfExecuting),
+        }
+    }
 }
 
 /// How the inspector sorts/partitions the index set.
@@ -45,15 +62,55 @@ pub enum Sorting {
     LocalContiguous,
 }
 
+/// The forward-substitution body: `y(i) = b(i) − Σ_j L(i,j)·y(j)`.
+struct ForwardBody<'a> {
+    l: &'a Csr,
+    b: &'a [f64],
+}
+
+impl LoopBody for ForwardBody<'_> {
+    #[inline]
+    fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64 {
+        let mut acc = self.b[i];
+        for (j, v) in self.l.row(i) {
+            acc -= v * src.get(j);
+        }
+        acc
+    }
+}
+
+/// The backward-substitution body in reversed index space: position `k`
+/// computes row `i = n−1−k`; operands are positions `n−1−j`.
+struct BackwardBody<'a> {
+    u: &'a Csr,
+    y: &'a [f64],
+    dinv: &'a [f64],
+    n: usize,
+}
+
+impl LoopBody for BackwardBody<'_> {
+    #[inline]
+    fn eval<S: ValueSource>(&self, k: usize, src: &S) -> f64 {
+        let i = self.n - 1 - k;
+        let mut acc = self.y[i];
+        for (j, v) in self.u.row(i) {
+            if j > i {
+                acc -= v * src.get(self.n - 1 - j);
+            }
+        }
+        acc * self.dinv[i]
+    }
+}
+
 /// A reusable plan for applying `(L·U)⁻¹`.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct TriangularSolvePlan {
     n: usize,
     l: Csr,
     u: Csr,
     udiag_inv: Vec<f64>,
-    sched_l: Schedule,
-    sched_u: Schedule,
+    plan_l: PlannedLoop,
+    plan_u: PlannedLoop,
     kind: ExecutorKind,
 }
 
@@ -77,15 +134,15 @@ impl TriangularSolvePlan {
         let udiag_inv = udiag.iter().map(|d| 1.0 / d).collect();
         let g_l = DepGraph::from_lower_triangular(&l)?;
         let g_u = DepGraph::from_upper_triangular(&u)?;
-        let sched_l = make_schedule(&g_l, nprocs, sorting)?;
-        let sched_u = make_schedule(&g_u, nprocs, sorting)?;
+        let plan_l = make_plan(g_l, nprocs, sorting)?;
+        let plan_u = make_plan(g_u, nprocs, sorting)?;
         Ok(TriangularSolvePlan {
             n,
             l,
             u,
             udiag_inv,
-            sched_l,
-            sched_u,
+            plan_l,
+            plan_u,
             kind,
         })
     }
@@ -103,17 +160,17 @@ impl TriangularSolvePlan {
     /// Phase counts `(forward, backward)` — the paper reports these per
     /// problem in Tables 2–3.
     pub fn num_phases(&self) -> (usize, usize) {
-        (self.sched_l.num_phases(), self.sched_u.num_phases())
+        (self.plan_l.num_phases(), self.plan_u.num_phases())
     }
 
     /// The forward schedule (for simulation/statistics).
     pub fn schedule_l(&self) -> &Schedule {
-        &self.sched_l
+        self.plan_l.schedule()
     }
 
     /// The backward schedule, in reversed index space.
     pub fn schedule_u(&self) -> &Schedule {
-        &self.sched_u
+        self.plan_u.schedule()
     }
 
     /// Flop weights of the forward sweep rows.
@@ -129,82 +186,60 @@ impl TriangularSolvePlan {
         self.backward(pool, work, x);
     }
 
+    /// As [`TriangularSolvePlan::solve`], returning the two sweep reports.
+    pub fn solve_reporting(
+        &self,
+        pool: &WorkerPool,
+        b: &[f64],
+        x: &mut [f64],
+        work: &mut [f64],
+    ) -> (ExecReport, ExecReport) {
+        let fwd = self.forward(pool, b, work);
+        let bwd = self.backward(pool, work, x);
+        (fwd, bwd)
+    }
+
     /// Forward substitution `L y = b` (unit diagonal).
-    pub fn forward(&self, pool: &WorkerPool, b: &[f64], y: &mut [f64]) {
+    pub fn forward(&self, pool: &WorkerPool, b: &[f64], y: &mut [f64]) -> ExecReport {
         assert_eq!(b.len(), self.n);
         assert_eq!(y.len(), self.n);
-        let l = &self.l;
-        let body = move |i: usize, src: &dyn rtpl_executor::ValueSource| {
-            let mut acc = b[i];
-            for (j, v) in l.row(i) {
-                acc -= v * src.get(j);
-            }
-            acc
-        };
-        match self.kind {
-            ExecutorKind::Sequential => rtpl_executor::sequential(self.n, body, y),
-            ExecutorKind::Doacross => {
-                doacross(pool, self.n, &body, y);
-            }
-            ExecutorKind::PreScheduled => {
-                pre_scheduled(pool, &self.sched_l, &body, y);
-            }
-            ExecutorKind::SelfExecuting => {
-                self_executing(pool, &self.sched_l, &body, y);
-            }
+        let body = ForwardBody { l: &self.l, b };
+        match self.kind.policy() {
+            None => self.plan_l.run_sequential(&body, y),
+            Some(policy) => self.plan_l.run(pool, policy, &body, y),
         }
     }
 
     /// Backward substitution `U x = y` (stored diagonal), run in reversed
-    /// index space.
-    pub fn backward(&self, pool: &WorkerPool, y: &[f64], x: &mut [f64]) {
+    /// index space. `x` doubles as the executor's reversed-space output
+    /// buffer, so no per-call scratch is allocated.
+    pub fn backward(&self, pool: &WorkerPool, y: &[f64], x: &mut [f64]) -> ExecReport {
         assert_eq!(y.len(), self.n);
         assert_eq!(x.len(), self.n);
-        let n = self.n;
-        let u = &self.u;
-        let dinv = &self.udiag_inv;
-        // Position k computes row i = n-1-k; operands are positions n-1-j.
-        let body = move |k: usize, src: &dyn rtpl_executor::ValueSource| {
-            let i = n - 1 - k;
-            let mut acc = y[i];
-            for (j, v) in u.row(i) {
-                if j > i {
-                    acc -= v * src.get(n - 1 - j);
-                }
-            }
-            acc * dinv[i]
+        let body = BackwardBody {
+            u: &self.u,
+            y,
+            dinv: &self.udiag_inv,
+            n: self.n,
         };
-        // Executor output is in reversed space; un-reverse into x.
-        let mut rev = vec![0.0f64; n];
-        match self.kind {
-            ExecutorKind::Sequential => rtpl_executor::sequential(n, body, &mut rev),
-            ExecutorKind::Doacross => {
-                doacross(pool, n, &body, &mut rev);
-            }
-            ExecutorKind::PreScheduled => {
-                pre_scheduled(pool, &self.sched_u, &body, &mut rev);
-            }
-            ExecutorKind::SelfExecuting => {
-                self_executing(pool, &self.sched_u, &body, &mut rev);
-            }
-        }
-        for k in 0..n {
-            x[n - 1 - k] = rev[k];
-        }
+        // Executor output is in reversed space; un-reverse in place.
+        let report = match self.kind.policy() {
+            None => self.plan_u.run_sequential(&body, x),
+            Some(policy) => self.plan_u.run(pool, policy, &body, x),
+        };
+        x.reverse();
+        report
     }
 }
 
-fn make_schedule(g: &DepGraph, nprocs: usize, sorting: Sorting) -> Result<Schedule> {
-    let wf = Wavefronts::compute(g)?;
-    Ok(match sorting {
+fn make_plan(g: DepGraph, nprocs: usize, sorting: Sorting) -> Result<PlannedLoop> {
+    let wf = Wavefronts::compute(&g)?;
+    let schedule = match sorting {
         Sorting::Global => Schedule::global(&wf, nprocs)?,
-        Sorting::LocalStriped => {
-            Schedule::local(&wf, &Partition::striped(g.n(), nprocs)?)?
-        }
-        Sorting::LocalContiguous => {
-            Schedule::local(&wf, &Partition::contiguous(g.n(), nprocs)?)?
-        }
-    })
+        Sorting::LocalStriped => Schedule::local(&wf, &Partition::striped(g.n(), nprocs)?)?,
+        Sorting::LocalContiguous => Schedule::local(&wf, &Partition::contiguous(g.n(), nprocs)?)?,
+    };
+    Ok(PlannedLoop::new(g, schedule)?)
 }
 
 #[cfg(test)]
@@ -237,6 +272,7 @@ mod tests {
             ExecutorKind::Sequential,
             ExecutorKind::Doacross,
             ExecutorKind::PreScheduled,
+            ExecutorKind::PreScheduledElided,
             ExecutorKind::SelfExecuting,
         ] {
             for sorting in [
@@ -263,8 +299,7 @@ mod tests {
         let a = laplacian_5pt(6, 11);
         let f = ilu0(&a).unwrap();
         let plan =
-            TriangularSolvePlan::new(&f, 4, ExecutorKind::SelfExecuting, Sorting::Global)
-                .unwrap();
+            TriangularSolvePlan::new(&f, 4, ExecutorKind::SelfExecuting, Sorting::Global).unwrap();
         assert_eq!(plan.num_phases(), (16, 16));
     }
 
@@ -281,7 +316,9 @@ mod tests {
         };
         assert!(matches!(
             TriangularSolvePlan::new(&f, 2, ExecutorKind::Sequential, Sorting::Global),
-            Err(KrylovError::Sparse(rtpl_sparse::SparseError::ZeroPivot { row: 1 }))
+            Err(KrylovError::Sparse(rtpl_sparse::SparseError::ZeroPivot {
+                row: 1
+            }))
         ));
     }
 
@@ -290,8 +327,7 @@ mod tests {
         let a = laplacian_5pt(5, 5);
         let f = ilu0(&a).unwrap();
         let plan =
-            TriangularSolvePlan::new(&f, 2, ExecutorKind::SelfExecuting, Sorting::Global)
-                .unwrap();
+            TriangularSolvePlan::new(&f, 2, ExecutorKind::SelfExecuting, Sorting::Global).unwrap();
         let pool = WorkerPool::new(2);
         for seed in 0..4 {
             let b: Vec<f64> = (0..25).map(|i| ((i + seed) as f64).cos()).collect();
@@ -301,5 +337,23 @@ mod tests {
             plan.solve(&pool, &b, &mut x, &mut work);
             assert!(max_abs_diff(&x, &expect) < 1e-12);
         }
+    }
+
+    #[test]
+    fn reports_expose_discipline_character() {
+        let a = laplacian_5pt(8, 8);
+        let f = ilu0(&a).unwrap();
+        let n = f.n();
+        let b = vec![1.0; n];
+        let pool = WorkerPool::new(2);
+        let plan =
+            TriangularSolvePlan::new(&f, 2, ExecutorKind::PreScheduled, Sorting::Global).unwrap();
+        let mut x = vec![0.0; n];
+        let mut work = vec![0.0; n];
+        let (fwd, bwd) = plan.solve_reporting(&pool, &b, &mut x, &mut work);
+        assert_eq!(fwd.barriers as usize, plan.num_phases().0 - 1);
+        assert_eq!(bwd.barriers as usize, plan.num_phases().1 - 1);
+        assert_eq!(fwd.stalls, 0);
+        assert_eq!(fwd.total_iters() as usize, n);
     }
 }

@@ -130,8 +130,7 @@ pub fn sim_self_executing(
                     ready_at = ready_at.max(completion[d as usize]);
                 }
                 let ndeps = deps.deps(i).len() as f64;
-                let work =
-                    cost.tcheck * ndeps + cost.tp * weight(weights, i) + cost.tinc;
+                let work = cost.tcheck * ndeps + cost.tp * weight(weights, i) + cost.tinc;
                 completion[i] = ready_at + work;
                 avail[p] = completion[i];
                 busy += work;
@@ -216,9 +215,8 @@ pub fn sim_self_executing_fine(
                 completion[i] = t;
                 avail[p] = t;
                 // Busy time excludes operand-wait stalls.
-                busy += cost.tp * residual
-                    + d_list.len() as f64 * (cost.tcheck + cost.tp)
-                    + cost.tinc;
+                busy +=
+                    cost.tp * residual + d_list.len() as f64 * (cost.tcheck + cost.tp) + cost.tinc;
             }
         }
     }

@@ -10,8 +10,7 @@
 
 use crate::coo::CooBuilder;
 use crate::csr::Csr;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// Expands each entry of the point operator `a` into a `bs × bs` dense block.
 ///
@@ -21,7 +20,7 @@ use rand::{Rng, SeedableRng};
 pub fn block_expand(a: &Csr, bs: usize, seed: u64) -> Csr {
     assert!(bs >= 1);
     let n = a.nrows() * bs;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = CooBuilder::with_capacity(n, n, a.nnz() * bs * bs);
     for i in 0..a.nrows() {
         for (j, v) in a.row(i) {
@@ -31,7 +30,7 @@ pub fn block_expand(a: &Csr, bs: usize, seed: u64) -> Csr {
                     let mut off_sum = 0.0;
                     for bj in 0..bs {
                         if bi != bj {
-                            let w = v * 0.1 * rng.gen_range(-1.0..1.0);
+                            let w = v * 0.1 * rng.gen_range_f64(-1.0, 1.0);
                             off_sum += w.abs();
                             b.push(i * bs + bi, j * bs + bj, w);
                         }
@@ -43,10 +42,14 @@ pub fn block_expand(a: &Csr, bs: usize, seed: u64) -> Csr {
                 // Off-diagonal block: the point coupling spread across the
                 // block diagonal plus weak intra-block coupling.
                 for bi in 0..bs {
-                    b.push(i * bs + bi, j * bs + bi, v * rng.gen_range(0.8..1.2));
+                    b.push(i * bs + bi, j * bs + bi, v * rng.gen_range_f64(0.8, 1.2));
                     if bs > 1 {
                         let bj = (bi + 1) % bs;
-                        b.push(i * bs + bi, j * bs + bj, v * 0.05 * rng.gen_range(-1.0..1.0));
+                        b.push(
+                            i * bs + bi,
+                            j * bs + bj,
+                            v * 0.05 * rng.gen_range_f64(-1.0, 1.0),
+                        );
                     }
                 }
             }
@@ -88,10 +91,7 @@ mod tests {
                 .filter(|&(j, _)| j != i)
                 .map(|(_, v)| v.abs())
                 .sum();
-            assert!(
-                diag.abs() > 0.0,
-                "row {i}: zero diagonal (off-sum {off})"
-            );
+            assert!(diag.abs() > 0.0, "row {i}: zero diagonal (off-sum {off})");
         }
     }
 

@@ -3,8 +3,7 @@
 
 use crate::coo::CooBuilder;
 use crate::csr::Csr;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// A fully dense lower triangular matrix of order `n` with unit diagonal —
 /// the paper's §4 extreme case where every row substitution forms its own
@@ -41,15 +40,15 @@ pub fn tridiagonal(n: usize, d: f64, off: f64) -> Csr {
 /// Deterministic in `seed`; used by the property tests to generate arbitrary
 /// dependence DAGs.
 pub fn random_lower(n: usize, max_deg: usize, seed: u64) -> Csr {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = CooBuilder::with_capacity(n, n, n * (max_deg + 1));
     for i in 0..n {
         if i > 0 && max_deg > 0 {
-            let deg = rng.gen_range(0..=max_deg.min(i));
+            let deg = rng.gen_range_inclusive_usize(0, max_deg.min(i));
             for _ in 0..deg {
-                let j = rng.gen_range(0..i);
+                let j = rng.gen_range_usize(0, i);
                 // Duplicates sum — harmless for structure, keeps values small.
-                b.push(i, j, rng.gen_range(-0.5..0.5) / (max_deg as f64));
+                b.push(i, j, rng.gen_range_f64(-0.5, 0.5) / (max_deg as f64));
             }
         }
         b.push(i, i, 1.0);

@@ -150,11 +150,7 @@ pub fn symbolic_iluk(a: &Csr, maxlevel: usize) -> Result<Csr> {
                     }
                 }
             }
-            kcur = if next[k] == NONE {
-                n
-            } else {
-                next[k] as usize
-            };
+            kcur = if next[k] == NONE { n } else { next[k] as usize };
         }
 
         // Gather the row (sorted by construction).

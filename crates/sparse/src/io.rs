@@ -194,8 +194,9 @@ mod tests {
 
     #[test]
     fn rejects_bad_header() {
-        assert!(read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes())
-            .is_err());
+        assert!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n".as_bytes()).is_err()
+        );
         assert!(read_matrix_market("garbage\n".as_bytes()).is_err());
     }
 

@@ -25,6 +25,8 @@
 //! * [`io`] — Matrix Market reading/writing.
 //! * [`dense`] — small dense-matrix helpers used to verify the sparse
 //!   kernels in tests.
+//! * [`rng`] — a tiny deterministic PRNG for the random generators (no
+//!   external dependencies anywhere in the workspace).
 
 pub mod coo;
 pub mod csr;
@@ -33,6 +35,7 @@ pub mod gen;
 pub mod ilu;
 pub mod io;
 pub mod ordering;
+pub mod rng;
 pub mod triangular;
 
 pub use coo::CooBuilder;

@@ -1,0 +1,114 @@
+//! A tiny deterministic pseudo-random generator for test-input synthesis.
+//!
+//! The generators in [`crate::gen`] and the synthetic workloads need
+//! reproducible randomness, not cryptographic quality. [`SmallRng`] is
+//! xoshiro256++ seeded through SplitMix64 — the standard small-state
+//! combination — implemented in-tree so the workspace has no external
+//! dependencies.
+
+/// A seedable, deterministic PRNG (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Creates a generator whose entire stream is determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the xoshiro state.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SmallRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 random mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi);
+        lo + (hi - lo) * self.gen_f64()
+    }
+
+    /// Uniform `usize` in `[lo, hi)` (`hi > lo`).
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        // Multiply-shift range reduction (Lemire); bias is negligible for
+        // the small ranges used in test generation.
+        let span = (hi - lo) as u64;
+        lo + ((self.next_u64() as u128 * span as u128) >> 64) as usize
+    }
+
+    /// Uniform `usize` in `[lo, hi]` (inclusive).
+    pub fn gen_range_inclusive_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range_usize(lo, hi + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let u = r.gen_range_usize(3, 17);
+            assert!((3..17).contains(&u));
+            let f = r.gen_range_f64(-0.5, 0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let unit = r.gen_f64();
+            assert!((0.0..1.0).contains(&unit));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            counts[r.gen_range_usize(0, 8)] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "bucket count {c}");
+        }
+    }
+}

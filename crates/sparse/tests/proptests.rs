@@ -1,86 +1,96 @@
 //! Property tests for the sparse substrate: structural invariants, dense
 //! cross-checks, I/O round trips, ordering correctness.
+//!
+//! Implemented as seed-sweep randomized tests over the in-tree
+//! [`SmallRng`]: each property is checked on a family of random matrices
+//! whose construction is deterministic in the seed, so failures reproduce
+//! exactly.
 
-use proptest::prelude::*;
 use rtpl_sparse::dense::{max_abs_diff, Dense};
 use rtpl_sparse::gen::random_lower;
 use rtpl_sparse::io::{read_matrix_market, write_matrix_market};
 use rtpl_sparse::ordering::{reverse_cuthill_mckee, Permutation};
+use rtpl_sparse::rng::SmallRng;
 use rtpl_sparse::triangular::{solve_lower, Diag};
 use rtpl_sparse::{ilu0, iluk, CooBuilder, Csr};
 
-/// Strategy: a random square matrix as (n, triplets).
-fn matrix_strategy(nmax: usize) -> impl Strategy<Value = Csr> {
-    (2..nmax).prop_flat_map(|n| {
-        prop::collection::vec(((0..n), (0..n), -10.0f64..10.0), 0..4 * n).prop_map(
-            move |trips| {
-                let mut b = CooBuilder::new(n, n);
-                for (i, j, v) in trips {
-                    b.push(i, j, v);
-                }
-                b.build()
-            },
-        )
-    })
+/// A random square matrix of order `2..nmax` with up to `4n` triplets.
+fn random_matrix(rng: &mut SmallRng, nmax: usize) -> Csr {
+    let n = rng.gen_range_usize(2, nmax);
+    let ntrip = rng.gen_range_usize(0, 4 * n);
+    let mut b = CooBuilder::new(n, n);
+    for _ in 0..ntrip {
+        let i = rng.gen_range_usize(0, n);
+        let j = rng.gen_range_usize(0, n);
+        b.push(i, j, rng.gen_range_f64(-10.0, 10.0));
+    }
+    b.build()
 }
 
-/// Strategy: a random strictly diagonally dominant matrix (ILU-friendly).
-fn dominant_strategy(nmax: usize) -> impl Strategy<Value = Csr> {
-    (3..nmax).prop_flat_map(|n| {
-        prop::collection::vec(((0..n), (0..n), -1.0f64..1.0), n..5 * n).prop_map(
-            move |trips| {
-                let mut b = CooBuilder::new(n, n);
-                let mut row_abs = vec![0.0f64; n];
-                let mut kept = Vec::new();
-                for (i, j, v) in trips {
-                    if i != j {
-                        row_abs[i] += v.abs();
-                        kept.push((i, j, v));
-                    }
-                }
-                for (i, j, v) in kept {
-                    b.push(i, j, v);
-                }
-                for i in 0..n {
-                    b.push(i, i, row_abs[i] + 1.0);
-                }
-                b.build()
-            },
-        )
-    })
+/// A random strictly diagonally dominant matrix (ILU-friendly).
+fn random_dominant(rng: &mut SmallRng, nmax: usize) -> Csr {
+    let n = rng.gen_range_usize(3, nmax);
+    let ntrip = rng.gen_range_usize(n, 5 * n);
+    let mut b = CooBuilder::new(n, n);
+    let mut row_abs = vec![0.0f64; n];
+    for _ in 0..ntrip {
+        let i = rng.gen_range_usize(0, n);
+        let j = rng.gen_range_usize(0, n);
+        if i != j {
+            let v = rng.gen_range_f64(-1.0, 1.0);
+            row_abs[i] += v.abs();
+            b.push(i, j, v);
+        }
+    }
+    for (i, &abs) in row_abs.iter().enumerate() {
+        b.push(i, i, abs + 1.0);
+    }
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
-
-    #[test]
-    fn dense_round_trip(a in matrix_strategy(20)) {
+#[test]
+fn dense_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(0xD15C);
+    for _ in 0..32 {
+        let a = random_matrix(&mut rng, 20);
         let d = a.to_dense();
         let b = Csr::from_dense(a.nrows(), a.ncols(), &d, -1.0);
         // from_dense with tol < 0 keeps explicit zeros too, so structures
         // can differ only where COO summed duplicates to zero; compare
         // dense forms instead.
-        prop_assert_eq!(d, b.to_dense());
+        assert_eq!(d, b.to_dense());
     }
+}
 
-    #[test]
-    fn transpose_is_involution(a in matrix_strategy(24)) {
-        prop_assert_eq!(a.transpose().transpose(), a);
+#[test]
+fn transpose_is_involution() {
+    let mut rng = SmallRng::seed_from_u64(0x7A05);
+    for _ in 0..32 {
+        let a = random_matrix(&mut rng, 24);
+        assert_eq!(a.transpose().transpose(), a);
     }
+}
 
-    #[test]
-    fn matvec_agrees_with_dense(a in matrix_strategy(16)) {
+#[test]
+fn matvec_agrees_with_dense() {
+    let mut rng = SmallRng::seed_from_u64(0x3A7);
+    for _ in 0..32 {
+        let a = random_matrix(&mut rng, 16);
         let n = a.nrows();
         let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
         let mut y = vec![0.0; n];
         a.matvec(&x, &mut y).unwrap();
         let yd = Dense::from_csr(&a).matvec(&x);
-        prop_assert!(max_abs_diff(&y, &yd) < 1e-10);
+        assert!(max_abs_diff(&y, &yd) < 1e-10);
     }
+}
 
-    #[test]
-    fn transpose_matvec_identity(a in matrix_strategy(14)) {
-        // y' A x == x' A' y for random probes.
+#[test]
+fn transpose_matvec_identity() {
+    // y' A x == x' A' y for random probes.
+    let mut rng = SmallRng::seed_from_u64(0x1DE);
+    for _ in 0..32 {
+        let a = random_matrix(&mut rng, 14);
         let n = a.nrows();
         let x: Vec<f64> = (0..n).map(|i| ((i * 3 % 7) as f64) - 3.0).collect();
         let y: Vec<f64> = (0..n).map(|i| ((i * 5 % 11) as f64) * 0.5).collect();
@@ -91,35 +101,49 @@ proptest! {
         let mut aty = vec![0.0; n];
         at.matvec(&y, &mut aty).unwrap();
         let rhs: f64 = x.iter().zip(&aty).map(|(a, b)| a * b).sum();
-        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+        assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
     }
+}
 
-    #[test]
-    fn ilu0_reproduces_pattern_entries(a in dominant_strategy(14)) {
-        // Defining property of ILU(0): (LU)_ij == A_ij on the pattern of A.
+#[test]
+fn ilu0_reproduces_pattern_entries() {
+    // Defining property of ILU(0): (LU)_ij == A_ij on the pattern of A.
+    let mut rng = SmallRng::seed_from_u64(0x110);
+    for _ in 0..32 {
+        let a = random_dominant(&mut rng, 14);
         let f = ilu0(&a).unwrap();
         let lu = f.to_dense_product();
         for i in 0..a.nrows() {
             for (j, v) in a.row(i) {
-                prop_assert!(
+                assert!(
                     (lu.get(i, j) - v).abs() < 1e-8 * (1.0 + v.abs()),
-                    "entry ({}, {}): {} vs {}", i, j, lu.get(i, j), v
+                    "entry ({i}, {j}): {} vs {v}",
+                    lu.get(i, j)
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn full_level_iluk_is_exact_lu(a in dominant_strategy(10)) {
+#[test]
+fn full_level_iluk_is_exact_lu() {
+    let mut rng = SmallRng::seed_from_u64(0x1C0);
+    for _ in 0..32 {
+        let a = random_dominant(&mut rng, 10);
         let n = a.nrows();
         let f = iluk(&a, n).unwrap();
         let lu = f.to_dense_product();
         let ad = Dense::from_csr(&a);
-        prop_assert!(lu.max_abs_diff(&ad) < 1e-8);
+        assert!(lu.max_abs_diff(&ad) < 1e-8);
     }
+}
 
-    #[test]
-    fn triangular_solve_matches_dense(seed in 0u64..200, n in 4usize..40) {
+#[test]
+fn triangular_solve_matches_dense() {
+    let mut rng = SmallRng::seed_from_u64(0x7121);
+    for _ in 0..32 {
+        let seed = rng.next_u64() % 200;
+        let n = rng.gen_range_usize(4, 40);
         let l = random_lower(n, 4, seed);
         let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
         let mut x = vec![0.0; n];
@@ -127,20 +151,28 @@ proptest! {
         // Check L x == b via matvec.
         let mut lx = vec![0.0; n];
         l.matvec(&x, &mut lx).unwrap();
-        prop_assert!(max_abs_diff(&lx, &b) < 1e-9);
+        assert!(max_abs_diff(&lx, &b) < 1e-9);
     }
+}
 
-    #[test]
-    fn matrix_market_round_trip(a in matrix_strategy(16)) {
+#[test]
+fn matrix_market_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(0x33);
+    for _ in 0..32 {
+        let a = random_matrix(&mut rng, 16);
         let mut buf = Vec::new();
         write_matrix_market(&a, &mut buf).unwrap();
         let b = read_matrix_market(&buf[..]).unwrap();
-        prop_assert_eq!(a.nrows(), b.nrows());
-        prop_assert!(max_abs_diff(&a.to_dense(), &b.to_dense()) < 1e-12);
+        assert_eq!(a.nrows(), b.nrows());
+        assert!(max_abs_diff(&a.to_dense(), &b.to_dense()) < 1e-12);
     }
+}
 
-    #[test]
-    fn rcm_permutation_preserves_matvec(a in matrix_strategy(16)) {
+#[test]
+fn rcm_permutation_preserves_matvec() {
+    let mut rng = SmallRng::seed_from_u64(0x2C4);
+    for _ in 0..32 {
+        let a = random_matrix(&mut rng, 16);
         let p = reverse_cuthill_mckee(&a).unwrap();
         let b = p.apply_symmetric(&a).unwrap();
         let n = a.nrows();
@@ -149,14 +181,19 @@ proptest! {
         a.matvec(&x, &mut ax).unwrap();
         let mut bxp = vec![0.0; n];
         b.matvec(&p.gather(&x), &mut bxp).unwrap();
-        prop_assert!(max_abs_diff(&bxp, &p.gather(&ax)) < 1e-10);
+        assert!(max_abs_diff(&bxp, &p.gather(&ax)) < 1e-10);
     }
+}
 
-    #[test]
-    fn permutation_gather_scatter_roundtrip(n in 1usize..50, shift in 0usize..49) {
+#[test]
+fn permutation_gather_scatter_roundtrip() {
+    let mut rng = SmallRng::seed_from_u64(0x65);
+    for _ in 0..32 {
+        let n = rng.gen_range_usize(1, 50);
+        let shift = rng.gen_range_usize(0, 49);
         let perm: Vec<u32> = (0..n).map(|i| ((i + shift) % n) as u32).collect();
         let p = Permutation::new(perm).unwrap();
         let x: Vec<f64> = (0..n).map(|i| i as f64 * 1.5).collect();
-        prop_assert_eq!(p.scatter(&p.gather(&x)), x);
+        assert_eq!(p.scatter(&p.gather(&x)), x);
     }
 }

@@ -13,8 +13,7 @@
 //! A matrix described as `65-4-3` is a 65×65 mesh with λ = 4 and mean link
 //! distance 3.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rtpl_sparse::rng::SmallRng;
 use rtpl_sparse::{CooBuilder, Csr};
 
 /// Parameters of one synthetic workload.
@@ -60,7 +59,7 @@ impl SyntheticSpec {
         assert!(self.mean_distance >= 1.0, "mean distance must be >= 1");
         let n = self.n();
         let nmesh = self.mesh;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
         // Geometric on {1, 2, ...} with mean 1/(1-q)  =>  q = 1 - 1/mean.
         let q = 1.0 - 1.0 / self.mean_distance;
         let mut b = CooBuilder::with_capacity(n, n, n * (self.mean_degree as usize + 2));
@@ -78,7 +77,7 @@ impl SyntheticSpec {
                     if ring.is_empty() {
                         continue;
                     }
-                    let partner = ring[rng.gen_range(0..ring.len())];
+                    let partner = ring[rng.gen_range_usize(0, ring.len())];
                     let (lo, hi) = (k.min(partner), k.max(partner));
                     // Dependency: the later index consumes the earlier one.
                     b.push(hi, lo, -1.0 / (self.mean_degree + 1.0));
@@ -99,12 +98,12 @@ fn trim(x: f64) -> String {
 }
 
 /// Knuth's Poisson sampler (λ is small in all our workloads).
-fn sample_poisson(rng: &mut StdRng, lambda: f64) -> usize {
+fn sample_poisson(rng: &mut SmallRng, lambda: f64) -> usize {
     let l = (-lambda).exp();
     let mut k = 0usize;
     let mut p = 1.0f64;
     loop {
-        p *= rng.gen_range(0.0..1.0f64);
+        p *= rng.gen_f64();
         if p <= l {
             return k;
         }
@@ -116,11 +115,11 @@ fn sample_poisson(rng: &mut StdRng, lambda: f64) -> usize {
 }
 
 /// Geometric on {1, 2, ...}: `Pr[X = i] = (1 − q)·q^{i−1}`.
-fn sample_geometric(rng: &mut StdRng, q: f64) -> usize {
+fn sample_geometric(rng: &mut SmallRng, q: f64) -> usize {
     if q <= 0.0 {
         return 1;
     }
-    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u: f64 = rng.gen_f64().max(f64::MIN_POSITIVE);
     1 + (u.ln() / q.ln()).floor() as usize
 }
 

@@ -23,7 +23,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 64usize;
     // Run-time data: a dependence pattern unknown to any static analysis.
     let ia: Vec<usize> = (0..n)
-        .map(|i| if i % 5 == 0 { (i + 11) % n } else { (i * 7) % i.max(1) })
+        .map(|i| {
+            if i % 5 == 0 {
+                (i + 11) % n
+            } else {
+                (i * 7) % i.max(1)
+            }
+        })
         .collect();
     let b: Vec<f64> = (0..n).map(|i| 0.3 + 0.01 * i as f64).collect();
     let xold: Vec<f64> = (0..n).map(|i| ((i % 9) as f64) - 4.0).collect();

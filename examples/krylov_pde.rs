@@ -36,8 +36,7 @@ fn main() {
     // Inspector once, reused every iteration.
     let t0 = Instant::now();
     let plan =
-        TriangularSolvePlan::new(&f, nprocs, ExecutorKind::SelfExecuting, Sorting::Global)
-            .unwrap();
+        TriangularSolvePlan::new(&f, nprocs, ExecutorKind::SelfExecuting, Sorting::Global).unwrap();
     let (ph_l, ph_u) = plan.num_phases();
     println!(
         "inspector (wavefronts + schedules): {:.1} ms; phases fwd {ph_l} / bwd {ph_u}",

@@ -19,7 +19,7 @@ use rtpl::krylov::{
 };
 use rtpl::sim::{self, CostModel};
 use rtpl::sparse::gen::laplacian_5pt;
-use rtpl::sparse::ordering::{red_black, reverse_cuthill_mckee, bandwidth, Permutation};
+use rtpl::sparse::ordering::{bandwidth, red_black, reverse_cuthill_mckee, Permutation};
 use rtpl::sparse::{ilu0, Csr};
 
 fn analyze(label: &str, a: &Csr) {
@@ -70,9 +70,7 @@ fn analyze(label: &str, a: &Csr) {
 fn main() {
     let (nx, ny) = (32usize, 32usize);
     let a = laplacian_5pt(nx, ny);
-    println!(
-        "ordering tradeoff on a {nx}x{ny} 5-pt Laplacian (16 simulated processors)\n"
-    );
+    println!("ordering tradeoff on a {nx}x{ny} 5-pt Laplacian (16 simulated processors)\n");
 
     analyze("natural", &a);
 

@@ -31,21 +31,26 @@ fn main() -> Result<(), rtpl::inspector::InspectorError> {
     println!("widest wavefront: {widest} indices");
 
     // Verify a parallel run agrees with the sequential loop on 3 threads.
+    struct DepSum<'a>(&'a DepGraph);
+    impl LoopBody for DepSum<'_> {
+        fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64 {
+            1.0 + self
+                .0
+                .deps(i)
+                .iter()
+                .map(|&d| 0.3 * src.get(d as usize))
+                .sum::<f64>()
+        }
+    }
     let nprocs = 3;
     let pool = WorkerPool::new(nprocs);
     let schedule = Schedule::global(&wf, nprocs)?;
     let weights: Vec<f64> = (0..n).map(|i| 1.0 + g.deps(i).len() as f64).collect();
-    let body = |i: usize, src: &dyn ValueSource| {
-        1.0 + g
-            .deps(i)
-            .iter()
-            .map(|&d| 0.3 * src.get(d as usize))
-            .sum::<f64>()
-    };
+    let plan = PlannedLoop::new(g.clone(), schedule)?;
     let mut out_par = vec![0.0; n];
-    rtpl::executor::self_executing(&pool, &schedule, &body, &mut out_par);
+    plan.run(&pool, ExecPolicy::SelfExecuting, &DepSum(&g), &mut out_par);
     let mut out_seq = vec![0.0; n];
-    rtpl::executor::sequential(n, body, &mut out_seq);
+    plan.run_sequential(&DepSum(&g), &mut out_seq);
     assert_eq!(out_par, out_seq);
     println!("3-thread self-executing run matches sequential.\n");
 

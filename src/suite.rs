@@ -1,0 +1,6 @@
+//! Empty library target for the `rtpl-suite` package, which exists only to
+//! host the repo-root integration tests (`tests/`) and examples
+//! (`examples/`). All functionality lives in the workspace crates; start at
+//! the [`rtpl`] facade.
+
+pub use rtpl;

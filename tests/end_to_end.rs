@@ -5,7 +5,18 @@ use rtpl::prelude::*;
 use rtpl::sparse::gen::laplacian_5pt;
 use rtpl::sparse::triangular::{row_substitution_lower, solve_lower, Diag};
 use rtpl::workload::{ProblemId, SyntheticSpec, TestProblem};
-use rtpl::{DoConsider, Scheduling};
+
+/// The Figure 8 row-substitution body.
+struct Solve<'a> {
+    l: &'a Csr,
+    b: &'a [f64],
+}
+
+impl LoopBody for Solve<'_> {
+    fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64 {
+        row_substitution_lower(self.l, self.b, i, |j| src.get(j))
+    }
+}
 
 #[test]
 fn doconsider_triangular_solve_all_strategies() {
@@ -15,27 +26,20 @@ fn doconsider_triangular_solve_all_strategies() {
     let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.3).sin()).collect();
     let mut expect = vec![0.0; n];
     solve_lower(&l, &b, Diag::Unit, &mut expect).unwrap();
+    let body = Solve { l: &l, b: &b };
 
     for p in [1usize, 2, 3] {
         let pool = WorkerPool::new(p);
-        for strat in [
-            Scheduling::Global,
-            Scheduling::LocalStriped,
-            Scheduling::LocalContiguous,
-        ] {
+        for strat in Scheduling::ALL {
             let plan = DoConsider::from_lower_triangular(&l)
                 .unwrap()
                 .schedule(strat, p)
                 .unwrap();
-            let body = |i: usize, src: &dyn ValueSource| {
-                row_substitution_lower(&l, &b, i, |j| src.get(j))
-            };
-            let mut out = vec![0.0; n];
-            plan.run_self_executing(&pool, &body, &mut out);
-            assert_eq!(out, expect, "self-exec {strat:?} p={p}");
-            let mut out = vec![0.0; n];
-            plan.run_pre_scheduled(&pool, &body, &mut out);
-            assert_eq!(out, expect, "pre-sched {strat:?} p={p}");
+            for policy in ExecPolicy::ALL {
+                let mut out = vec![0.0; n];
+                plan.run(&pool, policy, &body, &mut out);
+                assert_eq!(out, expect, "{policy:?} {strat:?} p={p}");
+            }
         }
     }
 }
@@ -59,10 +63,14 @@ fn synthetic_workload_end_to_end() {
 
     let pool = WorkerPool::new(3);
     let b = vec![1.0; n];
-    let body =
-        |i: usize, src: &dyn ValueSource| row_substitution_lower(&l, &b, i, |j| src.get(j));
     let mut out = vec![0.0; n];
-    plan.run_self_executing(&pool, &body, &mut out);
+    let report = plan.run(
+        &pool,
+        ExecPolicy::SelfExecuting,
+        &Solve { l: &l, b: &b },
+        &mut out,
+    );
+    assert_eq!(report.total_iters() as usize, n);
     let mut expect = vec![0.0; n];
     solve_lower(&l, &b, Diag::Unit, &mut expect).unwrap();
     assert_eq!(out, expect);
@@ -71,6 +79,22 @@ fn synthetic_workload_end_to_end() {
 #[test]
 fn nested_loop_figure6_semantics() {
     // y(i) = y(i) + temp * y(g(i,j)): multi-operand dependences.
+    struct Figure6<'a> {
+        g: &'a [Vec<usize>],
+        yold: &'a [f64],
+        temp: f64,
+    }
+    impl LoopBody for Figure6<'_> {
+        fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64 {
+            let mut acc = self.yold[i];
+            for &t in &self.g[i] {
+                let operand = if t < i { src.get(t) } else { self.yold[t] };
+                acc += self.temp * operand;
+            }
+            acc
+        }
+    }
+
     let g: Vec<Vec<usize>> = vec![
         vec![],
         vec![0],
@@ -98,17 +122,13 @@ fn nested_loop_figure6_semantics() {
     let plan = dc.schedule(Scheduling::Global, 2).unwrap();
     let pool = WorkerPool::new(2);
     let mut out = vec![0.0; 6];
-    let gref = &g;
-    let yref = &yold;
-    plan.run_self_executing(
+    plan.run(
         &pool,
-        &move |i, src| {
-            let mut acc = yref[i];
-            for &t in &gref[i] {
-                let operand = if t < i { src.get(t) } else { yref[t] };
-                acc += temp * operand;
-            }
-            acc
+        ExecPolicy::SelfExecuting,
+        &Figure6 {
+            g: &g,
+            yold: &yold,
+            temp,
         },
         &mut out,
     );
@@ -138,7 +158,11 @@ fn block_problems_have_denser_wavefronts() {
     let spe5 = TestProblem::build(ProblemId::Spe5); // same grid, 3x3 blocks
     let f4 = rtpl::sparse::ilu0(&spe4.matrix).unwrap();
     let f5 = rtpl::sparse::ilu0(&spe5.matrix).unwrap();
-    let w4 = DoConsider::from_lower_triangular(&f4.l).unwrap().num_wavefronts();
-    let w5 = DoConsider::from_lower_triangular(&f5.l).unwrap().num_wavefronts();
+    let w4 = DoConsider::from_lower_triangular(&f4.l)
+        .unwrap()
+        .num_wavefronts();
+    let w5 = DoConsider::from_lower_triangular(&f5.l)
+        .unwrap()
+        .num_wavefronts();
     assert!(w5 >= w4, "block problem phases {w5} vs point {w4}");
 }

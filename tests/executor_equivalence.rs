@@ -1,127 +1,177 @@
-//! Property tests: every parallel executor computes exactly what the
-//! sequential loop computes, on arbitrary forward dependence DAGs, any
-//! schedule, any processor count.
+//! Executor-equivalence property tests: every parallel execution policy
+//! computes exactly what the sequential loop computes, on arbitrary forward
+//! dependence DAGs, under every scheduling strategy and processor count.
+//!
+//! The sweep is the PR's central invariant: **random DAGs × all
+//! [`ExecPolicy`] variants × all [`Scheduling`] strategies × 1/2/4
+//! processors**, every combination checked bit-for-bit against the
+//! sequential reference through the single `PlannedLoop::run` entry point.
+//! DAG generation is deterministic in the seed (in-tree [`SmallRng`]), so
+//! any failure reproduces exactly.
 
-use proptest::prelude::*;
-use rtpl::executor::{doacross, pre_scheduled, self_executing, WorkerPool};
-use rtpl::inspector::{DepGraph, Partition, Schedule, Wavefronts};
+use rtpl::executor::{self_scheduling, Chunking, WorkerPool};
+use rtpl::inspector::{DepGraph, Wavefronts};
+use rtpl::prelude::*;
+use rtpl::sparse::rng::SmallRng;
 
-/// Strategy: a random forward DAG of `n` indices with up to `maxdeg`
-/// dependences each.
-fn dag_strategy(nmax: usize, maxdeg: usize) -> impl Strategy<Value = DepGraph> {
-    (2..nmax).prop_flat_map(move |n| {
-        let lists: Vec<_> = (0..n)
-            .map(|i| {
-                if i == 0 {
-                    Just(Vec::new()).boxed()
-                } else {
-                    prop::collection::vec(0..(i as u32), 0..=maxdeg.min(i))
-                        .prop_map(|mut v| {
-                            v.sort_unstable();
-                            v.dedup();
-                            v
-                        })
-                        .boxed()
-                }
-            })
-            .collect();
-        lists.prop_map(move |ls| DepGraph::from_lists(n, ls).unwrap())
-    })
+/// A random forward DAG of `2..nmax` indices with up to `maxdeg`
+/// dependences each (every dependence targets a strictly smaller index —
+/// the paper's start-time-schedulable setting).
+fn random_dag(rng: &mut SmallRng, nmax: usize, maxdeg: usize) -> DepGraph {
+    let n = rng.gen_range_usize(2, nmax);
+    let lists: Vec<Vec<u32>> = (0..n)
+        .map(|i| {
+            if i == 0 {
+                Vec::new()
+            } else {
+                let deg = rng.gen_range_inclusive_usize(0, maxdeg.min(i));
+                let mut v: Vec<u32> = (0..deg).map(|_| rng.gen_range_usize(0, i) as u32).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+        })
+        .collect();
+    DepGraph::from_lists(n, lists).unwrap()
 }
 
 /// The loop body: a deterministic function of the index and its operands.
-fn run_body(g: &DepGraph, i: usize, get: impl Fn(usize) -> f64) -> f64 {
-    let mut acc = (i as f64 + 1.0).sqrt();
-    for &d in g.deps(i) {
-        acc += 0.25 * get(d as usize) + 0.01 * (d as f64);
+struct DagBody<'a>(&'a DepGraph);
+
+impl LoopBody for DagBody<'_> {
+    fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64 {
+        let mut acc = (i as f64 + 1.0).sqrt();
+        for &d in self.0.deps(i) {
+            acc += 0.25 * src.get(d as usize) + 0.01 * (d as f64);
+        }
+        acc
     }
-    acc
 }
 
+/// Sequential reference through the library's own reference executor —
+/// the one copy of the body ([`DagBody`]) serves every discipline.
 fn sequential_reference(g: &DepGraph) -> Vec<f64> {
-    let n = g.n();
-    let mut out = vec![0.0; n];
-    for i in 0..n {
-        out[i] = run_body(g, i, |j| out[j]);
-    }
+    let mut out = vec![0.0; g.n()];
+    rtpl::executor::sequential_body(g.n(), &DagBody(g), &mut out);
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24, .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn self_executing_matches_sequential(g in dag_strategy(60, 4), p in 1usize..4) {
-        let wf = Wavefronts::compute(&g).unwrap();
-        let s = Schedule::global(&wf, p).unwrap();
-        s.validate(&g).unwrap();
-        let pool = WorkerPool::new(p);
-        let mut out = vec![0.0; g.n()];
-        let gref = &g;
-        self_executing(&pool, &s, &|i, src| run_body(gref, i, |j| src.get(j)), &mut out);
-        prop_assert_eq!(out, sequential_reference(&g));
-    }
-
-    #[test]
-    fn pre_scheduled_matches_sequential(g in dag_strategy(60, 4), p in 1usize..4) {
-        let wf = Wavefronts::compute(&g).unwrap();
-        let s = Schedule::global(&wf, p).unwrap();
-        let pool = WorkerPool::new(p);
-        let mut out = vec![0.0; g.n()];
-        let gref = &g;
-        pre_scheduled(&pool, &s, &|i, src| run_body(gref, i, |j| src.get(j)), &mut out);
-        prop_assert_eq!(out, sequential_reference(&g));
-    }
-
-    #[test]
-    fn local_schedules_match_sequential(g in dag_strategy(50, 3), p in 1usize..4) {
-        let wf = Wavefronts::compute(&g).unwrap();
-        let pool = WorkerPool::new(p);
-        for part in [
-            Partition::striped(g.n(), p).unwrap(),
-            Partition::contiguous(g.n(), p).unwrap(),
-        ] {
-            let s = Schedule::local(&wf, &part).unwrap();
-            s.validate(&g).unwrap();
-            let mut out = vec![0.0; g.n()];
-            let gref = &g;
-            self_executing(&pool, &s, &|i, src| run_body(gref, i, |j| src.get(j)), &mut out);
-            prop_assert_eq!(out, sequential_reference(&g));
+/// The satellite sweep: policies × strategies × processor counts on random
+/// DAGs, all through `PlannedLoop::run`.
+#[test]
+fn every_policy_strategy_and_proc_count_matches_sequential() {
+    let mut rng = SmallRng::seed_from_u64(0xE9);
+    for case in 0..24 {
+        let g = random_dag(&mut rng, 60, 4);
+        let expect = sequential_reference(&g);
+        for p in [1usize, 2, 4] {
+            let pool = WorkerPool::new(p);
+            for strategy in Scheduling::ALL {
+                let plan = DoConsider::inspect(g.clone())
+                    .unwrap()
+                    .schedule(strategy, p)
+                    .unwrap();
+                for policy in ExecPolicy::ALL {
+                    let mut out = vec![0.0; g.n()];
+                    let report = plan.run(&pool, policy, &DagBody(plan.graph()), &mut out);
+                    assert_eq!(
+                        out, expect,
+                        "case {case}: {policy:?}/{strategy:?} p={p} diverged"
+                    );
+                    assert_eq!(
+                        report.total_iters() as usize,
+                        g.n(),
+                        "case {case}: {policy:?}/{strategy:?} p={p} iteration count"
+                    );
+                }
+            }
         }
     }
+}
 
-    #[test]
-    fn doacross_matches_sequential(g in dag_strategy(50, 3), p in 1usize..4) {
-        let pool = WorkerPool::new(p);
-        let mut out = vec![0.0; g.n()];
-        let gref = &g;
-        doacross(&pool, g.n(), &|i, src| run_body(gref, i, |j| src.get(j)), &mut out);
-        prop_assert_eq!(out, sequential_reference(&g));
+/// Repeated runs of one plan (the paper's plan-once/run-many economics)
+/// stay correct: the epoch-based buffer reuse must never leak values
+/// between runs or policies.
+#[test]
+fn interleaved_policies_on_one_plan_stay_equivalent() {
+    let mut rng = SmallRng::seed_from_u64(0x5EED);
+    for _ in 0..6 {
+        let g = random_dag(&mut rng, 50, 3);
+        let expect = sequential_reference(&g);
+        let pool = WorkerPool::new(2);
+        let plan = DoConsider::inspect(g.clone())
+            .unwrap()
+            .schedule(Scheduling::Global, 2)
+            .unwrap();
+        for round in 0..3 {
+            for policy in ExecPolicy::ALL {
+                let mut out = vec![0.0; g.n()];
+                plan.run(&pool, policy, &DagBody(plan.graph()), &mut out);
+                assert_eq!(out, expect, "round {round} {policy:?}");
+            }
+        }
     }
+}
 
-    #[test]
-    fn wavefronts_valid_on_random_dags(g in dag_strategy(80, 5)) {
+/// The dynamic self-scheduling executor (related-work baseline) agrees too.
+#[test]
+fn self_scheduling_matches_sequential() {
+    let mut rng = SmallRng::seed_from_u64(0x7E57);
+    for _ in 0..12 {
+        let g = random_dag(&mut rng, 50, 3);
+        let expect = sequential_reference(&g);
+        let order = Wavefronts::compute(&g).unwrap().sorted_list();
+        for p in [1usize, 2, 4] {
+            let pool = WorkerPool::new(p);
+            for chunking in [Chunking::Unit, Chunking::Guided, Chunking::Fixed(3)] {
+                let mut out = vec![0.0; g.n()];
+                let body = DagBody(&g);
+                self_scheduling(
+                    &pool,
+                    &order,
+                    chunking,
+                    &|i, src| body.eval(i, src),
+                    &mut out,
+                );
+                assert_eq!(out, expect, "{chunking:?} p={p}");
+            }
+        }
+    }
+}
+
+/// Wavefront invariants on random DAGs (kept from the original suite).
+#[test]
+fn wavefronts_valid_on_random_dags() {
+    let mut rng = SmallRng::seed_from_u64(0x3F);
+    for _ in 0..24 {
+        let g = random_dag(&mut rng, 80, 5);
         let wf = Wavefronts::compute(&g).unwrap();
         wf.validate(&g).unwrap();
-        // Counting-sorted list is a permutation in nondecreasing wavefront order.
+        // Counting-sorted list is a permutation in nondecreasing wavefront
+        // order.
         let list = wf.sorted_list();
         let mut seen = vec![false; g.n()];
         let mut prev = 0u32;
         for &i in &list {
-            prop_assert!(!seen[i as usize]);
+            assert!(!seen[i as usize]);
             seen[i as usize] = true;
             let w = wf.of(i as usize);
-            prop_assert!(w >= prev);
+            assert!(w >= prev);
             prev = w;
         }
+        assert!(seen.iter().all(|&s| s));
     }
+}
 
-    #[test]
-    fn parallel_wavefront_sweep_matches(g in dag_strategy(60, 4), t in 2usize..4) {
+/// The parallel wavefront sweep agrees with the sequential one.
+#[test]
+fn parallel_wavefront_sweep_matches() {
+    let mut rng = SmallRng::seed_from_u64(0xBEEF);
+    for _ in 0..16 {
+        let g = random_dag(&mut rng, 60, 4);
+        let t = rng.gen_range_usize(2, 4);
         let seq = Wavefronts::compute(&g).unwrap();
         let par = Wavefronts::compute_parallel(&g, t).unwrap();
-        prop_assert_eq!(seq, par);
+        assert_eq!(seq, par);
     }
 }

@@ -1,75 +1,110 @@
 //! Failure injection: buggy loop bodies, malformed inputs, and poisoned
 //! synchronization must fail cleanly (panic/Err), never hang or corrupt.
 
-use rtpl::executor::{
-    doacross, pre_scheduled, self_executing, Chunking, self_scheduling, WorkerPool,
-};
+use rtpl::executor::{self_scheduling, Chunking, WorkerPool};
 use rtpl::inspector::{BarrierPlan, DepGraph, InspectorError, Schedule, Wavefronts};
+use rtpl::prelude::*;
 use rtpl::sparse::gen::laplacian_5pt;
 
-fn mesh_schedule(nx: usize, ny: usize, p: usize) -> (DepGraph, Schedule) {
+fn mesh_plan(nx: usize, ny: usize, p: usize) -> PlannedLoop {
     let g = DepGraph::from_lower_triangular(&laplacian_5pt(nx, ny).strict_lower()).unwrap();
     let wf = Wavefronts::compute(&g).unwrap();
     let s = Schedule::global(&wf, p).unwrap();
-    (g, s)
+    PlannedLoop::new(g, s).unwrap()
+}
+
+/// A body that panics on one index; every other index sums its operands.
+struct Bomb<'a> {
+    graph: &'a DepGraph,
+    bomb: usize,
+}
+
+impl LoopBody for Bomb<'_> {
+    fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64 {
+        assert!(i != self.bomb, "injected failure at index {i}");
+        1.0 + self
+            .graph
+            .deps(i)
+            .iter()
+            .map(|&d| src.get(d as usize))
+            .sum::<f64>()
+    }
 }
 
 /// A body that panics on one index. Peers busy-waiting on the poisoned
-/// value must not livelock; `pool.run` must report the failure.
+/// value must not livelock; `pool.run` must report the failure, for every
+/// policy.
 #[test]
-fn panicking_body_fails_self_executing_without_hanging() {
-    let (g, s) = mesh_schedule(8, 8, 2);
-    let pool = WorkerPool::new(2);
-    let mut out = vec![0.0; g.n()];
-    let body = |i: usize, src: &dyn rtpl::executor::ValueSource| {
-        if i == 20 {
-            panic!("injected failure at index 20");
-        }
-        1.0 + g.deps(i).iter().map(|&d| src.get(d as usize)).sum::<f64>()
-    };
-    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        self_executing(&pool, &s, &body, &mut out)
-    }));
-    assert!(r.is_err(), "the panic must propagate to the caller");
+fn panicking_body_fails_every_policy_without_hanging() {
+    for policy in ExecPolicy::ALL {
+        let plan = mesh_plan(8, 8, 2);
+        let pool = WorkerPool::new(2);
+        let mut out = vec![0.0; plan.n()];
+        let body = Bomb {
+            graph: plan.graph(),
+            bomb: 20,
+        };
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            plan.run(&pool, policy, &body, &mut out)
+        }));
+        assert!(r.is_err(), "{policy:?}: the panic must propagate");
+    }
 }
 
+/// A plan whose run panicked stays usable (poisoning is cleared by the next
+/// run's epoch bump).
 #[test]
-fn panicking_body_fails_pre_scheduled_without_hanging() {
-    let (g, s) = mesh_schedule(8, 8, 2);
+fn plan_recovers_after_panicking_run() {
+    let plan = mesh_plan(6, 6, 2);
     let pool = WorkerPool::new(2);
-    let mut out = vec![0.0; g.n()];
-    let body = |i: usize, src: &dyn rtpl::executor::ValueSource| {
-        if i == 33 {
-            panic!("injected failure");
-        }
-        1.0 + g.deps(i).iter().map(|&d| src.get(d as usize)).sum::<f64>()
-    };
+    let mut out = vec![0.0; plan.n()];
     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        pre_scheduled(&pool, &s, &body, &mut out)
+        plan.run(
+            &pool,
+            ExecPolicy::SelfExecuting,
+            &Bomb {
+                graph: plan.graph(),
+                bomb: 17,
+            },
+            &mut out,
+        )
     }));
     assert!(r.is_err());
+    // The same plan must now run a healthy body to completion.
+    let healthy = Bomb {
+        graph: plan.graph(),
+        bomb: usize::MAX,
+    };
+    let mut seq = vec![0.0; plan.n()];
+    plan.run_sequential(&healthy, &mut seq);
+    let report = plan.run(&pool, ExecPolicy::SelfExecuting, &healthy, &mut out);
+    assert_eq!(out, seq);
+    assert_eq!(report.total_iters() as usize, plan.n());
 }
 
 #[test]
-fn panicking_body_fails_doacross_and_self_scheduling() {
-    let (g, _) = mesh_schedule(6, 6, 2);
+fn panicking_body_fails_self_scheduling() {
+    let g = DepGraph::from_lower_triangular(&laplacian_5pt(6, 6).strict_lower()).unwrap();
     let wf = Wavefronts::compute(&g).unwrap();
     let order = wf.sorted_list();
     let pool = WorkerPool::new(2);
-    let body = |i: usize, src: &dyn rtpl::executor::ValueSource| {
-        if i == 17 {
-            panic!("boom");
-        }
-        1.0 + g.deps(i).iter().map(|&d| src.get(d as usize)).sum::<f64>()
-    };
     let mut out = vec![0.0; g.n()];
+    let gref = &g;
     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        doacross(&pool, g.n(), &body, &mut out)
-    }));
-    assert!(r.is_err());
-    let mut out = vec![0.0; g.n()];
-    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        self_scheduling(&pool, &order, Chunking::Guided, &body, &mut out)
+        self_scheduling(
+            &pool,
+            &order,
+            Chunking::Guided,
+            &|i, src| {
+                assert!(i != 17, "boom");
+                1.0 + gref
+                    .deps(i)
+                    .iter()
+                    .map(|&d| src.get(d as usize))
+                    .sum::<f64>()
+            },
+            &mut out,
+        )
     }));
     assert!(r.is_err());
 }
@@ -80,9 +115,7 @@ fn pool_reusable_after_panic() {
     let pool = WorkerPool::new(3);
     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         pool.run(&|id| {
-            if id == 1 {
-                panic!("one worker dies");
-            }
+            assert!(id != 1, "one worker dies");
         });
     }));
     assert!(r.is_err());
@@ -106,15 +139,13 @@ fn cyclic_graphs_rejected_end_to_end() {
 
 #[test]
 fn undercovering_barrier_plan_rejected() {
-    let (g, s) = mesh_schedule(5, 5, 3);
+    let g = DepGraph::from_lower_triangular(&laplacian_5pt(5, 5).strict_lower()).unwrap();
+    let wf = Wavefronts::compute(&g).unwrap();
+    let s = Schedule::global(&wf, 3).unwrap();
     let full = BarrierPlan::full(s.num_phases());
     full.validate(&s, &g).unwrap();
     // An all-elided plan cannot cover cross-processor deps on a mesh.
-    let empty = BarrierPlan::minimal(
-        &Schedule::global(&Wavefronts::compute(&g).unwrap(), 1).unwrap(),
-        &g,
-    )
-    .unwrap();
+    let empty = BarrierPlan::minimal(&Schedule::global(&wf, 1).unwrap(), &g).unwrap();
     // The single-processor minimal plan keeps nothing; validating it against
     // the 3-processor schedule must fail.
     assert_eq!(empty.count(), 0);
@@ -123,37 +154,47 @@ fn undercovering_barrier_plan_rejected() {
 
 #[test]
 fn zero_length_loops_are_fine_everywhere() {
+    struct Unreachable;
+    impl LoopBody for Unreachable {
+        fn eval<S: ValueSource>(&self, _: usize, _: &S) -> f64 {
+            unreachable!("no iterations exist")
+        }
+    }
     let g = DepGraph::from_lists(0, Vec::<Vec<u32>>::new()).unwrap();
     let wf = Wavefronts::compute(&g).unwrap();
     let s = Schedule::global(&wf, 2).unwrap();
+    let plan = PlannedLoop::new(g, s).unwrap();
     let pool = WorkerPool::new(2);
     let mut out: Vec<f64> = vec![];
-    self_executing(&pool, &s, &|_, _| unreachable!(), &mut out);
-    pre_scheduled(&pool, &s, &|_, _| unreachable!(), &mut out);
-    doacross(&pool, 0, &|_, _| unreachable!(), &mut out);
+    for policy in ExecPolicy::ALL {
+        let report = plan.run(&pool, policy, &Unreachable, &mut out);
+        assert_eq!(report.total_iters(), 0, "{policy:?}");
+    }
 }
 
 #[test]
 fn non_finite_values_transport_correctly() {
     // The executors must not corrupt NaN/inf payloads (bit transport).
+    struct NonFinite;
+    impl LoopBody for NonFinite {
+        fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64 {
+            match i {
+                0 => f64::NAN,
+                1 => {
+                    assert!(src.get(0).is_nan());
+                    f64::INFINITY
+                }
+                _ => src.get(1) - 1.0,
+            }
+        }
+    }
     let g = DepGraph::from_lists(3, vec![vec![], vec![0], vec![1]]).unwrap();
     let wf = Wavefronts::compute(&g).unwrap();
     let s = Schedule::global(&wf, 2).unwrap();
+    let plan = PlannedLoop::new(g, s).unwrap();
     let pool = WorkerPool::new(2);
     let mut out = vec![0.0; 3];
-    self_executing(
-        &pool,
-        &s,
-        &|i, src| match i {
-            0 => f64::NAN,
-            1 => {
-                assert!(src.get(0).is_nan());
-                f64::INFINITY
-            }
-            _ => src.get(1) - 1.0,
-        },
-        &mut out,
-    );
+    plan.run(&pool, ExecPolicy::SelfExecuting, &NonFinite, &mut out);
     assert!(out[0].is_nan());
     assert_eq!(out[1], f64::INFINITY);
     assert_eq!(out[2], f64::INFINITY);

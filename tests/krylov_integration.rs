@@ -41,8 +41,7 @@ fn gmres_ilu_converges_on_spe4_with_parallel_solves() {
     let pool = WorkerPool::new(nprocs);
     let f = parallel_iluk(&pool, a, 0, FactorSync::SelfExecuting).unwrap();
     let plan =
-        TriangularSolvePlan::new(&f, nprocs, ExecutorKind::SelfExecuting, Sorting::Global)
-            .unwrap();
+        TriangularSolvePlan::new(&f, nprocs, ExecutorKind::SelfExecuting, Sorting::Global).unwrap();
     let m = Preconditioner::Ilu(plan);
     let b: Vec<f64> = (0..n).map(|i| ((i % 11) as f64) - 5.0).collect();
     let mut x = vec![0.0; n];
@@ -110,8 +109,7 @@ fn higher_fill_level_reduces_iterations() {
     for level in [0usize, 1, 2] {
         let f = iluk(&a, level).unwrap();
         let plan =
-            TriangularSolvePlan::new(&f, 2, ExecutorKind::SelfExecuting, Sorting::Global)
-                .unwrap();
+            TriangularSolvePlan::new(&f, 2, ExecutorKind::SelfExecuting, Sorting::Global).unwrap();
         let m = Preconditioner::Ilu(plan);
         let mut x = vec![0.0; n];
         let stats = cg(&pool, &a, &b, &mut x, &m, &cfg).unwrap();
@@ -146,8 +144,7 @@ fn amortization_many_solves_one_inspection() {
     let nprocs = 2;
     let pool = WorkerPool::new(nprocs);
     let plan =
-        TriangularSolvePlan::new(&f, nprocs, ExecutorKind::SelfExecuting, Sorting::Global)
-            .unwrap();
+        TriangularSolvePlan::new(&f, nprocs, ExecutorKind::SelfExecuting, Sorting::Global).unwrap();
     let n = a.nrows();
     let mut work = vec![0.0; n];
     for s in 0..10 {

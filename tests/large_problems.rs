@@ -51,7 +51,7 @@ fn l5pt_full_pipeline_and_simulation() {
 fn l9pt_builds() {
     let (n, phases) = phases_of(ProblemId::L9Pt);
     assert_eq!(n, 16129); // 127×127
-    // 9-pt stencil with corner couplings: deeper chains than 5-pt.
+                          // 9-pt stencil with corner couplings: deeper chains than 5-pt.
     assert!(phases > 127);
 }
 

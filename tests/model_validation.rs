@@ -1,10 +1,10 @@
 //! Validates the §4 closed-form model against the discrete-event simulator
 //! on real mesh dependence graphs.
 
-use proptest::prelude::*;
 use rtpl::inspector::{DepGraph, Schedule, Wavefronts};
 use rtpl::sim::{model, sim_pre_scheduled, sim_self_executing, sim_sequential, CostModel};
 use rtpl::sparse::gen::laplacian_5pt;
+use rtpl::sparse::rng::SmallRng;
 
 fn mesh(m: usize, n: usize) -> (DepGraph, Wavefronts) {
     // m rows (ny), n columns (nx): wavefront of (x, y) is x + y.
@@ -79,29 +79,48 @@ fn self_execution_dominates_pre_scheduling_in_load_balance() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
-
-    #[test]
-    fn eq3_matches_simulator_randomized(m in 3usize..14, n in 3usize..14, p in 1usize..5) {
-        prop_assume!(p <= m.min(n));
+#[test]
+fn eq3_matches_simulator_randomized() {
+    let mut rng = SmallRng::seed_from_u64(0xE93);
+    let mut cases = 0;
+    while cases < 16 {
+        let m = rng.gen_range_usize(3, 14);
+        let n = rng.gen_range_usize(3, 14);
+        let p = rng.gen_range_usize(1, 5);
+        if p > m.min(n) {
+            continue;
+        }
+        cases += 1;
         let (_, wf) = mesh(m, n);
         let s = Schedule::global(&wf, p).unwrap();
         let zero = CostModel::zero_overhead();
         let seq = sim_sequential(m * n, None, &zero);
         let e_sim = sim_pre_scheduled(&s, None, &zero).efficiency(seq);
-        prop_assert!((e_sim - model::presched_eopt(m, n, p)).abs() < 1e-12);
+        assert!(
+            (e_sim - model::presched_eopt(m, n, p)).abs() < 1e-12,
+            "m={m} n={n} p={p}"
+        );
     }
+}
 
-    #[test]
-    fn mc_matches_wavefront_census(m in 3usize..12, n in 3usize..12, p in 1usize..5) {
-        // MC(j) = ceil(strips in phase j / p) must match the actual schedule.
-        prop_assume!(p <= m.min(n));
+#[test]
+fn mc_matches_wavefront_census() {
+    // MC(j) = ceil(strips in phase j / p) must match the actual schedule.
+    let mut rng = SmallRng::seed_from_u64(0x3C);
+    let mut cases = 0;
+    while cases < 16 {
+        let m = rng.gen_range_usize(3, 12);
+        let n = rng.gen_range_usize(3, 12);
+        let p = rng.gen_range_usize(1, 5);
+        if p > m.min(n) {
+            continue;
+        }
+        cases += 1;
         let (_, wf) = mesh(m, n);
         let counts = wf.counts();
         for (j0, &cnt) in counts.iter().enumerate() {
             let j = j0 + 1; // the paper's phases are 1-based
-            prop_assert_eq!(model::mc(j, m, n, p), cnt.div_ceil(p));
+            assert_eq!(model::mc(j, m, n, p), cnt.div_ceil(p), "m={m} n={n} p={p}");
         }
     }
 }
