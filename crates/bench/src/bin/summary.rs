@@ -1,14 +1,32 @@
 //! **Figure 1** — the 2×2 solution-space summary, recomputed from this
-//! reproduction's own numbers.
+//! reproduction's own numbers — plus the **`rtpl-runtime` service
+//! benchmark**, emitted machine-readably to `BENCH_runtime.json` so the
+//! perf trajectory (cache amortization, hit rates, chosen policies) is
+//! tracked from PR to PR.
 //!
-//! Local/Global sorting × Pre-scheduled/Self-executing, with the paper's
-//! verdicts checked against the simulator on the 65×65 mesh workload.
+//! Figure 1: Local/Global sorting × Pre-scheduled/Self-executing, with the
+//! paper's verdicts checked against the simulator on the 65×65 mesh
+//! workload. Runtime benchmark: cold inspect+plan+run vs. warm cached
+//! solves on the fig-12/13 workloads, and a multi-threaded Zipf replay.
 
 use rtpl::inspector::{DepGraph, Partition, Schedule, Wavefronts};
+use rtpl::krylov::ExecutorKind;
+use rtpl::runtime::{Runtime, RuntimeConfig};
 use rtpl::sim::{self, CostModel};
 use rtpl::sparse::gen::laplacian_5pt;
+use rtpl::sparse::ilu::IluFactors;
+use rtpl::sparse::{ilu0, Csr};
+use rtpl::workload::{pattern_set, SyntheticSpec, ZipfMix};
+use std::time::Instant;
 
 fn main() {
+    figure1();
+    let json = runtime_bench();
+    std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
+    println!("\nwrote BENCH_runtime.json");
+}
+
+fn figure1() {
     let a = laplacian_5pt(65, 65);
     let l = a.strict_lower();
     let g = DepGraph::from_lower_triangular(&l).unwrap();
@@ -79,4 +97,195 @@ fn ok(b: bool) -> &'static str {
     } else {
         "??"
     }
+}
+
+// ---------------------------------------------------------------------------
+// rtpl-runtime service benchmark → BENCH_runtime.json
+// ---------------------------------------------------------------------------
+
+struct WorkloadResult {
+    name: String,
+    n: usize,
+    cold_ns: u128,
+    warm_ns: u128,
+    policy: ExecutorKind,
+    fwd_phases: usize,
+    bwd_phases: usize,
+}
+
+/// Factors whose sweeps exercise the cache for a matrix that is already a
+/// unit-lower-triangular dependency pattern (the synthetic workloads).
+fn factors_from_lower(m: &Csr) -> IluFactors {
+    IluFactors {
+        l: m.strict_lower(),
+        u: m.transpose().upper(),
+    }
+}
+
+/// Cold inspect+plan+run vs. warm cached solves for one factor structure,
+/// all through one runtime (which has already calibrated its cost model).
+fn bench_workload(rt: &Runtime, name: &str, factors: &IluFactors) -> WorkloadResult {
+    let n = factors.n();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.13).sin()).collect();
+    let mut x = vec![0.0; n];
+
+    let t0 = Instant::now();
+    let cold = rt.solve(factors, &b, &mut x).expect("cold solve");
+    let cold_ns = t0.elapsed().as_nanos();
+    assert!(!cold.cached, "{name}: first request must build");
+
+    // Warm: a few adaptation rounds, then the median of timed requests.
+    for _ in 0..8 {
+        rt.solve(factors, &b, &mut x).expect("warmup solve");
+    }
+    let mut samples: Vec<u128> = (0..30)
+        .map(|_| {
+            let t1 = Instant::now();
+            let out = rt.solve(factors, &b, &mut x).expect("warm solve");
+            assert!(out.cached);
+            t1.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    let warm_ns = samples[samples.len() / 2];
+
+    let last = rt.solve(factors, &b, &mut x).expect("final solve");
+    let plan_phases = {
+        // Phase counts come from a throwaway plan build (cheap vs. clutter
+        // of threading them out of the cache entry).
+        let plan = rtpl::krylov::TriangularSolvePlan::new(
+            factors,
+            rt.config().nprocs,
+            ExecutorKind::SelfExecuting,
+            rt.config().sorting,
+        )
+        .expect("plan");
+        plan.num_phases()
+    };
+    WorkloadResult {
+        name: name.to_string(),
+        n,
+        cold_ns,
+        warm_ns,
+        policy: last.policy,
+        fwd_phases: plan_phases.0,
+        bwd_phases: plan_phases.1,
+    }
+}
+
+fn runtime_bench() -> String {
+    println!("\n\nrtpl-runtime service benchmark");
+    println!("==============================");
+    let cfg = RuntimeConfig::default();
+    let rt = Runtime::new(cfg); // calibrates the host cost model once
+    let c = rt.cost_model();
+    println!(
+        "calibrated cost model: Tp {:.2} ns, Tsynch {:.1} ns, Tinc {:.2} ns, Tcheck {:.2} ns, p = {}",
+        c.tp, c.tsynch, c.tinc, c.tcheck, cfg.nprocs
+    );
+
+    // The fig-12/13 workloads: the 65×65 five-point mesh (as ILU(0)
+    // factors) and the 65-4-3 synthetic dependency matrix.
+    let mesh = laplacian_5pt(65, 65);
+    let f_mesh = ilu0(&mesh).expect("ilu0");
+    let synth = SyntheticSpec {
+        mesh: 65,
+        mean_degree: 4.0,
+        mean_distance: 3.0,
+    };
+    let f_synth = factors_from_lower(&synth.generate(12));
+    let workloads = [
+        bench_workload(&rt, "ilu0-65x65-5pt", &f_mesh),
+        bench_workload(&rt, "synthetic-65-4-3", &f_synth),
+    ];
+    for w in &workloads {
+        println!(
+            "{:<18} n {:>5}  cold {:>9} ns  warm {:>9} ns  cold/warm {:>6.1}x  policy {:?}  phases {}/{}",
+            w.name,
+            w.n,
+            w.cold_ns,
+            w.warm_ns,
+            w.cold_ns as f64 / w.warm_ns as f64,
+            w.policy,
+            w.fwd_phases,
+            w.bwd_phases
+        );
+    }
+
+    // Multi-threaded Zipf replay through a fresh runtime: steady-state
+    // cache behavior under concurrent clients.
+    const PATTERNS: usize = 16;
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 64;
+    let rt2 = Runtime::with_cost_model(RuntimeConfig::default(), *c);
+    let mix = ZipfMix::new(PATTERNS, 1.1);
+    let sets: Vec<IluFactors> = pattern_set(PATTERNS, 20, 9)
+        .iter()
+        .map(factors_from_lower)
+        .collect();
+    let nz = sets[0].n();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let rt2 = &rt2;
+            let sets = &sets;
+            let mix = &mix;
+            scope.spawn(move || {
+                let mut x = vec![0.0; nz];
+                let b = vec![1.0; nz];
+                for id in mix.stream_covering(PER_THREAD, t as u64) {
+                    rt2.solve(&sets[id], &b, &mut x).expect("zipf solve");
+                }
+            });
+        }
+    });
+    let zs = rt2.stats();
+    println!(
+        "zipf replay: {} threads x {} requests over {} patterns  hit rate {:.3}  builds {}  evictions {}  dominant policy {:?}",
+        THREADS,
+        PER_THREAD,
+        PATTERNS,
+        zs.solves.hit_rate(),
+        zs.solves.builds,
+        zs.solves.evictions,
+        zs.dominant_policy()
+    );
+
+    // Hand-rolled JSON (no external dependencies in this workspace).
+    let mut j = String::from("{\n");
+    j.push_str("  \"bench\": \"runtime\",\n");
+    j.push_str(&format!(
+        "  \"cost_model\": {{\"tp_ns\": {:.4}, \"tsynch_ns\": {:.4}, \"tinc_ns\": {:.4}, \"tcheck_ns\": {:.4}}},\n",
+        c.tp, c.tsynch, c.tinc, c.tcheck
+    ));
+    j.push_str(&format!("  \"nprocs\": {},\n", cfg.nprocs));
+    j.push_str("  \"workloads\": [\n");
+    for (i, w) in workloads.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"cold_solve_ns\": {}, \"warm_solve_ns\": {}, \"cold_over_warm\": {:.2}, \"policy\": \"{:?}\", \"fwd_phases\": {}, \"bwd_phases\": {}}}{}\n",
+            w.name,
+            w.n,
+            w.cold_ns,
+            w.warm_ns,
+            w.cold_ns as f64 / w.warm_ns as f64,
+            w.policy,
+            w.fwd_phases,
+            w.bwd_phases,
+            if i + 1 < workloads.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str(&format!(
+        "  \"zipf_replay\": {{\"threads\": {}, \"patterns\": {}, \"requests\": {}, \"hit_rate\": {:.4}, \"builds\": {}, \"evictions\": {}, \"dominant_policy\": \"{:?}\", \"pools_created\": {}}}\n",
+        THREADS,
+        PATTERNS,
+        THREADS * PER_THREAD,
+        zs.solves.hit_rate(),
+        zs.solves.builds,
+        zs.solves.evictions,
+        zs.dominant_policy(),
+        zs.pools_created
+    ));
+    j.push('}');
+    j.push('\n');
+    j
 }

@@ -73,12 +73,14 @@
 //! | [`executor`] | worker pool, barrier, the four executors |
 //! | [`sparse`] | CSR matrices, ILU factorization, generators |
 //! | [`krylov`] | PCGPAK substitute: CG/GMRES + parallel kernels |
+//! | [`runtime`] | solver service: concurrent plan cache + adaptive policy |
 //! | [`sim`] | multiprocessor performance model (event + closed form) |
 //! | [`workload`] | the paper's test problems and synthetic generator |
 
 pub use rtpl_executor as executor;
 pub use rtpl_inspector as inspector;
 pub use rtpl_krylov as krylov;
+pub use rtpl_runtime as runtime;
 pub use rtpl_sim as sim;
 pub use rtpl_sparse as sparse;
 pub use rtpl_workload as workload;

@@ -21,9 +21,9 @@ pub mod precond;
 pub mod solvers;
 pub mod trisolve;
 
-pub use precond::Preconditioner;
+pub use precond::{Precondition, Preconditioner};
 pub use solvers::{bicgstab, cg, gmres, KrylovConfig, SolveStats};
-pub use trisolve::{ExecutorKind, Sorting, TriangularSolvePlan};
+pub use trisolve::{ExecutorKind, SolveScratch, Sorting, TriangularSolvePlan};
 
 /// Errors from solver construction and execution.
 #[derive(Debug, Clone, PartialEq)]

@@ -5,6 +5,32 @@ use crate::{KrylovError, Result};
 use rtpl_executor::WorkerPool;
 use rtpl_sparse::Csr;
 
+/// Anything the Krylov iterations can use as `z = M⁻¹ r`.
+///
+/// The solvers ([`crate::cg`], [`crate::gmres`], [`crate::bicgstab`]) are
+/// generic over this trait, so a preconditioner does not have to be one of
+/// the in-crate [`Preconditioner`] variants — `rtpl-runtime` implements it
+/// with triangular solves routed through its concurrent plan cache, which
+/// is how a solver session amortizes inspection across iterations *and*
+/// across independent solves sharing a factor structure.
+pub trait Precondition: Sync {
+    /// Applies `z = M⁻¹ r`; `work` is scratch of length `n`.
+    fn apply(&self, pool: &WorkerPool, r: &[f64], z: &mut [f64], work: &mut [f64]);
+}
+
+impl Precondition for Preconditioner {
+    fn apply(&self, pool: &WorkerPool, r: &[f64], z: &mut [f64], work: &mut [f64]) {
+        // Resolves to the inherent method below, not back into the trait.
+        Preconditioner::apply(self, pool, r, z, work);
+    }
+}
+
+impl<M: Precondition + ?Sized> Precondition for &M {
+    fn apply(&self, pool: &WorkerPool, r: &[f64], z: &mut [f64], work: &mut [f64]) {
+        (**self).apply(pool, r, z, work);
+    }
+}
+
 /// A preconditioner `M ≈ A` applied as `z = M⁻¹ r`.
 // One preconditioner exists per solve; the variant size spread is
 // irrelevant at that cardinality, and boxing the plan would cost a pointer

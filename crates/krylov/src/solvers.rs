@@ -6,7 +6,7 @@
 //! drive exactly those parallel kernels plus the preconditioner solve.
 
 use crate::parvec;
-use crate::precond::Preconditioner;
+use crate::precond::Precondition;
 use crate::{KrylovError, Result};
 use rtpl_executor::WorkerPool;
 use rtpl_sparse::Csr;
@@ -46,12 +46,12 @@ pub struct SolveStats {
 
 /// Preconditioned conjugate gradients (for symmetric positive definite
 /// systems). Solves `A x = b` in place starting from the `x` passed in.
-pub fn cg(
+pub fn cg<M: Precondition + ?Sized>(
     pool: &WorkerPool,
     a: &Csr,
     b: &[f64],
     x: &mut [f64],
-    m: &Preconditioner,
+    m: &M,
     cfg: &KrylovConfig,
 ) -> Result<SolveStats> {
     let n = check_system(a, b, x)?;
@@ -111,12 +111,12 @@ pub fn cg(
 
 /// Left-preconditioned restarted GMRES(m) — the workhorse for the paper's
 /// nonsymmetric convection–diffusion problems. Solves `A x = b` in place.
-pub fn gmres(
+pub fn gmres<M: Precondition + ?Sized>(
     pool: &WorkerPool,
     a: &Csr,
     b: &[f64],
     x: &mut [f64],
-    m: &Preconditioner,
+    m: &M,
     cfg: &KrylovConfig,
 ) -> Result<SolveStats> {
     let n = check_system(a, b, x)?;
@@ -229,12 +229,12 @@ pub fn gmres(
 /// Preconditioned BiCGSTAB — the short-recurrence nonsymmetric alternative
 /// to GMRES (van der Vorst); bounded memory where GMRES(m) needs `m + 1`
 /// basis vectors. Solves `A x = b` in place with right preconditioning.
-pub fn bicgstab(
+pub fn bicgstab<M: Precondition + ?Sized>(
     pool: &WorkerPool,
     a: &Csr,
     b: &[f64],
     x: &mut [f64],
-    m: &Preconditioner,
+    m: &M,
     cfg: &KrylovConfig,
 ) -> Result<SolveStats> {
     let n = check_system(a, b, x)?;
@@ -385,6 +385,7 @@ fn check_system(a: &Csr, b: &[f64], x: &[f64]) -> Result<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::precond::Preconditioner;
     use crate::trisolve::{ExecutorKind, Sorting, TriangularSolvePlan};
     use rtpl_sparse::gen::{grid2d_5pt, laplacian_5pt, Coeffs2};
     use rtpl_sparse::ilu0;

@@ -102,6 +102,24 @@ impl LoopBody for BackwardBody<'_> {
     }
 }
 
+/// Reusable scratch for [`TriangularSolvePlan::solve_with`]: the forward
+/// sweep output and the per-call inverse diagonal of `U`.
+#[derive(Clone, Debug)]
+pub struct SolveScratch {
+    work: Vec<f64>,
+    dinv: Vec<f64>,
+}
+
+impl SolveScratch {
+    /// Scratch for systems of order `n`.
+    pub fn new(n: usize) -> Self {
+        SolveScratch {
+            work: vec![0.0; n],
+            dinv: vec![0.0; n],
+        }
+    }
+}
+
 /// A reusable plan for applying `(L·U)⁻¹`.
 #[derive(Debug)]
 pub struct TriangularSolvePlan {
@@ -173,6 +191,16 @@ impl TriangularSolvePlan {
         self.plan_u.schedule()
     }
 
+    /// The planned forward-sweep loop (for cost prediction / simulation).
+    pub fn plan_l(&self) -> &PlannedLoop {
+        &self.plan_l
+    }
+
+    /// The planned backward-sweep loop, in reversed index space.
+    pub fn plan_u(&self) -> &PlannedLoop {
+        &self.plan_u
+    }
+
     /// Flop weights of the forward sweep rows.
     pub fn weights_l(&self) -> Vec<f64> {
         (0..self.n)
@@ -197,6 +225,95 @@ impl TriangularSolvePlan {
         let fwd = self.forward(pool, b, work);
         let bwd = self.backward(pool, work, x);
         (fwd, bwd)
+    }
+
+    /// Solves `L U x = b` with **caller-supplied factor values** and a
+    /// **per-call executor discipline**, returning the two sweep reports.
+    ///
+    /// The plan is a function of the factors' *structure* only, so one plan
+    /// (e.g. fetched from a structure-keyed cache) serves every factor that
+    /// shares the sparsity pattern — refreshed numeric values each call,
+    /// the discipline chosen by an adaptive policy rather than fixed at
+    /// construction. `factors` must have exactly the pattern the plan was
+    /// inspected from (order and nonzero counts are checked always, the
+    /// full index arrays in debug builds); values are unconstrained except
+    /// for `U`'s diagonal, which must exist and be nonzero.
+    ///
+    /// `pool` may be `None` only for [`ExecutorKind::Sequential`] (the
+    /// sequential sweep forks no team); parallel kinds panic without one.
+    pub fn solve_with(
+        &self,
+        pool: Option<&WorkerPool>,
+        kind: ExecutorKind,
+        factors: &IluFactors,
+        b: &[f64],
+        x: &mut [f64],
+        scratch: &mut SolveScratch,
+    ) -> Result<(ExecReport, ExecReport)> {
+        self.check_same_pattern(factors)?;
+        assert_eq!(b.len(), self.n);
+        assert_eq!(x.len(), self.n);
+        assert_eq!(scratch.work.len(), self.n);
+        for i in 0..self.n {
+            let d = factors.u.get(i, i).ok_or(KrylovError::Sparse(
+                rtpl_sparse::SparseError::MissingDiagonal { row: i },
+            ))?;
+            if d == 0.0 {
+                return Err(KrylovError::Sparse(rtpl_sparse::SparseError::ZeroPivot {
+                    row: i,
+                }));
+            }
+            scratch.dinv[i] = 1.0 / d;
+        }
+        let pool = kind
+            .policy()
+            .map(|_| pool.expect("parallel executor kinds require a worker pool"));
+        let fwd_body = ForwardBody { l: &factors.l, b };
+        let fwd = match (kind.policy(), pool) {
+            (Some(policy), Some(pool)) => {
+                self.plan_l.run(pool, policy, &fwd_body, &mut scratch.work)
+            }
+            _ => self.plan_l.run_sequential(&fwd_body, &mut scratch.work),
+        };
+        let bwd_body = BackwardBody {
+            u: &factors.u,
+            y: &scratch.work,
+            dinv: &scratch.dinv,
+            n: self.n,
+        };
+        let bwd = match (kind.policy(), pool) {
+            (Some(policy), Some(pool)) => self.plan_u.run(pool, policy, &bwd_body, x),
+            _ => self.plan_u.run_sequential(&bwd_body, x),
+        };
+        x.reverse();
+        Ok((fwd, bwd))
+    }
+
+    /// Cheap release-mode pattern compatibility check (full structural
+    /// equality asserted in debug builds).
+    fn check_same_pattern(&self, factors: &IluFactors) -> Result<()> {
+        if factors.n() != self.n {
+            return Err(KrylovError::DimensionMismatch {
+                expected: self.n,
+                found: factors.n(),
+            });
+        }
+        if factors.l.nnz() != self.l.nnz() || factors.u.nnz() != self.u.nnz() {
+            return Err(KrylovError::Sparse(
+                rtpl_sparse::SparseError::InvalidStructure(format!(
+                    "factor pattern does not match the plan: L nnz {} vs {}, U nnz {} vs {}",
+                    factors.l.nnz(),
+                    self.l.nnz(),
+                    factors.u.nnz(),
+                    self.u.nnz()
+                )),
+            ));
+        }
+        debug_assert_eq!(factors.l.indptr(), self.l.indptr());
+        debug_assert_eq!(factors.l.indices(), self.l.indices());
+        debug_assert_eq!(factors.u.indptr(), self.u.indptr());
+        debug_assert_eq!(factors.u.indices(), self.u.indices());
+        Ok(())
     }
 
     /// Forward substitution `L y = b` (unit diagonal).
@@ -337,6 +454,81 @@ mod tests {
             plan.solve(&pool, &b, &mut x, &mut work);
             assert!(max_abs_diff(&x, &expect) < 1e-12);
         }
+    }
+
+    #[test]
+    fn solve_with_refreshes_values_on_a_cached_structure() {
+        // Build the plan from one set of factor values, then solve with a
+        // *different* set sharing the pattern: results must match the
+        // reference for the new values, under every discipline.
+        let a = laplacian_5pt(7, 6);
+        let f_old = ilu0(&a).unwrap();
+        let plan =
+            TriangularSolvePlan::new(&f_old, 3, ExecutorKind::Sequential, Sorting::Global).unwrap();
+        // New values: scale the matrix, refactor — same pattern, new numbers.
+        let mut a2 = a.clone();
+        for (k, v) in a2.data_mut().iter_mut().enumerate() {
+            *v *= 1.0 + 0.01 * (k % 7) as f64;
+        }
+        let f_new = ilu0(&a2).unwrap();
+        assert_eq!(f_old.l.indices(), f_new.l.indices());
+        assert_ne!(f_old.u.data(), f_new.u.data());
+        let n = f_new.n();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let expect = reference_solve(&f_new, &b);
+        let pool = WorkerPool::new(3);
+        let mut scratch = SolveScratch::new(n);
+        let mut seq = vec![0.0; n];
+        plan.solve_with(
+            None,
+            ExecutorKind::Sequential,
+            &f_new,
+            &b,
+            &mut seq,
+            &mut scratch,
+        )
+        .unwrap();
+        assert!(max_abs_diff(&seq, &expect) < 1e-12);
+        for kind in [
+            ExecutorKind::Doacross,
+            ExecutorKind::PreScheduled,
+            ExecutorKind::PreScheduledElided,
+            ExecutorKind::SelfExecuting,
+        ] {
+            let mut x = vec![0.0; n];
+            let (fwd, bwd) = plan
+                .solve_with(Some(&pool), kind, &f_new, &b, &mut x, &mut scratch)
+                .unwrap();
+            // Bit-exact across disciplines: every executor performs the
+            // identical per-row arithmetic.
+            assert_eq!(x, seq, "{kind:?}");
+            assert_eq!(fwd.total_iters() as usize, n);
+            assert_eq!(bwd.total_iters() as usize, n);
+        }
+    }
+
+    #[test]
+    fn solve_with_rejects_mismatched_pattern() {
+        let f_a = ilu0(&laplacian_5pt(5, 5)).unwrap();
+        let f_b = ilu0(&laplacian_5pt(6, 5)).unwrap();
+        let plan =
+            TriangularSolvePlan::new(&f_a, 2, ExecutorKind::Sequential, Sorting::Global).unwrap();
+        let pool = WorkerPool::new(2);
+        let n_b = f_b.n();
+        let b = vec![1.0; n_b];
+        let mut x = vec![0.0; n_b];
+        let mut scratch = SolveScratch::new(n_b);
+        assert!(matches!(
+            plan.solve_with(
+                Some(&pool),
+                ExecutorKind::Sequential,
+                &f_b,
+                &b,
+                &mut x,
+                &mut scratch
+            ),
+            Err(KrylovError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! The sharded, LRU-bounded, build-once concurrent plan cache.
+//!
+//! `std::sync` only: each shard is a `Mutex<HashMap>` from fingerprint to a
+//! shared [`Slot`]; the slot's payload is a `OnceLock`, so the map lock is
+//! held only for the lookup/insert — **plan construction runs outside every
+//! shard lock**, and `OnceLock::get_or_init` guarantees exactly one
+//! construction per slot no matter how many threads miss simultaneously
+//! (the losers block until the winner's plan is ready, then share it).
+//!
+//! The capacity bound is **global** (a resident counter shared by all
+//! shards), so a hot working set no larger than the capacity never
+//! thrashes even when the fingerprints shard unevenly; the victim is the
+//! least-recently-used entry of the inserting shard, driven by a global
+//! access clock. Entries still being built are never evicted; entries
+//! evicted while in use stay alive through their `Arc` until the last user
+//! drops them, so eviction is always safe, merely un-caching.
+
+use crate::Result;
+use rtpl_sparse::PatternFingerprint;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Snapshot of cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served an existing, successfully built plan.
+    pub hits: u64,
+    /// Lookups that had to insert a slot, waited on another thread's
+    /// build, or were served an error.
+    pub misses: u64,
+    /// Times a build closure actually ran (≤ misses: threads that land on
+    /// a slot mid-construction share the winner's build).
+    pub builds: u64,
+    /// Entries discarded by the LRU bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache (1.0 for an idle cache).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One cached entry: the payload plus its usage counters.
+#[derive(Debug)]
+pub struct Slot<V> {
+    value: OnceLock<Result<V>>,
+    hits: AtomicU64,
+    last_used: AtomicU64,
+}
+
+impl<V> Slot<V> {
+    fn new(tick: u64) -> Self {
+        Slot {
+            value: OnceLock::new(),
+            hits: AtomicU64::new(0),
+            last_used: AtomicU64::new(tick),
+        }
+    }
+
+    /// The cached value. Panics if the slot has not finished building or
+    /// build failed — [`PlanCache::get_or_build`] only hands out slots in
+    /// the built-`Ok` state.
+    pub fn get(&self) -> &V {
+        self.value
+            .get()
+            .expect("slot handed out before construction finished")
+            .as_ref()
+            .expect("slot handed out in error state")
+    }
+
+    /// How many lookups were served by this entry after its insertion.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+/// One shard: fingerprint → shared slot.
+type Shard<V> = Mutex<HashMap<u128, Arc<Slot<V>>>>;
+
+/// A sharded, LRU-bounded, build-once map from pattern fingerprints to
+/// plans.
+#[derive(Debug)]
+pub struct PlanCache<V> {
+    shards: Box<[Shard<V>]>,
+    capacity: usize,
+    resident: AtomicUsize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    builds: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V> PlanCache<V> {
+    /// A cache of `num_shards` shards bounding `capacity` entries in
+    /// total. The bound is global: any single shard may hold more than its
+    /// proportional share as long as the whole cache fits.
+    pub fn new(num_shards: usize, capacity: usize) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        assert!(capacity >= 1, "capacity must hold at least one entry");
+        PlanCache {
+            shards: (0..num_shards)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            capacity,
+            resident: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the slot for `key`, building the value with `build` if this
+    /// is the first time the pattern is seen (or it has been evicted).
+    ///
+    /// Exactly one build runs per slot; concurrent callers for the same key
+    /// block until it finishes and then share the result. A failed build is
+    /// reported to every waiter and the slot is removed, so the pattern can
+    /// be retried. Hit/miss counters reflect what the *caller* got: only a
+    /// lookup that returns an `Ok` plan from a pre-existing slot counts as
+    /// a hit; every error-serving lookup counts as a miss, so `hit_rate()`
+    /// never flatters a failing pattern.
+    pub fn get_or_build(
+        &self,
+        key: PatternFingerprint,
+        build: impl FnOnce() -> Result<V>,
+    ) -> Result<Arc<Slot<V>>> {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let shard = &self.shards[key.lo() as usize % self.shards.len()];
+        let (slot, found) = {
+            let mut map = shard.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(slot) = map.get(&key.as_u128()) {
+                slot.last_used.store(tick, Ordering::Relaxed);
+                (Arc::clone(slot), true)
+            } else {
+                if self.resident.load(Ordering::Relaxed) >= self.capacity {
+                    self.evict_lru(&mut map);
+                }
+                let slot = Arc::new(Slot::new(tick));
+                map.insert(key.as_u128(), Arc::clone(&slot));
+                self.resident.fetch_add(1, Ordering::Relaxed);
+                (slot, false)
+            }
+        };
+        // Construction happens here, outside the shard lock: other keys of
+        // this shard stay serviceable while an expensive inspection runs.
+        let outcome = slot.value.get_or_init(|| {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+            build()
+        });
+        match outcome {
+            Ok(_) => {
+                if found {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    slot.hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(slot)
+            }
+            Err(e) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                // Un-cache the failure so the pattern can be retried;
+                // everyone already waiting still sees this error.
+                let mut map = shard.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(current) = map.get(&key.as_u128()) {
+                    if Arc::ptr_eq(current, &slot) {
+                        map.remove(&key.as_u128());
+                        self.resident.fetch_sub(1, Ordering::Relaxed);
+                    }
+                }
+                Err(e.clone())
+            }
+        }
+    }
+
+    /// Evicts the least-recently-used **built** entry of the inserting
+    /// shard (in-flight builds are untouchable; if every local entry is
+    /// mid-build the cache temporarily overflows). Victim selection is
+    /// shard-local by design — the global bound stays exact through the
+    /// resident counter, while eviction needs no cross-shard locking.
+    fn evict_lru(&self, map: &mut HashMap<u128, Arc<Slot<V>>>) {
+        let victim = map
+            .iter()
+            .filter(|(_, s)| s.value.get().is_some())
+            .min_by_key(|(_, s)| s.last_used.load(Ordering::Relaxed))
+            .map(|(&k, _)| k);
+        if let Some(k) = victim {
+            map.remove(&k);
+            self.resident.fetch_sub(1, Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Entries currently resident (built or building).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            builds: self.builds.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RuntimeError;
+    use std::sync::atomic::AtomicUsize;
+
+    fn fp(i: u64) -> PatternFingerprint {
+        // Distinct structures: a 1×k matrix with k = i + 1 columns.
+        PatternFingerprint::of_structure(1, i as usize + 1, &[0, 0], &[])
+    }
+
+    #[test]
+    fn hit_after_miss_shares_the_value() {
+        let cache: PlanCache<u64> = PlanCache::new(4, 16);
+        let a = cache.get_or_build(fp(1), || Ok(41)).unwrap();
+        let b = cache.get_or_build(fp(1), || Ok(99)).unwrap();
+        assert_eq!(*a.get(), 41);
+        assert!(Arc::ptr_eq(&a, &b), "hit returns the same slot");
+        assert_eq!(b.hits(), 1);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.builds), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_discards_the_coldest() {
+        let cache: PlanCache<u64> = PlanCache::new(1, 2);
+        cache.get_or_build(fp(0), || Ok(0)).unwrap();
+        cache.get_or_build(fp(1), || Ok(1)).unwrap();
+        cache.get_or_build(fp(0), || Ok(0)).unwrap(); // refresh 0
+        cache.get_or_build(fp(2), || Ok(2)).unwrap(); // evicts 1
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // 0 is still cached, 1 must rebuild.
+        cache.get_or_build(fp(0), || unreachable!()).unwrap();
+        let rebuilt = AtomicUsize::new(0);
+        cache
+            .get_or_build(fp(1), || {
+                rebuilt.fetch_add(1, Ordering::Relaxed);
+                Ok(1)
+            })
+            .unwrap();
+        assert_eq!(rebuilt.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn failed_build_is_reported_and_retriable() {
+        let cache: PlanCache<u64> = PlanCache::new(2, 8);
+        let err = RuntimeError::Sparse(rtpl_sparse::SparseError::MissingDiagonal { row: 3 });
+        let got = cache.get_or_build(fp(7), || Err(err.clone()));
+        assert_eq!(got.unwrap_err(), err);
+        assert!(cache.is_empty(), "failed slot must not stay resident");
+        // Retry succeeds and builds again.
+        let slot = cache.get_or_build(fp(7), || Ok(5)).unwrap();
+        assert_eq!(*slot.get(), 5);
+        assert_eq!(cache.stats().builds, 2);
+    }
+
+    #[test]
+    fn concurrent_misses_build_exactly_once() {
+        let cache: Arc<PlanCache<u64>> = Arc::new(PlanCache::new(4, 64));
+        let built = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let cache = Arc::clone(&cache);
+                let built = Arc::clone(&built);
+                scope.spawn(move || {
+                    for rep in 0..200 {
+                        let key = fp((t + rep) % 16);
+                        let slot = cache
+                            .get_or_build(key, || {
+                                built.fetch_add(1, Ordering::Relaxed);
+                                // A slow build maximizes the window where
+                                // other threads can pile onto the slot.
+                                std::thread::sleep(std::time::Duration::from_micros(200));
+                                Ok(key.lo())
+                            })
+                            .unwrap();
+                        assert_eq!(*slot.get(), key.lo());
+                    }
+                });
+            }
+        });
+        assert_eq!(built.load(Ordering::Relaxed), 16, "one build per key");
+        assert_eq!(cache.stats().builds, 16);
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 8 * 200);
+    }
+}

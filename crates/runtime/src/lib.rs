@@ -1,0 +1,154 @@
+//! # rtpl-runtime — concurrent plan cache + adaptive policy service
+//!
+//! The paper's whole economic argument is amortization: the inspector's
+//! dependence analysis and topological sort are paid **once** per loop
+//! structure and recovered over many executions. The library crates below
+//! this one implement the mechanism (plan once, run many), but every caller
+//! still had to *hold on to* its `PlannedLoop` and hand-pick an executor
+//! discipline. This crate closes that loop and turns the workspace into a
+//! multi-client **solver service**:
+//!
+//! * plans are remembered **across requests** in a sharded, LRU-bounded
+//!   concurrent cache keyed by [`PatternFingerprint`] — the structural
+//!   128-bit hash of the sparsity pattern, values excluded — so any client
+//!   presenting a structure that has been seen before skips inspection
+//!   entirely;
+//! * the executor discipline is chosen **per pattern by a cost model**, not
+//!   by a constructor argument: the §4/§5 cost accounting of `rtpl-sim`,
+//!   seeded by `calibrate_host` measurements at startup, predicts each
+//!   policy's time, and the measured [`ExecReport`]s of real runs refine
+//!   the choice online — the first run of a pattern may explore, the steady
+//!   state exploits.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  clients (any number of threads)
+//!     │  solve(&IluFactors, b, x) / run(&Csr, body, out)
+//!     ▼
+//!  ┌─────────────────────────── Runtime ───────────────────────────┐
+//!  │                                                               │
+//!  │  PatternFingerprint(structure)      ┌──────────────────────┐  │
+//!  │        │                            │ PolicySelector       │  │
+//!  │        ▼                            │  CostModel from      │  │
+//!  │  ┌── PlanCache (N shards) ───┐      │  calibrate_host();   │  │
+//!  │  │ shard₀: fp → Slot         │      │  rtpl-sim predicts   │  │
+//!  │  │ shard₁: fp → Slot   LRU   │      │  each policy's time  │  │
+//!  │  │   …     (build-once,      │      └─────────┬────────────┘  │
+//!  │  │ shardₙ:  hit/miss/evict)  │                │ prior          │
+//!  │  └───────────┬───────────────┘                ▼                │
+//!  │              │ Arc<Slot>            ┌──────────────────────┐  │
+//!  │              ▼                      │ AdaptiveState (per   │  │
+//!  │  TriangularSolvePlan / PlannedLoop  │ pattern): explore →  │  │
+//!  │  (structure only; values and       ─┤ exploit, refined by  │  │
+//!  │   policy supplied per call)         │ observed ExecReports │  │
+//!  │              │                      └──────────────────────┘  │
+//!  │              ▼                                                 │
+//!  │  PoolSet — leased WorkerPools (plans and pools are exclusive  │
+//!  │  per run; concurrent requests for one pattern serialize,      │
+//!  │  different patterns run in parallel)                          │
+//!  └───────────────────────────────────────────────────────────────┘
+//!     │
+//!     ▼
+//!  ExecReport ──────────────► observe() ──► next choice
+//! ```
+//!
+//! ## Front doors
+//!
+//! * [`Runtime::solve`] — cached parallel `L U x = b` for any
+//!   [`IluFactors`]: first request with a new pattern inspects both sweeps
+//!   and builds a [`TriangularSolvePlan`]; every later request (any values,
+//!   any thread) reuses it.
+//! * [`Runtime::run`] — cached generic planned loop for any
+//!   lower-triangular dependence structure and [`LoopBody`].
+//! * [`Runtime::preconditioner`] — adapter implementing
+//!   [`rtpl_krylov::Precondition`], so the Krylov solvers' ILU
+//!   applications go through the cache (two patterns per factorization,
+//!   hit on every iteration after the first).
+//!
+//! ```
+//! use rtpl_runtime::{Runtime, RuntimeConfig};
+//! use rtpl_sparse::{gen::laplacian_5pt, ilu0};
+//!
+//! let rt = Runtime::new(RuntimeConfig {
+//!     nprocs: 2,
+//!     calibrate: false, // tests: abstract cost model, no startup timing
+//!     ..RuntimeConfig::default()
+//! });
+//! let f = ilu0(&laplacian_5pt(8, 8)).unwrap();
+//! let b = vec![1.0; f.n()];
+//! let mut x = vec![0.0; f.n()];
+//! let cold = rt.solve(&f, &b, &mut x).unwrap();
+//! assert!(!cold.cached);
+//! let warm = rt.solve(&f, &b, &mut x).unwrap();
+//! assert!(warm.cached);
+//! assert_eq!(rt.stats().solves.builds, 1);
+//! ```
+//!
+//! Concurrency contract: a cached plan owns shared executor buffers, so two
+//! runs of the **same** pattern serialize on the entry lock (the executors
+//! would otherwise publish into each other's cells); requests for
+//! **different** patterns proceed fully in parallel, each on its own leased
+//! worker pool.
+//!
+//! [`PatternFingerprint`]: rtpl_sparse::PatternFingerprint
+//! [`ExecReport`]: rtpl_executor::ExecReport
+//! [`IluFactors`]: rtpl_sparse::ilu::IluFactors
+//! [`TriangularSolvePlan`]: rtpl_krylov::TriangularSolvePlan
+//! [`LoopBody`]: rtpl_executor::LoopBody
+
+pub mod cache;
+pub mod pools;
+pub mod selector;
+pub mod service;
+
+pub use cache::{CacheStats, PlanCache};
+pub use selector::{AdaptiveState, PolicySelector, ARMS};
+pub use service::{CachedIlu, RunOutcome, Runtime, RuntimeConfig, RuntimeStats, SolveOutcome};
+
+/// Errors surfaced by the runtime service.
+///
+/// `Clone` is required so a failed plan construction can be reported to
+/// every thread that was waiting on the same cache slot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// Plan construction or execution failed in the solver layer.
+    Krylov(rtpl_krylov::KrylovError),
+    /// Dependence analysis / scheduling failed.
+    Inspector(rtpl_inspector::InspectorError),
+    /// The input matrix is structurally unusable.
+    Sparse(rtpl_sparse::SparseError),
+}
+
+impl From<rtpl_krylov::KrylovError> for RuntimeError {
+    fn from(e: rtpl_krylov::KrylovError) -> Self {
+        RuntimeError::Krylov(e)
+    }
+}
+
+impl From<rtpl_inspector::InspectorError> for RuntimeError {
+    fn from(e: rtpl_inspector::InspectorError) -> Self {
+        RuntimeError::Inspector(e)
+    }
+}
+
+impl From<rtpl_sparse::SparseError> for RuntimeError {
+    fn from(e: rtpl_sparse::SparseError) -> Self {
+        RuntimeError::Sparse(e)
+    }
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Krylov(e) => write!(f, "solver error: {e}"),
+            RuntimeError::Inspector(e) => write!(f, "inspector error: {e}"),
+            RuntimeError::Sparse(e) => write!(f, "sparse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Crate-wide `Result` alias.
+pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -1,0 +1,127 @@
+//! Leased worker pools for concurrent clients.
+//!
+//! A [`WorkerPool`] runs one SPMD job at a time, so a multi-client runtime
+//! cannot share a single pool across overlapping solves. [`PoolSet`] keeps
+//! a free list of pools (all sized to the runtime's processor count): a
+//! request leases one for the duration of its run and returns it on drop.
+//! The set grows on demand up to the number of concurrently active
+//! requests and never shrinks — thread teams are reused exactly like the
+//! plans they execute.
+
+use rtpl_executor::WorkerPool;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A grow-on-demand free list of equally sized worker pools.
+pub struct PoolSet {
+    nprocs: usize,
+    free: Mutex<Vec<WorkerPool>>,
+    created: AtomicU64,
+}
+
+impl std::fmt::Debug for PoolSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolSet")
+            .field("nprocs", &self.nprocs)
+            .field("created", &self.created())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PoolSet {
+    /// A set of pools of `nprocs` workers each. No threads are spawned
+    /// until the first lease.
+    pub fn new(nprocs: usize) -> Self {
+        assert!(nprocs >= 1);
+        PoolSet {
+            nprocs,
+            free: Mutex::new(Vec::new()),
+            created: AtomicU64::new(0),
+        }
+    }
+
+    /// Workers per pool.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Pools ever created (== the high-water mark of concurrent leases).
+    pub fn created(&self) -> u64 {
+        self.created.load(Ordering::Relaxed)
+    }
+
+    /// Leases a pool, spawning a fresh one only when the free list is
+    /// empty. The lease returns the pool on drop.
+    pub fn lease(&self) -> PoolLease<'_> {
+        let reused = {
+            let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+            free.pop()
+        };
+        let pool = reused.unwrap_or_else(|| {
+            self.created.fetch_add(1, Ordering::Relaxed);
+            WorkerPool::new(self.nprocs)
+        });
+        PoolLease {
+            set: self,
+            pool: Some(pool),
+        }
+    }
+}
+
+/// An exclusively held [`WorkerPool`], returned to its [`PoolSet`] on drop.
+pub struct PoolLease<'a> {
+    set: &'a PoolSet,
+    pool: Option<WorkerPool>,
+}
+
+impl std::ops::Deref for PoolLease<'_> {
+    type Target = WorkerPool;
+
+    fn deref(&self) -> &WorkerPool {
+        self.pool.as_ref().expect("pool present until drop")
+    }
+}
+
+impl Drop for PoolLease<'_> {
+    fn drop(&mut self) {
+        let pool = self.pool.take().expect("pool present until drop");
+        let mut free = self.set.free.lock().unwrap_or_else(|e| e.into_inner());
+        free.push(pool);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_are_reused_sequentially() {
+        let set = PoolSet::new(2);
+        for _ in 0..5 {
+            let lease = set.lease();
+            assert_eq!(lease.nworkers(), 2);
+        }
+        assert_eq!(set.created(), 1, "sequential leases share one pool");
+    }
+
+    #[test]
+    fn concurrent_leases_get_distinct_pools() {
+        let set = PoolSet::new(1);
+        let a = set.lease();
+        let b = set.lease();
+        assert_eq!(set.created(), 2);
+        // Both are usable simultaneously.
+        let hits = AtomicU64::new(0);
+        a.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        b.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+        drop(a);
+        drop(b);
+        let _c = set.lease();
+        assert_eq!(set.created(), 2, "returned pools are reused");
+    }
+}

@@ -1,0 +1,226 @@
+//! Adaptive executor-policy selection.
+//!
+//! Which synchronization discipline wins is exactly what the paper's §4/§5
+//! cost model predicts from the schedule, the dependence structure, and
+//! the per-operation costs (`Tp`, `Tsynch`, `Tinc`, `Tcheck`). The
+//! [`PolicySelector`] runs that model — the `rtpl-sim` discrete-event
+//! simulation over the *actual* planned schedule, with a [`CostModel`]
+//! calibrated on the host at startup — to produce a **prior** time per
+//! policy. Each cached pattern then carries an [`AdaptiveState`] that
+//! starts from the prior and folds in the measured wall times of real runs
+//! ([`ExecReport`]s): the first run of a pattern may explore a
+//! near-best-predicted policy, the steady state exploits the fastest
+//! *measured* one. Everything is deterministic — exploration is by
+//! bookkeeping, not randomness.
+//!
+//! [`ExecReport`]: rtpl_executor::ExecReport
+
+use rtpl_executor::PlannedLoop;
+use rtpl_krylov::ExecutorKind;
+use rtpl_sim::{self as sim, CostModel};
+
+/// The candidate arms, in a fixed order (indices into every per-arm array).
+/// `Sequential` is a genuine candidate: for small or serial patterns the
+/// model (correctly) predicts that forking a team cannot pay for itself.
+pub const ARMS: [ExecutorKind; 5] = [
+    ExecutorKind::Sequential,
+    ExecutorKind::SelfExecuting,
+    ExecutorKind::PreScheduled,
+    ExecutorKind::PreScheduledElided,
+    ExecutorKind::Doacross,
+];
+
+/// Index of `kind` in [`ARMS`].
+pub fn arm_index(kind: ExecutorKind) -> usize {
+    ARMS.iter()
+        .position(|&k| k == kind)
+        .expect("every ExecutorKind is an arm")
+}
+
+/// Explore any unmeasured arm whose predicted time is within this factor
+/// of the best prediction; arms predicted far off the pace are never paid
+/// for. `1.0` would trust the model blindly; larger values buy robustness
+/// against model error with a bounded number of extra first runs.
+const EXPLORE_FACTOR: f64 = 1.5;
+
+/// Weight of a new observation against the running estimate (exponential
+/// moving average, so drifting system load is tracked).
+const EWMA_ALPHA: f64 = 0.3;
+
+/// Predicts per-policy execution times for planned loops under a cost
+/// model.
+#[derive(Clone, Debug)]
+pub struct PolicySelector {
+    cost: CostModel,
+}
+
+impl PolicySelector {
+    /// A selector predicting with `cost` (nanoseconds per operation when
+    /// host-calibrated; any consistent unit otherwise).
+    pub fn new(cost: CostModel) -> Self {
+        PolicySelector { cost }
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Predicted time of every arm for one planned loop, indexed as
+    /// [`ARMS`]. Weights are the row-substitution flop counts (1 + deps),
+    /// matching how every table harness in the workspace weighs indices.
+    /// `Doacross` is `+∞` for non-forward graphs (it cannot run there).
+    pub fn predict(&self, plan: &PlannedLoop) -> [f64; 5] {
+        let g = plan.graph();
+        let s = plan.schedule();
+        let weights: Vec<f64> = (0..g.n()).map(|i| 1.0 + g.deps(i).len() as f64).collect();
+        let w = Some(&weights[..]);
+        let mut out = [f64::INFINITY; 5];
+        out[arm_index(ExecutorKind::Sequential)] = sim::sim_sequential(g.n(), w, &self.cost);
+        out[arm_index(ExecutorKind::SelfExecuting)] =
+            sim::sim_self_executing(s, g, w, &self.cost).time;
+        out[arm_index(ExecutorKind::PreScheduled)] = sim::sim_pre_scheduled(s, w, &self.cost).time;
+        out[arm_index(ExecutorKind::PreScheduledElided)] =
+            sim::sim_pre_scheduled_elided(s, plan.barrier_plan(), w, &self.cost).time;
+        if g.is_forward() {
+            out[arm_index(ExecutorKind::Doacross)] =
+                sim::sim_doacross(g, s.nprocs(), w, &self.cost).time;
+        }
+        out
+    }
+}
+
+/// Per-pattern explore/exploit state: model prior + measured wall times.
+#[derive(Clone, Debug)]
+pub struct AdaptiveState {
+    prior: [f64; 5],
+    measured: [f64; 5],
+    count: [u64; 5],
+}
+
+impl AdaptiveState {
+    /// Starts from a model prediction per arm (`+∞` disables an arm).
+    pub fn new(prior: [f64; 5]) -> Self {
+        assert!(
+            prior.iter().any(|p| p.is_finite()),
+            "at least one arm must be feasible"
+        );
+        AdaptiveState {
+            prior,
+            measured: [0.0; 5],
+            count: [0; 5],
+        }
+    }
+
+    /// The policy to use for the next run.
+    ///
+    /// Exploration phase: any arm never yet measured whose prior is within
+    /// [`EXPLORE_FACTOR`] of the best prior gets one run (in prior order,
+    /// best first). Steady state: the arm with the smallest **measured**
+    /// mean. Priors and measurements are never compared against each other
+    /// — priors may be in abstract flop units while measurements are wall
+    /// nanoseconds, and the idealized model under-predicts real runs — so
+    /// an arm pruned by the explore window is genuinely never paid for.
+    pub fn choose(&self) -> ExecutorKind {
+        let best_prior = self.prior.iter().cloned().fold(f64::INFINITY, f64::min);
+        let explore = (0..ARMS.len())
+            .filter(|&k| self.count[k] == 0 && self.prior[k] <= best_prior * EXPLORE_FACTOR)
+            .min_by(|&a, &b| self.prior[a].total_cmp(&self.prior[b]));
+        if let Some(k) = explore {
+            return ARMS[k];
+        }
+        // The exploration phase always measures at least one arm first.
+        let best = (0..ARMS.len())
+            .filter(|&k| self.count[k] > 0)
+            .min_by(|&a, &b| self.measured[a].total_cmp(&self.measured[b]))
+            .expect("explore phase measured at least one arm");
+        ARMS[best]
+    }
+
+    /// Folds one measured wall time (nanoseconds) into the arm's estimate.
+    pub fn observe(&mut self, kind: ExecutorKind, wall_ns: f64) {
+        let k = arm_index(kind);
+        if self.count[k] == 0 {
+            self.measured[k] = wall_ns;
+        } else {
+            self.measured[k] = (1.0 - EWMA_ALPHA) * self.measured[k] + EWMA_ALPHA * wall_ns;
+        }
+        self.count[k] += 1;
+    }
+
+    /// Runs observed per arm, indexed as [`ARMS`].
+    pub fn counts(&self) -> [u64; 5] {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtpl_inspector::{DepGraph, Schedule, Wavefronts};
+    use rtpl_sparse::gen::laplacian_5pt;
+
+    fn mesh_plan(nx: usize, ny: usize, p: usize) -> PlannedLoop {
+        let l = laplacian_5pt(nx, ny).strict_lower();
+        let g = DepGraph::from_lower_triangular(&l).unwrap();
+        let wf = Wavefronts::compute(&g).unwrap();
+        PlannedLoop::new(g, Schedule::global(&wf, p).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn predictions_are_finite_positive_and_ordered_sanely() {
+        let sel = PolicySelector::new(CostModel::multimax());
+        let plan = mesh_plan(20, 20, 4);
+        let pred = sel.predict(&plan);
+        for (k, &t) in pred.iter().enumerate() {
+            assert!(t.is_finite() && t > 0.0, "{:?}: {t}", ARMS[k]);
+        }
+        // Barrier elision can only help the barrier discipline.
+        assert!(
+            pred[arm_index(ExecutorKind::PreScheduledElided)]
+                <= pred[arm_index(ExecutorKind::PreScheduled)]
+        );
+        // On a big wavefront-rich mesh under Multimax costs, the paper's
+        // recommended self-executing discipline beats plain barriers.
+        assert!(
+            pred[arm_index(ExecutorKind::SelfExecuting)]
+                < pred[arm_index(ExecutorKind::PreScheduled)]
+        );
+    }
+
+    #[test]
+    fn first_choice_is_best_prior_then_measurements_take_over() {
+        let mut st = AdaptiveState::new([100.0, 40.0, 90.0, 80.0, 50.0]);
+        // Exploration: best prior first (SelfExecuting, index 1)...
+        assert_eq!(st.choose(), ExecutorKind::SelfExecuting);
+        st.observe(ExecutorKind::SelfExecuting, 55.0);
+        // ...then the remaining unmeasured near-best arm (Doacross, 50 ≤ 1.5·40).
+        assert_eq!(st.choose(), ExecutorKind::Doacross);
+        st.observe(ExecutorKind::Doacross, 70.0);
+        // Steady state: measured SelfExecuting (55) beats measured
+        // Doacross (70); unmeasured arms no longer compete.
+        assert_eq!(st.choose(), ExecutorKind::SelfExecuting);
+        // A drifting system can flip the choice.
+        for _ in 0..20 {
+            st.observe(ExecutorKind::SelfExecuting, 200.0);
+        }
+        assert_eq!(st.choose(), ExecutorKind::Doacross);
+    }
+
+    #[test]
+    fn infinite_prior_disables_an_arm() {
+        let st = AdaptiveState::new([10.0, f64::INFINITY, f64::INFINITY, f64::INFINITY, 11.0]);
+        assert_eq!(st.choose(), ExecutorKind::Sequential);
+        let counts = st.counts();
+        assert_eq!(counts.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn far_off_priors_are_never_explored() {
+        let mut st = AdaptiveState::new([1000.0, 10.0, 1000.0, 1000.0, 1000.0]);
+        assert_eq!(st.choose(), ExecutorKind::SelfExecuting);
+        st.observe(ExecutorKind::SelfExecuting, 12.0);
+        // No other arm is within the explore window: exploit immediately.
+        assert_eq!(st.choose(), ExecutorKind::SelfExecuting);
+    }
+}

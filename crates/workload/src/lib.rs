@@ -1,6 +1,7 @@
 //! # rtpl-workload — test problem and synthetic workload generation
 //!
-//! Two sources of matrices, mirroring §4.1 of the paper:
+//! Two sources of matrices, mirroring §4.1 of the paper, plus the traffic
+//! they arrive under:
 //!
 //! * [`problems`] — the eight Appendix-I test problems (SPE1–SPE5 reservoir
 //!   surrogates, the 5-PT/9-PT/7-PT PDE discretizations and their large
@@ -10,9 +11,14 @@
 //!   each index's out-degree is Poisson(λ) and link distance is geometric,
 //!   named `"65-4-3"` style (65×65 mesh, mean degree 4, mean Manhattan
 //!   distance 3).
+//! * [`requests`] — solver-service traffic: Zipf-distributed request
+//!   streams over sets of distinct patterns, the workload the
+//!   `rtpl-runtime` plan cache is measured against.
 
 pub mod problems;
+pub mod requests;
 pub mod synthetic;
 
 pub use problems::{ProblemId, TestProblem};
+pub use requests::{pattern_set, ZipfMix};
 pub use synthetic::SyntheticSpec;

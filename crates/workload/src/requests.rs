@@ -1,0 +1,164 @@
+//! Request-stream generation for the solver-service workloads.
+//!
+//! A long-running solver service sees a *mix* of dependence patterns:
+//! a handful of hot structures (the operators of the currently active
+//! simulations) and a long tail of rarely seen ones. This module models
+//! that traffic: a set of distinct sparsity patterns plus a **Zipf**
+//! popularity law over them, replayed as deterministic per-client request
+//! streams. `rtpl-runtime`'s plan cache is exercised (and its hit rate
+//! measured) against exactly these streams.
+
+use rtpl_sparse::rng::SmallRng;
+use rtpl_sparse::{Csr, PatternFingerprint};
+
+use crate::SyntheticSpec;
+
+/// A Zipf(s) popularity distribution over `k` patterns: pattern `i`
+/// (0-based) is requested with probability proportional to `1/(i+1)^s`.
+///
+/// ```
+/// use rtpl_workload::requests::ZipfMix;
+/// let mix = ZipfMix::new(8, 1.0);
+/// let stream = mix.stream(1000, 42);
+/// assert_eq!(stream.len(), 1000);
+/// // Rank 0 is the hottest pattern.
+/// let hits0 = stream.iter().filter(|&&p| p == 0).count();
+/// let hits7 = stream.iter().filter(|&&p| p == 7).count();
+/// assert!(hits0 > hits7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ZipfMix {
+    cdf: Vec<f64>,
+}
+
+impl ZipfMix {
+    /// Builds the distribution over `num_patterns ≥ 1` ranks with exponent
+    /// `s ≥ 0` (`s = 0` is uniform; larger `s` concentrates on the head).
+    pub fn new(num_patterns: usize, exponent: f64) -> Self {
+        assert!(num_patterns >= 1, "need at least one pattern");
+        assert!(exponent >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf: Vec<f64> = Vec::with_capacity(num_patterns);
+        let mut total = 0.0;
+        for i in 0..num_patterns {
+            total += 1.0 / ((i + 1) as f64).powf(exponent);
+            cdf.push(total);
+        }
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        ZipfMix { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn num_patterns(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one pattern rank.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let u = rng.gen_f64();
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+
+    /// A deterministic request stream of `len` ranks.
+    pub fn stream(&self, len: usize, seed: u64) -> Vec<usize> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..len).map(|_| self.sample(&mut rng)).collect()
+    }
+
+    /// A stream that **touches every rank once** (in a seed-shuffled order)
+    /// before switching to Zipf draws — the warm-up-then-steady-state shape
+    /// used by the cache acceptance tests, where every pattern must be
+    /// built exactly once regardless of how unlucky the tail draws are.
+    pub fn stream_covering(&self, len: usize, seed: u64) -> Vec<usize> {
+        let k = self.cdf.len();
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xBADC_0FFE);
+        let mut ids: Vec<usize> = (0..k).collect();
+        // Fisher–Yates.
+        for i in (1..k).rev() {
+            ids.swap(i, rng.gen_range_usize(0, i + 1));
+        }
+        ids.truncate(len);
+        let remaining = len.saturating_sub(ids.len());
+        ids.extend(self.stream(remaining, seed));
+        ids
+    }
+}
+
+/// Generates `count` **structurally distinct** unit-lower-triangular
+/// dependency patterns on a `mesh × mesh` domain (the §4.1 synthetic
+/// generator). Distinctness is guaranteed by pattern fingerprint, so a
+/// plan cache sees exactly `count` different keys.
+pub fn pattern_set(count: usize, mesh: usize, seed: u64) -> Vec<Csr> {
+    let spec = SyntheticSpec {
+        mesh,
+        mean_degree: 3.0,
+        mean_distance: 2.0,
+    };
+    let mut seen = std::collections::HashSet::<PatternFingerprint>::new();
+    let mut out = Vec::with_capacity(count);
+    let mut s = seed;
+    while out.len() < count {
+        let m = spec.generate(s);
+        s = s.wrapping_add(1);
+        if seen.insert(m.pattern_fingerprint()) {
+            out.push(m);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_deterministic_and_head_heavy() {
+        let mix = ZipfMix::new(16, 1.2);
+        assert_eq!(mix.stream(500, 7), mix.stream(500, 7));
+        assert_ne!(mix.stream(500, 7), mix.stream(500, 8));
+        let s = mix.stream(4000, 1);
+        let count = |r: usize| s.iter().filter(|&&p| p == r).count();
+        assert!(count(0) > count(4));
+        assert!(count(0) > 4000 / 16, "head rank must beat uniform share");
+        assert!(s.iter().all(|&p| p < 16));
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_roughly_uniform() {
+        let mix = ZipfMix::new(4, 0.0);
+        let s = mix.stream(8000, 3);
+        for r in 0..4 {
+            let c = s.iter().filter(|&&p| p == r).count();
+            assert!((1700..2300).contains(&c), "rank {r}: {c}");
+        }
+    }
+
+    #[test]
+    fn covering_stream_touches_every_rank_once_up_front() {
+        let mix = ZipfMix::new(12, 1.0);
+        let s = mix.stream_covering(40, 9);
+        assert_eq!(s.len(), 40);
+        let head: std::collections::HashSet<usize> = s[..12].iter().copied().collect();
+        assert_eq!(head.len(), 12, "prefix covers all ranks exactly once");
+        // Shorter than the rank count: still a valid (truncated) cover.
+        assert_eq!(mix.stream_covering(5, 9).len(), 5);
+    }
+
+    #[test]
+    fn pattern_set_is_distinct_and_deterministic() {
+        let set = pattern_set(10, 8, 21);
+        assert_eq!(set.len(), 10);
+        let fps: std::collections::HashSet<_> =
+            set.iter().map(|m| m.pattern_fingerprint()).collect();
+        assert_eq!(fps.len(), 10);
+        for m in &set {
+            assert!(m.is_lower_triangular());
+            assert_eq!(m.nrows(), 64);
+        }
+        let again = pattern_set(10, 8, 21);
+        assert_eq!(set, again);
+    }
+}

@@ -1,0 +1,180 @@
+//! Service-level acceptance tests for `rtpl-runtime`: many clients, a
+//! Zipf-distributed mix of patterns, one shared `Runtime`.
+
+use rtpl::krylov::ExecutorKind;
+use rtpl::runtime::{Runtime, RuntimeConfig};
+use rtpl::sparse::ilu::IluFactors;
+use rtpl::sparse::Csr;
+use rtpl::workload::{pattern_set, ZipfMix};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Builds solvable factors from a synthetic unit-lower-triangular
+/// dependency matrix: `L` is its strict lower triangle, `U` its transpose's
+/// upper triangle (unit diagonal) — two structurally distinct sweeps per
+/// pattern, no factorization required.
+fn factors_from_pattern(m: &Csr) -> IluFactors {
+    IluFactors {
+        l: m.strict_lower(),
+        u: m.transpose().upper(),
+    }
+}
+
+fn rhs(n: usize, salt: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 1.0 + ((i * 31 + salt * 7) % 101) as f64 * 0.013)
+        .collect()
+}
+
+/// The headline acceptance test: ≥ 8 threads solving a Zipf mix of ≥ 32
+/// distinct patterns through one `Runtime` produce bit-exact results vs.
+/// the sequential reference, with hit-rate > 0.9 and exactly one plan
+/// construction per distinct fingerprint.
+#[test]
+fn concurrent_zipf_mix_is_bit_exact_cached_and_built_once() {
+    const PATTERNS: usize = 32;
+    const THREADS: usize = 8;
+    const REQUESTS_PER_THREAD: usize = 64;
+
+    let patterns = pattern_set(PATTERNS, 12, 2026);
+    let factors: Vec<IluFactors> = patterns.iter().map(factors_from_pattern).collect();
+    let n = factors[0].n();
+
+    // Sequential reference, bit-exact target: the same per-row arithmetic
+    // the parallel executors perform, run on the sequential executor.
+    let reference: Vec<Vec<f64>> = {
+        let rt_seq = Runtime::new(RuntimeConfig {
+            nprocs: 1,
+            calibrate: false,
+            policy: Some(ExecutorKind::Sequential),
+            ..RuntimeConfig::default()
+        });
+        factors
+            .iter()
+            .enumerate()
+            .map(|(id, f)| {
+                let b = rhs(n, id);
+                let mut x = vec![0.0; n];
+                rt_seq.solve(f, &b, &mut x).unwrap();
+                x
+            })
+            .collect()
+    };
+
+    let rt = Runtime::new(RuntimeConfig {
+        nprocs: 2,
+        shards: 8,
+        capacity: 2 * PATTERNS, // no evictions in this test
+        calibrate: false,
+        ..RuntimeConfig::default()
+    });
+
+    let mix = ZipfMix::new(PATTERNS, 1.1);
+    let solved = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let rt = &rt;
+            let factors = &factors;
+            let reference = &reference;
+            let mix = &mix;
+            let solved = &solved;
+            scope.spawn(move || {
+                // Every thread touches all ranks once (shuffled), then
+                // draws from the Zipf tail — the steady-state mix.
+                let stream = mix.stream_covering(REQUESTS_PER_THREAD, t as u64);
+                let mut x = vec![0.0; n];
+                for id in stream {
+                    let b = rhs(n, id);
+                    rt.solve(&factors[id], &b, &mut x).unwrap();
+                    assert_eq!(
+                        x, reference[id],
+                        "thread {t}: pattern {id} deviates from the sequential reference"
+                    );
+                    solved.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    let total = (THREADS * REQUESTS_PER_THREAD) as u64;
+    assert_eq!(solved.load(Ordering::Relaxed), total);
+    let stats = rt.stats();
+    assert_eq!(
+        stats.solves.builds, PATTERNS as u64,
+        "exactly one plan construction per distinct fingerprint"
+    );
+    assert_eq!(stats.solves.evictions, 0);
+    assert_eq!(stats.solves.hits + stats.solves.misses, total);
+    assert!(
+        stats.solves.hit_rate() > 0.9,
+        "hit rate {:.3} must exceed 0.9",
+        stats.solves.hit_rate()
+    );
+    assert_eq!(stats.policy_runs.iter().sum::<u64>(), total);
+    // The service never needs more pools than concurrently active clients.
+    assert!(stats.pools_created <= THREADS as u64);
+}
+
+/// The adaptive selector settles: after a steady stream on one pattern,
+/// the dominant policy accounts for the overwhelming majority of runs
+/// (exploration is bounded to at most one run per candidate arm).
+#[test]
+fn adaptive_selector_settles_on_a_dominant_policy() {
+    let patterns = pattern_set(1, 16, 7);
+    let f = factors_from_pattern(&patterns[0]);
+    let n = f.n();
+    let rt = Runtime::new(RuntimeConfig {
+        nprocs: 2,
+        calibrate: false,
+        ..RuntimeConfig::default()
+    });
+    let b = rhs(n, 0);
+    let mut x = vec![0.0; n];
+    const RUNS: u64 = 40;
+    for _ in 0..RUNS {
+        rt.solve(&f, &b, &mut x).unwrap();
+    }
+    let stats = rt.stats();
+    let dominant = stats.runs_for(stats.dominant_policy());
+    // 5 candidate arms ⇒ at most 4 non-dominant exploration runs.
+    assert!(
+        dominant >= RUNS - 4,
+        "dominant policy ran {dominant}/{RUNS} times; policy_runs = {:?}",
+        stats.policy_runs
+    );
+}
+
+/// Cold → warm amortization on a single pattern: a cached request performs
+/// no inspection, so the steady-state requests must be far cheaper than
+/// the first. (The bench binary measures this precisely; here we only
+/// guard the mechanism with a loose factor.)
+#[test]
+fn warm_requests_skip_inspection() {
+    let patterns = pattern_set(1, 24, 11);
+    let f = factors_from_pattern(&patterns[0]);
+    let n = f.n();
+    let rt = Runtime::new(RuntimeConfig {
+        nprocs: 2,
+        calibrate: false,
+        policy: Some(ExecutorKind::SelfExecuting),
+        ..RuntimeConfig::default()
+    });
+    let b = rhs(n, 3);
+    let mut x = vec![0.0; n];
+
+    let t0 = std::time::Instant::now();
+    let cold = rt.solve(&f, &b, &mut x).unwrap();
+    let cold_ns = t0.elapsed().as_nanos();
+    assert!(!cold.cached);
+
+    let mut warm_best = u128::MAX;
+    for _ in 0..20 {
+        let t1 = std::time::Instant::now();
+        let warm = rt.solve(&f, &b, &mut x).unwrap();
+        warm_best = warm_best.min(t1.elapsed().as_nanos());
+        assert!(warm.cached);
+    }
+    assert!(
+        warm_best * 2 < cold_ns,
+        "warm {warm_best} ns not clearly cheaper than cold {cold_ns} ns"
+    );
+}
