@@ -9,8 +9,9 @@
 //! workload. Runtime benchmark: cold inspect+plan+run vs. warm cached
 //! solves on the fig-12/13 workloads, and a multi-threaded Zipf replay.
 
+use rtpl::executor::WorkerPool;
 use rtpl::inspector::{DepGraph, Partition, Schedule, Wavefronts};
-use rtpl::krylov::ExecutorKind;
+use rtpl::krylov::{CompiledTriSolve, ExecutorKind, Sorting, TriangularSolvePlan};
 use rtpl::runtime::{Runtime, RuntimeConfig};
 use rtpl::sim::{self, CostModel};
 use rtpl::sparse::gen::laplacian_5pt;
@@ -173,12 +174,97 @@ fn bench_workload(rt: &Runtime, name: &str, factors: &IluFactors) -> WorkloadRes
     }
 }
 
+/// One policy's warm performance at one processor count.
+struct PolicyResult {
+    kind: ExecutorKind,
+    warm_ns: u128,
+    ns_per_nnz: f64,
+}
+
+/// Per-policy warm medians for one workload at one processor count, all
+/// through the compiled solve path, each result checked **bit-exact**
+/// against the sequential reference (the process aborts on any mismatch —
+/// the CI bench-smoke job relies on that).
+fn bench_policies(name: &str, factors: &IluFactors, nprocs: usize) -> Vec<PolicyResult> {
+    let compiled: CompiledTriSolve = TriangularSolvePlan::new(
+        factors,
+        nprocs,
+        ExecutorKind::SelfExecuting,
+        Sorting::Global,
+    )
+    .expect("plan")
+    .compile()
+    .expect("compile");
+    let n = compiled.n();
+    let nnz = factors.l.nnz() + factors.u.nnz();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.13).sin()).collect();
+    let pool = WorkerPool::new(nprocs);
+    let mut scratch = compiled.scratch();
+
+    let mut reference = vec![0.0; n];
+    compiled
+        .solve(
+            None,
+            ExecutorKind::Sequential,
+            factors,
+            &b,
+            &mut reference,
+            &mut scratch,
+        )
+        .expect("reference solve");
+
+    let kinds = [
+        ExecutorKind::Sequential,
+        ExecutorKind::SelfExecuting,
+        ExecutorKind::PreScheduled,
+        ExecutorKind::PreScheduledElided,
+        ExecutorKind::Doacross,
+    ];
+    kinds
+        .iter()
+        .map(|&kind| {
+            let mut x = vec![0.0; n];
+            // Warm-up, then median of timed solves.
+            for _ in 0..3 {
+                compiled
+                    .solve(Some(&pool), kind, factors, &b, &mut x, &mut scratch)
+                    .expect("warmup");
+                assert_eq!(
+                    x, reference,
+                    "BIT-EXACTNESS MISMATCH: {name} {kind:?} nprocs={nprocs}"
+                );
+            }
+            let mut samples: Vec<u128> = (0..15)
+                .map(|_| {
+                    let t = Instant::now();
+                    compiled
+                        .solve(Some(&pool), kind, factors, &b, &mut x, &mut scratch)
+                        .expect("warm solve");
+                    let ns = t.elapsed().as_nanos();
+                    assert_eq!(
+                        x, reference,
+                        "BIT-EXACTNESS MISMATCH: {name} {kind:?} nprocs={nprocs}"
+                    );
+                    ns
+                })
+                .collect();
+            samples.sort_unstable();
+            let warm_ns = samples[samples.len() / 2];
+            PolicyResult {
+                kind,
+                warm_ns,
+                ns_per_nnz: warm_ns as f64 / nnz as f64,
+            }
+        })
+        .collect()
+}
+
 fn runtime_bench() -> String {
     println!("\n\nrtpl-runtime service benchmark");
     println!("==============================");
     let cfg = RuntimeConfig::default();
     let rt = Runtime::new(cfg); // calibrates the host cost model once
-    let c = rt.cost_model();
+    let c = *rt.cost_model();
     println!(
         "calibrated cost model: Tp {:.2} ns, Tsynch {:.1} ns, Tinc {:.2} ns, Tcheck {:.2} ns, p = {}",
         c.tp, c.tsynch, c.tinc, c.tcheck, cfg.nprocs
@@ -194,6 +280,8 @@ fn runtime_bench() -> String {
         mean_distance: 3.0,
     };
     let f_synth = factors_from_lower(&synth.generate(12));
+    let named: [(&str, &IluFactors); 2] =
+        [("ilu0-65x65-5pt", &f_mesh), ("synthetic-65-4-3", &f_synth)];
     let workloads = [
         bench_workload(&rt, "ilu0-65x65-5pt", &f_mesh),
         bench_workload(&rt, "synthetic-65-4-3", &f_synth),
@@ -212,18 +300,59 @@ fn runtime_bench() -> String {
         );
     }
 
+    // Compiled-path sweep: per-policy warm wall times at p ∈ {1, 2, 4},
+    // so the BENCH trajectory tracks parallel speedup, not one point.
+    const SWEEP_PROCS: [usize; 3] = [1, 2, 4];
+    println!("\ncompiled warm sweep (median ns, bit-exact checked):");
+    let mut sweep = String::new();
+    sweep.push_str("  \"sweep\": [\n");
+    for (pi, &np) in SWEEP_PROCS.iter().enumerate() {
+        sweep.push_str(&format!("    {{\"nprocs\": {np}, \"workloads\": [\n"));
+        for (wi, &(name, factors)) in named.iter().enumerate() {
+            let nnz = factors.l.nnz() + factors.u.nnz();
+            let results = bench_policies(name, factors, np);
+            print!("  p={np} {name:<18} nnz {nnz:>6} ");
+            sweep.push_str(&format!(
+                "      {{\"name\": \"{name}\", \"nnz\": {nnz}, \"policies\": ["
+            ));
+            for (ri, r) in results.iter().enumerate() {
+                print!(" {:?} {} ns ({:.1}/nnz)", r.kind, r.warm_ns, r.ns_per_nnz);
+                sweep.push_str(&format!(
+                    "{{\"policy\": \"{:?}\", \"warm_ns\": {}, \"ns_per_nnz\": {:.3}}}{}",
+                    r.kind,
+                    r.warm_ns,
+                    r.ns_per_nnz,
+                    if ri + 1 < results.len() { ", " } else { "" }
+                ));
+            }
+            println!();
+            sweep.push_str(&format!(
+                "]}}{}\n",
+                if wi + 1 < named.len() { "," } else { "" }
+            ));
+        }
+        sweep.push_str(&format!(
+            "    ]}}{}\n",
+            if pi + 1 < SWEEP_PROCS.len() { "," } else { "" }
+        ));
+    }
+    sweep.push_str("  ],\n");
+
     // Multi-threaded Zipf replay through a fresh runtime: steady-state
-    // cache behavior under concurrent clients.
+    // cache behavior under concurrent clients. Since PR 3 same-pattern
+    // requests no longer serialize — wall time and aggregate throughput
+    // are recorded so the trajectory tracks it.
     const PATTERNS: usize = 16;
     const THREADS: usize = 4;
     const PER_THREAD: usize = 64;
-    let rt2 = Runtime::with_cost_model(RuntimeConfig::default(), *c);
+    let rt2 = Runtime::with_cost_model(RuntimeConfig::default(), c);
     let mix = ZipfMix::new(PATTERNS, 1.1);
     let sets: Vec<IluFactors> = pattern_set(PATTERNS, 20, 9)
         .iter()
         .map(factors_from_lower)
         .collect();
     let nz = sets[0].n();
+    let t_replay = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..THREADS {
             let rt2 = &rt2;
@@ -238,19 +367,27 @@ fn runtime_bench() -> String {
             });
         }
     });
+    let replay_ns = t_replay.elapsed().as_nanos();
+    let requests = (THREADS * PER_THREAD) as f64;
+    let rps = requests / (replay_ns as f64 / 1e9);
     let zs = rt2.stats();
     println!(
-        "zipf replay: {} threads x {} requests over {} patterns  hit rate {:.3}  builds {}  evictions {}  dominant policy {:?}",
+        "zipf replay: {} threads x {} requests over {} patterns  wall {:.1} ms  {:.0} req/s  hit rate {:.3}  builds {}  evictions {}  peak same-pattern {}  dominant policy {:?}",
         THREADS,
         PER_THREAD,
         PATTERNS,
+        replay_ns as f64 / 1e6,
+        rps,
         zs.solves.hit_rate(),
         zs.solves.builds,
         zs.solves.evictions,
+        zs.peak_same_pattern,
         zs.dominant_policy()
     );
 
-    // Hand-rolled JSON (no external dependencies in this workspace).
+    // Hand-rolled JSON (no external dependencies in this workspace). The
+    // pre-PR-3 keys are all retained; "sweep" and the zipf wall/throughput
+    // / concurrency fields are additive.
     let mut j = String::from("{\n");
     j.push_str("  \"bench\": \"runtime\",\n");
     j.push_str(&format!(
@@ -274,14 +411,19 @@ fn runtime_bench() -> String {
         ));
     }
     j.push_str("  ],\n");
+    j.push_str(&sweep);
     j.push_str(&format!(
-        "  \"zipf_replay\": {{\"threads\": {}, \"patterns\": {}, \"requests\": {}, \"hit_rate\": {:.4}, \"builds\": {}, \"evictions\": {}, \"dominant_policy\": \"{:?}\", \"pools_created\": {}}}\n",
+        "  \"zipf_replay\": {{\"threads\": {}, \"patterns\": {}, \"requests\": {}, \"wall_ns\": {}, \"requests_per_sec\": {:.1}, \"hit_rate\": {:.4}, \"builds\": {}, \"evictions\": {}, \"peak_same_pattern\": {}, \"scratches_created\": {}, \"dominant_policy\": \"{:?}\", \"pools_created\": {}}}\n",
         THREADS,
         PATTERNS,
         THREADS * PER_THREAD,
+        replay_ns,
+        rps,
         zs.solves.hit_rate(),
         zs.solves.builds,
         zs.solves.evictions,
+        zs.peak_same_pattern,
+        zs.scratches_created,
         zs.dominant_policy(),
         zs.pools_created
     ));

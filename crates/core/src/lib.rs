@@ -65,15 +65,59 @@
 //! # Ok::<(), rtpl::inspector::InspectorError>(())
 //! ```
 //!
+//! ## Compiled plans: bake the schedule into the data
+//!
+//! For the hottest plan-once/run-many loops the planning step can go one
+//! level deeper: a **compiled execution layout**
+//! ([`executor::compiled::CompiledPlan`], and
+//! [`krylov::CompiledTriSolve`] for the fused forward+backward triangular
+//! solve) permutes operand indices and per-row nonzero slices into
+//! schedule execution order at build time — contiguous per-processor
+//! segments, all index remaps (the backward sweep's `n−1−j`) and filters
+//! resolved once, the inverse diagonal pre-applied — and attaches numeric
+//! values with a one-pass gather, so repeated solves stream memory
+//! linearly:
+//!
+//! ```
+//! use rtpl::executor::WorkerPool;
+//! use rtpl::krylov::{ExecutorKind, Sorting, TriangularSolvePlan};
+//! use rtpl::sparse::{gen::laplacian_5pt, ilu0};
+//!
+//! let f = ilu0(&laplacian_5pt(8, 8))?;
+//! let n = f.n();
+//! // Inspect once, compile once ...
+//! let compiled = TriangularSolvePlan::new(&f, 2, ExecutorKind::SelfExecuting,
+//!     Sorting::Global)?.compile()?;
+//! // ... then run many times; the immutable plan is shareable (Arc) and
+//! // each concurrent client leases its own cheap scratch.
+//! let pool = WorkerPool::new(2);
+//! let mut scratch = compiled.scratch();
+//! let b = vec![1.0; n];
+//! let mut x = vec![0.0; n];
+//! compiled.solve(Some(&pool), ExecutorKind::SelfExecuting, &f, &b, &mut x,
+//!     &mut scratch)?;
+//! let mut x_seq = vec![0.0; n];
+//! compiled.solve(None, ExecutorKind::Sequential, &f, &b, &mut x_seq,
+//!     &mut scratch)?;
+//! assert_eq!(x, x_seq); // bit-exact across every discipline
+//! # Ok::<(), rtpl::krylov::KrylovError>(())
+//! ```
+//!
+//! The [`runtime`] service builds exactly this flow behind a concurrent,
+//! structure-keyed plan cache: `Runtime::solve` compiles a pattern on
+//! first sight and thereafter serves **any number of threads in
+//! parallel** — same pattern or different — by sharing the compiled plan
+//! and leasing per-run scratches.
+//!
 //! ## Crate map
 //!
 //! | Module | Contents |
 //! |---|---|
 //! | [`inspector`] | dependence graphs, wavefronts, schedules |
-//! | [`executor`] | worker pool, barrier, the four executors |
+//! | [`executor`] | worker pool, barrier, the four executors, compiled layouts |
 //! | [`sparse`] | CSR matrices, ILU factorization, generators |
-//! | [`krylov`] | PCGPAK substitute: CG/GMRES + parallel kernels |
-//! | [`runtime`] | solver service: concurrent plan cache + adaptive policy |
+//! | [`krylov`] | PCGPAK substitute: CG/GMRES + parallel kernels, compiled triangular solves |
+//! | [`runtime`] | solver service: concurrent plan cache + adaptive policy + scratch leasing |
 //! | [`sim`] | multiprocessor performance model (event + closed form) |
 //! | [`workload`] | the paper's test problems and synthetic generator |
 

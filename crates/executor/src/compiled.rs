@@ -1,0 +1,857 @@
+//! Compiled execution layouts: the schedule baked into the data.
+//!
+//! A [`crate::PlannedLoop`] removes the *planning* cost from the hot path,
+//! but every run still pays per-iteration costs the inspector could have
+//! compiled away: each processor chases its schedule list into the caller's
+//! original-index operand arrays (scattered loads in schedule order), and
+//! bodies that work in a remapped index space (the backward triangular
+//! sweep's `n−1−j`) redo the remap — and any operand filtering — on every
+//! nonzero of every run.
+//!
+//! A [`CompiledPlan`] performs that work **once, at compile time**:
+//!
+//! * the operand structure of the loop body (a [`CompiledSpec`]: per row, a
+//!   right-hand-side gather index, a list of `(operand index, value source)`
+//!   pairs, and an optional reciprocal scale source) is **permuted into
+//!   schedule execution order** — each processor's positions are a
+//!   contiguous segment, so a run streams `target`/`rhs`/`op_ptr`/`ops`/
+//!   `vals` linearly instead of hopping through index indirections;
+//! * all operand indices are **pre-remapped into plan space** — reversed
+//!   index spaces, strict-triangle filters, whatever the spec encoded — so
+//!   the executor inner loop is branch-free arithmetic;
+//! * numeric values are attached by a one-pass [`CompiledPlan::load_values`]
+//!   gather into a leased [`RunScratch`], which also owns the epoch-stamped
+//!   [`SharedVec`] and per-processor counters. The plan itself is immutable
+//!   and freely shared (`Arc`): **N threads holding N scratches run N
+//!   executions of the same plan concurrently** — exactly what a plan cache
+//!   serving a Zipf-skewed request mix needs.
+//!
+//! All four [`ExecPolicy`] disciplines plus the sequential reference are
+//! available, and every one performs bit-identical per-row arithmetic
+//! (subtract operand products in spec order, then multiply the scale), so
+//! results are bit-exact across policies, processor counts, and against the
+//! uncompiled [`crate::PlannedLoop`] path.
+
+use crate::barrier::SpinBarrier;
+use crate::planned::PlannedLoop;
+use crate::pool::WorkerPool;
+use crate::report::ExecReport;
+use crate::shared::{PublishedSource, SharedVec, WaitingSource};
+use crate::ValueSource;
+use rtpl_inspector::BarrierPlan;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Errors from compiling or loading a [`CompiledPlan`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledError {
+    /// The operand spec is malformed or inconsistent with the plan.
+    Spec(String),
+    /// `load_values` was given a value array of the wrong length.
+    ValueCount { expected: usize, found: usize },
+    /// A reciprocal scale source held zero (e.g. a zero pivot) for the
+    /// caller-space row reported.
+    ZeroScale { row: usize },
+}
+
+impl std::fmt::Display for CompiledError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompiledError::Spec(msg) => write!(f, "invalid compiled spec: {msg}"),
+            CompiledError::ValueCount { expected, found } => {
+                write!(f, "value array length {found} != expected {expected}")
+            }
+            CompiledError::ZeroScale { row } => {
+                write!(f, "zero reciprocal-scale source (pivot) at row {row}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompiledError {}
+
+/// The operand structure of a loop body, in **loop space** (the index space
+/// of the [`PlannedLoop`] the spec will be compiled against).
+///
+/// Row `i` of the spec describes the iteration the plan schedules as index
+/// `i`: its value is
+///
+/// ```text
+/// x(i) = ( rhs[rhs_idx(i)] − Σ_k  data[val_src(i,k)] · x(op(i,k)) ) · scale(i)
+/// ```
+///
+/// where `op(i,k)` are loop-space operand indices (each must be scheduled
+/// in a strictly earlier wavefront than `i`), `val_src(i,k)` gathers the
+/// operand coefficient from the caller's value array, `rhs_idx(i)` gathers
+/// from the caller's right-hand side, and `scale(i)` is the reciprocal of
+/// an optional per-row value source (`1.0` when absent). The `out` index
+/// maps loop space back to the caller's output space, so compiled runs
+/// never need a post-pass like `x.reverse()`.
+///
+/// Any remapping (e.g. the backward sweep's reversed index space) and any
+/// filtering (e.g. dropping a stored diagonal) is done by the *builder* of
+/// the spec, once — the executors never see it.
+#[derive(Clone, Debug)]
+pub struct CompiledSpec {
+    n: usize,
+    nvals: usize,
+    rhs: Vec<u32>,
+    out: Vec<u32>,
+    op_ptr: Vec<usize>,
+    ops: Vec<u32>,
+    val_src: Vec<u32>,
+    recip_src: Option<Vec<u32>>,
+}
+
+impl CompiledSpec {
+    /// An empty spec for a loop of `n` iterations whose values will be
+    /// gathered from a caller array of length `nvals`. Rows must be pushed
+    /// in loop-space order, `n` of them.
+    pub fn new(n: usize, nvals: usize) -> Self {
+        CompiledSpec {
+            n,
+            nvals,
+            rhs: Vec::with_capacity(n),
+            out: Vec::with_capacity(n),
+            op_ptr: {
+                let mut p = Vec::with_capacity(n + 1);
+                p.push(0);
+                p
+            },
+            ops: Vec::new(),
+            val_src: Vec::new(),
+            recip_src: None,
+        }
+    }
+
+    /// Appends the next loop-space row: its rhs gather index, its caller
+    /// output index, and its `(operand, value source)` pairs in evaluation
+    /// order.
+    pub fn push_row(&mut self, rhs: u32, out: u32, ops: impl IntoIterator<Item = (u32, u32)>) {
+        self.rhs.push(rhs);
+        self.out.push(out);
+        for (op, src) in ops {
+            self.ops.push(op);
+            self.val_src.push(src);
+        }
+        self.op_ptr.push(self.ops.len());
+    }
+
+    /// Attaches per-row reciprocal scale sources: row `i`'s result is
+    /// multiplied by `1.0 / data[srcs[i]]` (the pre-applied inverse
+    /// diagonal of a stored-diagonal backward sweep).
+    pub fn set_recip_scale(&mut self, srcs: Vec<u32>) {
+        self.recip_src = Some(srcs);
+    }
+
+    /// Rows pushed so far.
+    pub fn rows(&self) -> usize {
+        self.rhs.len()
+    }
+}
+
+/// A plan compiled to a schedule-order data layout — immutable, shareable,
+/// and runnable concurrently with independent [`RunScratch`]es. See the
+/// module docs for the design.
+#[derive(Debug)]
+pub struct CompiledPlan {
+    n: usize,
+    nprocs: usize,
+    num_phases: usize,
+    nvals: usize,
+    forward: bool,
+    /// Positions `proc_ptr[p]..proc_ptr[p+1]` belong to processor `p`.
+    proc_ptr: Vec<usize>,
+    /// `phase_ptr[p * (num_phases + 1) + w]` — absolute position where
+    /// processor `p`'s phase `w` begins.
+    phase_ptr: Vec<usize>,
+    /// Plan-space index published by each position.
+    target: Vec<u32>,
+    /// Caller rhs gather index of each position.
+    rhs: Vec<u32>,
+    /// Operand slice `ops[op_ptr[t]..op_ptr[t+1]]` of each position.
+    op_ptr: Vec<usize>,
+    /// Plan-space operand indices, layout order.
+    ops: Vec<u32>,
+    /// Caller value-array gather map, layout order (drives `load_values`).
+    val_src: Vec<u32>,
+    /// Reciprocal scale sources by position (`None` → scale is 1.0).
+    recip_src: Option<Vec<u32>>,
+    /// Position executing plan-space row `i` (doacross / diagnostics).
+    pos_of_row: Vec<u32>,
+    /// Caller output index of plan-space row `i`.
+    out_map: Vec<u32>,
+    barriers: BarrierPlan,
+    full_barriers: BarrierPlan,
+}
+
+/// The mutable half of a compiled execution: the epoch-stamped shared
+/// vector, per-processor iteration counters, the gathered operand values
+/// and scales, and the sequential work buffer. Lease one per concurrent
+/// run; the [`CompiledPlan`] itself is never written after compilation.
+#[derive(Debug)]
+pub struct RunScratch {
+    shared: SharedVec,
+    iters: Vec<AtomicU64>,
+    vals: Vec<f64>,
+    scale: Vec<f64>,
+    seq: Vec<f64>,
+    loaded: bool,
+}
+
+impl RunScratch {
+    fn new(plan: &CompiledPlan) -> Self {
+        RunScratch {
+            shared: SharedVec::new(plan.n),
+            iters: (0..plan.nprocs).map(|_| AtomicU64::new(0)).collect(),
+            vals: vec![0.0; plan.ops.len()],
+            scale: vec![1.0; plan.n],
+            seq: vec![0.0; plan.n],
+            loaded: false,
+        }
+    }
+}
+
+impl CompiledPlan {
+    /// Compiles `spec` against `plan`'s schedule: validates the operand
+    /// structure (every operand must sit in a strictly earlier wavefront
+    /// than its consumer; `out` must be a permutation; all gather indices
+    /// in bounds) and materializes the execution-order layout.
+    pub fn compile(plan: &PlannedLoop, spec: &CompiledSpec) -> Result<Self, CompiledError> {
+        let n = plan.n();
+        let schedule = plan.schedule();
+        if spec.n != n || spec.rows() != n {
+            return Err(CompiledError::Spec(format!(
+                "spec declares {} iterations and {} rows, plan has {n}",
+                spec.n,
+                spec.rows()
+            )));
+        }
+        if let Some(r) = &spec.recip_src {
+            if r.len() != n {
+                return Err(CompiledError::Spec(format!(
+                    "recip scale has {} rows, plan has {n}",
+                    r.len()
+                )));
+            }
+            if let Some(&s) = r.iter().find(|&&s| s as usize >= spec.nvals) {
+                return Err(CompiledError::Spec(format!(
+                    "recip scale source {s} out of bounds (nvals = {})",
+                    spec.nvals
+                )));
+            }
+        }
+        let mut seen = vec![false; n];
+        for i in 0..n {
+            let o = spec.out[i] as usize;
+            if o >= n || seen[o] {
+                return Err(CompiledError::Spec(format!(
+                    "out index {o} of row {i} duplicated or out of range"
+                )));
+            }
+            seen[o] = true;
+            if spec.rhs[i] as usize >= n {
+                return Err(CompiledError::Spec(format!(
+                    "rhs index {} of row {i} out of range",
+                    spec.rhs[i]
+                )));
+            }
+            let w = schedule.wavefront_of(i);
+            for k in spec.op_ptr[i]..spec.op_ptr[i + 1] {
+                let op = spec.ops[k] as usize;
+                if op >= n {
+                    return Err(CompiledError::Spec(format!(
+                        "operand {op} of row {i} out of range"
+                    )));
+                }
+                if schedule.wavefront_of(op) >= w {
+                    return Err(CompiledError::Spec(format!(
+                        "operand {op} of row {i} is not scheduled strictly earlier"
+                    )));
+                }
+                if spec.val_src[k] as usize >= spec.nvals {
+                    return Err(CompiledError::Spec(format!(
+                        "value source {} of row {i} out of bounds (nvals = {})",
+                        spec.val_src[k], spec.nvals
+                    )));
+                }
+            }
+        }
+
+        let nprocs = schedule.nprocs();
+        let num_phases = schedule.num_phases();
+        let mut proc_ptr = Vec::with_capacity(nprocs + 1);
+        let mut phase_ptr = Vec::with_capacity(nprocs * (num_phases + 1));
+        let mut target = Vec::with_capacity(n);
+        let mut rhs = Vec::with_capacity(n);
+        let mut op_ptr = Vec::with_capacity(n + 1);
+        let mut ops = Vec::with_capacity(spec.ops.len());
+        let mut val_src = Vec::with_capacity(spec.val_src.len());
+        let mut recip_src = spec.recip_src.as_ref().map(|_| Vec::with_capacity(n));
+        let mut pos_of_row = vec![0u32; n];
+        op_ptr.push(0);
+        proc_ptr.push(0);
+        for p in 0..nprocs {
+            let mut pos = proc_ptr[p];
+            for w in 0..num_phases {
+                phase_ptr.push(pos);
+                for &i in schedule.phase_slice(p, w) {
+                    let i = i as usize;
+                    pos_of_row[i] = pos as u32;
+                    target.push(i as u32);
+                    rhs.push(spec.rhs[i]);
+                    if let (Some(dst), Some(src)) = (&mut recip_src, &spec.recip_src) {
+                        dst.push(src[i]);
+                    }
+                    for k in spec.op_ptr[i]..spec.op_ptr[i + 1] {
+                        ops.push(spec.ops[k]);
+                        val_src.push(spec.val_src[k]);
+                    }
+                    op_ptr.push(ops.len());
+                    pos += 1;
+                }
+            }
+            phase_ptr.push(pos);
+            proc_ptr.push(pos);
+        }
+        debug_assert_eq!(target.len(), n);
+        Ok(CompiledPlan {
+            n,
+            nprocs,
+            num_phases,
+            nvals: spec.nvals,
+            forward: plan.graph().is_forward(),
+            proc_ptr,
+            phase_ptr,
+            target,
+            rhs,
+            op_ptr,
+            ops,
+            val_src,
+            recip_src,
+            pos_of_row,
+            out_map: spec.out.clone(),
+            barriers: plan.barrier_plan().clone(),
+            full_barriers: BarrierPlan::full(num_phases),
+        })
+    }
+
+    /// Trip count.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Processor count the layout targets.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Number of operand slots (== gathered values per scratch).
+    pub fn num_operands(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Expected caller value-array length for [`CompiledPlan::load_values`].
+    pub fn expected_values(&self) -> usize {
+        self.nvals
+    }
+
+    /// A fresh scratch sized for this plan.
+    pub fn scratch(&self) -> RunScratch {
+        RunScratch::new(self)
+    }
+
+    /// Gathers the caller's numeric values into `scratch` in layout order
+    /// (one linear pass; later runs stream them) and computes the per-row
+    /// reciprocal scales. Must be called before the scratch's first run and
+    /// again whenever the caller's values change.
+    pub fn load_values(&self, scratch: &mut RunScratch, data: &[f64]) -> Result<(), CompiledError> {
+        if data.len() != self.nvals {
+            return Err(CompiledError::ValueCount {
+                expected: self.nvals,
+                found: data.len(),
+            });
+        }
+        assert_eq!(scratch.vals.len(), self.ops.len(), "scratch/plan mismatch");
+        for (v, &s) in scratch.vals.iter_mut().zip(&self.val_src) {
+            *v = data[s as usize];
+        }
+        if let Some(srcs) = &self.recip_src {
+            for (t, &s) in srcs.iter().enumerate() {
+                let d = data[s as usize];
+                if d == 0.0 {
+                    scratch.loaded = false;
+                    return Err(CompiledError::ZeroScale {
+                        row: self.out_map[self.target[t] as usize] as usize,
+                    });
+                }
+                scratch.scale[t] = 1.0 / d;
+            }
+        }
+        scratch.loaded = true;
+        Ok(())
+    }
+
+    #[inline]
+    fn eval<S: ValueSource>(
+        &self,
+        t: usize,
+        vals: &[f64],
+        scale: &[f64],
+        rhs: &[f64],
+        src: &S,
+    ) -> f64 {
+        let mut acc = rhs[self.rhs[t] as usize];
+        for k in self.op_ptr[t]..self.op_ptr[t + 1] {
+            acc -= vals[k] * src.get(self.ops[k] as usize);
+        }
+        acc * scale[t]
+    }
+
+    fn check_run(&self, scratch: &RunScratch, rhs: &[f64], out: &[f64]) {
+        assert!(
+            scratch.loaded,
+            "CompiledPlan::load_values must succeed before running"
+        );
+        assert_eq!(
+            scratch.vals.len(),
+            self.ops.len(),
+            "scratch holds values for another plan's operand layout"
+        );
+        assert_eq!(
+            scratch.shared.len(),
+            self.n,
+            "scratch sized for another plan"
+        );
+        assert_eq!(
+            scratch.iters.len(),
+            self.nprocs,
+            "scratch sized for another plan"
+        );
+        assert_eq!(rhs.len(), self.n);
+        assert_eq!(out.len(), self.n);
+    }
+
+    fn gather_out(&self, scratch: &RunScratch, epoch: u32, out: &mut [f64]) {
+        for (i, &o) in self.out_map.iter().enumerate() {
+            out[o as usize] = scratch.shared.get_published_at(i, epoch);
+        }
+    }
+
+    /// Executes the compiled loop under `policy`. The scratch is borrowed
+    /// exclusively, so concurrency misuse is impossible by construction —
+    /// run the same plan from many threads by giving each its own scratch.
+    pub fn run(
+        &self,
+        pool: &WorkerPool,
+        policy: crate::ExecPolicy,
+        scratch: &mut RunScratch,
+        rhs: &[f64],
+        out: &mut [f64],
+    ) -> ExecReport {
+        assert_eq!(
+            self.nprocs,
+            pool.nworkers(),
+            "compiled layout processor count must match the pool"
+        );
+        self.check_run(scratch, rhs, out);
+        match policy {
+            crate::ExecPolicy::SelfExecuting => self.run_self_executing(pool, scratch, rhs, out),
+            crate::ExecPolicy::PreScheduled => {
+                self.run_pre_scheduled(pool, &self.full_barriers, scratch, rhs, out)
+            }
+            crate::ExecPolicy::PreScheduledElided => {
+                self.run_pre_scheduled(pool, &self.barriers, scratch, rhs, out)
+            }
+            crate::ExecPolicy::Doacross => {
+                assert!(
+                    self.forward,
+                    "the doacross policy requires a forward dependence graph"
+                );
+                self.run_doacross(pool, scratch, rhs, out)
+            }
+        }
+    }
+
+    fn run_self_executing(
+        &self,
+        pool: &WorkerPool,
+        scratch: &mut RunScratch,
+        rhs: &[f64],
+        out: &mut [f64],
+    ) -> ExecReport {
+        let sc: &RunScratch = scratch;
+        let epoch = sc.shared.begin_run();
+        let stalls = AtomicU64::new(0);
+        let t0 = Instant::now();
+        pool.run(&|p| {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let src = WaitingSource::new(&sc.shared, epoch);
+                let mut count = 0u64;
+                for t in self.proc_ptr[p]..self.proc_ptr[p + 1] {
+                    let v = self.eval(t, &sc.vals, &sc.scale, rhs, &src);
+                    sc.shared.publish_at(self.target[t] as usize, v, epoch);
+                    count += 1;
+                }
+                sc.iters[p].store(count, Ordering::Relaxed);
+                stalls.fetch_add(src.stalls(), Ordering::Relaxed);
+            }));
+            if let Err(e) = outcome {
+                sc.shared.poison();
+                std::panic::resume_unwind(e);
+            }
+        });
+        let wall = t0.elapsed();
+        self.gather_out(sc, epoch, out);
+        ExecReport {
+            barriers: 0,
+            stalls: stalls.load(Ordering::Relaxed),
+            iters_per_proc: sc.iters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            wall,
+        }
+    }
+
+    fn run_pre_scheduled(
+        &self,
+        pool: &WorkerPool,
+        plan: &BarrierPlan,
+        scratch: &mut RunScratch,
+        rhs: &[f64],
+        out: &mut [f64],
+    ) -> ExecReport {
+        let sc: &RunScratch = scratch;
+        let epoch = sc.shared.begin_run();
+        let barrier = SpinBarrier::new(self.nprocs);
+        let stride = self.num_phases + 1;
+        let t0 = Instant::now();
+        pool.run(&|p| {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let src = PublishedSource::new(&sc.shared, epoch);
+                let mut count = 0u64;
+                for w in 0..self.num_phases {
+                    for t in self.phase_ptr[p * stride + w]..self.phase_ptr[p * stride + w + 1] {
+                        let v = self.eval(t, &sc.vals, &sc.scale, rhs, &src);
+                        sc.shared.publish_at(self.target[t] as usize, v, epoch);
+                        count += 1;
+                    }
+                    if w + 1 < self.num_phases && plan.is_kept(w) {
+                        barrier.wait();
+                    }
+                }
+                sc.iters[p].store(count, Ordering::Relaxed);
+            }));
+            if let Err(e) = outcome {
+                barrier.poison();
+                sc.shared.poison();
+                std::panic::resume_unwind(e);
+            }
+        });
+        let wall = t0.elapsed();
+        self.gather_out(sc, epoch, out);
+        ExecReport {
+            barriers: plan.count() as u64,
+            stalls: 0,
+            iters_per_proc: sc.iters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            wall,
+        }
+    }
+
+    fn run_doacross(
+        &self,
+        pool: &WorkerPool,
+        scratch: &mut RunScratch,
+        rhs: &[f64],
+        out: &mut [f64],
+    ) -> ExecReport {
+        let sc: &RunScratch = scratch;
+        let epoch = sc.shared.begin_run();
+        let stalls = AtomicU64::new(0);
+        let t0 = Instant::now();
+        pool.run(&|p| {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let src = WaitingSource::new(&sc.shared, epoch);
+                let mut count = 0u64;
+                let mut i = p;
+                while i < self.n {
+                    let t = self.pos_of_row[i] as usize;
+                    let v = self.eval(t, &sc.vals, &sc.scale, rhs, &src);
+                    sc.shared.publish_at(i, v, epoch);
+                    count += 1;
+                    i += self.nprocs;
+                }
+                sc.iters[p].store(count, Ordering::Relaxed);
+                stalls.fetch_add(src.stalls(), Ordering::Relaxed);
+            }));
+            if let Err(e) = outcome {
+                sc.shared.poison();
+                std::panic::resume_unwind(e);
+            }
+        });
+        let wall = t0.elapsed();
+        self.gather_out(sc, epoch, out);
+        ExecReport {
+            barriers: 0,
+            stalls: stalls.load(Ordering::Relaxed),
+            iters_per_proc: sc.iters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            wall,
+        }
+    }
+
+    /// Executes the compiled loop sequentially in phase-major order (a
+    /// valid topological order for any plan) over the scratch's plain work
+    /// buffer — no atomics, no ready flags, the fastest single-processor
+    /// path. Bit-exact with every parallel policy: each row performs the
+    /// identical arithmetic on identical operand values.
+    pub fn run_sequential(
+        &self,
+        scratch: &mut RunScratch,
+        rhs: &[f64],
+        out: &mut [f64],
+    ) -> ExecReport {
+        self.check_run(scratch, rhs, out);
+        let stride = self.num_phases + 1;
+        let t0 = Instant::now();
+        let RunScratch {
+            seq, vals, scale, ..
+        } = scratch;
+        for w in 0..self.num_phases {
+            for p in 0..self.nprocs {
+                for t in self.phase_ptr[p * stride + w]..self.phase_ptr[p * stride + w + 1] {
+                    let mut acc = rhs[self.rhs[t] as usize];
+                    for k in self.op_ptr[t]..self.op_ptr[t + 1] {
+                        acc -= vals[k] * seq[self.ops[k] as usize];
+                    }
+                    seq[self.target[t] as usize] = acc * scale[t];
+                }
+            }
+        }
+        for (i, &o) in self.out_map.iter().enumerate() {
+            out[o as usize] = seq[i];
+        }
+        ExecReport {
+            barriers: 0,
+            stalls: 0,
+            iters_per_proc: vec![self.n as u64],
+            wall: t0.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExecPolicy, LoopBody, PlannedLoop, WorkerPool};
+    use rtpl_inspector::{DepGraph, Schedule, Wavefronts};
+    use rtpl_sparse::gen::{laplacian_5pt, random_lower};
+    use rtpl_sparse::Csr;
+
+    /// The forward lower-triangular solve body, for the uncompiled
+    /// reference path.
+    struct Solve<'a> {
+        l: &'a Csr,
+        b: &'a [f64],
+    }
+
+    impl LoopBody for Solve<'_> {
+        fn eval<S: crate::ValueSource>(&self, i: usize, src: &S) -> f64 {
+            let mut acc = self.b[i];
+            for (j, v) in self.l.row(i) {
+                acc -= v * src.get(j);
+            }
+            acc
+        }
+    }
+
+    fn lower_spec(l: &Csr) -> CompiledSpec {
+        let n = l.nrows();
+        let mut spec = CompiledSpec::new(n, l.nnz());
+        for i in 0..n {
+            let lo = l.indptr()[i];
+            spec.push_row(
+                i as u32,
+                i as u32,
+                l.row_indices(i)
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &j)| (j, (lo + k) as u32)),
+            );
+        }
+        spec
+    }
+
+    fn plan_for(l: &Csr, nprocs: usize) -> PlannedLoop {
+        let g = DepGraph::from_lower_triangular(l).unwrap();
+        let wf = Wavefronts::compute(&g).unwrap();
+        PlannedLoop::new(g, Schedule::global(&wf, nprocs).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn compiled_matches_planned_loop_all_policies() {
+        for (l, name) in [
+            (laplacian_5pt(9, 7).strict_lower(), "mesh"),
+            (random_lower(150, 5, 42).strict_lower(), "random"),
+        ] {
+            let n = l.nrows();
+            let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.19).sin()).collect();
+            for nprocs in [1usize, 2, 4] {
+                let plan = plan_for(&l, nprocs);
+                let compiled = CompiledPlan::compile(&plan, &lower_spec(&l)).unwrap();
+                let mut scratch = compiled.scratch();
+                compiled.load_values(&mut scratch, l.data()).unwrap();
+                let pool = WorkerPool::new(nprocs);
+                let body = Solve { l: &l, b: &b };
+                let mut seq = vec![0.0; n];
+                compiled.run_sequential(&mut scratch, &b, &mut seq);
+                let mut reference = vec![0.0; n];
+                plan.run_sequential(&body, &mut reference);
+                assert_eq!(seq, reference, "{name}/{nprocs}: sequential");
+                for policy in ExecPolicy::ALL {
+                    let mut out = vec![0.0; n];
+                    let report = compiled.run(&pool, policy, &mut scratch, &b, &mut out);
+                    assert_eq!(out, reference, "{name}/{nprocs}/{policy:?}");
+                    assert_eq!(report.total_iters() as usize, n);
+                    let mut uncompiled = vec![0.0; n];
+                    plan.run(&pool, policy, &body, &mut uncompiled);
+                    assert_eq!(out, uncompiled, "{name}/{nprocs}/{policy:?} vs planned");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_map_permutes_results_without_post_pass() {
+        // A spec whose out map reverses the vector: x(i) computed in plan
+        // space lands at caller index n-1-i.
+        let l = laplacian_5pt(5, 4).strict_lower();
+        let n = l.nrows();
+        let mut spec = CompiledSpec::new(n, l.nnz());
+        for i in 0..n {
+            let lo = l.indptr()[i];
+            spec.push_row(
+                i as u32,
+                (n - 1 - i) as u32,
+                l.row_indices(i)
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &j)| (j, (lo + k) as u32)),
+            );
+        }
+        let plan = plan_for(&l, 2);
+        let compiled = CompiledPlan::compile(&plan, &spec).unwrap();
+        let mut scratch = compiled.scratch();
+        compiled.load_values(&mut scratch, l.data()).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let mut straight = vec![0.0; n];
+        let base = CompiledPlan::compile(&plan, &lower_spec(&l)).unwrap();
+        let mut base_scratch = base.scratch();
+        base.load_values(&mut base_scratch, l.data()).unwrap();
+        base.run_sequential(&mut base_scratch, &b, &mut straight);
+        let mut reversed = vec![0.0; n];
+        compiled.run_sequential(&mut scratch, &b, &mut reversed);
+        straight.reverse();
+        assert_eq!(reversed, straight);
+    }
+
+    #[test]
+    fn recip_scale_is_pre_applied() {
+        // x(i) = b(i) / d(i) with d from the value array: one row, no ops.
+        let g = DepGraph::from_lists(3, vec![vec![], vec![], vec![]]).unwrap();
+        let wf = Wavefronts::compute(&g).unwrap();
+        let plan = PlannedLoop::new(g, Schedule::global(&wf, 1).unwrap()).unwrap();
+        let data = [2.0, 4.0, 8.0];
+        let mut spec = CompiledSpec::new(3, 3);
+        for i in 0..3 {
+            spec.push_row(i as u32, i as u32, std::iter::empty());
+        }
+        spec.set_recip_scale(vec![0, 1, 2]);
+        let compiled = CompiledPlan::compile(&plan, &spec).unwrap();
+        let mut scratch = compiled.scratch();
+        compiled.load_values(&mut scratch, &data).unwrap();
+        let mut out = vec![0.0; 3];
+        compiled.run_sequential(&mut scratch, &[1.0, 1.0, 1.0], &mut out);
+        assert_eq!(out, vec![0.5, 0.25, 0.125]);
+        // A zero source is rejected with the caller-space row.
+        let err = compiled
+            .load_values(&mut scratch, &[2.0, 0.0, 8.0])
+            .unwrap_err();
+        assert_eq!(err, CompiledError::ZeroScale { row: 1 });
+    }
+
+    #[test]
+    fn concurrent_runs_on_shared_plan_are_bit_exact() {
+        use std::sync::Arc;
+        let l = laplacian_5pt(10, 10).strict_lower();
+        let n = l.nrows();
+        let plan = plan_for(&l, 2);
+        let compiled = Arc::new(CompiledPlan::compile(&plan, &lower_spec(&l)).unwrap());
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 13) as f64).collect();
+        let mut expect = vec![0.0; n];
+        {
+            let mut scratch = compiled.scratch();
+            compiled.load_values(&mut scratch, l.data()).unwrap();
+            compiled.run_sequential(&mut scratch, &b, &mut expect);
+        }
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let compiled = Arc::clone(&compiled);
+                let l = &l;
+                let b = &b;
+                let expect = &expect;
+                scope.spawn(move || {
+                    let pool = WorkerPool::new(2);
+                    let mut scratch = compiled.scratch();
+                    compiled.load_values(&mut scratch, l.data()).unwrap();
+                    for _ in 0..10 {
+                        let mut out = vec![0.0; compiled.n()];
+                        compiled.run(&pool, ExecPolicy::SelfExecuting, &mut scratch, b, &mut out);
+                        assert_eq!(&out, expect);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        let l = laplacian_5pt(3, 3).strict_lower();
+        let plan = plan_for(&l, 2);
+        let n = l.nrows();
+        // Wrong row count.
+        let spec = CompiledSpec::new(n, l.nnz());
+        assert!(matches!(
+            CompiledPlan::compile(&plan, &spec),
+            Err(CompiledError::Spec(_))
+        ));
+        // Operand not scheduled strictly earlier (self-reference).
+        let mut spec = lower_spec(&l);
+        spec.ops[0] = spec.n as u32 - 1; // row 0 reading the last row
+        let got = CompiledPlan::compile(&plan, &spec);
+        assert!(matches!(got, Err(CompiledError::Spec(_))), "{got:?}");
+        // Duplicated out index.
+        let mut spec = lower_spec(&l);
+        spec.out[1] = spec.out[0];
+        assert!(matches!(
+            CompiledPlan::compile(&plan, &spec),
+            Err(CompiledError::Spec(_))
+        ));
+        // Value array of the wrong length at load time.
+        let compiled = CompiledPlan::compile(&plan, &lower_spec(&l)).unwrap();
+        let mut scratch = compiled.scratch();
+        assert!(matches!(
+            compiled.load_values(&mut scratch, &[0.0]),
+            Err(CompiledError::ValueCount { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "load_values must succeed")]
+    fn running_unloaded_scratch_panics() {
+        let l = laplacian_5pt(3, 3).strict_lower();
+        let plan = plan_for(&l, 1);
+        let compiled = CompiledPlan::compile(&plan, &lower_spec(&l)).unwrap();
+        let mut scratch = compiled.scratch();
+        let b = vec![0.0; compiled.n()];
+        let mut out = vec![0.0; compiled.n()];
+        compiled.run_sequential(&mut scratch, &b, &mut out);
+    }
+}

@@ -43,6 +43,19 @@
 //! reports its run through one [`ExecReport`]: barriers performed, busy-wait
 //! stalls, per-processor iteration counts, and wall time.
 //!
+//! ## Compiled layouts
+//!
+//! For the hottest plan-once/run-many loops, [`compiled::CompiledPlan`]
+//! goes one step further than [`PlannedLoop`]: it **bakes the schedule into
+//! the data layout** — operand indices and per-row nonzero slices permuted
+//! into execution order with contiguous per-processor segments, all index
+//! remaps and filters resolved at compile time, numeric values gathered by
+//! a one-pass [`compiled::CompiledPlan::load_values`]. The immutable plan
+//! is shared (`Arc`); each concurrent run leases its own cheap
+//! [`compiled::RunScratch`], so the same hot pattern executes on any
+//! number of client threads simultaneously. [`PlannedLoop::run_in`] offers
+//! the same shared-plan/leased-scratch split for uncompiled bodies.
+//!
 //! ## Memory-safety design
 //!
 //! The dynamically scheduled writes that make this pattern "fight the borrow
@@ -59,6 +72,7 @@
 //! [`BarrierPlan`]: rtpl_inspector::BarrierPlan
 
 pub mod barrier;
+pub mod compiled;
 pub mod doacross;
 pub mod doall;
 pub mod planned;
@@ -71,9 +85,10 @@ pub mod selfsched;
 pub mod shared;
 
 pub use barrier::SpinBarrier;
+pub use compiled::{CompiledError, CompiledPlan, CompiledSpec, RunScratch};
 pub use doacross::doacross;
 pub use doall::{doall, doall_blocked, doall_reduce};
-pub use planned::{ExecPolicy, PlannedLoop};
+pub use planned::{ExecPolicy, LoopScratch, PlannedLoop};
 pub use pool::WorkerPool;
 pub use presched::{pre_scheduled, pre_scheduled_elided};
 pub use report::ExecReport;

@@ -84,19 +84,54 @@ impl ExecPolicy {
 /// loop, owning everything reusable across executions).
 ///
 /// `run` takes `&self`; the shared buffer is invalidated per run by an
-/// epoch bump. A `PlannedLoop` must not execute two runs concurrently —
-/// they would publish into the same cells. Overlapping calls are detected
-/// at run entry and panic immediately rather than corrupting results or
-/// livelocking.
+/// epoch bump. The plan owns one built-in [`LoopScratch`], so plain
+/// [`PlannedLoop::run`] must not execute two runs concurrently — they
+/// would publish into the same cells. Overlapping calls are detected at
+/// run entry and panic immediately rather than corrupting results or
+/// livelocking. To run one plan from many threads at once, give each
+/// caller its own scratch ([`PlannedLoop::scratch`]) and use
+/// [`PlannedLoop::run_in`].
 #[derive(Debug)]
 pub struct PlannedLoop {
     graph: DepGraph,
     schedule: Schedule,
     barriers: BarrierPlan,
     full_barriers: BarrierPlan,
+    scratch: LoopScratch,
+}
+
+/// The mutable per-run state of a [`PlannedLoop`] execution: the
+/// epoch-stamped shared value/ready buffer and the per-processor iteration
+/// counters. Every plan owns one; additional scratches let independent
+/// callers run the **same** plan concurrently (lease one scratch per
+/// in-flight run — a single scratch still admits one run at a time, which
+/// is checked).
+#[derive(Debug)]
+pub struct LoopScratch {
     shared: SharedVec,
     iters: Vec<AtomicU64>,
     running: AtomicBool,
+}
+
+impl LoopScratch {
+    /// Scratch for an `n`-iteration loop scheduled on `nprocs` processors.
+    pub fn new(n: usize, nprocs: usize) -> Self {
+        LoopScratch {
+            shared: SharedVec::new(n),
+            iters: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
+            running: AtomicBool::new(false),
+        }
+    }
+
+    /// Loop length this scratch serves.
+    pub fn n(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Processor count this scratch serves.
+    pub fn nprocs(&self) -> usize {
+        self.iters.len()
+    }
 }
 
 /// Clears the run-in-progress flag even when an executor panics.
@@ -122,10 +157,14 @@ impl PlannedLoop {
             schedule,
             barriers,
             full_barriers,
-            shared: SharedVec::new(n),
-            iters: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
-            running: AtomicBool::new(false),
+            scratch: LoopScratch::new(n, nprocs),
         })
+    }
+
+    /// A fresh scratch sized for this plan — lease one per concurrent run
+    /// and execute through [`PlannedLoop::run_in`].
+    pub fn scratch(&self) -> LoopScratch {
+        LoopScratch::new(self.n(), self.nprocs())
     }
 
     /// The schedule.
@@ -170,19 +209,43 @@ impl PlannedLoop {
         body: &B,
         out: &mut [f64],
     ) -> ExecReport {
+        self.run_in(&self.scratch, pool, policy, body, out)
+    }
+
+    /// As [`PlannedLoop::run`], executing over a caller-supplied scratch.
+    ///
+    /// The plan itself is read-only during a run, so any number of threads
+    /// may execute it simultaneously as long as each brings its own
+    /// scratch (the scratch must match the plan's size and processor
+    /// count, and serve one run at a time — both checked).
+    pub fn run_in<B: LoopBody>(
+        &self,
+        scratch: &LoopScratch,
+        pool: &WorkerPool,
+        policy: ExecPolicy,
+        body: &B,
+        out: &mut [f64],
+    ) -> ExecReport {
+        assert_eq!(scratch.n(), self.n(), "scratch sized for another plan");
+        assert_eq!(
+            scratch.nprocs(),
+            self.nprocs(),
+            "scratch sized for another processor count"
+        );
         assert!(
-            self.running
+            scratch
+                .running
                 .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok(),
-            "PlannedLoop::run called while another run on this plan is in progress"
+            "PlannedLoop run started while another run on this scratch is in progress"
         );
-        let _guard = RunGuard(&self.running);
+        let _guard = RunGuard(&scratch.running);
         match policy {
             ExecPolicy::SelfExecuting => crate::selfexec::self_executing_core(
                 pool,
                 &self.schedule,
-                &self.shared,
-                &self.iters,
+                &scratch.shared,
+                &scratch.iters,
                 &|i, src| body.eval(i, src),
                 out,
             ),
@@ -190,8 +253,8 @@ impl PlannedLoop {
                 pool,
                 &self.schedule,
                 &self.full_barriers,
-                &self.shared,
-                &self.iters,
+                &scratch.shared,
+                &scratch.iters,
                 &|i, src| body.eval(i, src),
                 out,
             ),
@@ -199,8 +262,8 @@ impl PlannedLoop {
                 pool,
                 &self.schedule,
                 &self.barriers,
-                &self.shared,
-                &self.iters,
+                &scratch.shared,
+                &scratch.iters,
                 &|i, src| body.eval(i, src),
                 out,
             ),
@@ -212,8 +275,8 @@ impl PlannedLoop {
                 crate::doacross::doacross_core(
                     pool,
                     self.schedule.n(),
-                    &self.shared,
-                    &self.iters,
+                    &scratch.shared,
+                    &scratch.iters,
                     &|i, src| body.eval(i, src),
                     out,
                 )

@@ -23,7 +23,10 @@ pub mod trisolve;
 
 pub use precond::{Precondition, Preconditioner};
 pub use solvers::{bicgstab, cg, gmres, KrylovConfig, SolveStats};
-pub use trisolve::{ExecutorKind, SolveScratch, Sorting, TriangularSolvePlan};
+pub use trisolve::{
+    CompiledSolveScratch, CompiledTriSolve, ExecutorKind, SolveScratch, Sorting,
+    TriangularSolvePlan,
+};
 
 /// Errors from solver construction and execution.
 #[derive(Debug, Clone, PartialEq)]

@@ -15,6 +15,7 @@
 //! same machinery applies unchanged.
 
 use crate::{KrylovError, Result};
+use rtpl_executor::compiled::{CompiledError, CompiledPlan, CompiledSpec, RunScratch};
 use rtpl_executor::{ExecPolicy, ExecReport, LoopBody, PlannedLoop, ValueSource, WorkerPool};
 use rtpl_inspector::{DepGraph, Partition, Schedule, Wavefronts};
 use rtpl_sparse::ilu::IluFactors;
@@ -81,8 +82,15 @@ impl LoopBody for ForwardBody<'_> {
 
 /// The backward-substitution body in reversed index space: position `k`
 /// computes row `i = n−1−k`; operands are positions `n−1−j`.
+///
+/// The strict-upper filter and the diagonal inversion were hoisted to plan
+/// build time: `u_strict` holds only the above-diagonal structure and
+/// `uvals` the matching coefficients (the plan's own, or a per-call gather
+/// for [`TriangularSolvePlan::solve_with`]), so the inner loop performs no
+/// `j > i` branch on any nonzero.
 struct BackwardBody<'a> {
-    u: &'a Csr,
+    u_strict: &'a Csr,
+    uvals: &'a [f64],
     y: &'a [f64],
     dinv: &'a [f64],
     n: usize,
@@ -93,29 +101,36 @@ impl LoopBody for BackwardBody<'_> {
     fn eval<S: ValueSource>(&self, k: usize, src: &S) -> f64 {
         let i = self.n - 1 - k;
         let mut acc = self.y[i];
-        for (j, v) in self.u.row(i) {
-            if j > i {
-                acc -= v * src.get(self.n - 1 - j);
-            }
+        let lo = self.u_strict.indptr()[i];
+        let hi = self.u_strict.indptr()[i + 1];
+        for (&j, &v) in self.u_strict.indices()[lo..hi]
+            .iter()
+            .zip(&self.uvals[lo..hi])
+        {
+            acc -= v * src.get(self.n - 1 - j as usize);
         }
         acc * self.dinv[i]
     }
 }
 
 /// Reusable scratch for [`TriangularSolvePlan::solve_with`]: the forward
-/// sweep output and the per-call inverse diagonal of `U`.
+/// sweep output, the per-call inverse diagonal of `U`, and the per-call
+/// strict-upper coefficient gather.
 #[derive(Clone, Debug)]
 pub struct SolveScratch {
     work: Vec<f64>,
     dinv: Vec<f64>,
+    uvals: Vec<f64>,
 }
 
 impl SolveScratch {
-    /// Scratch for systems of order `n`.
+    /// Scratch for systems of order `n`. (The strict-upper value buffer
+    /// sizes itself to the plan on first use.)
     pub fn new(n: usize) -> Self {
         SolveScratch {
             work: vec![0.0; n],
             dinv: vec![0.0; n],
+            uvals: Vec::new(),
         }
     }
 }
@@ -126,6 +141,16 @@ pub struct TriangularSolvePlan {
     n: usize,
     l: Csr,
     u: Csr,
+    /// The strict upper triangle of `u` (structure + the plan's own
+    /// values), filtered once at build time so no executor branches on
+    /// `j > i` per nonzero.
+    u_strict: Csr,
+    /// Position in `u.data()` of each `u_strict` nonzero — the per-call
+    /// value gather map for [`TriangularSolvePlan::solve_with`].
+    u_strict_src: Vec<u32>,
+    /// Position in `u.data()` of each row's diagonal (no per-call binary
+    /// search).
+    udiag_pos: Vec<u32>,
     udiag_inv: Vec<f64>,
     plan_l: PlannedLoop,
     plan_u: PlannedLoop,
@@ -150,6 +175,25 @@ impl TriangularSolvePlan {
             }));
         }
         let udiag_inv = udiag.iter().map(|d| 1.0 / d).collect();
+        // One pass over U hoists everything the backward sweep used to
+        // redo per run: the strict-upper filter, the diagonal positions,
+        // and (for `solve_with`) where each kept coefficient lives in the
+        // caller's value array.
+        let u_strict = u.strict_upper();
+        let mut u_strict_src = Vec::with_capacity(u_strict.nnz());
+        let mut udiag_pos = vec![0u32; n];
+        for i in 0..n {
+            let lo = u.indptr()[i];
+            for (k, &j) in u.row_indices(i).iter().enumerate() {
+                let pos = (lo + k) as u32;
+                match (j as usize).cmp(&i) {
+                    std::cmp::Ordering::Greater => u_strict_src.push(pos),
+                    std::cmp::Ordering::Equal => udiag_pos[i] = pos,
+                    std::cmp::Ordering::Less => {}
+                }
+            }
+        }
+        debug_assert_eq!(u_strict_src.len(), u_strict.nnz());
         let g_l = DepGraph::from_lower_triangular(&l)?;
         let g_u = DepGraph::from_upper_triangular(&u)?;
         let plan_l = make_plan(g_l, nprocs, sorting)?;
@@ -158,6 +202,9 @@ impl TriangularSolvePlan {
             n,
             l,
             u,
+            u_strict,
+            u_strict_src,
+            udiag_pos,
             udiag_inv,
             plan_l,
             plan_u,
@@ -254,16 +301,21 @@ impl TriangularSolvePlan {
         assert_eq!(b.len(), self.n);
         assert_eq!(x.len(), self.n);
         assert_eq!(scratch.work.len(), self.n);
+        let udata = factors.u.data();
         for i in 0..self.n {
-            let d = factors.u.get(i, i).ok_or(KrylovError::Sparse(
-                rtpl_sparse::SparseError::MissingDiagonal { row: i },
-            ))?;
+            let d = udata[self.udiag_pos[i] as usize];
             if d == 0.0 {
                 return Err(KrylovError::Sparse(rtpl_sparse::SparseError::ZeroPivot {
                     row: i,
                 }));
             }
             scratch.dinv[i] = 1.0 / d;
+        }
+        // Gather the caller's strict-upper coefficients once (linear
+        // write), so the backward body runs branch-free over them.
+        scratch.uvals.resize(self.u_strict.nnz(), 0.0);
+        for (v, &pos) in scratch.uvals.iter_mut().zip(&self.u_strict_src) {
+            *v = udata[pos as usize];
         }
         let pool = kind
             .policy()
@@ -276,7 +328,8 @@ impl TriangularSolvePlan {
             _ => self.plan_l.run_sequential(&fwd_body, &mut scratch.work),
         };
         let bwd_body = BackwardBody {
-            u: &factors.u,
+            u_strict: &self.u_strict,
+            uvals: &scratch.uvals,
             y: &scratch.work,
             dinv: &scratch.dinv,
             n: self.n,
@@ -334,7 +387,8 @@ impl TriangularSolvePlan {
         assert_eq!(y.len(), self.n);
         assert_eq!(x.len(), self.n);
         let body = BackwardBody {
-            u: &self.u,
+            u_strict: &self.u_strict,
+            uvals: self.u_strict.data(),
             y,
             dinv: &self.udiag_inv,
             n: self.n,
@@ -346,6 +400,180 @@ impl TriangularSolvePlan {
         };
         x.reverse();
         report
+    }
+}
+
+/// Maps an executor-layer compiled error into solver terms.
+fn map_compiled(e: CompiledError) -> KrylovError {
+    match e {
+        CompiledError::ZeroScale { row } => {
+            KrylovError::Sparse(rtpl_sparse::SparseError::ZeroPivot { row })
+        }
+        other => KrylovError::Sparse(rtpl_sparse::SparseError::InvalidStructure(format!(
+            "compiled triangular solve: {other}"
+        ))),
+    }
+}
+
+impl TriangularSolvePlan {
+    /// Compiles the fused forward+backward solve into schedule-order data
+    /// layouts ([`CompiledPlan`]s), consuming the plan (which stays
+    /// available through [`CompiledTriSolve::plan`] for prediction,
+    /// statistics, and the uncompiled fallback path).
+    ///
+    /// Everything the uncompiled executors redo per run is resolved here
+    /// once: the backward sweep's `n−1−j` reversed-space remap and
+    /// strict-upper filter are baked into the operand indices, the
+    /// inverse diagonal is pre-applied as a per-row scale, and each
+    /// processor's work is a contiguous segment streamed linearly.
+    pub fn compile(self) -> Result<CompiledTriSolve> {
+        let n = self.n;
+        let mut fwd_spec = CompiledSpec::new(n, self.l.nnz());
+        for i in 0..n {
+            let lo = self.l.indptr()[i];
+            fwd_spec.push_row(
+                i as u32,
+                i as u32,
+                self.l
+                    .row_indices(i)
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &j)| (j, (lo + k) as u32)),
+            );
+        }
+        let fwd = CompiledPlan::compile(&self.plan_l, &fwd_spec).map_err(map_compiled)?;
+
+        // Backward, in reversed index space: plan position k stands for
+        // row i = n−1−k; operand j>i becomes plan index n−1−j; values
+        // gather straight from the caller's U array (strict-upper filter
+        // resolved by the spec); the diagonal's reciprocal is the scale.
+        let mut bwd_spec = CompiledSpec::new(n, self.u.nnz());
+        for k in 0..n {
+            let i = n - 1 - k;
+            let lo = self.u.indptr()[i];
+            bwd_spec.push_row(
+                i as u32,
+                i as u32,
+                self.u
+                    .row_indices(i)
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &j)| (j as usize) > i)
+                    .map(|(t, &j)| ((n - 1 - j as usize) as u32, (lo + t) as u32)),
+            );
+        }
+        bwd_spec.set_recip_scale((0..n).map(|k| self.udiag_pos[n - 1 - k]).collect());
+        let bwd = CompiledPlan::compile(&self.plan_u, &bwd_spec).map_err(map_compiled)?;
+        Ok(CompiledTriSolve {
+            plan: self,
+            fwd,
+            bwd,
+        })
+    }
+}
+
+/// The fused, compiled `L U x = b` application: two [`CompiledPlan`]s
+/// (forward and backward sweeps) plus the originating
+/// [`TriangularSolvePlan`].
+///
+/// The compiled plans are immutable — share one `CompiledTriSolve` behind
+/// an `Arc` and give each concurrent request its own
+/// [`CompiledSolveScratch`]; any number of threads then solve the same
+/// cached pattern simultaneously. Results are bit-exact across all
+/// [`ExecutorKind`]s, processor counts, and against the uncompiled
+/// [`TriangularSolvePlan::solve_with`] path.
+#[derive(Debug)]
+pub struct CompiledTriSolve {
+    plan: TriangularSolvePlan,
+    fwd: CompiledPlan,
+    bwd: CompiledPlan,
+}
+
+/// Leasable per-run state of a [`CompiledTriSolve`]: one executor scratch
+/// per sweep and the intermediate forward result.
+#[derive(Debug)]
+pub struct CompiledSolveScratch {
+    fwd: RunScratch,
+    bwd: RunScratch,
+    y: Vec<f64>,
+}
+
+impl CompiledTriSolve {
+    /// The originating plan (schedules, graphs, phase counts, fallback
+    /// path).
+    pub fn plan(&self) -> &TriangularSolvePlan {
+        &self.plan
+    }
+
+    /// Matrix order.
+    pub fn n(&self) -> usize {
+        self.plan.n
+    }
+
+    /// The compiled forward sweep.
+    pub fn forward_plan(&self) -> &CompiledPlan {
+        &self.fwd
+    }
+
+    /// The compiled backward sweep (reversed index space resolved at
+    /// compile time).
+    pub fn backward_plan(&self) -> &CompiledPlan {
+        &self.bwd
+    }
+
+    /// A fresh scratch for one concurrent solving client.
+    pub fn scratch(&self) -> CompiledSolveScratch {
+        CompiledSolveScratch {
+            fwd: self.fwd.scratch(),
+            bwd: self.bwd.scratch(),
+            y: vec![0.0; self.plan.n],
+        }
+    }
+
+    /// Solves `L U x = b` with caller-supplied factor values and a
+    /// per-call executor discipline, returning the two sweep reports.
+    ///
+    /// Values are attached by one linear gather per sweep
+    /// ([`CompiledPlan::load_values`], which also pre-applies `U`'s
+    /// inverse diagonal); the runs themselves stream the compiled layout.
+    /// `factors` must share the pattern the plan was inspected from
+    /// (checked as in [`TriangularSolvePlan::solve_with`]); `pool` may be
+    /// `None` only for [`ExecutorKind::Sequential`].
+    pub fn solve(
+        &self,
+        pool: Option<&WorkerPool>,
+        kind: ExecutorKind,
+        factors: &IluFactors,
+        b: &[f64],
+        x: &mut [f64],
+        scratch: &mut CompiledSolveScratch,
+    ) -> Result<(ExecReport, ExecReport)> {
+        self.plan.check_same_pattern(factors)?;
+        assert_eq!(b.len(), self.plan.n);
+        assert_eq!(x.len(), self.plan.n);
+        self.fwd
+            .load_values(&mut scratch.fwd, factors.l.data())
+            .map_err(map_compiled)?;
+        self.bwd
+            .load_values(&mut scratch.bwd, factors.u.data())
+            .map_err(map_compiled)?;
+        let pool = kind
+            .policy()
+            .map(|_| pool.expect("parallel executor kinds require a worker pool"));
+        let fwd = match (kind.policy(), pool) {
+            (Some(policy), Some(pool)) => {
+                self.fwd
+                    .run(pool, policy, &mut scratch.fwd, b, &mut scratch.y)
+            }
+            _ => self.fwd.run_sequential(&mut scratch.fwd, b, &mut scratch.y),
+        };
+        let bwd = match (kind.policy(), pool) {
+            (Some(policy), Some(pool)) => {
+                self.bwd.run(pool, policy, &mut scratch.bwd, &scratch.y, x)
+            }
+            _ => self.bwd.run_sequential(&mut scratch.bwd, &scratch.y, x),
+        };
+        Ok((fwd, bwd))
     }
 }
 
@@ -528,6 +756,107 @@ mod tests {
                 &mut scratch
             ),
             Err(KrylovError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn compiled_solve_is_bit_exact_with_fallback_for_every_kind() {
+        let a = laplacian_5pt(8, 7);
+        let f = ilu0(&a).unwrap();
+        let n = f.n();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.21).sin()).collect();
+        for nprocs in [1usize, 2, 4] {
+            let plan =
+                TriangularSolvePlan::new(&f, nprocs, ExecutorKind::Sequential, Sorting::Global)
+                    .unwrap();
+            let compiled =
+                TriangularSolvePlan::new(&f, nprocs, ExecutorKind::Sequential, Sorting::Global)
+                    .unwrap()
+                    .compile()
+                    .unwrap();
+            let pool = WorkerPool::new(nprocs);
+            let mut fb_scratch = SolveScratch::new(n);
+            let mut c_scratch = compiled.scratch();
+            let mut reference = vec![0.0; n];
+            plan.solve_with(
+                None,
+                ExecutorKind::Sequential,
+                &f,
+                &b,
+                &mut reference,
+                &mut fb_scratch,
+            )
+            .unwrap();
+            for kind in [
+                ExecutorKind::Sequential,
+                ExecutorKind::Doacross,
+                ExecutorKind::PreScheduled,
+                ExecutorKind::PreScheduledElided,
+                ExecutorKind::SelfExecuting,
+            ] {
+                let mut x = vec![0.0; n];
+                let (fwd, bwd) = compiled
+                    .solve(Some(&pool), kind, &f, &b, &mut x, &mut c_scratch)
+                    .unwrap();
+                assert_eq!(x, reference, "{kind:?}/{nprocs} compiled deviates");
+                assert_eq!(fwd.total_iters() as usize, n);
+                assert_eq!(bwd.total_iters() as usize, n);
+                // The uncompiled path under the same kind must agree too.
+                let mut fb = vec![0.0; n];
+                plan.solve_with(Some(&pool), kind, &f, &b, &mut fb, &mut fb_scratch)
+                    .unwrap();
+                assert_eq!(fb, reference, "{kind:?}/{nprocs} fallback deviates");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_solve_refreshes_values_and_rejects_zero_pivot() {
+        let a = laplacian_5pt(6, 6);
+        let f_old = ilu0(&a).unwrap();
+        let compiled =
+            TriangularSolvePlan::new(&f_old, 2, ExecutorKind::Sequential, Sorting::Global)
+                .unwrap()
+                .compile()
+                .unwrap();
+        let n = compiled.n();
+        let mut scratch = compiled.scratch();
+        // New values on the same pattern.
+        let mut a2 = a.clone();
+        for (k, v) in a2.data_mut().iter_mut().enumerate() {
+            *v *= 1.0 + 0.03 * (k % 4) as f64;
+        }
+        let f_new = ilu0(&a2).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.4).cos()).collect();
+        let expect = reference_solve(&f_new, &b);
+        let mut x = vec![0.0; n];
+        compiled
+            .solve(
+                None,
+                ExecutorKind::Sequential,
+                &f_new,
+                &b,
+                &mut x,
+                &mut scratch,
+            )
+            .unwrap();
+        assert!(max_abs_diff(&x, &expect) < 1e-12);
+        // A zero pivot in the caller's values is caught by the gather.
+        let mut f_bad = f_new.clone();
+        let diag_pos = f_bad.u.indptr()[3]; // row 3's first entry is its diagonal
+        f_bad.u.data_mut()[diag_pos] = 0.0;
+        assert!(matches!(
+            compiled.solve(
+                None,
+                ExecutorKind::Sequential,
+                &f_bad,
+                &b,
+                &mut x,
+                &mut scratch
+            ),
+            Err(KrylovError::Sparse(rtpl_sparse::SparseError::ZeroPivot {
+                row: 3
+            }))
         ));
     }
 

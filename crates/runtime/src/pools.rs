@@ -1,4 +1,5 @@
-//! Leased worker pools for concurrent clients.
+//! Leased resources for concurrent clients: worker pools and run
+//! scratches.
 //!
 //! A [`WorkerPool`] runs one SPMD job at a time, so a multi-client runtime
 //! cannot share a single pool across overlapping solves. [`PoolSet`] keeps
@@ -7,16 +8,157 @@
 //! The set grows on demand up to the number of concurrently active
 //! requests and never shrinks — thread teams are reused exactly like the
 //! plans they execute.
+//!
+//! [`LeasePool`] is the same pattern for arbitrary per-run state (and the
+//! engine under [`PoolSet`]): each cached plan entry keeps one for its
+//! executor scratches, so concurrent requests for the *same* hot pattern
+//! replicate only the cheap mutable part (epoch-stamped buffers, gathered
+//! values) while sharing the expensive immutable plan. Its counters —
+//! created / currently active / peak active — make overlap *observable*,
+//! which is what the concurrency tests assert instead of timing. Leases
+//! are RAII ([`Lease`]): a panic mid-run still returns the resource and
+//! keeps every counter honest.
 
 use rtpl_executor::WorkerPool;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// A grow-on-demand free list of equally sized worker pools.
+/// What a [`LeasePool::lease`] observed: whether a new resource had to be
+/// built and how many uses were active the moment this one began
+/// (including itself).
+#[derive(Clone, Copy, Debug)]
+pub struct LeaseInfo {
+    /// `true` when the free list was empty and `make` ran.
+    pub created: bool,
+    /// Active uses after beginning this one (≥ 1); a value ≥ 2 proves two
+    /// requests overlapped on the same pool.
+    pub active: u64,
+}
+
+/// A grow-on-demand free list of per-run resources with overlap counters.
+///
+/// Counter discipline: a use is counted **before** the free list is
+/// consulted, and a returned resource is pushed back **before** the use is
+/// uncounted — so `created() ≤ peak()` always holds: a resource is only
+/// ever built while strictly more uses are active than resources exist.
+#[derive(Debug, Default)]
+pub struct LeasePool<T> {
+    free: Mutex<Vec<T>>,
+    created: AtomicU64,
+    active: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl<T> LeasePool<T> {
+    /// An empty pool.
+    pub fn new() -> Self {
+        LeasePool {
+            free: Mutex::new(Vec::new()),
+            created: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    fn enter(&self) -> u64 {
+        let active = self.active.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(active, Ordering::Relaxed);
+        active
+    }
+
+    /// Takes a resource (building one with `make` only when the free list
+    /// is empty) and reports the overlap observed. The resource returns to
+    /// the free list when the [`Lease`] drops — also on panic.
+    pub fn lease(&self, make: impl FnOnce() -> T) -> (Lease<'_, T>, LeaseInfo) {
+        let active = self.enter();
+        let reused = {
+            let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
+            free.pop()
+        };
+        let created = reused.is_none();
+        let value = reused.unwrap_or_else(|| {
+            self.created.fetch_add(1, Ordering::Relaxed);
+            make()
+        });
+        (
+            Lease {
+                pool: self,
+                value: Some(value),
+            },
+            LeaseInfo { created, active },
+        )
+    }
+
+    /// Counts an in-flight use that needs **no** resource (e.g. a
+    /// sequential run writing straight to the caller's buffer), so
+    /// overlap observability covers every request. The use ends when the
+    /// guard drops.
+    pub fn track(&self) -> (UseGuard<'_, T>, u64) {
+        let active = self.enter();
+        (UseGuard(self), active)
+    }
+
+    /// Resources ever built. Never exceeds [`LeasePool::peak`].
+    pub fn created(&self) -> u64 {
+        self.created.load(Ordering::Relaxed)
+    }
+
+    /// Highest number of simultaneously active uses observed.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+/// An exclusively held resource, returned to its [`LeasePool`] on drop.
+#[derive(Debug)]
+pub struct Lease<'a, T> {
+    pool: &'a LeasePool<T>,
+    value: Option<T>,
+}
+
+impl<T> std::ops::Deref for Lease<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.value.as_ref().expect("lease holds a value until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for Lease<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.value.as_mut().expect("lease holds a value until drop")
+    }
+}
+
+impl<T> Drop for Lease<'_, T> {
+    fn drop(&mut self) {
+        let value = self.value.take().expect("lease holds a value until drop");
+        {
+            let mut free = self.pool.free.lock().unwrap_or_else(|e| e.into_inner());
+            free.push(value);
+        }
+        // After the push, so a racing lease that misses the free list is
+        // genuinely concurrent with this one (`created() ≤ peak()`).
+        self.pool.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Marks one resource-free in-flight use of a [`LeasePool`]; see
+/// [`LeasePool::track`].
+#[derive(Debug)]
+pub struct UseGuard<'a, T>(&'a LeasePool<T>);
+
+impl<T> Drop for UseGuard<'_, T> {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// A grow-on-demand free list of equally sized worker pools — a
+/// [`LeasePool`] of [`WorkerPool`]s.
 pub struct PoolSet {
     nprocs: usize,
-    free: Mutex<Vec<WorkerPool>>,
-    created: AtomicU64,
+    pools: LeasePool<WorkerPool>,
 }
 
 impl std::fmt::Debug for PoolSet {
@@ -35,8 +177,7 @@ impl PoolSet {
         assert!(nprocs >= 1);
         PoolSet {
             nprocs,
-            free: Mutex::new(Vec::new()),
-            created: AtomicU64::new(0),
+            pools: LeasePool::new(),
         }
     }
 
@@ -47,46 +188,25 @@ impl PoolSet {
 
     /// Pools ever created (== the high-water mark of concurrent leases).
     pub fn created(&self) -> u64 {
-        self.created.load(Ordering::Relaxed)
+        self.pools.created()
     }
 
     /// Leases a pool, spawning a fresh one only when the free list is
     /// empty. The lease returns the pool on drop.
     pub fn lease(&self) -> PoolLease<'_> {
-        let reused = {
-            let mut free = self.free.lock().unwrap_or_else(|e| e.into_inner());
-            free.pop()
-        };
-        let pool = reused.unwrap_or_else(|| {
-            self.created.fetch_add(1, Ordering::Relaxed);
-            WorkerPool::new(self.nprocs)
-        });
-        PoolLease {
-            set: self,
-            pool: Some(pool),
-        }
+        let (lease, _) = self.pools.lease(|| WorkerPool::new(self.nprocs));
+        PoolLease(lease)
     }
 }
 
 /// An exclusively held [`WorkerPool`], returned to its [`PoolSet`] on drop.
-pub struct PoolLease<'a> {
-    set: &'a PoolSet,
-    pool: Option<WorkerPool>,
-}
+pub struct PoolLease<'a>(Lease<'a, WorkerPool>);
 
 impl std::ops::Deref for PoolLease<'_> {
     type Target = WorkerPool;
 
     fn deref(&self) -> &WorkerPool {
-        self.pool.as_ref().expect("pool present until drop")
-    }
-}
-
-impl Drop for PoolLease<'_> {
-    fn drop(&mut self) {
-        let pool = self.pool.take().expect("pool present until drop");
-        let mut free = self.set.free.lock().unwrap_or_else(|e| e.into_inner());
-        free.push(pool);
+        &self.0
     }
 }
 
@@ -105,7 +225,58 @@ mod tests {
     }
 
     #[test]
+    fn lease_pool_counts_overlap_not_time() {
+        let pool: LeasePool<u32> = LeasePool::new();
+        let (a, ia) = pool.lease(|| 1);
+        assert!(ia.created);
+        assert_eq!(ia.active, 1);
+        let (b, ib) = pool.lease(|| 2);
+        assert!(ib.created);
+        assert_eq!(ib.active, 2, "second concurrent lease observes overlap");
+        drop(a);
+        drop(b);
+        assert_eq!(pool.created(), 2);
+        assert_eq!(pool.peak(), 2);
+        // Sequential leases reuse without growing.
+        let (c, ic) = pool.lease(|| 3);
+        assert!(!ic.created);
+        assert_eq!(ic.active, 1);
+        drop(c);
+        assert_eq!(pool.created(), 2);
+        assert!(pool.created() <= pool.peak());
+    }
+
+    #[test]
+    fn tracked_uses_count_toward_overlap_without_building() {
+        let pool: LeasePool<u32> = LeasePool::new();
+        let (guard, active) = pool.track();
+        assert_eq!(active, 1);
+        let (lease, info) = pool.lease(|| 7);
+        assert_eq!(info.active, 2, "tracked use overlaps the lease");
+        drop(lease);
+        drop(guard);
+        assert_eq!(pool.peak(), 2);
+        assert_eq!(pool.created(), 1);
+    }
+
+    #[test]
+    fn lease_survives_panic_and_returns_resource() {
+        let pool: LeasePool<u32> = LeasePool::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let (_lease, _) = pool.lease(|| 9);
+            panic!("mid-run failure");
+        }));
+        assert!(caught.is_err());
+        // The resource came back and no use is stuck active.
+        let (x, info) = pool.lease(|| 10);
+        assert!(!info.created, "panicked lease's resource is reused");
+        assert_eq!(*x, 9);
+        assert_eq!(info.active, 1, "no leaked active count after a panic");
+    }
+
+    #[test]
     fn concurrent_leases_get_distinct_pools() {
+        use std::sync::atomic::AtomicU64;
         let set = PoolSet::new(1);
         let a = set.lease();
         let b = set.lease();

@@ -1,12 +1,15 @@
 //! The runtime service: cached, policy-adaptive front doors.
 
 use crate::cache::{CacheStats, PlanCache};
-use crate::pools::PoolSet;
+use crate::pools::{LeasePool, PoolSet};
 use crate::selector::{arm_index, AdaptiveState, PolicySelector, ARMS};
 use crate::Result;
-use rtpl_executor::{ExecReport, LoopBody, PlannedLoop, WorkerPool};
+use rtpl_executor::{ExecReport, LoopBody, LoopScratch, PlannedLoop, WorkerPool};
 use rtpl_inspector::{DepGraph, Partition, Schedule, Wavefronts};
-use rtpl_krylov::{ExecutorKind, Precondition, SolveScratch, Sorting, TriangularSolvePlan};
+use rtpl_krylov::{
+    CompiledSolveScratch, CompiledTriSolve, ExecutorKind, Precondition, Sorting,
+    TriangularSolvePlan,
+};
 use rtpl_sim::{calibrate, CostModel};
 use rtpl_sparse::ilu::IluFactors;
 use rtpl_sparse::{Csr, PatternFingerprint};
@@ -60,6 +63,15 @@ pub struct RuntimeStats {
     pub pools_created: u64,
     /// Runs executed per policy, indexed as [`ARMS`].
     pub policy_runs: [u64; 5],
+    /// Executor scratches ever built across all cached entries — grows
+    /// only when requests for one pattern overlap (each entry reuses a
+    /// free-listed scratch otherwise).
+    pub scratches_created: u64,
+    /// Highest number of simultaneously in-flight requests observed on
+    /// any **single** cached pattern. Under the old per-entry mutex this
+    /// could never exceed 1; ≥ 2 proves same-pattern requests run
+    /// concurrently.
+    pub peak_same_pattern: u64,
 }
 
 impl RuntimeStats {
@@ -85,6 +97,9 @@ pub struct SolveOutcome {
     pub cached: bool,
     /// The structure key the request was served under.
     pub pattern: PatternFingerprint,
+    /// Requests in flight on this pattern when this one started,
+    /// including itself (≥ 2 ⇔ same-pattern requests overlapped).
+    pub concurrent: u64,
     /// Forward and backward sweep reports.
     pub reports: (ExecReport, ExecReport),
 }
@@ -98,31 +113,32 @@ pub struct RunOutcome {
     pub cached: bool,
     /// The structure key the request was served under.
     pub pattern: PatternFingerprint,
+    /// Requests in flight on this pattern when this one started,
+    /// including itself (≥ 2 ⇔ same-pattern requests overlapped).
+    pub concurrent: u64,
     /// Execution report.
     pub report: ExecReport,
 }
 
-struct SolveInner {
-    plan: TriangularSolvePlan,
-    adaptive: AdaptiveState,
-    scratch: SolveScratch,
-}
-
-/// Cached state for one factor structure. The mutex serializes runs — a
-/// plan owns shared executor buffers, so one pattern executes one request
-/// at a time (different patterns are independent).
+/// Cached state for one factor structure: the immutable compiled plan
+/// (shared by every in-flight request) plus a lease pool of per-run
+/// scratches. N threads hitting the same fingerprint run N solves in
+/// parallel — the expensive part (schedules, compiled layouts, barrier
+/// plans) exists once, the cheap part (epoch-stamped buffers, gathered
+/// values) is replicated on demand and recycled. Only the adaptive
+/// explore/exploit bookkeeping sits behind a (briefly held) mutex.
 pub struct SolveEntry {
-    inner: Mutex<SolveInner>,
+    compiled: CompiledTriSolve,
+    adaptive: Mutex<AdaptiveState>,
+    scratches: LeasePool<CompiledSolveScratch>,
 }
 
-struct LoopInner {
-    plan: PlannedLoop,
-    adaptive: AdaptiveState,
-}
-
-/// Cached state for one generic loop structure.
+/// Cached state for one generic loop structure, split exactly like
+/// [`SolveEntry`]: one shared [`PlannedLoop`], leased [`LoopScratch`]es.
 pub struct LoopEntry {
-    inner: Mutex<LoopInner>,
+    plan: PlannedLoop,
+    adaptive: Mutex<AdaptiveState>,
+    scratches: LeasePool<LoopScratch>,
 }
 
 /// The multi-client solver service: concurrent plan caches in front of the
@@ -135,6 +151,8 @@ pub struct Runtime {
     solves: PlanCache<SolveEntry>,
     loops: PlanCache<LoopEntry>,
     policy_runs: [AtomicU64; 5],
+    scratches_created: AtomicU64,
+    peak_same_pattern: AtomicU64,
 }
 
 impl Runtime {
@@ -159,8 +177,19 @@ impl Runtime {
             solves: PlanCache::new(cfg.shards, cfg.capacity),
             loops: PlanCache::new(cfg.shards, cfg.capacity),
             policy_runs: [const { AtomicU64::new(0) }; 5],
+            scratches_created: AtomicU64::new(0),
+            peak_same_pattern: AtomicU64::new(0),
             cfg,
         }
+    }
+
+    /// Folds one scratch-lease observation into the runtime counters.
+    fn note_lease(&self, info: crate::pools::LeaseInfo) {
+        if info.created {
+            self.scratches_created.fetch_add(1, Ordering::Relaxed);
+        }
+        self.peak_same_pattern
+            .fetch_max(info.active, Ordering::Relaxed);
     }
 
     /// The configuration in use.
@@ -201,33 +230,43 @@ impl Runtime {
             for k in 0..ARMS.len() {
                 prior[k] = pl[k] + pu[k];
             }
-            let n = plan.n();
             Ok(SolveEntry {
-                inner: Mutex::new(SolveInner {
-                    plan,
-                    adaptive: AdaptiveState::new(prior),
-                    scratch: SolveScratch::new(n),
-                }),
+                compiled: plan.compile()?,
+                adaptive: Mutex::new(AdaptiveState::new(prior)),
+                scratches: LeasePool::new(),
             })
         })?;
         let entry = slot.get();
-        let mut guard = entry.inner.lock().unwrap_or_else(|e| e.into_inner());
-        let inner = &mut *guard;
-        let kind = self.cfg.policy.unwrap_or_else(|| inner.adaptive.choose());
+        let kind = self.cfg.policy.unwrap_or_else(|| {
+            entry
+                .adaptive
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .choose()
+        });
+        let (mut scratch, info) = entry.scratches.lease(|| entry.compiled.scratch());
+        self.note_lease(info);
         // Sequential runs fork no team — don't lease (or ever spawn) one.
         let lease = kind.policy().map(|_| self.pools.lease());
+        // The scratch lease is RAII: an error (or panic) returns it and
+        // keeps the overlap counters honest.
         let (fwd, bwd) =
-            inner
-                .plan
-                .solve_with(lease.as_deref(), kind, factors, b, x, &mut inner.scratch)?;
+            entry
+                .compiled
+                .solve(lease.as_deref(), kind, factors, b, x, &mut scratch)?;
+        drop(scratch);
         let wall_ns = (fwd.wall + bwd.wall).as_nanos() as f64;
-        inner.adaptive.observe(kind, wall_ns);
-        drop(guard);
+        entry
+            .adaptive
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .observe(kind, wall_ns);
         self.policy_runs[arm_index(kind)].fetch_add(1, Ordering::Relaxed);
         Ok(SolveOutcome {
             policy: kind,
             cached: !built,
             pattern: key,
+            concurrent: info.active,
             reports: (fwd, bwd),
         })
     }
@@ -258,31 +297,48 @@ impl Runtime {
             let plan = PlannedLoop::new(g, schedule)?;
             let prior = self.selector.predict(&plan);
             Ok(LoopEntry {
-                inner: Mutex::new(LoopInner {
-                    plan,
-                    adaptive: AdaptiveState::new(prior),
-                }),
+                plan,
+                adaptive: Mutex::new(AdaptiveState::new(prior)),
+                scratches: LeasePool::new(),
             })
         })?;
         let entry = slot.get();
-        let mut guard = entry.inner.lock().unwrap_or_else(|e| e.into_inner());
-        let inner = &mut *guard;
-        let kind = self.cfg.policy.unwrap_or_else(|| inner.adaptive.choose());
-        let report = match kind.policy() {
-            None => inner.plan.run_sequential(body, out),
+        let kind = self.cfg.policy.unwrap_or_else(|| {
+            entry
+                .adaptive
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .choose()
+        });
+        let (report, concurrent) = match kind.policy() {
+            // The sequential reference writes straight to `out` — no
+            // scratch needed, but the in-flight use is still counted so
+            // `concurrent`/`peak_same_pattern` see every request.
+            None => {
+                let (_guard, active) = entry.scratches.track();
+                self.peak_same_pattern.fetch_max(active, Ordering::Relaxed);
+                (entry.plan.run_sequential(body, out), active)
+            }
             Some(policy) => {
+                let (scratch, info) = entry.scratches.lease(|| entry.plan.scratch());
+                self.note_lease(info);
                 let pool = self.pools.lease();
-                inner.plan.run(&pool, policy, body, out)
+                let report = entry.plan.run_in(&scratch, &pool, policy, body, out);
+                (report, info.active)
             }
         };
         let wall_ns = report.wall.as_nanos() as f64;
-        inner.adaptive.observe(kind, wall_ns);
-        drop(guard);
+        entry
+            .adaptive
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .observe(kind, wall_ns);
         self.policy_runs[arm_index(kind)].fetch_add(1, Ordering::Relaxed);
         Ok(RunOutcome {
             policy: kind,
             cached: !built,
             pattern: key,
+            concurrent,
             report,
         })
     }
@@ -307,6 +363,8 @@ impl Runtime {
             loops: self.loops.stats(),
             pools_created: self.pools.created(),
             policy_runs,
+            scratches_created: self.scratches_created.load(Ordering::Relaxed),
+            peak_same_pattern: self.peak_same_pattern.load(Ordering::Relaxed),
         }
     }
 }
@@ -493,6 +551,21 @@ mod tests {
             stats.solves.hits,
             s.iterations
         );
+    }
+
+    #[test]
+    fn sequential_requests_reuse_one_scratch() {
+        let rt = Runtime::new(test_cfg());
+        let f = ilu0(&laplacian_5pt(7, 7)).unwrap();
+        let b = vec![1.0; f.n()];
+        let mut x = vec![0.0; f.n()];
+        for _ in 0..6 {
+            let out = rt.solve(&f, &b, &mut x).unwrap();
+            assert_eq!(out.concurrent, 1, "no overlap in a single-threaded loop");
+        }
+        let s = rt.stats();
+        assert_eq!(s.scratches_created, 1, "free list reuses the one scratch");
+        assert_eq!(s.peak_same_pattern, 1);
     }
 
     #[test]

@@ -1,0 +1,186 @@
+//! Acceptance tests for the compiled execution layout (PR 3 tentpole):
+//! bit-exactness of `CompiledTriSolve` against both the uncompiled
+//! `PlannedLoop`-based path and the sequential reference, over random DAGs
+//! × every `ExecPolicy` arm × 1/2/4 processors.
+
+use rtpl::executor::WorkerPool;
+use rtpl::krylov::{CompiledTriSolve, ExecutorKind, SolveScratch, Sorting, TriangularSolvePlan};
+use rtpl::sparse::gen::random_lower;
+use rtpl::sparse::ilu::IluFactors;
+use rtpl::sparse::Csr;
+
+/// Solvable factors from a synthetic unit-lower-triangular dependency
+/// matrix: `L` is its strict lower triangle, `U` its transpose's upper
+/// triangle — structurally distinct sweeps, no factorization needed.
+fn factors_from_pattern(m: &Csr) -> IluFactors {
+    IluFactors {
+        l: m.strict_lower(),
+        u: m.transpose().upper(),
+    }
+}
+
+fn compiled_for(factors: &IluFactors, nprocs: usize, sorting: Sorting) -> CompiledTriSolve {
+    TriangularSolvePlan::new(factors, nprocs, ExecutorKind::SelfExecuting, sorting)
+        .unwrap()
+        .compile()
+        .unwrap()
+}
+
+const ALL_KINDS: [ExecutorKind; 5] = [
+    ExecutorKind::Sequential,
+    ExecutorKind::Doacross,
+    ExecutorKind::PreScheduled,
+    ExecutorKind::PreScheduledElided,
+    ExecutorKind::SelfExecuting,
+];
+
+/// The headline sweep: random DAGs × all four parallel policy arms (plus
+/// the sequential kind) × 1/2/4 procs × all three sorting disciplines,
+/// compiled vs `PlannedLoop` fallback vs sequential reference — all three
+/// paths must agree **bit-exactly**.
+#[test]
+fn compiled_matches_fallback_and_reference_over_random_dags() {
+    for (seed, n, deg) in [(101u64, 160usize, 4usize), (202, 240, 6), (303, 96, 3)] {
+        let factors = factors_from_pattern(&random_lower(n, deg, seed));
+        let n = factors.n();
+        let b: Vec<f64> = (0..n)
+            .map(|i| 1.0 + ((i * 29 + seed as usize) % 97) as f64 * 0.021)
+            .collect();
+        // Sequential reference from the uncompiled path.
+        let reference = {
+            let plan =
+                TriangularSolvePlan::new(&factors, 1, ExecutorKind::Sequential, Sorting::Global)
+                    .unwrap();
+            let mut x = vec![0.0; n];
+            let mut scratch = SolveScratch::new(n);
+            plan.solve_with(
+                None,
+                ExecutorKind::Sequential,
+                &factors,
+                &b,
+                &mut x,
+                &mut scratch,
+            )
+            .unwrap();
+            x
+        };
+        for sorting in [
+            Sorting::Global,
+            Sorting::LocalStriped,
+            Sorting::LocalContiguous,
+        ] {
+            for nprocs in [1usize, 2, 4] {
+                let plan =
+                    TriangularSolvePlan::new(&factors, nprocs, ExecutorKind::Sequential, sorting)
+                        .unwrap();
+                let compiled = compiled_for(&factors, nprocs, sorting);
+                let pool = WorkerPool::new(nprocs);
+                let mut c_scratch = compiled.scratch();
+                let mut f_scratch = SolveScratch::new(n);
+                for kind in ALL_KINDS {
+                    let mut x_c = vec![0.0; n];
+                    compiled
+                        .solve(Some(&pool), kind, &factors, &b, &mut x_c, &mut c_scratch)
+                        .unwrap();
+                    assert_eq!(
+                        x_c, reference,
+                        "seed {seed} {sorting:?}/{nprocs}/{kind:?}: compiled deviates"
+                    );
+                    let mut x_f = vec![0.0; n];
+                    plan.solve_with(Some(&pool), kind, &factors, &b, &mut x_f, &mut f_scratch)
+                        .unwrap();
+                    assert_eq!(
+                        x_f, reference,
+                        "seed {seed} {sorting:?}/{nprocs}/{kind:?}: fallback deviates"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The compiled plan is a function of structure only: refreshed numeric
+/// values on an unchanged pattern flow through the per-call gather.
+#[test]
+fn compiled_value_refresh_is_bit_exact_with_fallback() {
+    let base = random_lower(180, 5, 7);
+    let factors = factors_from_pattern(&base);
+    let n = factors.n();
+    let compiled = compiled_for(&factors, 2, Sorting::Global);
+    let pool = WorkerPool::new(2);
+    let mut c_scratch = compiled.scratch();
+    // Same structure, new values.
+    let mut l2 = factors.l.clone();
+    for (k, v) in l2.data_mut().iter_mut().enumerate() {
+        *v += 0.01 * (k % 11) as f64;
+    }
+    let mut u2 = factors.u.clone();
+    for (k, v) in u2.data_mut().iter_mut().enumerate() {
+        *v *= 1.0 + 0.005 * (k % 7) as f64;
+    }
+    let f2 = IluFactors { l: l2, u: u2 };
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos()).collect();
+    let plan =
+        TriangularSolvePlan::new(&factors, 2, ExecutorKind::Sequential, Sorting::Global).unwrap();
+    let mut f_scratch = SolveScratch::new(n);
+    let mut expect = vec![0.0; n];
+    plan.solve_with(
+        None,
+        ExecutorKind::Sequential,
+        &f2,
+        &b,
+        &mut expect,
+        &mut f_scratch,
+    )
+    .unwrap();
+    for kind in ALL_KINDS {
+        let mut x = vec![0.0; n];
+        compiled
+            .solve(Some(&pool), kind, &f2, &b, &mut x, &mut c_scratch)
+            .unwrap();
+        assert_eq!(x, expect, "{kind:?}: refreshed values deviate");
+    }
+}
+
+/// Many threads share one compiled plan (`Arc`), each with its own
+/// scratch — results stay bit-exact under genuine concurrency.
+#[test]
+fn shared_compiled_plan_with_independent_scratches_is_bit_exact() {
+    use std::sync::Arc;
+    let factors = factors_from_pattern(&random_lower(200, 5, 99));
+    let n = factors.n();
+    let compiled = Arc::new(compiled_for(&factors, 2, Sorting::Global));
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 17) as f64 * 0.05).collect();
+    let mut reference = vec![0.0; n];
+    compiled
+        .solve(
+            None,
+            ExecutorKind::Sequential,
+            &factors,
+            &b,
+            &mut reference,
+            &mut compiled.scratch(),
+        )
+        .unwrap();
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let compiled = Arc::clone(&compiled);
+            let factors = &factors;
+            let b = &b;
+            let reference = &reference;
+            scope.spawn(move || {
+                let pool = WorkerPool::new(2);
+                let mut scratch = compiled.scratch();
+                let kind = ALL_KINDS[t % ALL_KINDS.len()];
+                let pool_opt = Some(&pool);
+                for _ in 0..8 {
+                    let mut x = vec![0.0; compiled.n()];
+                    compiled
+                        .solve(pool_opt, kind, factors, b, &mut x, &mut scratch)
+                        .unwrap();
+                    assert_eq!(&x, reference, "thread {t} ({kind:?}) deviates");
+                }
+            });
+        }
+    });
+}

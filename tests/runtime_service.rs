@@ -114,6 +114,78 @@ fn concurrent_zipf_mix_is_bit_exact_cached_and_built_once() {
     assert!(stats.pools_created <= THREADS as u64);
 }
 
+/// Same-pattern requests no longer serialize (PR 3): a cached entry holds
+/// one immutable compiled plan and leases per-run scratches, so two
+/// threads solving the same fingerprint overlap. The assertion is
+/// **lease-counter based, not timing based**: `SolveOutcome::concurrent`
+/// (and `RuntimeStats::peak_same_pattern`) report how many requests were
+/// in flight on the entry when a solve started — under the old per-entry
+/// mutex that could never exceed 1. Results stay bit-exact throughout.
+#[test]
+fn same_pattern_requests_overlap_and_stay_bit_exact() {
+    const THREADS: usize = 4;
+    const PER_ROUND: usize = 24;
+    const MAX_ROUNDS: usize = 50;
+
+    // One big pattern so each solve is long enough for the scheduler to
+    // interleave threads even on a single hardware core.
+    let patterns = pattern_set(1, 90, 4);
+    let f = factors_from_pattern(&patterns[0]);
+    let n = f.n();
+    let rt = Runtime::new(RuntimeConfig {
+        nprocs: 1,
+        calibrate: false,
+        policy: Some(ExecutorKind::Sequential),
+        ..RuntimeConfig::default()
+    });
+    let b = rhs(n, 5);
+    let mut reference = vec![0.0; n];
+    rt.solve(&f, &b, &mut reference).unwrap();
+
+    let mut peak = 0u64;
+    for _ in 0..MAX_ROUNDS {
+        let round_peak = AtomicU64::new(0);
+        let start = std::sync::Barrier::new(THREADS);
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let rt = &rt;
+                let f = &f;
+                let b = &b;
+                let reference = &reference;
+                let start = &start;
+                let round_peak = &round_peak;
+                scope.spawn(move || {
+                    let mut x = vec![0.0; n];
+                    start.wait();
+                    for _ in 0..PER_ROUND {
+                        let out = rt.solve(f, b, &mut x).unwrap();
+                        assert_eq!(&x, reference, "concurrent solve deviates");
+                        round_peak.fetch_max(out.concurrent, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        peak = peak.max(round_peak.load(Ordering::Relaxed));
+        if peak >= 2 {
+            break;
+        }
+    }
+    assert!(
+        peak >= 2,
+        "no overlap observed on the hot pattern: with leasable scratches \
+         two of {THREADS} threads x {PER_ROUND} solves x {MAX_ROUNDS} rounds \
+         must overlap at least once (peak = {peak})"
+    );
+    let stats = rt.stats();
+    assert!(stats.peak_same_pattern >= 2);
+    assert!(
+        stats.scratches_created >= 2,
+        "overlap must have forced a second scratch (created = {})",
+        stats.scratches_created
+    );
+    assert_eq!(stats.solves.builds, 1, "still exactly one plan build");
+}
+
 /// The adaptive selector settles: after a steady stream on one pattern,
 /// the dominant policy accounts for the overwhelming majority of runs
 /// (exploration is bounded to at most one run per candidate arm).
