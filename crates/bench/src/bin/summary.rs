@@ -12,12 +12,13 @@
 use rtpl::executor::WorkerPool;
 use rtpl::inspector::{DepGraph, Partition, Schedule, Wavefronts};
 use rtpl::krylov::{CompiledTriSolve, ExecutorKind, Sorting, TriangularSolvePlan};
-use rtpl::runtime::{Runtime, RuntimeConfig};
+use rtpl::runtime::{Job, LoopSpec, Runtime, RuntimeConfig};
 use rtpl::sim::{self, CostModel};
 use rtpl::sparse::gen::laplacian_5pt;
 use rtpl::sparse::ilu::IluFactors;
 use rtpl::sparse::{ilu0, Csr};
-use rtpl::workload::{pattern_set, SyntheticSpec, ZipfMix};
+use rtpl::workload::{pattern_set, RequestKind, SyntheticSpec, ZipfMix};
+use rtpl::DoConsider;
 use std::time::Instant;
 
 fn main() {
@@ -385,9 +386,11 @@ fn runtime_bench() -> String {
         zs.dominant_policy()
     );
 
+    let batch = batch_bench(c);
+
     // Hand-rolled JSON (no external dependencies in this workspace). The
-    // pre-PR-3 keys are all retained; "sweep" and the zipf wall/throughput
-    // / concurrency fields are additive.
+    // pre-PR-3 keys are all retained; "sweep", the zipf wall/throughput
+    // / concurrency fields, and "batch" are additive.
     let mut j = String::from("{\n");
     j.push_str("  \"bench\": \"runtime\",\n");
     j.push_str(&format!(
@@ -412,6 +415,7 @@ fn runtime_bench() -> String {
     }
     j.push_str("  ],\n");
     j.push_str(&sweep);
+    j.push_str(&batch);
     j.push_str(&format!(
         "  \"zipf_replay\": {{\"threads\": {}, \"patterns\": {}, \"requests\": {}, \"wall_ns\": {}, \"requests_per_sec\": {:.1}, \"hit_rate\": {:.4}, \"builds\": {}, \"evictions\": {}, \"peak_same_pattern\": {}, \"scratches_created\": {}, \"dominant_policy\": \"{:?}\", \"pools_created\": {}}}\n",
         THREADS,
@@ -430,4 +434,186 @@ fn runtime_bench() -> String {
     j.push('}');
     j.push('\n');
     j
+}
+
+/// The PR-5 batched-pipeline benchmark: the same Zipf-mixed solve+loop
+/// request stream served one-at-a-time (`Runtime::solve` /
+/// `Runtime::run_linear` per request) vs. through `Runtime::submit_batch`
+/// at nprocs = 2. Every job of every measured repetition is checked
+/// **bit-exact** against the forced-sequential reference (the process
+/// aborts on any mismatch). Returns the `"batch"` JSON section.
+fn batch_bench(c: CostModel) -> String {
+    const SOLVE_PATTERNS: usize = 12;
+    const LOOP_PATTERNS: usize = 6;
+    const REQUESTS: usize = 256;
+    const LOOP_SHARE: f64 = 0.25;
+    const REPS: usize = 7;
+
+    let cfg = RuntimeConfig {
+        nprocs: 2,
+        calibrate: false,
+        ..RuntimeConfig::default()
+    };
+    let factors: Vec<IluFactors> = pattern_set(SOLVE_PATTERNS, 20, 31)
+        .iter()
+        .map(factors_from_lower)
+        .collect();
+    let lowers: Vec<Csr> = pattern_set(LOOP_PATTERNS, 18, 55)
+        .iter()
+        .map(|m| m.strict_lower())
+        .collect();
+    let specs: Vec<LoopSpec> = lowers
+        .iter()
+        .map(|l| {
+            DoConsider::from_lower_triangular(l)
+                .expect("inspect")
+                .into_spec()
+        })
+        .collect();
+    let ns = factors[0].n();
+    let nl = lowers[0].nrows();
+
+    let mix = ZipfMix::new(SOLVE_PATTERNS.max(LOOP_PATTERNS), 1.1);
+    let stream: Vec<(RequestKind, usize)> = mix
+        .mixed_stream(REQUESTS, LOOP_SHARE, 17)
+        .into_iter()
+        .map(|r| match r.kind {
+            RequestKind::Solve => (r.kind, r.rank % SOLVE_PATTERNS),
+            RequestKind::Loop => (r.kind, r.rank % LOOP_PATTERNS),
+        })
+        .collect();
+    let bs: Vec<Vec<f64>> = stream
+        .iter()
+        .enumerate()
+        .map(|(i, &(kind, _))| {
+            let n = if kind == RequestKind::Solve { ns } else { nl };
+            (0..n)
+                .map(|k| 1.0 + ((k * 7 + i) % 89) as f64 * 0.011)
+                .collect()
+        })
+        .collect();
+
+    // Bit-exact per-job references from a forced-sequential runtime.
+    let rt_ref = Runtime::with_cost_model(
+        RuntimeConfig {
+            policy: Some(ExecutorKind::Sequential),
+            ..cfg
+        },
+        c,
+    );
+    let expected: Vec<Vec<f64>> = stream
+        .iter()
+        .enumerate()
+        .map(|(i, &(kind, rank))| match kind {
+            RequestKind::Solve => {
+                let mut x = vec![0.0; ns];
+                rt_ref
+                    .solve(&factors[rank], &bs[i], &mut x)
+                    .expect("ref solve");
+                x
+            }
+            RequestKind::Loop => {
+                let mut out = vec![0.0; nl];
+                rt_ref
+                    .run_linear(&specs[rank], lowers[rank].data(), &bs[i], &mut out)
+                    .expect("ref loop");
+                out
+            }
+        })
+        .collect();
+    let check = |outs: &[Vec<f64>], path: &str| {
+        for (i, (out, expect)) in outs.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                out, expect,
+                "BIT-EXACTNESS MISMATCH: batch bench {path} job {i}"
+            );
+        }
+    };
+
+    // One-at-a-time: every request pays lookup, lease, selector, gather.
+    let rt_seq = Runtime::with_cost_model(cfg, c);
+    let mut outs: Vec<Vec<f64>> = expected.iter().map(|e| vec![0.0; e.len()]).collect();
+    let replay_one_at_a_time = |outs: &mut [Vec<f64>]| {
+        for (i, &(kind, rank)) in stream.iter().enumerate() {
+            match kind {
+                RequestKind::Solve => {
+                    rt_seq
+                        .solve(&factors[rank], &bs[i], &mut outs[i])
+                        .expect("solve");
+                }
+                RequestKind::Loop => {
+                    rt_seq
+                        .run_linear(&specs[rank], lowers[rank].data(), &bs[i], &mut outs[i])
+                        .expect("loop");
+                }
+            }
+        }
+    };
+    // Warm the cache and settle the selector, then take the best of REPS.
+    for _ in 0..3 {
+        replay_one_at_a_time(&mut outs);
+    }
+    let mut seq_ns = u128::MAX;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        replay_one_at_a_time(&mut outs);
+        seq_ns = seq_ns.min(t.elapsed().as_nanos());
+        check(&outs, "one-at-a-time");
+    }
+
+    // Batched: grouped by fingerprint, leases/selector/gathers amortized.
+    let rt_batch = Runtime::with_cost_model(cfg, c);
+    // groups/workers from the steady state; cold groups from the very
+    // first submission (later repetitions are fully warm by design).
+    let mut outcome_stats = (0usize, 0usize, 0usize);
+    let mut batch_ns = u128::MAX;
+    for rep in 0..3 + REPS {
+        let mut bouts: Vec<Vec<f64>> = expected.iter().map(|e| vec![0.0; e.len()]).collect();
+        let jobs: Vec<Job> = stream
+            .iter()
+            .enumerate()
+            .zip(bouts.iter_mut())
+            .map(|((i, &(kind, rank)), out)| match kind {
+                RequestKind::Solve => Job::solve(&factors[rank], &bs[i], out),
+                RequestKind::Loop => Job::linear(&specs[rank], lowers[rank].data(), &bs[i], out),
+            })
+            .collect();
+        let outcome = rt_batch.submit_batch(jobs);
+        assert_eq!(outcome.ok_count(), REQUESTS, "batch job failed");
+        if rep >= 3 {
+            batch_ns = batch_ns.min(outcome.wall.as_nanos());
+            check(&bouts, "batched");
+        }
+        let first_cold = if rep == 0 {
+            outcome.cold_groups
+        } else {
+            outcome_stats.1
+        };
+        outcome_stats = (outcome.groups, first_cold, outcome.workers);
+    }
+
+    let seq_rps = REQUESTS as f64 / (seq_ns as f64 / 1e9);
+    let batch_rps = REQUESTS as f64 / (batch_ns as f64 / 1e9);
+    let speedup = batch_rps / seq_rps;
+    println!(
+        "\nbatched pipeline ({REQUESTS} requests, {:.0}% loops, nprocs {}): \
+         one-at-a-time {:.0} req/s, submit_batch {:.0} req/s  [{}] {speedup:.2}x \
+         ({} groups, {} cold, {} workers, bit-exact checked)",
+        LOOP_SHARE * 100.0,
+        cfg.nprocs,
+        seq_rps,
+        batch_rps,
+        ok(speedup > 1.0),
+        outcome_stats.0,
+        outcome_stats.1,
+        outcome_stats.2,
+    );
+
+    format!(
+        "  \"batch\": {{\"requests\": {REQUESTS}, \"loop_share\": {LOOP_SHARE}, \
+         \"solve_patterns\": {SOLVE_PATTERNS}, \"loop_patterns\": {LOOP_PATTERNS}, \
+         \"nprocs\": {}, \"sequential_rps\": {seq_rps:.1}, \"batched_rps\": {batch_rps:.1}, \
+         \"speedup\": {speedup:.3}, \"groups\": {}, \"cold_groups\": {}, \"workers\": {}, \"bit_exact\": true}},\n",
+        cfg.nprocs, outcome_stats.0, outcome_stats.1, outcome_stats.2,
+    )
 }

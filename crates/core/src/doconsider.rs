@@ -108,6 +108,20 @@ impl DoConsider {
         let schedule = strategy.build_schedule(&self.wavefronts, self.graph.n(), nprocs)?;
         PlannedLoop::new(self.graph, schedule)
     }
+
+    /// Emits the **cacheable** analysis product for the runtime service
+    /// instead of scheduling inline: a [`rtpl_runtime::LoopSpec`] carrying
+    /// the dependence structure and its stable fingerprint. Hand it to
+    /// [`rtpl_runtime::Runtime::run_spec`] / [`rtpl_runtime::Runtime::run_linear`]
+    /// (or wrap it in a [`rtpl_runtime::Job`] for a batch): the runtime
+    /// schedules the structure **once**, picks the executor discipline
+    /// adaptively, and serves every later request for the same structure —
+    /// from any thread — out of its plan cache. This is how the automated
+    /// `doconsider` transformation path amortizes inspection *across
+    /// requests*, not just across runs of one plan object.
+    pub fn into_spec(self) -> rtpl_runtime::LoopSpec {
+        rtpl_runtime::LoopSpec::new(self.graph)
+    }
 }
 
 /// The companion **`dodynamic`** construct (the paper's reference [11]) for
@@ -215,6 +229,43 @@ mod tests {
             let operand = if t >= i { self.xold[t] } else { src.get(t) };
             self.xold[i] + self.b[i] * operand
         }
+    }
+
+    #[test]
+    fn into_spec_routes_the_doconsider_path_through_the_runtime_cache() {
+        use rtpl_runtime::{Runtime, RuntimeConfig};
+        let ia = vec![9usize, 0, 1, 0, 3, 2, 5, 4, 7, 6];
+        let b = vec![0.25; 10];
+        let xold: Vec<f64> = (0..10).map(|i| i as f64 + 1.0).collect();
+        let body = Figure2 {
+            ia: &ia,
+            b: &b,
+            xold: &xold,
+        };
+        // Direct execution of the scheduled plan: the bit-exact reference.
+        let plan = DoConsider::from_index_array(&ia)
+            .unwrap()
+            .schedule(Scheduling::Global, 2)
+            .unwrap();
+        let pool = WorkerPool::new(2);
+        let mut direct = vec![0.0; 10];
+        plan.run(&pool, ExecPolicy::SelfExecuting, &body, &mut direct);
+        // Same analysis, emitted as a cacheable spec and served twice.
+        let rt = Runtime::new(RuntimeConfig {
+            nprocs: 2,
+            calibrate: false,
+            ..RuntimeConfig::default()
+        });
+        let spec = DoConsider::from_index_array(&ia).unwrap().into_spec();
+        let mut out = vec![0.0; 10];
+        let cold = rt.run_spec(&spec, &body, &mut out).unwrap();
+        assert!(!cold.cached);
+        assert_eq!(out, direct);
+        let mut out2 = vec![0.0; 10];
+        let warm = rt.run_spec(&spec, &body, &mut out2).unwrap();
+        assert!(warm.cached, "second submission must hit the cache");
+        assert_eq!(out2, direct);
+        assert_eq!(rt.stats().loops.builds, 1, "one schedule per structure");
     }
 
     #[test]

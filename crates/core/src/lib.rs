@@ -104,10 +104,14 @@
 //! ```
 //!
 //! The [`runtime`] service builds exactly this flow behind a concurrent,
-//! structure-keyed plan cache: `Runtime::solve` compiles a pattern on
-//! first sight and thereafter serves **any number of threads in
-//! parallel** — same pattern or different — by sharing the compiled plan
-//! and leasing per-run scratches.
+//! structure-keyed plan cache with a unified **`Job` front door**:
+//! `Runtime::submit`/`submit_batch` accept triangular solves and
+//! `DoConsider`-derived loop jobs ([`DoConsider::into_spec`] emits the
+//! cacheable analysis product), compile a pattern on first sight, and
+//! thereafter serve **any number of threads in parallel** — same pattern
+//! or different — by sharing the compiled plan and leasing per-run
+//! scratches. Batches are scheduled *across* requests: same-fingerprint
+//! jobs share one plan, one pool lease, and one policy decision.
 //!
 //! ## Crate map
 //!
@@ -117,7 +121,7 @@
 //! | [`executor`] | worker pool, barrier, the four executors, compiled layouts |
 //! | [`sparse`] | CSR matrices, ILU factorization, generators |
 //! | [`krylov`] | PCGPAK substitute: CG/GMRES + parallel kernels, compiled triangular solves |
-//! | [`runtime`] | solver service: concurrent plan cache + adaptive policy + scratch leasing |
+//! | [`runtime`] | solver service: `Job` front door (single + batched), plan cache, adaptive policy |
 //! | [`sim`] | multiprocessor performance model (event + closed form) |
 //! | [`workload`] | the paper's test problems and synthetic generator |
 

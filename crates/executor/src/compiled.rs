@@ -144,6 +144,36 @@ impl CompiledSpec {
         self.recip_src = Some(srcs);
     }
 
+    /// The canonical linear-recurrence spec over a dependence graph:
+    ///
+    /// ```text
+    /// x(i) = rhs(i) − Σ_k data[src(i,k)] · x(dep(i,k))
+    /// ```
+    ///
+    /// with value sources numbered in graph adjacency order, so the
+    /// caller's value array is one coefficient per dependence edge
+    /// (`nvals == graph.num_edges()`). This is exactly the operand
+    /// structure a `DoConsider` inspection yields for index-array loops
+    /// with per-edge coefficients — an analysis product feeds the
+    /// compiled executor directly, no hand-built spec required.
+    pub fn linear_from_graph(graph: &rtpl_inspector::DepGraph) -> Self {
+        let n = graph.n();
+        let mut spec = CompiledSpec::new(n, graph.num_edges());
+        let mut src = 0u32;
+        for i in 0..n {
+            spec.push_row(
+                i as u32,
+                i as u32,
+                graph.deps(i).iter().map(|&d| {
+                    let s = src;
+                    src += 1;
+                    (d, s)
+                }),
+            );
+        }
+        spec
+    }
+
     /// Rows pushed so far.
     pub fn rows(&self) -> usize {
         self.rhs.len()
@@ -809,6 +839,36 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn linear_from_graph_matches_planned_loop() {
+        // The spec a DoConsider analysis would hand over: coefficients in
+        // adjacency order, one per dependence edge.
+        let l = random_lower(120, 4, 7).strict_lower();
+        let n = l.nrows();
+        let g = DepGraph::from_lower_triangular(&l).unwrap();
+        let spec = CompiledSpec::linear_from_graph(&g);
+        assert_eq!(spec.rows(), n);
+        // Adjacency coefficients: the matrix's own values (its column
+        // lists are exactly the dependence lists).
+        let plan = plan_for(&l, 2);
+        let compiled = CompiledPlan::compile(&plan, &spec).unwrap();
+        assert_eq!(compiled.expected_values(), g.num_edges());
+        let mut scratch = compiled.scratch();
+        compiled.load_values(&mut scratch, l.data()).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.23).sin()).collect();
+        let mut reference = vec![0.0; n];
+        plan.run_sequential(&Solve { l: &l, b: &b }, &mut reference);
+        let mut seq = vec![0.0; n];
+        compiled.run_sequential(&mut scratch, &b, &mut seq);
+        assert_eq!(seq, reference);
+        let pool = WorkerPool::new(2);
+        for policy in ExecPolicy::ALL {
+            let mut out = vec![0.0; n];
+            compiled.run(&pool, policy, &mut scratch, &b, &mut out);
+            assert_eq!(out, reference, "{policy:?}");
+        }
     }
 
     #[test]

@@ -186,6 +186,20 @@ impl DepGraph {
     pub fn critical_path_len(&self) -> Result<usize> {
         Ok(crate::Wavefronts::compute(self)?.num_wavefronts())
     }
+
+    /// Stable structural hash of the dependence structure — the same
+    /// 128-bit [`PatternFingerprint`] a CSR pattern carries, computed over
+    /// the adjacency arrays. Every plan a scheduler can build (wavefronts,
+    /// schedules, barrier sets) is a function of exactly this input, so
+    /// the fingerprint is a sound cache key for analysis products. A graph
+    /// built by [`DepGraph::from_lower_triangular`] from a *strictly*
+    /// lower-triangular CSR fingerprints identically to that matrix's own
+    /// pattern fingerprint (the adjacency arrays coincide).
+    ///
+    /// [`PatternFingerprint`]: rtpl_sparse::PatternFingerprint
+    pub fn fingerprint(&self) -> rtpl_sparse::PatternFingerprint {
+        rtpl_sparse::PatternFingerprint::of_structure(self.n, self.n, &self.indptr, &self.deps)
+    }
 }
 
 #[cfg(test)]
@@ -266,5 +280,20 @@ mod tests {
     fn consumer_counts() {
         let g = DepGraph::from_lists(3, vec![vec![], vec![0], vec![0, 1]]).unwrap();
         assert_eq!(g.consumer_counts(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn fingerprint_is_structural_and_matches_strict_lower_csr() {
+        let g1 = DepGraph::from_lists(3, vec![vec![], vec![0], vec![0, 1]]).unwrap();
+        let g2 = DepGraph::from_lists(3, vec![vec![], vec![0], vec![0, 1]]).unwrap();
+        assert_eq!(g1.fingerprint(), g2.fingerprint());
+        let g3 = DepGraph::from_lists(3, vec![vec![], vec![0], vec![1]]).unwrap();
+        assert_ne!(g1.fingerprint(), g3.fingerprint());
+        // A strictly-lower CSR and its dependence graph share the key, so
+        // the two runtime front doors (matrix, DoConsider spec) meet on
+        // one cache entry for the same structure.
+        let l = laplacian_5pt(4, 5).strict_lower();
+        let g = DepGraph::from_lower_triangular(&l).unwrap();
+        assert_eq!(g.fingerprint(), l.pattern_fingerprint());
     }
 }

@@ -39,6 +39,15 @@ pub enum ExecutorKind {
 }
 
 impl ExecutorKind {
+    /// Every kind, in the order the selector and the benches sweep them.
+    pub const ALL: [ExecutorKind; 5] = [
+        ExecutorKind::Sequential,
+        ExecutorKind::SelfExecuting,
+        ExecutorKind::PreScheduled,
+        ExecutorKind::PreScheduledElided,
+        ExecutorKind::Doacross,
+    ];
+
     /// The parallel policy this kind maps to (`None` for `Sequential`).
     pub fn policy(self) -> Option<ExecPolicy> {
         match self {
@@ -548,15 +557,47 @@ impl CompiledTriSolve {
         x: &mut [f64],
         scratch: &mut CompiledSolveScratch,
     ) -> Result<(ExecReport, ExecReport)> {
+        self.load_values(factors, scratch)?;
+        self.solve_loaded(pool, kind, b, x, scratch)
+    }
+
+    /// Gathers `factors`' numeric values into `scratch` (one linear pass
+    /// per sweep, `U`'s inverse diagonal pre-applied) without running —
+    /// the front half of [`CompiledTriSolve::solve`]. A batch of solves
+    /// sharing one factor object loads once and then calls
+    /// [`CompiledTriSolve::solve_loaded`] per right-hand side.
+    ///
+    /// `factors` must share the pattern the plan was inspected from
+    /// (checked as in [`TriangularSolvePlan::solve_with`]).
+    pub fn load_values(
+        &self,
+        factors: &IluFactors,
+        scratch: &mut CompiledSolveScratch,
+    ) -> Result<()> {
         self.plan.check_same_pattern(factors)?;
-        assert_eq!(b.len(), self.plan.n);
-        assert_eq!(x.len(), self.plan.n);
         self.fwd
             .load_values(&mut scratch.fwd, factors.l.data())
             .map_err(map_compiled)?;
         self.bwd
             .load_values(&mut scratch.bwd, factors.u.data())
             .map_err(map_compiled)?;
+        Ok(())
+    }
+
+    /// Runs the fused solve over values already gathered into `scratch` by
+    /// a successful [`CompiledTriSolve::load_values`] — the back half of
+    /// [`CompiledTriSolve::solve`]. Repeated calls with fresh right-hand
+    /// sides amortize the per-factor gather across a whole request group.
+    pub fn solve_loaded(
+        &self,
+        pool: Option<&WorkerPool>,
+        kind: ExecutorKind,
+        b: &[f64],
+        x: &mut [f64],
+        scratch: &mut CompiledSolveScratch,
+    ) -> Result<(ExecReport, ExecReport)> {
+        assert_eq!(b.len(), self.plan.n);
+        assert_eq!(x.len(), self.plan.n);
         let pool = kind
             .policy()
             .map(|_| pool.expect("parallel executor kinds require a worker pool"));
@@ -807,6 +848,36 @@ mod tests {
                     .unwrap();
                 assert_eq!(fb, reference, "{kind:?}/{nprocs} fallback deviates");
             }
+        }
+    }
+
+    #[test]
+    fn load_once_solve_many_is_bit_exact_with_per_call_loads() {
+        // The batch hot path: one value gather, many right-hand sides.
+        let a = laplacian_5pt(7, 7);
+        let f = ilu0(&a).unwrap();
+        let compiled = TriangularSolvePlan::new(&f, 2, ExecutorKind::Sequential, Sorting::Global)
+            .unwrap()
+            .compile()
+            .unwrap();
+        let n = compiled.n();
+        let pool = WorkerPool::new(2);
+        let mut loaded = compiled.scratch();
+        let mut fresh = compiled.scratch();
+        compiled.load_values(&f, &mut loaded).unwrap();
+        for (salt, kind) in ExecutorKind::ALL.into_iter().enumerate() {
+            let b: Vec<f64> = (0..n)
+                .map(|i| 1.0 + ((i + salt) as f64 * 0.3).cos())
+                .collect();
+            let mut x = vec![0.0; n];
+            compiled
+                .solve_loaded(Some(&pool), kind, &b, &mut x, &mut loaded)
+                .unwrap();
+            let mut expect = vec![0.0; n];
+            compiled
+                .solve(Some(&pool), kind, &f, &b, &mut expect, &mut fresh)
+                .unwrap();
+            assert_eq!(x, expect, "{kind:?}");
         }
     }
 

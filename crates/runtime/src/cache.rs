@@ -202,6 +202,18 @@ impl<V> PlanCache<V> {
         }
     }
 
+    /// True when `key` is resident with a successfully built value — a
+    /// peek that bumps no LRU clock and takes no slot reference. The batch
+    /// scheduler uses it to order cold groups (long-pole inspections)
+    /// ahead of warm ones; by the time a cold group runs the answer may
+    /// have changed, which only affects ordering, never correctness.
+    pub fn contains(&self, key: PatternFingerprint) -> bool {
+        let shard = &self.shards[key.lo() as usize % self.shards.len()];
+        let map = shard.lock().unwrap_or_else(|e| e.into_inner());
+        map.get(&key.as_u128())
+            .is_some_and(|slot| matches!(slot.value.get(), Some(Ok(_))))
+    }
+
     /// Entries currently resident (built or building).
     pub fn len(&self) -> usize {
         self.shards
@@ -269,6 +281,15 @@ mod tests {
             })
             .unwrap();
         assert_eq!(rebuilt.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn contains_sees_only_built_entries() {
+        let cache: PlanCache<u64> = PlanCache::new(2, 4);
+        assert!(!cache.contains(fp(3)));
+        cache.get_or_build(fp(3), || Ok(1)).unwrap();
+        assert!(cache.contains(fp(3)));
+        assert!(!cache.contains(fp(4)));
     }
 
     #[test]

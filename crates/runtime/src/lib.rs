@@ -29,53 +29,67 @@
 //!
 //! ## Architecture
 //!
+//! Every request — single or batched, solve or loop — enters as a
+//! [`Job`] and flows through the same stages:
+//!
 //! ```text
 //!  clients (any number of threads)
-//!     │  solve(&IluFactors, b, x) / run(&Csr, body, out)
+//!     │ submit(Job) / submit_batch(Vec<Job>) -> BatchOutcome
+//!     │   (solve / run / run_spec / run_linear are thin single-job doors)
 //!     ▼
 //!  ┌─────────────────────────── Runtime ───────────────────────────┐
-//!  │                                                               │
-//!  │  PatternFingerprint(structure)      ┌──────────────────────┐  │
-//!  │        │                            │ PolicySelector       │  │
-//!  │        ▼                            │  CostModel from      │  │
-//!  │  ┌── PlanCache (N shards) ───┐      │  calibrate_host();   │  │
-//!  │  │ shard₀: fp → Slot         │      │  rtpl-sim predicts   │  │
-//!  │  │ shard₁: fp → Slot   LRU   │      │  each policy's time  │  │
-//!  │  │   …     (build-once,      │      └─────────┬────────────┘  │
-//!  │  │ shardₙ:  hit/miss/evict)  │                │ prior          │
-//!  │  └───────────┬───────────────┘                ▼                │
-//!  │              │ Arc<Slot>            ┌──────────────────────┐  │
-//!  │              ▼                      │ AdaptiveState (per   │  │
-//!  │  TriangularSolvePlan / PlannedLoop  │ pattern): explore →  │  │
-//!  │  (structure only; values and       ─┤ exploit, refined by  │  │
-//!  │   policy supplied per call)         │ observed ExecReports │  │
-//!  │              │                      └──────────────────────┘  │
-//!  │              ▼                                                 │
-//!  │  CompiledTriSolve / PlannedLoop — immutable, shared by every  │
-//!  │  in-flight request; each request leases a RunScratch (entry   │
-//!  │  LeasePool) + a WorkerPool (PoolSet), so same-pattern and     │
-//!  │  different-pattern requests all run in parallel               │
-//!  └───────────────────────────────────────────────────────────────┘
-//!     │
-//!     ▼
-//!  ExecReport ──────────────► observe() ──► next choice
+//!  │  batch scheduler: group jobs by PatternFingerprint,           │
+//!  │  cold groups first, fan groups over batch workers             │
+//!  │        │ one lookup / pool lease / scratch lease /            │
+//!  │        │ selector decision *per group*                        │
+//!  │        ▼                                                      │
+//!  │  ┌── PlanCache (N shards) ───┐      ┌──────────────────────┐  │
+//!  │  │ shard₀: fp → Slot         │      │ PolicySelector       │  │
+//!  │  │ shard₁: fp → Slot   LRU   │      │  CostModel from      │  │
+//!  │  │   …     (build-once,      │      │  calibrate_host();   │  │
+//!  │  │ shardₙ:  hit/miss/evict)  │      │  rtpl-sim predicts   │  │
+//!  │  └───────────┬───────────────┘      │  each policy's time  │  │
+//!  │              │ Arc<Slot>            └─────────┬────────────┘  │
+//!  │              ▼                                │ prior          │
+//!  │  CompiledTriSolve / PlannedLoop /             ▼                │
+//!  │  CompiledPlan — immutable, shared   ┌──────────────────────┐  │
+//!  │  by every in-flight request;        │ AdaptiveState (per   │  │
+//!  │  each request/group leases a        │ pattern): explore →  │  │
+//!  │  scratch (entry LeasePool) + a      │ exploit + UCB        │  │
+//!  │  WorkerPool (PoolSet) — same- and   │ re-exploration, fed  │  │
+//!  │  cross-pattern requests all run     │ by observed          │  │
+//!  │  in parallel                        │ ExecReports          │  │
+//!  └─────────────────────────────────────┴──────────────────────┴──┘
 //! ```
 //!
-//! ## Front doors
+//! ## The `Job` front door
 //!
+//! * [`Runtime::submit`] / [`Runtime::submit_batch`] — the unified entry:
+//!   a [`Job`] is a triangular solve ([`Job::Solve`]), a generic loop
+//!   body over a cacheable [`LoopSpec`] ([`Job::Loop`]), or a compiled
+//!   linear recurrence ([`Job::LinearLoop`]). A batch is scheduled
+//!   *across* requests: jobs sharing a fingerprint share one plan, one
+//!   pool lease, one selector decision, and (when they also share a
+//!   factor object) one value gather; cold inspections are queued ahead
+//!   so they pipeline with warm executions on other batch workers.
+//!   [`BatchOutcome`] reports per-job outcomes plus batch wall time.
 //! * [`Runtime::solve`] — cached parallel `L U x = b` for any
-//!   [`IluFactors`]: first request with a new pattern inspects both sweeps
-//!   and builds a [`TriangularSolvePlan`]; every later request (any values,
-//!   any thread) reuses it.
-//! * [`Runtime::run`] — cached generic planned loop for any
-//!   lower-triangular dependence structure and [`LoopBody`].
+//!   [`IluFactors`]: first request with a new pattern inspects both
+//!   sweeps, builds a [`TriangularSolvePlan`] and compiles it; every
+//!   later request (any values, any thread) reuses it.
+//! * [`Runtime::run`] / [`Runtime::run_spec`] — cached generic planned
+//!   loop for any lower-triangular dependence structure (or any
+//!   [`LoopSpec`] emitted by `rtpl::DoConsider::into_spec`) and
+//!   [`LoopBody`].
+//! * [`Runtime::run_linear`] — cached **compiled** linear-recurrence loop
+//!   (`x(i) = rhs(i) − Σ aₖ·x(depₖ)`) with per-call coefficient gathers.
 //! * [`Runtime::preconditioner`] — adapter implementing
-//!   [`rtpl_krylov::Precondition`], so the Krylov solvers' ILU
-//!   applications go through the cache (two patterns per factorization,
-//!   hit on every iteration after the first).
+//!   [`rtpl_krylov::Precondition`]; ILU applications enter through
+//!   `submit` like every other request, so Krylov iterations hit the
+//!   cache from the second application on.
 //!
 //! ```
-//! use rtpl_runtime::{Runtime, RuntimeConfig};
+//! use rtpl_runtime::{Job, Runtime, RuntimeConfig};
 //! use rtpl_sparse::{gen::laplacian_5pt, ilu0};
 //!
 //! let rt = Runtime::new(RuntimeConfig {
@@ -84,35 +98,46 @@
 //!     ..RuntimeConfig::default()
 //! });
 //! let f = ilu0(&laplacian_5pt(8, 8)).unwrap();
-//! let b = vec![1.0; f.n()];
-//! let mut x = vec![0.0; f.n()];
-//! let cold = rt.solve(&f, &b, &mut x).unwrap();
-//! assert!(!cold.cached);
-//! let warm = rt.solve(&f, &b, &mut x).unwrap();
-//! assert!(warm.cached);
+//! let (b1, b2) = (vec![1.0; f.n()], vec![2.0; f.n()]);
+//! let (mut x1, mut x2) = (vec![0.0; f.n()], vec![0.0; f.n()]);
+//! // Two same-structure solves in one batch: one plan build, one group.
+//! let out = rt.submit_batch::<rtpl_runtime::NoBody>(vec![
+//!     Job::solve(&f, &b1, &mut x1),
+//!     Job::solve(&f, &b2, &mut x2),
+//! ]);
+//! assert_eq!(out.ok_count(), 2);
+//! assert_eq!(out.groups, 1);
 //! assert_eq!(rt.stats().solves.builds, 1);
+//! // Single-job doors remain: a later solve hits the same cache.
+//! let warm = rt.solve(&f, &b1, &mut x1).unwrap();
+//! assert!(warm.cached);
 //! ```
 //!
-//! Concurrency contract: a cached entry holds one **immutable** compiled
-//! plan plus a [`pools::LeasePool`] of per-run scratches (epoch-stamped
-//! buffers, gathered values). Any number of requests — same pattern or
-//! different — proceed fully in parallel; each leases a scratch and a
-//! worker pool for the duration of its run and returns both. Overlap is
-//! observable, not just possible: [`SolveOutcome::concurrent`] and
-//! [`RuntimeStats::peak_same_pattern`] count in-flight requests per
-//! pattern (≥ 2 proves the head of the Zipf curve no longer serializes).
+//! Concurrency contract: a cached entry holds one **immutable** plan
+//! (compiled layouts for solves and linear loops, a [`PlannedLoop`] for
+//! generic bodies) plus a [`pools::LeasePool`] of per-run scratches
+//! (epoch-stamped buffers, gathered values). Any number of requests —
+//! same pattern or different, batched or not — proceed fully in parallel;
+//! each leases a scratch and a worker pool for the duration of its run
+//! and returns both. Overlap is observable, not just possible:
+//! [`SolveOutcome::concurrent`] and [`RuntimeStats::peak_same_pattern`]
+//! count in-flight requests per pattern (≥ 2 proves the head of the Zipf
+//! curve no longer serializes).
 //!
 //! [`PatternFingerprint`]: rtpl_sparse::PatternFingerprint
 //! [`ExecReport`]: rtpl_executor::ExecReport
 //! [`IluFactors`]: rtpl_sparse::ilu::IluFactors
 //! [`TriangularSolvePlan`]: rtpl_krylov::TriangularSolvePlan
 //! [`LoopBody`]: rtpl_executor::LoopBody
+//! [`PlannedLoop`]: rtpl_executor::PlannedLoop
 
+pub mod batch;
 pub mod cache;
 pub mod pools;
 pub mod selector;
 pub mod service;
 
+pub use batch::{BatchOutcome, Job, JobOutcome, LoopSpec, NoBody};
 pub use cache::{CacheStats, PlanCache};
 pub use selector::{AdaptiveState, PolicySelector, ARMS};
 pub use service::{CachedIlu, RunOutcome, Runtime, RuntimeConfig, RuntimeStats, SolveOutcome};

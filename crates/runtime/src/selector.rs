@@ -19,16 +19,11 @@ use rtpl_executor::PlannedLoop;
 use rtpl_krylov::ExecutorKind;
 use rtpl_sim::{self as sim, CostModel};
 
-/// The candidate arms, in a fixed order (indices into every per-arm array).
-/// `Sequential` is a genuine candidate: for small or serial patterns the
-/// model (correctly) predicts that forking a team cannot pay for itself.
-pub const ARMS: [ExecutorKind; 5] = [
-    ExecutorKind::Sequential,
-    ExecutorKind::SelfExecuting,
-    ExecutorKind::PreScheduled,
-    ExecutorKind::PreScheduledElided,
-    ExecutorKind::Doacross,
-];
+/// The candidate arms — [`ExecutorKind::ALL`], in its canonical order
+/// (indices into every per-arm array). `Sequential` is a genuine
+/// candidate: for small or serial patterns the model (correctly) predicts
+/// that forking a team cannot pay for itself.
+pub const ARMS: [ExecutorKind; 5] = ExecutorKind::ALL;
 
 /// Index of `kind` in [`ARMS`].
 pub fn arm_index(kind: ExecutorKind) -> usize {
@@ -46,6 +41,34 @@ const EXPLORE_FACTOR: f64 = 1.5;
 /// Weight of a new observation against the running estimate (exponential
 /// moving average, so drifting system load is tracked).
 const EWMA_ALPHA: f64 = 0.3;
+
+/// Every this many runs on a pattern, the selector spends at most one run
+/// re-examining a non-incumbent arm whose confidence bound warrants it —
+/// bounding re-exploration to ≤ 1 run in 64, and (with
+/// [`CHALLENGE_CAP`]) its worst-case time cost to [`CHALLENGE_CAP`]/64 of
+/// steady-state throughput.
+const REEXPLORE_EVERY: u64 = 64;
+
+/// An arm whose measured mean exceeds this multiple of the incumbent's is
+/// never re-explored: a policy dethroned by *transient load* looks a few
+/// times slower than the new incumbent and earns periodic challenges; a
+/// policy that is catastrophically wrong for the pattern (e.g. doacross
+/// at 100× on an oversubscribed host) stays retired no matter how stale
+/// its estimate gets.
+const CHALLENGE_CAP: f64 = 16.0;
+
+/// Width of the confidence interval at full staleness: an arm unmeasured
+/// for [`STALE_WINDOW`] runs has an optimistic lower bound of
+/// `measured · (1 − UCB_WIDTH)`. At `1.0` a fully stale arm's bound
+/// reaches zero, so it always qualifies for re-exploration; a freshly
+/// measured arm's bound is its EWMA and it never does.
+const UCB_WIDTH: f64 = 1.0;
+
+/// Runs without an observation after which an arm's estimate counts as
+/// fully stale (its confidence interval is at maximum width). A fixed
+/// window — not a fraction of total history — so a dethroned arm's
+/// chances do not decay as the pattern ages.
+const STALE_WINDOW: u64 = 4 * REEXPLORE_EVERY;
 
 /// Predicts per-policy execution times for planned loops under a cost
 /// model.
@@ -90,12 +113,23 @@ impl PolicySelector {
     }
 }
 
-/// Per-pattern explore/exploit state: model prior + measured wall times.
+/// Per-pattern explore/exploit state: model prior + measured wall times,
+/// with UCB-style confidence bounds driving periodic re-exploration.
 #[derive(Clone, Debug)]
 pub struct AdaptiveState {
     prior: [f64; 5],
     measured: [f64; 5],
     count: [u64; 5],
+    /// Total observations across all arms.
+    total: u64,
+    /// Value of `total` when each arm was last observed (its estimate's
+    /// age drives the confidence width).
+    last_obs: [u64; 5],
+    /// Value of `total` at which the last re-exploration challenge was
+    /// issued: each checkpoint hands out **one** challenger run even when
+    /// many concurrent requests call [`AdaptiveState::choose`] between
+    /// two observations.
+    challenged_at: u64,
 }
 
 impl AdaptiveState {
@@ -109,7 +143,30 @@ impl AdaptiveState {
             prior,
             measured: [0.0; 5],
             count: [0; 5],
+            total: 0,
+            last_obs: [0; 5],
+            challenged_at: 0,
         }
+    }
+
+    /// Optimistic lower confidence bound of arm `k`: the EWMA estimate
+    /// shrunk by a width that grows with how *stale* the estimate is
+    /// (runs elapsed since the arm was last observed, saturating at
+    /// [`STALE_WINDOW`]). UCB in spirit — uncertainty earns optimism — but driven by
+    /// staleness rather than visit counts, because the enemy here is a
+    /// measurement taken under load that has since passed, not an
+    /// under-sampled mean.
+    fn lower_bound(&self, k: usize) -> f64 {
+        let staleness =
+            ((self.total - self.last_obs[k]) as f64 / STALE_WINDOW as f64).clamp(0.0, 1.0);
+        self.measured[k] * (1.0 - UCB_WIDTH * staleness.sqrt()).max(0.0)
+    }
+
+    /// The measured-best arm (the steady-state incumbent).
+    fn incumbent(&self) -> Option<usize> {
+        (0..ARMS.len())
+            .filter(|&k| self.count[k] > 0)
+            .min_by(|&a, &b| self.measured[a].total_cmp(&self.measured[b]))
     }
 
     /// The policy to use for the next run.
@@ -117,11 +174,21 @@ impl AdaptiveState {
     /// Exploration phase: any arm never yet measured whose prior is within
     /// [`EXPLORE_FACTOR`] of the best prior gets one run (in prior order,
     /// best first). Steady state: the arm with the smallest **measured**
-    /// mean. Priors and measurements are never compared against each other
-    /// — priors may be in abstract flop units while measurements are wall
-    /// nanoseconds, and the idealized model under-predicts real runs — so
-    /// an arm pruned by the explore window is genuinely never paid for.
-    pub fn choose(&self) -> ExecutorKind {
+    /// mean — except that every [`REEXPLORE_EVERY`]-th run re-examines the
+    /// non-incumbent arm with the lowest [confidence bound](Self::lower_bound),
+    /// if that bound undercuts the incumbent's estimate **and** the arm's
+    /// measured mean is within [`CHALLENGE_CAP`]× of the incumbent's (a
+    /// catastrophically wrong policy is never re-paid, however stale its
+    /// estimate). A policy dethroned by transient load goes stale, its
+    /// bound decays toward zero, and it gets periodic chances to win back
+    /// once the load passes — exactly one challenger run per checkpoint,
+    /// even when concurrent requests race between two observations
+    /// (`challenged_at` latches the checkpoint). Priors and measurements
+    /// are never compared against each other — priors may be in abstract
+    /// flop units while measurements are wall nanoseconds — so an arm
+    /// pruned by the explore window is genuinely never paid for.
+    /// Everything is deterministic: bookkeeping, not randomness.
+    pub fn choose(&mut self) -> ExecutorKind {
         let best_prior = self.prior.iter().cloned().fold(f64::INFINITY, f64::min);
         let explore = (0..ARMS.len())
             .filter(|&k| self.count[k] == 0 && self.prior[k] <= best_prior * EXPLORE_FACTOR)
@@ -130,10 +197,25 @@ impl AdaptiveState {
             return ARMS[k];
         }
         // The exploration phase always measures at least one arm first.
-        let best = (0..ARMS.len())
-            .filter(|&k| self.count[k] > 0)
-            .min_by(|&a, &b| self.measured[a].total_cmp(&self.measured[b]))
-            .expect("explore phase measured at least one arm");
+        let best = self.incumbent().expect("explore phase measured an arm");
+        if self.total >= REEXPLORE_EVERY
+            && self.total.is_multiple_of(REEXPLORE_EVERY)
+            && self.challenged_at != self.total
+        {
+            let challenger = (0..ARMS.len())
+                .filter(|&k| {
+                    k != best
+                        && self.count[k] > 0
+                        && self.measured[k] <= CHALLENGE_CAP * self.measured[best]
+                })
+                .min_by(|&a, &b| self.lower_bound(a).total_cmp(&self.lower_bound(b)));
+            if let Some(k) = challenger {
+                if self.lower_bound(k) < self.measured[best] {
+                    self.challenged_at = self.total;
+                    return ARMS[k];
+                }
+            }
+        }
         ARMS[best]
     }
 
@@ -146,6 +228,8 @@ impl AdaptiveState {
             self.measured[k] = (1.0 - EWMA_ALPHA) * self.measured[k] + EWMA_ALPHA * wall_ns;
         }
         self.count[k] += 1;
+        self.total += 1;
+        self.last_obs[k] = self.total;
     }
 
     /// Runs observed per arm, indexed as [`ARMS`].
@@ -209,7 +293,7 @@ mod tests {
 
     #[test]
     fn infinite_prior_disables_an_arm() {
-        let st = AdaptiveState::new([10.0, f64::INFINITY, f64::INFINITY, f64::INFINITY, 11.0]);
+        let mut st = AdaptiveState::new([10.0, f64::INFINITY, f64::INFINITY, f64::INFINITY, 11.0]);
         assert_eq!(st.choose(), ExecutorKind::Sequential);
         let counts = st.counts();
         assert_eq!(counts.iter().sum::<u64>(), 0);
@@ -222,5 +306,153 @@ mod tests {
         st.observe(ExecutorKind::SelfExecuting, 12.0);
         // No other arm is within the explore window: exploit immediately.
         assert_eq!(st.choose(), ExecutorKind::SelfExecuting);
+    }
+
+    /// Drives the selector closed-loop (choose → observe) with a fixed
+    /// per-arm cost model. Returns how often each arm ran.
+    fn drive(st: &mut AdaptiveState, steps: usize, cost: impl Fn(ExecutorKind) -> f64) -> [u64; 5] {
+        let mut runs = [0u64; 5];
+        for _ in 0..steps {
+            let k = st.choose();
+            runs[arm_index(k)] += 1;
+            st.observe(k, cost(k));
+        }
+        runs
+    }
+
+    #[test]
+    fn periodic_reexploration_revives_a_dethroned_arm() {
+        // Two feasible arms; Sequential is genuinely the faster one.
+        let mut st = AdaptiveState::new([10.0, 12.0, f64::INFINITY, f64::INFINITY, f64::INFINITY]);
+        assert_eq!(st.choose(), ExecutorKind::Sequential);
+        st.observe(ExecutorKind::Sequential, 50.0);
+        assert_eq!(st.choose(), ExecutorKind::SelfExecuting);
+        st.observe(ExecutorKind::SelfExecuting, 60.0);
+        assert_eq!(st.choose(), ExecutorKind::Sequential, "steady state");
+        // Transient load: Sequential measures terribly and is dethroned.
+        for _ in 0..10 {
+            st.observe(ExecutorKind::Sequential, 500.0);
+        }
+        assert_eq!(st.choose(), ExecutorKind::SelfExecuting, "dethroned");
+        // The load passes. Without re-exploration the selector would run
+        // SelfExecuting forever — Sequential's stale 500 ns estimate never
+        // gets another sample. The periodic UCB challenge fixes that: the
+        // stale arm's confidence bound decays, it earns one run per
+        // checkpoint, its EWMA folds in healthy samples, and it wins back.
+        let runs = drive(&mut st, 2000, |k| {
+            if k == ExecutorKind::Sequential {
+                50.0
+            } else {
+                60.0
+            }
+        });
+        assert!(
+            runs[arm_index(ExecutorKind::Sequential)] >= 5,
+            "stale arm was never re-explored: {runs:?}"
+        );
+        assert_eq!(
+            st.choose(),
+            ExecutorKind::Sequential,
+            "dethroned arm must win back once its fresh samples dominate"
+        );
+        // Re-exploration is bounded: once Sequential is incumbent again,
+        // SelfExecuting only ever runs at checkpoints.
+        let tail = drive(&mut st, 640, |k| {
+            if k == ExecutorKind::Sequential {
+                50.0
+            } else {
+                60.0
+            }
+        });
+        assert!(
+            tail[arm_index(ExecutorKind::SelfExecuting)] <= 640 / REEXPLORE_EVERY,
+            "re-exploration must stay periodic: {tail:?}"
+        );
+    }
+
+    #[test]
+    fn fresh_arms_are_not_reexplored_at_checkpoints() {
+        let mut st = AdaptiveState::new([10.0, 11.0, f64::INFINITY, f64::INFINITY, f64::INFINITY]);
+        st.observe(ExecutorKind::Sequential, 50.0);
+        st.observe(ExecutorKind::SelfExecuting, 60.0);
+        // Keep *both* estimates fresh by hand while walking exactly onto a
+        // checkpoint: the challenger's bound is its (worse) EWMA, so the
+        // incumbent keeps the slot.
+        while !(st.total + 2).is_multiple_of(REEXPLORE_EVERY) {
+            st.observe(ExecutorKind::Sequential, 50.0);
+        }
+        st.observe(ExecutorKind::SelfExecuting, 60.0);
+        st.observe(ExecutorKind::Sequential, 50.0);
+        assert_eq!(st.total % REEXPLORE_EVERY, 0);
+        assert_eq!(
+            st.choose(),
+            ExecutorKind::Sequential,
+            "a fresh, slower arm earns no optimism"
+        );
+    }
+
+    #[test]
+    fn checkpoint_issues_exactly_one_challenge() {
+        // Walk onto a checkpoint with a stale, dethroned arm…
+        let mut st = AdaptiveState::new([10.0, 12.0, f64::INFINITY, f64::INFINITY, f64::INFINITY]);
+        st.observe(ExecutorKind::Sequential, 50.0);
+        st.observe(ExecutorKind::SelfExecuting, 60.0);
+        for _ in 0..10 {
+            st.observe(ExecutorKind::Sequential, 500.0);
+        }
+        // Pad with incumbent observations until a checkpoint at which the
+        // dethroned arm is stale enough for its bound to undercut.
+        while st.total < STALE_WINDOW {
+            st.observe(ExecutorKind::SelfExecuting, 60.0);
+        }
+        assert!(st.total.is_multiple_of(REEXPLORE_EVERY));
+        // …then model concurrent requests: several choose() calls land
+        // between two observations. Only the first gets the challenger;
+        // the burst runs the incumbent.
+        assert_eq!(st.choose(), ExecutorKind::Sequential, "one challenge");
+        assert_eq!(st.choose(), ExecutorKind::SelfExecuting);
+        assert_eq!(st.choose(), ExecutorKind::SelfExecuting);
+    }
+
+    #[test]
+    fn catastrophically_slow_arms_are_never_rechallenged() {
+        // SelfExecuting measures 100× worse than the incumbent — far past
+        // CHALLENGE_CAP — so no amount of staleness re-buys it.
+        let mut st = AdaptiveState::new([10.0, 12.0, f64::INFINITY, f64::INFINITY, f64::INFINITY]);
+        st.observe(ExecutorKind::Sequential, 50.0);
+        st.observe(ExecutorKind::SelfExecuting, 5000.0);
+        let runs = drive(&mut st, 1000, |k| {
+            if k == ExecutorKind::Sequential {
+                50.0
+            } else {
+                5000.0
+            }
+        });
+        assert_eq!(
+            runs[arm_index(ExecutorKind::SelfExecuting)],
+            0,
+            "an arm {CHALLENGE_CAP}x+ off the pace must stay retired: {runs:?}"
+        );
+    }
+
+    #[test]
+    fn reexploration_is_deterministic() {
+        let run = || {
+            let mut st = AdaptiveState::new([10.0, 12.0, 14.0, f64::INFINITY, f64::INFINITY]);
+            let mut trace = Vec::new();
+            for step in 0..500u64 {
+                let k = st.choose();
+                trace.push(k);
+                // A load spike between runs 100 and 200 penalizes whatever
+                // runs during it.
+                let spike = (100..200).contains(&step);
+                st.observe(
+                    k,
+                    40.0 + arm_index(k) as f64 + if spike { 400.0 } else { 0.0 },
+                );
+            }
+            trace
+        };
+        assert_eq!(run(), run(), "no wall-clock or randomness in the loop");
     }
 }

@@ -4,6 +4,7 @@ use crate::cache::{CacheStats, PlanCache};
 use crate::pools::{LeasePool, PoolSet};
 use crate::selector::{arm_index, AdaptiveState, PolicySelector, ARMS};
 use crate::Result;
+use rtpl_executor::compiled::{CompiledPlan, RunScratch};
 use rtpl_executor::{ExecReport, LoopBody, LoopScratch, PlannedLoop, WorkerPool};
 use rtpl_inspector::{DepGraph, Partition, Schedule, Wavefronts};
 use rtpl_krylov::{
@@ -34,6 +35,12 @@ pub struct RuntimeConfig {
     /// Force one executor discipline instead of adapting (useful for
     /// experiments and reproducibility runs).
     pub policy: Option<ExecutorKind>,
+    /// Worker threads a [`Runtime::submit_batch`] call may use to run
+    /// fingerprint groups concurrently (`0` = one per available hardware
+    /// thread). Each worker leases its own pool and scratches, so groups
+    /// proceed fully in parallel; on a single-core host the batch still
+    /// wins by amortizing leases, selector traffic, and value gathers.
+    pub batch_workers: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -48,6 +55,7 @@ impl Default for RuntimeConfig {
             sorting: Sorting::Global,
             calibrate: true,
             policy: None,
+            batch_workers: 0,
         }
     }
 }
@@ -59,6 +67,14 @@ pub struct RuntimeStats {
     pub solves: CacheStats,
     /// Generic planned-loop cache counters.
     pub loops: CacheStats,
+    /// Compiled linear-loop cache counters ([`Runtime::run_linear`]).
+    pub linears: CacheStats,
+    /// Batches submitted through [`Runtime::submit_batch`].
+    pub batches: u64,
+    /// Jobs carried by those batches. (A batch performs one cache lookup
+    /// per fingerprint *group*, so `solves.hits` counts groups, not jobs,
+    /// on the batched path.)
+    pub batch_jobs: u64,
     /// Worker pools ever spawned (the concurrency high-water mark).
     pub pools_created: u64,
     /// Runs executed per policy, indexed as [`ARMS`].
@@ -128,31 +144,43 @@ pub struct RunOutcome {
 /// values) is replicated on demand and recycled. Only the adaptive
 /// explore/exploit bookkeeping sits behind a (briefly held) mutex.
 pub struct SolveEntry {
-    compiled: CompiledTriSolve,
-    adaptive: Mutex<AdaptiveState>,
-    scratches: LeasePool<CompiledSolveScratch>,
+    pub(crate) compiled: CompiledTriSolve,
+    pub(crate) adaptive: Mutex<AdaptiveState>,
+    pub(crate) scratches: LeasePool<CompiledSolveScratch>,
 }
 
 /// Cached state for one generic loop structure, split exactly like
 /// [`SolveEntry`]: one shared [`PlannedLoop`], leased [`LoopScratch`]es.
 pub struct LoopEntry {
-    plan: PlannedLoop,
-    adaptive: Mutex<AdaptiveState>,
-    scratches: LeasePool<LoopScratch>,
+    pub(crate) plan: PlannedLoop,
+    pub(crate) adaptive: Mutex<AdaptiveState>,
+    pub(crate) scratches: LeasePool<LoopScratch>,
+}
+
+/// Cached state for one compiled linear-recurrence loop structure
+/// ([`Runtime::run_linear`] / [`crate::Job::LinearLoop`]): the
+/// schedule-order [`CompiledPlan`] layout plus leased [`RunScratch`]es.
+pub struct LinearEntry {
+    pub(crate) compiled: CompiledPlan,
+    pub(crate) adaptive: Mutex<AdaptiveState>,
+    pub(crate) scratches: LeasePool<RunScratch>,
 }
 
 /// The multi-client solver service: concurrent plan caches in front of the
 /// inspector, an adaptive policy selector in front of the executors. See
 /// the crate docs for the architecture.
 pub struct Runtime {
-    cfg: RuntimeConfig,
-    selector: PolicySelector,
-    pools: PoolSet,
-    solves: PlanCache<SolveEntry>,
-    loops: PlanCache<LoopEntry>,
-    policy_runs: [AtomicU64; 5],
-    scratches_created: AtomicU64,
-    peak_same_pattern: AtomicU64,
+    pub(crate) cfg: RuntimeConfig,
+    pub(crate) selector: PolicySelector,
+    pub(crate) pools: PoolSet,
+    pub(crate) solves: PlanCache<SolveEntry>,
+    pub(crate) loops: PlanCache<LoopEntry>,
+    pub(crate) linears: PlanCache<LinearEntry>,
+    pub(crate) policy_runs: [AtomicU64; 5],
+    pub(crate) scratches_created: AtomicU64,
+    pub(crate) peak_same_pattern: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batch_jobs: AtomicU64,
 }
 
 impl Runtime {
@@ -176,20 +204,122 @@ impl Runtime {
             pools: PoolSet::new(cfg.nprocs),
             solves: PlanCache::new(cfg.shards, cfg.capacity),
             loops: PlanCache::new(cfg.shards, cfg.capacity),
+            linears: PlanCache::new(cfg.shards, cfg.capacity),
             policy_runs: [const { AtomicU64::new(0) }; 5],
             scratches_created: AtomicU64::new(0),
             peak_same_pattern: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_jobs: AtomicU64::new(0),
             cfg,
         }
     }
 
     /// Folds one scratch-lease observation into the runtime counters.
-    fn note_lease(&self, info: crate::pools::LeaseInfo) {
+    pub(crate) fn note_lease(&self, info: crate::pools::LeaseInfo) {
         if info.created {
             self.scratches_created.fetch_add(1, Ordering::Relaxed);
         }
         self.peak_same_pattern
             .fetch_max(info.active, Ordering::Relaxed);
+    }
+
+    /// The cache key of a solve request: the combined (L, U) structure.
+    pub(crate) fn solve_key(factors: &IluFactors) -> PatternFingerprint {
+        PatternFingerprint::combine(&[
+            factors.l.pattern_fingerprint(),
+            factors.u.pattern_fingerprint(),
+        ])
+    }
+
+    /// The forced policy, or one adaptive decision under the entry lock.
+    pub(crate) fn choose_policy(&self, adaptive: &Mutex<AdaptiveState>) -> ExecutorKind {
+        self.cfg
+            .policy
+            .unwrap_or_else(|| adaptive.lock().unwrap_or_else(|e| e.into_inner()).choose())
+    }
+
+    /// Folds a whole group's runs back into the selector and the policy
+    /// counters: one averaged observation, one counter bump of `runs`.
+    pub(crate) fn observe_group(
+        &self,
+        adaptive: &Mutex<AdaptiveState>,
+        kind: ExecutorKind,
+        wall_ns_sum: f64,
+        runs: u64,
+    ) {
+        if runs == 0 {
+            return;
+        }
+        adaptive
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .observe(kind, wall_ns_sum / runs as f64);
+        self.policy_runs[arm_index(kind)].fetch_add(runs, Ordering::Relaxed);
+    }
+
+    /// Inspects, predicts, and compiles one solve pattern (the cold path
+    /// of [`Runtime::solve`] and of solve groups in a batch).
+    pub(crate) fn build_solve_entry(&self, factors: &IluFactors) -> Result<SolveEntry> {
+        let plan = TriangularSolvePlan::new(
+            factors,
+            self.cfg.nprocs,
+            self.cfg.policy.unwrap_or(ExecutorKind::SelfExecuting),
+            self.cfg.sorting,
+        )?;
+        let pl = self.selector.predict(plan.plan_l());
+        let pu = self.selector.predict(plan.plan_u());
+        let mut prior = [0.0; 5];
+        for k in 0..ARMS.len() {
+            prior[k] = pl[k] + pu[k];
+        }
+        Ok(SolveEntry {
+            compiled: plan.compile()?,
+            adaptive: Mutex::new(AdaptiveState::new(prior)),
+            scratches: LeasePool::new(),
+        })
+    }
+
+    /// Schedules one generic loop structure (the cold path of
+    /// [`Runtime::run`], [`Runtime::run_spec`], and loop groups).
+    pub(crate) fn build_loop_entry(&self, g: DepGraph) -> Result<LoopEntry> {
+        let wf = Wavefronts::compute(&g)?;
+        let schedule = self.build_schedule(&wf, g.n())?;
+        let plan = PlannedLoop::new(g, schedule)?;
+        let prior = self.selector.predict(&plan);
+        Ok(LoopEntry {
+            plan,
+            adaptive: Mutex::new(AdaptiveState::new(prior)),
+            scratches: LeasePool::new(),
+        })
+    }
+
+    /// Schedules **and compiles** one linear-recurrence loop structure
+    /// into its schedule-order layout (the cold path of
+    /// [`Runtime::run_linear`] and linear groups).
+    pub(crate) fn build_linear_entry(&self, spec: &crate::LoopSpec) -> Result<LinearEntry> {
+        let g = spec.graph().clone();
+        let wf = Wavefronts::compute(&g)?;
+        let schedule = self.build_schedule(&wf, g.n())?;
+        let plan = PlannedLoop::new(g, schedule)?;
+        let prior = self.selector.predict(&plan);
+        let cspec = rtpl_executor::compiled::CompiledSpec::linear_from_graph(plan.graph());
+        let compiled = CompiledPlan::compile(&plan, &cspec).map_err(map_compiled)?;
+        Ok(LinearEntry {
+            compiled,
+            adaptive: Mutex::new(AdaptiveState::new(prior)),
+            scratches: LeasePool::new(),
+        })
+    }
+
+    /// The schedule the configured sorting discipline prescribes.
+    fn build_schedule(&self, wf: &Wavefronts, n: usize) -> Result<Schedule> {
+        Ok(match self.cfg.sorting {
+            Sorting::Global => Schedule::global(wf, self.cfg.nprocs)?,
+            Sorting::LocalStriped => Schedule::local(wf, &Partition::striped(n, self.cfg.nprocs)?)?,
+            Sorting::LocalContiguous => {
+                Schedule::local(wf, &Partition::contiguous(n, self.cfg.nprocs)?)?
+            }
+        })
     }
 
     /// The configuration in use.
@@ -211,39 +341,14 @@ impl Runtime {
     /// minimal barrier sets) and predicts every policy's cost; later
     /// requests run immediately under the current best policy.
     pub fn solve(&self, factors: &IluFactors, b: &[f64], x: &mut [f64]) -> Result<SolveOutcome> {
-        let key = PatternFingerprint::combine(&[
-            factors.l.pattern_fingerprint(),
-            factors.u.pattern_fingerprint(),
-        ]);
+        let key = Self::solve_key(factors);
         let mut built = false;
         let slot = self.solves.get_or_build(key, || {
             built = true;
-            let plan = TriangularSolvePlan::new(
-                factors,
-                self.cfg.nprocs,
-                self.cfg.policy.unwrap_or(ExecutorKind::SelfExecuting),
-                self.cfg.sorting,
-            )?;
-            let pl = self.selector.predict(plan.plan_l());
-            let pu = self.selector.predict(plan.plan_u());
-            let mut prior = [0.0; 5];
-            for k in 0..ARMS.len() {
-                prior[k] = pl[k] + pu[k];
-            }
-            Ok(SolveEntry {
-                compiled: plan.compile()?,
-                adaptive: Mutex::new(AdaptiveState::new(prior)),
-                scratches: LeasePool::new(),
-            })
+            self.build_solve_entry(factors)
         })?;
         let entry = slot.get();
-        let kind = self.cfg.policy.unwrap_or_else(|| {
-            entry
-                .adaptive
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .choose()
-        });
+        let kind = self.choose_policy(&entry.adaptive);
         let (mut scratch, info) = entry.scratches.lease(|| entry.compiled.scratch());
         self.note_lease(info);
         // Sequential runs fork no team — don't lease (or ever spawn) one.
@@ -283,33 +388,41 @@ impl Runtime {
         let mut built = false;
         let slot = self.loops.get_or_build(key, || {
             built = true;
-            let g = DepGraph::from_lower_triangular(l)?;
-            let wf = Wavefronts::compute(&g)?;
-            let schedule = match self.cfg.sorting {
-                Sorting::Global => Schedule::global(&wf, self.cfg.nprocs)?,
-                Sorting::LocalStriped => {
-                    Schedule::local(&wf, &Partition::striped(g.n(), self.cfg.nprocs)?)?
-                }
-                Sorting::LocalContiguous => {
-                    Schedule::local(&wf, &Partition::contiguous(g.n(), self.cfg.nprocs)?)?
-                }
-            };
-            let plan = PlannedLoop::new(g, schedule)?;
-            let prior = self.selector.predict(&plan);
-            Ok(LoopEntry {
-                plan,
-                adaptive: Mutex::new(AdaptiveState::new(prior)),
-                scratches: LeasePool::new(),
-            })
+            self.build_loop_entry(DepGraph::from_lower_triangular(l)?)
         })?;
-        let entry = slot.get();
-        let kind = self.cfg.policy.unwrap_or_else(|| {
-            entry
-                .adaptive
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .choose()
-        });
+        self.run_loop_entry(slot.get(), key, built, body, out)
+    }
+
+    /// Runs a generic loop over a cacheable [`crate::LoopSpec`] — the
+    /// analysis product `rtpl::DoConsider::into_spec` emits. The first
+    /// request for a spec's structure schedules it; every later request
+    /// (same or different body/values) reuses the cached [`PlannedLoop`].
+    /// Output is bit-exact with running the plan directly.
+    pub fn run_spec<B: LoopBody>(
+        &self,
+        spec: &crate::LoopSpec,
+        body: &B,
+        out: &mut [f64],
+    ) -> Result<RunOutcome> {
+        let key = spec.key();
+        let mut built = false;
+        let slot = self.loops.get_or_build(key, || {
+            built = true;
+            self.build_loop_entry(spec.graph().clone())
+        })?;
+        self.run_loop_entry(slot.get(), key, built, body, out)
+    }
+
+    /// The shared execution half of [`Runtime::run`] / [`Runtime::run_spec`].
+    fn run_loop_entry<B: LoopBody>(
+        &self,
+        entry: &LoopEntry,
+        key: PatternFingerprint,
+        built: bool,
+        body: &B,
+        out: &mut [f64],
+    ) -> Result<RunOutcome> {
+        let kind = self.choose_policy(&entry.adaptive);
         let (report, concurrent) = match kind.policy() {
             // The sequential reference writes straight to `out` — no
             // scratch needed, but the in-flight use is still counted so
@@ -343,6 +456,53 @@ impl Runtime {
         })
     }
 
+    /// Runs the linear recurrence `x(i) = rhs(i) − Σ a_k·x(dep_k)` over a
+    /// cacheable [`crate::LoopSpec`], through the **compiled** loop cache:
+    /// the first request compiles the structure into a schedule-order
+    /// layout ([`CompiledPlan`]); every later request attaches `vals` (one
+    /// coefficient per dependence edge, adjacency order) by a one-pass
+    /// gather and streams the layout. Bit-exact with running an equivalent
+    /// body through [`Runtime::run_spec`].
+    pub fn run_linear(
+        &self,
+        spec: &crate::LoopSpec,
+        vals: &[f64],
+        rhs: &[f64],
+        out: &mut [f64],
+    ) -> Result<RunOutcome> {
+        let key = spec.key();
+        let mut built = false;
+        let slot = self.linears.get_or_build(key, || {
+            built = true;
+            self.build_linear_entry(spec)
+        })?;
+        let entry = slot.get();
+        let kind = self.choose_policy(&entry.adaptive);
+        let (mut scratch, info) = entry.scratches.lease(|| entry.compiled.scratch());
+        self.note_lease(info);
+        entry
+            .compiled
+            .load_values(&mut scratch, vals)
+            .map_err(map_compiled)?;
+        let report = match kind.policy() {
+            None => entry.compiled.run_sequential(&mut scratch, rhs, out),
+            Some(policy) => {
+                let pool = self.pools.lease();
+                entry.compiled.run(&pool, policy, &mut scratch, rhs, out)
+            }
+        };
+        let concurrent = info.active;
+        drop(scratch);
+        self.observe_group(&entry.adaptive, kind, report.wall.as_nanos() as f64, 1);
+        Ok(RunOutcome {
+            policy: kind,
+            cached: !built,
+            pattern: key,
+            concurrent,
+            report,
+        })
+    }
+
     /// A preconditioner whose ILU applications go through this runtime's
     /// plan cache — hand it to [`rtpl_krylov::cg`]/`gmres`/`bicgstab`.
     pub fn preconditioner<'a>(&'a self, factors: &'a IluFactors) -> CachedIlu<'a> {
@@ -361,11 +521,27 @@ impl Runtime {
         RuntimeStats {
             solves: self.solves.stats(),
             loops: self.loops.stats(),
+            linears: self.linears.stats(),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_jobs: self.batch_jobs.load(Ordering::Relaxed),
             pools_created: self.pools.created(),
             policy_runs,
             scratches_created: self.scratches_created.load(Ordering::Relaxed),
             peak_same_pattern: self.peak_same_pattern.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// Maps a compiled-layout error into runtime terms.
+pub(crate) fn map_compiled(e: rtpl_executor::compiled::CompiledError) -> crate::RuntimeError {
+    use rtpl_executor::compiled::CompiledError;
+    match e {
+        CompiledError::ZeroScale { row } => {
+            crate::RuntimeError::Sparse(rtpl_sparse::SparseError::ZeroPivot { row })
+        }
+        other => crate::RuntimeError::Sparse(rtpl_sparse::SparseError::InvalidStructure(format!(
+            "compiled loop: {other}"
+        ))),
     }
 }
 
@@ -390,9 +566,10 @@ pub struct CachedIlu<'a> {
 impl Precondition for CachedIlu<'_> {
     fn apply(&self, _pool: &WorkerPool, r: &[f64], z: &mut [f64], _work: &mut [f64]) {
         // The runtime leases its own pools (sized to its plans); the
-        // solver's pool keeps doing the doall kernels.
+        // solver's pool keeps doing the doall kernels. Applications enter
+        // through the unified Job front door, like every other request.
         self.runtime
-            .solve(self.factors, r, z)
+            .submit(crate::Job::<crate::NoBody>::solve(self.factors, r, z))
             .expect("cached ILU application failed");
     }
 }
@@ -579,6 +756,7 @@ mod tests {
             sorting: Sorting::Global,
             calibrate: true,
             policy: None,
+            batch_workers: 0,
         });
         let c = rt.cost_model();
         for (name, v) in [

@@ -20,5 +20,5 @@ pub mod requests;
 pub mod synthetic;
 
 pub use problems::{ProblemId, TestProblem};
-pub use requests::{pattern_set, ZipfMix};
+pub use requests::{pattern_set, MixedRequest, RequestKind, ZipfMix};
 pub use synthetic::SyntheticSpec;

@@ -87,6 +87,52 @@ impl ZipfMix {
     }
 }
 
+/// What one request of a mixed service stream asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// A triangular solve (`L U x = b`) over the ranked solve pattern.
+    Solve,
+    /// A `DoConsider`-style index-array loop over the ranked loop pattern.
+    Loop,
+}
+
+/// One request of a [`ZipfMix::mixed_stream`]: which kind, and the
+/// popularity rank of the pattern it targets (solve and loop requests
+/// rank into their own pattern sets).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MixedRequest {
+    /// Request kind.
+    pub kind: RequestKind,
+    /// Pattern rank within the kind's set (0 = hottest).
+    pub rank: usize,
+}
+
+impl ZipfMix {
+    /// A deterministic **mixed** request stream: each request is a loop
+    /// with probability `loop_share` (a solve otherwise), targeting a
+    /// Zipf-ranked pattern of its kind. This is the traffic shape a batch
+    /// front door sees — solves and automated-transformation loops
+    /// interleaved, hot structures repeated — and what the `batch` section
+    /// of `BENCH_runtime.json` replays.
+    pub fn mixed_stream(&self, len: usize, loop_share: f64, seed: u64) -> Vec<MixedRequest> {
+        assert!((0.0..=1.0).contains(&loop_share), "share is a probability");
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED_0B47);
+        (0..len)
+            .map(|_| {
+                let kind = if rng.gen_f64() < loop_share {
+                    RequestKind::Loop
+                } else {
+                    RequestKind::Solve
+                };
+                MixedRequest {
+                    kind,
+                    rank: self.sample(&mut rng),
+                }
+            })
+            .collect()
+    }
+}
+
 /// Generates `count` **structurally distinct** unit-lower-triangular
 /// dependency patterns on a `mesh × mesh` domain (the §4.1 synthetic
 /// generator). Distinctness is guaranteed by pattern fingerprint, so a
@@ -145,6 +191,36 @@ mod tests {
         assert_eq!(head.len(), 12, "prefix covers all ranks exactly once");
         // Shorter than the rank count: still a valid (truncated) cover.
         assert_eq!(mix.stream_covering(5, 9).len(), 5);
+    }
+
+    #[test]
+    fn mixed_stream_is_deterministic_and_respects_the_share() {
+        let mix = ZipfMix::new(8, 1.0);
+        let s = mix.mixed_stream(4000, 0.25, 11);
+        assert_eq!(s, mix.mixed_stream(4000, 0.25, 11));
+        assert_ne!(s, mix.mixed_stream(4000, 0.25, 12));
+        let loops = s.iter().filter(|r| r.kind == RequestKind::Loop).count();
+        assert!((800..1200).contains(&loops), "~25% loops, got {loops}");
+        assert!(s.iter().all(|r| r.rank < 8));
+        // Still head-heavy within each kind.
+        let hot = s
+            .iter()
+            .filter(|r| r.kind == RequestKind::Solve && r.rank == 0)
+            .count();
+        let cold = s
+            .iter()
+            .filter(|r| r.kind == RequestKind::Solve && r.rank == 7)
+            .count();
+        assert!(hot > cold);
+        // Degenerate shares are exact.
+        assert!(mix
+            .mixed_stream(100, 0.0, 3)
+            .iter()
+            .all(|r| r.kind == RequestKind::Solve));
+        assert!(mix
+            .mixed_stream(100, 1.0, 3)
+            .iter()
+            .all(|r| r.kind == RequestKind::Loop));
     }
 
     #[test]

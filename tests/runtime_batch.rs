@@ -1,0 +1,342 @@
+//! Acceptance tests for the batched `Job` front door: mixed solve/loop
+//! batches through one `Runtime`, fingerprint grouping, per-job failure
+//! isolation, and DoConsider-spec caching.
+
+use rtpl::executor::{ExecPolicy, WorkerPool};
+use rtpl::inspector::DepGraph;
+use rtpl::krylov::ExecutorKind;
+use rtpl::prelude::{LoopBody, ValueSource};
+use rtpl::runtime::{Job, JobOutcome, LoopSpec, NoBody, Runtime, RuntimeConfig};
+use rtpl::sparse::ilu::IluFactors;
+use rtpl::sparse::Csr;
+use rtpl::workload::{pattern_set, RequestKind, ZipfMix};
+use rtpl::DoConsider;
+
+fn factors_from_pattern(m: &Csr) -> IluFactors {
+    IluFactors {
+        l: m.strict_lower(),
+        u: m.transpose().upper(),
+    }
+}
+
+fn rhs(n: usize, salt: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| 1.0 + ((i * 29 + salt * 13) % 97) as f64 * 0.017)
+        .collect()
+}
+
+fn test_cfg() -> RuntimeConfig {
+    RuntimeConfig {
+        nprocs: 2,
+        calibrate: false,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// The linear-recurrence body, for checking `Job::LinearLoop` against the
+/// generic `PlannedLoop` path: `x(i) = rhs(i) − Σ v_k·x(dep_k)` with
+/// coefficients in adjacency order.
+struct LinearBody<'a> {
+    graph: &'a DepGraph,
+    vals: &'a [f64],
+    rhs: &'a [f64],
+    offsets: Vec<usize>,
+}
+
+impl<'a> LinearBody<'a> {
+    fn new(graph: &'a DepGraph, vals: &'a [f64], rhs: &'a [f64]) -> Self {
+        let mut offsets = Vec::with_capacity(graph.n() + 1);
+        let mut pos = 0;
+        offsets.push(0);
+        for i in 0..graph.n() {
+            pos += graph.deps(i).len();
+            offsets.push(pos);
+        }
+        LinearBody {
+            graph,
+            vals,
+            rhs,
+            offsets,
+        }
+    }
+}
+
+impl LoopBody for LinearBody<'_> {
+    fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64 {
+        let mut acc = self.rhs[i];
+        for (k, &d) in self.graph.deps(i).iter().enumerate() {
+            acc -= self.vals[self.offsets[i] + k] * src.get(d as usize);
+        }
+        acc
+    }
+}
+
+/// The headline batch test: a Zipf-mixed batch of solves and linear loop
+/// jobs through `submit_batch` is bit-exact per job with the sequential
+/// one-at-a-time front doors, groups same-fingerprint jobs, and serves a
+/// repeat batch entirely from cache.
+#[test]
+fn mixed_batch_is_bit_exact_grouped_and_cached() {
+    const SOLVE_PATTERNS: usize = 6;
+    const LOOP_PATTERNS: usize = 4;
+    const REQUESTS: usize = 96;
+
+    let solve_mats = pattern_set(SOLVE_PATTERNS, 10, 2026);
+    let factors: Vec<IluFactors> = solve_mats.iter().map(factors_from_pattern).collect();
+    let loop_mats = pattern_set(LOOP_PATTERNS, 9, 4052);
+    let lowers: Vec<Csr> = loop_mats.iter().map(|m| m.strict_lower()).collect();
+    let specs: Vec<LoopSpec> = lowers
+        .iter()
+        .map(|l| DoConsider::from_lower_triangular(l).unwrap().into_spec())
+        .collect();
+    let ns = factors[0].n();
+    let nl = lowers[0].nrows();
+
+    let mix = ZipfMix::new(SOLVE_PATTERNS.max(LOOP_PATTERNS), 1.1);
+    let stream: Vec<_> = mix
+        .mixed_stream(REQUESTS, 0.3, 7)
+        .into_iter()
+        .map(|r| match r.kind {
+            RequestKind::Solve => (r.kind, r.rank % SOLVE_PATTERNS),
+            RequestKind::Loop => (r.kind, r.rank % LOOP_PATTERNS),
+        })
+        .collect();
+
+    // Per-request inputs (shared) and expected outputs via the sequential
+    // one-at-a-time front doors on a fresh runtime.
+    let solve_bs: Vec<Vec<f64>> = (0..SOLVE_PATTERNS).map(|i| rhs(ns, i)).collect();
+    let loop_rhs: Vec<Vec<f64>> = (0..LOOP_PATTERNS).map(|i| rhs(nl, 100 + i)).collect();
+    let rt_seq = Runtime::new(test_cfg());
+    let expected: Vec<Vec<f64>> = stream
+        .iter()
+        .map(|&(kind, rank)| match kind {
+            RequestKind::Solve => {
+                let mut x = vec![0.0; ns];
+                rt_seq
+                    .solve(&factors[rank], &solve_bs[rank], &mut x)
+                    .unwrap();
+                x
+            }
+            RequestKind::Loop => {
+                let mut out = vec![0.0; nl];
+                rt_seq
+                    .run_linear(&specs[rank], lowers[rank].data(), &loop_rhs[rank], &mut out)
+                    .unwrap();
+                out
+            }
+        })
+        .collect();
+
+    let rt = Runtime::new(test_cfg());
+    let mut outs: Vec<Vec<f64>> = stream
+        .iter()
+        .map(|&(kind, _)| vec![0.0; if kind == RequestKind::Solve { ns } else { nl }])
+        .collect();
+    let jobs: Vec<Job> = stream
+        .iter()
+        .zip(outs.iter_mut())
+        .map(|(&(kind, rank), out)| match kind {
+            RequestKind::Solve => Job::solve(&factors[rank], &solve_bs[rank], out),
+            RequestKind::Loop => {
+                Job::linear(&specs[rank], lowers[rank].data(), &loop_rhs[rank], out)
+            }
+        })
+        .collect();
+    let distinct: std::collections::HashSet<_> = stream.iter().copied().collect();
+
+    let outcome = rt.submit_batch(jobs);
+    assert_eq!(outcome.jobs.len(), REQUESTS);
+    assert_eq!(outcome.ok_count(), REQUESTS);
+    assert_eq!(
+        outcome.groups,
+        distinct.len(),
+        "one group per (kind, fingerprint)"
+    );
+    assert_eq!(
+        outcome.cold_groups,
+        distinct.len(),
+        "all cold on a fresh runtime"
+    );
+    for (i, (out, expect)) in outs.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            out, expect,
+            "job {i} deviates from the sequential front door"
+        );
+    }
+    let stats = rt.stats();
+    let distinct_solves = stream
+        .iter()
+        .filter(|(k, _)| *k == RequestKind::Solve)
+        .map(|&(_, r)| r)
+        .collect::<std::collections::HashSet<_>>()
+        .len();
+    assert_eq!(stats.solves.builds, distinct_solves as u64);
+    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.batch_jobs, REQUESTS as u64);
+
+    // Replay the identical batch: zero cold groups, zero new builds, every
+    // job outcome flagged cached, outputs unchanged.
+    let mut outs2: Vec<Vec<f64>> = stream
+        .iter()
+        .map(|&(kind, _)| vec![0.0; if kind == RequestKind::Solve { ns } else { nl }])
+        .collect();
+    let jobs2: Vec<Job> = stream
+        .iter()
+        .zip(outs2.iter_mut())
+        .map(|(&(kind, rank), out)| match kind {
+            RequestKind::Solve => Job::solve(&factors[rank], &solve_bs[rank], out),
+            RequestKind::Loop => {
+                Job::linear(&specs[rank], lowers[rank].data(), &loop_rhs[rank], out)
+            }
+        })
+        .collect();
+    let warm = rt.submit_batch(jobs2);
+    assert_eq!(warm.cold_groups, 0);
+    assert!(warm
+        .jobs
+        .iter()
+        .all(|j| j.as_ref().is_ok_and(JobOutcome::cached)));
+    assert_eq!(
+        rt.stats().solves.builds,
+        distinct_solves as u64,
+        "no rebuilds"
+    );
+    for (out, expect) in outs2.iter().zip(&expected) {
+        assert_eq!(out, expect);
+    }
+}
+
+/// The DoConsider acceptance criterion: a loop job submitted twice shows a
+/// cache hit (builds == 1) with bit-exact output vs. direct `PlannedLoop`
+/// execution.
+#[test]
+fn doconsider_loop_job_caches_and_matches_direct_planned_loop() {
+    let l = pattern_set(1, 14, 9)[0].strict_lower();
+    let n = l.nrows();
+    let vals = l.data();
+    let b = rhs(n, 3);
+
+    // Direct execution: inspect → schedule → PlannedLoop::run.
+    let graph = DepGraph::from_lower_triangular(&l).unwrap();
+    let plan = DoConsider::from_lower_triangular(&l)
+        .unwrap()
+        .schedule(rtpl::Scheduling::Global, 2)
+        .unwrap();
+    let body = LinearBody::new(&graph, vals, &b);
+    let pool = WorkerPool::new(2);
+    let mut direct = vec![0.0; n];
+    plan.run(&pool, ExecPolicy::SelfExecuting, &body, &mut direct);
+
+    let rt = Runtime::new(test_cfg());
+    let spec = DoConsider::from_lower_triangular(&l).unwrap().into_spec();
+
+    // Generic-body loop job, twice.
+    let mut out1 = vec![0.0; n];
+    let mut out2 = vec![0.0; n];
+    let first = rt.submit(Job::looped(&spec, &body, &mut out1)).unwrap();
+    let second = rt.submit(Job::looped(&spec, &body, &mut out2)).unwrap();
+    assert!(!first.cached() && second.cached());
+    assert_eq!(rt.stats().loops.builds, 1, "one build for two submissions");
+    assert_eq!(out1, direct, "cold loop job deviates from direct execution");
+    assert_eq!(out2, direct, "warm loop job deviates from direct execution");
+
+    // Compiled linear variant of the same structure, twice: builds == 1 in
+    // its own cache, same bits.
+    let mut out3 = vec![0.0; n];
+    let mut out4 = vec![0.0; n];
+    rt.submit(Job::<NoBody>::linear(&spec, vals, &b, &mut out3))
+        .unwrap();
+    let warm = rt
+        .submit(Job::<NoBody>::linear(&spec, vals, &b, &mut out4))
+        .unwrap();
+    assert!(warm.cached());
+    assert_eq!(rt.stats().linears.builds, 1);
+    assert_eq!(out3, direct);
+    assert_eq!(out4, direct);
+}
+
+/// A failing job (zero pivot in its factors) reports per-job and never
+/// sinks the rest of its batch.
+#[test]
+fn batch_failures_are_isolated_per_job() {
+    let good = factors_from_pattern(&pattern_set(1, 8, 5)[0]);
+    let n = good.n();
+    let mut bad = good.clone();
+    // Zero a diagonal entry of U: plan construction rejects the pattern.
+    let pos = bad.u.indptr()[2];
+    bad.u.data_mut()[pos] = 0.0;
+    assert_eq!(
+        bad.u.row_indices(2)[0],
+        2,
+        "first entry of row 2 is its diagonal"
+    );
+
+    let b = rhs(n, 0);
+    let mut x1 = vec![0.0; n];
+    let mut x2 = vec![0.0; n];
+    let mut x3 = vec![0.0; n];
+    let rt = Runtime::new(test_cfg());
+    let outcome = rt.submit_batch::<NoBody>(vec![
+        Job::solve(&good, &b, &mut x1),
+        Job::solve(&bad, &b, &mut x2),
+        Job::solve(&good, &b, &mut x3),
+    ]);
+    assert_eq!(outcome.ok_count(), 2);
+    assert!(outcome.jobs[0].is_ok());
+    assert!(outcome.jobs[1].is_err(), "zero pivot must surface as Err");
+    assert!(outcome.jobs[2].is_ok());
+    // All three jobs share one fingerprint group (values don't key the
+    // cache); the bad one fails at its own value gather, the good ones
+    // still agree with the sequential front door.
+    assert_eq!(outcome.groups, 1);
+    // Order-independence: the poisoned job leading a COLD group (its
+    // values would poison the group's plan build, which reads values for
+    // the zero-pivot check) still must not sink its same-pattern peers —
+    // the group falls back to per-job builds.
+    let rt2 = Runtime::new(test_cfg());
+    let mut y1 = vec![0.0; n];
+    let mut y2 = vec![0.0; n];
+    let outcome2 = rt2.submit_batch::<NoBody>(vec![
+        Job::solve(&bad, &b, &mut y1),
+        Job::solve(&good, &b, &mut y2),
+    ]);
+    assert!(outcome2.jobs[0].is_err(), "bad-first job must fail alone");
+    assert!(
+        outcome2.jobs[1].is_ok(),
+        "good job behind a poisoned group leader must still run"
+    );
+    let rt_ref = Runtime::new(RuntimeConfig {
+        policy: Some(ExecutorKind::Sequential),
+        ..test_cfg()
+    });
+    let mut expect = vec![0.0; n];
+    rt_ref.solve(&good, &b, &mut expect).unwrap();
+    // Policies may differ between the two runtimes; results are bit-exact
+    // across policies by construction.
+    assert_eq!(x1, expect);
+    assert_eq!(x3, expect);
+}
+
+/// An empty batch is a no-op, and `submit` on each Job variant agrees with
+/// the matching direct front door.
+#[test]
+fn empty_batch_and_submit_parity() {
+    let rt = Runtime::new(test_cfg());
+    let outcome = rt.submit_batch::<NoBody>(Vec::new());
+    assert_eq!(outcome.jobs.len(), 0);
+    assert_eq!(outcome.groups, 0);
+    assert_eq!(rt.stats().batch_jobs, 0);
+
+    let f = factors_from_pattern(&pattern_set(1, 8, 21)[0]);
+    let n = f.n();
+    let b = rhs(n, 2);
+    let mut via_submit = vec![0.0; n];
+    let mut via_solve = vec![0.0; n];
+    let o = rt
+        .submit(Job::<NoBody>::solve(&f, &b, &mut via_submit))
+        .unwrap();
+    rt.solve(&f, &b, &mut via_solve).unwrap();
+    assert_eq!(via_submit, via_solve);
+    assert!(matches!(o, JobOutcome::Solve(_)));
+    assert!(!o.cached(), "first request for the pattern must build");
+}

@@ -186,6 +186,107 @@ fn same_pattern_requests_overlap_and_stay_bit_exact() {
     assert_eq!(stats.solves.builds, 1, "still exactly one plan build");
 }
 
+/// An LRU-evicted entry whose `RunScratch` is still leased must stay
+/// valid until the lease drops — deterministic, cache-level version:
+/// hold a slot and a lease, force the eviction, keep using both.
+#[test]
+fn evicted_entry_with_inflight_lease_stays_valid_until_drop() {
+    use rtpl::runtime::pools::LeasePool;
+    use rtpl::runtime::PlanCache;
+    use rtpl::sparse::PatternFingerprint;
+    let fp = |i: usize| PatternFingerprint::of_structure(1, i + 1, &[0, 0], &[]);
+    let cache: PlanCache<LeasePool<Vec<f64>>> = PlanCache::new(1, 1);
+    let slot = cache.get_or_build(fp(0), || Ok(LeasePool::new())).unwrap();
+    let (mut scratch, info) = slot.get().lease(|| vec![1.0; 4]);
+    assert!(info.created);
+    // Capacity 1: admitting a second pattern evicts the first *while its
+    // scratch is leased*.
+    cache.get_or_build(fp(1), || Ok(LeasePool::new())).unwrap();
+    assert_eq!(cache.stats().evictions, 1);
+    assert!(!cache.contains(fp(0)), "entry 0 is evicted");
+    // Eviction un-caches, never invalidates: the entry lives through the
+    // held Arc, the scratch through its lease. Both stay fully usable.
+    scratch[0] = 42.0;
+    assert_eq!(scratch.len(), 4);
+    drop(scratch);
+    assert_eq!(slot.get().created(), 1, "scratch returned to its pool");
+    // The evicted pattern rebuilds on the next request — correct, just a
+    // cold start.
+    let rebuilt = cache.get_or_build(fp(0), || Ok(LeasePool::new())).unwrap();
+    assert_eq!(cache.stats().builds, 3);
+    assert!(!std::sync::Arc::ptr_eq(&slot, &rebuilt));
+}
+
+/// The same property end-to-end under concurrency: one thread hammers a
+/// hot pattern while another floods a capacity-1 cache with distinct
+/// patterns, evicting the hot entry out from under in-flight solves.
+/// Every result must stay bit-exact; nothing may panic or corrupt.
+#[test]
+fn eviction_under_concurrent_solves_keeps_serving_bit_exact() {
+    let hot = factors_from_pattern(&pattern_set(1, 40, 77)[0]);
+    let churn: Vec<IluFactors> = pattern_set(4, 12, 33)
+        .iter()
+        .map(factors_from_pattern)
+        .collect();
+    // Bit-exact references from a sequential-policy runtime.
+    let rt_seq = Runtime::new(RuntimeConfig {
+        nprocs: 1,
+        calibrate: false,
+        policy: Some(ExecutorKind::Sequential),
+        ..RuntimeConfig::default()
+    });
+    let hot_b = rhs(hot.n(), 1);
+    let mut hot_ref = vec![0.0; hot.n()];
+    rt_seq.solve(&hot, &hot_b, &mut hot_ref).unwrap();
+    let churn_refs: Vec<Vec<f64>> = churn
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let b = rhs(f.n(), i);
+            let mut x = vec![0.0; f.n()];
+            rt_seq.solve(f, &b, &mut x).unwrap();
+            x
+        })
+        .collect();
+
+    let rt = Runtime::new(RuntimeConfig {
+        shards: 1,
+        capacity: 1,
+        nprocs: 2,
+        calibrate: false,
+        policy: Some(ExecutorKind::Sequential),
+        ..RuntimeConfig::default()
+    });
+    std::thread::scope(|scope| {
+        let rt = &rt;
+        let (hot, hot_b, hot_ref) = (&hot, &hot_b, &hot_ref);
+        scope.spawn(move || {
+            let mut x = vec![0.0; hot.n()];
+            for _ in 0..30 {
+                rt.solve(hot, hot_b, &mut x).unwrap();
+                assert_eq!(&x, hot_ref, "hot solve deviates after eviction");
+            }
+        });
+        let (churn, churn_refs) = (&churn, &churn_refs);
+        scope.spawn(move || {
+            let mut x = vec![0.0; churn[0].n()];
+            for round in 0..20 {
+                for (i, f) in churn.iter().enumerate() {
+                    let b = rhs(f.n(), i);
+                    rt.solve(f, &b, &mut x).unwrap();
+                    assert_eq!(&x, &churn_refs[i], "churn solve deviates (round {round})");
+                }
+            }
+        });
+    });
+    let stats = rt.stats();
+    assert!(
+        stats.solves.evictions >= 4,
+        "capacity 1 under 5 patterns must evict constantly (evictions = {})",
+        stats.solves.evictions
+    );
+}
+
 /// The adaptive selector settles: after a steady stream on one pattern,
 /// the dominant policy accounts for the overwhelming majority of runs
 /// (exploration is bounded to at most one run per candidate arm).
