@@ -1,0 +1,240 @@
+//! Loopback load generator for `rtpl-server` — the service benchmark,
+//! emitted machine-readably to `BENCH_server.json`.
+//!
+//! Simulated clients (each its own thread + TCP connection) replay
+//! decorrelated Zipf streams over a shared pattern set, using the
+//! intended client flow: first touch of a pattern asks `WarmCheck`, then
+//! ships factors (`Solve`) or goes straight to `SolveByFingerprint`;
+//! later touches solve by fingerprint, falling back to a full `Solve` on
+//! `UNKNOWN_PATTERN`. Rejections (`RetryAfter`) are honored and counted.
+//!
+//! Every solved vector is checked **bit-exactly** against a local
+//! sequential reference — the throughput numbers only count if the
+//! answers are right.
+
+use rtpl::runtime::{Runtime, RuntimeConfig};
+use rtpl::server::proto::{Request, Response};
+use rtpl::server::{Client, Histogram, Server, ServerConfig};
+use rtpl::sparse::ilu::IluFactors;
+use rtpl::sparse::PatternFingerprint;
+use rtpl::workload::{pattern_set, ZipfMix};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+const PATTERNS: usize = 8;
+const MESH: usize = 12; // nrows = 144 per pattern
+const REQS_PER_CLIENT: usize = 60;
+const ZIPF_EXPONENT: f64 = 1.1;
+const SEED: u64 = 77;
+
+struct Workload {
+    factors: Vec<IluFactors>,
+    keys: Vec<PatternFingerprint>,
+    rhs: Vec<f64>,
+    references: Vec<Vec<f64>>,
+}
+
+fn build_workload() -> Workload {
+    let factors: Vec<IluFactors> = pattern_set(PATTERNS, MESH, SEED)
+        .iter()
+        .map(|m| IluFactors {
+            l: m.strict_lower(),
+            u: m.transpose().upper(),
+        })
+        .collect();
+    let keys: Vec<PatternFingerprint> = factors.iter().map(Runtime::solve_key).collect();
+    let n = factors[0].n();
+    let rhs: Vec<f64> = (0..n).map(|i| 1.0 + (i % 19) as f64 * 0.041).collect();
+    let rt = Runtime::new(RuntimeConfig {
+        nprocs: 1,
+        calibrate: false,
+        ..RuntimeConfig::default()
+    });
+    let references = factors
+        .iter()
+        .map(|f| {
+            let mut x = vec![0.0; n];
+            rt.solve(f, &rhs, &mut x).expect("reference solve");
+            x
+        })
+        .collect();
+    Workload {
+        factors,
+        keys,
+        rhs,
+        references,
+    }
+}
+
+struct RunResult {
+    clients: usize,
+    requests: u64,
+    warm_solves: u64,
+    retries: u64,
+    wall_secs: f64,
+    latency: Histogram,
+}
+
+fn run_one(wl: &Workload, clients: usize) -> RunResult {
+    let cfg = ServerConfig {
+        runtime: RuntimeConfig {
+            nprocs: 2,
+            calibrate: false,
+            ..RuntimeConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::spawn(cfg).expect("spawn server");
+    let addr = server.addr();
+    let streams = ZipfMix::new(PATTERNS, ZIPF_EXPONENT).client_streams(
+        clients,
+        REQS_PER_CLIENT,
+        SEED ^ clients as u64,
+    );
+    let requests = AtomicU64::new(0);
+    let warm_solves = AtomicU64::new(0);
+    let retries = AtomicU64::new(0);
+    let latency = Histogram::new();
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for stream in &streams {
+            let (wl, requests, warm_solves, retries, latency) =
+                (&*wl, &requests, &warm_solves, &retries, &latency);
+            scope.spawn(move || {
+                let mine = Histogram::new();
+                let mut client = Client::connect(addr).expect("connect");
+                let mut touched: HashSet<usize> = HashSet::new();
+                for &rank in stream {
+                    let key = wl.keys[rank];
+                    let t = Instant::now();
+                    let resp = if touched.insert(rank) {
+                        // First touch: ask whether someone else already
+                        // shipped this pattern.
+                        let (warm, r1) = match client
+                            .call_retrying(&Request::WarmCheck { key })
+                            .expect("warm check")
+                        {
+                            (Response::WarmStatus { warm }, r) => (warm, r),
+                            (other, _) => panic!("warm check answered {other:?}"),
+                        };
+                        requests.fetch_add(1, Ordering::Relaxed);
+                        retries.fetch_add(u64::from(r1), Ordering::Relaxed);
+                        if warm {
+                            solve_by_key(&mut client, wl, rank, retries)
+                        } else {
+                            let (resp, r) = client
+                                .call_retrying(&Request::Solve {
+                                    l: wl.factors[rank].l.clone(),
+                                    u: wl.factors[rank].u.clone(),
+                                    b: wl.rhs.clone(),
+                                })
+                                .expect("cold solve");
+                            retries.fetch_add(u64::from(r), Ordering::Relaxed);
+                            resp
+                        }
+                    } else {
+                        let resp = solve_by_key(&mut client, wl, rank, retries);
+                        warm_solves.fetch_add(1, Ordering::Relaxed);
+                        resp
+                    };
+                    match resp {
+                        Response::Solved { x, .. } => {
+                            assert_eq!(
+                                x, wl.references[rank],
+                                "rank {rank}: served solve deviates from reference"
+                            );
+                        }
+                        other => panic!("rank {rank}: {other:?}"),
+                    }
+                    requests.fetch_add(1, Ordering::Relaxed);
+                    mine.record(t.elapsed().as_nanos() as u64);
+                }
+                latency.merge(&mine);
+            });
+        }
+    });
+    let wall_secs = t0.elapsed().as_secs_f64();
+    server.shutdown().expect("shutdown");
+    RunResult {
+        clients,
+        requests: requests.load(Ordering::Relaxed),
+        warm_solves: warm_solves.load(Ordering::Relaxed),
+        retries: retries.load(Ordering::Relaxed),
+        wall_secs,
+        latency,
+    }
+}
+
+/// Warm solve with the cold fallback the protocol is designed around.
+fn solve_by_key(client: &mut Client, wl: &Workload, rank: usize, retries: &AtomicU64) -> Response {
+    let (resp, r) = client
+        .call_retrying(&Request::SolveByFingerprint {
+            key: wl.keys[rank],
+            b: wl.rhs.clone(),
+        })
+        .expect("warm solve");
+    retries.fetch_add(u64::from(r), Ordering::Relaxed);
+    match resp {
+        Response::Error { .. } => {
+            // Pattern evicted or never registered: ship the factors.
+            let (resp, r) = client
+                .call_retrying(&Request::Solve {
+                    l: wl.factors[rank].l.clone(),
+                    u: wl.factors[rank].u.clone(),
+                    b: wl.rhs.clone(),
+                })
+                .expect("fallback solve");
+            retries.fetch_add(u64::from(r), Ordering::Relaxed);
+            resp
+        }
+        other => other,
+    }
+}
+
+fn main() {
+    let wl = build_workload();
+    println!(
+        "rtpl-server loopback load: {PATTERNS} patterns (n = {}), Zipf s = {ZIPF_EXPONENT}, {REQS_PER_CLIENT} solves/client\n",
+        wl.factors[0].n()
+    );
+    let mut rows = Vec::new();
+    for clients in [2usize, 8] {
+        let r = run_one(&wl, clients);
+        let rps = r.requests as f64 / r.wall_secs;
+        let warm_ratio = r.warm_solves as f64 / (clients * REQS_PER_CLIENT) as f64;
+        println!(
+            "{:>2} clients: {:>5} requests in {:>6.2}s = {:>8.1} req/s | warm ratio {:.2} | p50 {:>7}ns p99 {:>8}ns p999 {:>8}ns | {} retries",
+            r.clients,
+            r.requests,
+            r.wall_secs,
+            rps,
+            warm_ratio,
+            r.latency.quantile(0.5),
+            r.latency.quantile(0.99),
+            r.latency.quantile(0.999),
+            r.retries,
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"clients\": {}, \"requests\": {}, \"wall_secs\": {:.4}, ",
+                "\"requests_per_sec\": {:.1}, \"warm_ratio\": {:.4}, ",
+                "\"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}, ",
+                "\"rejected_retries\": {}, \"bit_exact\": true}}"
+            ),
+            r.clients,
+            r.requests,
+            r.wall_secs,
+            rps,
+            warm_ratio,
+            r.latency.quantile(0.5),
+            r.latency.quantile(0.99),
+            r.latency.quantile(0.999),
+            r.latency.max(),
+            r.retries,
+        ));
+    }
+    let json = format!("{{\n  \"server\": [\n{}\n  ]\n}}\n", rows.join(",\n"));
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    println!("\nwrote BENCH_server.json");
+}

@@ -122,6 +122,7 @@
 //! | [`sparse`] | CSR matrices, ILU factorization, generators |
 //! | [`krylov`] | PCGPAK substitute: CG/GMRES + parallel kernels, compiled triangular solves |
 //! | [`runtime`] | solver service: `Job` front door (single + batched), plan cache, adaptive policy |
+//! | [`server`] | TCP front door: binary wire protocol, admission control, batched dispatch, metrics |
 //! | [`sim`] | multiprocessor performance model (event + closed form) |
 //! | [`workload`] | the paper's test problems and synthetic generator |
 
@@ -129,6 +130,7 @@ pub use rtpl_executor as executor;
 pub use rtpl_inspector as inspector;
 pub use rtpl_krylov as krylov;
 pub use rtpl_runtime as runtime;
+pub use rtpl_server as server;
 pub use rtpl_sim as sim;
 pub use rtpl_sparse as sparse;
 pub use rtpl_workload as workload;

@@ -665,6 +665,73 @@ impl CompiledPlan {
             wall: t0.elapsed(),
         }
     }
+
+    /// Sequential execution with the value gather **fused into the sweep**:
+    /// operand coefficients and reciprocal-scale pivots are read straight
+    /// from the caller's `data` through the layout's pre-compiled gather
+    /// maps, so a one-shot run makes a single pass over the values instead
+    /// of `load_values` + [`CompiledPlan::run_sequential`]. Bit-exact with
+    /// the split path: each row subtracts products in the identical order
+    /// and multiplies by the identical reciprocal (`load_values` stores
+    /// `1.0 / d`; this computes the same quotient in place).
+    ///
+    /// The scratch's loaded values are neither required nor touched — only
+    /// its plain sequential work buffer is used — so a scratch can
+    /// alternate freely between this path and the loaded parallel paths.
+    /// On a zero pivot, returns [`CompiledError::ZeroScale`] with `out`
+    /// unwritten, matching the split path's load-time failure.
+    pub fn run_sequential_fused(
+        &self,
+        scratch: &mut RunScratch,
+        data: &[f64],
+        rhs: &[f64],
+        out: &mut [f64],
+    ) -> Result<ExecReport, CompiledError> {
+        if data.len() != self.nvals {
+            return Err(CompiledError::ValueCount {
+                expected: self.nvals,
+                found: data.len(),
+            });
+        }
+        assert_eq!(scratch.seq.len(), self.n, "scratch sized for another plan");
+        assert_eq!(rhs.len(), self.n);
+        assert_eq!(out.len(), self.n);
+        let stride = self.num_phases + 1;
+        let t0 = Instant::now();
+        let seq = &mut scratch.seq;
+        let recip = self.recip_src.as_deref();
+        for w in 0..self.num_phases {
+            for p in 0..self.nprocs {
+                for t in self.phase_ptr[p * stride + w]..self.phase_ptr[p * stride + w + 1] {
+                    let mut acc = rhs[self.rhs[t] as usize];
+                    for k in self.op_ptr[t]..self.op_ptr[t + 1] {
+                        acc -= data[self.val_src[k] as usize] * seq[self.ops[k] as usize];
+                    }
+                    seq[self.target[t] as usize] = match recip {
+                        Some(srcs) => {
+                            let d = data[srcs[t] as usize];
+                            if d == 0.0 {
+                                return Err(CompiledError::ZeroScale {
+                                    row: self.out_map[self.target[t] as usize] as usize,
+                                });
+                            }
+                            acc * (1.0 / d)
+                        }
+                        None => acc,
+                    };
+                }
+            }
+        }
+        for (i, &o) in self.out_map.iter().enumerate() {
+            out[o as usize] = seq[i];
+        }
+        Ok(ExecReport {
+            barriers: 0,
+            stalls: 0,
+            iters_per_proc: vec![self.n as u64],
+            wall: t0.elapsed(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -805,6 +872,64 @@ mod tests {
             .load_values(&mut scratch, &[2.0, 0.0, 8.0])
             .unwrap_err();
         assert_eq!(err, CompiledError::ZeroScale { row: 1 });
+    }
+
+    #[test]
+    fn fused_sequential_matches_split_path_bit_exactly() {
+        for (l, name) in [
+            (laplacian_5pt(9, 7).strict_lower(), "mesh"),
+            (random_lower(150, 5, 42).strict_lower(), "random"),
+        ] {
+            let n = l.nrows();
+            let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.19).sin()).collect();
+            for nprocs in [1usize, 2, 4] {
+                let plan = plan_for(&l, nprocs);
+                let compiled = CompiledPlan::compile(&plan, &lower_spec(&l)).unwrap();
+                let mut scratch = compiled.scratch();
+                compiled.load_values(&mut scratch, l.data()).unwrap();
+                let mut split = vec![0.0; n];
+                compiled.run_sequential(&mut scratch, &b, &mut split);
+                // A fresh, never-loaded scratch works for the fused path.
+                let mut fused_scratch = compiled.scratch();
+                let mut fused = vec![0.0; n];
+                compiled
+                    .run_sequential_fused(&mut fused_scratch, l.data(), &b, &mut fused)
+                    .unwrap();
+                let bits = |xs: &[f64]| xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&fused), bits(&split), "{name}/{nprocs}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_sequential_applies_recip_scale_and_rejects_zero_pivots() {
+        let g = DepGraph::from_lists(3, vec![vec![], vec![], vec![]]).unwrap();
+        let wf = Wavefronts::compute(&g).unwrap();
+        let plan = PlannedLoop::new(g, Schedule::global(&wf, 1).unwrap()).unwrap();
+        let mut spec = CompiledSpec::new(3, 3);
+        for i in 0..3 {
+            spec.push_row(i as u32, i as u32, std::iter::empty());
+        }
+        spec.set_recip_scale(vec![0, 1, 2]);
+        let compiled = CompiledPlan::compile(&plan, &spec).unwrap();
+        let mut scratch = compiled.scratch();
+        let mut out = vec![0.0; 3];
+        compiled
+            .run_sequential_fused(&mut scratch, &[2.0, 4.0, 8.0], &[1.0, 1.0, 1.0], &mut out)
+            .unwrap();
+        assert_eq!(out, vec![0.5, 0.25, 0.125]);
+        // Zero pivot: typed error, caller-space row, output untouched.
+        let mut out2 = vec![-7.0; 3];
+        let err = compiled
+            .run_sequential_fused(&mut scratch, &[2.0, 0.0, 8.0], &[1.0, 1.0, 1.0], &mut out2)
+            .unwrap_err();
+        assert_eq!(err, CompiledError::ZeroScale { row: 1 });
+        assert_eq!(out2, vec![-7.0; 3]);
+        // Wrong value-array length: typed error too.
+        assert!(matches!(
+            compiled.run_sequential_fused(&mut scratch, &[1.0], &[1.0, 1.0, 1.0], &mut out),
+            Err(CompiledError::ValueCount { .. })
+        ));
     }
 
     #[test]

@@ -561,6 +561,39 @@ impl CompiledTriSolve {
         self.solve_loaded(pool, kind, b, x, scratch)
     }
 
+    /// The single-request fast path: solves `L U x = b` sequentially with
+    /// the value gather **fused into each sweep**, so a lone solve makes
+    /// one pass over each factor's values instead of the gather + run
+    /// split that [`CompiledTriSolve::solve`] pays
+    /// ([`CompiledPlan::run_sequential_fused`] under the hood). Bit-exact
+    /// with `solve(None, ExecutorKind::Sequential, ..)` — identical
+    /// per-row arithmetic, including the pre-applied reciprocal diagonal.
+    ///
+    /// The scratch's loaded values are untouched, so alternating between
+    /// this path and the batch `load_values`/`solve_loaded` flow is safe.
+    /// A zero `U` diagonal reports [`rtpl_sparse::SparseError::ZeroPivot`]
+    /// with `x` unwritten, like the split path's load-time failure.
+    pub fn solve_fused_sequential(
+        &self,
+        factors: &IluFactors,
+        b: &[f64],
+        x: &mut [f64],
+        scratch: &mut CompiledSolveScratch,
+    ) -> Result<(ExecReport, ExecReport)> {
+        self.plan.check_same_pattern(factors)?;
+        assert_eq!(b.len(), self.plan.n);
+        assert_eq!(x.len(), self.plan.n);
+        let fwd = self
+            .fwd
+            .run_sequential_fused(&mut scratch.fwd, factors.l.data(), b, &mut scratch.y)
+            .map_err(map_compiled)?;
+        let bwd = self
+            .bwd
+            .run_sequential_fused(&mut scratch.bwd, factors.u.data(), &scratch.y, x)
+            .map_err(map_compiled)?;
+        Ok((fwd, bwd))
+    }
+
     /// Gathers `factors`' numeric values into `scratch` (one linear pass
     /// per sweep, `U`'s inverse diagonal pre-applied) without running —
     /// the front half of [`CompiledTriSolve::solve`]. A batch of solves

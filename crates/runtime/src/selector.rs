@@ -75,18 +75,46 @@ const STALE_WINDOW: u64 = 4 * REEXPLORE_EVERY;
 #[derive(Clone, Debug)]
 pub struct PolicySelector {
     cost: CostModel,
+    /// Detected host parallelism, when known. The simulator's parallel-arm
+    /// predictions assume every virtual processor runs simultaneously; on a
+    /// host with fewer cores than a plan's processor count that assumption
+    /// is not merely optimistic but inverted — spin-synchronizing executors
+    /// burn the timeslice of the thread holding the value they wait for.
+    /// Knowing the real core count lets `predict` retire those arms
+    /// outright instead of letting measurement discover the cliff one slow
+    /// run at a time.
+    host_procs: Option<usize>,
 }
 
 impl PolicySelector {
     /// A selector predicting with `cost` (nanoseconds per operation when
-    /// host-calibrated; any consistent unit otherwise).
+    /// host-calibrated; any consistent unit otherwise). No host-core clamp
+    /// is applied — predictions are the pure model.
     pub fn new(cost: CostModel) -> Self {
-        PolicySelector { cost }
+        PolicySelector {
+            cost,
+            host_procs: None,
+        }
+    }
+
+    /// A selector that additionally knows the host's available core count
+    /// (`None` disables the clamp, like [`PolicySelector::new`]). When a
+    /// plan schedules `nprocs ≥ host_procs` virtual processors, every
+    /// parallel arm is predicted `+∞` — oversubscribed spin-wait executors
+    /// are dishonest bets, so the sequential arm is hard-preferred and the
+    /// adaptive state never explores the cliff.
+    pub fn with_host_procs(cost: CostModel, host_procs: Option<usize>) -> Self {
+        PolicySelector { cost, host_procs }
     }
 
     /// The cost model in use.
     pub fn cost_model(&self) -> &CostModel {
         &self.cost
+    }
+
+    /// The detected host core count the clamp uses, if any.
+    pub fn host_procs(&self) -> Option<usize> {
+        self.host_procs
     }
 
     /// Predicted time of every arm for one planned loop, indexed as
@@ -108,6 +136,19 @@ impl PolicySelector {
         if g.is_forward() {
             out[arm_index(ExecutorKind::Doacross)] =
                 sim::sim_doacross(g, s.nprocs(), w, &self.cost).time;
+        }
+        // Host honesty: with the schedule's processor count at or above the
+        // cores actually present, the parallel predictions above model a
+        // machine that does not exist. Hard-prefer the sequential arm.
+        if let Some(cores) = self.host_procs {
+            if s.nprocs() >= cores {
+                let seq = arm_index(ExecutorKind::Sequential);
+                for (i, v) in out.iter_mut().enumerate() {
+                    if i != seq {
+                        *v = f64::INFINITY;
+                    }
+                }
+            }
         }
         out
     }
@@ -269,6 +310,34 @@ mod tests {
         assert!(
             pred[arm_index(ExecutorKind::SelfExecuting)]
                 < pred[arm_index(ExecutorKind::PreScheduled)]
+        );
+    }
+
+    #[test]
+    fn host_clamp_retires_parallel_arms_when_oversubscribed() {
+        let cost = CostModel::multimax();
+        // Plan wants 4 virtual processors; host has only 2 cores.
+        let plan = mesh_plan(20, 20, 4);
+        let clamped = PolicySelector::with_host_procs(cost, Some(2)).predict(&plan);
+        let seq = arm_index(ExecutorKind::Sequential);
+        for (i, &t) in clamped.iter().enumerate() {
+            if i == seq {
+                assert!(t.is_finite() && t > 0.0);
+            } else {
+                assert!(t.is_infinite(), "{:?} must be retired", ARMS[i]);
+            }
+        }
+        // The clamped prior still satisfies AdaptiveState's invariant and
+        // deterministically selects the sequential arm.
+        let mut st = AdaptiveState::new(clamped);
+        assert_eq!(st.choose(), ExecutorKind::Sequential);
+        // Plenty of cores: predictions match the unclamped model exactly.
+        let free = PolicySelector::with_host_procs(cost, Some(16)).predict(&plan);
+        assert_eq!(free, PolicySelector::new(cost).predict(&plan));
+        // `None` disables the clamp too.
+        assert_eq!(
+            PolicySelector::with_host_procs(cost, None).predict(&plan),
+            PolicySelector::new(cost).predict(&plan)
         );
     }
 

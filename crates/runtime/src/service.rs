@@ -102,6 +102,42 @@ impl RuntimeStats {
             .max_by_key(|&k| self.policy_runs[k])
             .expect("ARMS is non-empty")]
     }
+
+    /// Renders the counters as plaintext `name value` lines — the format
+    /// `rtpl-server`'s metrics endpoint serves (one metric per line,
+    /// `snake_case` names prefixed `rtpl_`, stable ordering).
+    pub fn render_plaintext(&self) -> String {
+        let mut out = String::new();
+        let mut line = |name: &str, v: u64| {
+            out.push_str("rtpl_");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&v.to_string());
+            out.push('\n');
+        };
+        for (cache, stats) in [
+            ("solve", &self.solves),
+            ("loop", &self.loops),
+            ("linear", &self.linears),
+        ] {
+            line(&format!("{cache}_cache_hits"), stats.hits);
+            line(&format!("{cache}_cache_misses"), stats.misses);
+            line(&format!("{cache}_cache_builds"), stats.builds);
+            line(&format!("{cache}_cache_evictions"), stats.evictions);
+        }
+        line("batches", self.batches);
+        line("batch_jobs", self.batch_jobs);
+        line("pools_created", self.pools_created);
+        line("scratches_created", self.scratches_created);
+        line("peak_same_pattern", self.peak_same_pattern);
+        for (k, kind) in ARMS.iter().enumerate() {
+            line(
+                &format!("policy_runs_{}", format!("{kind:?}").to_lowercase()),
+                self.policy_runs[k],
+            );
+        }
+        out
+    }
 }
 
 /// Outcome of one [`Runtime::solve`] request.
@@ -199,8 +235,18 @@ impl Runtime {
     /// Starts a runtime with an explicit cost model (skips calibration).
     pub fn with_cost_model(cfg: RuntimeConfig, cost: CostModel) -> Self {
         assert!(cfg.nprocs >= 1);
+        // Host honesty rides with calibration: when the runtime measures
+        // the host it also detects its core count, and the selector retires
+        // parallel arms whose processor count the hardware cannot actually
+        // run simultaneously (spin-wait executors fall off a cliff there).
+        // Abstract-model runtimes (`calibrate: false`) stay pure model.
+        let host_procs = if cfg.calibrate {
+            std::thread::available_parallelism().ok().map(|p| p.get())
+        } else {
+            None
+        };
         Runtime {
-            selector: PolicySelector::new(cost),
+            selector: PolicySelector::with_host_procs(cost, host_procs),
             pools: PoolSet::new(cfg.nprocs),
             solves: PlanCache::new(cfg.shards, cfg.capacity),
             loops: PlanCache::new(cfg.shards, cfg.capacity),
@@ -224,7 +270,10 @@ impl Runtime {
     }
 
     /// The cache key of a solve request: the combined (L, U) structure.
-    pub(crate) fn solve_key(factors: &IluFactors) -> PatternFingerprint {
+    /// Public so out-of-process callers (the `rtpl-server` wire protocol's
+    /// `WarmCheck`/`SolveByFingerprint` requests) can compute the exact key
+    /// the runtime will use without shipping the factors.
+    pub fn solve_key(factors: &IluFactors) -> PatternFingerprint {
         PatternFingerprint::combine(&[
             factors.l.pattern_fingerprint(),
             factors.u.pattern_fingerprint(),
@@ -354,11 +403,20 @@ impl Runtime {
         // Sequential runs fork no team — don't lease (or ever spawn) one.
         let lease = kind.policy().map(|_| self.pools.lease());
         // The scratch lease is RAII: an error (or panic) returns it and
-        // keeps the overlap counters honest.
-        let (fwd, bwd) =
+        // keeps the overlap counters honest. Lone sequential requests take
+        // the fused path: one pass over each factor's values instead of
+        // gather + run (bit-exact with the split path; the batched
+        // `submit_batch` flow keeps the split so one gather serves a whole
+        // same-factor group).
+        let (fwd, bwd) = if kind == ExecutorKind::Sequential {
             entry
                 .compiled
-                .solve(lease.as_deref(), kind, factors, b, x, &mut scratch)?;
+                .solve_fused_sequential(factors, b, x, &mut scratch)?
+        } else {
+            entry
+                .compiled
+                .solve(lease.as_deref(), kind, factors, b, x, &mut scratch)?
+        };
         drop(scratch);
         let wall_ns = (fwd.wall + bwd.wall).as_nanos() as f64;
         entry
@@ -619,6 +677,61 @@ mod tests {
         assert_eq!(s.solves.builds, 1);
         assert_eq!(s.solves.hits, 4);
         assert_eq!(s.policy_runs.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn oversubscribed_calibrated_host_settles_on_sequential() {
+        // nprocs strictly above the detected core count: the calibrated
+        // selector's host clamp must retire every parallel arm, so each and
+        // every run — including the very first exploration — is sequential.
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let rt = Runtime::new(RuntimeConfig {
+            nprocs: cores * 2,
+            calibrate: true,
+            ..RuntimeConfig::default()
+        });
+        assert_eq!(rt.selector.host_procs(), Some(cores));
+        let f = ilu0(&laplacian_5pt(9, 8)).unwrap();
+        let n = f.n();
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        for _ in 0..8 {
+            let out = rt.solve(&f, &b, &mut x).unwrap();
+            assert_eq!(out.policy, ExecutorKind::Sequential);
+        }
+        let s = rt.stats();
+        assert_eq!(s.runs_for(ExecutorKind::Sequential), 8);
+        // And it never paid for a worker pool.
+        assert_eq!(s.pools_created, 0);
+    }
+
+    #[test]
+    fn render_plaintext_lists_every_counter_once() {
+        let rt = Runtime::new(test_cfg());
+        let f = ilu0(&laplacian_5pt(6, 6)).unwrap();
+        let b = vec![1.0; f.n()];
+        let mut x = vec![0.0; f.n()];
+        rt.solve(&f, &b, &mut x).unwrap();
+        rt.solve(&f, &b, &mut x).unwrap();
+        let text = rt.stats().render_plaintext();
+        for needle in [
+            "rtpl_solve_cache_hits 1",
+            "rtpl_solve_cache_builds 1",
+            "rtpl_loop_cache_hits 0",
+            "rtpl_batches 0",
+            "rtpl_policy_runs_sequential",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // `name value` per line, every name unique.
+        let names: Vec<&str> = text
+            .lines()
+            .map(|l| l.split_whitespace().next().unwrap())
+            .collect();
+        let unique: std::collections::HashSet<&str> = names.iter().copied().collect();
+        assert_eq!(unique.len(), names.len());
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! A small blocking client for the wire protocol.
+//!
+//! One [`Client`] owns one connection and tags every request with a
+//! monotonically increasing id; [`Client::call`] checks the echo. The
+//! convenience wrappers ([`Client::solve`], [`Client::warm_check`], …)
+//! cover the common request shapes; [`Client::send`] / [`Client::recv`]
+//! expose the pipelined layer directly for load generators that keep many
+//! requests in flight per connection.
+
+use crate::proto::{self, ProtoError, Request, Response};
+use rtpl_sparse::{Csr, PatternFingerprint};
+use std::fmt;
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Errors a [`Client`] can surface.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The peer sent bytes that don't decode as a response.
+    Proto(ProtoError),
+    /// The connection closed cleanly while a response was still expected.
+    Closed,
+    /// The peer answered with an id we never sent (or out of order for a
+    /// strict `call`).
+    IdMismatch {
+        /// The id the pending request carried.
+        expected: u64,
+        /// The id the response carried.
+        found: u64,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Closed => write!(f, "connection closed mid-exchange"),
+            ClientError::IdMismatch { expected, found } => {
+                write!(
+                    f,
+                    "response id {found} does not match request id {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+/// A blocking connection to an [`rtpl-server`](crate) instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects and disables Nagle (the protocol is request/response).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request without waiting; returns its id. Pair with
+    /// [`Client::recv`] to pipeline many requests on one connection.
+    pub fn send(&mut self, req: &Request) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        proto::write_frame(&mut self.writer, &proto::encode_request(id, req))?;
+        Ok(id)
+    }
+
+    /// Receives the next response (any id). [`ClientError::Closed`] if the
+    /// peer hung up at a frame boundary.
+    pub fn recv(&mut self) -> Result<(u64, Response), ClientError> {
+        match proto::read_frame(&mut self.reader)? {
+            None => Err(ClientError::Closed),
+            Some(payload) => Ok(proto::decode_response(&payload)?),
+        }
+    }
+
+    /// One strict round trip: send, receive, verify the id echo.
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let expected = self.send(req)?;
+        let (found, resp) = self.recv()?;
+        if found != expected {
+            return Err(ClientError::IdMismatch { expected, found });
+        }
+        Ok(resp)
+    }
+
+    /// Full solve: ships the factors (registering them server-side) and
+    /// the right-hand side.
+    pub fn solve(&mut self, l: &Csr, u: &Csr, b: &[f64]) -> Result<Response, ClientError> {
+        self.call(&Request::Solve {
+            l: l.clone(),
+            u: u.clone(),
+            b: b.to_vec(),
+        })
+    }
+
+    /// Asks whether the server can solve this pattern by fingerprint.
+    pub fn warm_check(&mut self, key: PatternFingerprint) -> Result<Response, ClientError> {
+        self.call(&Request::WarmCheck { key })
+    }
+
+    /// Warm solve: right-hand side only, against server-held factors.
+    pub fn solve_by_fingerprint(
+        &mut self,
+        key: PatternFingerprint,
+        b: &[f64],
+    ) -> Result<Response, ClientError> {
+        self.call(&Request::SolveByFingerprint { key, b: b.to_vec() })
+    }
+
+    /// Fetches the plaintext metrics via the request socket.
+    pub fn stats_text(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::StatsText { text } => Ok(text),
+            other => Err(ClientError::Proto(ProtoError::Wire(
+                rtpl_sparse::wire::WireError::Invalid(format!("expected StatsText, got {other:?}")),
+            ))),
+        }
+    }
+
+    /// Requests a graceful drain and waits for the acknowledgement.
+    pub fn shutdown(&mut self) -> Result<Response, ClientError> {
+        self.call(&Request::Shutdown)
+    }
+
+    /// Like [`Client::call`], but obeys [`Response::RetryAfter`]: sleeps
+    /// the suggested delay and retries until any other response arrives.
+    /// Returns that response and how many rejections preceded it.
+    pub fn call_retrying(&mut self, req: &Request) -> Result<(Response, u32), ClientError> {
+        let mut retries = 0u32;
+        loop {
+            match self.call(req)? {
+                Response::RetryAfter { retry_ms, .. } => {
+                    retries += 1;
+                    std::thread::sleep(Duration::from_millis(u64::from(retry_ms).max(1)));
+                }
+                other => return Ok((other, retries)),
+            }
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Hand-rolled log-bucketed latency histograms.
+//!
+//! The server records a latency sample per answered request; tail
+//! percentiles (p99, p999) are what capacity planning needs, and they must
+//! be cheap to record from many threads at once. The classic trick: bucket
+//! by order of magnitude, subdivided linearly. Each power-of-two octave is
+//! split into 16 linear sub-buckets, so the relative quantization error is
+//! at most 1/16 ≈ 6% everywhere — accurate enough for percentile
+//! reporting, small enough (under 1000 `AtomicU64`s) to keep per-kind.
+//!
+//! Recording is one `leading_zeros` + two atomic adds — lock-free and
+//! wait-free, safe from any number of threads. Reading takes a relaxed
+//! snapshot; merge histograms from per-client threads by [`Histogram::merge`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power-of-two octave.
+const SUBS: usize = 16;
+
+/// Bucket count: values < 16 get exact buckets; octaves 4..=63 get
+/// [`SUBS`] each.
+const BUCKETS: usize = SUBS + (64 - 4) * SUBS;
+
+/// A lock-free log-bucketed histogram of `u64` samples (nanoseconds, by
+/// convention, but any unit works).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros() as usize; // ≥ 4
+    let sub = ((v >> (exp - 4)) & 15) as usize;
+    (exp - 3) * SUBS + sub
+}
+
+/// Inclusive lower bound of a bucket — the value reported for every sample
+/// that landed in it.
+fn bucket_floor(idx: usize) -> u64 {
+    if idx < SUBS {
+        return idx as u64;
+    }
+    let exp = idx / SUBS + 3;
+    let sub = (idx % SUBS) as u64;
+    (SUBS as u64 + sub) << (exp - 4)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free; callable from any thread.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples (mean = `sum / count`).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample recorded (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The value at quantile `q ∈ [0, 1]` (e.g. `0.99` for p99), resolved
+    /// to the floor of the bucket holding that rank — an under-estimate by
+    /// at most one bucket width (≈ 6%). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        // Rank of the requested quantile, 1-based, clamped into range.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_floor(idx);
+            }
+        }
+        self.max()
+    }
+
+    /// Folds `other`'s samples into `self` (per-thread histograms → one).
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Renders `name_count`, `name_p50/p99/p999`, and `name_max_ns`-style
+    /// plaintext lines for the metrics endpoint.
+    pub fn render_plaintext(&self, name: &str) -> String {
+        format!(
+            "{name}_count {}\n{name}_p50_ns {}\n{name}_p99_ns {}\n{name}_p999_ns {}\n{name}_max_ns {}\n",
+            self.count(),
+            self.quantile(0.5),
+            self.quantile(0.99),
+            self.quantile(0.999),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for q in [0.01f64, 0.5, 0.99] {
+            let want = ((q * 16.0).ceil() as u64).clamp(1, 16) - 1;
+            assert_eq!(h.quantile(q), want, "q={q}");
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.sum(), (0..16).sum::<u64>());
+        assert_eq!(h.max(), 15);
+    }
+
+    #[test]
+    fn buckets_are_monotone_and_tight() {
+        // Every sample's reported floor is ≤ the sample and within 1/16.
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            let idx = bucket_of(v);
+            let floor = bucket_floor(idx);
+            assert!(floor <= v, "v={v} floor={floor}");
+            assert!(
+                (v - floor) as f64 <= v as f64 / 16.0 + 1.0,
+                "v={v} floor={floor}"
+            );
+            // Floors are non-decreasing in the index.
+            if idx > 0 {
+                assert!(bucket_floor(idx - 1) < floor || idx < SUBS);
+            }
+            v = v.wrapping_mul(3) / 2 + 1;
+        }
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let h = Histogram::new();
+        // 1000 samples: 990 fast (≈1µs), 10 slow (≈1ms).
+        for i in 0..990u64 {
+            h.record(1_000 + i % 7);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((900..=1100).contains(&p50), "p50={p50}");
+        let p999 = h.quantile(0.999);
+        assert!(p999 >= 900_000, "p999={p999}");
+        assert_eq!(h.quantile(1.0), h.quantile(0.9999));
+        assert_eq!(h.max(), 1_000_000);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for i in 0..500u64 {
+            let v = i * i % 10_007;
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum(), all.sum());
+        assert_eq!(a.max(), all.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert!(h.render_plaintext("x").contains("x_count 0"));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + i % 997);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+    }
+}

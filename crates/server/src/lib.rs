@@ -1,0 +1,90 @@
+//! # rtpl-server — the TCP front door of the solver service
+//!
+//! The paper's economics are amortization: one inspection, many
+//! executions. `rtpl-runtime` realizes that inside a process — a plan
+//! cache in front of the inspector, batched submission in front of the
+//! executors. This crate adds the missing boundary: a network edge, so the
+//! *same* cached plans and the *same* gather-window batching amortize
+//! across clients and connections, not just across call sites.
+//!
+//! Everything is `std`-only and hand-rolled: a length-prefixed, versioned
+//! binary protocol over `std::net::TcpListener`, log-bucketed latency
+//! histograms, and a plaintext metrics listener.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!             TCP clients (N connections)
+//!                  │ frames ([`proto`])
+//!        per-connection reader threads
+//!                  │ admission: in-flight quota → queue depth
+//!                  ▼       (reject = typed RetryAfter, never buffering)
+//!          bounded job queue ──▶ dispatcher thread
+//!                                   │ gather window, then up to
+//!                                   │ `max_batch` jobs at once
+//!                                   ▼
+//!                       `Runtime::submit_batch`
+//!                                   │ fingerprint-grouped execution
+//!                                   ▼
+//!        per-connection writer threads ──▶ responses
+//! ```
+//!
+//! * **Wire protocol** ([`proto`]): five request kinds. `Solve` ships CSR
+//!   factors + right-hand side; `WarmCheck` ships only a
+//!   [`rtpl_sparse::PatternFingerprint`] and asks "is this pattern's plan
+//!   cached?"; `SolveByFingerprint` solves against server-held factors
+//!   without re-shipping the pattern; `Stats` returns the metrics text;
+//!   `Shutdown` drains gracefully. Values travel as raw IEEE-754 bits, so
+//!   answers are bit-exact with a local solve.
+//! * **Admission control** ([`Server`]): a per-connection in-flight quota
+//!   and a bounded queue. Both reject with [`proto::Response::RetryAfter`]
+//!   — typed, immediate, and carrying a suggested delay — instead of
+//!   buffering unboundedly. Draining rejects new work but answers every
+//!   request already accepted.
+//! * **Batching**: the dispatcher sleeps one gather window after the queue
+//!   becomes non-empty, so requests arriving close together — from *any*
+//!   mix of connections — land in one [`rtpl_runtime::Runtime::submit_batch`]
+//!   call and the runtime's fingerprint grouping amortizes value gathers
+//!   across clients.
+//! * **Metrics** ([`Histogram`]): per-request-kind log-bucketed latency
+//!   histograms plus the runtime's own counters
+//!   ([`rtpl_runtime::RuntimeStats::render_plaintext`]), served as
+//!   plaintext on a second loopback listener.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rtpl_server::{proto::Response, Client, Server, ServerConfig};
+//! use rtpl_sparse::{gen::laplacian_5pt, ilu0};
+//!
+//! let mut cfg = ServerConfig::default();
+//! cfg.runtime.calibrate = false; // fast startup for the example
+//! let server = Server::spawn(cfg).unwrap();
+//!
+//! let f = ilu0(&laplacian_5pt(6, 5)).unwrap();
+//! let b = vec![1.0; f.n()];
+//! let mut client = Client::connect(server.addr()).unwrap();
+//! // Cold: ship the factors once...
+//! let x = match client.solve(&f.l, &f.u, &b).unwrap() {
+//!     Response::Solved { x, .. } => x,
+//!     other => panic!("{other:?}"),
+//! };
+//! // ...then warm solves go by fingerprint only.
+//! let key = rtpl_runtime::Runtime::solve_key(&f);
+//! let x2 = match client.solve_by_fingerprint(key, &b).unwrap() {
+//!     Response::Solved { x, .. } => x,
+//!     other => panic!("{other:?}"),
+//! };
+//! assert_eq!(x, x2);
+//! server.shutdown().unwrap();
+//! ```
+
+pub mod client;
+pub mod histogram;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use histogram::Histogram;
+pub use proto::{ProtoError, Request, Response, RetryReason, WIRE_VERSION};
+pub use server::{Server, ServerConfig, ServerStats};

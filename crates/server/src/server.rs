@@ -1,0 +1,657 @@
+//! The service itself: listeners, admission control, the gather-window
+//! dispatcher, and graceful drain.
+//!
+//! Thread structure (all plain `std::thread`, no async runtime):
+//!
+//! * one **accept** thread per listener (requests + metrics);
+//! * per connection, a **reader** (decodes frames, answers cheap requests
+//!   inline, admits solve jobs) and a **writer** (serializes responses from
+//!   an `mpsc` channel, so the dispatcher never blocks on a slow client's
+//!   socket);
+//! * one **dispatcher** draining the bounded queue into
+//!   [`Runtime::submit_batch`] after a short gather window, so requests
+//!   arriving close together — from any mix of connections — share one
+//!   batch and the runtime's fingerprint grouping amortizes across
+//!   clients.
+//!
+//! Admission is two checks, both rejecting with a typed
+//! [`Response::RetryAfter`] instead of buffering: a per-connection
+//! in-flight quota (one client cannot monopolize the queue) and the queue
+//! depth bound (total buffered work is capped, so saturation costs memory
+//! proportional to the cap, never the offered load).
+
+use crate::histogram::Histogram;
+use crate::proto::{self, err_code, Request, Response, RetryReason, REQUEST_KINDS};
+use rtpl_runtime::selector::arm_index;
+use rtpl_runtime::{Job, NoBody, Runtime, RuntimeConfig};
+use rtpl_sparse::{IluFactors, PatternFingerprint};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// The runtime the server fronts (cache shards, processor count, …).
+    pub runtime: RuntimeConfig,
+    /// Bound on queued solve jobs across all connections; pushes beyond it
+    /// are rejected with [`RetryReason::QueueFull`].
+    pub queue_depth: usize,
+    /// Bound on one connection's unanswered solve jobs; beyond it,
+    /// [`RetryReason::QuotaExceeded`].
+    pub client_inflight: usize,
+    /// How long the dispatcher waits after the queue becomes non-empty
+    /// before draining a batch — the cross-client batching knob.
+    pub gather_window: Duration,
+    /// Most jobs drained into one [`Runtime::submit_batch`] call.
+    pub max_batch: usize,
+    /// Suggested client delay carried by every rejection.
+    pub retry_after_ms: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            runtime: RuntimeConfig::default(),
+            queue_depth: 256,
+            client_inflight: 32,
+            gather_window: Duration::from_micros(200),
+            max_batch: 128,
+            retry_after_ms: 2,
+        }
+    }
+}
+
+/// Counter snapshot of a [`Server`] (latency histograms are rendered by
+/// [`Server::metrics_text`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Connections ever accepted (excluding the metrics listener).
+    pub connections: u64,
+    /// Solve jobs admitted into the queue.
+    pub accepted_jobs: u64,
+    /// Solve jobs answered (success or typed error). Equals
+    /// `accepted_jobs` after a drain: every accepted request is answered.
+    pub answered_jobs: u64,
+    /// Rejections because the queue was at depth.
+    pub rejected_queue: u64,
+    /// Rejections because the connection's quota was exhausted.
+    pub rejected_quota: u64,
+    /// Rejections because the server was draining.
+    pub rejected_draining: u64,
+}
+
+struct Metrics {
+    connections: AtomicU64,
+    accepted: AtomicU64,
+    answered: AtomicU64,
+    rejected_queue: AtomicU64,
+    rejected_quota: AtomicU64,
+    rejected_draining: AtomicU64,
+    /// Request latency per kind, indexed as [`Request::kind_index`].
+    latency: [Histogram; 5],
+}
+
+impl Metrics {
+    fn new() -> Self {
+        Metrics {
+            connections: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            answered: AtomicU64::new(0),
+            rejected_queue: AtomicU64::new(0),
+            rejected_quota: AtomicU64::new(0),
+            rejected_draining: AtomicU64::new(0),
+            latency: [
+                Histogram::new(),
+                Histogram::new(),
+                Histogram::new(),
+                Histogram::new(),
+                Histogram::new(),
+            ],
+        }
+    }
+}
+
+/// One admitted solve job, owned by the queue (all borrows end at the
+/// reader; the dispatcher rebuilds borrowed [`Job`]s locally per batch).
+struct QueuedSolve {
+    id: u64,
+    factors: Arc<IluFactors>,
+    b: Vec<f64>,
+    reply: mpsc::Sender<(u64, Response)>,
+    inflight: Arc<AtomicUsize>,
+    kind_idx: usize,
+    t0: Instant,
+}
+
+struct QueueState {
+    q: VecDeque<QueuedSolve>,
+    /// Admitted jobs not yet answered (queued + in the current batch).
+    open: usize,
+    draining: bool,
+}
+
+struct Inner {
+    cfg: ServerConfig,
+    runtime: Runtime,
+    addr: SocketAddr,
+    metrics_addr: SocketAddr,
+    /// Factors registered by full `Solve` requests, keyed by solve
+    /// fingerprint — what `SolveByFingerprint` solves against.
+    registry: Mutex<HashMap<u128, Arc<IluFactors>>>,
+    queue: Mutex<QueueState>,
+    not_empty: Condvar,
+    drained: Condvar,
+    /// Stops the accept loops and (once the queue is empty) the
+    /// dispatcher.
+    stop: AtomicBool,
+    /// Read halves of live connections, shut down on close so readers
+    /// unblock (write halves stay open until every response is flushed).
+    conns: Mutex<Vec<TcpStream>>,
+    conn_threads: Mutex<Vec<JoinHandle<()>>>,
+    metrics: Metrics,
+}
+
+/// The running service. See the crate docs for the architecture; see
+/// [`Server::spawn`] / [`Server::shutdown`] for the lifecycle.
+pub struct Server {
+    inner: Arc<Inner>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Binds both listeners on loopback ephemeral ports, starts the
+    /// runtime and every service thread, and returns ready to serve.
+    pub fn spawn(cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let metrics_listener = TcpListener::bind("127.0.0.1:0")?;
+        let inner = Arc::new(Inner {
+            runtime: Runtime::new(cfg.runtime),
+            addr: listener.local_addr()?,
+            metrics_addr: metrics_listener.local_addr()?,
+            registry: Mutex::new(HashMap::new()),
+            queue: Mutex::new(QueueState {
+                q: VecDeque::new(),
+                open: 0,
+                draining: false,
+            }),
+            not_empty: Condvar::new(),
+            drained: Condvar::new(),
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            conn_threads: Mutex::new(Vec::new()),
+            metrics: Metrics::new(),
+            cfg,
+        });
+        let mut threads = Vec::new();
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(std::thread::spawn(move || accept_loop(&inner, listener)));
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(std::thread::spawn(move || {
+                metrics_loop(&inner, metrics_listener)
+            }));
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(std::thread::spawn(move || dispatcher_loop(&inner)));
+        }
+        Ok(Server {
+            inner,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// Address of the request listener.
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Address of the plaintext metrics listener.
+    pub fn metrics_addr(&self) -> SocketAddr {
+        self.inner.metrics_addr
+    }
+
+    /// The runtime behind the front door (for in-process inspection).
+    pub fn runtime(&self) -> &Runtime {
+        &self.inner.runtime
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.stats()
+    }
+
+    /// The full metrics text: server counters, per-kind latency
+    /// histograms, and the runtime's own counters — exactly what the
+    /// metrics listener serves.
+    pub fn metrics_text(&self) -> String {
+        self.inner.metrics_text()
+    }
+
+    /// Graceful drain: stop admitting, then block until every accepted
+    /// solve job has been answered. New solve requests during (and after)
+    /// the drain are rejected with [`RetryReason::Draining`]; connections
+    /// stay open.
+    pub fn drain(&self) {
+        self.inner.begin_drain();
+        self.inner.wait_drained();
+    }
+
+    /// Full graceful shutdown: [`Server::drain`], then stop the accept
+    /// loops, close every connection's read half (responses already in
+    /// flight still go out), and join every thread. Idempotent.
+    pub fn shutdown(&self) -> io::Result<()> {
+        self.drain();
+        self.inner.stop.store(true, Ordering::SeqCst);
+        // Wake the dispatcher (waiting on a condvar) and both accept loops
+        // (blocked in `accept`).
+        self.inner.not_empty.notify_all();
+        let _ = TcpStream::connect(self.inner.addr);
+        let _ = TcpStream::connect(self.inner.metrics_addr);
+        for conn in self
+            .inner
+            .conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+        {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        for t in self
+            .inner
+            .conn_threads
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+        {
+            let _ = t.join();
+        }
+        for t in self
+            .threads
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+        {
+            let _ = t.join();
+        }
+        Ok(())
+    }
+}
+
+impl Inner {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.metrics.connections.load(Ordering::Relaxed),
+            accepted_jobs: self.metrics.accepted.load(Ordering::Relaxed),
+            answered_jobs: self.metrics.answered.load(Ordering::Relaxed),
+            rejected_queue: self.metrics.rejected_queue.load(Ordering::Relaxed),
+            rejected_quota: self.metrics.rejected_quota.load(Ordering::Relaxed),
+            rejected_draining: self.metrics.rejected_draining.load(Ordering::Relaxed),
+        }
+    }
+
+    fn metrics_text(&self) -> String {
+        let s = self.stats();
+        let mut out = String::new();
+        for (name, v) in [
+            ("rtpl_server_connections", s.connections),
+            ("rtpl_server_accepted_jobs", s.accepted_jobs),
+            ("rtpl_server_answered_jobs", s.answered_jobs),
+            ("rtpl_server_rejected_queue", s.rejected_queue),
+            ("rtpl_server_rejected_quota", s.rejected_quota),
+            ("rtpl_server_rejected_draining", s.rejected_draining),
+        ] {
+            out.push_str(&format!("{name} {v}\n"));
+        }
+        for (i, kind) in REQUEST_KINDS.iter().enumerate() {
+            out.push_str(
+                &self.metrics.latency[i].render_plaintext(&format!("rtpl_server_latency_{kind}")),
+            );
+        }
+        out.push_str(&self.runtime.stats().render_plaintext());
+        out
+    }
+
+    fn begin_drain(&self) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.draining = true;
+        // Wake the dispatcher in case it sleeps on an empty queue with
+        // nothing else ever arriving.
+        self.not_empty.notify_all();
+    }
+
+    fn wait_drained(&self) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        while q.open > 0 {
+            q = self.drained.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Two-stage admission; on rejection the job is dropped here and the
+    /// caller sends the typed `RetryAfter`.
+    fn admit(&self, job: QueuedSolve) -> Result<(), RetryReason> {
+        let prev = job.inflight.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.cfg.client_inflight {
+            job.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.metrics.rejected_quota.fetch_add(1, Ordering::Relaxed);
+            return Err(RetryReason::QuotaExceeded);
+        }
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.draining {
+            job.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.metrics
+                .rejected_draining
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(RetryReason::Draining);
+        }
+        if q.q.len() >= self.cfg.queue_depth {
+            job.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.metrics.rejected_queue.fetch_add(1, Ordering::Relaxed);
+            return Err(RetryReason::QueueFull);
+        }
+        q.q.push_back(job);
+        q.open += 1;
+        self.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        self.not_empty.notify_all();
+        Ok(())
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if inner.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        inner.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        let Ok(read_half) = stream.try_clone() else {
+            continue;
+        };
+        inner
+            .conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(read_half);
+        let writer_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let (tx, rx) = mpsc::channel::<(u64, Response)>();
+        let writer = std::thread::spawn(move || writer_loop(writer_half, rx));
+        let reader = std::thread::spawn({
+            let inner = Arc::clone(inner);
+            move || reader_loop(&inner, stream, tx)
+        });
+        let mut threads = inner.conn_threads.lock().unwrap_or_else(|e| e.into_inner());
+        threads.push(writer);
+        threads.push(reader);
+    }
+}
+
+/// Serializes responses onto the socket; exits (flushing everything) once
+/// all senders — the reader plus every queued job — are gone.
+fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<(u64, Response)>) {
+    while let Ok((id, resp)) = rx.recv() {
+        if proto::write_frame(&mut stream, &proto::encode_response(id, &resp)).is_err() {
+            break;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+}
+
+fn reader_loop(inner: &Arc<Inner>, stream: TcpStream, tx: mpsc::Sender<(u64, Response)>) {
+    let mut stream = io::BufReader::new(stream);
+    // Clean EOF (`Ok(None)`) and transport errors both end the reader.
+    while let Ok(Some(payload)) = proto::read_frame(&mut stream) {
+        let t0 = Instant::now();
+        let (id, req) = match proto::decode_request(&payload) {
+            Ok(x) => x,
+            Err(e) => {
+                // The frame was well-delimited but undecodable; report it
+                // (id 0 — the real id may be unreadable) and keep going.
+                let _ = tx.send((
+                    0,
+                    Response::Error {
+                        code: err_code::BAD_REQUEST,
+                        message: e.to_string(),
+                    },
+                ));
+                continue;
+            }
+        };
+        let kind_idx = req.kind_index();
+        // Solve-class requests record latency at reply time in the
+        // dispatcher; everything answered inline records right here.
+        let mut answered_inline = true;
+        match req {
+            Request::Stats => {
+                let _ = tx.send((
+                    id,
+                    Response::StatsText {
+                        text: inner.metrics_text(),
+                    },
+                ));
+            }
+            Request::WarmCheck { key } => {
+                let warm = inner
+                    .registry
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .contains_key(&key.as_u128());
+                let _ = tx.send((id, Response::WarmStatus { warm }));
+            }
+            Request::Shutdown => {
+                // Graceful: stop admitting, answer everything accepted,
+                // then acknowledge. The owner completes the teardown with
+                // `Server::shutdown`.
+                inner.begin_drain();
+                inner.wait_drained();
+                let _ = tx.send((id, Response::ShutdownAck));
+            }
+            Request::Solve { l, u, b } => {
+                let factors = IluFactors { l, u };
+                match validate_solve(&factors, &b) {
+                    Err(resp) => {
+                        let _ = tx.send((id, resp));
+                    }
+                    Ok(()) => {
+                        let key = Runtime::solve_key(&factors).as_u128();
+                        let factors = Arc::clone(
+                            inner
+                                .registry
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .entry(key)
+                                .or_insert_with(|| Arc::new(factors)),
+                        );
+                        answered_inline = !submit(inner, &tx, id, kind_idx, factors, b, t0);
+                    }
+                }
+            }
+            Request::SolveByFingerprint { key, b } => match lookup(inner, key) {
+                Err(resp) => {
+                    let _ = tx.send((id, resp));
+                }
+                Ok(factors) => {
+                    if factors.n() != b.len() {
+                        let _ = tx.send((id, dimension_error(factors.n(), b.len())));
+                    } else {
+                        answered_inline = !submit(inner, &tx, id, kind_idx, factors, b, t0);
+                    }
+                }
+            },
+        }
+        if answered_inline {
+            inner.metrics.latency[kind_idx].record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+fn dimension_error(expected: usize, found: usize) -> Response {
+    Response::Error {
+        code: err_code::BAD_REQUEST,
+        message: format!("rhs length {found} does not match matrix order {expected}"),
+    }
+}
+
+fn validate_solve(factors: &IluFactors, b: &[f64]) -> Result<(), Response> {
+    let n = factors.l.nrows();
+    if factors.l.ncols() != n || factors.u.nrows() != n || factors.u.ncols() != n {
+        return Err(Response::Error {
+            code: err_code::BAD_REQUEST,
+            message: format!(
+                "factors must be square and conformal: L is {}x{}, U is {}x{}",
+                factors.l.nrows(),
+                factors.l.ncols(),
+                factors.u.nrows(),
+                factors.u.ncols()
+            ),
+        });
+    }
+    if b.len() != n {
+        return Err(dimension_error(n, b.len()));
+    }
+    Ok(())
+}
+
+fn lookup(inner: &Inner, key: PatternFingerprint) -> Result<Arc<IluFactors>, Response> {
+    inner
+        .registry
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .get(&key.as_u128())
+        .cloned()
+        .ok_or_else(|| Response::Error {
+            code: err_code::UNKNOWN_PATTERN,
+            message: format!("no factors registered for pattern {key}"),
+        })
+}
+
+/// Admission for one decoded solve-class request. Returns `true` if the
+/// job was queued (latency recorded later, by the dispatcher); on
+/// rejection the typed `RetryAfter` goes out immediately and this returns
+/// `false`.
+fn submit(
+    inner: &Arc<Inner>,
+    tx: &mpsc::Sender<(u64, Response)>,
+    id: u64,
+    kind_idx: usize,
+    factors: Arc<IluFactors>,
+    b: Vec<f64>,
+    t0: Instant,
+) -> bool {
+    // One quota counter per connection: each connection has exactly one
+    // reader thread, so a thread-local is a per-connection counter.
+    thread_local! {
+        static INFLIGHT: Arc<AtomicUsize> = Arc::new(AtomicUsize::new(0));
+    }
+    let inflight = INFLIGHT.with(Arc::clone);
+    let job = QueuedSolve {
+        id,
+        factors,
+        b,
+        reply: tx.clone(),
+        inflight,
+        kind_idx,
+        t0,
+    };
+    match inner.admit(job) {
+        Ok(()) => true,
+        Err(reason) => {
+            let _ = tx.send((
+                id,
+                Response::RetryAfter {
+                    retry_ms: inner.cfg.retry_after_ms,
+                    reason,
+                },
+            ));
+            false
+        }
+    }
+}
+
+/// One-shot plaintext metrics endpoint: each connection gets the current
+/// metrics text in a minimal HTTP/1.0 response and is closed. Works with
+/// `curl` and with a plain TCP read.
+fn metrics_loop(inner: &Arc<Inner>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if inner.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        // Consume whatever request line the client sent (if any), then
+        // answer unconditionally.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        let mut buf = [0u8; 1024];
+        let _ = stream.read(&mut buf);
+        let body = inner.metrics_text();
+        let _ = write!(
+            stream,
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+    }
+}
+
+fn dispatcher_loop(inner: &Arc<Inner>) {
+    loop {
+        {
+            let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            while q.q.is_empty() && !inner.stop.load(Ordering::SeqCst) {
+                q = inner.not_empty.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+            if q.q.is_empty() {
+                return; // stop requested, nothing left to answer
+            }
+        }
+        // Gather window: let near-simultaneous requests join this batch.
+        std::thread::sleep(inner.cfg.gather_window);
+        let batch: Vec<QueuedSolve> = {
+            let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let take = q.q.len().min(inner.cfg.max_batch);
+            q.q.drain(..take).collect()
+        };
+        if batch.is_empty() {
+            continue;
+        }
+        let mut xs: Vec<Vec<f64>> = batch.iter().map(|j| vec![0.0; j.factors.n()]).collect();
+        let jobs: Vec<Job<'_, NoBody>> = batch
+            .iter()
+            .zip(xs.iter_mut())
+            .map(|(j, x)| Job::solve(&j.factors, &j.b, x))
+            .collect();
+        let outcome = inner.runtime.submit_batch(jobs);
+        let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+        for ((job, x), result) in batch.into_iter().zip(xs).zip(outcome.jobs) {
+            let resp = match result {
+                Ok(out) => Response::Solved {
+                    cached: out.cached(),
+                    policy: arm_index(out.policy()) as u8,
+                    x,
+                },
+                Err(e) => Response::Error {
+                    code: err_code::RUNTIME,
+                    message: e.to_string(),
+                },
+            };
+            // Counters move before the reply so a client that reads its
+            // response immediately observes them updated.
+            inner.metrics.latency[job.kind_idx].record(job.t0.elapsed().as_nanos() as u64);
+            inner.metrics.answered.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send((job.id, resp));
+            job.inflight.fetch_sub(1, Ordering::AcqRel);
+            q.open -= 1;
+        }
+        if q.open == 0 {
+            inner.drained.notify_all();
+        }
+    }
+}

@@ -53,12 +53,19 @@ impl Csr {
                 "indptr must start at 0 and end at nnz".to_string(),
             ));
         }
+        // Validate the whole indptr before slicing with it: monotone plus
+        // the endpoints above bounds every entry by `indices.len()`. (Row
+        // `i`'s slice uses `indptr[i + 1]`, whose own pairwise check only
+        // happens at iteration `i + 1` — checking while slicing panics on
+        // an oversized middle entry instead of returning the typed error.)
         for i in 0..nrows {
             if indptr[i] > indptr[i + 1] {
                 return Err(SparseError::InvalidStructure(format!(
                     "indptr not monotone at row {i}"
                 )));
             }
+        }
+        for i in 0..nrows {
             let row = &indices[indptr[i]..indptr[i + 1]];
             for (k, &c) in row.iter().enumerate() {
                 if c as usize >= ncols {

@@ -58,6 +58,16 @@ impl PatternFingerprint {
         h.finish()
     }
 
+    /// Reassembles a fingerprint from its two halves — the inverse of
+    /// [`PatternFingerprint::hi`] / [`PatternFingerprint::lo`], used by the
+    /// wire codec to reconstruct a key a client sent over the network. The
+    /// halves are opaque: only values previously produced by fingerprinting
+    /// identify a pattern.
+    #[inline]
+    pub fn from_halves(hi: u64, lo: u64) -> Self {
+        PatternFingerprint { hi, lo }
+    }
+
     /// The fingerprint as one 128-bit integer (map keys, compact logs).
     #[inline]
     pub fn as_u128(&self) -> u128 {

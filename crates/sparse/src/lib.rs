@@ -26,6 +26,9 @@
 //!   patterns (values excluded), the cache key of the `rtpl-runtime` plan
 //!   cache.
 //! * [`io`] — Matrix Market reading/writing.
+//! * [`wire`] — compact binary wire codec for CSR matrices, vectors, and
+//!   fingerprints (the `rtpl-server` network format; bit-exact, typed
+//!   errors on truncation/corruption).
 //! * [`dense`] — small dense-matrix helpers used to verify the sparse
 //!   kernels in tests.
 //! * [`rng`] — a tiny deterministic PRNG for the random generators (no
@@ -41,6 +44,7 @@ pub mod io;
 pub mod ordering;
 pub mod rng;
 pub mod triangular;
+pub mod wire;
 
 pub use coo::CooBuilder;
 pub use csr::Csr;

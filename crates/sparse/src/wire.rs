@@ -1,0 +1,382 @@
+//! Compact binary wire codec for sparse structures.
+//!
+//! `rtpl-server` ships CSR factors, right-hand sides, and pattern
+//! fingerprints between processes; this module is the (de)serializer both
+//! ends share. Design constraints, in order:
+//!
+//! * **Bit-exact round trips.** Floating-point values travel as raw IEEE-754
+//!   bits ([`f64::to_bits`]), so `-0.0`, subnormals, and every last ulp of a
+//!   solve input survive the network unchanged — the server's answers can be
+//!   asserted *exactly* equal to a local reference.
+//! * **Typed failures, never panics.** A truncated or corrupted buffer
+//!   decodes to a [`WireError`]; CSR payloads are re-validated through
+//!   [`Csr::try_new`], so structural garbage (non-monotone `indptr`,
+//!   out-of-range columns, …) is rejected with the same diagnostics local
+//!   construction would produce.
+//! * **Bounded allocation.** Element counts are checked against the bytes
+//!   actually present *before* any buffer is allocated, so a corrupt length
+//!   prefix cannot request terabytes.
+//!
+//! All integers are little-endian. The codec is deliberately positional
+//! (no field tags): framing, versioning, and request kinds live one layer
+//! up, in `rtpl-server`'s protocol module.
+
+use crate::{Csr, PatternFingerprint};
+
+/// Errors produced by wire decoding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The buffer ended mid-field: `needed` bytes were required where only
+    /// `have` remained.
+    Truncated { needed: usize, have: usize },
+    /// The bytes decoded but describe an invalid object (CSR validation
+    /// failure, absurd element count, trailing garbage, …).
+    Invalid(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(f, "truncated frame: needed {needed} bytes, have {have}")
+            }
+            WireError::Invalid(msg) => write!(f, "invalid wire payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Crate-local result alias for wire decoding.
+pub type WireResult<T> = std::result::Result<T, WireError>;
+
+/// An append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        WireWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed `f64` slice (count as `u64`, then bits).
+    pub fn put_f64s(&mut self, xs: &[f64]) {
+        self.put_u64(xs.len() as u64);
+        for &x in xs {
+            self.put_f64(x);
+        }
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Appends a fingerprint as its `(hi, lo)` halves.
+    pub fn put_fingerprint(&mut self, fp: PatternFingerprint) {
+        self.put_u64(fp.hi());
+        self.put_u64(fp.lo());
+    }
+
+    /// Appends a full CSR matrix: shape, `indptr`, `indices`, `data`.
+    pub fn put_csr(&mut self, m: &Csr) {
+        self.put_u64(m.nrows() as u64);
+        self.put_u64(m.ncols() as u64);
+        self.put_u64(m.nnz() as u64);
+        for &p in m.indptr() {
+            self.put_u64(p as u64);
+        }
+        for &j in m.indices() {
+            self.put_u32(j);
+        }
+        for &v in m.data() {
+            self.put_f64(v);
+        }
+    }
+}
+
+/// A cursor-based little-endian decoder over a borrowed buffer.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                have: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> WireResult<u32> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes(s.try_into().expect("4-byte slice")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> WireResult<u64> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes(s.try_into().expect("8-byte slice")))
+    }
+
+    /// Reads an `f64` from its raw bit pattern.
+    pub fn f64(&mut self) -> WireResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a count that claims `width`-byte elements follow, verifying the
+    /// bytes are actually present before anything is allocated.
+    fn checked_count(&mut self, width: usize, what: &str) -> WireResult<usize> {
+        let raw = self.u64()?;
+        let count = usize::try_from(raw)
+            .map_err(|_| WireError::Invalid(format!("{what} count {raw} overflows usize")))?;
+        let needed = count
+            .checked_mul(width)
+            .ok_or_else(|| WireError::Invalid(format!("{what} count {count} overflows")))?;
+        if self.remaining() < needed {
+            return Err(WireError::Truncated {
+                needed,
+                have: self.remaining(),
+            });
+        }
+        Ok(count)
+    }
+
+    /// Reads a length-prefixed `f64` slice written by [`WireWriter::put_f64s`].
+    pub fn f64s(&mut self) -> WireResult<Vec<f64>> {
+        let count = self.checked_count(8, "f64 slice")?;
+        (0..count).map(|_| self.f64()).collect()
+    }
+
+    /// Reads a length-prefixed UTF-8 string written by [`WireWriter::put_str`].
+    pub fn str(&mut self) -> WireResult<String> {
+        let count = self.checked_count(1, "string")?;
+        let bytes = self.take(count)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| WireError::Invalid(format!("string is not UTF-8: {e}")))
+    }
+
+    /// Reads a fingerprint written by [`WireWriter::put_fingerprint`].
+    pub fn fingerprint(&mut self) -> WireResult<PatternFingerprint> {
+        let hi = self.u64()?;
+        let lo = self.u64()?;
+        Ok(PatternFingerprint::from_halves(hi, lo))
+    }
+
+    /// Reads a CSR matrix written by [`WireWriter::put_csr`], re-validating
+    /// the structure through [`Csr::try_new`].
+    pub fn csr(&mut self) -> WireResult<Csr> {
+        let nrows = self.u64()? as usize;
+        let ncols = self.u64()? as usize;
+        let nnz = self.u64()? as usize;
+        // `indptr` has nrows + 1 entries; guard the sum before allocating.
+        let ptr_len = nrows
+            .checked_add(1)
+            .ok_or_else(|| WireError::Invalid(format!("nrows {nrows} overflows")))?;
+        let ptr_bytes = ptr_len
+            .checked_mul(8)
+            .ok_or_else(|| WireError::Invalid(format!("indptr length {ptr_len} overflows")))?;
+        let elem_bytes = nnz
+            .checked_mul(12) // u32 index + f64 value per stored entry
+            .ok_or_else(|| WireError::Invalid(format!("nnz {nnz} overflows")))?;
+        let needed = ptr_bytes
+            .checked_add(elem_bytes)
+            .ok_or_else(|| WireError::Invalid("csr payload size overflows".to_string()))?;
+        if self.remaining() < needed {
+            return Err(WireError::Truncated {
+                needed,
+                have: self.remaining(),
+            });
+        }
+        let indptr: Vec<usize> = (0..ptr_len)
+            .map(|_| self.u64().map(|p| p as usize))
+            .collect::<WireResult<_>>()?;
+        let indices: Vec<u32> = (0..nnz).map(|_| self.u32()).collect::<WireResult<_>>()?;
+        let data: Vec<f64> = (0..nnz).map(|_| self.f64()).collect::<WireResult<_>>()?;
+        Csr::try_new(nrows, ncols, indptr, indices, data)
+            .map_err(|e| WireError::Invalid(format!("csr validation failed: {e}")))
+    }
+
+    /// Asserts the buffer was consumed exactly; trailing bytes are an error
+    /// (they mean the two ends disagree about the payload layout).
+    pub fn finish(self) -> WireResult<()> {
+        if self.remaining() != 0 {
+            return Err(WireError::Invalid(format!(
+                "{} trailing bytes after payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::laplacian_5pt;
+
+    fn roundtrip_csr(m: &Csr) -> Csr {
+        let mut w = WireWriter::new();
+        w.put_csr(m);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let back = r.csr().expect("decode");
+        r.finish().expect("no trailing bytes");
+        back
+    }
+
+    #[test]
+    fn csr_roundtrip_is_bit_exact() {
+        let mut m = laplacian_5pt(5, 4);
+        // Plant awkward values: -0.0, subnormal, huge, tiny.
+        m.data_mut()[0] = -0.0;
+        m.data_mut()[1] = f64::MIN_POSITIVE / 4.0;
+        m.data_mut()[2] = 1e300;
+        let back = roundtrip_csr(&m);
+        assert_eq!(back.nrows(), m.nrows());
+        assert_eq!(back.ncols(), m.ncols());
+        assert_eq!(back.indptr(), m.indptr());
+        assert_eq!(back.indices(), m.indices());
+        let bits = |xs: &[f64]| xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(back.data()), bits(m.data()));
+    }
+
+    #[test]
+    fn vectors_strings_and_fingerprints_roundtrip() {
+        let xs = vec![0.0, -0.0, 3.5, f64::MIN_POSITIVE, -1e-300];
+        let fp = laplacian_5pt(3, 3).pattern_fingerprint();
+        let mut w = WireWriter::new();
+        w.put_f64s(&xs);
+        w.put_fingerprint(fp);
+        w.put_str("hello wire");
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let ys = r.f64s().unwrap();
+        assert_eq!(
+            xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            ys.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(r.fingerprint().unwrap(), fp);
+        assert_eq!(r.str().unwrap(), "hello wire");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_yields_typed_errors_at_every_prefix() {
+        let mut w = WireWriter::new();
+        w.put_csr(&laplacian_5pt(4, 3));
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = WireReader::new(&bytes[..cut]);
+            match r.csr() {
+                Err(WireError::Truncated { .. }) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_structure_is_rejected_not_panicked() {
+        let m = laplacian_5pt(4, 3);
+        let mut w = WireWriter::new();
+        w.put_csr(&m);
+        let mut bytes = w.into_bytes();
+        // Corrupt the first column index (offset: 3 shape words + indptr).
+        let off = 24 + 8 * (m.nrows() + 1);
+        bytes[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = WireReader::new(&bytes);
+        match r.csr() {
+            Err(WireError::Invalid(msg)) => assert!(msg.contains("csr validation")),
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absurd_counts_do_not_allocate() {
+        // Claim u64::MAX elements with an empty tail: typed error, instantly.
+        let mut w = WireWriter::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        match r.f64s() {
+            Err(WireError::Invalid(_)) | Err(WireError::Truncated { .. }) => {}
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut w = WireWriter::new();
+        w.put_u32(7);
+        w.put_u8(0xFF);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.u32().unwrap(), 7);
+        match r.finish() {
+            Err(WireError::Invalid(msg)) => assert!(msg.contains("trailing")),
+            other => panic!("expected trailing-byte error, got {other:?}"),
+        }
+    }
+}

@@ -85,6 +85,17 @@ impl ZipfMix {
         ids.extend(self.stream(remaining, seed));
         ids
     }
+
+    /// One deterministic stream per simulated client, each `len` ranks
+    /// long. Clients draw from the same Zipf mix but with decorrelated
+    /// seeds, so they disagree about *when* they touch a pattern while
+    /// still sharing the hot set — the traffic shape a network front door
+    /// sees, and what the server load generator replays.
+    pub fn client_streams(&self, clients: usize, len: usize, seed: u64) -> Vec<Vec<usize>> {
+        (0..clients)
+            .map(|c| self.stream(len, seed ^ (c as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .collect()
+    }
 }
 
 /// What one request of a mixed service stream asks for.
@@ -236,5 +247,27 @@ mod tests {
         }
         let again = pattern_set(10, 8, 21);
         assert_eq!(set, again);
+    }
+
+    #[test]
+    fn client_streams_are_deterministic_and_decorrelated() {
+        let mix = ZipfMix::new(8, 1.1);
+        let streams = mix.client_streams(4, 200, 99);
+        assert_eq!(streams.len(), 4);
+        assert!(streams.iter().all(|s| s.len() == 200));
+        // Replaying the same seed reproduces every client exactly.
+        assert_eq!(streams, mix.client_streams(4, 200, 99));
+        // Clients are decorrelated: no two streams are identical.
+        for a in 0..4 {
+            for b in a + 1..4 {
+                assert_ne!(streams[a], streams[b], "clients {a} and {b} collide");
+            }
+        }
+        // But they share the distribution: every client favors rank 0.
+        for s in &streams {
+            let hot = s.iter().filter(|&&r| r == 0).count();
+            let cold = s.iter().filter(|&&r| r == 7).count();
+            assert!(hot > cold);
+        }
     }
 }

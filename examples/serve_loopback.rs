@@ -1,0 +1,79 @@
+//! The TCP front door, end to end over loopback: spawn an `rtpl-server`,
+//! walk the intended client flow (cold solve → warm check → solve by
+//! fingerprint), and read the metrics endpoint.
+//!
+//! ```sh
+//! cargo run --release --example serve_loopback
+//! ```
+//!
+//! The interesting part is what the *second* client sees: the first
+//! client's `Solve` registered the pattern and warmed the plan cache, so
+//! the second never ships a matrix at all — `WarmCheck` says yes, and
+//! every solve goes by fingerprint. That is the paper's amortization
+//! argument stretched across a network boundary.
+
+use rtpl::runtime::Runtime;
+use rtpl::server::proto::Response;
+use rtpl::server::{Client, Server, ServerConfig};
+use rtpl::sparse::gen::laplacian_5pt;
+use rtpl::sparse::ilu0;
+use std::io::Read;
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    cfg.runtime.nprocs = 2;
+    let server = Server::spawn(cfg).expect("spawn server");
+    println!(
+        "serving on {}, metrics on {}\n",
+        server.addr(),
+        server.metrics_addr()
+    );
+
+    let f = ilu0(&laplacian_5pt(30, 30)).expect("ilu0");
+    let key = Runtime::solve_key(&f);
+    let b = vec![1.0; f.n()];
+
+    // Client 1 pays the cold cost: factors go over the wire once.
+    let mut first = Client::connect(server.addr()).expect("connect");
+    let x1 = match first.solve(&f.l, &f.u, &b).expect("solve") {
+        Response::Solved { x, cached, .. } => {
+            println!("client 1: cold solve, cached = {cached}");
+            x
+        }
+        other => panic!("{other:?}"),
+    };
+
+    // Client 2 never ships a matrix: warm check, then fingerprint solves.
+    let mut second = Client::connect(server.addr()).expect("connect");
+    match second.warm_check(key).expect("warm check") {
+        Response::WarmStatus { warm } => println!("client 2: warm check -> {warm}"),
+        other => panic!("{other:?}"),
+    }
+    for i in 0..3 {
+        match second.solve_by_fingerprint(key, &b).expect("warm solve") {
+            Response::Solved { x, cached, .. } => {
+                assert_eq!(x, x1, "warm solve deviates");
+                println!("client 2: fingerprint solve {i}, cached = {cached}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    // The metrics endpoint is plain HTTP; read it with a raw socket.
+    let mut text = String::new();
+    let mut sock = std::net::TcpStream::connect(server.metrics_addr()).expect("metrics");
+    std::io::Write::write_all(&mut sock, b"GET / HTTP/1.0\r\n\r\n").expect("request");
+    sock.read_to_string(&mut text).expect("read metrics");
+    let body = text.split("\r\n\r\n").nth(1).unwrap_or(&text);
+    println!("\nmetrics (excerpt):");
+    for line in body.lines().filter(|l| {
+        l.starts_with("rtpl_server_answered")
+            || l.starts_with("rtpl_server_latency_solve_by_fingerprint_p")
+            || l.starts_with("rtpl_solve_cache")
+    }) {
+        println!("  {line}");
+    }
+
+    server.shutdown().expect("shutdown");
+    println!("\ndrained and shut down cleanly");
+}

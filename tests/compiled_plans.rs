@@ -142,6 +142,74 @@ fn compiled_value_refresh_is_bit_exact_with_fallback() {
     }
 }
 
+/// The single-rhs fused sequential path (load folded into the sweep) is
+/// bit-exact with the split load-then-run path and the sequential
+/// reference, over random DAGs × plan processor counts. This gates the
+/// runtime's lone-request fast path.
+#[test]
+fn fused_sequential_matches_split_and_reference_over_random_dags() {
+    for (seed, n, deg) in [(11u64, 150usize, 4usize), (22, 220, 6), (33, 80, 3)] {
+        let factors = factors_from_pattern(&random_lower(n, deg, seed));
+        let n = factors.n();
+        let b: Vec<f64> = (0..n)
+            .map(|i| 0.5 + ((i * 31 + seed as usize) % 89) as f64 * 0.013)
+            .collect();
+        let reference = {
+            let plan =
+                TriangularSolvePlan::new(&factors, 1, ExecutorKind::Sequential, Sorting::Global)
+                    .unwrap();
+            let mut x = vec![0.0; n];
+            let mut scratch = SolveScratch::new(n);
+            plan.solve_with(
+                None,
+                ExecutorKind::Sequential,
+                &factors,
+                &b,
+                &mut x,
+                &mut scratch,
+            )
+            .unwrap();
+            x
+        };
+        for nprocs in [1usize, 2, 4] {
+            let compiled = compiled_for(&factors, nprocs, Sorting::Global);
+            // Split path: explicit load, then run.
+            let mut x_split = vec![0.0; n];
+            let mut s_split = compiled.scratch();
+            compiled
+                .solve(
+                    None,
+                    ExecutorKind::Sequential,
+                    &factors,
+                    &b,
+                    &mut x_split,
+                    &mut s_split,
+                )
+                .unwrap();
+            // Fused path, on a fresh never-loaded scratch.
+            let mut x_fused = vec![0.0; n];
+            let mut s_fused = compiled.scratch();
+            compiled
+                .solve_fused_sequential(&factors, &b, &mut x_fused, &mut s_fused)
+                .unwrap();
+            assert_eq!(x_fused, x_split, "seed {seed}/{nprocs}: fused != split");
+            assert_eq!(
+                x_fused, reference,
+                "seed {seed}/{nprocs}: fused != reference"
+            );
+            // And again on the now-dirty scratch (no stale-state leakage).
+            let mut x_again = vec![0.0; n];
+            compiled
+                .solve_fused_sequential(&factors, &b, &mut x_again, &mut s_fused)
+                .unwrap();
+            assert_eq!(
+                x_again, reference,
+                "seed {seed}/{nprocs}: fused rerun deviates"
+            );
+        }
+    }
+}
+
 /// Many threads share one compiled plan (`Arc`), each with its own
 /// scratch — results stay bit-exact under genuine concurrency.
 #[test]

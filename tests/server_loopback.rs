@@ -1,0 +1,356 @@
+//! Acceptance tests for the TCP front door (PR 6 tentpole): end-to-end
+//! solves over loopback, backpressure under saturation, per-client
+//! quotas, and graceful drain under concurrent load.
+//!
+//! The invariants, per the admission design:
+//! * a saturated queue answers with typed `RetryAfter` — it never hangs
+//!   the client and never buffers unboundedly;
+//! * every request the server *accepts* is answered, even when a drain
+//!   begins mid-load;
+//! * solved values are bit-exact with a local sequential solve.
+
+use rtpl::runtime::{Runtime, RuntimeConfig};
+use rtpl::server::proto::{Request, Response, RetryReason};
+use rtpl::server::{Client, ClientError, Server, ServerConfig};
+use rtpl::sparse::gen::laplacian_5pt;
+use rtpl::sparse::{ilu0, IluFactors};
+use rtpl::workload::requests::pattern_set;
+use std::time::Duration;
+
+fn test_server_config() -> ServerConfig {
+    ServerConfig {
+        runtime: RuntimeConfig {
+            nprocs: 2,
+            calibrate: false,
+            ..RuntimeConfig::default()
+        },
+        ..ServerConfig::default()
+    }
+}
+
+fn test_factors() -> (IluFactors, Vec<f64>) {
+    let f = ilu0(&laplacian_5pt(7, 6)).unwrap();
+    let n = f.n();
+    let b = (0..n).map(|i| 1.0 + (i % 13) as f64 * 0.07).collect();
+    (f, b)
+}
+
+/// Local sequential reference through the same runtime code path the
+/// server uses, so bit-exactness is a statement about the *wire*, not
+/// about executor-policy agreement (that's `compiled_plans.rs`).
+fn reference_solve(f: &IluFactors, b: &[f64]) -> Vec<f64> {
+    let rt = Runtime::new(RuntimeConfig {
+        nprocs: 1,
+        calibrate: false,
+        ..RuntimeConfig::default()
+    });
+    let mut x = vec![0.0; f.n()];
+    rt.solve(f, b, &mut x).unwrap();
+    x
+}
+
+/// Cold solve → warm check → fingerprint solve: the intended client flow,
+/// with every answer bit-exact against a local solve.
+#[test]
+fn solve_warmcheck_fingerprint_flow_is_bit_exact() {
+    let server = Server::spawn(test_server_config()).unwrap();
+    let (f, b) = test_factors();
+    let key = Runtime::solve_key(&f);
+    let expect = reference_solve(&f, &b);
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Cold: the pattern is unknown.
+    match client.warm_check(key).unwrap() {
+        Response::WarmStatus { warm } => assert!(!warm, "pattern warm before any solve"),
+        other => panic!("{other:?}"),
+    }
+    // A fingerprint solve before registration is a typed error.
+    match client.solve_by_fingerprint(key, &b).unwrap() {
+        Response::Error { code, .. } => {
+            assert_eq!(code, rtpl::server::proto::err_code::UNKNOWN_PATTERN)
+        }
+        other => panic!("{other:?}"),
+    }
+    // Ship the factors once.
+    match client.solve(&f.l, &f.u, &b).unwrap() {
+        Response::Solved { x, .. } => assert_eq!(x, expect, "cold solve deviates"),
+        other => panic!("{other:?}"),
+    }
+    // Now the pattern is warm and fingerprint solves work — from a
+    // *different* connection too (server-side state, not per-conn).
+    let mut second = Client::connect(server.addr()).unwrap();
+    match second.warm_check(key).unwrap() {
+        Response::WarmStatus { warm } => assert!(warm, "pattern cold after a solve"),
+        other => panic!("{other:?}"),
+    }
+    match second.solve_by_fingerprint(key, &b).unwrap() {
+        Response::Solved { x, cached, .. } => {
+            assert_eq!(x, expect, "warm solve deviates");
+            assert!(
+                cached,
+                "second solve of the same pattern missed the plan cache"
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+    let stats = server.stats();
+    assert_eq!(stats.accepted_jobs, 2);
+    assert_eq!(stats.answered_jobs, 2);
+    let text = server.metrics_text();
+    for needle in [
+        "rtpl_server_answered_jobs 2",
+        "rtpl_server_latency_solve_count 1",
+        // 2: the pre-registration UNKNOWN_PATTERN rejection counts too.
+        "rtpl_server_latency_solve_by_fingerprint_count 2",
+        "rtpl_server_latency_warm_check_count 2",
+        "rtpl_solve_cache_hits",
+    ] {
+        assert!(
+            text.contains(needle),
+            "metrics text missing {needle:?}:\n{text}"
+        );
+    }
+    server.shutdown().unwrap();
+}
+
+/// Saturating a tiny queue yields typed `RetryAfter(QueueFull)` responses
+/// — one answer per request, nothing hangs, and every accepted solve is
+/// still answered bit-exactly.
+#[test]
+fn queue_saturation_rejects_with_retry_after() {
+    let mut cfg = test_server_config();
+    cfg.queue_depth = 2;
+    cfg.client_inflight = 64; // quota out of the way: this test is about the queue
+    cfg.gather_window = Duration::from_millis(40); // hold the queue full
+    let server = Server::spawn(cfg).unwrap();
+    let (f, b) = test_factors();
+    let expect = reference_solve(&f, &b);
+    let key = Runtime::solve_key(&f);
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Register the pattern (and let the batch clear).
+    match client.solve(&f.l, &f.u, &b).unwrap() {
+        Response::Solved { .. } => {}
+        other => panic!("{other:?}"),
+    }
+    // Pipeline far more than the queue holds, without reading.
+    let total = 16;
+    for _ in 0..total {
+        client
+            .send(&Request::SolveByFingerprint { key, b: b.clone() })
+            .unwrap();
+    }
+    let mut solved = 0;
+    let mut rejected = 0;
+    for _ in 0..total {
+        match client.recv().unwrap().1 {
+            Response::Solved { x, .. } => {
+                assert_eq!(x, expect, "saturated solve deviates");
+                solved += 1;
+            }
+            Response::RetryAfter { retry_ms, reason } => {
+                assert_eq!(reason, RetryReason::QueueFull);
+                assert!(retry_ms > 0);
+                rejected += 1;
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+    assert_eq!(solved + rejected, total, "an answer went missing");
+    assert!(
+        rejected > 0,
+        "queue depth 2 never rejected {total} pipelined solves"
+    );
+    assert!(solved > 0, "backpressure starved everything");
+    assert_eq!(server.stats().rejected_queue, rejected);
+    server.shutdown().unwrap();
+}
+
+/// A client over its in-flight quota gets `RetryAfter(QuotaExceeded)`,
+/// and honoring the suggested delay eventually lands every solve.
+#[test]
+fn quota_exceeded_is_typed_and_retryable() {
+    let mut cfg = test_server_config();
+    cfg.client_inflight = 1;
+    cfg.gather_window = Duration::from_millis(20);
+    let server = Server::spawn(cfg).unwrap();
+    let (f, b) = test_factors();
+    let key = Runtime::solve_key(&f);
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client.solve(&f.l, &f.u, &b).unwrap() {
+        Response::Solved { .. } => {}
+        other => panic!("{other:?}"),
+    }
+    // Two pipelined solves against a quota of one: the second must be
+    // rejected with the quota reason (the queue has room).
+    client
+        .send(&Request::SolveByFingerprint { key, b: b.clone() })
+        .unwrap();
+    client
+        .send(&Request::SolveByFingerprint { key, b: b.clone() })
+        .unwrap();
+    let mut kinds = Vec::new();
+    for _ in 0..2 {
+        match client.recv().unwrap().1 {
+            Response::Solved { .. } => kinds.push("solved"),
+            Response::RetryAfter { reason, .. } => {
+                assert_eq!(reason, RetryReason::QuotaExceeded);
+                kinds.push("rejected");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+    kinds.sort_unstable();
+    assert_eq!(kinds, ["rejected", "solved"]);
+    // The polite path: retry on rejection until it lands.
+    let (resp, _retries) = client
+        .call_retrying(&Request::SolveByFingerprint { key, b: b.clone() })
+        .unwrap();
+    assert!(matches!(resp, Response::Solved { .. }));
+    assert!(server.stats().rejected_quota >= 1);
+    server.shutdown().unwrap();
+}
+
+/// Shutdown mid-load: every accepted request is answered (drain), late
+/// requests are rejected as `Draining`, and the connection then closes
+/// cleanly — clients are never left hanging.
+#[test]
+fn graceful_drain_answers_everything_accepted() {
+    let mut cfg = test_server_config();
+    cfg.gather_window = Duration::from_millis(10);
+    let server = Server::spawn(cfg).unwrap();
+    let (f, b) = test_factors();
+    let expect = reference_solve(&f, &b);
+    let key = Runtime::solve_key(&f);
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client.solve(&f.l, &f.u, &b).unwrap() {
+        Response::Solved { .. } => {}
+        other => panic!("{other:?}"),
+    }
+    // Pipeline a burst, give the reader a moment to admit some of it,
+    // then shut the server down while work is still in flight.
+    let burst = 12;
+    for _ in 0..burst {
+        client
+            .send(&Request::SolveByFingerprint { key, b: b.clone() })
+            .unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(30));
+    let shutdown = std::thread::spawn(move || {
+        server.shutdown().unwrap();
+        server
+    });
+    // Every request the server *read* gets exactly one answer — Solved
+    // (accepted before the drain) or RetryAfter(Draining) — and then the
+    // connection closes cleanly. Frames still in the socket buffer when
+    // the server closes were never accepted, so fewer than `burst`
+    // answers is legal; a hang or a garbage answer is not.
+    let mut solved = 0;
+    let mut draining = 0;
+    loop {
+        match client.recv() {
+            Ok((_, Response::Solved { x, .. })) => {
+                assert_eq!(x, expect, "drained solve deviates");
+                solved += 1;
+            }
+            Ok((_, Response::RetryAfter { reason, .. })) => {
+                assert_eq!(reason, RetryReason::Draining);
+                draining += 1;
+            }
+            Ok((_, other)) => panic!("{other:?}"),
+            Err(ClientError::Closed) | Err(ClientError::Io(_)) => break,
+            Err(other) => panic!("{other:?}"),
+        }
+    }
+    assert!(solved + draining <= burst);
+    assert!(solved >= 1, "nothing was accepted before the drain");
+    let server = shutdown.join().unwrap();
+    let stats = server.stats();
+    assert_eq!(
+        stats.accepted_jobs, stats.answered_jobs,
+        "drain left accepted jobs unanswered"
+    );
+    // Idempotent shutdown.
+    server.shutdown().unwrap();
+}
+
+/// The wire-level `Shutdown` request drains and acknowledges.
+#[test]
+fn wire_shutdown_drains_and_acks() {
+    let server = Server::spawn(test_server_config()).unwrap();
+    let (f, b) = test_factors();
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client.solve(&f.l, &f.u, &b).unwrap() {
+        Response::Solved { .. } => {}
+        other => panic!("{other:?}"),
+    }
+    match client.shutdown().unwrap() {
+        Response::ShutdownAck => {}
+        other => panic!("{other:?}"),
+    }
+    // Post-drain solves are rejected as Draining, not executed.
+    match client.solve(&f.l, &f.u, &b).unwrap() {
+        Response::RetryAfter { reason, .. } => assert_eq!(reason, RetryReason::Draining),
+        other => panic!("{other:?}"),
+    }
+    assert!(server.stats().rejected_draining >= 1);
+    server.shutdown().unwrap();
+}
+
+/// Several clients hammering concurrently: all answers arrive, all solved
+/// values are bit-exact, and cross-client batching shows up in the
+/// runtime's batch counters.
+#[test]
+fn concurrent_clients_are_answered_and_bit_exact() {
+    let mut cfg = test_server_config();
+    cfg.gather_window = Duration::from_millis(5);
+    let server = Server::spawn(cfg).unwrap();
+    let patterns = pattern_set(3, 6, 55);
+    let factors: Vec<IluFactors> = patterns
+        .iter()
+        .map(|m| IluFactors {
+            l: m.strict_lower(),
+            u: m.transpose().upper(),
+        })
+        .collect();
+    let n = factors[0].n();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.11).collect();
+    let expects: Vec<Vec<f64>> = factors.iter().map(|f| reference_solve(f, &b)).collect();
+
+    let addr = server.addr();
+    std::thread::scope(|scope| {
+        for c in 0..4usize {
+            let factors = &factors;
+            let expects = &expects;
+            let b = &b;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for i in 0..12 {
+                    let p = (c + i) % factors.len();
+                    let (resp, _) = client
+                        .call_retrying(&Request::Solve {
+                            l: factors[p].l.clone(),
+                            u: factors[p].u.clone(),
+                            b: b.clone(),
+                        })
+                        .unwrap();
+                    match resp {
+                        Response::Solved { x, .. } => {
+                            assert_eq!(x, expects[p], "client {c} req {i} deviates")
+                        }
+                        other => panic!("client {c} req {i}: {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+    let stats = server.stats();
+    assert_eq!(stats.accepted_jobs, 48);
+    assert_eq!(stats.answered_jobs, 48);
+    let rt = server.runtime().stats();
+    assert!(rt.batches > 0);
+    assert_eq!(rt.batch_jobs, 48);
+    server.shutdown().unwrap();
+}
