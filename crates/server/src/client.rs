@@ -145,7 +145,9 @@ impl Client {
         }
     }
 
-    /// Requests a graceful drain and waits for the acknowledgement.
+    /// Requests a graceful drain and waits for the answer: `ShutdownAck`
+    /// when the server opts in (`ServerConfig::allow_remote_shutdown`),
+    /// `Error(SHUTDOWN_DISABLED)` otherwise.
     pub fn shutdown(&mut self) -> Result<Response, ClientError> {
         self.call(&Request::Shutdown)
     }

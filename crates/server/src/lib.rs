@@ -34,8 +34,17 @@
 //!   [`rtpl_sparse::PatternFingerprint`] and asks "is this pattern's plan
 //!   cached?"; `SolveByFingerprint` solves against server-held factors
 //!   without re-shipping the pattern; `Stats` returns the metrics text;
-//!   `Shutdown` drains gracefully. Values travel as raw IEEE-754 bits, so
-//!   answers are bit-exact with a local solve.
+//!   `Shutdown` drains gracefully — but only when the server opts in
+//!   ([`ServerConfig::allow_remote_shutdown`], off by default, because the
+//!   request is unauthenticated and a drain is irreversible). Values
+//!   travel as raw IEEE-754 bits, so answers are bit-exact with a local
+//!   solve.
+//! * **Factor registry**: `Solve` registers its factors under their solve
+//!   fingerprint; re-shipping a pattern *replaces* them, so refactorized
+//!   values on an unchanged structure are first-class. The registry is
+//!   LRU-bounded ([`ServerConfig::registry_capacity`], mirroring the
+//!   runtime's plan cache) — an evicted pattern answers
+//!   `UNKNOWN_PATTERN` and the client falls back to a full `Solve`.
 //! * **Admission control** ([`Server`]): a per-connection in-flight quota
 //!   and a bounded queue. Both reject with [`proto::Response::RetryAfter`]
 //!   — typed, immediate, and carrying a suggested delay — instead of

@@ -47,6 +47,11 @@ pub mod err_code {
     pub const UNKNOWN_PATTERN: u8 = 2;
     /// The request is self-inconsistent (e.g. rhs length ≠ matrix order).
     pub const BAD_REQUEST: u8 = 3;
+    /// A wire [`Request::Shutdown`](super::Request::Shutdown) reached a
+    /// server that has not opted in (`ServerConfig::allow_remote_shutdown`
+    /// is off by default — the request is unauthenticated and a drain is
+    /// irreversible).
+    pub const SHUTDOWN_DISABLED: u8 = 4;
 }
 
 /// A client-to-server message.
@@ -68,7 +73,9 @@ pub enum Request {
     /// Fetch the plaintext metrics.
     Stats,
     /// Drain gracefully: stop accepting, answer everything already
-    /// accepted, then acknowledge.
+    /// accepted, then acknowledge. The server must opt in
+    /// (`ServerConfig::allow_remote_shutdown`, off by default); otherwise
+    /// it answers [`err_code::SHUTDOWN_DISABLED`] and keeps serving.
     Shutdown,
 }
 

@@ -51,6 +51,20 @@ pub struct ServerConfig {
     pub max_batch: usize,
     /// Suggested client delay carried by every rejection.
     pub retry_after_ms: u32,
+    /// Bound on patterns the factor registry retains; inserting beyond it
+    /// evicts the least-recently-used entry (mirroring the runtime's plan
+    /// cache), so a client cycling patterns recycles registry memory
+    /// instead of growing it. An evicted pattern answers
+    /// [`Request::SolveByFingerprint`](crate::proto::Request::SolveByFingerprint)
+    /// with `UNKNOWN_PATTERN`; clients fall back to a full `Solve`.
+    pub registry_capacity: usize,
+    /// Whether the wire-level
+    /// [`Request::Shutdown`](crate::proto::Request::Shutdown) may drain
+    /// this server. Off by default: the request is unauthenticated and
+    /// there is no un-drain, so any client that can connect could
+    /// otherwise deny service to everyone else. The owning process drains
+    /// via [`Server::shutdown`] regardless.
+    pub allow_remote_shutdown: bool,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +76,8 @@ impl Default for ServerConfig {
             gather_window: Duration::from_micros(200),
             max_batch: 128,
             retry_after_ms: 2,
+            registry_capacity: 128,
+            allow_remote_shutdown: false,
         }
     }
 }
@@ -83,6 +99,11 @@ pub struct ServerStats {
     pub rejected_quota: u64,
     /// Rejections because the server was draining.
     pub rejected_draining: u64,
+    /// Patterns currently held by the factor registry (≤
+    /// [`ServerConfig::registry_capacity`]).
+    pub registered_patterns: u64,
+    /// Registry entries discarded by the LRU bound.
+    pub registry_evictions: u64,
 }
 
 struct Metrics {
@@ -116,6 +137,91 @@ impl Metrics {
     }
 }
 
+/// Bounded map from solve fingerprint to the factors most recently
+/// shipped for that pattern — what `SolveByFingerprint` solves against.
+///
+/// Two properties matter for correctness and memory:
+///
+/// * **Re-shipping replaces.** The runtime supports refactorized values
+///   on an unchanged pattern, so a `Solve` carrying new values for a
+///   registered pattern must re-point the entry — the first-shipped copy
+///   is never authoritative.
+/// * **LRU-bounded**, mirroring the runtime's plan cache: at most
+///   `capacity` patterns stay pinned, so a client cycling patterns
+///   recycles memory instead of growing the server without bound. An
+///   evicted pattern answers `UNKNOWN_PATTERN` and the client re-ships.
+struct Registry {
+    map: Mutex<HashMap<u128, RegistryEntry>>,
+    capacity: usize,
+    clock: AtomicU64,
+    evictions: AtomicU64,
+}
+
+struct RegistryEntry {
+    factors: Arc<IluFactors>,
+    last_used: u64,
+}
+
+impl Registry {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "registry must hold at least one pattern");
+        Registry {
+            map: Mutex::new(HashMap::new()),
+            capacity,
+            clock: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Registers (or re-registers) a pattern's factors; the shipped values
+    /// always replace whatever the pattern held before. Inserting a new
+    /// pattern at capacity evicts the least-recently-used entry first.
+    fn insert(&self, key: u128, factors: &Arc<IluFactors>) {
+        let tick = self.tick();
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if !map.contains_key(&key) && map.len() >= self.capacity {
+            let victim = map.iter().min_by_key(|(_, e)| e.last_used).map(|(&k, _)| k);
+            if let Some(k) = victim {
+                map.remove(&k);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        map.insert(
+            key,
+            RegistryEntry {
+                factors: Arc::clone(factors),
+                last_used: tick,
+            },
+        );
+    }
+
+    /// The registered factors, bumping the LRU clock.
+    fn get(&self, key: u128) -> Option<Arc<IluFactors>> {
+        let tick = self.tick();
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        map.get_mut(&key).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.factors)
+        })
+    }
+
+    /// LRU-neutral peek (mirrors `PlanCache::contains`).
+    fn contains(&self, key: u128) -> bool {
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains_key(&key)
+    }
+
+    fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
 /// One admitted solve job, owned by the queue (all borrows end at the
 /// reader; the dispatcher rebuilds borrowed [`Job`]s locally per batch).
 struct QueuedSolve {
@@ -140,18 +246,20 @@ struct Inner {
     runtime: Runtime,
     addr: SocketAddr,
     metrics_addr: SocketAddr,
-    /// Factors registered by full `Solve` requests, keyed by solve
-    /// fingerprint — what `SolveByFingerprint` solves against.
-    registry: Mutex<HashMap<u128, Arc<IluFactors>>>,
+    /// Factors registered by full `Solve` requests (see [`Registry`]).
+    registry: Registry,
     queue: Mutex<QueueState>,
     not_empty: Condvar,
     drained: Condvar,
     /// Stops the accept loops and (once the queue is empty) the
     /// dispatcher.
     stop: AtomicBool,
-    /// Read halves of live connections, shut down on close so readers
-    /// unblock (write halves stay open until every response is flushed).
-    conns: Mutex<Vec<TcpStream>>,
+    /// Read halves of **live** connections by connection id, shut down at
+    /// close so readers unblock (write halves stay open until every
+    /// response is flushed). Each reader removes its own entry on exit,
+    /// so the map tracks live connections, not total ever accepted.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
     conn_threads: Mutex<Vec<JoinHandle<()>>>,
     metrics: Metrics,
 }
@@ -173,7 +281,7 @@ impl Server {
             runtime: Runtime::new(cfg.runtime),
             addr: listener.local_addr()?,
             metrics_addr: metrics_listener.local_addr()?,
-            registry: Mutex::new(HashMap::new()),
+            registry: Registry::new(cfg.registry_capacity),
             queue: Mutex::new(QueueState {
                 q: VecDeque::new(),
                 open: 0,
@@ -182,7 +290,8 @@ impl Server {
             not_empty: Condvar::new(),
             drained: Condvar::new(),
             stop: AtomicBool::new(false),
-            conns: Mutex::new(Vec::new()),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
             conn_threads: Mutex::new(Vec::new()),
             metrics: Metrics::new(),
             cfg,
@@ -255,12 +364,12 @@ impl Server {
         self.inner.not_empty.notify_all();
         let _ = TcpStream::connect(self.inner.addr);
         let _ = TcpStream::connect(self.inner.metrics_addr);
-        for conn in self
+        for (_, conn) in self
             .inner
             .conns
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .drain(..)
+            .drain()
         {
             let _ = conn.shutdown(Shutdown::Read);
         }
@@ -294,6 +403,8 @@ impl Inner {
             rejected_queue: self.metrics.rejected_queue.load(Ordering::Relaxed),
             rejected_quota: self.metrics.rejected_quota.load(Ordering::Relaxed),
             rejected_draining: self.metrics.rejected_draining.load(Ordering::Relaxed),
+            registered_patterns: self.registry.len() as u64,
+            registry_evictions: self.registry.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -307,6 +418,8 @@ impl Inner {
             ("rtpl_server_rejected_queue", s.rejected_queue),
             ("rtpl_server_rejected_quota", s.rejected_quota),
             ("rtpl_server_rejected_draining", s.rejected_draining),
+            ("rtpl_server_registered_patterns", s.registered_patterns),
+            ("rtpl_server_registry_evictions", s.registry_evictions),
         ] {
             out.push_str(&format!("{name} {v}\n"));
         }
@@ -375,11 +488,12 @@ fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
         let Ok(read_half) = stream.try_clone() else {
             continue;
         };
+        let conn_id = inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
         inner
             .conns
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .push(read_half);
+            .insert(conn_id, read_half);
         let writer_half = match stream.try_clone() {
             Ok(s) => s,
             Err(_) => continue,
@@ -388,9 +502,20 @@ fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
         let writer = std::thread::spawn(move || writer_loop(writer_half, rx));
         let reader = std::thread::spawn({
             let inner = Arc::clone(inner);
-            move || reader_loop(&inner, stream, tx)
+            move || reader_loop(&inner, conn_id, stream, tx)
         });
         let mut threads = inner.conn_threads.lock().unwrap_or_else(|e| e.into_inner());
+        // Reap connections that already ended, so a long-running server
+        // holds handles proportional to live connections, not total ever
+        // accepted (finished handles join without blocking).
+        let mut i = 0;
+        while i < threads.len() {
+            if threads[i].is_finished() {
+                let _ = threads.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
         threads.push(writer);
         threads.push(reader);
     }
@@ -407,7 +532,12 @@ fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<(u64, Response)>) {
     let _ = stream.shutdown(Shutdown::Write);
 }
 
-fn reader_loop(inner: &Arc<Inner>, stream: TcpStream, tx: mpsc::Sender<(u64, Response)>) {
+fn reader_loop(
+    inner: &Arc<Inner>,
+    conn_id: u64,
+    stream: TcpStream,
+    tx: mpsc::Sender<(u64, Response)>,
+) {
     let mut stream = io::BufReader::new(stream);
     // Clean EOF (`Ok(None)`) and transport errors both end the reader.
     while let Ok(Some(payload)) = proto::read_frame(&mut stream) {
@@ -441,20 +571,30 @@ fn reader_loop(inner: &Arc<Inner>, stream: TcpStream, tx: mpsc::Sender<(u64, Res
                 ));
             }
             Request::WarmCheck { key } => {
-                let warm = inner
-                    .registry
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .contains_key(&key.as_u128());
+                let warm = inner.registry.contains(key.as_u128());
                 let _ = tx.send((id, Response::WarmStatus { warm }));
             }
             Request::Shutdown => {
-                // Graceful: stop admitting, answer everything accepted,
-                // then acknowledge. The owner completes the teardown with
-                // `Server::shutdown`.
-                inner.begin_drain();
-                inner.wait_drained();
-                let _ = tx.send((id, Response::ShutdownAck));
+                if inner.cfg.allow_remote_shutdown {
+                    // Graceful: stop admitting, answer everything
+                    // accepted, then acknowledge. The owner completes the
+                    // teardown with `Server::shutdown`.
+                    inner.begin_drain();
+                    inner.wait_drained();
+                    let _ = tx.send((id, Response::ShutdownAck));
+                } else {
+                    // Unauthenticated and irreversible (there is no
+                    // un-drain), so it needs an explicit opt-in.
+                    let _ = tx.send((
+                        id,
+                        Response::Error {
+                            code: err_code::SHUTDOWN_DISABLED,
+                            message: "wire shutdown is disabled on this server \
+                                      (ServerConfig::allow_remote_shutdown)"
+                                .to_string(),
+                        },
+                    ));
+                }
             }
             Request::Solve { l, u, b } => {
                 let factors = IluFactors { l, u };
@@ -463,15 +603,14 @@ fn reader_loop(inner: &Arc<Inner>, stream: TcpStream, tx: mpsc::Sender<(u64, Res
                         let _ = tx.send((id, resp));
                     }
                     Ok(()) => {
+                        // The shipped values are authoritative: this
+                        // request solves against them, and the registry
+                        // entry is re-pointed — never a stale
+                        // first-shipped copy (the runtime supports
+                        // refactorized values on an unchanged pattern).
                         let key = Runtime::solve_key(&factors).as_u128();
-                        let factors = Arc::clone(
-                            inner
-                                .registry
-                                .lock()
-                                .unwrap_or_else(|e| e.into_inner())
-                                .entry(key)
-                                .or_insert_with(|| Arc::new(factors)),
-                        );
+                        let factors = Arc::new(factors);
+                        inner.registry.insert(key, &factors);
                         answered_inline = !submit(inner, &tx, id, kind_idx, factors, b, t0);
                     }
                 }
@@ -493,6 +632,14 @@ fn reader_loop(inner: &Arc<Inner>, stream: TcpStream, tx: mpsc::Sender<(u64, Res
             inner.metrics.latency[kind_idx].record(t0.elapsed().as_nanos() as u64);
         }
     }
+    // The connection ended: drop its read half so the live-connection map
+    // never grows past the live set (the writer exits on its own once the
+    // last response sender is gone).
+    inner
+        .conns
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .remove(&conn_id);
 }
 
 fn dimension_error(expected: usize, found: usize) -> Response {
@@ -525,10 +672,7 @@ fn validate_solve(factors: &IluFactors, b: &[f64]) -> Result<(), Response> {
 fn lookup(inner: &Inner, key: PatternFingerprint) -> Result<Arc<IluFactors>, Response> {
     inner
         .registry
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .get(&key.as_u128())
-        .cloned()
+        .get(key.as_u128())
         .ok_or_else(|| Response::Error {
             code: err_code::UNKNOWN_PATTERN,
             message: format!("no factors registered for pattern {key}"),

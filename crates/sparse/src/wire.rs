@@ -204,6 +204,14 @@ impl<'a> WireReader<'a> {
         Ok(count)
     }
 
+    /// Reads a `u64` dimension/offset field into `usize`, failing with the
+    /// typed overflow error instead of truncating on narrow targets.
+    fn dim(&mut self, what: &str) -> WireResult<usize> {
+        let raw = self.u64()?;
+        usize::try_from(raw)
+            .map_err(|_| WireError::Invalid(format!("{what} {raw} overflows usize")))
+    }
+
     /// Reads a length-prefixed `f64` slice written by [`WireWriter::put_f64s`].
     pub fn f64s(&mut self) -> WireResult<Vec<f64>> {
         let count = self.checked_count(8, "f64 slice")?;
@@ -228,9 +236,9 @@ impl<'a> WireReader<'a> {
     /// Reads a CSR matrix written by [`WireWriter::put_csr`], re-validating
     /// the structure through [`Csr::try_new`].
     pub fn csr(&mut self) -> WireResult<Csr> {
-        let nrows = self.u64()? as usize;
-        let ncols = self.u64()? as usize;
-        let nnz = self.u64()? as usize;
+        let nrows = self.dim("nrows")?;
+        let ncols = self.dim("ncols")?;
+        let nnz = self.dim("nnz")?;
         // `indptr` has nrows + 1 entries; guard the sum before allocating.
         let ptr_len = nrows
             .checked_add(1)
@@ -251,7 +259,7 @@ impl<'a> WireReader<'a> {
             });
         }
         let indptr: Vec<usize> = (0..ptr_len)
-            .map(|_| self.u64().map(|p| p as usize))
+            .map(|_| self.dim("indptr entry"))
             .collect::<WireResult<_>>()?;
         let indices: Vec<u32> = (0..nnz).map(|_| self.u32()).collect::<WireResult<_>>()?;
         let data: Vec<f64> = (0..nnz).map(|_| self.f64()).collect::<WireResult<_>>()?;

@@ -276,10 +276,13 @@ fn graceful_drain_answers_everything_accepted() {
     server.shutdown().unwrap();
 }
 
-/// The wire-level `Shutdown` request drains and acknowledges.
+/// The wire-level `Shutdown` request drains and acknowledges — when the
+/// server has opted in.
 #[test]
 fn wire_shutdown_drains_and_acks() {
-    let server = Server::spawn(test_server_config()).unwrap();
+    let mut cfg = test_server_config();
+    cfg.allow_remote_shutdown = true;
+    let server = Server::spawn(cfg).unwrap();
     let (f, b) = test_factors();
     let mut client = Client::connect(server.addr()).unwrap();
     match client.solve(&f.l, &f.u, &b).unwrap() {
@@ -296,6 +299,133 @@ fn wire_shutdown_drains_and_acks() {
         other => panic!("{other:?}"),
     }
     assert!(server.stats().rejected_draining >= 1);
+    server.shutdown().unwrap();
+}
+
+/// By default any client can connect, so the unauthenticated wire
+/// `Shutdown` must not put the server into its (irreversible) drain: it
+/// is refused with a typed error and service continues.
+#[test]
+fn wire_shutdown_is_refused_unless_opted_in() {
+    let server = Server::spawn(test_server_config()).unwrap();
+    let (f, b) = test_factors();
+    let expect = reference_solve(&f, &b);
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client.shutdown().unwrap() {
+        Response::Error { code, .. } => {
+            assert_eq!(code, rtpl::server::proto::err_code::SHUTDOWN_DISABLED)
+        }
+        other => panic!("{other:?}"),
+    }
+    // The server is still fully serving — no drain happened.
+    match client.solve(&f.l, &f.u, &b).unwrap() {
+        Response::Solved { x, .. } => assert_eq!(x, expect),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(server.stats().rejected_draining, 0);
+    server.shutdown().unwrap();
+}
+
+/// Re-shipping a pattern with new numeric values (refactorized factors on
+/// an unchanged structure — a flow the runtime explicitly supports) must
+/// solve against the *new* values, both for that request and for every
+/// later `SolveByFingerprint`.
+#[test]
+fn reshipped_factors_replace_registered_values() {
+    let server = Server::spawn(test_server_config()).unwrap();
+    let (f, b) = test_factors();
+    let key = Runtime::solve_key(&f);
+    let mut refactored = IluFactors {
+        l: f.l.clone(),
+        u: f.u.clone(),
+    };
+    for v in refactored.l.data_mut() {
+        *v *= 1.5;
+    }
+    for v in refactored.u.data_mut() {
+        *v *= 0.75;
+    }
+    assert_eq!(
+        Runtime::solve_key(&refactored),
+        key,
+        "scaling values must not change the pattern"
+    );
+    let expect_old = reference_solve(&f, &b);
+    let expect_new = reference_solve(&refactored, &b);
+    assert_ne!(expect_old, expect_new);
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client.solve(&f.l, &f.u, &b).unwrap() {
+        Response::Solved { x, .. } => assert_eq!(x, expect_old),
+        other => panic!("{other:?}"),
+    }
+    match client.solve(&refactored.l, &refactored.u, &b).unwrap() {
+        Response::Solved { x, .. } => {
+            assert_eq!(x, expect_new, "re-shipped Solve answered with stale values")
+        }
+        other => panic!("{other:?}"),
+    }
+    match client.solve_by_fingerprint(key, &b).unwrap() {
+        Response::Solved { x, .. } => assert_eq!(
+            x, expect_new,
+            "fingerprint solve served first-shipped values after a re-ship"
+        ),
+        other => panic!("{other:?}"),
+    }
+    server.shutdown().unwrap();
+}
+
+/// The factor registry is bounded: shipping more patterns than
+/// `registry_capacity` evicts the least-recently-used one, which then
+/// answers `UNKNOWN_PATTERN` (the client's cue to re-ship) — server
+/// memory never grows with the number of distinct patterns ever seen.
+#[test]
+fn registry_is_bounded_and_evicts_lru() {
+    let mut cfg = test_server_config();
+    cfg.registry_capacity = 2;
+    let server = Server::spawn(cfg).unwrap();
+    let factors: Vec<IluFactors> = pattern_set(3, 6, 55)
+        .iter()
+        .map(|m| IluFactors {
+            l: m.strict_lower(),
+            u: m.transpose().upper(),
+        })
+        .collect();
+    let n = factors[0].n();
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.11).collect();
+
+    let mut client = Client::connect(server.addr()).unwrap();
+    for f in &factors {
+        match client.solve(&f.l, &f.u, &b).unwrap() {
+            Response::Solved { .. } => {}
+            other => panic!("{other:?}"),
+        }
+    }
+    // The third pattern evicted the least-recently-used (the first).
+    let k0 = Runtime::solve_key(&factors[0]);
+    match client.warm_check(k0).unwrap() {
+        Response::WarmStatus { warm } => assert!(!warm, "evicted pattern reported warm"),
+        other => panic!("{other:?}"),
+    }
+    match client.solve_by_fingerprint(k0, &b).unwrap() {
+        Response::Error { code, .. } => {
+            assert_eq!(code, rtpl::server::proto::err_code::UNKNOWN_PATTERN)
+        }
+        other => panic!("{other:?}"),
+    }
+    // The two most recent patterns still serve by fingerprint.
+    for f in &factors[1..] {
+        match client
+            .solve_by_fingerprint(Runtime::solve_key(f), &b)
+            .unwrap()
+        {
+            Response::Solved { x, .. } => assert_eq!(x, reference_solve(f, &b)),
+            other => panic!("{other:?}"),
+        }
+    }
+    let stats = server.stats();
+    assert_eq!(stats.registered_patterns, 2);
+    assert_eq!(stats.registry_evictions, 1);
     server.shutdown().unwrap();
 }
 
