@@ -264,7 +264,7 @@ fn runtime_bench() -> String {
     println!("\n\nrtpl-runtime service benchmark");
     println!("==============================");
     let cfg = RuntimeConfig::default();
-    let rt = Runtime::new(cfg); // calibrates the host cost model once
+    let rt = Runtime::new(cfg.clone()); // calibrates the host cost model once
     let c = *rt.cost_model();
     println!(
         "calibrated cost model: Tp {:.2} ns, Tsynch {:.1} ns, Tinc {:.2} ns, Tcheck {:.2} ns, p = {}",
@@ -303,12 +303,21 @@ fn runtime_bench() -> String {
 
     // Compiled-path sweep: per-policy warm wall times at p ∈ {1, 2, 4},
     // so the BENCH trajectory tracks parallel speedup, not one point.
+    // Points that oversubscribe the host are still measured but flagged —
+    // a "speedup" at p > host cores is time-slicing, not parallelism.
     const SWEEP_PROCS: [usize; 3] = [1, 2, 4];
-    println!("\ncompiled warm sweep (median ns, bit-exact checked):");
+    let host = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!("\ncompiled warm sweep (median ns, bit-exact checked, {host} host cores):");
     let mut sweep = String::new();
     sweep.push_str("  \"sweep\": [\n");
     for (pi, &np) in SWEEP_PROCS.iter().enumerate() {
-        sweep.push_str(&format!("    {{\"nprocs\": {np}, \"workloads\": [\n"));
+        if np > host {
+            println!("  p={np} FLAGGED: exceeds the {host} detected host cores");
+        }
+        sweep.push_str(&format!(
+            "    {{\"nprocs\": {np}, \"exceeds_host\": {}, \"workloads\": [\n",
+            np > host
+        ));
         for (wi, &(name, factors)) in named.iter().enumerate() {
             let nnz = factors.l.nnz() + factors.u.nnz();
             let results = bench_policies(name, factors, np);
@@ -397,7 +406,11 @@ fn runtime_bench() -> String {
         "  \"cost_model\": {{\"tp_ns\": {:.4}, \"tsynch_ns\": {:.4}, \"tinc_ns\": {:.4}, \"tcheck_ns\": {:.4}}},\n",
         c.tp, c.tsynch, c.tinc, c.tcheck
     ));
-    j.push_str(&format!("  \"nprocs\": {},\n", cfg.nprocs));
+    j.push_str(&format!(
+        "  \"nprocs\": {}, \"host_procs\": {host}, \"exceeds_host\": {},\n",
+        cfg.nprocs,
+        cfg.nprocs > host
+    ));
     j.push_str("  \"workloads\": [\n");
     for (i, w) in workloads.iter().enumerate() {
         j.push_str(&format!(
@@ -497,7 +510,7 @@ fn batch_bench(c: CostModel) -> String {
     let rt_ref = Runtime::with_cost_model(
         RuntimeConfig {
             policy: Some(ExecutorKind::Sequential),
-            ..cfg
+            ..cfg.clone()
         },
         c,
     );
@@ -531,7 +544,7 @@ fn batch_bench(c: CostModel) -> String {
     };
 
     // One-at-a-time: every request pays lookup, lease, selector, gather.
-    let rt_seq = Runtime::with_cost_model(cfg, c);
+    let rt_seq = Runtime::with_cost_model(cfg.clone(), c);
     let mut outs: Vec<Vec<f64>> = expected.iter().map(|e| vec![0.0; e.len()]).collect();
     let replay_one_at_a_time = |outs: &mut [Vec<f64>]| {
         for (i, &(kind, rank)) in stream.iter().enumerate() {
@@ -562,7 +575,7 @@ fn batch_bench(c: CostModel) -> String {
     }
 
     // Batched: grouped by fingerprint, leases/selector/gathers amortized.
-    let rt_batch = Runtime::with_cost_model(cfg, c);
+    let rt_batch = Runtime::with_cost_model(cfg.clone(), c);
     // groups/workers from the steady state; cold groups from the very
     // first submission (later repetitions are fully warm by design).
     let mut outcome_stats = (0usize, 0usize, 0usize);

@@ -123,6 +123,7 @@
 //! | [`krylov`] | PCGPAK substitute: CG/GMRES + parallel kernels, compiled triangular solves |
 //! | [`runtime`] | solver service: `Job` front door (single + batched), plan cache, adaptive policy |
 //! | [`server`] | TCP front door: binary wire protocol, admission control, batched dispatch, metrics |
+//! | [`store`] | persistent plan store: versioned artifact codec, write-behind spill, warm restart |
 //! | [`sim`] | multiprocessor performance model (event + closed form) |
 //! | [`workload`] | the paper's test problems and synthetic generator |
 
@@ -133,6 +134,7 @@ pub use rtpl_runtime as runtime;
 pub use rtpl_server as server;
 pub use rtpl_sim as sim;
 pub use rtpl_sparse as sparse;
+pub use rtpl_store as store;
 pub use rtpl_workload as workload;
 
 pub mod doconsider;

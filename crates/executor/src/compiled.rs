@@ -39,6 +39,7 @@ use crate::report::ExecReport;
 use crate::shared::{PublishedSource, SharedVec, WaitingSource};
 use crate::ValueSource;
 use rtpl_inspector::BarrierPlan;
+use rtpl_sparse::wire::{WireError, WireReader, WireResult, WireWriter};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -730,6 +731,156 @@ impl CompiledPlan {
             stalls: 0,
             iters_per_proc: vec![self.n as u64],
             wall: t0.elapsed(),
+        })
+    }
+
+    /// Serializes the full execution-order layout in the
+    /// [`rtpl_sparse::wire`] format. The layout is structure-only — no
+    /// numeric values — so the encoding stays valid across
+    /// refactorizations of the same sparsity pattern.
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.n as u64);
+        w.put_u64(self.nprocs as u64);
+        w.put_u64(self.num_phases as u64);
+        w.put_u64(self.nvals as u64);
+        w.put_u8(self.forward as u8);
+        w.put_usizes32(&self.proc_ptr);
+        w.put_usizes32(&self.phase_ptr);
+        w.put_u32s(&self.target);
+        w.put_u32s(&self.rhs);
+        w.put_usizes32(&self.op_ptr);
+        w.put_u32s(&self.ops);
+        w.put_u32s(&self.val_src);
+        match &self.recip_src {
+            Some(r) => {
+                w.put_u8(1);
+                w.put_u32s(r);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_u32s(&self.pos_of_row);
+        w.put_u32s(&self.out_map);
+        self.barriers.encode(w);
+    }
+
+    /// Decodes a layout written by [`CompiledPlan::encode`].
+    ///
+    /// Validation here is deliberately the *cheap* kind — shape and bounds
+    /// checks, one pass each — because skipping the full
+    /// [`CompiledPlan::compile`] wavefront/permutation re-proof is the
+    /// point of persisting the layout. The expensive invariants
+    /// (operands scheduled strictly earlier, `out_map` a permutation)
+    /// were proven at compile time and a record-level checksum guards the
+    /// bytes in between; anything that slips past these checks can
+    /// produce a wrong answer but not an out-of-bounds access.
+    pub fn decode(r: &mut WireReader) -> WireResult<CompiledPlan> {
+        let n = r.u64()? as usize;
+        let nprocs = r.u64()? as usize;
+        let num_phases = r.u64()? as usize;
+        let nvals = r.u64()? as usize;
+        let forward = r.u8()? != 0;
+        let proc_ptr = r.usizes32()?;
+        let phase_ptr = r.usizes32()?;
+        let target = r.u32s()?;
+        let rhs = r.u32s()?;
+        let op_ptr = r.usizes32()?;
+        let ops = r.u32s()?;
+        let val_src = r.u32s()?;
+        let recip_src = match r.u8()? {
+            0 => None,
+            1 => Some(r.u32s()?),
+            k => {
+                return Err(WireError::Invalid(format!(
+                    "bad recip_src presence tag {k}"
+                )))
+            }
+        };
+        let pos_of_row = r.u32s()?;
+        let out_map = r.u32s()?;
+        let barriers = BarrierPlan::decode(r)?;
+
+        let invalid = |msg: String| Err(WireError::Invalid(msg));
+        if nprocs == 0 {
+            return invalid("compiled plan has zero processors".into());
+        }
+        if proc_ptr.len() != nprocs + 1
+            || proc_ptr.first() != Some(&0)
+            || proc_ptr.last() != Some(&n)
+            || proc_ptr.windows(2).any(|w| w[0] > w[1])
+        {
+            return invalid("compiled plan proc_ptr malformed".into());
+        }
+        let stride = num_phases + 1;
+        if phase_ptr.len() != nprocs * stride {
+            return invalid(format!(
+                "phase_ptr length {} != nprocs * (num_phases + 1) = {}",
+                phase_ptr.len(),
+                nprocs * stride
+            ));
+        }
+        for p in 0..nprocs {
+            let seg = &phase_ptr[p * stride..(p + 1) * stride];
+            if seg.first() != Some(&proc_ptr[p])
+                || seg.last() != Some(&proc_ptr[p + 1])
+                || seg.windows(2).any(|w| w[0] > w[1])
+            {
+                return invalid(format!("phase_ptr of processor {p} malformed"));
+            }
+        }
+        if target.len() != n || rhs.len() != n || pos_of_row.len() != n || out_map.len() != n {
+            return invalid("compiled plan row arrays sized differently from n".into());
+        }
+        if op_ptr.len() != n + 1
+            || op_ptr.first() != Some(&0)
+            || op_ptr.last() != Some(&ops.len())
+            || op_ptr.windows(2).any(|w| w[0] > w[1])
+        {
+            return invalid("compiled plan op_ptr malformed".into());
+        }
+        if ops.len() != val_src.len() {
+            return invalid("ops/val_src length mismatch".into());
+        }
+        if target.iter().any(|&t| t as usize >= n)
+            || pos_of_row.iter().any(|&t| t as usize >= n)
+            || out_map.iter().any(|&o| o as usize >= n)
+            || rhs.iter().any(|&i| i as usize >= n)
+            || ops.iter().any(|&o| o as usize >= n)
+        {
+            return invalid("compiled plan index out of bounds".into());
+        }
+        if val_src.iter().any(|&s| s as usize >= nvals) {
+            return invalid("compiled plan value source out of bounds".into());
+        }
+        if let Some(rs) = &recip_src {
+            if rs.len() != n || rs.iter().any(|&s| s as usize >= nvals) {
+                return invalid("compiled plan recip_src malformed".into());
+            }
+        }
+        if barriers.len() != num_phases.saturating_sub(1) {
+            return invalid(format!(
+                "barrier plan has {} boundaries, layout implies {}",
+                barriers.len(),
+                num_phases.saturating_sub(1)
+            ));
+        }
+        Ok(CompiledPlan {
+            n,
+            nprocs,
+            num_phases,
+            nvals,
+            forward,
+            proc_ptr,
+            phase_ptr,
+            target,
+            rhs,
+            op_ptr,
+            ops,
+            val_src,
+            recip_src,
+            pos_of_row,
+            out_map,
+            barriers,
+            full_barriers: BarrierPlan::full(num_phases),
         })
     }
 }

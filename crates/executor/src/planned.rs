@@ -161,6 +161,40 @@ impl PlannedLoop {
         })
     }
 
+    /// Rebuilds a plan from parts that were **validated when first built**
+    /// — the reconstruction path for persisted plan artifacts. Skips the
+    /// full schedule validation and the minimal-barrier recomputation
+    /// (`BarrierPlan::minimal` is O(edges)); only cheap shape agreement is
+    /// re-checked here, because the artifact codec already re-validated
+    /// each part's internal invariants and a per-record checksum guards
+    /// the bytes in between.
+    pub fn from_parts(graph: DepGraph, schedule: Schedule, barriers: BarrierPlan) -> Result<Self> {
+        if graph.n() != schedule.n() {
+            return Err(rtpl_inspector::InspectorError::InvalidSchedule(format!(
+                "graph size {} != schedule size {}",
+                graph.n(),
+                schedule.n()
+            )));
+        }
+        if barriers.len() != schedule.num_phases().saturating_sub(1) {
+            return Err(rtpl_inspector::InspectorError::InvalidSchedule(format!(
+                "barrier plan has {} boundaries for {} phases",
+                barriers.len(),
+                schedule.num_phases()
+            )));
+        }
+        let full_barriers = BarrierPlan::full(schedule.num_phases());
+        let n = schedule.n();
+        let nprocs = schedule.nprocs();
+        Ok(PlannedLoop {
+            graph,
+            schedule,
+            barriers,
+            full_barriers,
+            scratch: LoopScratch::new(n, nprocs),
+        })
+    }
+
     /// A fresh scratch sized for this plan — lease one per concurrent run
     /// and execute through [`PlannedLoop::run_in`].
     pub fn scratch(&self) -> LoopScratch {

@@ -7,6 +7,7 @@
 //! The graph is stored in CSR-like adjacency form.
 
 use crate::{InspectorError, Result};
+use rtpl_sparse::wire::{WireError, WireReader, WireResult, WireWriter};
 use rtpl_sparse::Csr;
 
 /// An immutable dependence DAG: `deps(i)` lists the indices that must
@@ -75,12 +76,19 @@ impl DepGraph {
         let mut deps: Vec<u32> = Vec::with_capacity(l.nnz());
         indptr.push(0usize);
         for i in 0..n {
-            for &c in l.row_indices(i) {
-                let j = c as usize;
-                if j < i {
-                    deps.push(c);
-                } else if j > i {
-                    return Err(InspectorError::DependenceOutOfBounds { index: i, dep: j });
+            let row = l.row_indices(i);
+            // Columns are strictly increasing, so one comparison against the
+            // largest entry settles the whole row; the dependence list is
+            // then the row verbatim (a stored diagonal is dropped).
+            match row.last() {
+                None => {}
+                Some(&c) if (c as usize) < i => deps.extend_from_slice(row),
+                Some(&c) if c as usize == i => deps.extend_from_slice(&row[..row.len() - 1]),
+                Some(&c) => {
+                    return Err(InspectorError::DependenceOutOfBounds {
+                        index: i,
+                        dep: c as usize,
+                    })
                 }
             }
             indptr.push(deps.len());
@@ -99,22 +107,43 @@ impl DepGraph {
     /// schedulers/executors apply unchanged.
     pub fn from_upper_triangular(u: &Csr) -> Result<Self> {
         let n = u.nrows();
-        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for i in 0..n {
-            for &c in u.row_indices(i) {
-                let j = c as usize;
-                if j > i {
-                    // row i needs row j; in reversed space: (n-1-i) needs (n-1-j)
-                    lists[n - 1 - i].push((n - 1 - j) as u32);
-                } else if j < i {
-                    return Err(InspectorError::DependenceOutOfBounds { index: i, dep: j });
+        let mut indptr = Vec::with_capacity(n + 1);
+        let mut deps: Vec<u32> = Vec::with_capacity(u.nnz());
+        indptr.push(0usize);
+        // Walk positions in reversed order. Row i needs row j > i; in
+        // reversed space, position n-1-i needs n-1-j. CSR rows are strictly
+        // increasing, so traversing a row backwards emits each position's
+        // dependences already sorted ascending — one pass, no per-row lists.
+        for k in 0..n {
+            let i = n - 1 - k;
+            let row = u.row_indices(i);
+            // Strictly increasing columns: one comparison against the
+            // smallest entry settles the row, and everything past a stored
+            // diagonal is strictly above it.
+            let tail = match row.first() {
+                None => row,
+                Some(&c) if c as usize == i => &row[1..],
+                Some(&c) if (c as usize) > i => row,
+                Some(&c) => {
+                    return Err(InspectorError::DependenceOutOfBounds {
+                        index: i,
+                        dep: c as usize,
+                    })
                 }
+            };
+            for &c in tail.iter().rev() {
+                deps.push((n - 1 - c as usize) as u32);
             }
+            indptr.push(deps.len());
         }
-        for l in &mut lists {
-            l.sort_unstable();
-        }
-        Self::from_lists(n, lists)
+        // Every dependence n-1-j of position n-1-i has j > i, i.e. points
+        // strictly backward in the reversed space: a forward graph.
+        Ok(DepGraph {
+            n,
+            indptr,
+            deps,
+            forward: true,
+        })
     }
 
     /// Dependences of the paper's Figure 2 "simple" loop
@@ -199,6 +228,60 @@ impl DepGraph {
     /// [`PatternFingerprint`]: rtpl_sparse::PatternFingerprint
     pub fn fingerprint(&self) -> rtpl_sparse::PatternFingerprint {
         rtpl_sparse::PatternFingerprint::of_structure(self.n, self.n, &self.indptr, &self.deps)
+    }
+
+    /// Serializes the graph in the [`rtpl_sparse::wire`] format (adjacency
+    /// arrays only; the forward flag is recomputed on decode).
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.n as u64);
+        w.put_usizes32(&self.indptr);
+        w.put_u32s(&self.deps);
+    }
+
+    /// Decodes a graph written by [`DepGraph::encode`], re-validating
+    /// bounds, self-dependences, and adjacency-pointer shape in one cheap
+    /// O(n + edges) pass — the wavefront sort is **not** redone (persisted
+    /// plan artifacts carry their schedules alongside).
+    pub fn decode(r: &mut WireReader) -> WireResult<DepGraph> {
+        let n = r.u64()?;
+        let n = usize::try_from(n)
+            .map_err(|_| WireError::Invalid(format!("graph size {n} overflows usize")))?;
+        let indptr = r.usizes32()?;
+        let deps = r.u32s()?;
+        if indptr.len() != n + 1 || indptr.first() != Some(&0) || indptr[n] != deps.len() {
+            return Err(WireError::Invalid(format!(
+                "dep graph indptr shape invalid: {} entries for {n} indices, {} edges",
+                indptr.len(),
+                deps.len()
+            )));
+        }
+        let mut forward = true;
+        for i in 0..n {
+            let (lo, hi) = (indptr[i], indptr[i + 1]);
+            if lo > hi {
+                return Err(WireError::Invalid(format!(
+                    "dep graph indptr not monotone at index {i}"
+                )));
+            }
+            for &d in &deps[lo..hi] {
+                let d = d as usize;
+                if d >= n {
+                    return Err(WireError::Invalid(format!(
+                        "dependence {d} of index {i} out of bounds"
+                    )));
+                }
+                if d == i {
+                    return Err(WireError::Invalid(format!("self-dependence at index {i}")));
+                }
+                forward &= d < i;
+            }
+        }
+        Ok(DepGraph {
+            n,
+            indptr,
+            deps,
+            forward,
+        })
     }
 }
 

@@ -19,6 +19,7 @@
 use crate::dep::DepGraph;
 use crate::schedule::Schedule;
 use crate::{InspectorError, Result};
+use rtpl_sparse::wire::{WireReader, WireResult, WireWriter};
 
 /// Which inter-phase barriers a pre-scheduled execution must keep.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -102,6 +103,20 @@ impl BarrierPlan {
     /// True when there are no boundaries at all.
     pub fn is_empty(&self) -> bool {
         self.keep.is_empty()
+    }
+
+    /// Serializes the kept-barrier set in the [`rtpl_sparse::wire`] format.
+    pub fn encode(&self, w: &mut WireWriter) {
+        let bytes: Vec<u8> = self.keep.iter().map(|&k| k as u8).collect();
+        w.put_u8s(&bytes);
+    }
+
+    /// Decodes a plan written by [`BarrierPlan::encode`]. Length agreement
+    /// with the owning schedule (`num_phases − 1`) is the caller's cheap
+    /// check; coverage was proven at build time and persists unchanged.
+    pub fn decode(r: &mut WireReader) -> WireResult<BarrierPlan> {
+        let keep = r.u8s()?.into_iter().map(|b| b != 0).collect();
+        Ok(BarrierPlan { keep })
     }
 
     /// Verifies that every cross-processor dependence of `schedule` is

@@ -15,6 +15,7 @@
 use crate::partition::Partition;
 use crate::wavefront::Wavefronts;
 use crate::{DepGraph, InspectorError, Result};
+use rtpl_sparse::wire::{WireError, WireReader, WireResult, WireWriter};
 
 /// A per-processor execution order with phase markers.
 #[derive(Clone, Debug, PartialEq)]
@@ -235,6 +236,92 @@ impl Schedule {
             }
         }
         Ok(())
+    }
+
+    /// Serializes the schedule in the [`rtpl_sparse::wire`] format.
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.nprocs as u64);
+        w.put_u64(self.num_phases as u64);
+        w.put_u32s(&self.wavefront);
+        for p in 0..self.nprocs {
+            w.put_u32s(&self.per_proc[p]);
+            w.put_usizes32(&self.phase_ptr[p]);
+        }
+    }
+
+    /// Decodes a schedule written by [`Schedule::encode`], re-checking the
+    /// structural invariants a valid schedule carries (permutation-ness,
+    /// phase-pointer shape, per-phase wavefront agreement) in one cheap
+    /// O(n) pass — the wavefront sort itself is **not** redone. Graph
+    /// agreement (the dependence property) is the caller's concern; plan
+    /// artifacts persist the graph alongside and were validated at build.
+    pub fn decode(r: &mut WireReader) -> WireResult<Schedule> {
+        let dim = |raw: u64, what: &str| -> WireResult<usize> {
+            usize::try_from(raw).map_err(|_| WireError::Invalid(format!("{what} {raw} overflows")))
+        };
+        let nprocs = dim(r.u64()?, "schedule nprocs")?;
+        let num_phases = dim(r.u64()?, "schedule num_phases")?;
+        let wavefront = r.u32s()?;
+        let n = wavefront.len();
+        if nprocs == 0 {
+            return Err(WireError::Invalid("schedule has zero processors".into()));
+        }
+        if wavefront.iter().any(|&w| w as usize >= num_phases.max(1)) {
+            return Err(WireError::Invalid(
+                "schedule wavefront exceeds phase count".into(),
+            ));
+        }
+        let mut per_proc = Vec::with_capacity(nprocs);
+        let mut phase_ptr = Vec::with_capacity(nprocs);
+        let mut seen = vec![false; n];
+        for p in 0..nprocs {
+            let list = r.u32s()?;
+            let ptr = r.usizes32()?;
+            if ptr.len() != num_phases + 1
+                || ptr.first() != Some(&0)
+                || ptr[num_phases] != list.len()
+            {
+                return Err(WireError::Invalid(format!(
+                    "processor {p}: malformed phase pointers"
+                )));
+            }
+            for w in 0..num_phases {
+                if ptr[w] > ptr[w + 1] {
+                    return Err(WireError::Invalid(format!(
+                        "processor {p}: phase pointers not monotone at phase {w}"
+                    )));
+                }
+                for &i in &list[ptr[w]..ptr[w + 1]] {
+                    let i = i as usize;
+                    if i >= n || seen[i] {
+                        return Err(WireError::Invalid(format!(
+                            "processor {p}: index {i} duplicated or out of range"
+                        )));
+                    }
+                    seen[i] = true;
+                    if wavefront[i] as usize != w {
+                        return Err(WireError::Invalid(format!(
+                            "processor {p}: index {i} in phase {w} has wavefront {}",
+                            wavefront[i]
+                        )));
+                    }
+                }
+            }
+            per_proc.push(list);
+            phase_ptr.push(ptr);
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(WireError::Invalid(format!(
+                "index {missing} not scheduled on any processor"
+            )));
+        }
+        Ok(Schedule {
+            nprocs,
+            num_phases,
+            per_proc,
+            phase_ptr,
+            wavefront,
+        })
     }
 }
 

@@ -17,8 +17,9 @@
 use crate::{KrylovError, Result};
 use rtpl_executor::compiled::{CompiledError, CompiledPlan, CompiledSpec, RunScratch};
 use rtpl_executor::{ExecPolicy, ExecReport, LoopBody, PlannedLoop, ValueSource, WorkerPool};
-use rtpl_inspector::{DepGraph, Partition, Schedule, Wavefronts};
+use rtpl_inspector::{BarrierPlan, DepGraph, Partition, Schedule, Wavefronts};
 use rtpl_sparse::ilu::IluFactors;
+use rtpl_sparse::wire::{WireError, WireReader, WireResult, WireWriter};
 use rtpl_sparse::Csr;
 
 /// Which executor runs the scheduled loop.
@@ -648,6 +649,195 @@ impl CompiledTriSolve {
             _ => self.bwd.run_sequential(&mut scratch.bwd, &scratch.y, x),
         };
         Ok((fwd, bwd))
+    }
+}
+
+/// Version tag of the structure-only plan artifact encoding. Bumped on any
+/// layout change; readers reject other versions with a typed error.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+fn kind_to_u8(kind: ExecutorKind) -> u8 {
+    match kind {
+        ExecutorKind::Sequential => 0,
+        ExecutorKind::SelfExecuting => 1,
+        ExecutorKind::PreScheduled => 2,
+        ExecutorKind::PreScheduledElided => 3,
+        ExecutorKind::Doacross => 4,
+    }
+}
+
+fn kind_from_u8(b: u8) -> Option<ExecutorKind> {
+    Some(match b {
+        0 => ExecutorKind::Sequential,
+        1 => ExecutorKind::SelfExecuting,
+        2 => ExecutorKind::PreScheduled,
+        3 => ExecutorKind::PreScheduledElided,
+        4 => ExecutorKind::Doacross,
+        _ => return None,
+    })
+}
+
+impl CompiledTriSolve {
+    /// Serializes everything the inspector and the compiler produced —
+    /// factor *structure*, schedules, minimal barrier sets, and both
+    /// compiled layouts — into a self-contained byte artifact. The
+    /// dependence graphs are omitted: they are deterministic functions of
+    /// the factor structure and are rebuilt on decode.
+    /// **No numeric values are stored**: every solving path of a
+    /// `CompiledTriSolve` attaches the caller's factor values per call, so
+    /// the artifact stays valid across refactorizations of the pattern.
+    pub fn encode_artifact(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u32(ARTIFACT_VERSION);
+        let p = &self.plan;
+        w.put_u64(p.n as u64);
+        w.put_u8(kind_to_u8(p.kind));
+        w.put_usizes32(p.l.indptr());
+        w.put_u32s(p.l.indices());
+        w.put_usizes32(p.u.indptr());
+        w.put_u32s(p.u.indices());
+        // The dependence graphs are NOT stored: they are deterministic,
+        // cheap functions of the factor structure above (the L graph's
+        // adjacency arrays coincide with `l`'s; the U graph is the
+        // reversed-space map of `u`'s strict upper), so decode rebuilds
+        // them instead of paying their bytes twice.
+        p.plan_l.schedule().encode(&mut w);
+        p.plan_l.barrier_plan().encode(&mut w);
+        p.plan_u.schedule().encode(&mut w);
+        p.plan_u.barrier_plan().encode(&mut w);
+        self.fwd.encode(&mut w);
+        self.bwd.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Reconstructs a solve plan from [`CompiledTriSolve::encode_artifact`]
+    /// bytes **without re-running the expensive inspector stages**: no
+    /// wavefront computation, no schedule sort or validation, no barrier
+    /// cover re-derivation, no compile-time permutation proof — only
+    /// linear shape-and-bounds checks plus the single-pass dependence
+    /// graph rebuild from the factor structure. That asymmetry is the
+    /// point: a store hit must be much cheaper than a cold inspect +
+    /// compile.
+    ///
+    /// The reconstructed plan carries **placeholder numeric values**
+    /// (zeros; unit inverse diagonal). It is only valid for the
+    /// per-call-value paths — [`CompiledTriSolve::solve`],
+    /// [`CompiledTriSolve::solve_fused_sequential`],
+    /// [`CompiledTriSolve::load_values`] +
+    /// [`CompiledTriSolve::solve_loaded`], and
+    /// [`TriangularSolvePlan::solve_with`] — which are bit-exact with a
+    /// freshly inspected plan because they gather every coefficient from
+    /// the caller's factors. The value-owning convenience paths
+    /// ([`TriangularSolvePlan::solve`]/`forward`/`backward`) would solve
+    /// with the placeholders; do not use them on a decoded plan.
+    pub fn decode_artifact(bytes: &[u8]) -> WireResult<CompiledTriSolve> {
+        let mut r = WireReader::new(bytes);
+        let version = r.u32()?;
+        if version != ARTIFACT_VERSION {
+            return Err(WireError::Invalid(format!(
+                "plan artifact version {version}, this build reads {ARTIFACT_VERSION}"
+            )));
+        }
+        let n = r.u64()? as usize;
+        // Compiled layouts index rows with u32s; a larger order cannot have
+        // been encoded (and makes the `i as u32` comparisons below exact).
+        if n > u32::MAX as usize {
+            return Err(WireError::Invalid(format!(
+                "artifact order {n} exceeds u32 row indexing"
+            )));
+        }
+        let kind = kind_from_u8(r.u8()?)
+            .ok_or_else(|| WireError::Invalid("unknown executor kind tag".into()))?;
+        let bad_csr =
+            |e: rtpl_sparse::SparseError| WireError::Invalid(format!("artifact structure: {e}"));
+        let l_indptr = r.usizes32()?;
+        let l_indices = r.u32s()?;
+        let l_vals = vec![0.0; l_indices.len()];
+        let l = Csr::try_new(n, n, l_indptr, l_indices, l_vals).map_err(bad_csr)?;
+        let u_indptr = r.usizes32()?;
+        let u_indices = r.u32s()?;
+        let u_vals = vec![0.0; u_indices.len()];
+        let u = Csr::try_new(n, n, u_indptr, u_indices, u_vals).map_err(bad_csr)?;
+        let bad_plan = |what: &'static str| {
+            move |e: rtpl_inspector::InspectorError| {
+                WireError::Invalid(format!("artifact {what} plan: {e}"))
+            }
+        };
+        // Rebuild the dependence graphs from the (just validated) factor
+        // structure — they were not encoded; construction is deterministic,
+        // so the rebuilt graphs are identical to the ones the schedules
+        // were computed from.
+        let g_l = DepGraph::from_lower_triangular(&l).map_err(bad_plan("forward"))?;
+        let s_l = Schedule::decode(&mut r)?;
+        let b_l = BarrierPlan::decode(&mut r)?;
+        let plan_l = PlannedLoop::from_parts(g_l, s_l, b_l).map_err(bad_plan("forward"))?;
+        let g_u = DepGraph::from_upper_triangular(&u).map_err(bad_plan("backward"))?;
+        let s_u = Schedule::decode(&mut r)?;
+        let b_u = BarrierPlan::decode(&mut r)?;
+        let plan_u = PlannedLoop::from_parts(g_u, s_u, b_u).map_err(bad_plan("backward"))?;
+        let fwd = CompiledPlan::decode(&mut r)?;
+        let bwd = CompiledPlan::decode(&mut r)?;
+        r.finish()?;
+
+        if plan_l.n() != n || plan_u.n() != n || fwd.n() != n || bwd.n() != n {
+            return Err(WireError::Invalid(format!(
+                "artifact component sizes disagree with order {n}"
+            )));
+        }
+        if fwd.expected_values() != l.nnz() || bwd.expected_values() != u.nnz() {
+            return Err(WireError::Invalid(
+                "compiled layout value counts disagree with factor structure".into(),
+            ));
+        }
+        // The same hoisting pass TriangularSolvePlan::new runs — strict-upper
+        // filter, per-call gather map, diagonal positions — but leaning on
+        // the row-sortedness `Csr::try_new` just proved: one partition point
+        // splits each row into sub-diagonal | diagonal | strict upper, and
+        // the strict part copies over in bulk instead of element-by-element.
+        // Every row of U must carry its diagonal or the per-call inversion
+        // would read a stranger's coefficient.
+        let cap = u.nnz().saturating_sub(n);
+        let mut us_indptr = Vec::with_capacity(n + 1);
+        us_indptr.push(0usize);
+        let mut us_indices = Vec::with_capacity(cap);
+        let mut u_strict_src = Vec::with_capacity(cap);
+        let mut udiag_pos = vec![0u32; n];
+        for i in 0..n {
+            let lo = u.indptr()[i];
+            let row = u.row_indices(i);
+            let split = row.partition_point(|&j| (j as usize) < i);
+            if row.get(split) != Some(&(i as u32)) {
+                return Err(WireError::Invalid(format!(
+                    "artifact U row {i} stores no diagonal"
+                )));
+            }
+            udiag_pos[i] = (lo + split) as u32;
+            let strict = &row[split + 1..];
+            us_indices.extend_from_slice(strict);
+            let first = (lo + split + 1) as u32;
+            u_strict_src.extend(first..first + strict.len() as u32);
+            us_indptr.push(us_indices.len());
+        }
+        let us_vals = vec![0.0; us_indices.len()];
+        // Sound without re-validation: the indptr is monotone by
+        // construction and every row is a tail of a strictly increasing,
+        // bounds-checked row of `u`.
+        let u_strict = Csr::new_unchecked(n, n, us_indptr, us_indices, us_vals);
+        let plan = TriangularSolvePlan {
+            n,
+            l,
+            u,
+            u_strict,
+            u_strict_src,
+            udiag_pos,
+            // Placeholder: per-call paths recompute the inverse diagonal
+            // from the caller's values; this array is never read by them.
+            udiag_inv: vec![1.0; n],
+            plan_l,
+            plan_u,
+            kind,
+        };
+        Ok(CompiledTriSolve { plan, fwd, bwd })
     }
 }
 

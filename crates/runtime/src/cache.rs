@@ -214,6 +214,21 @@ impl<V> PlanCache<V> {
             .is_some_and(|slot| matches!(slot.value.get(), Some(Ok(_))))
     }
 
+    /// Visits every resident, successfully built entry — in-flight builds
+    /// and error slots are skipped. One shard lock is held at a time, so
+    /// `f` must not re-enter the cache. Used to spill learned state to the
+    /// persistent store at shutdown; iteration order is unspecified.
+    pub fn for_each_built(&self, mut f: impl FnMut(u128, &V)) {
+        for shard in self.shards.iter() {
+            let map = shard.lock().unwrap_or_else(|e| e.into_inner());
+            for (&key, slot) in map.iter() {
+                if let Some(Ok(v)) = slot.value.get() {
+                    f(key, v);
+                }
+            }
+        }
+    }
+
     /// Entries currently resident (built or building).
     pub fn len(&self) -> usize {
         self.shards

@@ -113,6 +113,33 @@
 //! assert!(warm.cached);
 //! ```
 //!
+//! ## Persistence: the memory → disk → cold ladder
+//!
+//! With [`RuntimeConfig::store_path`] set, the plan cache grows a second
+//! tier: an `rtpl_store::PlanStore` whose append-only segment file
+//! survives restarts. Lookups walk a ladder — a **memory** hit never
+//! touches the store (the warm hot path is unchanged); a miss consults
+//! the **disk** tier and, on a hit, decodes the persisted
+//! `CompiledTriSolve` artifact (skipping dependence analysis, wavefront
+//! sort, and schedule validation — the artifact was proven valid before
+//! it was spilled); only a store miss goes **cold** and pays the full
+//! inspection, after which the artifact is spilled by the store's
+//! write-behind flusher. Plans evicted from the bounded memory tier
+//! resurrect from disk the same way. The selector's measured per-policy
+//! costs travel with each artifact ([`Runtime::persist_learned`]
+//! re-spills the current measurements), and a resumed runtime keeps only
+//! the measurements its own host's cost model still considers viable.
+//! [`Runtime::warm_from_store`] pre-compiles the most-recently-used head
+//! of the store on a background thread before traffic arrives.
+//!
+//! Artifacts are **structure only** — values are gathered fresh from the
+//! caller's factors on every solve — so a store-served plan is bit-exact
+//! with a freshly inspected one under the same policy. Every store
+//! failure (unreadable file, version skew, truncation, checksum
+//! mismatch, `nprocs` mismatch) is a typed error counted in
+//! [`RuntimeStats::store_load_errors`] and served by cold inspection;
+//! none of them can panic the service or corrupt an answer.
+//!
 //! Concurrency contract: a cached entry holds one **immutable** plan
 //! (compiled layouts for solves and linear loops, a [`PlannedLoop`] for
 //! generic bodies) plus a [`pools::LeasePool`] of per-run scratches

@@ -128,6 +128,17 @@ impl PolicySelector {
         let w = Some(&weights[..]);
         let mut out = [f64::INFINITY; 5];
         out[arm_index(ExecutorKind::Sequential)] = sim::sim_sequential(g.n(), w, &self.cost);
+        // Host honesty: with the schedule's processor count at or above the
+        // cores actually present, the parallel simulations model a machine
+        // that does not exist — their results would be clamped to +∞
+        // anyway, so don't run them at all (this sits on every
+        // plan-acquisition path, cold inspection and store decode alike).
+        // Hard-prefer the sequential arm.
+        if let Some(cores) = self.host_procs {
+            if s.nprocs() >= cores {
+                return out;
+            }
+        }
         out[arm_index(ExecutorKind::SelfExecuting)] =
             sim::sim_self_executing(s, g, w, &self.cost).time;
         out[arm_index(ExecutorKind::PreScheduled)] = sim::sim_pre_scheduled(s, w, &self.cost).time;
@@ -136,19 +147,6 @@ impl PolicySelector {
         if g.is_forward() {
             out[arm_index(ExecutorKind::Doacross)] =
                 sim::sim_doacross(g, s.nprocs(), w, &self.cost).time;
-        }
-        // Host honesty: with the schedule's processor count at or above the
-        // cores actually present, the parallel predictions above model a
-        // machine that does not exist. Hard-prefer the sequential arm.
-        if let Some(cores) = self.host_procs {
-            if s.nprocs() >= cores {
-                let seq = arm_index(ExecutorKind::Sequential);
-                for (i, v) in out.iter_mut().enumerate() {
-                    if i != seq {
-                        *v = f64::INFINITY;
-                    }
-                }
-            }
         }
         out
     }
@@ -276,6 +274,57 @@ impl AdaptiveState {
     /// Runs observed per arm, indexed as [`ARMS`].
     pub fn counts(&self) -> [u64; 5] {
         self.count
+    }
+
+    /// The model prior this state was built from, indexed as [`ARMS`].
+    pub fn prior(&self) -> [f64; 5] {
+        self.prior
+    }
+
+    /// The measured learning — per-arm EWMA estimates and observation
+    /// counts — as plain arrays, for persistence. The prior is *not* part
+    /// of the snapshot: it is a function of the plan and the host, and a
+    /// restarted runtime recomputes it fresh (see [`AdaptiveState::resume`]).
+    pub fn snapshot(&self) -> ([f64; 5], [u64; 5]) {
+        (self.measured, self.count)
+    }
+
+    /// Rebuilds adaptive state from a freshly computed prior plus a
+    /// persisted [`snapshot`](AdaptiveState::snapshot). Measurements for
+    /// arms the *current* prior retires (`+∞` — e.g. the host-honesty
+    /// clamp on a machine with fewer cores than the one that learned them)
+    /// are discarded: a wall time measured on different hardware is not
+    /// evidence here, and keeping it would let a retired arm win
+    /// `choose()` through the measured path the prior can no longer guard.
+    /// Surviving estimates enter at full staleness-freshness (`last_obs =
+    /// total`), so the resumed state exploits immediately and re-explores
+    /// on the usual schedule.
+    pub fn resume(prior: [f64; 5], mut measured: [f64; 5], mut count: [u64; 5]) -> Self {
+        assert!(
+            prior.iter().any(|p| p.is_finite()),
+            "at least one arm must be feasible"
+        );
+        for k in 0..ARMS.len() {
+            if prior[k].is_infinite() {
+                measured[k] = 0.0;
+                count[k] = 0;
+            }
+        }
+        let total: u64 = count.iter().sum();
+        let mut last_obs = [0u64; 5];
+        for k in 0..ARMS.len() {
+            if count[k] > 0 {
+                last_obs[k] = total;
+            }
+        }
+        AdaptiveState {
+            prior,
+            measured,
+            count,
+            total,
+            last_obs,
+            challenged_at: total,
+        }
     }
 }
 
@@ -502,6 +551,33 @@ mod tests {
             0,
             "an arm {CHALLENGE_CAP}x+ off the pace must stay retired: {runs:?}"
         );
+    }
+
+    #[test]
+    fn resume_restores_learning_and_honors_the_current_host() {
+        let prior = [100.0, 40.0, 90.0, 80.0, 50.0];
+        let mut st = AdaptiveState::new(prior);
+        st.observe(ExecutorKind::SelfExecuting, 55.0);
+        st.observe(ExecutorKind::Doacross, 70.0);
+        let (measured, count) = st.snapshot();
+        // Same host: the learned incumbent carries over — no exploration
+        // replays, the first post-restart choice exploits immediately.
+        let mut resumed = AdaptiveState::resume(prior, measured, count);
+        assert_eq!(resumed.choose(), ExecutorKind::SelfExecuting);
+        assert_eq!(resumed.counts(), count);
+        // Shrunken host: the current prior retires every parallel arm, so
+        // their persisted measurements are discarded wholesale — the state
+        // behaves as fresh and deterministically picks the sequential arm.
+        let clamped = [
+            10.0,
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::INFINITY,
+        ];
+        let mut small = AdaptiveState::resume(clamped, measured, count);
+        assert_eq!(small.choose(), ExecutorKind::Sequential);
+        assert_eq!(small.counts().iter().sum::<u64>(), 0);
     }
 
     #[test]

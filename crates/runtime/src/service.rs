@@ -13,12 +13,15 @@ use rtpl_krylov::{
 };
 use rtpl_sim::{calibrate, CostModel};
 use rtpl_sparse::ilu::IluFactors;
+use rtpl_sparse::wire::{WireError, WireReader, WireWriter};
 use rtpl_sparse::{Csr, PatternFingerprint};
+use rtpl_store::PlanStore;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Configuration of a [`Runtime`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RuntimeConfig {
     /// Processors per plan (and per leased worker pool).
     pub nprocs: usize,
@@ -41,6 +44,14 @@ pub struct RuntimeConfig {
     /// proceed fully in parallel; on a single-core host the batch still
     /// wins by amortizing leases, selector traffic, and value gathers.
     pub batch_workers: usize,
+    /// Segment file of the persistent plan store (`None` = no disk tier).
+    /// Solve-cache misses consult the store before paying for a cold
+    /// inspection, cold builds spill their artifact write-behind, and
+    /// [`Runtime::warm_from_store`] can pre-populate the memory cache from
+    /// a previous process's plans. A file that fails to open (or parse)
+    /// never fails the runtime: the error is counted in
+    /// [`RuntimeStats::store_load_errors`] and the runtime runs storeless.
+    pub store_path: Option<PathBuf>,
 }
 
 impl Default for RuntimeConfig {
@@ -56,6 +67,7 @@ impl Default for RuntimeConfig {
             calibrate: true,
             policy: None,
             batch_workers: 0,
+            store_path: None,
         }
     }
 }
@@ -88,6 +100,22 @@ pub struct RuntimeStats {
     /// could never exceed 1; ≥ 2 proves same-pattern requests run
     /// concurrently.
     pub peak_same_pattern: u64,
+    /// Solve-cache misses served by decoding a persisted plan artifact
+    /// instead of a cold inspection (includes plans pre-loaded by
+    /// [`Runtime::warm_from_store`]).
+    pub store_hits: u64,
+    /// Solve-cache misses that consulted the store and found nothing —
+    /// these paid the full cold inspection.
+    pub store_misses: u64,
+    /// Plan artifacts accepted by the store's write-behind queue (cold
+    /// builds plus [`Runtime::persist_learned`] snapshots; a queue-full
+    /// drop is *not* counted here — see the store's own `dropped_writes`).
+    pub store_writes: u64,
+    /// Store records that could not be used: open/scan repairs, corrupt or
+    /// truncated payloads, wire-format mismatches, artifacts built for a
+    /// different processor count. Every one fell back to cold inspection —
+    /// this counter is the only trace the failure leaves.
+    pub store_load_errors: u64,
 }
 
 impl RuntimeStats {
@@ -130,6 +158,10 @@ impl RuntimeStats {
         line("pools_created", self.pools_created);
         line("scratches_created", self.scratches_created);
         line("peak_same_pattern", self.peak_same_pattern);
+        line("store_hits", self.store_hits);
+        line("store_misses", self.store_misses);
+        line("store_writes", self.store_writes);
+        line("store_load_errors", self.store_load_errors);
         for (k, kind) in ARMS.iter().enumerate() {
             line(
                 &format!("policy_runs_{}", format!("{kind:?}").to_lowercase()),
@@ -217,6 +249,12 @@ pub struct Runtime {
     pub(crate) peak_same_pattern: AtomicU64,
     pub(crate) batches: AtomicU64,
     pub(crate) batch_jobs: AtomicU64,
+    /// Disk tier of the solve-plan cache (see [`RuntimeConfig::store_path`]).
+    pub(crate) store: Option<PlanStore>,
+    pub(crate) store_hits: AtomicU64,
+    pub(crate) store_misses: AtomicU64,
+    pub(crate) store_writes: AtomicU64,
+    pub(crate) store_load_errors: AtomicU64,
 }
 
 impl Runtime {
@@ -245,6 +283,14 @@ impl Runtime {
         } else {
             None
         };
+        // The persistent tier is strictly optional: an unopenable store
+        // file (bad magic, future version, filesystem trouble) leaves its
+        // one trace in `store_load_errors` and the runtime runs storeless.
+        let mut open_errors = 0;
+        let store = cfg
+            .store_path
+            .as_ref()
+            .and_then(|path| PlanStore::open(path).inspect_err(|_| open_errors = 1).ok());
         Runtime {
             selector: PolicySelector::with_host_procs(cost, host_procs),
             pools: PoolSet::new(cfg.nprocs),
@@ -256,6 +302,11 @@ impl Runtime {
             peak_same_pattern: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batch_jobs: AtomicU64::new(0),
+            store,
+            store_hits: AtomicU64::new(0),
+            store_misses: AtomicU64::new(0),
+            store_writes: AtomicU64::new(0),
+            store_load_errors: AtomicU64::new(open_errors),
             cfg,
         }
     }
@@ -306,9 +357,24 @@ impl Runtime {
         self.policy_runs[arm_index(kind)].fetch_add(runs, Ordering::Relaxed);
     }
 
-    /// Inspects, predicts, and compiles one solve pattern (the cold path
-    /// of [`Runtime::solve`] and of solve groups in a batch).
+    /// Acquires one solve pattern's entry: the memory-cache miss path of
+    /// [`Runtime::solve`] and of solve groups in a batch. With a store
+    /// attached, a persisted artifact is decoded instead of re-running the
+    /// inspector; otherwise (or when the record is absent, corrupt, or
+    /// built for a different processor count) the pattern pays the full
+    /// cold inspection and the fresh plan is spilled write-behind.
     pub(crate) fn build_solve_entry(&self, factors: &IluFactors) -> Result<SolveEntry> {
+        let key = Self::solve_key(factors).as_u128();
+        if let Some(entry) = self.load_solve_entry(key) {
+            return Ok(entry);
+        }
+        let entry = self.inspect_solve_entry(factors)?;
+        self.spill_solve_entry(key, &entry);
+        Ok(entry)
+    }
+
+    /// The genuinely cold path: inspects, predicts, and compiles.
+    fn inspect_solve_entry(&self, factors: &IluFactors) -> Result<SolveEntry> {
         let plan = TriangularSolvePlan::new(
             factors,
             self.cfg.nprocs,
@@ -326,6 +392,134 @@ impl Runtime {
             adaptive: Mutex::new(AdaptiveState::new(prior)),
             scratches: LeasePool::new(),
         })
+    }
+
+    /// Consults the persistent store for `key`. `None` means "pay the cold
+    /// path" — whether because no store is attached, the key is absent
+    /// (`store_misses`), or the record exists but cannot be used
+    /// (`store_load_errors`: corruption, truncation, format drift, or an
+    /// artifact compiled for a different `nprocs`). Never fails the
+    /// request.
+    fn load_solve_entry(&self, key: u128) -> Option<SolveEntry> {
+        let store = self.store.as_ref()?;
+        let payload = match store.get(key) {
+            Ok(Some(p)) => p,
+            Ok(None) => {
+                self.store_misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            Err(_) => {
+                self.store_load_errors.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match self.decode_solve_payload(&payload) {
+            Ok(entry) => {
+                store.touch(key);
+                self.store_hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            Err(_) => {
+                self.store_load_errors.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Serializes one solve entry for the store: the structure-only plan
+    /// artifact plus the adaptive selector's state — the measured snapshot,
+    /// and the policy prior together with the exact context it was computed
+    /// under (cost model and host core clamp). A restarted runtime whose
+    /// context matches bitwise reuses the prior instead of re-running the
+    /// prediction simulations; any drift (recalibration, different core
+    /// count) makes it recompute.
+    fn encode_solve_payload(&self, entry: &SolveEntry) -> Vec<u8> {
+        let adaptive = entry.adaptive.lock().unwrap_or_else(|e| e.into_inner());
+        let (measured, count) = adaptive.snapshot();
+        let prior = adaptive.prior();
+        drop(adaptive);
+        let cost = self.selector.cost_model();
+        let mut w = WireWriter::new();
+        w.put_u8s(&entry.compiled.encode_artifact());
+        w.put_f64s(&[cost.tp, cost.tsynch, cost.tinc, cost.tcheck]);
+        w.put_u64(self.selector.host_procs().map_or(0, |p| p as u64));
+        w.put_f64s(&prior);
+        w.put_f64s(&measured);
+        w.put_u64s(&count);
+        w.into_bytes()
+    }
+
+    /// Decodes a stored payload into a servable entry. The artifact must
+    /// have been compiled for this runtime's processor count — worker
+    /// pools are leased at `cfg.nprocs`, and a compiled layout's phase
+    /// walk is per-processor — otherwise the record is rejected (the
+    /// caller counts it as a load error and goes cold). The policy prior
+    /// encodes the writer's cost model and core count: when they match
+    /// this runtime's bitwise, the persisted prior is resumed directly
+    /// (the prediction simulations are deterministic in that context, so
+    /// re-running them would reproduce it); on any mismatch — or a prior
+    /// with no feasible arm left — it is recomputed fresh from the
+    /// decoded plans, and the persisted measurements resume on top.
+    fn decode_solve_payload(&self, payload: &[u8]) -> std::result::Result<SolveEntry, WireError> {
+        let mut r = WireReader::new(payload);
+        let artifact = r.u8s_ref()?;
+        let stored_cost: [f64; 4] = r
+            .f64s()?
+            .try_into()
+            .map_err(|_| WireError::Invalid("prior context needs 4 cost parameters".into()))?;
+        let stored_host = r.u64()?;
+        let stored_prior: [f64; 5] = r
+            .f64s()?
+            .try_into()
+            .map_err(|_| WireError::Invalid("prior needs 5 arms".into()))?;
+        let measured: [f64; 5] = r
+            .f64s()?
+            .try_into()
+            .map_err(|_| WireError::Invalid("adaptive snapshot needs 5 means".into()))?;
+        let count: [u64; 5] = r
+            .u64s()?
+            .try_into()
+            .map_err(|_| WireError::Invalid("adaptive snapshot needs 5 counts".into()))?;
+        r.finish()?;
+        let compiled = CompiledTriSolve::decode_artifact(artifact)?;
+        if compiled.forward_plan().nprocs() != self.cfg.nprocs {
+            return Err(WireError::Invalid(format!(
+                "artifact compiled for {} procs, runtime configured for {}",
+                compiled.forward_plan().nprocs(),
+                self.cfg.nprocs
+            )));
+        }
+        let cost = self.selector.cost_model();
+        let same_context = stored_cost[0].to_bits() == cost.tp.to_bits()
+            && stored_cost[1].to_bits() == cost.tsynch.to_bits()
+            && stored_cost[2].to_bits() == cost.tinc.to_bits()
+            && stored_cost[3].to_bits() == cost.tcheck.to_bits()
+            && stored_host == self.selector.host_procs().map_or(0, |p| p as u64);
+        let prior = if same_context && stored_prior.iter().any(|p| p.is_finite()) {
+            stored_prior
+        } else {
+            let pl = self.selector.predict(compiled.plan().plan_l());
+            let pu = self.selector.predict(compiled.plan().plan_u());
+            let mut prior = [0.0; 5];
+            for k in 0..ARMS.len() {
+                prior[k] = pl[k] + pu[k];
+            }
+            prior
+        };
+        Ok(SolveEntry {
+            compiled,
+            adaptive: Mutex::new(AdaptiveState::resume(prior, measured, count)),
+            scratches: LeasePool::new(),
+        })
+    }
+
+    /// Queues one entry's payload on the store's write-behind channel.
+    fn spill_solve_entry(&self, key: u128, entry: &SolveEntry) {
+        if let Some(store) = self.store.as_ref() {
+            if store.put(key, self.encode_solve_payload(entry)) {
+                self.store_writes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Schedules one generic loop structure (the cold path of
@@ -561,6 +755,78 @@ impl Runtime {
         })
     }
 
+    /// The attached persistent plan store, if any.
+    pub fn store(&self) -> Option<&PlanStore> {
+        self.store.as_ref()
+    }
+
+    /// True when the store holds a (possibly stale) record for `key` —
+    /// the disk rung of the memory → disk → cold lookup ladder. A pure
+    /// index peek: no payload is read or validated, so a `true` may still
+    /// decode-fail into a cold inspection later.
+    pub fn store_contains(&self, key: PatternFingerprint) -> bool {
+        self.store
+            .as_ref()
+            .is_some_and(|s| s.contains(key.as_u128()))
+    }
+
+    /// Re-persists every resident solve plan with its *current* adaptive
+    /// snapshot and blocks until the store has flushed. Cold builds spill
+    /// their artifact before any run has been measured; calling this at a
+    /// natural boundary (server shutdown, end of a batch campaign) makes
+    /// the learned explore/exploit state durable too. Returns the number
+    /// of entries written (0 without a store).
+    pub fn persist_learned(&self) -> usize {
+        let Some(store) = self.store.as_ref() else {
+            return 0;
+        };
+        let mut written = 0;
+        self.solves.for_each_built(|key, entry| {
+            if store.put(key, self.encode_solve_payload(entry)) {
+                self.store_writes.fetch_add(1, Ordering::Relaxed);
+                written += 1;
+            }
+        });
+        store.flush();
+        written
+    }
+
+    /// Pre-populates the memory cache from the store's most-recently-used
+    /// head: up to `limit` persisted patterns, hottest first (by the
+    /// store's per-key recency then hit count), are decoded and installed
+    /// on a background thread so the first real request for each is a
+    /// plain memory hit. Blocks until warming finishes — callers wanting
+    /// warm-up concurrent with request traffic call this from their own
+    /// thread (as `rtpl-server` does at spawn). Undecodable records are
+    /// skipped (counted in [`RuntimeStats::store_load_errors`]); returns
+    /// the number of plans installed.
+    pub fn warm_from_store(&self, limit: usize) -> usize {
+        let Some(store) = self.store.as_ref() else {
+            return 0;
+        };
+        let keys: Vec<u128> = store.keys_by_recency().into_iter().take(limit).collect();
+        std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let mut warmed = 0;
+                    for key in keys {
+                        let fp = PatternFingerprint::from_halves((key >> 64) as u64, key as u64);
+                        if self.solves.contains(fp) {
+                            continue;
+                        }
+                        if let Some(entry) = self.load_solve_entry(key) {
+                            if self.solves.get_or_build(fp, move || Ok(entry)).is_ok() {
+                                warmed += 1;
+                            }
+                        }
+                    }
+                    warmed
+                })
+                .join()
+                .unwrap_or(0)
+        })
+    }
+
     /// A preconditioner whose ILU applications go through this runtime's
     /// plan cache — hand it to [`rtpl_krylov::cg`]/`gmres`/`bicgstab`.
     pub fn preconditioner<'a>(&'a self, factors: &'a IluFactors) -> CachedIlu<'a> {
@@ -586,6 +852,14 @@ impl Runtime {
             policy_runs,
             scratches_created: self.scratches_created.load(Ordering::Relaxed),
             peak_same_pattern: self.peak_same_pattern.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            store_misses: self.store_misses.load(Ordering::Relaxed),
+            store_writes: self.store_writes.load(Ordering::Relaxed),
+            // Open-time scan repairs (a truncated tail dropped on open)
+            // surface through the same counter as per-record load
+            // failures: both mean "persisted bytes could not be used".
+            store_load_errors: self.store_load_errors.load(Ordering::Relaxed)
+                + self.store.as_ref().map_or(0, |s| s.stats().scan_repairs),
         }
     }
 }
@@ -870,6 +1144,7 @@ mod tests {
             calibrate: true,
             policy: None,
             batch_workers: 0,
+            store_path: None,
         });
         let c = rt.cost_model();
         for (name, v) in [
@@ -883,6 +1158,179 @@ mod tests {
         // Calibrated nanoseconds must still satisfy the paper's ordering:
         // a barrier costs more than a flop.
         assert!(c.r_synch() > 1.0);
+    }
+
+    fn tmp_store(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rtpl_runtime_unit_{}_{}", std::process::id(), name));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn store_cfg(path: &std::path::Path) -> RuntimeConfig {
+        RuntimeConfig {
+            store_path: Some(path.to_path_buf()),
+            ..test_cfg()
+        }
+    }
+
+    #[test]
+    fn restart_resumes_plans_and_learning_from_the_store() {
+        let path = tmp_store("restart");
+        let f = ilu0(&laplacian_5pt(9, 8)).unwrap();
+        let n = f.n();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
+        let expect = reference(&f, &b);
+
+        // First process lifetime: cold inspection, learning, spill.
+        let learned_counts = {
+            let rt = Runtime::new(store_cfg(&path));
+            let mut x = vec![0.0; n];
+            for _ in 0..6 {
+                rt.solve(&f, &b, &mut x).unwrap();
+            }
+            let s = rt.stats();
+            assert_eq!(s.store_hits, 0);
+            assert_eq!(s.store_misses, 1, "one consult on the one cold build");
+            assert!(s.store_writes >= 1);
+            assert_eq!(s.store_load_errors, 0);
+            assert_eq!(rt.persist_learned(), 1);
+            let key = Runtime::solve_key(&f);
+            assert!(rt.store_contains(key));
+            s.policy_runs
+        };
+
+        // Second process lifetime: the cache miss is served from disk —
+        // no inspector run — and the answer is bit-exact.
+        let rt = Runtime::new(store_cfg(&path));
+        let mut x = vec![0.0; n];
+        let out = rt.solve(&f, &b, &mut x).unwrap();
+        assert!(!out.cached, "memory cache starts empty");
+        // Tolerance, not equality: the resumed incumbent may be a parallel
+        // discipline whose summation order differs from the sequential
+        // reference by an ulp. Per-policy bit-exactness of store-loaded vs
+        // freshly inspected plans is pinned in `tests/plan_store.rs`.
+        assert!(rtpl_sparse::dense::max_abs_diff(&x, &expect) < 1e-12);
+        let s = rt.stats();
+        assert_eq!(s.store_hits, 1);
+        assert_eq!(s.store_misses, 0);
+        assert_eq!(s.store_load_errors, 0);
+        // Learning resumed: the first post-restart run uses an arm the
+        // first lifetime actually measured (the resumed incumbent), never
+        // an arm it retired. (Resume *semantics* — exploit-not-explore,
+        // host-honesty drops — are pinned down in the selector tests.)
+        assert!(
+            learned_counts[arm_index(out.policy)] > 0,
+            "post-restart policy {:?} was never measured before the restart",
+            out.policy
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn warm_from_store_preloads_the_memory_cache() {
+        let path = tmp_store("warm");
+        let f1 = ilu0(&laplacian_5pt(7, 7)).unwrap();
+        let f2 = ilu0(&laplacian_5pt(6, 9)).unwrap();
+        {
+            let rt = Runtime::new(store_cfg(&path));
+            for f in [&f1, &f2] {
+                let b = vec![1.0; f.n()];
+                let mut x = vec![0.0; f.n()];
+                rt.solve(f, &b, &mut x).unwrap();
+            }
+            rt.store().unwrap().flush();
+        }
+        let rt = Runtime::new(store_cfg(&path));
+        assert_eq!(rt.warm_from_store(16), 2);
+        // Both patterns are now memory hits: no build, no store consult.
+        for f in [&f1, &f2] {
+            let b = vec![1.0; f.n()];
+            let mut x = vec![0.0; f.n()];
+            let out = rt.solve(f, &b, &mut x).unwrap();
+            assert!(out.cached, "warmed pattern must hit the memory cache");
+            assert!(rtpl_sparse::dense::max_abs_diff(&x, &reference(f, &b)) < 1e-12);
+        }
+        let s = rt.stats();
+        assert_eq!(s.solves.builds, 2, "warming installs, solving reuses");
+        assert_eq!(s.store_hits, 2);
+        // Warming twice is idempotent: resident patterns are skipped.
+        assert_eq!(rt.warm_from_store(16), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn nprocs_mismatch_rejects_the_stored_artifact() {
+        let path = tmp_store("nprocs");
+        let f = ilu0(&laplacian_5pt(8, 7)).unwrap();
+        let b = vec![1.0; f.n()];
+        {
+            let rt = Runtime::new(store_cfg(&path));
+            let mut x = vec![0.0; f.n()];
+            rt.solve(&f, &b, &mut x).unwrap();
+            rt.store().unwrap().flush();
+        }
+        // Same store, different processor count: the persisted layout is
+        // per-processor and cannot serve — typed rejection, cold rebuild,
+        // correct answer.
+        let rt = Runtime::new(RuntimeConfig {
+            nprocs: 3,
+            ..store_cfg(&path)
+        });
+        let mut x = vec![0.0; f.n()];
+        rt.solve(&f, &b, &mut x).unwrap();
+        assert!(rtpl_sparse::dense::max_abs_diff(&x, &reference(&f, &b)) < 1e-12);
+        let s = rt.stats();
+        assert_eq!(s.store_hits, 0);
+        assert_eq!(s.store_load_errors, 1);
+        assert_eq!(s.solves.builds, 1, "fallback paid the cold inspection");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn evicted_entries_resurrect_from_disk_without_reinspection() {
+        let path = tmp_store("evict");
+        let rt = Runtime::new(RuntimeConfig {
+            shards: 1,
+            capacity: 2,
+            ..store_cfg(&path)
+        });
+        let meshes = [(4usize, 4usize), (4, 5), (4, 6)];
+        for &(mx, my) in &meshes {
+            let f = ilu0(&laplacian_5pt(mx, my)).unwrap();
+            let b = vec![1.0; f.n()];
+            let mut x = vec![0.0; f.n()];
+            rt.solve(&f, &b, &mut x).unwrap();
+        }
+        rt.store().unwrap().flush();
+        assert_eq!(rt.stats().solves.evictions, 1, "capacity 2, three plans");
+        // The evicted first pattern comes back from the store's spill of
+        // its own cold build — within one process lifetime.
+        let f = ilu0(&laplacian_5pt(4, 4)).unwrap();
+        let b = vec![1.0; f.n()];
+        let mut x = vec![0.0; f.n()];
+        rt.solve(&f, &b, &mut x).unwrap();
+        assert!(rtpl_sparse::dense::max_abs_diff(&x, &reference(&f, &b)) < 1e-12);
+        let s = rt.stats();
+        assert_eq!(s.store_hits, 1, "resurrected from disk, not re-inspected");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unopenable_store_degrades_to_storeless_service() {
+        let path = tmp_store("bad_magic");
+        std::fs::write(&path, b"definitely not a store file").unwrap();
+        let rt = Runtime::new(store_cfg(&path));
+        assert!(rt.store().is_none());
+        let f = ilu0(&laplacian_5pt(6, 6)).unwrap();
+        let b = vec![1.0; f.n()];
+        let mut x = vec![0.0; f.n()];
+        rt.solve(&f, &b, &mut x).unwrap();
+        assert!(rtpl_sparse::dense::max_abs_diff(&x, &reference(&f, &b)) < 1e-12);
+        let s = rt.stats();
+        assert_eq!(s.store_load_errors, 1, "the failed open leaves its trace");
+        assert_eq!(s.store_hits + s.store_misses + s.store_writes, 0);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

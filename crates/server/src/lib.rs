@@ -31,8 +31,11 @@
 //!
 //! * **Wire protocol** ([`proto`]): five request kinds. `Solve` ships CSR
 //!   factors + right-hand side; `WarmCheck` ships only a
-//!   [`rtpl_sparse::PatternFingerprint`] and asks "is this pattern's plan
-//!   cached?"; `SolveByFingerprint` solves against server-held factors
+//!   [`rtpl_sparse::PatternFingerprint`] and answers with a
+//!   [`WarmLevel`] — memory-warm (rhs-only solves run now), disk-warm
+//!   (the plan survives in the runtime's persistent store; shipping
+//!   factors skips the inspection), or cold;
+//!   `SolveByFingerprint` solves against server-held factors
 //!   without re-shipping the pattern; `Stats` returns the metrics text;
 //!   `Shutdown` drains gracefully — but only when the server opts in
 //!   ([`ServerConfig::allow_remote_shutdown`], off by default, because the
@@ -95,5 +98,5 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use histogram::Histogram;
-pub use proto::{ProtoError, Request, Response, RetryReason, WIRE_VERSION};
+pub use proto::{ProtoError, Request, Response, RetryReason, WarmLevel, WIRE_VERSION};
 pub use server::{Server, ServerConfig, ServerStats};

@@ -14,7 +14,7 @@
 //! | 4 | → | [`Request::Stats`] | — |
 //! | 5 | → | [`Request::Shutdown`] | — |
 //! | 128 | ← | [`Response::Solved`] | cached flag, policy index, `x` |
-//! | 129 | ← | [`Response::WarmStatus`] | warm flag |
+//! | 129 | ← | [`Response::WarmStatus`] | [`WarmLevel`] byte |
 //! | 130 | ← | [`Response::RetryAfter`] | delay ms, [`RetryReason`] |
 //! | 131 | ← | [`Response::Error`] | code, message |
 //! | 132 | ← | [`Response::StatsText`] | metrics text |
@@ -106,6 +106,44 @@ pub const REQUEST_KINDS: [&str; 5] = [
     "shutdown",
 ];
 
+/// How warm a pattern is on the server — the answer to
+/// [`Request::WarmCheck`], mirroring the runtime's memory → disk → cold
+/// lookup ladder. A client uses it to decide what to ship: `Memory` means
+/// an rhs-only [`Request::SolveByFingerprint`] runs immediately; `Disk`
+/// means the plan exists persistently and the first solve pays only a
+/// decode, not an inspection; `Cold` means the pattern (and its factors)
+/// must be shipped in full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WarmLevel {
+    /// Never seen (or the persisted record is gone): a solve pays the full
+    /// cold inspection.
+    Cold,
+    /// Present in the persistent plan store only: a solve decodes the
+    /// stored artifact instead of inspecting.
+    Disk,
+    /// Compiled and resident in the memory cache: a solve runs at once.
+    Memory,
+}
+
+impl WarmLevel {
+    fn to_byte(self) -> u8 {
+        match self {
+            WarmLevel::Cold => 0,
+            WarmLevel::Disk => 1,
+            WarmLevel::Memory => 2,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, ProtoError> {
+        Ok(match b {
+            0 => WarmLevel::Cold,
+            1 => WarmLevel::Disk,
+            2 => WarmLevel::Memory,
+            other => return Err(ProtoError::UnknownKind(other)),
+        })
+    }
+}
+
 /// Why a request was rejected instead of queued.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RetryReason {
@@ -147,7 +185,7 @@ pub enum Response {
         x: Vec<f64>,
     },
     /// Answer to [`Request::WarmCheck`].
-    WarmStatus { warm: bool },
+    WarmStatus { level: WarmLevel },
     /// Typed backpressure: retry after the suggested delay.
     RetryAfter { retry_ms: u32, reason: RetryReason },
     /// The request was accepted but could not be served (see [`err_code`]).
@@ -241,7 +279,7 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
             w.put_u8(*policy);
             w.put_f64s(x);
         }
-        Response::WarmStatus { warm } => w.put_u8(*warm as u8),
+        Response::WarmStatus { level } => w.put_u8(level.to_byte()),
         Response::RetryAfter { retry_ms, reason } => {
             w.put_u32(*retry_ms);
             w.put_u8(reason.to_byte());
@@ -306,7 +344,9 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Response), ProtoError> {
             let x = r.f64s()?;
             Response::Solved { cached, policy, x }
         }
-        129 => Response::WarmStatus { warm: r.u8()? != 0 },
+        129 => Response::WarmStatus {
+            level: WarmLevel::from_byte(r.u8()?)?,
+        },
         130 => {
             let retry_ms = r.u32()?;
             let reason = RetryReason::from_byte(r.u8()?)?;
@@ -409,7 +449,9 @@ mod tests {
                 policy: 0,
                 x: vec![1.5, -0.0, f64::MIN_POSITIVE],
             },
-            Response::WarmStatus { warm: false },
+            Response::WarmStatus {
+                level: WarmLevel::Disk,
+            },
             Response::RetryAfter {
                 retry_ms: 7,
                 reason: RetryReason::QuotaExceeded,
@@ -429,6 +471,28 @@ mod tests {
             assert_eq!(id, 9);
             assert_eq!(got, resp);
         }
+    }
+
+    #[test]
+    fn warm_levels_roundtrip_and_an_unknown_level_is_rejected() {
+        for level in [WarmLevel::Cold, WarmLevel::Disk, WarmLevel::Memory] {
+            let payload = encode_response(3, &Response::WarmStatus { level });
+            assert_eq!(
+                decode_response(&payload).unwrap(),
+                (3, Response::WarmStatus { level })
+            );
+        }
+        // The ladder is ordered: a client may compare levels directly.
+        assert!(WarmLevel::Memory > WarmLevel::Disk);
+        assert!(WarmLevel::Disk > WarmLevel::Cold);
+        let mut payload = encode_response(
+            3,
+            &Response::WarmStatus {
+                level: WarmLevel::Cold,
+            },
+        );
+        *payload.last_mut().unwrap() = 9;
+        assert_eq!(decode_response(&payload), Err(ProtoError::UnknownKind(9)));
     }
 
     #[test]

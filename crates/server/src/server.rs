@@ -21,7 +21,7 @@
 //! proportional to the cap, never the offered load).
 
 use crate::histogram::Histogram;
-use crate::proto::{self, err_code, Request, Response, RetryReason, REQUEST_KINDS};
+use crate::proto::{self, err_code, Request, Response, RetryReason, WarmLevel, REQUEST_KINDS};
 use rtpl_runtime::selector::arm_index;
 use rtpl_runtime::{Job, NoBody, Runtime, RuntimeConfig};
 use rtpl_sparse::{IluFactors, PatternFingerprint};
@@ -65,6 +65,12 @@ pub struct ServerConfig {
     /// otherwise deny service to everyone else. The owning process drains
     /// via [`Server::shutdown`] regardless.
     pub allow_remote_shutdown: bool,
+    /// Most persisted plans pre-compiled from the runtime's store at
+    /// spawn (hottest first). Only meaningful when
+    /// `runtime.store_path` is set; `0` disables warming. Warming runs on
+    /// its own thread concurrent with request traffic — a request racing
+    /// the warmer at worst pays the store decode itself.
+    pub warm_limit: usize,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +84,7 @@ impl Default for ServerConfig {
             retry_after_ms: 2,
             registry_capacity: 128,
             allow_remote_shutdown: false,
+            warm_limit: 64,
         }
     }
 }
@@ -278,7 +285,7 @@ impl Server {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let metrics_listener = TcpListener::bind("127.0.0.1:0")?;
         let inner = Arc::new(Inner {
-            runtime: Runtime::new(cfg.runtime),
+            runtime: Runtime::new(cfg.runtime.clone()),
             addr: listener.local_addr()?,
             metrics_addr: metrics_listener.local_addr()?,
             registry: Registry::new(cfg.registry_capacity),
@@ -310,6 +317,14 @@ impl Server {
         {
             let inner = Arc::clone(&inner);
             threads.push(std::thread::spawn(move || dispatcher_loop(&inner)));
+        }
+        // Background cache warming: decode the persistent store's hottest
+        // plans into the memory cache while the listeners already serve.
+        if inner.cfg.warm_limit > 0 && inner.runtime.store().is_some() {
+            let inner = Arc::clone(&inner);
+            threads.push(std::thread::spawn(move || {
+                inner.runtime.warm_from_store(inner.cfg.warm_limit);
+            }));
         }
         Ok(Server {
             inner,
@@ -353,11 +368,15 @@ impl Server {
         self.inner.wait_drained();
     }
 
-    /// Full graceful shutdown: [`Server::drain`], then stop the accept
-    /// loops, close every connection's read half (responses already in
-    /// flight still go out), and join every thread. Idempotent.
+    /// Full graceful shutdown: [`Server::drain`], persist the learned
+    /// policy state to the plan store (when one is attached), then stop
+    /// the accept loops, close every connection's read half (responses
+    /// already in flight still go out), and join every thread. Idempotent.
     pub fn shutdown(&self) -> io::Result<()> {
         self.drain();
+        // Everything is answered: snapshot each cached plan's adaptive
+        // state so the next process resumes the learned policy.
+        self.inner.runtime.persist_learned();
         self.inner.stop.store(true, Ordering::SeqCst);
         // Wake the dispatcher (waiting on a condvar) and both accept loops
         // (blocked in `accept`).
@@ -571,8 +590,18 @@ fn reader_loop(
                 ));
             }
             Request::WarmCheck { key } => {
-                let warm = inner.registry.contains(key.as_u128());
-                let _ = tx.send((id, Response::WarmStatus { warm }));
+                // The ladder a solve for this pattern would walk: factors
+                // registered (an rhs-only solve runs now) → plan artifact
+                // persisted (shipping factors skips the inspection) →
+                // nothing anywhere.
+                let level = if inner.registry.contains(key.as_u128()) {
+                    WarmLevel::Memory
+                } else if inner.runtime.store_contains(key) {
+                    WarmLevel::Disk
+                } else {
+                    WarmLevel::Cold
+                };
+                let _ = tx.send((id, Response::WarmStatus { level }));
             }
             Request::Shutdown => {
                 if inner.cfg.allow_remote_shutdown {

@@ -65,19 +65,25 @@ impl Csr {
                 )));
             }
         }
+        // Two flat passes instead of per-element branching inside a per-row
+        // loop: a whole-array bounds sweep the compiler can vectorize, then
+        // a per-row adjacent-pair sweep (row columns are required to be
+        // strictly increasing, so one comparison per neighbouring pair
+        // settles the row). Error formatting only runs on the failing path.
+        if let Some(k) = indices.iter().position(|&c| c as usize >= ncols) {
+            let i = indptr.partition_point(|&p| p <= k) - 1;
+            return Err(SparseError::InvalidStructure(format!(
+                "column {} out of bounds in row {i} (ncols = {ncols})",
+                indices[k]
+            )));
+        }
         for i in 0..nrows {
             let row = &indices[indptr[i]..indptr[i + 1]];
-            for (k, &c) in row.iter().enumerate() {
-                if c as usize >= ncols {
-                    return Err(SparseError::InvalidStructure(format!(
-                        "column {c} out of bounds in row {i} (ncols = {ncols})"
-                    )));
-                }
-                if k > 0 && row[k - 1] >= c {
-                    return Err(SparseError::InvalidStructure(format!(
-                        "row {i} columns not strictly increasing at position {k}"
-                    )));
-                }
+            if let Some(k) = row.windows(2).position(|w| w[0] >= w[1]) {
+                return Err(SparseError::InvalidStructure(format!(
+                    "row {i} columns not strictly increasing at position {}",
+                    k + 1
+                )));
             }
         }
         Ok(Csr {

@@ -100,8 +100,61 @@ impl WireWriter {
     /// Appends a length-prefixed `f64` slice (count as `u64`, then bits).
     pub fn put_f64s(&mut self, xs: &[f64]) {
         self.put_u64(xs.len() as u64);
+        self.buf.reserve(xs.len() * 8);
         for &x in xs {
             self.put_f64(x);
+        }
+    }
+
+    /// Appends a length-prefixed `u8` slice (count as `u64`, then bytes).
+    pub fn put_u8s(&mut self, xs: &[u8]) {
+        self.put_u64(xs.len() as u64);
+        self.buf.extend_from_slice(xs);
+    }
+
+    /// Appends a length-prefixed `u32` slice (count as `u64`, then values).
+    pub fn put_u32s(&mut self, xs: &[u32]) {
+        self.put_u64(xs.len() as u64);
+        self.buf.reserve(xs.len() * 4);
+        for &x in xs {
+            self.put_u32(x);
+        }
+    }
+
+    /// Appends a length-prefixed `u64` slice (count as `u64`, then values).
+    pub fn put_u64s(&mut self, xs: &[u64]) {
+        self.put_u64(xs.len() as u64);
+        self.buf.reserve(xs.len() * 8);
+        for &x in xs {
+            self.put_u64(x);
+        }
+    }
+
+    /// Appends a length-prefixed `usize` slice as `u64`s (lossless: every
+    /// `usize` fits a `u64` on supported targets).
+    pub fn put_usizes(&mut self, xs: &[usize]) {
+        self.put_u64(xs.len() as u64);
+        self.buf.reserve(xs.len() * 8);
+        for &x in xs {
+            self.put_u64(x as u64);
+        }
+    }
+
+    /// Appends a length-prefixed `usize` slice at `u32` width — half the
+    /// bytes of [`WireWriter::put_usizes`], for offset arrays whose values
+    /// index `u32`-typed data and therefore always fit.
+    ///
+    /// # Panics
+    ///
+    /// If a value exceeds `u32::MAX`; callers narrow only offsets into
+    /// arrays that are themselves `u32`-indexed, so this is unreachable
+    /// for structurally valid plans.
+    pub fn put_usizes32(&mut self, xs: &[usize]) {
+        self.put_u64(xs.len() as u64);
+        self.buf.reserve(xs.len() * 4);
+        for &x in xs {
+            let v = u32::try_from(x).expect("offset exceeds u32 wire width");
+            self.buf.extend_from_slice(&v.to_le_bytes());
         }
     }
 
@@ -212,10 +265,83 @@ impl<'a> WireReader<'a> {
             .map_err(|_| WireError::Invalid(format!("{what} {raw} overflows usize")))
     }
 
+    /// Takes `count * width` bytes in one bounds check and decodes them
+    /// with `chunks_exact` — the bulk readers below go through here so
+    /// large arrays (compiled-plan layouts, CSR structure) decode at
+    /// memcpy-like speed instead of paying a checked cursor advance per
+    /// element.
+    fn take_elems<T>(
+        &mut self,
+        count: usize,
+        width: usize,
+        f: impl Fn(&[u8]) -> T,
+    ) -> WireResult<Vec<T>> {
+        let bytes = self.take(count * width)?;
+        Ok(bytes.chunks_exact(width).map(f).collect())
+    }
+
     /// Reads a length-prefixed `f64` slice written by [`WireWriter::put_f64s`].
     pub fn f64s(&mut self) -> WireResult<Vec<f64>> {
         let count = self.checked_count(8, "f64 slice")?;
-        (0..count).map(|_| self.f64()).collect()
+        self.take_elems(count, 8, |s| {
+            f64::from_bits(u64::from_le_bytes(s.try_into().expect("8-byte chunk")))
+        })
+    }
+
+    /// Reads a length-prefixed `u8` slice written by [`WireWriter::put_u8s`].
+    pub fn u8s(&mut self) -> WireResult<Vec<u8>> {
+        Ok(self.u8s_ref()?.to_vec())
+    }
+
+    /// Like [`WireReader::u8s`] but borrowing from the reader's input
+    /// instead of copying — for nested-codec payloads (a plan artifact
+    /// inside a store record) that run to hundreds of kilobytes and are
+    /// immediately decoded again.
+    pub fn u8s_ref(&mut self) -> WireResult<&'a [u8]> {
+        let count = self.checked_count(1, "u8 slice")?;
+        self.take(count)
+    }
+
+    /// Reads a length-prefixed `u32` slice written by [`WireWriter::put_u32s`].
+    pub fn u32s(&mut self) -> WireResult<Vec<u32>> {
+        let count = self.checked_count(4, "u32 slice")?;
+        self.take_elems(count, 4, |s| {
+            u32::from_le_bytes(s.try_into().expect("4-byte chunk"))
+        })
+    }
+
+    /// Reads a length-prefixed `u64` slice written by [`WireWriter::put_u64s`].
+    pub fn u64s(&mut self) -> WireResult<Vec<u64>> {
+        let count = self.checked_count(8, "u64 slice")?;
+        self.take_elems(count, 8, |s| {
+            u64::from_le_bytes(s.try_into().expect("8-byte chunk"))
+        })
+    }
+
+    /// Reads a length-prefixed `usize` slice written by
+    /// [`WireWriter::put_usizes`], with the typed overflow error on narrow
+    /// targets.
+    pub fn usizes(&mut self) -> WireResult<Vec<usize>> {
+        let count = self.checked_count(8, "usize slice")?;
+        let raw = self.take_elems(count, 8, |s| {
+            u64::from_le_bytes(s.try_into().expect("8-byte chunk"))
+        })?;
+        raw.into_iter()
+            .map(|v| {
+                usize::try_from(v)
+                    .map_err(|_| WireError::Invalid(format!("usize entry {v} overflows usize")))
+            })
+            .collect()
+    }
+
+    /// Reads a length-prefixed `usize` slice written by
+    /// [`WireWriter::put_usizes32`] (`u32` wire width, lossless into
+    /// `usize` on every supported target).
+    pub fn usizes32(&mut self) -> WireResult<Vec<usize>> {
+        let count = self.checked_count(4, "usize32 slice")?;
+        self.take_elems(count, 4, |s| {
+            u32::from_le_bytes(s.try_into().expect("4-byte chunk")) as usize
+        })
     }
 
     /// Reads a length-prefixed UTF-8 string written by [`WireWriter::put_str`].
@@ -258,11 +384,22 @@ impl<'a> WireReader<'a> {
                 have: self.remaining(),
             });
         }
-        let indptr: Vec<usize> = (0..ptr_len)
-            .map(|_| self.dim("indptr entry"))
+        let raw_ptr = self.take_elems(ptr_len, 8, |s| {
+            u64::from_le_bytes(s.try_into().expect("8-byte chunk"))
+        })?;
+        let indptr: Vec<usize> = raw_ptr
+            .into_iter()
+            .map(|v| {
+                usize::try_from(v)
+                    .map_err(|_| WireError::Invalid(format!("indptr entry {v} overflows usize")))
+            })
             .collect::<WireResult<_>>()?;
-        let indices: Vec<u32> = (0..nnz).map(|_| self.u32()).collect::<WireResult<_>>()?;
-        let data: Vec<f64> = (0..nnz).map(|_| self.f64()).collect::<WireResult<_>>()?;
+        let indices: Vec<u32> = self.take_elems(nnz, 4, |s| {
+            u32::from_le_bytes(s.try_into().expect("4-byte chunk"))
+        })?;
+        let data: Vec<f64> = self.take_elems(nnz, 8, |s| {
+            f64::from_bits(u64::from_le_bytes(s.try_into().expect("8-byte chunk")))
+        })?;
         Csr::try_new(nrows, ncols, indptr, indices, data)
             .map_err(|e| WireError::Invalid(format!("csr validation failed: {e}")))
     }

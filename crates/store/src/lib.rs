@@ -1,0 +1,720 @@
+//! Persistent plan store: the disk tier under the runtime's plan cache.
+//!
+//! The paper's economics are that inspection is worth its price because it
+//! is paid once and amortized over many executions. A process restart
+//! resets that amortization to zero — every pattern is cold again even
+//! though nothing about it changed. This crate extends the amortization
+//! window across process lifetimes: plan artifacts (structure only, no
+//! numeric values — see `rtpl_krylov`'s artifact codec) are spilled to an
+//! append-only segment file off the hot path and reloaded on the next
+//! start for far less than a cold inspection.
+//!
+//! Design rules, in order:
+//!
+//! 1. **The hot path never blocks on disk.** [`PlanStore::put`] and
+//!    [`PlanStore::touch`] enqueue onto a bounded channel drained by one
+//!    dedicated flusher thread; when the channel is full the write is
+//!    *dropped* and counted ([`StoreStats::dropped_writes`]) — a plan
+//!    store is a cache, losing a spill costs a future re-inspection, not
+//!    correctness.
+//! 2. **A damaged file never panics and never poisons the runtime.**
+//!    Structural damage found while scanning at open truncates the file
+//!    back to its longest valid prefix; a payload whose checksum no longer
+//!    matches surfaces as a typed [`StoreError::Corrupt`] from
+//!    [`PlanStore::get`]; a wrong magic or format version is a typed error
+//!    from [`PlanStore::open`]. Every failure leaves the caller exactly
+//!    where it would be without a store: cold inspection.
+//! 3. **One writer.** All file appends happen on the flusher thread, so
+//!    records written by concurrent producers are never interleaved.
+//!
+//! # File format
+//!
+//! ```text
+//! header:  "rtplstor" (8 bytes) | format version (u32 LE)
+//! record:  payload len (u32 LE) | kind (u8) | key hi (u64 LE) |
+//!          key lo (u64 LE) | seq (u64 LE) | payload checksum (u64 LE,
+//!          word-wise FNV-style fold) | payload bytes
+//! ```
+//!
+//! Record kinds: `1` = plan artifact (payload = artifact bytes, keyed by
+//! pattern fingerprint), `2` = touch (empty payload; bumps the key's hit
+//! count and recency). `seq` is a logical clock — the index keeps, per
+//! key, the latest artifact offset plus hit count and last-use seq, which
+//! is what [`PlanStore::keys_by_recency`] sorts for warm-start priority.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// The 8-byte file magic.
+pub const MAGIC: [u8; 8] = *b"rtplstor";
+/// On-disk format version; bumped on any layout change. Readers reject
+/// other versions with [`StoreError::Version`].
+pub const FORMAT_VERSION: u32 = 1;
+/// Bounded depth of the write-behind channel; producers finding it full
+/// drop their write (counted) instead of blocking.
+pub const WRITE_QUEUE_DEPTH: usize = 64;
+
+const HEADER_LEN: usize = 12;
+const REC_HEADER_LEN: usize = 4 + 1 + 8 + 8 + 8 + 8;
+const REC_PLAN: u8 = 1;
+const REC_TOUCH: u8 = 2;
+
+/// Typed failures of the store. None of them is ever escalated to a
+/// panic by this crate; all of them mean "proceed as if cold".
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file exists but does not start with the store magic (or is too
+    /// short to hold a header).
+    BadMagic,
+    /// The file was written by a different format version.
+    Version { found: u32, expected: u32 },
+    /// A record's bytes no longer match their checksum, or a record was
+    /// truncated underneath the index.
+    Corrupt { offset: u64, detail: String },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o: {e}"),
+            StoreError::BadMagic => write!(f, "not a plan store file (bad magic)"),
+            StoreError::Version { found, expected } => {
+                write!(
+                    f,
+                    "store format version {found}, this build reads {expected}"
+                )
+            }
+            StoreError::Corrupt { offset, detail } => {
+                write!(f, "corrupt store record at offset {offset}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Counters and sizes of one open store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Distinct keys currently indexed.
+    pub entries: usize,
+    /// Artifact records written by the flusher this session.
+    pub puts: u64,
+    /// Touch records written by the flusher this session.
+    pub touches: u64,
+    /// Writes dropped because the write-behind queue was full (or the
+    /// flusher had failed).
+    pub dropped_writes: u64,
+    /// 1 when opening found (and truncated away) an invalid tail.
+    pub scan_repairs: u64,
+    /// Bytes discarded by that truncation.
+    pub truncated_bytes: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct IndexEntry {
+    /// File offset of the payload bytes (past the record header).
+    offset: u64,
+    len: u32,
+    checksum: u64,
+    hits: u64,
+    last_seq: u64,
+}
+
+struct Shared {
+    index: Mutex<HashMap<u128, IndexEntry>>,
+    reader: Mutex<File>,
+    puts: AtomicU64,
+    touches: AtomicU64,
+    dropped_writes: AtomicU64,
+    scan_repairs: u64,
+    truncated_bytes: u64,
+}
+
+enum Msg {
+    Put { key: u128, payload: Vec<u8> },
+    Touch { key: u128 },
+    Flush(std::sync::mpsc::Sender<()>),
+}
+
+/// A persistent, append-only plan store with an in-memory index and a
+/// write-behind flusher thread. Cheap to share by reference across
+/// threads; all methods take `&self`.
+pub struct PlanStore {
+    shared: Arc<Shared>,
+    tx: Option<SyncSender<Msg>>,
+    flusher: Option<JoinHandle<()>>,
+    path: PathBuf,
+}
+
+/// Per-record payload checksum: four independent FNV-style xor/multiply
+/// lanes over 8-byte little-endian words, folded together at the end
+/// (tail bytes zero-padded into a final word alongside the length, so
+/// truncation and extension both change the sum). Four lanes rather than
+/// one because the multiply chain is serially dependent per lane — plan
+/// payloads run to hundreds of kilobytes and this sits on the store-hit
+/// path. Guards against storage bit-rot, not an adversary.
+fn checksum(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    const SEED: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut lanes = [
+        SEED,
+        SEED ^ 0x9e37_79b9_7f4a_7c15,
+        SEED ^ 0xc2b2_ae3d_27d4_eb4f,
+        SEED ^ 0x1656_67b1_9e37_79f9,
+    ];
+    let mut blocks = bytes.chunks_exact(32);
+    for blk in &mut blocks {
+        for (k, lane) in lanes.iter_mut().enumerate() {
+            let word = u64::from_le_bytes(blk[k * 8..k * 8 + 8].try_into().unwrap());
+            *lane = (*lane ^ word).wrapping_mul(PRIME);
+        }
+    }
+    let mut h = SEED;
+    for lane in lanes {
+        h = (h ^ lane).wrapping_mul(PRIME);
+    }
+    let mut words = blocks.remainder().chunks_exact(8);
+    for c in &mut words {
+        h = (h ^ u64::from_le_bytes(c.try_into().unwrap())).wrapping_mul(PRIME);
+    }
+    let rem = words.remainder();
+    let mut tail = [0u8; 8];
+    tail[..rem.len()].copy_from_slice(rem);
+    h = (h ^ u64::from_le_bytes(tail)).wrapping_mul(PRIME);
+    (h ^ bytes.len() as u64).wrapping_mul(PRIME)
+}
+
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().unwrap())
+}
+
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().unwrap())
+}
+
+impl PlanStore {
+    /// Opens (creating if absent) the store at `path`: verifies the
+    /// header, scans every record into the in-memory index, truncates any
+    /// invalid tail back to the longest valid prefix, and starts the
+    /// flusher thread.
+    ///
+    /// Header-level damage (wrong magic, wrong version) is a typed error —
+    /// the caller runs storeless, it does not panic and the file is left
+    /// untouched for inspection.
+    pub fn open(path: impl AsRef<Path>) -> Result<PlanStore, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut index = HashMap::new();
+        let mut next_seq = 1u64;
+        let mut scan_repairs = 0u64;
+        let mut truncated_bytes = 0u64;
+        let file_len = file.metadata()?.len();
+        if file_len == 0 {
+            file.write_all(&MAGIC)?;
+            file.write_all(&FORMAT_VERSION.to_le_bytes())?;
+            file.flush()?;
+        } else {
+            let mut bytes = Vec::with_capacity(file_len as usize);
+            file.read_to_end(&mut bytes)?;
+            if bytes.len() < HEADER_LEN || bytes[..8] != MAGIC {
+                return Err(StoreError::BadMagic);
+            }
+            let version = le_u32(&bytes[8..]);
+            if version != FORMAT_VERSION {
+                return Err(StoreError::Version {
+                    found: version,
+                    expected: FORMAT_VERSION,
+                });
+            }
+            let mut off = HEADER_LEN;
+            let valid_end = loop {
+                if bytes.len() - off < REC_HEADER_LEN {
+                    break off; // clean end, or a header cut mid-write
+                }
+                let len = le_u32(&bytes[off..]) as usize;
+                let kind = bytes[off + 4];
+                let key_hi = le_u64(&bytes[off + 5..]);
+                let key_lo = le_u64(&bytes[off + 13..]);
+                let seq = le_u64(&bytes[off + 21..]);
+                let checksum = le_u64(&bytes[off + 29..]);
+                let structurally_ok = match kind {
+                    REC_PLAN => bytes.len() - off - REC_HEADER_LEN >= len,
+                    REC_TOUCH => len == 0,
+                    _ => false,
+                };
+                if !structurally_ok {
+                    break off;
+                }
+                let key = ((key_hi as u128) << 64) | key_lo as u128;
+                match kind {
+                    REC_PLAN => {
+                        index.insert(
+                            key,
+                            IndexEntry {
+                                offset: (off + REC_HEADER_LEN) as u64,
+                                len: len as u32,
+                                checksum,
+                                hits: 0,
+                                last_seq: seq,
+                            },
+                        );
+                    }
+                    _ => {
+                        if let Some(e) = index.get_mut(&key) {
+                            e.hits += 1;
+                            e.last_seq = seq;
+                        }
+                    }
+                }
+                next_seq = next_seq.max(seq + 1);
+                off += REC_HEADER_LEN + len;
+            };
+            if valid_end < bytes.len() {
+                scan_repairs = 1;
+                truncated_bytes = (bytes.len() - valid_end) as u64;
+                file.set_len(valid_end as u64)?;
+            }
+            file.seek(SeekFrom::End(0))?;
+        }
+        let reader = File::open(&path)?;
+        let shared = Arc::new(Shared {
+            index: Mutex::new(index),
+            reader: Mutex::new(reader),
+            puts: AtomicU64::new(0),
+            touches: AtomicU64::new(0),
+            dropped_writes: AtomicU64::new(0),
+            scan_repairs,
+            truncated_bytes,
+        });
+        let (tx, rx) = sync_channel::<Msg>(WRITE_QUEUE_DEPTH);
+        let sh = Arc::clone(&shared);
+        let flusher = std::thread::Builder::new()
+            .name("rtpl-store-flusher".into())
+            .spawn(move || flusher_loop(file, rx, &sh, next_seq))?;
+        Ok(PlanStore {
+            shared,
+            tx: Some(tx),
+            flusher: Some(flusher),
+            path,
+        })
+    }
+
+    /// The file this store persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Enqueues an artifact for write-behind persistence. Never blocks:
+    /// returns `false` (and counts a dropped write) when the flusher
+    /// queue is full. The key becomes visible to [`PlanStore::get`] once
+    /// the flusher has appended the record.
+    pub fn put(&self, key: u128, payload: Vec<u8>) -> bool {
+        self.send(Msg::Put { key, payload })
+    }
+
+    /// Enqueues a hit-count / recency bump for `key` (a no-op for keys
+    /// the store does not hold). Never blocks; drops under pressure.
+    pub fn touch(&self, key: u128) -> bool {
+        self.send(Msg::Touch { key })
+    }
+
+    fn send(&self, msg: Msg) -> bool {
+        match self.tx.as_ref().expect("flusher alive").try_send(msg) {
+            Ok(()) => true,
+            Err(_) => {
+                self.shared.dropped_writes.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    /// Reads the latest artifact stored under `key`. `Ok(None)` means the
+    /// store simply does not have it (a miss); `Err(Corrupt)` means the
+    /// bytes on disk no longer match their checksum — the caller should
+    /// treat both as "inspect cold", only the second is worth counting as
+    /// a load error.
+    pub fn get(&self, key: u128) -> Result<Option<Vec<u8>>, StoreError> {
+        let entry = match self.shared.index.lock().unwrap().get(&key) {
+            Some(e) => *e,
+            None => return Ok(None),
+        };
+        let mut buf = vec![0u8; entry.len as usize];
+        {
+            let mut f = self.shared.reader.lock().unwrap();
+            f.seek(SeekFrom::Start(entry.offset))?;
+            f.read_exact(&mut buf).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    StoreError::Corrupt {
+                        offset: entry.offset,
+                        detail: "record truncated under the index".into(),
+                    }
+                } else {
+                    StoreError::Io(e)
+                }
+            })?;
+        }
+        if checksum(&buf) != entry.checksum {
+            return Err(StoreError::Corrupt {
+                offset: entry.offset,
+                detail: "payload checksum mismatch".into(),
+            });
+        }
+        Ok(Some(buf))
+    }
+
+    /// Whether the store holds an artifact for `key`.
+    pub fn contains(&self, key: u128) -> bool {
+        self.shared.index.lock().unwrap().contains_key(&key)
+    }
+
+    /// Distinct keys currently indexed.
+    pub fn len(&self) -> usize {
+        self.shared.index.lock().unwrap().len()
+    }
+
+    /// True when no artifacts are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All keys, most recently used first (ties broken by hit count).
+    /// The warm-start order: the head of this list is what
+    /// `Runtime::warm_from_store` pre-compiles.
+    pub fn keys_by_recency(&self) -> Vec<u128> {
+        let mut v: Vec<(u64, u64, u128)> = self
+            .shared
+            .index
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&k, e)| (e.last_seq, e.hits, k))
+            .collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v.into_iter().map(|(_, _, k)| k).collect()
+    }
+
+    /// Recorded (hits, last-use seq) of `key`, if indexed.
+    pub fn usage(&self, key: u128) -> Option<(u64, u64)> {
+        self.shared
+            .index
+            .lock()
+            .unwrap()
+            .get(&key)
+            .map(|e| (e.hits, e.last_seq))
+    }
+
+    /// Blocks until every write enqueued before this call has been
+    /// appended to the file — the test/shutdown barrier, not a hot-path
+    /// operation.
+    pub fn flush(&self) {
+        let (ack_tx, ack_rx) = std::sync::mpsc::channel();
+        if self
+            .tx
+            .as_ref()
+            .expect("flusher alive")
+            .send(Msg::Flush(ack_tx))
+            .is_ok()
+        {
+            let _ = ack_rx.recv();
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            entries: self.len(),
+            puts: self.shared.puts.load(Ordering::Relaxed),
+            touches: self.shared.touches.load(Ordering::Relaxed),
+            dropped_writes: self.shared.dropped_writes.load(Ordering::Relaxed),
+            scan_repairs: self.shared.scan_repairs,
+            truncated_bytes: self.shared.truncated_bytes,
+        }
+    }
+}
+
+impl Drop for PlanStore {
+    fn drop(&mut self) {
+        // Disconnect the channel; the flusher drains what was enqueued,
+        // flushes, and exits.
+        self.tx.take();
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for PlanStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanStore")
+            .field("path", &self.path)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// The single writer: drains the channel, appends records, and publishes
+/// them to the shared index *after* the bytes are in the file.
+fn flusher_loop(mut file: File, rx: Receiver<Msg>, shared: &Shared, mut seq: u64) {
+    let mut rec = Vec::new();
+    let mut offset = match file.stream_position() {
+        Ok(p) => p,
+        Err(_) => return,
+    };
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Put { key, payload } => {
+                let checksum = checksum(&payload);
+                encode_record(&mut rec, REC_PLAN, key, seq, checksum, &payload);
+                if append(&mut file, &rec, &mut offset, shared) {
+                    shared.index.lock().unwrap().insert(
+                        key,
+                        IndexEntry {
+                            offset: offset - payload.len() as u64,
+                            len: payload.len() as u32,
+                            checksum,
+                            hits: 0,
+                            last_seq: seq,
+                        },
+                    );
+                    shared.puts.fetch_add(1, Ordering::Relaxed);
+                    seq += 1;
+                }
+            }
+            Msg::Touch { key } => {
+                // Touches for keys we don't hold would bloat the file with
+                // records the scanner can never apply.
+                if !shared.index.lock().unwrap().contains_key(&key) {
+                    continue;
+                }
+                encode_record(&mut rec, REC_TOUCH, key, seq, 0, &[]);
+                if append(&mut file, &rec, &mut offset, shared) {
+                    if let Some(e) = shared.index.lock().unwrap().get_mut(&key) {
+                        e.hits += 1;
+                        e.last_seq = seq;
+                    }
+                    shared.touches.fetch_add(1, Ordering::Relaxed);
+                    seq += 1;
+                }
+            }
+            Msg::Flush(ack) => {
+                let _ = file.flush();
+                let _ = ack.send(());
+            }
+        }
+    }
+    let _ = file.flush();
+}
+
+fn encode_record(rec: &mut Vec<u8>, kind: u8, key: u128, seq: u64, checksum: u64, payload: &[u8]) {
+    rec.clear();
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.push(kind);
+    rec.extend_from_slice(&((key >> 64) as u64).to_le_bytes());
+    rec.extend_from_slice(&(key as u64).to_le_bytes());
+    rec.extend_from_slice(&seq.to_le_bytes());
+    rec.extend_from_slice(&checksum.to_le_bytes());
+    rec.extend_from_slice(payload);
+}
+
+/// Appends `rec` whole. On failure, rewinds to the pre-write offset so a
+/// partial record never becomes a permanent mid-file hole, counts a
+/// dropped write, and reports `false`.
+fn append(file: &mut File, rec: &[u8], offset: &mut u64, shared: &Shared) -> bool {
+    if file.write_all(rec).is_ok() {
+        *offset += rec.len() as u64;
+        true
+    } else {
+        let _ = file.set_len(*offset);
+        let _ = file.seek(SeekFrom::Start(*offset));
+        shared.dropped_writes.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rtpl_store_unit_{}_{}", std::process::id(), name));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_reopen() {
+        let path = tmp("roundtrip");
+        let payload = vec![7u8, 1, 2, 250];
+        {
+            let store = PlanStore::open(&path).unwrap();
+            assert!(store.is_empty());
+            assert!(store.put(42, payload.clone()));
+            store.flush();
+            assert_eq!(store.get(42).unwrap().as_deref(), Some(&payload[..]));
+            assert!(store.get(43).unwrap().is_none());
+            assert!(store.contains(42));
+            assert_eq!(store.stats().puts, 1);
+        }
+        // Reopen: the index is rebuilt from the file.
+        let store = PlanStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(42).unwrap().as_deref(), Some(&payload[..]));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn touches_order_recency_across_reopen() {
+        let path = tmp("recency");
+        {
+            let store = PlanStore::open(&path).unwrap();
+            for k in [1u128, 2, 3] {
+                store.put(k, vec![k as u8]);
+            }
+            store.touch(1);
+            store.touch(1);
+            store.touch(2);
+            store.flush();
+            assert_eq!(store.keys_by_recency(), vec![2, 1, 3]);
+            assert_eq!(store.usage(1).unwrap().0, 2);
+        }
+        let store = PlanStore::open(&path).unwrap();
+        assert_eq!(store.keys_by_recency(), vec![2, 1, 3]);
+        assert_eq!(store.usage(1).unwrap().0, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn latest_record_wins_per_key() {
+        let path = tmp("latest");
+        let store = PlanStore::open(&path).unwrap();
+        store.put(9, vec![1]);
+        store.put(9, vec![2, 2]);
+        store.flush();
+        assert_eq!(store.get(9).unwrap(), Some(vec![2, 2]));
+        drop(store);
+        let store = PlanStore::open(&path).unwrap();
+        assert_eq!(store.get(9).unwrap(), Some(vec![2, 2]));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_typed_errors() {
+        let path = tmp("magic");
+        std::fs::write(&path, b"not a store file").unwrap();
+        assert!(matches!(PlanStore::open(&path), Err(StoreError::BadMagic)));
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            PlanStore::open(&path),
+            Err(StoreError::Version { found, expected })
+                if found == FORMAT_VERSION + 1 && expected == FORMAT_VERSION
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_tail_is_repaired() {
+        let path = tmp("tail");
+        {
+            let store = PlanStore::open(&path).unwrap();
+            store.put(5, vec![9; 100]);
+            store.put(6, vec![8; 100]);
+            store.flush();
+        }
+        let full = std::fs::metadata(&path).unwrap().len();
+        // Cut into the middle of the second record.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 30).unwrap();
+        drop(f);
+        let store = PlanStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1, "first record survives");
+        assert_eq!(store.get(5).unwrap(), Some(vec![9; 100]));
+        assert_eq!(store.stats().scan_repairs, 1);
+        assert!(store.stats().truncated_bytes > 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn payload_bit_flip_is_a_typed_corrupt_error() {
+        let path = tmp("flip");
+        {
+            let store = PlanStore::open(&path).unwrap();
+            store.put(5, vec![1; 64]);
+            store.flush();
+        }
+        // Flip one payload bit (the payload is the file tail).
+        let mut bytes = std::fs::read(&path).unwrap();
+        let at = bytes.len() - 10;
+        bytes[at] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let store = PlanStore::open(&path).unwrap();
+        assert!(matches!(store.get(5), Err(StoreError::Corrupt { .. })));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_producers_single_flusher_do_not_interleave() {
+        let path = tmp("concurrent");
+        let store = PlanStore::open(&path).unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4u128 {
+                let store = &store;
+                scope.spawn(move || {
+                    for i in 0..50u128 {
+                        let key = t * 1000 + i;
+                        // Variable-length payloads so interleaving would
+                        // misalign record framing.
+                        let payload = vec![t as u8; 16 + (i as usize % 41)];
+                        while !store.put(key, payload.clone()) {
+                            std::thread::yield_now(); // queue full: retry
+                        }
+                    }
+                });
+            }
+        });
+        store.flush();
+        let written = store.stats().puts;
+        drop(store);
+        // Reopen: every record parses, every payload checksums.
+        let store = PlanStore::open(&path).unwrap();
+        assert_eq!(store.stats().scan_repairs, 0);
+        assert_eq!(store.len() as u64, written);
+        for t in 0..4u128 {
+            for i in 0..50u128 {
+                let got = store.get(t * 1000 + i).unwrap().unwrap();
+                assert!(got.iter().all(|&b| b == t as u8));
+                assert_eq!(got.len(), 16 + (i as usize % 41));
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

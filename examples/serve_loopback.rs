@@ -46,7 +46,7 @@ fn main() {
     // Client 2 never ships a matrix: warm check, then fingerprint solves.
     let mut second = Client::connect(server.addr()).expect("connect");
     match second.warm_check(key).expect("warm check") {
-        Response::WarmStatus { warm } => println!("client 2: warm check -> {warm}"),
+        Response::WarmStatus { level } => println!("client 2: warm check -> {level:?}"),
         other => panic!("{other:?}"),
     }
     for i in 0..3 {

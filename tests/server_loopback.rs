@@ -10,7 +10,7 @@
 //! * solved values are bit-exact with a local sequential solve.
 
 use rtpl::runtime::{Runtime, RuntimeConfig};
-use rtpl::server::proto::{Request, Response, RetryReason};
+use rtpl::server::proto::{Request, Response, RetryReason, WarmLevel};
 use rtpl::server::{Client, ClientError, Server, ServerConfig};
 use rtpl::sparse::gen::laplacian_5pt;
 use rtpl::sparse::{ilu0, IluFactors};
@@ -61,7 +61,9 @@ fn solve_warmcheck_fingerprint_flow_is_bit_exact() {
     let mut client = Client::connect(server.addr()).unwrap();
     // Cold: the pattern is unknown.
     match client.warm_check(key).unwrap() {
-        Response::WarmStatus { warm } => assert!(!warm, "pattern warm before any solve"),
+        Response::WarmStatus { level } => {
+            assert_eq!(level, WarmLevel::Cold, "pattern warm before any solve")
+        }
         other => panic!("{other:?}"),
     }
     // A fingerprint solve before registration is a typed error.
@@ -80,7 +82,9 @@ fn solve_warmcheck_fingerprint_flow_is_bit_exact() {
     // *different* connection too (server-side state, not per-conn).
     let mut second = Client::connect(server.addr()).unwrap();
     match second.warm_check(key).unwrap() {
-        Response::WarmStatus { warm } => assert!(warm, "pattern cold after a solve"),
+        Response::WarmStatus { level } => {
+            assert_eq!(level, WarmLevel::Memory, "pattern cold after a solve")
+        }
         other => panic!("{other:?}"),
     }
     match second.solve_by_fingerprint(key, &b).unwrap() {
@@ -404,7 +408,10 @@ fn registry_is_bounded_and_evicts_lru() {
     // The third pattern evicted the least-recently-used (the first).
     let k0 = Runtime::solve_key(&factors[0]);
     match client.warm_check(k0).unwrap() {
-        Response::WarmStatus { warm } => assert!(!warm, "evicted pattern reported warm"),
+        // No store attached: eviction falls all the way back to cold.
+        Response::WarmStatus { level } => {
+            assert_eq!(level, WarmLevel::Cold, "evicted pattern reported warm")
+        }
         other => panic!("{other:?}"),
     }
     match client.solve_by_fingerprint(k0, &b).unwrap() {
