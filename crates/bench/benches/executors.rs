@@ -53,7 +53,8 @@ fn dyn_self_executing(
             let v = body(i, &src as &dyn ValueSource);
             shared.publish_at(i, v, epoch);
         }
-    });
+    })
+    .unwrap();
     shared.copy_into_at(out, epoch);
 }
 

@@ -127,6 +127,19 @@
 //! | [`sim`] | multiprocessor performance model (event + closed form) |
 //! | [`workload`] | the paper's test problems and synthetic generator |
 
+//!
+//! ## Failure model
+//!
+//! Failures stay contained to the request that caused them: a panicking
+//! loop body is caught on the worker that unwound and surfaces as a typed
+//! error (`executor::ExecError::BodyPanicked`, mapped by the runtime and
+//! the server onto the failing job alone), deadlines and cancellation are
+//! checked cooperatively at phase/stride boundaries
+//! (`executor::CancelToken`), and the [`failpoint`] registry lets tests
+//! and the chaos harness inject faults at named sites (store I/O, server
+//! sockets, executor bodies) via `RTPL_FAILPOINTS` — zero-cost while
+//! disarmed.
+
 pub use rtpl_executor as executor;
 pub use rtpl_inspector as inspector;
 pub use rtpl_krylov as krylov;
@@ -136,6 +149,8 @@ pub use rtpl_sim as sim;
 pub use rtpl_sparse as sparse;
 pub use rtpl_store as store;
 pub use rtpl_workload as workload;
+
+pub use rtpl_sparse::failpoint;
 
 pub mod doconsider;
 pub mod transform;

@@ -33,6 +33,7 @@
 //! uncompiled [`crate::PlannedLoop`] path.
 
 use crate::barrier::SpinBarrier;
+use crate::cancel::{CancelToken, ExecError, InterruptCell, CHECK_STRIDE};
 use crate::planned::PlannedLoop;
 use crate::pool::WorkerPool;
 use crate::report::ExecReport;
@@ -472,6 +473,8 @@ impl CompiledPlan {
     /// Executes the compiled loop under `policy`. The scratch is borrowed
     /// exclusively, so concurrency misuse is impossible by construction —
     /// run the same plan from many threads by giving each its own scratch.
+    /// Panics if a body evaluation panics; failure-containing callers use
+    /// [`CompiledPlan::try_run`].
     pub fn run(
         &self,
         pool: &WorkerPool,
@@ -480,6 +483,25 @@ impl CompiledPlan {
         rhs: &[f64],
         out: &mut [f64],
     ) -> ExecReport {
+        self.try_run(pool, policy, scratch, rhs, out, None)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The failure-containing form of [`CompiledPlan::run`]: a panicking
+    /// evaluation (including one injected through the `exec.body_panic`
+    /// fail point) or a fired [`CancelToken`] yields a typed
+    /// [`ExecError`] instead of unwinding. On error `out` is untouched;
+    /// the plan, the scratch (after its next epoch bump), and the pool all
+    /// remain usable.
+    pub fn try_run(
+        &self,
+        pool: &WorkerPool,
+        policy: crate::ExecPolicy,
+        scratch: &mut RunScratch,
+        rhs: &[f64],
+        out: &mut [f64],
+        cancel: Option<&CancelToken>,
+    ) -> Result<ExecReport, ExecError> {
         assert_eq!(
             self.nprocs,
             pool.nworkers(),
@@ -487,19 +509,21 @@ impl CompiledPlan {
         );
         self.check_run(scratch, rhs, out);
         match policy {
-            crate::ExecPolicy::SelfExecuting => self.run_self_executing(pool, scratch, rhs, out),
+            crate::ExecPolicy::SelfExecuting => {
+                self.run_self_executing(pool, scratch, rhs, out, cancel)
+            }
             crate::ExecPolicy::PreScheduled => {
-                self.run_pre_scheduled(pool, &self.full_barriers, scratch, rhs, out)
+                self.run_pre_scheduled(pool, &self.full_barriers, scratch, rhs, out, cancel)
             }
             crate::ExecPolicy::PreScheduledElided => {
-                self.run_pre_scheduled(pool, &self.barriers, scratch, rhs, out)
+                self.run_pre_scheduled(pool, &self.barriers, scratch, rhs, out, cancel)
             }
             crate::ExecPolicy::Doacross => {
                 assert!(
                     self.forward,
                     "the doacross policy requires a forward dependence graph"
                 );
-                self.run_doacross(pool, scratch, rhs, out)
+                self.run_doacross(pool, scratch, rhs, out, cancel)
             }
         }
     }
@@ -510,16 +534,28 @@ impl CompiledPlan {
         scratch: &mut RunScratch,
         rhs: &[f64],
         out: &mut [f64],
-    ) -> ExecReport {
+        cancel: Option<&CancelToken>,
+    ) -> Result<ExecReport, ExecError> {
         let sc: &RunScratch = scratch;
         let epoch = sc.shared.begin_run();
         let stalls = AtomicU64::new(0);
+        let interrupted = InterruptCell::new();
         let t0 = Instant::now();
-        pool.run(&|p| {
+        let ran = pool.run(&|p| {
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if rtpl_sparse::failpoint::should_fail("exec.body_panic") {
+                    panic!("injected body panic (fail point exec.body_panic)");
+                }
                 let src = WaitingSource::new(&sc.shared, epoch);
                 let mut count = 0u64;
                 for t in self.proc_ptr[p]..self.proc_ptr[p + 1] {
+                    if (count as usize).is_multiple_of(CHECK_STRIDE) {
+                        if let Some(cause) = cancel.and_then(CancelToken::check) {
+                            interrupted.set(cause);
+                            sc.shared.poison();
+                            return;
+                        }
+                    }
                     let v = self.eval(t, &sc.vals, &sc.scale, rhs, &src);
                     sc.shared.publish_at(self.target[t] as usize, v, epoch);
                     count += 1;
@@ -533,13 +569,19 @@ impl CompiledPlan {
             }
         });
         let wall = t0.elapsed();
+        if let Some(cause) = interrupted.get() {
+            return Err(cause);
+        }
+        ran.map_err(|e| ExecError::BodyPanicked {
+            workers: e.panicked,
+        })?;
         self.gather_out(sc, epoch, out);
-        ExecReport {
+        Ok(ExecReport {
             barriers: 0,
             stalls: stalls.load(Ordering::Relaxed),
             iters_per_proc: sc.iters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
             wall,
-        }
+        })
     }
 
     fn run_pre_scheduled(
@@ -549,17 +591,28 @@ impl CompiledPlan {
         scratch: &mut RunScratch,
         rhs: &[f64],
         out: &mut [f64],
-    ) -> ExecReport {
+        cancel: Option<&CancelToken>,
+    ) -> Result<ExecReport, ExecError> {
         let sc: &RunScratch = scratch;
         let epoch = sc.shared.begin_run();
         let barrier = SpinBarrier::new(self.nprocs);
         let stride = self.num_phases + 1;
+        let interrupted = InterruptCell::new();
         let t0 = Instant::now();
-        pool.run(&|p| {
+        let ran = pool.run(&|p| {
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if rtpl_sparse::failpoint::should_fail("exec.body_panic") {
+                    panic!("injected body panic (fail point exec.body_panic)");
+                }
                 let src = PublishedSource::new(&sc.shared, epoch);
                 let mut count = 0u64;
                 for w in 0..self.num_phases {
+                    if let Some(cause) = cancel.and_then(CancelToken::check) {
+                        interrupted.set(cause);
+                        barrier.poison();
+                        sc.shared.poison();
+                        return;
+                    }
                     for t in self.phase_ptr[p * stride + w]..self.phase_ptr[p * stride + w + 1] {
                         let v = self.eval(t, &sc.vals, &sc.scale, rhs, &src);
                         sc.shared.publish_at(self.target[t] as usize, v, epoch);
@@ -578,13 +631,19 @@ impl CompiledPlan {
             }
         });
         let wall = t0.elapsed();
+        if let Some(cause) = interrupted.get() {
+            return Err(cause);
+        }
+        ran.map_err(|e| ExecError::BodyPanicked {
+            workers: e.panicked,
+        })?;
         self.gather_out(sc, epoch, out);
-        ExecReport {
+        Ok(ExecReport {
             barriers: plan.count() as u64,
             stalls: 0,
             iters_per_proc: sc.iters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
             wall,
-        }
+        })
     }
 
     fn run_doacross(
@@ -593,17 +652,29 @@ impl CompiledPlan {
         scratch: &mut RunScratch,
         rhs: &[f64],
         out: &mut [f64],
-    ) -> ExecReport {
+        cancel: Option<&CancelToken>,
+    ) -> Result<ExecReport, ExecError> {
         let sc: &RunScratch = scratch;
         let epoch = sc.shared.begin_run();
         let stalls = AtomicU64::new(0);
+        let interrupted = InterruptCell::new();
         let t0 = Instant::now();
-        pool.run(&|p| {
+        let ran = pool.run(&|p| {
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if rtpl_sparse::failpoint::should_fail("exec.body_panic") {
+                    panic!("injected body panic (fail point exec.body_panic)");
+                }
                 let src = WaitingSource::new(&sc.shared, epoch);
                 let mut count = 0u64;
                 let mut i = p;
                 while i < self.n {
+                    if (count as usize).is_multiple_of(CHECK_STRIDE) {
+                        if let Some(cause) = cancel.and_then(CancelToken::check) {
+                            interrupted.set(cause);
+                            sc.shared.poison();
+                            return;
+                        }
+                    }
                     let t = self.pos_of_row[i] as usize;
                     let v = self.eval(t, &sc.vals, &sc.scale, rhs, &src);
                     sc.shared.publish_at(i, v, epoch);
@@ -619,13 +690,19 @@ impl CompiledPlan {
             }
         });
         let wall = t0.elapsed();
+        if let Some(cause) = interrupted.get() {
+            return Err(cause);
+        }
+        ran.map_err(|e| ExecError::BodyPanicked {
+            workers: e.panicked,
+        })?;
         self.gather_out(sc, epoch, out);
-        ExecReport {
+        Ok(ExecReport {
             barriers: 0,
             stalls: stalls.load(Ordering::Relaxed),
             iters_per_proc: sc.iters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
             wall,
-        }
+        })
     }
 
     /// Executes the compiled loop sequentially in phase-major order (a
@@ -1177,6 +1254,41 @@ mod tests {
             compiled.load_values(&mut scratch, &[0.0]),
             Err(CompiledError::ValueCount { .. })
         ));
+    }
+
+    #[test]
+    fn body_panic_failpoint_is_contained_per_policy() {
+        use crate::cancel::ExecError;
+        use rtpl_sparse::failpoint;
+        let l = laplacian_5pt(7, 7).strict_lower();
+        let n = l.nrows();
+        let b = vec![1.0; n];
+        let plan = plan_for(&l, 2);
+        let compiled = CompiledPlan::compile(&plan, &lower_spec(&l)).unwrap();
+        let mut scratch = compiled.scratch();
+        compiled.load_values(&mut scratch, l.data()).unwrap();
+        let pool = WorkerPool::new(2);
+        let mut expect = vec![0.0; n];
+        compiled.run_sequential(&mut scratch, &b, &mut expect);
+        for policy in ExecPolicy::ALL {
+            failpoint::configure("exec.body_panic", failpoint::Mode::Times(1));
+            let mut out = vec![0.0; n];
+            let err = compiled
+                .try_run(&pool, policy, &mut scratch, &b, &mut out, None)
+                .unwrap_err();
+            assert!(
+                matches!(err, ExecError::BodyPanicked { workers } if workers >= 1),
+                "{policy:?}: {err:?}"
+            );
+            assert!(pool.is_healthy(), "{policy:?}");
+            failpoint::clear("exec.body_panic");
+            // Disarmed, the same scratch produces the exact result again.
+            let mut again = vec![0.0; n];
+            compiled
+                .try_run(&pool, policy, &mut scratch, &b, &mut again, None)
+                .unwrap();
+            assert_eq!(again, expect, "{policy:?}");
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! unexecuted index's operands are all complete, and each processor's local
 //! order is increasing, so some processor can always advance.
 
+use crate::cancel::{CancelToken, ExecError, InterruptCell, CHECK_STRIDE};
 use crate::pool::WorkerPool;
 use crate::report::ExecReport;
 use crate::shared::{SharedVec, WaitingSource};
@@ -18,7 +19,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// The doacross loop over caller-provided buffers (see
-/// [`crate::PlannedLoop`] for the reusing caller).
+/// [`crate::PlannedLoop`] for the reusing caller). Cancellation is
+/// consulted every [`CHECK_STRIDE`] iterations; a body panic or an
+/// observed cancellation poisons the shared vector and surfaces as a
+/// typed [`ExecError`].
 pub(crate) fn doacross_core<F>(
     pool: &WorkerPool,
     n: usize,
@@ -26,7 +30,8 @@ pub(crate) fn doacross_core<F>(
     iters: &[AtomicU64],
     body: &F,
     out: &mut [f64],
-) -> ExecReport
+    cancel: Option<&CancelToken>,
+) -> Result<ExecReport, ExecError>
 where
     F: for<'s> Fn(usize, &WaitingSource<'s>) -> f64 + Sync,
 {
@@ -40,13 +45,21 @@ where
     let nprocs = pool.nworkers();
     let epoch = shared.begin_run();
     let stalls = AtomicU64::new(0);
+    let interrupted = InterruptCell::new();
     let t0 = Instant::now();
-    pool.run(&|p| {
+    let ran = pool.run(&|p| {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let src = WaitingSource::new(shared, epoch);
             let mut count = 0u64;
             let mut i = p;
             while i < n {
+                if (count as usize).is_multiple_of(CHECK_STRIDE) {
+                    if let Some(cause) = cancel.and_then(CancelToken::check) {
+                        interrupted.set(cause);
+                        shared.poison();
+                        return;
+                    }
+                }
                 let v = body(i, &src);
                 shared.publish_at(i, v, epoch);
                 count += 1;
@@ -61,13 +74,19 @@ where
         }
     });
     let wall = t0.elapsed();
+    if let Some(cause) = interrupted.get() {
+        return Err(cause);
+    }
+    ran.map_err(|e| ExecError::BodyPanicked {
+        workers: e.panicked,
+    })?;
     shared.copy_into_at(out, epoch);
-    ExecReport {
+    Ok(ExecReport {
         barriers: 0,
         stalls: stalls.load(Ordering::Relaxed),
         iters_per_proc: iters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
         wall,
-    }
+    })
 }
 
 /// Runs `body` over `0..n` in natural order, index `i` on processor
@@ -80,7 +99,7 @@ where
 {
     let shared = SharedVec::new(n);
     let iters: Vec<AtomicU64> = (0..pool.nworkers()).map(|_| AtomicU64::new(0)).collect();
-    doacross_core(pool, n, &shared, &iters, body, out)
+    doacross_core(pool, n, &shared, &iters, body, out, None).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

@@ -45,7 +45,8 @@ where
         for (k, slot) in chunk.iter_mut().enumerate() {
             *slot = body(lo + k);
         }
-    });
+    })
+    .unwrap_or_else(|e| panic!("{e}"));
     block_report(n, nprocs, t0.elapsed())
 }
 
@@ -61,7 +62,8 @@ where
     pool.run(&|p| {
         let (lo, hi) = contiguous_range(n, nprocs, p);
         body(p, lo, hi);
-    });
+    })
+    .unwrap_or_else(|e| panic!("{e}"));
     block_report(n, nprocs, t0.elapsed())
 }
 
@@ -85,7 +87,8 @@ where
             }
             // SAFETY: each worker writes only its own slot.
             unsafe { ds.write(p, acc) };
-        });
+        })
+        .unwrap_or_else(|e| panic!("{e}"));
     }
     let report = block_report(n, nprocs, t0.elapsed());
     (partials.iter().sum(), report)

@@ -72,6 +72,7 @@
 //! [`BarrierPlan`]: rtpl_inspector::BarrierPlan
 
 pub mod barrier;
+pub mod cancel;
 pub mod compiled;
 pub mod doacross;
 pub mod doall;
@@ -85,11 +86,12 @@ pub mod selfsched;
 pub mod shared;
 
 pub use barrier::SpinBarrier;
+pub use cancel::{CancelToken, ExecError};
 pub use compiled::{CompiledError, CompiledPlan, CompiledSpec, RunScratch};
 pub use doacross::doacross;
 pub use doall::{doall, doall_blocked, doall_reduce};
 pub use planned::{ExecPolicy, LoopScratch, PlannedLoop};
-pub use pool::WorkerPool;
+pub use pool::{PoolError, WorkerPool};
 pub use presched::{pre_scheduled, pre_scheduled_elided};
 pub use report::ExecReport;
 pub use rows::SharedRows;

@@ -45,6 +45,7 @@
 //! [`Schedule`]: rtpl_inspector::Schedule
 //! [`BarrierPlan`]: rtpl_inspector::BarrierPlan
 
+use crate::cancel::{CancelToken, ExecError};
 use crate::pool::WorkerPool;
 use crate::report::ExecReport;
 use crate::shared::SharedVec;
@@ -235,7 +236,8 @@ impl PlannedLoop {
     ///
     /// The body is statically dispatched: `B::eval` monomorphizes against
     /// the policy's concrete value source. The pool must match the
-    /// schedule's processor count (checked).
+    /// schedule's processor count (checked). Panics if the body panics;
+    /// failure-containing callers use [`PlannedLoop::try_run_in`].
     pub fn run<B: LoopBody>(
         &self,
         pool: &WorkerPool,
@@ -260,6 +262,25 @@ impl PlannedLoop {
         body: &B,
         out: &mut [f64],
     ) -> ExecReport {
+        self.try_run_in(scratch, pool, policy, body, out, None)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The failure-containing form of [`PlannedLoop::run_in`]: a panicking
+    /// body or a fired [`CancelToken`] yields a typed [`ExecError`]
+    /// instead of unwinding through the caller. On error the output buffer
+    /// is untouched (partial results stay in the poisoned scratch, which
+    /// the next run's epoch bump discards) and both the plan and the pool
+    /// remain usable.
+    pub fn try_run_in<B: LoopBody>(
+        &self,
+        scratch: &LoopScratch,
+        pool: &WorkerPool,
+        policy: ExecPolicy,
+        body: &B,
+        out: &mut [f64],
+        cancel: Option<&CancelToken>,
+    ) -> std::result::Result<ExecReport, ExecError> {
         assert_eq!(scratch.n(), self.n(), "scratch sized for another plan");
         assert_eq!(
             scratch.nprocs(),
@@ -282,6 +303,7 @@ impl PlannedLoop {
                 &scratch.iters,
                 &|i, src| body.eval(i, src),
                 out,
+                cancel,
             ),
             ExecPolicy::PreScheduled => crate::presched::pre_scheduled_core(
                 pool,
@@ -291,6 +313,7 @@ impl PlannedLoop {
                 &scratch.iters,
                 &|i, src| body.eval(i, src),
                 out,
+                cancel,
             ),
             ExecPolicy::PreScheduledElided => crate::presched::pre_scheduled_core(
                 pool,
@@ -300,6 +323,7 @@ impl PlannedLoop {
                 &scratch.iters,
                 &|i, src| body.eval(i, src),
                 out,
+                cancel,
             ),
             ExecPolicy::Doacross => {
                 assert!(
@@ -313,6 +337,7 @@ impl PlannedLoop {
                     &scratch.iters,
                     &|i, src| body.eval(i, src),
                     out,
+                    cancel,
                 )
             }
         }
@@ -449,6 +474,92 @@ mod tests {
             &Solve { l: &l, b: &b },
             &mut out,
         );
+    }
+
+    #[test]
+    fn panicking_body_is_contained_and_plan_stays_usable() {
+        use crate::cancel::ExecError;
+        struct PanicAt(usize);
+        impl LoopBody for PanicAt {
+            fn eval<S: ValueSource>(&self, i: usize, _src: &S) -> f64 {
+                if i == self.0 {
+                    panic!("poisoned row");
+                }
+                i as f64
+            }
+        }
+        let l = laplacian_5pt(6, 6).strict_lower();
+        let n = l.nrows();
+        let plan = mesh_plan(6, 6, 2);
+        let pool = WorkerPool::new(2);
+        let scratch = plan.scratch();
+        for policy in ExecPolicy::ALL {
+            let mut out = vec![0.0; n];
+            let err = plan
+                .try_run_in(&scratch, &pool, policy, &PanicAt(n / 2), &mut out, None)
+                .unwrap_err();
+            assert!(
+                matches!(err, ExecError::BodyPanicked { workers } if workers >= 1),
+                "{policy:?}: {err:?}"
+            );
+            assert!(pool.is_healthy(), "{policy:?}");
+        }
+        // The same plan, scratch, and pool produce a correct result next.
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let mut expect = vec![0.0; n];
+        solve_lower(&l, &b, Diag::Unit, &mut expect).unwrap();
+        let mut out = vec![0.0; n];
+        plan.try_run_in(
+            &scratch,
+            &pool,
+            ExecPolicy::SelfExecuting,
+            &Solve { l: &l, b: &b },
+            &mut out,
+            None,
+        )
+        .unwrap();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_every_policy() {
+        use crate::cancel::{CancelToken, ExecError};
+        let l = laplacian_5pt(8, 8).strict_lower();
+        let n = l.nrows();
+        let b = vec![1.0; n];
+        let plan = mesh_plan(8, 8, 2);
+        let pool = WorkerPool::new(2);
+        let token = CancelToken::with_deadline(std::time::Instant::now());
+        let scratch = plan.scratch();
+        for policy in ExecPolicy::ALL {
+            let mut out = vec![0.0; n];
+            let err = plan
+                .try_run_in(
+                    &scratch,
+                    &pool,
+                    policy,
+                    &Solve { l: &l, b: &b },
+                    &mut out,
+                    Some(&token),
+                )
+                .unwrap_err();
+            assert_eq!(err, ExecError::DeadlineExceeded, "{policy:?}");
+        }
+        // A live token runs normally.
+        let live = CancelToken::new();
+        let mut out = vec![0.0; n];
+        plan.try_run_in(
+            &scratch,
+            &pool,
+            ExecPolicy::SelfExecuting,
+            &Solve { l: &l, b: &b },
+            &mut out,
+            Some(&live),
+        )
+        .unwrap();
+        let mut expect = vec![0.0; n];
+        solve_lower(&l, &b, Diag::Unit, &mut expect).unwrap();
+        assert_eq!(out, expect);
     }
 
     #[test]

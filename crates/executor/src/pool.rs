@@ -12,6 +12,31 @@
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+/// A job handed to [`WorkerPool::run`] panicked on one or more workers.
+///
+/// The panic itself was contained — every worker thread survives (the
+/// panics were caught per worker), the join completed, and the pool is
+/// reusable — but the job's output must be considered garbage, which is
+/// why `run` reports it as a typed error instead of unwinding through
+/// whatever service thread happened to coordinate the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolError {
+    /// How many of the team's workers panicked during the job.
+    pub panicked: usize,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} worker(s) panicked while executing the job",
+            self.panicked
+        )
+    }
+}
+
+impl std::error::Error for PoolError {}
+
 /// Type-erased pointer to the caller's job closure.
 ///
 /// The pointee is only dereferenced between the epoch announcement in
@@ -83,14 +108,24 @@ impl WorkerPool {
         self.nworkers
     }
 
+    /// Whether every worker thread of the team is still alive. Workers
+    /// catch job panics and survive them, so this only reports `false`
+    /// after something catastrophic (an abort-adjacent failure inside a
+    /// worker); a pool manager uses it to decide between reusing and
+    /// rebuilding a returned pool.
+    pub fn is_healthy(&self) -> bool {
+        self.handles.iter().all(|h| !h.is_finished())
+    }
+
     /// Runs `job(worker_id)` on every worker concurrently; returns when all
     /// workers have finished. The calling thread only coordinates (it is not
     /// one of the workers).
     ///
     /// If any worker's job panics, the panic is contained (the worker thread
-    /// survives for subsequent jobs) and `run` itself panics after the whole
-    /// team has finished — a fork/join never hangs on a buggy body.
-    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+    /// survives for subsequent jobs) and `run` returns a typed
+    /// [`PoolError`] after the whole team has finished — a fork/join never
+    /// hangs on a buggy body, and never unwinds through the coordinator.
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) -> Result<(), PoolError> {
         let mut st = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
         debug_assert!(st.job.is_none(), "pool is already running a job");
         // SAFETY: erase the borrow lifetime. `run` blocks below until every
@@ -114,10 +149,11 @@ impl WorkerPool {
         st.job = None;
         let panicked = st.panicked;
         drop(st);
-        assert!(
-            panicked == 0,
-            "{panicked} worker(s) panicked while executing the job"
-        );
+        if panicked == 0 {
+            Ok(())
+        } else {
+            Err(PoolError { panicked })
+        }
     }
 }
 
@@ -178,7 +214,8 @@ mod tests {
         pool.run(&|id| {
             counter.fetch_add(1, Ordering::Relaxed);
             mask.fetch_or(1 << id, Ordering::Relaxed);
-        });
+        })
+        .unwrap();
         assert_eq!(counter.load(Ordering::Relaxed), 4);
         assert_eq!(mask.load(Ordering::Relaxed), 0b1111);
     }
@@ -190,7 +227,8 @@ mod tests {
         for _ in 0..10 {
             pool.run(&|_| {
                 counter.fetch_add(1, Ordering::Relaxed);
-            });
+            })
+            .unwrap();
         }
         assert_eq!(counter.load(Ordering::Relaxed), 30);
     }
@@ -202,7 +240,8 @@ mod tests {
         pool.run(&|id| {
             assert_eq!(id, 0);
             counter.fetch_add(1, Ordering::Relaxed);
-        });
+        })
+        .unwrap();
         assert_eq!(counter.load(Ordering::Relaxed), 1);
     }
 
@@ -214,7 +253,8 @@ mod tests {
             for k in (id..16).step_by(4) {
                 data[k].store(k * 10, Ordering::Relaxed);
             }
-        });
+        })
+        .unwrap();
         for (k, v) in data.iter().enumerate() {
             assert_eq!(v.load(Ordering::Relaxed), k * 10);
         }
@@ -224,5 +264,26 @@ mod tests {
     #[should_panic]
     fn zero_workers_rejected() {
         let _ = WorkerPool::new(0);
+    }
+
+    #[test]
+    fn panicking_job_is_a_typed_error_and_the_pool_survives() {
+        let pool = WorkerPool::new(3);
+        let err = pool
+            .run(&|id| {
+                if id == 1 {
+                    panic!("injected body panic");
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, PoolError { panicked: 1 });
+        assert!(pool.is_healthy(), "workers catch panics and live on");
+        // The same team runs the next job normally.
+        let counter = AtomicUsize::new(0);
+        pool.run(&|_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 3);
     }
 }

@@ -19,6 +19,7 @@
 //! the barriers a [`BarrierPlan`] proves necessary.
 
 use crate::barrier::SpinBarrier;
+use crate::cancel::{CancelToken, ExecError, InterruptCell};
 use crate::pool::WorkerPool;
 use crate::report::ExecReport;
 use crate::shared::{PublishedSource, SharedVec};
@@ -29,6 +30,11 @@ use std::time::Instant;
 /// Core of both pre-scheduled variants over caller-provided buffers: runs
 /// every phase slice, synchronizing at the interior boundaries `plan`
 /// keeps. `BarrierPlan::full` reproduces the plain Figure 5 executor.
+/// Cancellation is consulted at each phase boundary (the executor's
+/// natural synchronization points); a body panic or an observed
+/// cancellation poisons both the barrier and the shared vector and
+/// surfaces as a typed [`ExecError`].
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn pre_scheduled_core<F>(
     pool: &WorkerPool,
     schedule: &Schedule,
@@ -37,7 +43,8 @@ pub(crate) fn pre_scheduled_core<F>(
     iters: &[AtomicU64],
     body: &F,
     out: &mut [f64],
-) -> ExecReport
+    cancel: Option<&CancelToken>,
+) -> Result<ExecReport, ExecError>
 where
     F: for<'s> Fn(usize, &PublishedSource<'s>) -> f64 + Sync,
 {
@@ -52,12 +59,19 @@ where
     assert_eq!(plan.len(), num_phases.saturating_sub(1));
     let epoch = shared.begin_run();
     let barrier = SpinBarrier::new(pool.nworkers());
+    let interrupted = InterruptCell::new();
     let t0 = Instant::now();
-    pool.run(&|p| {
+    let ran = pool.run(&|p| {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let src = PublishedSource::new(shared, epoch);
             let mut count = 0u64;
             for w in 0..num_phases {
+                if let Some(cause) = cancel.and_then(CancelToken::check) {
+                    interrupted.set(cause);
+                    barrier.poison();
+                    shared.poison();
+                    return;
+                }
                 for &i in schedule.phase_slice(p, w) {
                     let i = i as usize;
                     let v = body(i, &src);
@@ -80,13 +94,21 @@ where
         }
     });
     let wall = t0.elapsed();
+    // Peers released by the poisoned barrier die on the poison panic, so
+    // the recorded interrupt cause takes precedence over the panic count.
+    if let Some(cause) = interrupted.get() {
+        return Err(cause);
+    }
+    ran.map_err(|e| ExecError::BodyPanicked {
+        workers: e.panicked,
+    })?;
     shared.copy_into_at(out, epoch);
-    ExecReport {
+    Ok(ExecReport {
         barriers: plan.count() as u64,
         stalls: 0,
         iters_per_proc: iters.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
         wall,
-    }
+    })
 }
 
 /// Runs `body` over all indices of `schedule` with one global barrier
@@ -108,7 +130,8 @@ where
     let plan = BarrierPlan::full(schedule.num_phases());
     let shared = SharedVec::new(schedule.n());
     let iters: Vec<AtomicU64> = (0..pool.nworkers()).map(|_| AtomicU64::new(0)).collect();
-    pre_scheduled_core(pool, schedule, &plan, &shared, &iters, body, out)
+    pre_scheduled_core(pool, schedule, &plan, &shared, &iters, body, out, None)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Pre-scheduled execution with **barrier elision**: only the barriers the
@@ -128,7 +151,8 @@ where
 {
     let shared = SharedVec::new(schedule.n());
     let iters: Vec<AtomicU64> = (0..pool.nworkers()).map(|_| AtomicU64::new(0)).collect();
-    pre_scheduled_core(pool, schedule, plan, &shared, &iters, body, out)
+    pre_scheduled_core(pool, schedule, plan, &shared, &iters, body, out, None)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

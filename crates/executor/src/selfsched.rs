@@ -115,7 +115,8 @@ where
             shared.poison();
             std::panic::resume_unwind(e);
         }
-    });
+    })
+    .unwrap_or_else(|e| panic!("{e}"));
     let wall = t0.elapsed();
     shared.copy_into_at(out, epoch);
     ExecReport {

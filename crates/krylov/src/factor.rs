@@ -137,7 +137,8 @@ pub fn parallel_iluk(
                 barrier.poison();
                 std::panic::resume_unwind(e);
             }
-        });
+        })
+        .unwrap_or_else(|e| panic!("{e}"));
     }
 
     // Detect numerical breakdown (a zero/NaN pivot poisons its dependents).

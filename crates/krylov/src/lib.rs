@@ -41,6 +41,10 @@ pub enum KrylovError {
     NotConverged { iterations: usize, residual: f64 },
     /// Numerical breakdown (zero denominator in a recurrence).
     Breakdown { at_iteration: usize },
+    /// An executor run failed in a contained way (body panic, explicit
+    /// cancellation, or an expired deadline); the plan and the pool stay
+    /// usable.
+    Exec(rtpl_executor::ExecError),
 }
 
 impl From<rtpl_sparse::SparseError> for KrylovError {
@@ -52,6 +56,12 @@ impl From<rtpl_sparse::SparseError> for KrylovError {
 impl From<rtpl_inspector::InspectorError> for KrylovError {
     fn from(e: rtpl_inspector::InspectorError) -> Self {
         KrylovError::Inspector(e)
+    }
+}
+
+impl From<rtpl_executor::ExecError> for KrylovError {
+    fn from(e: rtpl_executor::ExecError) -> Self {
+        KrylovError::Exec(e)
     }
 }
 
@@ -73,6 +83,7 @@ impl std::fmt::Display for KrylovError {
             KrylovError::Breakdown { at_iteration } => {
                 write!(f, "numerical breakdown at iteration {at_iteration}")
             }
+            KrylovError::Exec(e) => write!(f, "executor failure: {e}"),
         }
     }
 }

@@ -16,7 +16,9 @@
 
 use crate::{KrylovError, Result};
 use rtpl_executor::compiled::{CompiledError, CompiledPlan, CompiledSpec, RunScratch};
-use rtpl_executor::{ExecPolicy, ExecReport, LoopBody, PlannedLoop, ValueSource, WorkerPool};
+use rtpl_executor::{
+    CancelToken, ExecPolicy, ExecReport, LoopBody, PlannedLoop, ValueSource, WorkerPool,
+};
 use rtpl_inspector::{BarrierPlan, DepGraph, Partition, Schedule, Wavefronts};
 use rtpl_sparse::ilu::IluFactors;
 use rtpl_sparse::wire::{WireError, WireReader, WireResult, WireWriter};
@@ -630,21 +632,46 @@ impl CompiledTriSolve {
         x: &mut [f64],
         scratch: &mut CompiledSolveScratch,
     ) -> Result<(ExecReport, ExecReport)> {
+        self.solve_loaded_cancellable(pool, kind, b, x, scratch, None)
+    }
+
+    /// As [`CompiledTriSolve::solve_loaded`] with failure containment: a
+    /// panicking sweep or a fired [`CancelToken`] (explicit or deadline)
+    /// comes back as [`KrylovError::Exec`] instead of unwinding, with the
+    /// plan, the scratch, and the pool all still usable. The sequential
+    /// path consults the token between the two sweeps (its natural
+    /// boundary); the parallel paths also check inside each sweep.
+    pub fn solve_loaded_cancellable(
+        &self,
+        pool: Option<&WorkerPool>,
+        kind: ExecutorKind,
+        b: &[f64],
+        x: &mut [f64],
+        scratch: &mut CompiledSolveScratch,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(ExecReport, ExecReport)> {
         assert_eq!(b.len(), self.plan.n);
         assert_eq!(x.len(), self.plan.n);
         let pool = kind
             .policy()
             .map(|_| pool.expect("parallel executor kinds require a worker pool"));
+        if let Some(cause) = cancel.and_then(CancelToken::check) {
+            return Err(cause.into());
+        }
         let fwd = match (kind.policy(), pool) {
             (Some(policy), Some(pool)) => {
                 self.fwd
-                    .run(pool, policy, &mut scratch.fwd, b, &mut scratch.y)
+                    .try_run(pool, policy, &mut scratch.fwd, b, &mut scratch.y, cancel)?
             }
             _ => self.fwd.run_sequential(&mut scratch.fwd, b, &mut scratch.y),
         };
+        if let Some(cause) = cancel.and_then(CancelToken::check) {
+            return Err(cause.into());
+        }
         let bwd = match (kind.policy(), pool) {
             (Some(policy), Some(pool)) => {
-                self.bwd.run(pool, policy, &mut scratch.bwd, &scratch.y, x)
+                self.bwd
+                    .try_run(pool, policy, &mut scratch.bwd, &scratch.y, x, cancel)?
             }
             _ => self.bwd.run_sequential(&mut scratch.bwd, &scratch.y, x),
         };

@@ -25,11 +25,11 @@
 //! A [`Job`] is one of three requests, all keyed into the same build-once
 //! caches as the single-request front doors:
 //!
-//! * [`Job::Solve`] — `L U x = b` for [`IluFactors`] (the
+//! * [`JobKind::Solve`] — `L U x = b` for [`IluFactors`] (the
 //!   [`Runtime::solve`] path);
-//! * [`Job::Loop`] — a generic [`LoopBody`] over a cacheable [`LoopSpec`]
+//! * [`JobKind::Loop`] — a generic [`LoopBody`] over a cacheable [`LoopSpec`]
 //!   (the analysis product `rtpl::DoConsider::into_spec` emits);
-//! * [`Job::LinearLoop`] — the body-free linear recurrence
+//! * [`JobKind::LinearLoop`] — the body-free linear recurrence
 //!   `x(i) = rhs(i) − Σ a_k·x(dep_k)`, compiled to a schedule-order
 //!   [`CompiledPlan`] layout with per-call coefficient gathers.
 //!
@@ -37,7 +37,7 @@
 
 use crate::service::{RunOutcome, Runtime, SolveOutcome};
 use crate::Result;
-use rtpl_executor::{LoopBody, ValueSource};
+use rtpl_executor::{CancelToken, LoopBody, ValueSource};
 use rtpl_inspector::DepGraph;
 use rtpl_krylov::ExecutorKind;
 use rtpl_sparse::ilu::IluFactors;
@@ -86,7 +86,7 @@ impl LoopSpec {
     }
 }
 
-/// The placeholder body type of batches that carry no [`Job::Loop`] jobs
+/// The placeholder body type of batches that carry no [`JobKind::Loop`] jobs
 /// (`Vec<Job>` defaults to it). Never executed.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NoBody;
@@ -97,11 +97,19 @@ impl LoopBody for NoBody {
     }
 }
 
-/// One request of a batch: a triangular solve or an index-array loop, each
-/// borrowing its inputs and owning (mutably borrowing) its output buffer.
-/// Submit through [`Runtime::submit`] / [`Runtime::submit_batch`].
+/// One request of a batch: a triangular solve or an index-array loop
+/// ([`JobKind`]), each borrowing its inputs and owning (mutably
+/// borrowing) its output buffer, plus an optional deadline. Submit
+/// through [`Runtime::submit`] / [`Runtime::submit_batch`].
 #[derive(Debug)]
-pub enum Job<'a, B: LoopBody = NoBody> {
+pub struct Job<'a, B: LoopBody = NoBody> {
+    pub(crate) kind: JobKind<'a, B>,
+    pub(crate) deadline: Option<Instant>,
+}
+
+/// What a [`Job`] asks for.
+#[derive(Debug)]
+pub enum JobKind<'a, B: LoopBody = NoBody> {
     /// Solve `L U x = b` through the structure-keyed solve cache.
     Solve {
         /// The factors; only their *structure* keys the cache.
@@ -140,31 +148,61 @@ pub enum Job<'a, B: LoopBody = NoBody> {
 impl<'a, B: LoopBody> Job<'a, B> {
     /// A triangular-solve job.
     pub fn solve(factors: &'a IluFactors, b: &'a [f64], x: &'a mut [f64]) -> Self {
-        Job::Solve { factors, b, x }
+        Job {
+            kind: JobKind::Solve { factors, b, x },
+            deadline: None,
+        }
     }
 
     /// A generic-body loop job.
     pub fn looped(spec: &'a LoopSpec, body: &'a B, out: &'a mut [f64]) -> Self {
-        Job::Loop { spec, body, out }
+        Job {
+            kind: JobKind::Loop { spec, body, out },
+            deadline: None,
+        }
     }
 
     /// A compiled linear-recurrence loop job.
     pub fn linear(spec: &'a LoopSpec, vals: &'a [f64], rhs: &'a [f64], out: &'a mut [f64]) -> Self {
-        Job::LinearLoop {
-            spec,
-            vals,
-            rhs,
-            out,
+        Job {
+            kind: JobKind::LinearLoop {
+                spec,
+                vals,
+                rhs,
+                out,
+            },
+            deadline: None,
         }
+    }
+
+    /// Attaches a deadline: a job not *finished* by `deadline` is
+    /// interrupted at the executors' cancellation points (phase and
+    /// stride boundaries) and answered with
+    /// [`crate::RuntimeError::DeadlineExceeded`]; a job whose deadline
+    /// has already passed when its turn comes is rejected without
+    /// running. Expiry never disturbs the other jobs of a batch.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The job's deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// What the job asks for.
+    pub fn kind(&self) -> &JobKind<'a, B> {
+        &self.kind
     }
 }
 
 /// The outcome of one [`Job`]: the matching front door's report.
 #[derive(Clone, Debug)]
 pub enum JobOutcome {
-    /// A [`Job::Solve`] ran (see [`SolveOutcome`]).
+    /// A [`JobKind::Solve`] ran (see [`SolveOutcome`]).
     Solve(SolveOutcome),
-    /// A [`Job::Loop`] or [`Job::LinearLoop`] ran (see [`RunOutcome`]).
+    /// A [`JobKind::Loop`] or [`JobKind::LinearLoop`] ran (see [`RunOutcome`]).
     Loop(RunOutcome),
 }
 
@@ -245,18 +283,38 @@ struct Group<'j, B: LoopBody> {
 impl Runtime {
     /// Submits one [`Job`] — the unified front door over
     /// [`Runtime::solve`], [`Runtime::run_spec`] and
-    /// [`Runtime::run_linear`].
+    /// [`Runtime::run_linear`] — with the service's failure containment:
+    /// deadlines are enforced, panicking bodies come back as
+    /// [`crate::RuntimeError::BodyPanicked`], and a pattern whose
+    /// requests keep failing trips its circuit breaker.
     pub fn submit<B: LoopBody>(&self, job: Job<'_, B>) -> Result<JobOutcome> {
-        match job {
-            Job::Solve { factors, b, x } => self.solve(factors, b, x).map(JobOutcome::Solve),
-            Job::Loop { spec, body, out } => self.run_spec(spec, body, out).map(JobOutcome::Loop),
-            Job::LinearLoop {
+        let key = match &job.kind {
+            JobKind::Solve { factors, .. } => Self::solve_key(factors),
+            JobKind::Loop { spec, .. } | JobKind::LinearLoop { spec, .. } => spec.key(),
+        };
+        self.breaker_admit(key)?;
+        let token = job.deadline.map(CancelToken::with_deadline);
+        let r = match job.kind {
+            JobKind::Solve { factors, b, x } => self
+                .solve_with_cancel(factors, b, x, token.as_ref())
+                .map(JobOutcome::Solve),
+            JobKind::Loop { spec, body, out } => self
+                .run_spec_with_cancel(spec, body, out, token.as_ref())
+                .map(JobOutcome::Loop),
+            JobKind::LinearLoop {
                 spec,
                 vals,
                 rhs,
                 out,
-            } => self.run_linear(spec, vals, rhs, out).map(JobOutcome::Loop),
+            } => self
+                .run_linear_with_cancel(spec, vals, rhs, out, token.as_ref())
+                .map(JobOutcome::Loop),
+        };
+        self.breaker_note(key, &r);
+        if let Err(e) = &r {
+            self.count_error(e);
         }
+        r
     }
 
     /// Submits a batch of jobs and schedules them **across requests**:
@@ -287,16 +345,16 @@ impl Runtime {
         let mut group_of: HashMap<(JobClass, u128), usize> = HashMap::new();
         let mut groups: Vec<Group<'_, B>> = Vec::new();
         for (i, job) in jobs.into_iter().enumerate() {
-            let (class, key) = match &job {
-                Job::Solve { factors, .. } => {
+            let (class, key) = match &job.kind {
+                JobKind::Solve { factors, .. } => {
                     let ptr: *const IluFactors = *factors;
                     let key = *fp_memo
                         .entry(ptr)
                         .or_insert_with(|| Self::solve_key(factors));
                     (JobClass::Solve, key)
                 }
-                Job::Loop { spec, .. } => (JobClass::Loop, spec.key()),
-                Job::LinearLoop { spec, .. } => (JobClass::Linear, spec.key()),
+                JobKind::Loop { spec, .. } => (JobClass::Loop, spec.key()),
+                JobKind::LinearLoop { spec, .. } => (JobClass::Linear, spec.key()),
             };
             let gi = *group_of.entry((class, key.as_u128())).or_insert_with(|| {
                 let warm = match class {
@@ -390,8 +448,11 @@ impl Runtime {
         key: PatternFingerprint,
         jobs: Vec<(usize, Job<'_, B>)>,
     ) -> Vec<(usize, Result<JobOutcome>)> {
-        let first = match &jobs[0].1 {
-            Job::Solve { factors, .. } => *factors,
+        if let Err(e) = self.breaker_admit(key) {
+            return fail_all(jobs, e);
+        }
+        let first = match &jobs[0].1.kind {
+            JobKind::Solve { factors, .. } => *factors,
             _ => unreachable!("solve group holds solve jobs"),
         };
         let mut built = false;
@@ -412,10 +473,16 @@ impl Runtime {
                 return jobs
                     .into_iter()
                     .map(|(i, job)| {
-                        let Job::Solve { factors, b, x } = job else {
+                        let deadline = job.deadline;
+                        let JobKind::Solve { factors, b, x } = job.kind else {
                             unreachable!("solve group holds solve jobs")
                         };
-                        (i, self.solve(factors, b, x).map(JobOutcome::Solve))
+                        let token = deadline.map(CancelToken::with_deadline);
+                        let r = self
+                            .solve_with_cancel(factors, b, x, token.as_ref())
+                            .map(JobOutcome::Solve);
+                        self.note_job_result(key, &r);
+                        (i, r)
                     })
                     .collect();
             }
@@ -429,20 +496,26 @@ impl Runtime {
         let (mut wall_sum, mut runs) = (0.0f64, 0u64);
         let mut out = Vec::with_capacity(jobs.len());
         for (i, job) in jobs {
-            let Job::Solve { factors, b, x } = job else {
+            let deadline = job.deadline;
+            let JobKind::Solve { factors, b, x } = job.kind else {
                 unreachable!("solve group holds solve jobs")
             };
             let ptr: *const IluFactors = factors;
+            let token = deadline.map(CancelToken::with_deadline);
             let r = (|| {
                 if loaded != Some(ptr) {
                     loaded = None;
                     entry.compiled.load_values(factors, &mut scratch)?;
                     loaded = Some(ptr);
                 }
-                let (fwd, bwd) =
-                    entry
-                        .compiled
-                        .solve_loaded(lease.as_deref(), kind, b, x, &mut scratch)?;
+                let (fwd, bwd) = entry.compiled.solve_loaded_cancellable(
+                    lease.as_deref(),
+                    kind,
+                    b,
+                    x,
+                    &mut scratch,
+                    token.as_ref(),
+                )?;
                 wall_sum += (fwd.wall + bwd.wall).as_nanos() as f64;
                 runs += 1;
                 Ok(JobOutcome::Solve(SolveOutcome {
@@ -453,6 +526,7 @@ impl Runtime {
                     reports: (fwd, bwd),
                 }))
             })();
+            self.note_job_result(key, &r);
             out.push((i, r));
         }
         drop(scratch);
@@ -460,13 +534,25 @@ impl Runtime {
         out
     }
 
+    /// Per-job epilogue of the batched runners: failure counters and the
+    /// pattern's circuit.
+    fn note_job_result(&self, key: PatternFingerprint, r: &Result<JobOutcome>) {
+        self.breaker_note(key, r);
+        if let Err(e) = r {
+            self.count_error(e);
+        }
+    }
+
     fn run_loop_group<B: LoopBody>(
         &self,
         key: PatternFingerprint,
         jobs: Vec<(usize, Job<'_, B>)>,
     ) -> Vec<(usize, Result<JobOutcome>)> {
-        let spec = match &jobs[0].1 {
-            Job::Loop { spec, .. } => *spec,
+        if let Err(e) = self.breaker_admit(key) {
+            return fail_all(jobs, e);
+        }
+        let spec = match &jobs[0].1.kind {
+            JobKind::Loop { spec, .. } => *spec,
             _ => unreachable!("loop group holds loop jobs"),
         };
         let mut built = false;
@@ -478,7 +564,13 @@ impl Runtime {
             Ok(s) => s,
             // Loop plans are built from the spec's *structure* alone, so a
             // build failure is identical for every job of the group.
-            Err(e) => return fail_all(jobs, e),
+            Err(e) => {
+                let out = fail_all(jobs, e);
+                for (_, r) in &out {
+                    self.note_job_result(key, r);
+                }
+                return out;
+            }
         };
         let entry = slot.get();
         let kind = self.choose_policy(&entry.adaptive);
@@ -505,27 +597,43 @@ impl Runtime {
             }
         };
         for (i, job) in jobs {
-            let Job::Loop { body, out, .. } = job else {
+            let deadline = job.deadline;
+            let JobKind::Loop { body, out, .. } = job.kind else {
                 unreachable!("loop group holds loop jobs")
             };
-            let report = match &leased {
-                None => entry.plan.run_sequential(body, out),
-                Some((scratch, _, policy, pool)) => {
-                    entry.plan.run_in(scratch, pool, *policy, body, out)
-                }
-            };
-            wall_sum += report.wall.as_nanos() as f64;
-            runs += 1;
-            results.push((
-                i,
+            let token = deadline.map(CancelToken::with_deadline);
+            let r = (|| {
+                let report = match &leased {
+                    None => {
+                        // Sequential runs have no cancellation points; the
+                        // deadline gates entry, and a panicking body
+                        // unwinds only to here.
+                        if let Some(cause) = token.as_ref().and_then(CancelToken::check) {
+                            return Err(crate::RuntimeError::from(cause));
+                        }
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            entry.plan.run_sequential(body, out)
+                        }))
+                        .map_err(|_| crate::RuntimeError::BodyPanicked { workers: 0 })?
+                    }
+                    Some((scratch, _, policy, pool)) => {
+                        entry
+                            .plan
+                            .try_run_in(scratch, pool, *policy, body, out, token.as_ref())?
+                    }
+                };
+                wall_sum += report.wall.as_nanos() as f64;
+                runs += 1;
                 Ok(JobOutcome::Loop(RunOutcome {
                     policy: kind,
                     cached: !std::mem::take(&mut built),
                     pattern: key,
                     concurrent,
                     report,
-                })),
-            ));
+                }))
+            })();
+            self.note_job_result(key, &r);
+            results.push((i, r));
         }
         drop(leased);
         drop(track);
@@ -538,8 +646,11 @@ impl Runtime {
         key: PatternFingerprint,
         jobs: Vec<(usize, Job<'_, B>)>,
     ) -> Vec<(usize, Result<JobOutcome>)> {
-        let spec = match &jobs[0].1 {
-            Job::LinearLoop { spec, .. } => *spec,
+        if let Err(e) = self.breaker_admit(key) {
+            return fail_all(jobs, e);
+        }
+        let spec = match &jobs[0].1.kind {
+            JobKind::LinearLoop { spec, .. } => *spec,
             _ => unreachable!("linear group holds linear jobs"),
         };
         let mut built = false;
@@ -551,7 +662,13 @@ impl Runtime {
             Ok(s) => s,
             // Compiled linear layouts are structure-only too (values only
             // enter at the per-job gather), so the failure is group-wide.
-            Err(e) => return fail_all(jobs, e),
+            Err(e) => {
+                let out = fail_all(jobs, e);
+                for (_, r) in &out {
+                    self.note_job_result(key, r);
+                }
+                return out;
+            }
         };
         let entry = slot.get();
         let kind = self.choose_policy(&entry.adaptive);
@@ -562,10 +679,12 @@ impl Runtime {
         let (mut wall_sum, mut runs) = (0.0f64, 0u64);
         let mut out_vec = Vec::with_capacity(jobs.len());
         for (i, job) in jobs {
-            let Job::LinearLoop { vals, rhs, out, .. } = job else {
+            let deadline = job.deadline;
+            let JobKind::LinearLoop { vals, rhs, out, .. } = job.kind else {
                 unreachable!("linear group holds linear jobs")
             };
             let ptr: *const [f64] = vals;
+            let token = deadline.map(CancelToken::with_deadline);
             let r = (|| {
                 if loaded != Some(ptr) {
                     loaded = None;
@@ -576,10 +695,20 @@ impl Runtime {
                     loaded = Some(ptr);
                 }
                 let report = match &lease {
-                    None => entry.compiled.run_sequential(&mut scratch, rhs, out),
-                    Some((policy, pool)) => {
-                        entry.compiled.run(pool, *policy, &mut scratch, rhs, out)
+                    None => {
+                        if let Some(cause) = token.as_ref().and_then(CancelToken::check) {
+                            return Err(crate::RuntimeError::from(cause));
+                        }
+                        entry.compiled.run_sequential(&mut scratch, rhs, out)
                     }
+                    Some((policy, pool)) => entry.compiled.try_run(
+                        pool,
+                        *policy,
+                        &mut scratch,
+                        rhs,
+                        out,
+                        token.as_ref(),
+                    )?,
                 };
                 wall_sum += report.wall.as_nanos() as f64;
                 runs += 1;
@@ -591,6 +720,7 @@ impl Runtime {
                     report,
                 }))
             })();
+            self.note_job_result(key, &r);
             out_vec.push((i, r));
         }
         drop(scratch);

@@ -65,9 +65,9 @@
 //! ## The `Job` front door
 //!
 //! * [`Runtime::submit`] / [`Runtime::submit_batch`] — the unified entry:
-//!   a [`Job`] is a triangular solve ([`Job::Solve`]), a generic loop
-//!   body over a cacheable [`LoopSpec`] ([`Job::Loop`]), or a compiled
-//!   linear recurrence ([`Job::LinearLoop`]). A batch is scheduled
+//!   a [`Job`] is a triangular solve ([`JobKind::Solve`]), a generic loop
+//!   body over a cacheable [`LoopSpec`] ([`JobKind::Loop`]), or a compiled
+//!   linear recurrence ([`JobKind::LinearLoop`]). A batch is scheduled
 //!   *across* requests: jobs sharing a fingerprint share one plan, one
 //!   pool lease, one selector decision, and (when they also share a
 //!   factor object) one value gather; cold inspections are queued ahead
@@ -151,6 +151,26 @@
 //! count in-flight requests per pattern (≥ 2 proves the head of the Zipf
 //! curve no longer serializes).
 //!
+//! ## Failure containment
+//!
+//! A multi-client service must contain each request's failure to that
+//! request. A panicking loop body is caught on the worker that unwound
+//! and surfaces as [`RuntimeError::BodyPanicked`] on the failing job's
+//! own outcome slot — its batch peers complete bit-exact, the worker
+//! pool is health-checked at the next lease and rebuilt if a thread died
+//! ([`RuntimeStats::pool_rebuilds`]). [`Job::with_deadline`] attaches a
+//! deadline carried into the executors as a cooperative
+//! `rtpl_executor::CancelToken`, checked at phase/stride boundaries: an
+//! expired job fails typed ([`RuntimeError::DeadlineExceeded`]) without
+//! poisoning its plan or pool. Patterns that fail repeatedly trip a
+//! per-pattern circuit breaker ([`RuntimeConfig::breaker_threshold`],
+//! [`RuntimeConfig::breaker_cooldown`]): further submissions fail fast
+//! with [`RuntimeError::CircuitOpen`] until a half-open probe succeeds,
+//! so a poisoned pattern cannot monopolize batch workers. All of it is
+//! counted — [`RuntimeStats::body_panics`],
+//! [`RuntimeStats::deadline_expired`], [`RuntimeStats::circuit_open`] —
+//! and rendered by [`RuntimeStats::render_plaintext`].
+//!
 //! [`PatternFingerprint`]: rtpl_sparse::PatternFingerprint
 //! [`ExecReport`]: rtpl_executor::ExecReport
 //! [`IluFactors`]: rtpl_sparse::ilu::IluFactors
@@ -164,7 +184,7 @@ pub mod pools;
 pub mod selector;
 pub mod service;
 
-pub use batch::{BatchOutcome, Job, JobOutcome, LoopSpec, NoBody};
+pub use batch::{BatchOutcome, Job, JobKind, JobOutcome, LoopSpec, NoBody};
 pub use cache::{CacheStats, PlanCache};
 pub use selector::{AdaptiveState, PolicySelector, ARMS};
 pub use service::{CachedIlu, RunOutcome, Runtime, RuntimeConfig, RuntimeStats, SolveOutcome};
@@ -181,11 +201,49 @@ pub enum RuntimeError {
     Inspector(rtpl_inspector::InspectorError),
     /// The input matrix is structurally unusable.
     Sparse(rtpl_sparse::SparseError),
+    /// The job's loop body panicked mid-run. The panic was contained:
+    /// `workers` worker threads unwound, the plan, the scratch, and the
+    /// pool all stay usable, and only this job fails.
+    BodyPanicked {
+        /// Worker threads that unwound (includes peers released by buffer
+        /// poisoning, so this may exceed the number of faulty iterations).
+        workers: usize,
+    },
+    /// The job's deadline passed before (or while) it ran; partial output
+    /// is unspecified, everything else is untouched.
+    DeadlineExceeded,
+    /// The job was cancelled through its [`rtpl_executor::CancelToken`].
+    Cancelled,
+    /// This pattern's circuit breaker is open: its recent builds or runs
+    /// kept failing, so requests are rejected cheaply until the cooldown
+    /// elapses and a probe request is let through (see
+    /// [`RuntimeConfig::breaker_threshold`]).
+    ///
+    /// [`RuntimeConfig::breaker_threshold`]: crate::RuntimeConfig::breaker_threshold
+    CircuitOpen,
+}
+
+impl From<rtpl_executor::ExecError> for RuntimeError {
+    fn from(e: rtpl_executor::ExecError) -> Self {
+        match e {
+            rtpl_executor::ExecError::BodyPanicked { workers } => {
+                RuntimeError::BodyPanicked { workers }
+            }
+            rtpl_executor::ExecError::DeadlineExceeded => RuntimeError::DeadlineExceeded,
+            rtpl_executor::ExecError::Cancelled => RuntimeError::Cancelled,
+        }
+    }
 }
 
 impl From<rtpl_krylov::KrylovError> for RuntimeError {
     fn from(e: rtpl_krylov::KrylovError) -> Self {
-        RuntimeError::Krylov(e)
+        match e {
+            // Contained executor failures keep their own shape — the
+            // caller distinguishes "your body panicked" / "your deadline
+            // passed" from genuine solver errors.
+            rtpl_krylov::KrylovError::Exec(x) => RuntimeError::from(x),
+            other => RuntimeError::Krylov(other),
+        }
     }
 }
 
@@ -207,6 +265,14 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::Krylov(e) => write!(f, "solver error: {e}"),
             RuntimeError::Inspector(e) => write!(f, "inspector error: {e}"),
             RuntimeError::Sparse(e) => write!(f, "sparse error: {e}"),
+            RuntimeError::BodyPanicked { workers } => {
+                write!(f, "loop body panicked ({workers} worker(s) unwound)")
+            }
+            RuntimeError::DeadlineExceeded => write!(f, "job deadline exceeded"),
+            RuntimeError::Cancelled => write!(f, "job cancelled"),
+            RuntimeError::CircuitOpen => {
+                write!(f, "circuit breaker open for this pattern (cooling down)")
+            }
         }
     }
 }

@@ -116,6 +116,16 @@ pub struct Lease<'a, T> {
     value: Option<T>,
 }
 
+impl<T> Lease<'_, T> {
+    /// Consumes the lease *without* returning the resource to the free
+    /// list — for resources observed broken (a worker pool with a dead
+    /// thread). The active-use count still ends; the next lease that
+    /// misses the free list builds a replacement.
+    pub fn discard(mut self) {
+        drop(self.value.take());
+    }
+}
+
 impl<T> std::ops::Deref for Lease<'_, T> {
     type Target = T;
 
@@ -132,8 +142,8 @@ impl<T> std::ops::DerefMut for Lease<'_, T> {
 
 impl<T> Drop for Lease<'_, T> {
     fn drop(&mut self) {
-        let value = self.value.take().expect("lease holds a value until drop");
-        {
+        // `discard` leaves `None`: the resource dies instead of returning.
+        if let Some(value) = self.value.take() {
             let mut free = self.pool.free.lock().unwrap_or_else(|e| e.into_inner());
             free.push(value);
         }
@@ -159,6 +169,7 @@ impl<T> Drop for UseGuard<'_, T> {
 pub struct PoolSet {
     nprocs: usize,
     pools: LeasePool<WorkerPool>,
+    rebuilds: AtomicU64,
 }
 
 impl std::fmt::Debug for PoolSet {
@@ -178,6 +189,7 @@ impl PoolSet {
         PoolSet {
             nprocs,
             pools: LeasePool::new(),
+            rebuilds: AtomicU64::new(0),
         }
     }
 
@@ -191,11 +203,30 @@ impl PoolSet {
         self.pools.created()
     }
 
+    /// Dead pools discarded at lease time and replaced by fresh ones (a
+    /// worker thread died — an escaped panic or abort in a body).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds.load(Ordering::Relaxed)
+    }
+
     /// Leases a pool, spawning a fresh one only when the free list is
     /// empty. The lease returns the pool on drop.
+    ///
+    /// A pool returned to the free list may have lost a worker thread to
+    /// a previous request's catastrophic body (typed panic recovery keeps
+    /// workers alive, but a double panic or an abort inside a drop
+    /// handler can still kill one). Leasing health-checks reused pools
+    /// and replaces dead ones instead of handing them out — the failure
+    /// stays contained to the request that caused it.
     pub fn lease(&self) -> PoolLease<'_> {
-        let (lease, _) = self.pools.lease(|| WorkerPool::new(self.nprocs));
-        PoolLease(lease)
+        loop {
+            let (lease, info) = self.pools.lease(|| WorkerPool::new(self.nprocs));
+            if info.created || lease.is_healthy() {
+                return PoolLease(lease);
+            }
+            self.rebuilds.fetch_add(1, Ordering::Relaxed);
+            lease.discard();
+        }
     }
 }
 
@@ -275,6 +306,21 @@ mod tests {
     }
 
     #[test]
+    fn discarded_lease_is_replaced_not_reused() {
+        let pool: LeasePool<u32> = LeasePool::new();
+        let (a, _) = pool.lease(|| 1);
+        a.discard();
+        // The discarded resource never reaches the free list: the next
+        // lease builds a replacement, and no active use leaks.
+        let (b, info) = pool.lease(|| 2);
+        assert!(info.created);
+        assert_eq!(*b, 2);
+        assert_eq!(info.active, 1);
+        drop(b);
+        assert_eq!(pool.created(), 2);
+    }
+
+    #[test]
     fn concurrent_leases_get_distinct_pools() {
         use std::sync::atomic::AtomicU64;
         let set = PoolSet::new(1);
@@ -285,10 +331,12 @@ mod tests {
         let hits = AtomicU64::new(0);
         a.run(&|_| {
             hits.fetch_add(1, Ordering::Relaxed);
-        });
+        })
+        .unwrap();
         b.run(&|_| {
             hits.fetch_add(1, Ordering::Relaxed);
-        });
+        })
+        .unwrap();
         assert_eq!(hits.load(Ordering::Relaxed), 2);
         drop(a);
         drop(b);

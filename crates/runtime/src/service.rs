@@ -5,7 +5,7 @@ use crate::pools::{LeasePool, PoolSet};
 use crate::selector::{arm_index, AdaptiveState, PolicySelector, ARMS};
 use crate::Result;
 use rtpl_executor::compiled::{CompiledPlan, RunScratch};
-use rtpl_executor::{ExecReport, LoopBody, LoopScratch, PlannedLoop, WorkerPool};
+use rtpl_executor::{CancelToken, ExecReport, LoopBody, LoopScratch, PlannedLoop, WorkerPool};
 use rtpl_inspector::{DepGraph, Partition, Schedule, Wavefronts};
 use rtpl_krylov::{
     CompiledSolveScratch, CompiledTriSolve, ExecutorKind, Precondition, Sorting,
@@ -16,9 +16,11 @@ use rtpl_sparse::ilu::IluFactors;
 use rtpl_sparse::wire::{WireError, WireReader, WireWriter};
 use rtpl_sparse::{Csr, PatternFingerprint};
 use rtpl_store::PlanStore;
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`Runtime`].
 #[derive(Clone, Debug)]
@@ -52,6 +54,18 @@ pub struct RuntimeConfig {
     /// never fails the runtime: the error is counted in
     /// [`RuntimeStats::store_load_errors`] and the runtime runs storeless.
     pub store_path: Option<PathBuf>,
+    /// Consecutive failures (failed builds, panicking bodies) a single
+    /// pattern may accumulate through the [`Runtime::submit`] /
+    /// [`Runtime::submit_batch`] front door before its circuit breaker
+    /// opens and requests for it are rejected cheaply with
+    /// [`crate::RuntimeError::CircuitOpen`]. After
+    /// [`RuntimeConfig::breaker_cooldown`] one probe request is admitted:
+    /// success closes the breaker, failure re-opens it. `0` disables
+    /// circuit breaking. Deadline expiry and cancellation are the
+    /// *client's* doing and never count against a pattern.
+    pub breaker_threshold: u32,
+    /// How long an open circuit rejects before admitting a probe.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for RuntimeConfig {
@@ -68,6 +82,8 @@ impl Default for RuntimeConfig {
             policy: None,
             batch_workers: 0,
             store_path: None,
+            breaker_threshold: 8,
+            breaker_cooldown: Duration::from_millis(100),
         }
     }
 }
@@ -116,6 +132,18 @@ pub struct RuntimeStats {
     /// different processor count. Every one fell back to cold inspection —
     /// this counter is the only trace the failure leaves.
     pub store_load_errors: u64,
+    /// Jobs whose loop body panicked and were answered with a typed
+    /// [`crate::RuntimeError::BodyPanicked`] instead of unwinding the
+    /// service.
+    pub body_panics: u64,
+    /// Jobs rejected or interrupted because their deadline passed (or
+    /// their cancel token fired).
+    pub deadline_expired: u64,
+    /// Requests rejected by an open per-pattern circuit breaker.
+    pub circuit_open: u64,
+    /// Leased worker pools found dead (a worker thread gone) and replaced
+    /// with fresh ones.
+    pub pool_rebuilds: u64,
 }
 
 impl RuntimeStats {
@@ -162,6 +190,10 @@ impl RuntimeStats {
         line("store_misses", self.store_misses);
         line("store_writes", self.store_writes);
         line("store_load_errors", self.store_load_errors);
+        line("body_panics", self.body_panics);
+        line("deadline_expired", self.deadline_expired);
+        line("circuit_open", self.circuit_open);
+        line("pool_rebuilds", self.pool_rebuilds);
         for (k, kind) in ARMS.iter().enumerate() {
             line(
                 &format!("policy_runs_{}", format!("{kind:?}").to_lowercase()),
@@ -226,7 +258,7 @@ pub struct LoopEntry {
 }
 
 /// Cached state for one compiled linear-recurrence loop structure
-/// ([`Runtime::run_linear`] / [`crate::Job::LinearLoop`]): the
+/// ([`Runtime::run_linear`] / [`crate::JobKind::LinearLoop`]): the
 /// schedule-order [`CompiledPlan`] layout plus leased [`RunScratch`]es.
 pub struct LinearEntry {
     pub(crate) compiled: CompiledPlan,
@@ -255,6 +287,26 @@ pub struct Runtime {
     pub(crate) store_misses: AtomicU64,
     pub(crate) store_writes: AtomicU64,
     pub(crate) store_load_errors: AtomicU64,
+    pub(crate) body_panics: AtomicU64,
+    pub(crate) deadline_expired: AtomicU64,
+    pub(crate) circuit_open: AtomicU64,
+    /// Per-pattern consecutive-failure accounting for the circuit breaker
+    /// (bounded; see [`BREAKER_CAPACITY`]).
+    pub(crate) breaker: Mutex<HashMap<u128, BreakerState>>,
+}
+
+/// Most patterns a [`Runtime`] tracks breaker state for. Only *failing*
+/// patterns occupy a slot (success evicts), so hitting the bound means
+/// this many patterns are failing simultaneously; further ones simply go
+/// untracked rather than growing the map without limit.
+const BREAKER_CAPACITY: usize = 1024;
+
+/// Consecutive-failure state of one pattern's circuit.
+#[derive(Debug, Default)]
+pub(crate) struct BreakerState {
+    consecutive: u32,
+    open_until: Option<Instant>,
+    probing: bool,
 }
 
 impl Runtime {
@@ -307,7 +359,96 @@ impl Runtime {
             store_misses: AtomicU64::new(0),
             store_writes: AtomicU64::new(0),
             store_load_errors: AtomicU64::new(open_errors),
+            body_panics: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            circuit_open: AtomicU64::new(0),
+            breaker: Mutex::new(HashMap::new()),
             cfg,
+        }
+    }
+
+    /// Folds one finished request's error (if any) into the failure
+    /// counters. Called where per-request results are finalized (the
+    /// `submit`/`submit_batch` front door), never in the inner doors, so
+    /// each failure is counted exactly once.
+    pub(crate) fn count_error(&self, e: &crate::RuntimeError) {
+        match e {
+            crate::RuntimeError::BodyPanicked { .. } => {
+                self.body_panics.fetch_add(1, Ordering::Relaxed);
+            }
+            crate::RuntimeError::DeadlineExceeded | crate::RuntimeError::Cancelled => {
+                self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            }
+            // Counted at the rejection site (`breaker_admit`).
+            crate::RuntimeError::CircuitOpen => {}
+            _ => {}
+        }
+    }
+
+    /// Admits or rejects a request for `key` against its circuit. An open
+    /// circuit whose cooldown has elapsed admits exactly one probe; its
+    /// outcome (reported through [`Runtime::breaker_note`]) decides
+    /// whether the circuit closes or re-opens.
+    pub(crate) fn breaker_admit(&self, key: PatternFingerprint) -> Result<()> {
+        if self.cfg.breaker_threshold == 0 {
+            return Ok(());
+        }
+        let mut map = self.breaker.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(st) = map.get_mut(&key.as_u128()) else {
+            return Ok(());
+        };
+        if let Some(until) = st.open_until {
+            if st.probing || Instant::now() < until {
+                self.circuit_open.fetch_add(1, Ordering::Relaxed);
+                return Err(crate::RuntimeError::CircuitOpen);
+            }
+            st.probing = true;
+        }
+        Ok(())
+    }
+
+    /// Folds one admitted request's outcome back into `key`'s circuit:
+    /// success closes it (and frees its slot), a service-side failure
+    /// counts toward opening it, a client-side outcome (deadline,
+    /// cancellation) is neutral — it only ends an in-flight probe.
+    pub(crate) fn breaker_note<T>(&self, key: PatternFingerprint, r: &Result<T>) {
+        if self.cfg.breaker_threshold == 0 {
+            return;
+        }
+        let failed = match r {
+            Ok(_) => false,
+            Err(
+                crate::RuntimeError::DeadlineExceeded
+                | crate::RuntimeError::Cancelled
+                | crate::RuntimeError::CircuitOpen,
+            ) => {
+                let mut map = self.breaker.lock().unwrap_or_else(|e| e.into_inner());
+                if let Some(st) = map.get_mut(&key.as_u128()) {
+                    st.probing = false;
+                }
+                return;
+            }
+            Err(_) => true,
+        };
+        let mut map = self.breaker.lock().unwrap_or_else(|e| e.into_inner());
+        if !failed {
+            map.remove(&key.as_u128());
+            return;
+        }
+        let len = map.len();
+        let st = match map.entry(key.as_u128()) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                if len >= BREAKER_CAPACITY {
+                    return;
+                }
+                v.insert(BreakerState::default())
+            }
+        };
+        st.consecutive += 1;
+        st.probing = false;
+        if st.consecutive >= self.cfg.breaker_threshold {
+            st.open_until = Some(Instant::now() + self.cfg.breaker_cooldown);
         }
     }
 
@@ -584,6 +725,20 @@ impl Runtime {
     /// minimal barrier sets) and predicts every policy's cost; later
     /// requests run immediately under the current best policy.
     pub fn solve(&self, factors: &IluFactors, b: &[f64], x: &mut [f64]) -> Result<SolveOutcome> {
+        self.solve_with_cancel(factors, b, x, None)
+    }
+
+    /// [`Runtime::solve`] with failure containment: a fired `cancel`
+    /// token (explicit or deadline) or a mid-sweep worker panic comes
+    /// back as a typed error for *this* request; the cached plan, the
+    /// leased scratch, and the worker pool all stay in service.
+    pub(crate) fn solve_with_cancel(
+        &self,
+        factors: &IluFactors,
+        b: &[f64],
+        x: &mut [f64],
+        cancel: Option<&CancelToken>,
+    ) -> Result<SolveOutcome> {
         let key = Self::solve_key(factors);
         let mut built = false;
         let slot = self.solves.get_or_build(key, || {
@@ -603,13 +758,22 @@ impl Runtime {
         // `submit_batch` flow keeps the split so one gather serves a whole
         // same-factor group).
         let (fwd, bwd) = if kind == ExecutorKind::Sequential {
+            if let Some(cause) = cancel.and_then(CancelToken::check) {
+                return Err(crate::RuntimeError::from(cause));
+            }
             entry
                 .compiled
                 .solve_fused_sequential(factors, b, x, &mut scratch)?
         } else {
-            entry
-                .compiled
-                .solve(lease.as_deref(), kind, factors, b, x, &mut scratch)?
+            entry.compiled.load_values(factors, &mut scratch)?;
+            entry.compiled.solve_loaded_cancellable(
+                lease.as_deref(),
+                kind,
+                b,
+                x,
+                &mut scratch,
+                cancel,
+            )?
         };
         drop(scratch);
         let wall_ns = (fwd.wall + bwd.wall).as_nanos() as f64;
@@ -642,7 +806,7 @@ impl Runtime {
             built = true;
             self.build_loop_entry(DepGraph::from_lower_triangular(l)?)
         })?;
-        self.run_loop_entry(slot.get(), key, built, body, out)
+        self.run_loop_entry(slot.get(), key, built, body, out, None)
     }
 
     /// Runs a generic loop over a cacheable [`crate::LoopSpec`] — the
@@ -656,39 +820,64 @@ impl Runtime {
         body: &B,
         out: &mut [f64],
     ) -> Result<RunOutcome> {
+        self.run_spec_with_cancel(spec, body, out, None)
+    }
+
+    /// [`Runtime::run_spec`] with failure containment (see
+    /// [`Runtime::solve_with_cancel`]).
+    pub(crate) fn run_spec_with_cancel<B: LoopBody>(
+        &self,
+        spec: &crate::LoopSpec,
+        body: &B,
+        out: &mut [f64],
+        cancel: Option<&CancelToken>,
+    ) -> Result<RunOutcome> {
         let key = spec.key();
         let mut built = false;
         let slot = self.loops.get_or_build(key, || {
             built = true;
             self.build_loop_entry(spec.graph().clone())
         })?;
-        self.run_loop_entry(slot.get(), key, built, body, out)
+        self.run_loop_entry(slot.get(), key, built, body, out, cancel)
     }
 
     /// The shared execution half of [`Runtime::run`] / [`Runtime::run_spec`].
-    fn run_loop_entry<B: LoopBody>(
+    pub(crate) fn run_loop_entry<B: LoopBody>(
         &self,
         entry: &LoopEntry,
         key: PatternFingerprint,
         built: bool,
         body: &B,
         out: &mut [f64],
+        cancel: Option<&CancelToken>,
     ) -> Result<RunOutcome> {
         let kind = self.choose_policy(&entry.adaptive);
         let (report, concurrent) = match kind.policy() {
             // The sequential reference writes straight to `out` — no
             // scratch needed, but the in-flight use is still counted so
-            // `concurrent`/`peak_same_pattern` see every request.
+            // `concurrent`/`peak_same_pattern` see every request. A
+            // sequential run has no cancellation points, so the token is
+            // consulted once at entry; a panicking body unwinds only to
+            // here and fails this request alone.
             None => {
                 let (_guard, active) = entry.scratches.track();
                 self.peak_same_pattern.fetch_max(active, Ordering::Relaxed);
-                (entry.plan.run_sequential(body, out), active)
+                if let Some(cause) = cancel.and_then(CancelToken::check) {
+                    return Err(crate::RuntimeError::from(cause));
+                }
+                let report = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    entry.plan.run_sequential(body, out)
+                }))
+                .map_err(|_| crate::RuntimeError::BodyPanicked { workers: 0 })?;
+                (report, active)
             }
             Some(policy) => {
                 let (scratch, info) = entry.scratches.lease(|| entry.plan.scratch());
                 self.note_lease(info);
                 let pool = self.pools.lease();
-                let report = entry.plan.run_in(&scratch, &pool, policy, body, out);
+                let report = entry
+                    .plan
+                    .try_run_in(&scratch, &pool, policy, body, out, cancel)?;
                 (report, info.active)
             }
         };
@@ -722,6 +911,19 @@ impl Runtime {
         rhs: &[f64],
         out: &mut [f64],
     ) -> Result<RunOutcome> {
+        self.run_linear_with_cancel(spec, vals, rhs, out, None)
+    }
+
+    /// [`Runtime::run_linear`] with failure containment (see
+    /// [`Runtime::solve_with_cancel`]).
+    pub(crate) fn run_linear_with_cancel(
+        &self,
+        spec: &crate::LoopSpec,
+        vals: &[f64],
+        rhs: &[f64],
+        out: &mut [f64],
+        cancel: Option<&CancelToken>,
+    ) -> Result<RunOutcome> {
         let key = spec.key();
         let mut built = false;
         let slot = self.linears.get_or_build(key, || {
@@ -737,10 +939,19 @@ impl Runtime {
             .load_values(&mut scratch, vals)
             .map_err(map_compiled)?;
         let report = match kind.policy() {
-            None => entry.compiled.run_sequential(&mut scratch, rhs, out),
+            None => {
+                // Compiled linear sweeps carry no user body; only the
+                // entry-time deadline check applies on the sequential arm.
+                if let Some(cause) = cancel.and_then(CancelToken::check) {
+                    return Err(crate::RuntimeError::from(cause));
+                }
+                entry.compiled.run_sequential(&mut scratch, rhs, out)
+            }
             Some(policy) => {
                 let pool = self.pools.lease();
-                entry.compiled.run(&pool, policy, &mut scratch, rhs, out)
+                entry
+                    .compiled
+                    .try_run(&pool, policy, &mut scratch, rhs, out, cancel)?
             }
         };
         let concurrent = info.active;
@@ -860,6 +1071,10 @@ impl Runtime {
             // failures: both mean "persisted bytes could not be used".
             store_load_errors: self.store_load_errors.load(Ordering::Relaxed)
                 + self.store.as_ref().map_or(0, |s| s.stats().scan_repairs),
+            body_panics: self.body_panics.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            circuit_open: self.circuit_open.load(Ordering::Relaxed),
+            pool_rebuilds: self.pools.rebuilds(),
         }
     }
 }
@@ -995,6 +1210,10 @@ mod tests {
             "rtpl_solve_cache_builds 1",
             "rtpl_loop_cache_hits 0",
             "rtpl_batches 0",
+            "rtpl_body_panics 0",
+            "rtpl_deadline_expired 0",
+            "rtpl_circuit_open 0",
+            "rtpl_pool_rebuilds 0",
             "rtpl_policy_runs_sequential",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
@@ -1145,6 +1364,7 @@ mod tests {
             policy: None,
             batch_workers: 0,
             store_path: None,
+            ..RuntimeConfig::default()
         });
         let c = rt.cost_model();
         for (name, v) in [
@@ -1331,6 +1551,102 @@ mod tests {
         assert_eq!(s.store_load_errors, 1, "the failed open leaves its trace");
         assert_eq!(s.store_hits + s.store_misses + s.store_writes, 0);
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// A body that panics on every iteration — the breaker/containment
+    /// tests' fault generator.
+    struct AlwaysPanics;
+    impl LoopBody for AlwaysPanics {
+        fn eval<S: ValueSource>(&self, _i: usize, _src: &S) -> f64 {
+            panic!("injected body failure")
+        }
+    }
+
+    #[test]
+    fn expired_deadline_is_typed_and_counted() {
+        let rt = Runtime::new(test_cfg());
+        let f = ilu0(&laplacian_5pt(6, 6)).unwrap();
+        let b = vec![1.0; f.n()];
+        let mut x = vec![0.0; f.n()];
+        let job = crate::Job::<crate::NoBody>::solve(&f, &b, &mut x)
+            .with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(
+            rt.submit(job).unwrap_err(),
+            crate::RuntimeError::DeadlineExceeded
+        );
+        assert_eq!(rt.stats().deadline_expired, 1);
+        // The expiry was the client's fault: the same pattern still serves.
+        let out = rt
+            .submit(crate::Job::<crate::NoBody>::solve(&f, &b, &mut x))
+            .unwrap();
+        assert!(matches!(out, crate::JobOutcome::Solve(_)));
+        assert!(rtpl_sparse::dense::max_abs_diff(&x, &reference(&f, &b)) < 1e-12);
+    }
+
+    #[test]
+    fn repeated_body_panics_trip_the_pattern_breaker() {
+        let rt = Runtime::new(RuntimeConfig {
+            policy: Some(ExecutorKind::SelfExecuting),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(20),
+            ..test_cfg()
+        });
+        let l = laplacian_5pt(6, 6).strict_lower();
+        let spec = crate::LoopSpec::new(DepGraph::from_lower_triangular(&l).unwrap());
+        let n = l.nrows();
+        let mut out = vec![0.0; n];
+        for _ in 0..3 {
+            let e = rt
+                .submit(crate::Job::looped(&spec, &AlwaysPanics, &mut out))
+                .unwrap_err();
+            assert!(matches!(e, crate::RuntimeError::BodyPanicked { .. }), "{e}");
+        }
+        // Open: the next request is rejected without running anything.
+        let e = rt
+            .submit(crate::Job::looped(&spec, &AlwaysPanics, &mut out))
+            .unwrap_err();
+        assert_eq!(e, crate::RuntimeError::CircuitOpen);
+        let s = rt.stats();
+        assert_eq!(s.body_panics, 3);
+        assert_eq!(s.circuit_open, 1);
+        // After the cooldown a probe is admitted; a healthy body closes
+        // the circuit and the pattern serves normally again.
+        std::thread::sleep(Duration::from_millis(25));
+        let g = DepGraph::from_lower_triangular(&l).unwrap();
+        rt.submit(crate::Job::looped(&spec, &Count(&g), &mut out))
+            .unwrap();
+        rt.submit(crate::Job::looped(&spec, &Count(&g), &mut out))
+            .unwrap();
+        let mut expect = vec![0.0; n];
+        rtpl_executor::sequential_body(n, &Count(&g), &mut expect);
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn open_breaker_rejects_whole_batch_groups() {
+        let rt = Runtime::new(RuntimeConfig {
+            policy: Some(ExecutorKind::SelfExecuting),
+            breaker_threshold: 2,
+            breaker_cooldown: Duration::from_secs(60),
+            ..test_cfg()
+        });
+        let l = laplacian_5pt(5, 5).strict_lower();
+        let spec = crate::LoopSpec::new(DepGraph::from_lower_triangular(&l).unwrap());
+        let n = l.nrows();
+        let (mut o1, mut o2) = (vec![0.0; n], vec![0.0; n]);
+        let first = rt.submit_batch(vec![
+            crate::Job::looped(&spec, &AlwaysPanics, &mut o1),
+            crate::Job::looped(&spec, &AlwaysPanics, &mut o2),
+        ]);
+        assert_eq!(first.ok_count(), 0);
+        let second = rt.submit_batch(vec![
+            crate::Job::looped(&spec, &AlwaysPanics, &mut o1),
+            crate::Job::looped(&spec, &AlwaysPanics, &mut o2),
+        ]);
+        for j in &second.jobs {
+            assert_eq!(*j.as_ref().unwrap_err(), crate::RuntimeError::CircuitOpen);
+        }
+        assert_eq!(rt.stats().circuit_open, 1, "rejection is per group");
     }
 
     #[test]

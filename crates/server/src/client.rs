@@ -8,11 +8,22 @@
 //! requests in flight per connection.
 
 use crate::proto::{self, ProtoError, Request, Response};
+use rtpl_sparse::rng::SmallRng;
 use rtpl_sparse::{Csr, PatternFingerprint};
 use std::fmt;
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Most rejections [`Client::call_retrying`] absorbs before giving up
+/// with [`ClientError::RetriesExhausted`]. A server in a long drain
+/// rejects indefinitely; without a cap the client would spin forever.
+pub const MAX_RETRIES: u32 = 64;
+
+/// Cap on one retry sleep. The server's suggested delay is advisory and
+/// u32 milliseconds; a hostile or buggy peer must not be able to park the
+/// client for an hour by suggesting it.
+pub const MAX_RETRY_SLEEP: Duration = Duration::from_millis(100);
 
 /// Errors a [`Client`] can surface.
 #[derive(Debug)]
@@ -31,6 +42,13 @@ pub enum ClientError {
         /// The id the response carried.
         found: u64,
     },
+    /// [`Client::call_retrying`] gave up: every attempt was rejected with
+    /// `RetryAfter`. The last rejection's reason byte-for-byte is the
+    /// final [`Response::RetryAfter`] the server sent.
+    RetriesExhausted {
+        /// Attempts made (== [`MAX_RETRIES`] + 1 including the first).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -44,6 +62,9 @@ impl fmt::Display for ClientError {
                     f,
                     "response id {found} does not match request id {expected}"
                 )
+            }
+            ClientError::RetriesExhausted { attempts } => {
+                write!(f, "server still rejecting after {attempts} attempts")
             }
         }
     }
@@ -155,13 +176,29 @@ impl Client {
     /// Like [`Client::call`], but obeys [`Response::RetryAfter`]: sleeps
     /// the suggested delay and retries until any other response arrives.
     /// Returns that response and how many rejections preceded it.
+    ///
+    /// Bounded on every axis a misbehaving server could abuse: at most
+    /// [`MAX_RETRIES`] rejections are absorbed before
+    /// [`ClientError::RetriesExhausted`], and each sleep is capped at
+    /// [`MAX_RETRY_SLEEP`] regardless of what delay the server suggests.
+    /// Sleeps carry deterministic jitter (seeded from this connection's
+    /// request-id counter) so a thundering herd of rejected clients does
+    /// not re-arrive in lockstep — while identical runs still replay
+    /// identical schedules.
     pub fn call_retrying(&mut self, req: &Request) -> Result<(Response, u32), ClientError> {
+        let mut jitter = SmallRng::seed_from_u64(self.next_id);
         let mut retries = 0u32;
         loop {
             match self.call(req)? {
                 Response::RetryAfter { retry_ms, .. } => {
                     retries += 1;
-                    std::thread::sleep(Duration::from_millis(u64::from(retry_ms).max(1)));
+                    if retries > MAX_RETRIES {
+                        return Err(ClientError::RetriesExhausted { attempts: retries });
+                    }
+                    let base = Duration::from_millis(u64::from(retry_ms).max(1));
+                    let capped = base.min(MAX_RETRY_SLEEP);
+                    // 0.5x..1.5x of the suggested (capped) delay.
+                    std::thread::sleep(capped.mul_f64(0.5 + jitter.gen_f64()));
                 }
                 other => return Ok((other, retries)),
             }

@@ -63,6 +63,28 @@
 //!   ([`rtpl_runtime::RuntimeStats::render_plaintext`]), served as
 //!   plaintext on a second loopback listener.
 //!
+//! ## Failure containment at the edge
+//!
+//! The wire surface carries the runtime's containment semantics as typed
+//! error frames: a panicking body answers
+//! [`proto::err_code::BODY_PANICKED`] on the failing request alone, an
+//! expired deadline ([`ServerConfig::job_deadline`]; jobs still queued
+//! when they expire are answered without running) answers
+//! [`proto::err_code::DEADLINE_EXCEEDED`], and a pattern whose circuit
+//! breaker is open answers [`proto::err_code::CIRCUIT_OPEN`] — a client
+//! can tell "retry later" from "this job is poisoned" without parsing
+//! message text. Connections themselves have deadlines too:
+//! [`ServerConfig::idle_timeout`] bounds quiet time at a frame boundary
+//! and [`ServerConfig::frame_timeout`] bounds a stall mid-frame (the
+//! slowloris shape), each closing the connection and counting
+//! ([`ServerStats::closed_idle`] / [`ServerStats::closed_stalled`]).
+//! The socket paths consult `rtpl_sparse::failpoint` sites
+//! (`server.accept`, `server.read`, `server.write`) so the chaos
+//! harness can kill connections at every seam; metrics expose the total
+//! injected fault load as `rtpl_failpoint_trips`. The bundled [`Client`]
+//! is bounded on every retry axis (capped attempts with a typed
+//! [`ClientError::RetriesExhausted`], capped jittered sleeps).
+//!
 //! ## Quick start
 //!
 //! ```

@@ -52,6 +52,17 @@ pub mod err_code {
     /// is off by default — the request is unauthenticated and a drain is
     /// irreversible).
     pub const SHUTDOWN_DISABLED: u8 = 4;
+    /// The job's deadline expired (or it was cancelled) before or during
+    /// execution. The request may simply be retried; nothing about the
+    /// pattern is wrong.
+    pub const DEADLINE_EXCEEDED: u8 = 5;
+    /// The loop body panicked while executing this job. The failure was
+    /// contained to the job: the worker pool was recovered (or replaced)
+    /// and the server keeps serving.
+    pub const BODY_PANICKED: u8 = 6;
+    /// The pattern's circuit breaker is open after repeated failures; the
+    /// job was rejected without running. Retry after a cooldown.
+    pub const CIRCUIT_OPEN: u8 = 7;
 }
 
 /// A client-to-server message.
@@ -493,6 +504,32 @@ mod tests {
         );
         *payload.last_mut().unwrap() = 9;
         assert_eq!(decode_response(&payload), Err(ProtoError::UnknownKind(9)));
+    }
+
+    #[test]
+    fn failure_error_codes_are_distinct_and_roundtrip() {
+        let codes = [
+            err_code::RUNTIME,
+            err_code::UNKNOWN_PATTERN,
+            err_code::BAD_REQUEST,
+            err_code::SHUTDOWN_DISABLED,
+            err_code::DEADLINE_EXCEEDED,
+            err_code::BODY_PANICKED,
+            err_code::CIRCUIT_OPEN,
+        ];
+        for (i, a) in codes.iter().enumerate() {
+            for b in &codes[i + 1..] {
+                assert_ne!(a, b, "error codes must stay distinct on the wire");
+            }
+        }
+        for &code in &codes {
+            let resp = Response::Error {
+                code,
+                message: format!("code {code}"),
+            };
+            let payload = encode_response(u64::from(code), &resp);
+            assert_eq!(decode_response(&payload).unwrap(), (u64::from(code), resp));
+        }
     }
 
     #[test]

@@ -23,10 +23,11 @@
 use crate::histogram::Histogram;
 use crate::proto::{self, err_code, Request, Response, RetryReason, WarmLevel, REQUEST_KINDS};
 use rtpl_runtime::selector::arm_index;
-use rtpl_runtime::{Job, NoBody, Runtime, RuntimeConfig};
+use rtpl_runtime::{Job, NoBody, Runtime, RuntimeConfig, RuntimeError};
+use rtpl_sparse::failpoint;
 use rtpl_sparse::{IluFactors, PatternFingerprint};
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, Read, Write};
+use std::io::{self, BufRead, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -55,11 +56,11 @@ pub struct ServerConfig {
     /// evicts the least-recently-used entry (mirroring the runtime's plan
     /// cache), so a client cycling patterns recycles registry memory
     /// instead of growing it. An evicted pattern answers
-    /// [`Request::SolveByFingerprint`](crate::proto::Request::SolveByFingerprint)
+    /// [`Request::SolveByFingerprint`]
     /// with `UNKNOWN_PATTERN`; clients fall back to a full `Solve`.
     pub registry_capacity: usize,
     /// Whether the wire-level
-    /// [`Request::Shutdown`](crate::proto::Request::Shutdown) may drain
+    /// [`Request::Shutdown`] may drain
     /// this server. Off by default: the request is unauthenticated and
     /// there is no un-drain, so any client that can connect could
     /// otherwise deny service to everyone else. The owning process drains
@@ -71,6 +72,22 @@ pub struct ServerConfig {
     /// its own thread concurrent with request traffic — a request racing
     /// the warmer at worst pays the store decode itself.
     pub warm_limit: usize,
+    /// Longest a connection may sit quiet **at a frame boundary** before
+    /// the server closes it. `None` (the default) keeps idle connections
+    /// forever — idleness is legitimate for a pipelined client.
+    pub idle_timeout: Option<Duration>,
+    /// Longest a peer may go without delivering **any further byte** of a
+    /// frame it has started. This is the slowloris defense: a peer that
+    /// opens a frame and stops sending pins a reader thread, and this
+    /// bound reclaims it. `None` disables the bound.
+    pub frame_timeout: Option<Duration>,
+    /// Deadline applied to every accepted solve job, measured from the
+    /// moment its frame was decoded. A job still queued when it expires is
+    /// answered [`err_code::DEADLINE_EXCEEDED`] without running; one
+    /// already running is cancelled cooperatively at the next
+    /// phase/stride boundary. `None` (the default) lets jobs wait out any
+    /// backlog.
+    pub job_deadline: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +102,9 @@ impl Default for ServerConfig {
             registry_capacity: 128,
             allow_remote_shutdown: false,
             warm_limit: 64,
+            idle_timeout: None,
+            frame_timeout: Some(Duration::from_secs(10)),
+            job_deadline: None,
         }
     }
 }
@@ -111,6 +131,16 @@ pub struct ServerStats {
     pub registered_patterns: u64,
     /// Registry entries discarded by the LRU bound.
     pub registry_evictions: u64,
+    /// Accepted jobs answered [`err_code::DEADLINE_EXCEEDED`] because
+    /// their deadline expired while they waited in the queue (jobs that
+    /// expire mid-run are counted by the runtime's `deadline_expired`).
+    pub expired_jobs: u64,
+    /// Connections closed for sitting quiet past
+    /// [`ServerConfig::idle_timeout`].
+    pub closed_idle: u64,
+    /// Connections closed for stalling mid-frame past
+    /// [`ServerConfig::frame_timeout`] (slowloris defense).
+    pub closed_stalled: u64,
 }
 
 struct Metrics {
@@ -120,6 +150,9 @@ struct Metrics {
     rejected_queue: AtomicU64,
     rejected_quota: AtomicU64,
     rejected_draining: AtomicU64,
+    expired: AtomicU64,
+    closed_idle: AtomicU64,
+    closed_stalled: AtomicU64,
     /// Request latency per kind, indexed as [`Request::kind_index`].
     latency: [Histogram; 5],
 }
@@ -133,6 +166,9 @@ impl Metrics {
             rejected_queue: AtomicU64::new(0),
             rejected_quota: AtomicU64::new(0),
             rejected_draining: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            closed_idle: AtomicU64::new(0),
+            closed_stalled: AtomicU64::new(0),
             latency: [
                 Histogram::new(),
                 Histogram::new(),
@@ -239,6 +275,10 @@ struct QueuedSolve {
     inflight: Arc<AtomicUsize>,
     kind_idx: usize,
     t0: Instant,
+    /// When set, the job must start by this instant; set from
+    /// [`ServerConfig::job_deadline`] at admission and carried into the
+    /// runtime [`Job`] so mid-run expiry cancels cooperatively too.
+    deadline: Option<Instant>,
 }
 
 struct QueueState {
@@ -281,7 +321,12 @@ pub struct Server {
 impl Server {
     /// Binds both listeners on loopback ephemeral ports, starts the
     /// runtime and every service thread, and returns ready to serve.
+    ///
+    /// Honors `RTPL_FAILPOINTS` (see [`rtpl_sparse::failpoint`]): points
+    /// named in the environment are armed before the first accept, so a
+    /// whole service process can be started under injected fault load.
     pub fn spawn(cfg: ServerConfig) -> io::Result<Server> {
+        failpoint::init_from_env();
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let metrics_listener = TcpListener::bind("127.0.0.1:0")?;
         let inner = Arc::new(Inner {
@@ -424,6 +469,9 @@ impl Inner {
             rejected_draining: self.metrics.rejected_draining.load(Ordering::Relaxed),
             registered_patterns: self.registry.len() as u64,
             registry_evictions: self.registry.evictions.load(Ordering::Relaxed),
+            expired_jobs: self.metrics.expired.load(Ordering::Relaxed),
+            closed_idle: self.metrics.closed_idle.load(Ordering::Relaxed),
+            closed_stalled: self.metrics.closed_stalled.load(Ordering::Relaxed),
         }
     }
 
@@ -439,6 +487,10 @@ impl Inner {
             ("rtpl_server_rejected_draining", s.rejected_draining),
             ("rtpl_server_registered_patterns", s.registered_patterns),
             ("rtpl_server_registry_evictions", s.registry_evictions),
+            ("rtpl_server_expired_jobs", s.expired_jobs),
+            ("rtpl_server_closed_idle", s.closed_idle),
+            ("rtpl_server_closed_stalled", s.closed_stalled),
+            ("rtpl_failpoint_trips", failpoint::trips()),
         ] {
             out.push_str(&format!("{name} {v}\n"));
         }
@@ -502,6 +554,12 @@ fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        // Injected accept failure: the connection is dropped on the floor,
+        // exactly as if the socket died between accept and handshake. The
+        // client sees a reset and retries; the server keeps serving.
+        if failpoint::should_fail("server.accept") {
+            continue;
+        }
         let _ = stream.set_nodelay(true);
         inner.metrics.connections.fetch_add(1, Ordering::Relaxed);
         let Ok(read_half) = stream.try_clone() else {
@@ -544,11 +602,83 @@ fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
 /// all senders — the reader plus every queued job — are gone.
 fn writer_loop(mut stream: TcpStream, rx: mpsc::Receiver<(u64, Response)>) {
     while let Ok((id, resp)) = rx.recv() {
+        // Injected write failure: the connection dies as if the peer
+        // vanished mid-response. Remaining queued responses are dropped
+        // with the channel; the client re-establishes and retries.
+        if failpoint::should_fail("server.write") {
+            break;
+        }
         if proto::write_frame(&mut stream, &proto::encode_response(id, &resp)).is_err() {
             break;
         }
     }
     let _ = stream.shutdown(Shutdown::Write);
+}
+
+/// What one bounded frame read observed.
+enum FrameRead {
+    /// A complete, well-delimited payload.
+    Frame(Vec<u8>),
+    /// Clean EOF, a transport error, or an injected read failure: the
+    /// reader exits without further accounting.
+    Closed,
+    /// Nothing arrived within [`ServerConfig::idle_timeout`] at a frame
+    /// boundary.
+    Idle,
+    /// A frame started but its remainder missed
+    /// [`ServerConfig::frame_timeout`] — the slowloris shape.
+    Stalled,
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Reads one frame under the connection deadlines: the idle budget covers
+/// waiting for a frame's **first byte**, the (typically much shorter)
+/// frame budget bounds each further wait once the frame has started.
+/// Distinguishing the two keeps legitimately quiet pipelined clients
+/// alive while still reclaiming the thread from a peer that stalls
+/// mid-frame.
+fn read_frame_bounded(inner: &Inner, stream: &mut io::BufReader<TcpStream>) -> FrameRead {
+    if failpoint::should_fail("server.read") {
+        return FrameRead::Closed;
+    }
+    // Idle phase: peek (without consuming) until at least one byte of the
+    // next frame exists.
+    if stream
+        .get_ref()
+        .set_read_timeout(inner.cfg.idle_timeout)
+        .is_err()
+    {
+        return FrameRead::Closed;
+    }
+    while stream.buffer().is_empty() {
+        match stream.fill_buf() {
+            Ok([]) => return FrameRead::Closed, // clean EOF
+            Ok(_) => break,
+            Err(e) if is_timeout(&e) => return FrameRead::Idle,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return FrameRead::Closed,
+        }
+    }
+    // Frame phase: the peer committed to a frame; it must deliver it.
+    if stream
+        .get_ref()
+        .set_read_timeout(inner.cfg.frame_timeout)
+        .is_err()
+    {
+        return FrameRead::Closed;
+    }
+    match proto::read_frame(stream) {
+        Ok(Some(payload)) => FrameRead::Frame(payload),
+        Ok(None) => FrameRead::Closed,
+        Err(e) if is_timeout(&e) => FrameRead::Stalled,
+        Err(_) => FrameRead::Closed,
+    }
 }
 
 fn reader_loop(
@@ -558,8 +688,20 @@ fn reader_loop(
     tx: mpsc::Sender<(u64, Response)>,
 ) {
     let mut stream = io::BufReader::new(stream);
-    // Clean EOF (`Ok(None)`) and transport errors both end the reader.
-    while let Ok(Some(payload)) = proto::read_frame(&mut stream) {
+    // Clean EOF, transport errors, and blown deadlines all end the reader.
+    loop {
+        let payload = match read_frame_bounded(inner, &mut stream) {
+            FrameRead::Frame(payload) => payload,
+            FrameRead::Closed => break,
+            FrameRead::Idle => {
+                inner.metrics.closed_idle.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+            FrameRead::Stalled => {
+                inner.metrics.closed_stalled.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        };
         let t0 = Instant::now();
         let (id, req) = match proto::decode_request(&payload) {
             Ok(x) => x,
@@ -671,6 +813,19 @@ fn reader_loop(
         .remove(&conn_id);
 }
 
+/// The wire error code for a runtime failure: containment failures get
+/// their own codes so a client can tell "retry later" (deadline, open
+/// breaker) from "this job is poisoned" (panicked body) without parsing
+/// message text.
+fn error_code_for(e: &RuntimeError) -> u8 {
+    match e {
+        RuntimeError::BodyPanicked { .. } => err_code::BODY_PANICKED,
+        RuntimeError::DeadlineExceeded | RuntimeError::Cancelled => err_code::DEADLINE_EXCEEDED,
+        RuntimeError::CircuitOpen => err_code::CIRCUIT_OPEN,
+        _ => err_code::RUNTIME,
+    }
+}
+
 fn dimension_error(expected: usize, found: usize) -> Response {
     Response::Error {
         code: err_code::BAD_REQUEST,
@@ -735,6 +890,7 @@ fn submit(
         inflight,
         kind_idx,
         t0,
+        deadline: inner.cfg.job_deadline.map(|d| t0 + d),
     };
     match inner.admit(job) {
         Ok(()) => true,
@@ -787,11 +943,38 @@ fn dispatcher_loop(inner: &Arc<Inner>) {
         }
         // Gather window: let near-simultaneous requests join this batch.
         std::thread::sleep(inner.cfg.gather_window);
-        let batch: Vec<QueuedSolve> = {
+        let drained: Vec<QueuedSolve> = {
             let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
             let take = q.q.len().min(inner.cfg.max_batch);
             q.q.drain(..take).collect()
         };
+        if drained.is_empty() {
+            continue;
+        }
+        // Jobs whose deadline passed while they queued are answered here,
+        // typed, without spending any runtime work on them.
+        let now = Instant::now();
+        let (expired, batch): (Vec<_>, Vec<_>) = drained
+            .into_iter()
+            .partition(|j| j.deadline.is_some_and(|d| d <= now));
+        if !expired.is_empty() {
+            let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            for job in expired {
+                let resp = Response::Error {
+                    code: err_code::DEADLINE_EXCEEDED,
+                    message: "job deadline expired while queued".to_string(),
+                };
+                inner.metrics.latency[job.kind_idx].record(job.t0.elapsed().as_nanos() as u64);
+                inner.metrics.expired.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.answered.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send((job.id, resp));
+                job.inflight.fetch_sub(1, Ordering::AcqRel);
+                q.open -= 1;
+            }
+            if q.open == 0 {
+                inner.drained.notify_all();
+            }
+        }
         if batch.is_empty() {
             continue;
         }
@@ -799,7 +982,13 @@ fn dispatcher_loop(inner: &Arc<Inner>) {
         let jobs: Vec<Job<'_, NoBody>> = batch
             .iter()
             .zip(xs.iter_mut())
-            .map(|(j, x)| Job::solve(&j.factors, &j.b, x))
+            .map(|(j, x)| {
+                let job = Job::solve(&j.factors, &j.b, x);
+                match j.deadline {
+                    Some(d) => job.with_deadline(d),
+                    None => job,
+                }
+            })
             .collect();
         let outcome = inner.runtime.submit_batch(jobs);
         let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
@@ -811,7 +1000,7 @@ fn dispatcher_loop(inner: &Arc<Inner>) {
                     x,
                 },
                 Err(e) => Response::Error {
-                    code: err_code::RUNTIME,
+                    code: error_code_for(&e),
                     message: e.to_string(),
                 },
             };

@@ -33,10 +33,14 @@
 //!   kernels in tests.
 //! * [`rng`] — a tiny deterministic PRNG for the random generators (no
 //!   external dependencies anywhere in the workspace).
+//! * [`failpoint`] — process-global fail-point registry for fault-injection
+//!   tests (zero-cost when disarmed; this crate sits at the bottom of the
+//!   workspace dependency tree, so every layer can reach it).
 
 pub mod coo;
 pub mod csr;
 pub mod dense;
+pub mod failpoint;
 pub mod fingerprint;
 pub mod gen;
 pub mod ilu;

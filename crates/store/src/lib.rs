@@ -41,7 +41,18 @@
 //! count and recency). `seq` is a logical clock — the index keeps, per
 //! key, the latest artifact offset plus hit count and last-use seq, which
 //! is what [`PlanStore::keys_by_recency`] sorts for warm-start priority.
+//!
+//! # Fault injection
+//!
+//! The file-I/O seams consult `rtpl_sparse::failpoint` so tests and the
+//! chaos harness can make the disk misbehave on demand without touching
+//! the filesystem: `store.open` fails [`PlanStore::open`] with a typed
+//! I/O error, `store.read` fails [`PlanStore::get`] as if the record were
+//! corrupt, and `store.write` makes the flusher drop the append (counted
+//! in [`StoreStats::dropped_writes`], exactly like a real short write).
+//! Disarmed points cost one relaxed atomic load.
 
+use rtpl_sparse::failpoint;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -224,6 +235,11 @@ impl PlanStore {
     /// the caller runs storeless, it does not panic and the file is left
     /// untouched for inspection.
     pub fn open(path: impl AsRef<Path>) -> Result<PlanStore, StoreError> {
+        if failpoint::should_fail("store.open") {
+            return Err(StoreError::Io(std::io::Error::other(
+                "injected failure (fail point store.open)",
+            )));
+        }
         let path = path.as_ref().to_path_buf();
         let mut file = OpenOptions::new()
             .read(true)
@@ -365,6 +381,12 @@ impl PlanStore {
             Some(e) => *e,
             None => return Ok(None),
         };
+        if failpoint::should_fail("store.read") {
+            return Err(StoreError::Corrupt {
+                offset: entry.offset,
+                detail: "injected failure (fail point store.read)".into(),
+            });
+        }
         let mut buf = vec![0u8; entry.len as usize];
         {
             let mut f = self.shared.reader.lock().unwrap();
@@ -547,6 +569,10 @@ fn encode_record(rec: &mut Vec<u8>, kind: u8, key: u128, seq: u64, checksum: u64
 /// partial record never becomes a permanent mid-file hole, counts a
 /// dropped write, and reports `false`.
 fn append(file: &mut File, rec: &[u8], offset: &mut u64, shared: &Shared) -> bool {
+    if failpoint::should_fail("store.write") {
+        shared.dropped_writes.fetch_add(1, Ordering::Relaxed);
+        return false;
+    }
     if file.write_all(rec).is_ok() {
         *offset += rec.len() as u64;
         true

@@ -1,0 +1,62 @@
+//! Fail-point injection at the store's I/O seams: every injected disk
+//! failure surfaces as the same typed degradation a real one would, and
+//! clearing the point heals the store without a restart.
+//!
+//! One test function on purpose: fail points are process-global, so
+//! arming `store.*` from parallel tests would fault each other's stores.
+
+use rtpl_sparse::failpoint;
+use rtpl_store::{PlanStore, StoreError};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("rtpl_store_fp_{}_{}", std::process::id(), name));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+#[test]
+fn injected_io_failures_degrade_typed_and_heal_on_clear() {
+    let path = tmp("seams");
+    let trips_before = failpoint::trips();
+
+    // store.open: the caller runs storeless — a typed error, no panic,
+    // no file created or damaged.
+    failpoint::configure("store.open", failpoint::Mode::Times(1));
+    assert!(matches!(PlanStore::open(&path), Err(StoreError::Io(_))));
+    assert!(!path.exists(), "injected open failure touches nothing");
+
+    // The budget is spent: the very next open succeeds (self-heal).
+    let store = PlanStore::open(&path).unwrap();
+    assert!(store.put(7, vec![1, 2, 3]));
+    store.flush();
+
+    // store.read: a hit degrades to the corrupt-record path; the entry
+    // itself is fine once the point clears.
+    failpoint::configure("store.read", failpoint::Mode::Times(1));
+    assert!(matches!(store.get(7), Err(StoreError::Corrupt { .. })));
+    assert_eq!(store.get(7).unwrap(), Some(vec![1, 2, 3]));
+
+    // store.write: the flusher drops the append exactly like a short
+    // write — counted, invisible to the index — then recovers.
+    failpoint::configure("store.write", failpoint::Mode::Times(1));
+    assert!(store.put(8, vec![4; 16]), "enqueue itself still succeeds");
+    store.flush();
+    assert_eq!(store.stats().dropped_writes, 1);
+    assert!(!store.contains(8), "dropped append never becomes visible");
+    assert!(store.put(8, vec![5; 16]));
+    store.flush();
+    assert_eq!(store.get(8).unwrap(), Some(vec![5; 16]));
+
+    // Every fire was counted for metrics.
+    assert_eq!(failpoint::trips() - trips_before, 3);
+    failpoint::clear_all();
+
+    // A reopen sees exactly the surviving records.
+    drop(store);
+    let store = PlanStore::open(&path).unwrap();
+    assert_eq!(store.len(), 2);
+    assert_eq!(store.get(7).unwrap(), Some(vec![1, 2, 3]));
+    let _ = std::fs::remove_file(&path);
+}

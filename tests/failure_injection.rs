@@ -109,22 +109,25 @@ fn panicking_body_fails_self_scheduling() {
     assert!(r.is_err());
 }
 
-/// The pool survives a panicking job and stays usable.
+/// The pool survives a panicking job — reported as a typed error, not an
+/// unwind through the coordinator — and stays usable.
 #[test]
 fn pool_reusable_after_panic() {
     let pool = WorkerPool::new(3);
-    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        pool.run(&|id| {
+    let err = pool
+        .run(&|id| {
             assert!(id != 1, "one worker dies");
-        });
-    }));
-    assert!(r.is_err());
+        })
+        .unwrap_err();
+    assert_eq!(err.panicked, 1);
+    assert!(pool.is_healthy());
     // Next job runs normally.
     use std::sync::atomic::{AtomicUsize, Ordering};
     let count = AtomicUsize::new(0);
     pool.run(&|_| {
         count.fetch_add(1, Ordering::Relaxed);
-    });
+    })
+    .unwrap();
     assert_eq!(count.load(Ordering::Relaxed), 3);
 }
 
