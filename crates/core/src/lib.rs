@@ -124,6 +124,7 @@
 //! | [`runtime`] | solver service: `Job` front door (single + batched), plan cache, adaptive policy |
 //! | [`server`] | TCP front door: binary wire protocol, admission control, batched dispatch, metrics |
 //! | [`store`] | persistent plan store: versioned artifact codec, write-behind spill, warm restart |
+//! | [`verify`] | static plan/schedule verifier, compiled-layout audit, vector-clock race oracle |
 //! | [`sim`] | multiprocessor performance model (event + closed form) |
 //! | [`workload`] | the paper's test problems and synthetic generator |
 
@@ -148,6 +149,7 @@ pub use rtpl_server as server;
 pub use rtpl_sim as sim;
 pub use rtpl_sparse as sparse;
 pub use rtpl_store as store;
+pub use rtpl_verify as verify;
 pub use rtpl_workload as workload;
 
 pub use rtpl_sparse::failpoint;

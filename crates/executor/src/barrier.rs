@@ -19,6 +19,10 @@ pub struct SpinBarrier {
     generation: AtomicUsize,
     poisoned: AtomicBool,
     n: usize,
+    /// Process-unique id so the `verify-trace` replayer can tell distinct
+    /// barriers apart (allocated unconditionally; one relaxed counter bump
+    /// per barrier *construction*, nothing on the wait path).
+    id: u32,
 }
 
 impl SpinBarrier {
@@ -30,6 +34,7 @@ impl SpinBarrier {
             generation: AtomicUsize::new(0),
             poisoned: AtomicBool::new(false),
             n,
+            id: crate::trace::next_barrier_id(),
         }
     }
 
@@ -37,6 +42,12 @@ impl SpinBarrier {
     #[inline]
     pub fn participants(&self) -> usize {
         self.n
+    }
+
+    /// The process-unique id of this barrier (see [`crate::trace`]).
+    #[inline]
+    pub fn id(&self) -> u32 {
+        self.id
     }
 
     /// Marks the barrier poisoned: a participant died and will never
@@ -57,6 +68,11 @@ impl SpinBarrier {
     /// poisoned while waiting.
     pub fn wait(&self) -> bool {
         let gen = self.generation.load(Ordering::Acquire);
+        // Recorded before the arrival fetch_add: every arrival of this
+        // generation is logged before any participant's post-release event
+        // (see `crate::trace`).
+        #[cfg(feature = "verify-trace")]
+        crate::trace::record_barrier_arrival(self.id, gen);
         let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
         if arrived == self.n {
             self.count.store(0, Ordering::Relaxed);

@@ -217,6 +217,46 @@ pub struct CompiledPlan {
     full_barriers: BarrierPlan,
 }
 
+/// Borrowed read-only view of a [`CompiledPlan`]'s layout arrays, produced
+/// by [`CompiledPlan::layout`] for external verification. Field meanings
+/// match the `CompiledPlan` fields of the same name.
+#[derive(Debug, Clone, Copy)]
+pub struct LayoutView<'a> {
+    /// Trip count.
+    pub n: usize,
+    /// Processor count the layout targets.
+    pub nprocs: usize,
+    /// Phase count (`schedule.num_phases()` at compile time).
+    pub num_phases: usize,
+    /// Expected caller value-array length.
+    pub nvals: usize,
+    /// Whether the plan space preserves natural order (doacross-eligible).
+    pub forward: bool,
+    /// Positions `proc_ptr[p]..proc_ptr[p+1]` belong to processor `p`.
+    pub proc_ptr: &'a [usize],
+    /// `phase_ptr[p * (num_phases + 1) + w]` — absolute position where
+    /// processor `p`'s phase `w` begins.
+    pub phase_ptr: &'a [usize],
+    /// Plan-space index published by each position.
+    pub target: &'a [u32],
+    /// Caller rhs gather index of each position.
+    pub rhs: &'a [u32],
+    /// Operand slice `ops[op_ptr[t]..op_ptr[t+1]]` of each position.
+    pub op_ptr: &'a [usize],
+    /// Plan-space operand indices, layout order.
+    pub ops: &'a [u32],
+    /// Caller value-array gather map, layout order.
+    pub val_src: &'a [u32],
+    /// Reciprocal scale sources by position (`None` → scale is 1.0).
+    pub recip_src: Option<&'a [u32]>,
+    /// Position executing plan-space row `i`.
+    pub pos_of_row: &'a [u32],
+    /// Caller output index of plan-space row `i`.
+    pub out_map: &'a [u32],
+    /// The (possibly elided) barrier plan the layout runs under.
+    pub barriers: &'a BarrierPlan,
+}
+
 /// The mutable half of a compiled execution: the epoch-stamped shared
 /// vector, per-processor iteration counters, the gathered operand values
 /// and scales, and the sequential work buffer. Lease one per concurrent
@@ -391,6 +431,32 @@ impl CompiledPlan {
     /// A fresh scratch sized for this plan.
     pub fn scratch(&self) -> RunScratch {
         RunScratch::new(self)
+    }
+
+    /// Read-only view of every internal layout array, for external auditing
+    /// (the `rtpl-verify` plan verifier re-proves layout soundness on plans
+    /// decoded from untrusted bytes). Nothing here is needed to *run* a
+    /// plan; it exposes representation, not behavior, so treat the field
+    /// set as unstable.
+    pub fn layout(&self) -> LayoutView<'_> {
+        LayoutView {
+            n: self.n,
+            nprocs: self.nprocs,
+            num_phases: self.num_phases,
+            nvals: self.nvals,
+            forward: self.forward,
+            proc_ptr: &self.proc_ptr,
+            phase_ptr: &self.phase_ptr,
+            target: &self.target,
+            rhs: &self.rhs,
+            op_ptr: &self.op_ptr,
+            ops: &self.ops,
+            val_src: &self.val_src,
+            recip_src: self.recip_src.as_deref(),
+            pos_of_row: &self.pos_of_row,
+            out_map: &self.out_map,
+            barriers: &self.barriers,
+        }
     }
 
     /// Gathers the caller's numeric values into `scratch` in layout order

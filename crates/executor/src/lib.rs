@@ -71,6 +71,8 @@
 //! [`Schedule`]: rtpl_inspector::Schedule
 //! [`BarrierPlan`]: rtpl_inspector::BarrierPlan
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod barrier;
 pub mod cancel;
 pub mod compiled;
@@ -84,10 +86,11 @@ pub mod rows;
 pub mod selfexec;
 pub mod selfsched;
 pub mod shared;
+pub mod trace;
 
 pub use barrier::SpinBarrier;
 pub use cancel::{CancelToken, ExecError};
-pub use compiled::{CompiledError, CompiledPlan, CompiledSpec, RunScratch};
+pub use compiled::{CompiledError, CompiledPlan, CompiledSpec, LayoutView, RunScratch};
 pub use doacross::doacross;
 pub use doall::{doall, doall_blocked, doall_reduce};
 pub use planned::{ExecPolicy, LoopScratch, PlannedLoop};

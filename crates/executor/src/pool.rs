@@ -184,6 +184,10 @@ fn worker_loop(inner: &Inner, id: usize) {
             seen_epoch = st.epoch;
             st.job.expect("woken without a job")
         };
+        // Tag this thread with its processor id so shared-memory accesses
+        // made inside the job can be attributed by the race oracle.
+        #[cfg(feature = "verify-trace")]
+        let _trace_proc = crate::trace::enter_proc(id);
         // SAFETY: `WorkerPool::run` keeps the closure alive until every
         // worker has decremented `remaining`, which happens strictly after
         // this call returns. The catch_unwind keeps a panicking job from

@@ -45,9 +45,9 @@ impl<'a> SharedRows<'a> {
     pub fn new(data: &'a mut [f64], indptr: &'a [usize]) -> Self {
         let nrows = indptr.len() - 1;
         assert_eq!(indptr[nrows], data.len(), "indptr must cover data exactly");
-        // Transmuting &mut [f64] to &[UnsafeCell<f64>] is sound: UnsafeCell
-        // has the same layout as its contents, and the unique borrow is held
-        // for 'a.
+        // SAFETY: transmuting &mut [f64] to &[UnsafeCell<f64>] is sound —
+        // UnsafeCell has the same layout as its contents, and the unique
+        // borrow is held for 'a.
         let cells = unsafe { &*(data as *mut [f64] as *const [UnsafeCell<f64>]) };
         SharedRows {
             data: cells,
@@ -103,12 +103,14 @@ impl<'a> SharedRows<'a> {
             std::hint::spin_loop();
             std::thread::yield_now();
         }
+        // SAFETY: the loop above observed PUBLISHED with Acquire.
         (unsafe { self.row_unchecked(i) }, spins)
     }
 
     /// Row `i` if already published.
     pub fn try_row(&self, i: usize) -> Option<&[f64]> {
         if self.state[i].load(Ordering::Acquire) == PUBLISHED {
+            // SAFETY: PUBLISHED was observed with Acquire just above.
             Some(unsafe { self.row_unchecked(i) })
         } else {
             None
@@ -120,6 +122,10 @@ impl<'a> SharedRows<'a> {
         self.state[i].load(Ordering::Acquire) == PUBLISHED
     }
 
+    /// # Safety
+    /// The caller must have observed row `i` in the `PUBLISHED` state with
+    /// an `Acquire` load (or otherwise hold unique access, as the write
+    /// guard does) — no `&mut` to the row may exist.
     unsafe fn row_unchecked(&self, i: usize) -> &[f64] {
         let (lo, hi) = (self.indptr[i], self.indptr[i + 1]);
         // SAFETY: caller observed PUBLISHED with Acquire; no writer exists.
@@ -152,6 +158,8 @@ impl RowWriteGuard<'_, '_> {
 impl std::ops::Deref for RowWriteGuard<'_, '_> {
     type Target = [f64];
     fn deref(&self) -> &[f64] {
+        // SAFETY: the CLAIMED state makes this guard the row's unique
+        // accessor, and `&self` forbids a live `&mut` from `deref_mut`.
         unsafe { self.rows.row_unchecked(self.i) }
     }
 }
@@ -193,6 +201,8 @@ unsafe impl Sync for DisjointSlice<'_> {}
 impl<'a> DisjointSlice<'a> {
     /// Wraps a uniquely borrowed slice.
     pub fn new(data: &'a mut [f64]) -> Self {
+        // SAFETY: UnsafeCell<f64> has the same layout as f64, and the
+        // unique borrow of `data` is held for 'a.
         let cells = unsafe { &*(data as *mut [f64] as *const [UnsafeCell<f64>]) };
         DisjointSlice { data: cells }
     }
@@ -214,6 +224,8 @@ impl<'a> DisjointSlice<'a> {
     /// must be written by at most one worker during a parallel section).
     #[inline]
     pub unsafe fn write(&self, i: usize, v: f64) {
+        // SAFETY: the caller's contract (above) makes this thread the
+        // unique accessor of position `i`.
         unsafe { *self.data[i].get() = v };
     }
 
@@ -229,6 +241,9 @@ impl<'a> DisjointSlice<'a> {
     #[inline]
     pub unsafe fn range_mut(&self, lo: usize, hi: usize) -> &mut [f64] {
         debug_assert!(lo <= hi && hi <= self.data.len());
+        // SAFETY: the caller's disjointness contract (above) makes this
+        // range exclusively ours; bounds are checked by the debug_assert
+        // and by the UnsafeCell slice length.
         unsafe {
             std::slice::from_raw_parts_mut(UnsafeCell::raw_get(self.data.as_ptr().add(lo)), hi - lo)
         }

@@ -111,6 +111,10 @@ impl SharedVec {
     /// first, then the Release flag store (Figure 4 lines 3b/3c).
     #[inline]
     pub fn publish_at(&self, i: usize, v: f64, epoch: u32) {
+        // Recorded before the stores: a reader that observed the flag logs
+        // its read strictly after this event (see `crate::trace`).
+        #[cfg(feature = "verify-trace")]
+        crate::trace::record_write(i, epoch);
         self.vals[i].store(v.to_bits(), Ordering::Relaxed);
         self.flags[i].store(epoch, Ordering::Release);
     }
@@ -144,6 +148,8 @@ impl SharedVec {
             std::hint::spin_loop();
             std::thread::yield_now();
         }
+        #[cfg(feature = "verify-trace")]
+        crate::trace::record_read_acquire(i, epoch);
         (f64::from_bits(self.vals[i].load(Ordering::Relaxed)), spins)
     }
 
@@ -159,6 +165,8 @@ impl SharedVec {
     #[inline]
     pub fn get_published_at(&self, i: usize, epoch: u32) -> f64 {
         debug_assert!(self.is_ready_at(i, epoch), "read of unpublished index {i}");
+        #[cfg(feature = "verify-trace")]
+        crate::trace::record_read_plain(i, epoch);
         f64::from_bits(self.vals[i].load(Ordering::Relaxed))
     }
 

@@ -15,6 +15,8 @@
 //! * [`solvers`] — preconditioned CG (symmetric problems) and restarted
 //!   GMRES(m) (the convection-dominated Appendix-I problems).
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod factor;
 pub mod parvec;
 pub mod precond;

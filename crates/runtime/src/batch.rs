@@ -424,7 +424,7 @@ impl Runtime {
         BatchOutcome {
             jobs: slots
                 .into_iter()
-                .map(|s| s.expect("every submitted job produces exactly one outcome"))
+                .map(|s| s.expect("invariant: every submitted job produces exactly one outcome"))
                 .collect(),
             wall: t0.elapsed(),
             groups: ngroups,

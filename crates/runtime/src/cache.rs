@@ -71,9 +71,9 @@ impl<V> Slot<V> {
     pub fn get(&self) -> &V {
         self.value
             .get()
-            .expect("slot handed out before construction finished")
+            .expect("invariant: slot handed out before construction finished")
             .as_ref()
-            .expect("slot handed out in error state")
+            .expect("invariant: slot handed out in error state")
     }
 
     /// How many lookups were served by this entry after its insertion.

@@ -130,13 +130,17 @@ impl<T> std::ops::Deref for Lease<'_, T> {
     type Target = T;
 
     fn deref(&self) -> &T {
-        self.value.as_ref().expect("lease holds a value until drop")
+        self.value
+            .as_ref()
+            .expect("invariant: lease holds a value until drop")
     }
 }
 
 impl<T> std::ops::DerefMut for Lease<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.value.as_mut().expect("lease holds a value until drop")
+        self.value
+            .as_mut()
+            .expect("invariant: lease holds a value until drop")
     }
 }
 

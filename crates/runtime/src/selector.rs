@@ -29,7 +29,7 @@ pub const ARMS: [ExecutorKind; 5] = ExecutorKind::ALL;
 pub fn arm_index(kind: ExecutorKind) -> usize {
     ARMS.iter()
         .position(|&k| k == kind)
-        .expect("every ExecutorKind is an arm")
+        .expect("invariant: every ExecutorKind is an arm")
 }
 
 /// Explore any unmeasured arm whose predicted time is within this factor
@@ -236,7 +236,9 @@ impl AdaptiveState {
             return ARMS[k];
         }
         // The exploration phase always measures at least one arm first.
-        let best = self.incumbent().expect("explore phase measured an arm");
+        let best = self
+            .incumbent()
+            .expect("invariant: explore phase measured an arm");
         if self.total >= REEXPLORE_EVERY
             && self.total.is_multiple_of(REEXPLORE_EVERY)
             && self.challenged_at != self.total

@@ -16,6 +16,7 @@ use rtpl_sparse::ilu::IluFactors;
 use rtpl_sparse::wire::{WireError, WireReader, WireWriter};
 use rtpl_sparse::{Csr, PatternFingerprint};
 use rtpl_store::PlanStore;
+use rtpl_verify::VerifyError;
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -66,6 +67,17 @@ pub struct RuntimeConfig {
     pub breaker_threshold: u32,
     /// How long an open circuit rejects before admitting a probe.
     pub breaker_cooldown: Duration,
+    /// Run the [`rtpl_verify`] plan verifier over every freshly built
+    /// plan (schedules, barrier plans, compiled layouts) before caching
+    /// it. A failed proof aborts the build with a typed
+    /// `InvalidStructure` error naming the violated edge and counts in
+    /// [`RuntimeStats::verify_failures`]. Defaults to **on in debug
+    /// builds, off in release** — verification is a build-time cost only
+    /// (never on the warm solve path), but cold inspection is already the
+    /// expensive path and release deployments usually prefer the
+    /// throughput. Plans decoded from the persistent store are untrusted
+    /// disk input and are **always** verified, regardless of this flag.
+    pub verify_plans: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -84,6 +96,7 @@ impl Default for RuntimeConfig {
             store_path: None,
             breaker_threshold: 8,
             breaker_cooldown: Duration::from_millis(100),
+            verify_plans: cfg!(debug_assertions),
         }
     }
 }
@@ -144,6 +157,15 @@ pub struct RuntimeStats {
     /// Leased worker pools found dead (a worker thread gone) and replaced
     /// with fresh ones.
     pub pool_rebuilds: u64,
+    /// Plans proven safe by the [`rtpl_verify`] plan verifier: every
+    /// store-decoded artifact (always checked) plus, when
+    /// [`RuntimeConfig::verify_plans`] is on, every cold build.
+    pub verified_plans: u64,
+    /// Plans the verifier rejected. A rejected store artifact is also a
+    /// [`RuntimeStats::store_load_errors`] entry and falls back to cold
+    /// inspection; a rejected cold build fails the request with a typed
+    /// `InvalidStructure` error naming the violated invariant.
+    pub verify_failures: u64,
 }
 
 impl RuntimeStats {
@@ -156,7 +178,7 @@ impl RuntimeStats {
     pub fn dominant_policy(&self) -> ExecutorKind {
         ARMS[(0..ARMS.len())
             .max_by_key(|&k| self.policy_runs[k])
-            .expect("ARMS is non-empty")]
+            .expect("invariant: ARMS is non-empty")]
     }
 
     /// Renders the counters as plaintext `name value` lines — the format
@@ -194,6 +216,8 @@ impl RuntimeStats {
         line("deadline_expired", self.deadline_expired);
         line("circuit_open", self.circuit_open);
         line("pool_rebuilds", self.pool_rebuilds);
+        line("verified_plans", self.verified_plans);
+        line("verify_failures", self.verify_failures);
         for (k, kind) in ARMS.iter().enumerate() {
             line(
                 &format!("policy_runs_{}", format!("{kind:?}").to_lowercase()),
@@ -290,6 +314,8 @@ pub struct Runtime {
     pub(crate) body_panics: AtomicU64,
     pub(crate) deadline_expired: AtomicU64,
     pub(crate) circuit_open: AtomicU64,
+    pub(crate) verified_plans: AtomicU64,
+    pub(crate) verify_failures: AtomicU64,
     /// Per-pattern consecutive-failure accounting for the circuit breaker
     /// (bounded; see [`BREAKER_CAPACITY`]).
     pub(crate) breaker: Mutex<HashMap<u128, BreakerState>>,
@@ -362,6 +388,8 @@ impl Runtime {
             body_panics: AtomicU64::new(0),
             deadline_expired: AtomicU64::new(0),
             circuit_open: AtomicU64::new(0),
+            verified_plans: AtomicU64::new(0),
+            verify_failures: AtomicU64::new(0),
             breaker: Mutex::new(HashMap::new()),
             cfg,
         }
@@ -528,11 +556,33 @@ impl Runtime {
         for k in 0..ARMS.len() {
             prior[k] = pl[k] + pu[k];
         }
+        let compiled = plan.compile()?;
+        if self.cfg.verify_plans {
+            self.verify_or_reject(rtpl_verify::verify_tri_solve(&compiled))?;
+        }
         Ok(SolveEntry {
-            compiled: plan.compile()?,
+            compiled,
             adaptive: Mutex::new(AdaptiveState::new(prior)),
             scratches: LeasePool::new(),
         })
+    }
+
+    /// Folds one plan-verification verdict into the counters, mapping a
+    /// rejection onto a typed structural error. Every call site sits on a
+    /// build or decode path — never on the warm run path.
+    fn verify_or_reject(&self, r: std::result::Result<(), VerifyError>) -> Result<()> {
+        match r {
+            Ok(()) => {
+                self.verified_plans.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.verify_failures.fetch_add(1, Ordering::Relaxed);
+                Err(crate::RuntimeError::Sparse(
+                    rtpl_sparse::SparseError::InvalidStructure(format!("plan verification: {e}")),
+                ))
+            }
+        }
     }
 
     /// Consults the persistent store for `key`. `None` means "pay the cold
@@ -630,6 +680,14 @@ impl Runtime {
                 self.cfg.nprocs
             )));
         }
+        // Disk input is untrusted: prove the decoded plan safe before it
+        // can reach the cache, regardless of `cfg.verify_plans`. A mutant
+        // artifact costs one counted load error and a cold fallback.
+        if let Err(e) = rtpl_verify::verify_tri_solve(&compiled) {
+            self.verify_failures.fetch_add(1, Ordering::Relaxed);
+            return Err(WireError::Invalid(format!("plan verification: {e}")));
+        }
+        self.verified_plans.fetch_add(1, Ordering::Relaxed);
         let cost = self.selector.cost_model();
         let same_context = stored_cost[0].to_bits() == cost.tp.to_bits()
             && stored_cost[1].to_bits() == cost.tsynch.to_bits()
@@ -669,6 +727,13 @@ impl Runtime {
         let wf = Wavefronts::compute(&g)?;
         let schedule = self.build_schedule(&wf, g.n())?;
         let plan = PlannedLoop::new(g, schedule)?;
+        if self.cfg.verify_plans {
+            self.verify_or_reject(rtpl_verify::verify_plan(
+                plan.graph(),
+                plan.schedule(),
+                plan.barrier_plan(),
+            ))?;
+        }
         let prior = self.selector.predict(&plan);
         Ok(LoopEntry {
             plan,
@@ -688,6 +753,9 @@ impl Runtime {
         let prior = self.selector.predict(&plan);
         let cspec = rtpl_executor::compiled::CompiledSpec::linear_from_graph(plan.graph());
         let compiled = CompiledPlan::compile(&plan, &cspec).map_err(map_compiled)?;
+        if self.cfg.verify_plans {
+            self.verify_or_reject(rtpl_verify::verify_linear(&plan, &compiled))?;
+        }
         Ok(LinearEntry {
             compiled,
             adaptive: Mutex::new(AdaptiveState::new(prior)),
@@ -1075,6 +1143,8 @@ impl Runtime {
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             circuit_open: self.circuit_open.load(Ordering::Relaxed),
             pool_rebuilds: self.pools.rebuilds(),
+            verified_plans: self.verified_plans.load(Ordering::Relaxed),
+            verify_failures: self.verify_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -1115,6 +1185,9 @@ impl Precondition for CachedIlu<'_> {
         // The runtime leases its own pools (sized to its plans); the
         // solver's pool keeps doing the doall kernels. Applications enter
         // through the unified Job front door, like every other request.
+        // PANIC: `Precondition::apply` has no error channel; the factors
+        // were accepted when this preconditioner was built, so a failure
+        // here is unrecoverable mid-iteration.
         self.runtime
             .submit(crate::Job::<crate::NoBody>::solve(self.factors, r, z))
             .expect("cached ILU application failed");
@@ -1214,6 +1287,7 @@ mod tests {
             "rtpl_deadline_expired 0",
             "rtpl_circuit_open 0",
             "rtpl_pool_rebuilds 0",
+            "rtpl_verify_failures 0",
             "rtpl_policy_runs_sequential",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");

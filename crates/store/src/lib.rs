@@ -198,7 +198,11 @@ fn checksum(bytes: &[u8]) -> u64 {
     let mut blocks = bytes.chunks_exact(32);
     for blk in &mut blocks {
         for (k, lane) in lanes.iter_mut().enumerate() {
-            let word = u64::from_le_bytes(blk[k * 8..k * 8 + 8].try_into().unwrap());
+            let word = u64::from_le_bytes(
+                blk[k * 8..k * 8 + 8]
+                    .try_into()
+                    .expect("invariant: chunks_exact(32) yields 8-byte lanes"),
+            );
             *lane = (*lane ^ word).wrapping_mul(PRIME);
         }
     }
@@ -208,7 +212,11 @@ fn checksum(bytes: &[u8]) -> u64 {
     }
     let mut words = blocks.remainder().chunks_exact(8);
     for c in &mut words {
-        h = (h ^ u64::from_le_bytes(c.try_into().unwrap())).wrapping_mul(PRIME);
+        h = (h ^ u64::from_le_bytes(
+            c.try_into()
+                .expect("invariant: chunks_exact(8) yields 8-byte words"),
+        ))
+        .wrapping_mul(PRIME);
     }
     let rem = words.remainder();
     let mut tail = [0u8; 8];
@@ -218,11 +226,19 @@ fn checksum(bytes: &[u8]) -> u64 {
 }
 
 fn le_u32(b: &[u8]) -> u32 {
-    u32::from_le_bytes(b[..4].try_into().unwrap())
+    u32::from_le_bytes(
+        b[..4]
+            .try_into()
+            .expect("invariant: caller sliced at least 4 bytes"),
+    )
 }
 
 fn le_u64(b: &[u8]) -> u64 {
-    u64::from_le_bytes(b[..8].try_into().unwrap())
+    u64::from_le_bytes(
+        b[..8]
+            .try_into()
+            .expect("invariant: caller sliced at least 8 bytes"),
+    )
 }
 
 impl PlanStore {
@@ -362,7 +378,12 @@ impl PlanStore {
     }
 
     fn send(&self, msg: Msg) -> bool {
-        match self.tx.as_ref().expect("flusher alive").try_send(msg) {
+        match self
+            .tx
+            .as_ref()
+            .expect("invariant: flusher channel lives until drop")
+            .try_send(msg)
+        {
             Ok(()) => true,
             Err(_) => {
                 self.shared.dropped_writes.fetch_add(1, Ordering::Relaxed);
@@ -377,7 +398,13 @@ impl PlanStore {
     /// treat both as "inspect cold", only the second is worth counting as
     /// a load error.
     pub fn get(&self, key: u128) -> Result<Option<Vec<u8>>, StoreError> {
-        let entry = match self.shared.index.lock().unwrap().get(&key) {
+        let entry = match self
+            .shared
+            .index
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
             Some(e) => *e,
             None => return Ok(None),
         };
@@ -389,7 +416,7 @@ impl PlanStore {
         }
         let mut buf = vec![0u8; entry.len as usize];
         {
-            let mut f = self.shared.reader.lock().unwrap();
+            let mut f = self.shared.reader.lock().unwrap_or_else(|e| e.into_inner());
             f.seek(SeekFrom::Start(entry.offset))?;
             f.read_exact(&mut buf).map_err(|e| {
                 if e.kind() == std::io::ErrorKind::UnexpectedEof {
@@ -413,12 +440,20 @@ impl PlanStore {
 
     /// Whether the store holds an artifact for `key`.
     pub fn contains(&self, key: u128) -> bool {
-        self.shared.index.lock().unwrap().contains_key(&key)
+        self.shared
+            .index
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .contains_key(&key)
     }
 
     /// Distinct keys currently indexed.
     pub fn len(&self) -> usize {
-        self.shared.index.lock().unwrap().len()
+        self.shared
+            .index
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
     }
 
     /// True when no artifacts are indexed.
@@ -434,7 +469,7 @@ impl PlanStore {
             .shared
             .index
             .lock()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|(&k, e)| (e.last_seq, e.hits, k))
             .collect();
@@ -447,7 +482,7 @@ impl PlanStore {
         self.shared
             .index
             .lock()
-            .unwrap()
+            .unwrap_or_else(|e| e.into_inner())
             .get(&key)
             .map(|e| (e.hits, e.last_seq))
     }
@@ -460,7 +495,7 @@ impl PlanStore {
         if self
             .tx
             .as_ref()
-            .expect("flusher alive")
+            .expect("invariant: flusher channel lives until drop")
             .send(Msg::Flush(ack_tx))
             .is_ok()
         {
@@ -515,16 +550,20 @@ fn flusher_loop(mut file: File, rx: Receiver<Msg>, shared: &Shared, mut seq: u64
                 let checksum = checksum(&payload);
                 encode_record(&mut rec, REC_PLAN, key, seq, checksum, &payload);
                 if append(&mut file, &rec, &mut offset, shared) {
-                    shared.index.lock().unwrap().insert(
-                        key,
-                        IndexEntry {
-                            offset: offset - payload.len() as u64,
-                            len: payload.len() as u32,
-                            checksum,
-                            hits: 0,
-                            last_seq: seq,
-                        },
-                    );
+                    shared
+                        .index
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(
+                            key,
+                            IndexEntry {
+                                offset: offset - payload.len() as u64,
+                                len: payload.len() as u32,
+                                checksum,
+                                hits: 0,
+                                last_seq: seq,
+                            },
+                        );
                     shared.puts.fetch_add(1, Ordering::Relaxed);
                     seq += 1;
                 }
@@ -532,12 +571,22 @@ fn flusher_loop(mut file: File, rx: Receiver<Msg>, shared: &Shared, mut seq: u64
             Msg::Touch { key } => {
                 // Touches for keys we don't hold would bloat the file with
                 // records the scanner can never apply.
-                if !shared.index.lock().unwrap().contains_key(&key) {
+                if !shared
+                    .index
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .contains_key(&key)
+                {
                     continue;
                 }
                 encode_record(&mut rec, REC_TOUCH, key, seq, 0, &[]);
                 if append(&mut file, &rec, &mut offset, shared) {
-                    if let Some(e) = shared.index.lock().unwrap().get_mut(&key) {
+                    if let Some(e) = shared
+                        .index
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .get_mut(&key)
+                    {
                         e.hits += 1;
                         e.last_seq = seq;
                     }

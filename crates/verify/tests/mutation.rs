@@ -1,0 +1,277 @@
+//! Seeded-mutant coverage of the plan verifier.
+//!
+//! Each test takes one *real*, verifier-accepted compiled plan, corrupts
+//! it the way disk rot or a buggy writer would — through the public wire
+//! codec, never through private fields — and asserts the defense stack
+//! rejects it at the right layer with the right typed error:
+//!
+//! * mutants that break shape or bounds die in [`CompiledPlan::decode`]
+//!   (the cheap layer);
+//! * mutants that keep every array well-formed but break an *ordering*
+//!   invariant (the expensive, deliberately-not-re-proved kind) must be
+//!   caught by [`rtpl_verify::verify_linear`].
+
+use rtpl_executor::compiled::{CompiledPlan, CompiledSpec};
+use rtpl_executor::PlannedLoop;
+use rtpl_inspector::{DepGraph, Partition, Schedule, Wavefronts};
+use rtpl_sparse::wire::{WireReader, WireWriter};
+use rtpl_verify::{verify_linear, VerifyError};
+
+/// A chain: row `i` depends on row `i - 1`. Under a striped 2-processor
+/// schedule every edge crosses processors and every phase boundary must
+/// keep its barrier — the hardest case for elision soundness.
+fn chain_plan(n: usize) -> (PlannedLoop, CompiledPlan) {
+    let g = DepGraph::from_fn(n, |i| if i == 0 { vec![] } else { vec![i as u32 - 1] }).unwrap();
+    let wf = Wavefronts::compute(&g).unwrap();
+    let schedule = Schedule::local(&wf, &Partition::striped(n, 2).unwrap()).unwrap();
+    let plan = PlannedLoop::new(g, schedule).unwrap();
+    let spec = CompiledSpec::linear_from_graph(plan.graph());
+    let compiled = CompiledPlan::compile(&plan, &spec).unwrap();
+    verify_linear(&plan, &compiled).expect("the unmutated plan must verify");
+    (plan, compiled)
+}
+
+/// Test-side mirror of the compiled-layout wire record, decoded field by
+/// field with the public reader so a test can corrupt one array and
+/// re-emit bytes that are valid *wire* (every mutation below survives the
+/// codec's framing; whether it survives decode's bounds checks is the
+/// point of each test).
+#[derive(Clone)]
+struct Raw {
+    n: u64,
+    nprocs: u64,
+    num_phases: u64,
+    nvals: u64,
+    forward: u8,
+    proc_ptr: Vec<usize>,
+    phase_ptr: Vec<usize>,
+    target: Vec<u32>,
+    rhs: Vec<u32>,
+    op_ptr: Vec<usize>,
+    ops: Vec<u32>,
+    val_src: Vec<u32>,
+    recip_src: Option<Vec<u32>>,
+    pos_of_row: Vec<u32>,
+    out_map: Vec<u32>,
+    keep: Vec<u8>,
+}
+
+impl Raw {
+    fn of(compiled: &CompiledPlan) -> Raw {
+        let mut w = WireWriter::new();
+        compiled.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        let raw = Raw {
+            n: r.u64().unwrap(),
+            nprocs: r.u64().unwrap(),
+            num_phases: r.u64().unwrap(),
+            nvals: r.u64().unwrap(),
+            forward: r.u8().unwrap(),
+            proc_ptr: r.usizes32().unwrap(),
+            phase_ptr: r.usizes32().unwrap(),
+            target: r.u32s().unwrap(),
+            rhs: r.u32s().unwrap(),
+            op_ptr: r.usizes32().unwrap(),
+            ops: r.u32s().unwrap(),
+            val_src: r.u32s().unwrap(),
+            recip_src: match r.u8().unwrap() {
+                0 => None,
+                _ => Some(r.u32s().unwrap()),
+            },
+            pos_of_row: r.u32s().unwrap(),
+            out_map: r.u32s().unwrap(),
+            keep: r.u8s().unwrap(),
+        };
+        r.finish().unwrap();
+        raw
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.put_u64(self.n);
+        w.put_u64(self.nprocs);
+        w.put_u64(self.num_phases);
+        w.put_u64(self.nvals);
+        w.put_u8(self.forward);
+        w.put_usizes32(&self.proc_ptr);
+        w.put_usizes32(&self.phase_ptr);
+        w.put_u32s(&self.target);
+        w.put_u32s(&self.rhs);
+        w.put_usizes32(&self.op_ptr);
+        w.put_u32s(&self.ops);
+        w.put_u32s(&self.val_src);
+        match &self.recip_src {
+            Some(rs) => {
+                w.put_u8(1);
+                w.put_u32s(rs);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_u32s(&self.pos_of_row);
+        w.put_u32s(&self.out_map);
+        w.put_u8s(&self.keep);
+        w.into_bytes()
+    }
+
+    /// Position of `row` in the layout, and its operand range.
+    fn ops_of_row(&self, row: usize) -> std::ops::Range<usize> {
+        let t = self.pos_of_row[row] as usize;
+        self.op_ptr[t]..self.op_ptr[t + 1]
+    }
+}
+
+/// The mutated bytes must still decode (the corruption is beyond the cheap
+/// layer's reach), and the verifier must then reject with `expect`ed shape.
+fn verifier_rejects(plan: &PlannedLoop, raw: &Raw, expect: impl Fn(&VerifyError) -> bool) {
+    let bytes = raw.encode();
+    let compiled = CompiledPlan::decode(&mut WireReader::new(&bytes))
+        .expect("this mutant is designed to slip past decode's shape checks");
+    let err = verify_linear(plan, &compiled).expect_err("verifier must reject the mutant");
+    assert!(expect(&err), "wrong rejection: {err}");
+}
+
+/// The mutated bytes must not even decode.
+fn decode_rejects(raw: &Raw) {
+    let bytes = raw.encode();
+    assert!(
+        CompiledPlan::decode(&mut WireReader::new(&bytes)).is_err(),
+        "decode must reject this mutant outright"
+    );
+}
+
+#[test]
+fn dropped_barrier_is_flagged() {
+    let (plan, compiled) = chain_plan(8);
+    let mut raw = Raw::of(&compiled);
+    let kept = raw
+        .keep
+        .iter()
+        .position(|&k| k != 0)
+        .expect("a chain keeps barriers");
+    raw.keep[kept] = 0;
+    verifier_rejects(&plan, &raw, |e| {
+        matches!(e, VerifyError::ElidedBarrierMissing { .. })
+    });
+}
+
+#[test]
+fn swapped_rows_break_the_permutation() {
+    let (plan, compiled) = chain_plan(8);
+    let mut raw = Raw::of(&compiled);
+    // Swap two scheduled positions without fixing the inverse map: rows 2
+    // and 3 sit on different processors and across a dependence.
+    let (a, b) = (raw.pos_of_row[2] as usize, raw.pos_of_row[3] as usize);
+    raw.target.swap(a, b);
+    verifier_rejects(&plan, &raw, |e| {
+        matches!(e, VerifyError::RowMisplaced { .. })
+    });
+}
+
+#[test]
+fn operand_moved_to_a_later_wavefront_is_flagged() {
+    let (plan, compiled) = chain_plan(8);
+    let mut raw = Raw::of(&compiled);
+    // Row 1's only operand is row 0; point it at row 7, which executes in
+    // the *last* wavefront. Still in bounds, so decode cannot see it.
+    let k = raw.ops_of_row(1).start;
+    raw.ops[k] = 7;
+    verifier_rejects(&plan, &raw, |e| {
+        matches!(e, VerifyError::OperandNotEarlier { row: 1, operand: 7 })
+    });
+}
+
+#[test]
+fn out_of_bounds_operand_dies_at_decode() {
+    let (_, compiled) = chain_plan(8);
+    let mut raw = Raw::of(&compiled);
+    let k = raw.ops_of_row(1).start;
+    raw.ops[k] = raw.n as u32; // one past the end
+    decode_rejects(&raw);
+}
+
+#[test]
+fn duplicated_output_slot_is_flagged() {
+    let (plan, compiled) = chain_plan(8);
+    let mut raw = Raw::of(&compiled);
+    raw.out_map[1] = raw.out_map[0]; // two rows write one slot
+    verifier_rejects(&plan, &raw, |e| {
+        matches!(e, VerifyError::OutMapNotBijective { .. })
+    });
+}
+
+#[test]
+fn value_source_out_of_bounds_dies_at_decode() {
+    let (_, compiled) = chain_plan(8);
+    let mut raw = Raw::of(&compiled);
+    raw.val_src[0] = raw.nvals as u32;
+    decode_rejects(&raw);
+}
+
+#[test]
+fn truncated_record_dies_at_decode() {
+    let (_, compiled) = chain_plan(8);
+    let raw = Raw::of(&compiled);
+    let mut bytes = raw.encode();
+    bytes.truncate(bytes.len() - 4);
+    assert!(CompiledPlan::decode(&mut WireReader::new(&bytes)).is_err());
+}
+
+#[test]
+fn forward_flag_lie_is_flagged() {
+    // Row 0 depends on row 3 — legal as a DAG (row 3 runs in wavefront 0)
+    // but *backward* in natural index order, so the honest layout cannot
+    // claim doacross eligibility. Claim it anyway.
+    let g = DepGraph::from_fn(4, |i| if i == 0 { vec![3] } else { vec![] }).unwrap();
+    let wf = Wavefronts::compute(&g).unwrap();
+    let schedule = Schedule::local(&wf, &Partition::striped(4, 2).unwrap()).unwrap();
+    let plan = PlannedLoop::new(g, schedule).unwrap();
+    let spec = CompiledSpec::linear_from_graph(plan.graph());
+    let compiled = CompiledPlan::compile(&plan, &spec).unwrap();
+    verify_linear(&plan, &compiled).expect("the unmutated plan must verify");
+    let mut raw = Raw::of(&compiled);
+    assert_eq!(
+        raw.forward, 0,
+        "a backward dependence must not compile as forward"
+    );
+    raw.forward = 1;
+    verifier_rejects(&plan, &raw, |e| {
+        matches!(e, VerifyError::NotForward { row: 0, dep: 3 })
+    });
+}
+
+#[test]
+fn shifted_phase_boundary_is_flagged() {
+    let (plan, compiled) = chain_plan(8);
+    let mut raw = Raw::of(&compiled);
+    // Pull processor 0's first phase boundary back by one: a row silently
+    // migrates into an earlier phase than its wavefront. The segment table
+    // stays monotone with correct endpoints, so decode accepts it.
+    let stride = raw.num_phases as usize + 1;
+    let seg = &mut raw.phase_ptr[..stride];
+    let w = (0..stride - 1)
+        .find(|&w| seg[w + 1] > seg[w])
+        .expect("processor 0 runs at least one row");
+    seg[w + 1] -= 1;
+    verifier_rejects(&plan, &raw, |e| {
+        matches!(
+            e,
+            VerifyError::SegmentMalformed { .. } | VerifyError::PhaseDisagrees { .. }
+        )
+    });
+}
+
+#[test]
+fn foreign_operand_breaks_adjacency() {
+    let (plan, compiled) = chain_plan(8);
+    let mut raw = Raw::of(&compiled);
+    // Row 5 depends on row 4; rewire the operand to row 3 — still a
+    // strictly earlier wavefront on the *same* processor stripe, so every
+    // ordering proof passes and only the graph-equality pass can object.
+    let k = raw.ops_of_row(5).start;
+    assert_eq!(raw.ops[k], 4);
+    raw.ops[k] = 3;
+    verifier_rejects(&plan, &raw, |e| {
+        matches!(e, VerifyError::AdjacencyMismatch { row: 5 })
+    });
+}

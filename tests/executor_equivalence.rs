@@ -56,6 +56,29 @@ fn sequential_reference(g: &DepGraph) -> Vec<f64> {
     out
 }
 
+/// `plan.run`, and — with `--features verify-trace` — the same run recorded
+/// through the executor's access-trace hooks and replayed through the
+/// rtpl-verify vector-clock race oracle. The sweep then proves not just
+/// "same answers" but "no unordered conflicting accesses" for every
+/// policy × strategy × processor-count combination.
+fn run_checked(
+    plan: &PlannedLoop,
+    pool: &WorkerPool,
+    policy: ExecPolicy,
+    body: &DagBody,
+    out: &mut [f64],
+) -> ExecReport {
+    #[cfg(feature = "verify-trace")]
+    {
+        let (report, events) = rtpl::executor::trace::capture(|| plan.run(pool, policy, body, out));
+        rtpl::verify::race::check_trace(pool.nworkers(), &events)
+            .unwrap_or_else(|e| panic!("{policy:?} x{}: race oracle: {e}", pool.nworkers()));
+        report
+    }
+    #[cfg(not(feature = "verify-trace"))]
+    plan.run(pool, policy, body, out)
+}
+
 /// The satellite sweep: policies × strategies × processor counts on random
 /// DAGs, all through `PlannedLoop::run`.
 #[test]
@@ -73,7 +96,8 @@ fn every_policy_strategy_and_proc_count_matches_sequential() {
                     .unwrap();
                 for policy in ExecPolicy::ALL {
                     let mut out = vec![0.0; g.n()];
-                    let report = plan.run(&pool, policy, &DagBody(plan.graph()), &mut out);
+                    let report =
+                        run_checked(&plan, &pool, policy, &DagBody(plan.graph()), &mut out);
                     assert_eq!(
                         out, expect,
                         "case {case}: {policy:?}/{strategy:?} p={p} diverged"
@@ -106,7 +130,7 @@ fn interleaved_policies_on_one_plan_stay_equivalent() {
         for round in 0..3 {
             for policy in ExecPolicy::ALL {
                 let mut out = vec![0.0; g.n()];
-                plan.run(&pool, policy, &DagBody(plan.graph()), &mut out);
+                run_checked(&plan, &pool, policy, &DagBody(plan.graph()), &mut out);
                 assert_eq!(out, expect, "round {round} {policy:?}");
             }
         }

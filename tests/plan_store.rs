@@ -289,3 +289,126 @@ fn concurrent_writers_never_interleave() {
     drop(store);
     let _ = std::fs::remove_file(&path);
 }
+
+/// A persisted artifact whose **barrier plan has been hollowed out** —
+/// every kept barrier flipped to elided — decodes cleanly through every
+/// shape-and-bounds check in the store/codec stack: lengths agree,
+/// indices are in bounds, checksums are freshly correct. Only the plan
+/// verifier, which re-proves the cross-processor cover, can refuse it.
+/// The runtime must do exactly that: count one load error and one verify
+/// failure, pay the cold inspection, and still answer bit-exactly.
+#[test]
+fn verifier_refuses_a_store_artifact_with_dropped_barriers() {
+    use rtpl::executor::compiled::CompiledPlan;
+    use rtpl::inspector::{BarrierPlan, Schedule};
+    use rtpl::sparse::wire::{WireReader, WireWriter};
+    use rtpl::sparse::Csr;
+
+    // A chain factor (row i's L depends only on row i-1) under a striped
+    // 2-processor schedule: every dependence crosses processors, so the
+    // minimal barrier plan keeps every boundary and dropping any of them
+    // is a real race, not a formality.
+    let n = 24;
+    let mut indptr = vec![0usize];
+    let (mut indices, mut vals) = (Vec::new(), Vec::new());
+    for i in 0..n {
+        if i > 0 {
+            indices.push(i as u32 - 1);
+            vals.push(0.4);
+        }
+        indptr.push(indices.len());
+    }
+    let l = Csr::try_new(n, n, indptr, indices, vals).expect("chain L");
+    let mut iptr = vec![0usize];
+    let (mut idx, mut v) = (Vec::new(), Vec::new());
+    for i in 0..n {
+        idx.push(i as u32);
+        v.push(1.0);
+        iptr.push(idx.len());
+    }
+    let u = Csr::try_new(n, n, iptr, idx, v).expect("diagonal U");
+    let f = IluFactors { l, u };
+    let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64 * 0.03).collect();
+
+    let path = tmp("verify-dropped-barrier");
+    let mut config = cfg(&path, 2, Some(ExecutorKind::Sequential));
+    config.sorting = rtpl::krylov::Sorting::LocalStriped;
+
+    // Lifetime 1: cold inspect, spill the honest artifact.
+    let rt = Runtime::new(config.clone());
+    let mut reference = vec![0.0; n];
+    rt.solve(&f, &b, &mut reference).expect("seed solve");
+    drop(rt);
+
+    // Mutate the persisted payload through the public wire codec: decode
+    // every component, re-encode with the forward sweep's barrier plan
+    // zeroed. The record is re-checksummed on put, so nothing upstream of
+    // the verifier can tell.
+    let key = Runtime::solve_key(&f).as_u128();
+    let store = PlanStore::open(&path).expect("open store");
+    let payload = store.get(key).expect("get").expect("artifact present");
+    let mut r = WireReader::new(&payload);
+    let artifact = r.u8s_ref().expect("artifact bytes");
+    let payload_rest = {
+        let mut w = WireWriter::new();
+        w.put_f64s(&r.f64s().expect("cost"));
+        w.put_u64(r.u64().expect("host"));
+        w.put_f64s(&r.f64s().expect("prior"));
+        w.put_f64s(&r.f64s().expect("measured"));
+        w.put_u64s(&r.u64s().expect("count"));
+        w.into_bytes()
+    };
+    let mut a = WireReader::new(artifact);
+    let mut w = WireWriter::new();
+    w.put_u32(a.u32().expect("version"));
+    w.put_u64(a.u64().expect("n"));
+    w.put_u8(a.u8().expect("kind"));
+    w.put_usizes32(&a.usizes32().expect("l indptr"));
+    w.put_u32s(&a.u32s().expect("l indices"));
+    w.put_usizes32(&a.usizes32().expect("u indptr"));
+    w.put_u32s(&a.u32s().expect("u indices"));
+    Schedule::decode(&mut a).expect("schedule L").encode(&mut w);
+    let keep_l = BarrierPlan::decode(&mut a).expect("barriers L");
+    assert!(
+        keep_l.count() > 0,
+        "the striped chain must keep barriers for this mutation to mean anything"
+    );
+    w.put_u8s(&vec![0u8; keep_l.len()]); // every boundary elided
+    Schedule::decode(&mut a).expect("schedule U").encode(&mut w);
+    BarrierPlan::decode(&mut a)
+        .expect("barriers U")
+        .encode(&mut w);
+    CompiledPlan::decode(&mut a)
+        .expect("fwd layout")
+        .encode(&mut w);
+    CompiledPlan::decode(&mut a)
+        .expect("bwd layout")
+        .encode(&mut w);
+    a.finish().expect("artifact fully consumed");
+    let mut out = WireWriter::new();
+    out.put_u8s(&w.into_bytes());
+    let mut mutated = out.into_bytes();
+    mutated.extend_from_slice(&payload_rest);
+    assert!(
+        store.put(key, mutated),
+        "write-behind queue refused the mutant"
+    );
+    store.flush();
+    drop(store);
+
+    // Lifetime 2: the mutant must be refused and served around, cold.
+    let rt = Runtime::new(config);
+    let mut x = vec![0.0; n];
+    rt.solve(&f, &b, &mut x)
+        .expect("solve over mutant artifact");
+    let stats = rt.stats();
+    assert_eq!(stats.store_hits, 0, "the mutant artifact was cached");
+    assert_eq!(stats.store_load_errors, 1, "the refusal left no trace");
+    assert!(
+        stats.verify_failures >= 1,
+        "the rejection must be the verifier's, not a codec accident"
+    );
+    assert_eq!(stats.solves.builds, 1, "no cold fallback happened");
+    assert_eq!(bits(&reference), bits(&x), "answer deviates after fallback");
+    let _ = std::fs::remove_file(&path);
+}
