@@ -486,7 +486,8 @@ fn store_bench(host: usize) {
                 "\"cold_first_solve_ns\": {}, \"store_first_solve_ns\": {}, ",
                 "\"memory_warm_median_ns\": {}, \"warm_from_store_ns\": {}, ",
                 "\"cold_acquisition_ns\": {}, \"store_acquisition_ns\": {}, ",
-                "\"acquisition_speedup\": {:.2}, \"max_abs_diff\": {:e}}}"
+                "\"acquisition_speedup\": {:.2}, \"max_abs_diff\": {:e}, ",
+                "\"host_procs\": {}, \"exceeds_host\": {}}}"
             ),
             r.name,
             r.n,
@@ -498,6 +499,8 @@ fn store_bench(host: usize) {
             r.store_acquisition_ns(),
             r.speedup(),
             r.max_abs_diff,
+            host,
+            SERVER_NPROCS > host,
         ));
     }
     let cycle = server_restart_cycle();
@@ -568,7 +571,8 @@ fn main() {
                 "    {{\"clients\": {}, \"requests\": {}, \"wall_secs\": {:.4}, ",
                 "\"requests_per_sec\": {:.1}, \"warm_ratio\": {:.4}, ",
                 "\"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}, ",
-                "\"rejected_retries\": {}, \"bit_exact\": true}}"
+                "\"rejected_retries\": {}, \"host_procs\": {}, ",
+                "\"exceeds_host\": {}, \"bit_exact\": true}}"
             ),
             r.clients,
             r.requests,
@@ -580,6 +584,8 @@ fn main() {
             r.latency.quantile(0.999),
             r.latency.max(),
             r.retries,
+            host,
+            SERVER_NPROCS > host,
         ));
     }
     let json = format!(

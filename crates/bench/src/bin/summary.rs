@@ -315,7 +315,7 @@ fn runtime_bench() -> String {
             println!("  p={np} FLAGGED: exceeds the {host} detected host cores");
         }
         sweep.push_str(&format!(
-            "    {{\"nprocs\": {np}, \"exceeds_host\": {}, \"workloads\": [\n",
+            "    {{\"nprocs\": {np}, \"host_procs\": {host}, \"exceeds_host\": {}, \"workloads\": [\n",
             np > host
         ));
         for (wi, &(name, factors)) in named.iter().enumerate() {
@@ -395,11 +395,12 @@ fn runtime_bench() -> String {
         zs.dominant_policy()
     );
 
+    let coalesce = coalesce_bench(&rt, &named);
     let batch = batch_bench(c);
 
     // Hand-rolled JSON (no external dependencies in this workspace). The
     // pre-PR-3 keys are all retained; "sweep", the zipf wall/throughput
-    // / concurrency fields, and "batch" are additive.
+    // / concurrency fields, "coalesce", and "batch" are additive.
     let mut j = String::from("{\n");
     j.push_str("  \"bench\": \"runtime\",\n");
     j.push_str(&format!(
@@ -428,6 +429,7 @@ fn runtime_bench() -> String {
     }
     j.push_str("  ],\n");
     j.push_str(&sweep);
+    j.push_str(&coalesce);
     j.push_str(&batch);
     j.push_str(&format!(
         "  \"zipf_replay\": {{\"threads\": {}, \"patterns\": {}, \"requests\": {}, \"wall_ns\": {}, \"requests_per_sec\": {:.1}, \"hit_rate\": {:.4}, \"builds\": {}, \"evictions\": {}, \"peak_same_pattern\": {}, \"scratches_created\": {}, \"dominant_policy\": \"{:?}\", \"pools_created\": {}}}\n",
@@ -446,6 +448,105 @@ fn runtime_bench() -> String {
     ));
     j.push('}');
     j.push('\n');
+    j
+}
+
+/// The wavefront-coalescing section of BENCH_runtime.json: per-sweep
+/// phase counts before/after the merge pass, supernode-layout coverage,
+/// and the warm **sequential** path timed on the coalesced and the
+/// uncoalesced plan in the same run (same host, same binary — no
+/// stored-baseline flakiness). Both answers are checked bit-exact against
+/// each other, and the process aborts if the coalesced path regresses
+/// more than 10% — the CI bench-smoke job relies on both aborts.
+fn coalesce_bench(rt: &Runtime, named: &[(&str, &IluFactors); 2]) -> String {
+    let grain = rt
+        .coalesce_grain()
+        .expect("coalescing is on by default in RuntimeConfig");
+    let nprocs = rt.config().nprocs;
+    let sorting = rt.config().sorting;
+    println!("\nwavefront coalescing (grain {grain:.1} weighted ops, nprocs {nprocs}):");
+    let mut j = String::from("  \"coalesce\": {\n");
+    j.push_str(&format!(
+        "    \"grain\": {grain:.3}, \"nprocs\": {nprocs},\n    \"workloads\": [\n"
+    ));
+    for (wi, &(name, factors)) in named.iter().enumerate() {
+        let nnz = factors.l.nnz() + factors.u.nnz();
+        let base = TriangularSolvePlan::new(factors, nprocs, ExecutorKind::Sequential, sorting)
+            .expect("plan")
+            .compile()
+            .expect("compile");
+        let coal = TriangularSolvePlan::new_with_grain(
+            factors,
+            nprocs,
+            ExecutorKind::Sequential,
+            sorting,
+            Some(grain),
+        )
+        .expect("coalesced plan")
+        .compile()
+        .expect("compile");
+        let (sl, su) = coal.plan().coalesce_stats();
+        let (sl, su) = (sl.expect("fwd stats"), su.expect("bwd stats"));
+        let n = coal.n();
+        let supernodes =
+            coal.forward_plan().supernode_positions() + coal.backward_plan().supernode_positions();
+        let coverage = 100.0 * supernodes as f64 / (2 * n) as f64;
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.13).sin()).collect();
+        let timed = |c: &CompiledTriSolve| -> (u128, Vec<f64>) {
+            let mut scratch = c.scratch();
+            let mut x = vec![0.0; n];
+            for _ in 0..3 {
+                c.solve_fused_sequential(factors, &b, &mut x, &mut scratch)
+                    .expect("warmup");
+            }
+            let mut samples: Vec<u128> = (0..15)
+                .map(|_| {
+                    let t = Instant::now();
+                    c.solve_fused_sequential(factors, &b, &mut x, &mut scratch)
+                        .expect("warm solve");
+                    t.elapsed().as_nanos()
+                })
+                .collect();
+            samples.sort_unstable();
+            (samples[samples.len() / 2], x)
+        };
+        let (base_ns, x_base) = timed(&base);
+        let (coal_ns, x_coal) = timed(&coal);
+        assert_eq!(
+            x_coal, x_base,
+            "BIT-EXACTNESS MISMATCH: coalesce bench {name}"
+        );
+        let ratio = coal_ns as f64 / base_ns as f64;
+        println!(
+            "  {name:<18} fwd {} -> {}  bwd {} -> {}  supernodes {coverage:.1}%  warm seq {:.3} -> {:.3} ns/nnz  [{}] {ratio:.2}x",
+            sl.phases_before,
+            sl.phases_after,
+            su.phases_before,
+            su.phases_after,
+            base_ns as f64 / nnz as f64,
+            coal_ns as f64 / nnz as f64,
+            ok(ratio <= 1.1),
+        );
+        assert!(
+            ratio <= 1.1,
+            "COALESCE REGRESSION: {name} coalesced sequential {coal_ns} ns vs uncoalesced {base_ns} ns ({ratio:.2}x > 1.10x)"
+        );
+        j.push_str(&format!(
+            "      {{\"name\": \"{name}\", \"fwd_phases_before\": {}, \"fwd_phases_after\": {}, \
+             \"bwd_phases_before\": {}, \"bwd_phases_after\": {}, \
+             \"supernode_coverage_pct\": {coverage:.2}, \
+             \"warm_seq_ns_per_nnz_uncoalesced\": {:.3}, \"warm_seq_ns_per_nnz_coalesced\": {:.3}, \
+             \"coalesced_over_uncoalesced\": {ratio:.4}, \"bit_exact\": true}}{}\n",
+            sl.phases_before,
+            sl.phases_after,
+            su.phases_before,
+            su.phases_after,
+            base_ns as f64 / nnz as f64,
+            coal_ns as f64 / nnz as f64,
+            if wi + 1 < named.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("    ]\n  },\n");
     j
 }
 

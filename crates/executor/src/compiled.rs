@@ -14,11 +14,21 @@
 //!   right-hand-side gather index, a list of `(operand index, value source)`
 //!   pairs, and an optional reciprocal scale source) is **permuted into
 //!   schedule execution order** — each processor's positions are a
-//!   contiguous segment, so a run streams `target`/`rhs`/`op_ptr`/`ops`/
+//!   contiguous segment, so a run streams `target`/`rhs`/`val_ptr`/`ops`/
 //!   `vals` linearly instead of hopping through index indirections;
 //! * all operand indices are **pre-remapped into plan space** — reversed
 //!   index spaces, strict-triangle filters, whatever the spec encoded — so
 //!   the executor inner loop is branch-free arithmetic;
+//! * **supernodes are detected and shared**: consecutive positions with
+//!   identical operand index lists (rows of identical column structure)
+//!   point at one stored copy of that list (`op_start` into a deduplicated
+//!   `ops` array), while their numeric values stay position-private
+//!   (`val_ptr` into `vals`/`val_src`) — repeated structure is read from
+//!   cache-resident memory instead of re-streamed;
+//! * the dot-product inner loop is **4-wide unrolled** with a scalar tail.
+//!   The unrolled lanes compute their products independently but subtract
+//!   them in the original operand order, so every result stays bit-exact
+//!   with the rolled loop;
 //! * numeric values are attached by a one-pass [`CompiledPlan::load_values`]
 //!   gather into a leased [`RunScratch`], which also owns the epoch-stamped
 //!   [`SharedVec`] and per-processor counters. The plan itself is immutable
@@ -83,7 +93,9 @@ impl std::error::Error for CompiledError {}
 /// ```
 ///
 /// where `op(i,k)` are loop-space operand indices (each must be scheduled
-/// in a strictly earlier wavefront than `i`), `val_src(i,k)` gathers the
+/// in a strictly earlier phase than `i`, or — in a coalesced schedule —
+/// earlier on `i`'s own processor within the same phase), `val_src(i,k)`
+/// gathers the
 /// operand coefficient from the caller's value array, `rhs_idx(i)` gathers
 /// from the caller's right-hand side, and `scale(i)` is the reciprocal of
 /// an optional per-row value source (`1.0` when absent). The `out` index
@@ -201,9 +213,14 @@ pub struct CompiledPlan {
     target: Vec<u32>,
     /// Caller rhs gather index of each position.
     rhs: Vec<u32>,
-    /// Operand slice `ops[op_ptr[t]..op_ptr[t+1]]` of each position.
-    op_ptr: Vec<usize>,
-    /// Plan-space operand indices, layout order.
+    /// Value run `val_ptr[t]..val_ptr[t+1]` of each position — indexes
+    /// `val_src` and a scratch's gathered `vals`, one slot per operand.
+    val_ptr: Vec<usize>,
+    /// Start of position `t`'s operand-index run in the deduplicated `ops`
+    /// array; the run length is `val_ptr[t+1] - val_ptr[t]`. Consecutive
+    /// positions with identical operand lists (supernodes) share one run.
+    op_start: Vec<u32>,
+    /// Plan-space operand indices, deduplicated across supernode positions.
     ops: Vec<u32>,
     /// Caller value-array gather map, layout order (drives `load_values`).
     val_src: Vec<u32>,
@@ -241,9 +258,12 @@ pub struct LayoutView<'a> {
     pub target: &'a [u32],
     /// Caller rhs gather index of each position.
     pub rhs: &'a [u32],
-    /// Operand slice `ops[op_ptr[t]..op_ptr[t+1]]` of each position.
-    pub op_ptr: &'a [usize],
-    /// Plan-space operand indices, layout order.
+    /// Value run `val_ptr[t]..val_ptr[t+1]` of each position (indexes
+    /// `val_src`); the run length is also the operand count of `t`.
+    pub val_ptr: &'a [usize],
+    /// Start of position `t`'s operand run in the deduplicated `ops` array.
+    pub op_start: &'a [u32],
+    /// Plan-space operand indices, deduplicated across supernode positions.
     pub ops: &'a [u32],
     /// Caller value-array gather map, layout order.
     pub val_src: &'a [u32],
@@ -276,7 +296,7 @@ impl RunScratch {
         RunScratch {
             shared: SharedVec::new(plan.n),
             iters: (0..plan.nprocs).map(|_| AtomicU64::new(0)).collect(),
-            vals: vec![0.0; plan.ops.len()],
+            vals: vec![0.0; plan.val_src.len()],
             scale: vec![1.0; plan.n],
             seq: vec![0.0; plan.n],
             loaded: false,
@@ -286,12 +306,22 @@ impl RunScratch {
 
 impl CompiledPlan {
     /// Compiles `spec` against `plan`'s schedule: validates the operand
-    /// structure (every operand must sit in a strictly earlier wavefront
-    /// than its consumer; `out` must be a permutation; all gather indices
-    /// in bounds) and materializes the execution-order layout.
+    /// structure (every operand must be ordered before its consumer — a
+    /// strictly earlier phase, or the same coalesced phase on the same
+    /// processor at an earlier position; `out` must be a permutation; all
+    /// gather indices in bounds) and materializes the execution-order
+    /// layout, sharing the operand-index runs of supernode positions.
     pub fn compile(plan: &PlannedLoop, spec: &CompiledSpec) -> Result<Self, CompiledError> {
         let n = plan.n();
         let schedule = plan.schedule();
+        let mut owner = vec![0u32; n];
+        let mut pos = vec![0u32; n];
+        for p in 0..schedule.nprocs() {
+            for (k, &i) in schedule.proc(p).iter().enumerate() {
+                owner[i as usize] = p as u32;
+                pos[i as usize] = k as u32;
+            }
+        }
         if spec.n != n || spec.rows() != n {
             return Err(CompiledError::Spec(format!(
                 "spec declares {} iterations and {} rows, plan has {n}",
@@ -336,9 +366,11 @@ impl CompiledPlan {
                         "operand {op} of row {i} out of range"
                     )));
                 }
-                if schedule.wavefront_of(op) >= w {
+                let wop = schedule.wavefront_of(op);
+                let ordered = wop < w || (wop == w && owner[op] == owner[i] && pos[op] < pos[i]);
+                if !ordered {
                     return Err(CompiledError::Spec(format!(
-                        "operand {op} of row {i} is not scheduled strictly earlier"
+                        "operand {op} of row {i} is not scheduled earlier"
                     )));
                 }
                 if spec.val_src[k] as usize >= spec.nvals {
@@ -356,13 +388,15 @@ impl CompiledPlan {
         let mut phase_ptr = Vec::with_capacity(nprocs * (num_phases + 1));
         let mut target = Vec::with_capacity(n);
         let mut rhs = Vec::with_capacity(n);
-        let mut op_ptr = Vec::with_capacity(n + 1);
+        let mut val_ptr = Vec::with_capacity(n + 1);
+        let mut op_start = Vec::with_capacity(n);
         let mut ops = Vec::with_capacity(spec.ops.len());
         let mut val_src = Vec::with_capacity(spec.val_src.len());
         let mut recip_src = spec.recip_src.as_ref().map(|_| Vec::with_capacity(n));
         let mut pos_of_row = vec![0u32; n];
-        op_ptr.push(0);
+        val_ptr.push(0);
         proc_ptr.push(0);
+        let mut prev_run = 0usize..0usize;
         for p in 0..nprocs {
             let mut pos = proc_ptr[p];
             for w in 0..num_phases {
@@ -375,11 +409,18 @@ impl CompiledPlan {
                     if let (Some(dst), Some(src)) = (&mut recip_src, &spec.recip_src) {
                         dst.push(src[i]);
                     }
-                    for k in spec.op_ptr[i]..spec.op_ptr[i + 1] {
-                        ops.push(spec.ops[k]);
-                        val_src.push(spec.val_src[k]);
+                    let row_ops = &spec.ops[spec.op_ptr[i]..spec.op_ptr[i + 1]];
+                    // Supernode sharing: a position whose operand list
+                    // equals the previous position's reuses that stored run.
+                    if !row_ops.is_empty() && ops[prev_run.clone()] == *row_ops {
+                        op_start.push(prev_run.start as u32);
+                    } else {
+                        prev_run = ops.len()..ops.len() + row_ops.len();
+                        op_start.push(ops.len() as u32);
+                        ops.extend_from_slice(row_ops);
                     }
-                    op_ptr.push(ops.len());
+                    val_src.extend_from_slice(&spec.val_src[spec.op_ptr[i]..spec.op_ptr[i + 1]]);
+                    val_ptr.push(val_src.len());
                     pos += 1;
                 }
             }
@@ -397,7 +438,8 @@ impl CompiledPlan {
             phase_ptr,
             target,
             rhs,
-            op_ptr,
+            val_ptr,
+            op_start,
             ops,
             val_src,
             recip_src,
@@ -406,6 +448,20 @@ impl CompiledPlan {
             barriers: plan.barrier_plan().clone(),
             full_barriers: BarrierPlan::full(num_phases),
         })
+    }
+
+    /// Number of layout positions whose operand-index run is shared with
+    /// the immediately preceding position (supernode members beyond each
+    /// leader). `ops.len()` shrinks by exactly the operands these share.
+    pub fn supernode_positions(&self) -> usize {
+        (1..self.n)
+            .filter(|&t| {
+                self.val_ptr[t + 1] > self.val_ptr[t]
+                    && self.op_start[t] == self.op_start[t - 1]
+                    && self.val_ptr[t + 1] - self.val_ptr[t]
+                        == self.val_ptr[t] - self.val_ptr[t - 1]
+            })
+            .count()
     }
 
     /// Trip count.
@@ -418,9 +474,9 @@ impl CompiledPlan {
         self.nprocs
     }
 
-    /// Number of operand slots (== gathered values per scratch).
+    /// Number of operand value slots (== gathered values per scratch).
     pub fn num_operands(&self) -> usize {
-        self.ops.len()
+        self.val_src.len()
     }
 
     /// Expected caller value-array length for [`CompiledPlan::load_values`].
@@ -449,7 +505,8 @@ impl CompiledPlan {
             phase_ptr: &self.phase_ptr,
             target: &self.target,
             rhs: &self.rhs,
-            op_ptr: &self.op_ptr,
+            val_ptr: &self.val_ptr,
+            op_start: &self.op_start,
             ops: &self.ops,
             val_src: &self.val_src,
             recip_src: self.recip_src.as_deref(),
@@ -470,7 +527,11 @@ impl CompiledPlan {
                 found: data.len(),
             });
         }
-        assert_eq!(scratch.vals.len(), self.ops.len(), "scratch/plan mismatch");
+        assert_eq!(
+            scratch.vals.len(),
+            self.val_src.len(),
+            "scratch/plan mismatch"
+        );
         for (v, &s) in scratch.vals.iter_mut().zip(&self.val_src) {
             *v = data[s as usize];
         }
@@ -490,6 +551,33 @@ impl CompiledPlan {
         Ok(())
     }
 
+    /// The shared inner kernel: subtract operand products in spec order,
+    /// 4-wide unrolled with a scalar tail. The lanes compute their products
+    /// independently but the subtraction chain is the rolled loop's exact
+    /// order, so the result is bit-identical to `acc -= v*x` one at a time.
+    #[inline]
+    fn dot_sub<S: ValueSource>(&self, t: usize, mut acc: f64, vals: &[f64], src: &S) -> f64 {
+        let vlo = self.val_ptr[t];
+        let len = self.val_ptr[t + 1] - vlo;
+        let olo = self.op_start[t] as usize;
+        let ops = &self.ops[olo..olo + len];
+        let vals = &vals[vlo..vlo + len];
+        let mut k = 0usize;
+        while k + 4 <= len {
+            let p0 = vals[k] * src.get(ops[k] as usize);
+            let p1 = vals[k + 1] * src.get(ops[k + 1] as usize);
+            let p2 = vals[k + 2] * src.get(ops[k + 2] as usize);
+            let p3 = vals[k + 3] * src.get(ops[k + 3] as usize);
+            acc = (((acc - p0) - p1) - p2) - p3;
+            k += 4;
+        }
+        while k < len {
+            acc -= vals[k] * src.get(ops[k] as usize);
+            k += 1;
+        }
+        acc
+    }
+
     #[inline]
     fn eval<S: ValueSource>(
         &self,
@@ -499,10 +587,7 @@ impl CompiledPlan {
         rhs: &[f64],
         src: &S,
     ) -> f64 {
-        let mut acc = rhs[self.rhs[t] as usize];
-        for k in self.op_ptr[t]..self.op_ptr[t + 1] {
-            acc -= vals[k] * src.get(self.ops[k] as usize);
-        }
+        let acc = self.dot_sub(t, rhs[self.rhs[t] as usize], vals, src);
         acc * scale[t]
     }
 
@@ -513,7 +598,7 @@ impl CompiledPlan {
         );
         assert_eq!(
             scratch.vals.len(),
-            self.ops.len(),
+            self.val_src.len(),
             "scratch holds values for another plan's operand layout"
         );
         assert_eq!(
@@ -791,10 +876,8 @@ impl CompiledPlan {
         for w in 0..self.num_phases {
             for p in 0..self.nprocs {
                 for t in self.phase_ptr[p * stride + w]..self.phase_ptr[p * stride + w + 1] {
-                    let mut acc = rhs[self.rhs[t] as usize];
-                    for k in self.op_ptr[t]..self.op_ptr[t + 1] {
-                        acc -= vals[k] * seq[self.ops[k] as usize];
-                    }
+                    let src = crate::DirectSource(seq);
+                    let acc = self.dot_sub(t, rhs[self.rhs[t] as usize], vals, &src);
                     seq[self.target[t] as usize] = acc * scale[t];
                 }
             }
@@ -847,9 +930,24 @@ impl CompiledPlan {
         for w in 0..self.num_phases {
             for p in 0..self.nprocs {
                 for t in self.phase_ptr[p * stride + w]..self.phase_ptr[p * stride + w + 1] {
+                    let vlo = self.val_ptr[t];
+                    let len = self.val_ptr[t + 1] - vlo;
+                    let olo = self.op_start[t] as usize;
+                    let ops = &self.ops[olo..olo + len];
+                    let vs = &self.val_src[vlo..vlo + len];
                     let mut acc = rhs[self.rhs[t] as usize];
-                    for k in self.op_ptr[t]..self.op_ptr[t + 1] {
-                        acc -= data[self.val_src[k] as usize] * seq[self.ops[k] as usize];
+                    let mut k = 0usize;
+                    while k + 4 <= len {
+                        let p0 = data[vs[k] as usize] * seq[ops[k] as usize];
+                        let p1 = data[vs[k + 1] as usize] * seq[ops[k + 1] as usize];
+                        let p2 = data[vs[k + 2] as usize] * seq[ops[k + 2] as usize];
+                        let p3 = data[vs[k + 3] as usize] * seq[ops[k + 3] as usize];
+                        acc = (((acc - p0) - p1) - p2) - p3;
+                        k += 4;
+                    }
+                    while k < len {
+                        acc -= data[vs[k] as usize] * seq[ops[k] as usize];
+                        k += 1;
                     }
                     seq[self.target[t] as usize] = match recip {
                         Some(srcs) => {
@@ -891,7 +989,8 @@ impl CompiledPlan {
         w.put_usizes32(&self.phase_ptr);
         w.put_u32s(&self.target);
         w.put_u32s(&self.rhs);
-        w.put_usizes32(&self.op_ptr);
+        w.put_usizes32(&self.val_ptr);
+        w.put_u32s(&self.op_start);
         w.put_u32s(&self.ops);
         w.put_u32s(&self.val_src);
         match &self.recip_src {
@@ -926,7 +1025,8 @@ impl CompiledPlan {
         let phase_ptr = r.usizes32()?;
         let target = r.u32s()?;
         let rhs = r.u32s()?;
-        let op_ptr = r.usizes32()?;
+        let val_ptr = r.usizes32()?;
+        let op_start = r.u32s()?;
         let ops = r.u32s()?;
         let val_src = r.u32s()?;
         let recip_src = match r.u8()? {
@@ -973,15 +1073,21 @@ impl CompiledPlan {
         if target.len() != n || rhs.len() != n || pos_of_row.len() != n || out_map.len() != n {
             return invalid("compiled plan row arrays sized differently from n".into());
         }
-        if op_ptr.len() != n + 1
-            || op_ptr.first() != Some(&0)
-            || op_ptr.last() != Some(&ops.len())
-            || op_ptr.windows(2).any(|w| w[0] > w[1])
+        if val_ptr.len() != n + 1
+            || val_ptr.first() != Some(&0)
+            || val_ptr.last() != Some(&val_src.len())
+            || val_ptr.windows(2).any(|w| w[0] > w[1])
         {
-            return invalid("compiled plan op_ptr malformed".into());
+            return invalid("compiled plan val_ptr malformed".into());
         }
-        if ops.len() != val_src.len() {
-            return invalid("ops/val_src length mismatch".into());
+        if op_start.len() != n {
+            return invalid("compiled plan op_start sized differently from n".into());
+        }
+        for t in 0..n {
+            let len = val_ptr[t + 1] - val_ptr[t];
+            if op_start[t] as usize + len > ops.len() {
+                return invalid(format!("operand run of position {t} exceeds the ops array"));
+            }
         }
         if target.iter().any(|&t| t as usize >= n)
             || pos_of_row.iter().any(|&t| t as usize >= n)
@@ -1016,7 +1122,8 @@ impl CompiledPlan {
             phase_ptr,
             target,
             rhs,
-            op_ptr,
+            val_ptr,
+            op_start,
             ops,
             val_src,
             recip_src,

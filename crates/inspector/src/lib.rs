@@ -16,6 +16,14 @@
 //!      [`Partition`] and only reorder each processor's own indices by
 //!      wavefront ([`Schedule::local`]).
 //!
+//! An optional post-pass, [`Schedule::coalesce`], applies the paper's cost
+//! model one level up: consecutive wavefronts whose combined per-processor
+//! work is cheaper than a barrier are merged into one phase, with ownership
+//! re-assigned so every intra-phase dependence is same-processor
+//! write-before-read — **the intra-phase execution order is the
+//! synchronization**; only dependences that still cross phases pay a
+//! barrier or busy-wait.
+//!
 //! The executor crate then runs these schedules with barrier (pre-scheduled)
 //! or busy-wait (self-executing) synchronization.
 
@@ -29,7 +37,7 @@ pub mod wavefront;
 pub use dep::DepGraph;
 pub use elision::BarrierPlan;
 pub use partition::Partition;
-pub use schedule::Schedule;
+pub use schedule::{CoalesceStats, Schedule};
 pub use stats::ScheduleStats;
 pub use wavefront::Wavefronts;
 

@@ -6,16 +6,41 @@
 //! `NEWPHASE` markers of Figure 5).
 //!
 //! **Progress invariant.** Every schedule keeps each processor's list in
-//! nondecreasing wavefront order. Because a dependence always crosses to a
-//! strictly smaller wavefront, the index with the smallest wavefront among
-//! all processors' current heads can always run — so neither the barrier
-//! executor nor the busy-wait executor can deadlock on a valid schedule.
+//! nondecreasing phase order. Every dependence either crosses to a strictly
+//! earlier phase, or — in a *coalesced* schedule ([`Schedule::coalesce`]) —
+//! stays inside one phase on the **same processor at an earlier list
+//! position**. Either way the index with the smallest phase among all
+//! processors' current heads can always run (its unfinished dependences, if
+//! any, sit earlier in its own list), so neither the barrier executor nor
+//! the busy-wait executor can deadlock on a valid schedule.
 //! [`Schedule::validate`] checks this invariant along with permutation-ness.
+//!
+//! **Phase-merge invariant (coalescing).** [`Schedule::coalesce`] merges
+//! runs of consecutive wavefronts whose combined per-processor work is below
+//! a grain derived from the host cost model into one barriered phase. Inside
+//! a merged phase there is *no synchronization at all*: the pass re-assigns
+//! ownership so that every dependence whose endpoints share a phase lands on
+//! one processor, ordered write-before-read in that processor's list — the
+//! intra-phase execution order IS the synchronization. Dependences that
+//! still cross phases keep the barrier/publish ordering exactly as before.
 
 use crate::partition::Partition;
 use crate::wavefront::Wavefronts;
 use crate::{DepGraph, InspectorError, Result};
 use rtpl_sparse::wire::{WireError, WireReader, WireResult, WireWriter};
+
+/// What [`Schedule::coalesce`] did: how many barriered phases the merge
+/// removed and how many indices changed owner to keep merged-phase
+/// dependences on one processor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoalesceStats {
+    /// Barriered phases before merging (the wavefront count).
+    pub phases_before: usize,
+    /// Barriered phases after merging.
+    pub phases_after: usize,
+    /// Indices re-assigned to a different processor by component grouping.
+    pub moved: usize,
+}
 
 /// A per-processor execution order with phase markers.
 #[derive(Clone, Debug, PartialEq)]
@@ -171,10 +196,13 @@ impl Schedule {
 
     /// Validates the schedule against a dependence graph:
     /// * union of processor lists is a permutation of `0..n`;
-    /// * each processor's list is in nondecreasing wavefront order (the
+    /// * each processor's list is in nondecreasing phase order (the
     ///   progress invariant);
-    /// * phase pointers delimit exactly the indices of that wavefront;
-    /// * wavefront numbers satisfy the dependence property.
+    /// * phase pointers delimit exactly the indices of that phase;
+    /// * every dependence crosses to a strictly earlier phase, **or** sits
+    ///   in the same phase on the same processor at an earlier position
+    ///   (the coalesced phase-merge invariant — execution order is the
+    ///   synchronization there).
     pub fn validate(&self, g: &DepGraph) -> Result<()> {
         let n = self.n();
         if g.n() != n {
@@ -184,6 +212,8 @@ impl Schedule {
             )));
         }
         let mut seen = vec![false; n];
+        let mut owner = vec![0u32; n];
+        let mut pos = vec![0u32; n];
         for (p, list) in self.per_proc.iter().enumerate() {
             let mut prev = 0u32;
             for (k, &i) in list.iter().enumerate() {
@@ -194,6 +224,8 @@ impl Schedule {
                     )));
                 }
                 seen[i] = true;
+                owner[i] = p as u32;
+                pos[i] = k as u32;
                 let w = self.wavefront[i];
                 if k > 0 && w < prev {
                     return Err(InspectorError::InvalidSchedule(format!(
@@ -225,17 +257,204 @@ impl Schedule {
                 "index {missing} not scheduled on any processor"
             )));
         }
-        // Wavefront property w.r.t. the dependence graph.
+        // Dependence property: strictly earlier phase, or same phase on the
+        // same processor at an earlier position (coalesced intra-phase
+        // order).
         for i in 0..n {
             for &d in g.deps(i) {
-                if self.wavefront[d as usize] >= self.wavefront[i] {
+                let d = d as usize;
+                let ordered = self.wavefront[d] < self.wavefront[i]
+                    || (self.wavefront[d] == self.wavefront[i]
+                        && owner[d] == owner[i]
+                        && pos[d] < pos[i]);
+                if !ordered {
                     return Err(InspectorError::InvalidSchedule(format!(
-                        "dependence {d} -> {i} does not cross wavefronts"
+                        "dependence {d} -> {i} is not phase-ordered"
                     )));
                 }
             }
         }
         Ok(())
+    }
+
+    /// **Wavefront coalescing** — merges runs of consecutive phases whose
+    /// combined per-processor work is below `grain` (in abstract operation
+    /// units: `1 + |deps(i)|` per index, the same weight the simulator
+    /// charges) into single barriered phases.
+    ///
+    /// Inside a merged phase no executor synchronizes, so the pass must
+    /// make execution order alone sufficient: it computes the connected
+    /// components of the dependence subgraph *restricted to each merged
+    /// phase* and re-assigns every component whole to one processor
+    /// (heaviest component first onto the least-loaded processor). Each
+    /// processor's slice of a merged phase is ordered by original
+    /// wavefront, which is a topological order of the intra-phase
+    /// dependences. The result satisfies the relaxed [`Schedule::validate`]
+    /// rule: every dependence crosses phases or is same-processor
+    /// write-before-read.
+    ///
+    /// On one processor every barrier is pure overhead and there is nothing
+    /// to balance, so all phases merge into one regardless of `grain` and
+    /// the execution order is unchanged. Callers derive `grain` from the
+    /// host cost model — `tsynch_ns / tp_ns` scaled by a policy factor —
+    /// so the pass only buys barriers that cost more than the load
+    /// imbalance they prevent.
+    pub fn coalesce(&self, g: &DepGraph, grain: f64) -> Result<(Schedule, CoalesceStats)> {
+        let n = self.n();
+        if g.n() != n {
+            return Err(InspectorError::InvalidSchedule(format!(
+                "graph size {} != schedule size {n}",
+                g.n()
+            )));
+        }
+        let np = self.num_phases;
+        let nprocs = self.nprocs;
+        let unchanged = CoalesceStats {
+            phases_before: np,
+            phases_after: np,
+            moved: 0,
+        };
+        if np <= 1 || n == 0 {
+            return Ok((self.clone(), unchanged));
+        }
+        // Work per wavefront in operation units.
+        let mut work = vec![0.0f64; np];
+        for i in 0..n {
+            work[self.wavefront[i] as usize] += 1.0 + g.deps(i).len() as f64;
+        }
+        // Greedy front-to-back grouping: merge the next wavefront while the
+        // group's per-processor share stays within the grain. A single
+        // processor merges everything — each barrier is pure overhead.
+        let mut group_of = vec![0u32; np];
+        let mut ngroups = 1usize;
+        if nprocs > 1 {
+            let mut acc = work[0];
+            for w in 1..np {
+                if (acc + work[w]) / nprocs as f64 > grain {
+                    ngroups += 1;
+                    acc = 0.0;
+                }
+                group_of[w] = (ngroups - 1) as u32;
+                acc += work[w];
+            }
+        }
+        if ngroups == np {
+            return Ok((self.clone(), unchanged));
+        }
+        // Phase boundaries of each group (contiguous by construction).
+        let mut ranges = vec![(usize::MAX, 0usize); ngroups];
+        for (w, &gi) in group_of.iter().enumerate() {
+            let r = &mut ranges[gi as usize];
+            r.0 = r.0.min(w);
+            r.1 = w + 1;
+        }
+        // New phase label per index.
+        let mut phase = vec![0u32; n];
+        for i in 0..n {
+            phase[i] = group_of[self.wavefront[i] as usize];
+        }
+        // Union-find over intra-group dependence edges. Roots are kept as
+        // the smallest index of their component, so component ids — and
+        // with them the whole pass — are deterministic.
+        fn find(parent: &mut [u32], mut i: u32) -> u32 {
+            while parent[i as usize] != i {
+                let gp = parent[parent[i as usize] as usize];
+                parent[i as usize] = gp;
+                i = gp;
+            }
+            i
+        }
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        for i in 0..n {
+            for &d in g.deps(i) {
+                if phase[d as usize] == phase[i] {
+                    let a = find(&mut parent, i as u32);
+                    let b = find(&mut parent, d);
+                    if a != b {
+                        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                        parent[hi as usize] = lo;
+                    }
+                }
+            }
+        }
+        let owners = self.owners();
+        let mut per_proc: Vec<Vec<u32>> = vec![Vec::new(); nprocs];
+        let mut phase_ptr: Vec<Vec<usize>> = vec![vec![0usize]; nprocs];
+        let mut comp_weight = vec![0.0f64; n];
+        let mut comp_proc = vec![0u32; n];
+        let mut loads = vec![0.0f64; nprocs];
+        let mut members: Vec<u32> = Vec::new();
+        let mut roots: Vec<u32> = Vec::new();
+        let mut moved = 0usize;
+        for &(wlo, whi) in &ranges {
+            if whi - wlo == 1 {
+                // Untouched group: keep ownership and order as-is.
+                for (p, list) in per_proc.iter_mut().enumerate() {
+                    list.extend_from_slice(self.phase_slice(p, wlo));
+                }
+            } else {
+                // Members in (wavefront, processor, position) order — a
+                // topological order of the intra-group dependences.
+                members.clear();
+                for w in wlo..whi {
+                    for p in 0..nprocs {
+                        members.extend_from_slice(self.phase_slice(p, w));
+                    }
+                }
+                roots.clear();
+                for &i in &members {
+                    let r = find(&mut parent, i) as usize;
+                    if comp_weight[r] == 0.0 {
+                        roots.push(r as u32);
+                    }
+                    comp_weight[r] += 1.0 + g.deps(i as usize).len() as f64;
+                }
+                // Heaviest component onto the least-loaded processor.
+                roots.sort_unstable_by(|&a, &b| {
+                    comp_weight[b as usize]
+                        .total_cmp(&comp_weight[a as usize])
+                        .then(a.cmp(&b))
+                });
+                loads.fill(0.0);
+                for &r in &roots {
+                    let mut best = 0usize;
+                    for (p, &l) in loads.iter().enumerate().skip(1) {
+                        if l < loads[best] {
+                            best = p;
+                        }
+                    }
+                    comp_proc[r as usize] = best as u32;
+                    loads[best] += comp_weight[r as usize];
+                }
+                for &i in &members {
+                    let r = find(&mut parent, i);
+                    let p = comp_proc[r as usize];
+                    if owners[i as usize] != p {
+                        moved += 1;
+                    }
+                    per_proc[p as usize].push(i);
+                }
+                for &r in &roots {
+                    comp_weight[r as usize] = 0.0;
+                }
+            }
+            for (p, ptr) in phase_ptr.iter_mut().enumerate() {
+                ptr.push(per_proc[p].len());
+            }
+        }
+        let coalesced = Schedule {
+            nprocs,
+            num_phases: ngroups,
+            per_proc,
+            phase_ptr,
+            wavefront: phase,
+        };
+        let stats = CoalesceStats {
+            phases_before: np,
+            phases_after: ngroups,
+            moved,
+        };
+        Ok((coalesced, stats))
     }
 
     /// Serializes the schedule in the [`rtpl_sparse::wire`] format.
@@ -436,6 +655,61 @@ mod tests {
         for i in 0..16 {
             assert_eq!(owners[i] as usize, part.owner(i));
         }
+    }
+
+    #[test]
+    fn coalesce_single_proc_merges_all_and_keeps_order() {
+        let (g, wf) = mesh(6, 6);
+        let s = Schedule::global(&wf, 1).unwrap();
+        let (c, stats) = s.coalesce(&g, 4.0).unwrap();
+        assert_eq!(stats.phases_before, s.num_phases());
+        assert_eq!(stats.phases_after, 1);
+        assert_eq!(c.num_phases(), 1);
+        assert_eq!(stats.moved, 0);
+        // The execution order is bit-identical to the uncoalesced one.
+        assert_eq!(c.proc(0), s.proc(0));
+        c.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn coalesce_multi_proc_keeps_dependences_same_processor() {
+        let (g, wf) = mesh(9, 7);
+        for nprocs in [2usize, 4] {
+            let s = Schedule::global(&wf, nprocs).unwrap();
+            for grain in [2.0f64, 16.0, 1e9] {
+                let (c, stats) = s.coalesce(&g, grain).unwrap();
+                assert!(stats.phases_after <= stats.phases_before);
+                c.validate(&g).unwrap();
+                // Every dependence inside a phase must be same-processor
+                // and earlier in the list (the phase-merge invariant).
+                let owners = c.owners();
+                let mut pos = vec![0usize; c.n()];
+                for p in 0..nprocs {
+                    for (k, &i) in c.proc(p).iter().enumerate() {
+                        pos[i as usize] = k;
+                    }
+                }
+                for i in 0..c.n() {
+                    for &d in g.deps(i) {
+                        let d = d as usize;
+                        if c.wavefront_of(d) == c.wavefront_of(i) {
+                            assert_eq!(owners[d], owners[i]);
+                            assert!(pos[d] < pos[i]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coalesce_tiny_grain_is_identity() {
+        let (g, wf) = mesh(5, 5);
+        let s = Schedule::global(&wf, 2).unwrap();
+        let (c, stats) = s.coalesce(&g, 0.0).unwrap();
+        assert_eq!(stats.phases_after, stats.phases_before);
+        assert_eq!(stats.moved, 0);
+        assert_eq!(c, s);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use rtpl_executor::compiled::{CompiledError, CompiledPlan, CompiledSpec, RunScra
 use rtpl_executor::{
     CancelToken, ExecPolicy, ExecReport, LoopBody, PlannedLoop, ValueSource, WorkerPool,
 };
-use rtpl_inspector::{BarrierPlan, DepGraph, Partition, Schedule, Wavefronts};
+use rtpl_inspector::{BarrierPlan, CoalesceStats, DepGraph, Partition, Schedule, Wavefronts};
 use rtpl_sparse::ilu::IluFactors;
 use rtpl_sparse::wire::{WireError, WireReader, WireResult, WireWriter};
 use rtpl_sparse::Csr;
@@ -167,15 +167,37 @@ pub struct TriangularSolvePlan {
     plan_l: PlannedLoop,
     plan_u: PlannedLoop,
     kind: ExecutorKind,
+    coalesce_l: Option<CoalesceStats>,
+    coalesce_u: Option<CoalesceStats>,
 }
 
 impl TriangularSolvePlan {
     /// Inspects the factors and builds schedules for `nprocs` processors.
+    ///
+    /// Phases are left exactly as the wavefront computation produced them —
+    /// use [`TriangularSolvePlan::new_with_grain`] to merge shallow phases.
     pub fn new(
         factors: &IluFactors,
         nprocs: usize,
         kind: ExecutorKind,
         sorting: Sorting,
+    ) -> Result<Self> {
+        Self::new_with_grain(factors, nprocs, kind, sorting, None)
+    }
+
+    /// As [`TriangularSolvePlan::new`], optionally coalescing shallow
+    /// wavefronts after scheduling ([`Schedule::coalesce`]): consecutive
+    /// phases whose combined per-processor work stays at or below `grain`
+    /// weighted operations merge into one phase, with the dependences
+    /// inside a merged phase honored by each processor's baked execution
+    /// order instead of a synchronization point. `None` (and `new`) keep
+    /// the one-phase-per-wavefront schedule.
+    pub fn new_with_grain(
+        factors: &IluFactors,
+        nprocs: usize,
+        kind: ExecutorKind,
+        sorting: Sorting,
+        grain: Option<f64>,
     ) -> Result<Self> {
         let n = factors.n();
         let l = factors.l.clone();
@@ -208,8 +230,8 @@ impl TriangularSolvePlan {
         debug_assert_eq!(u_strict_src.len(), u_strict.nnz());
         let g_l = DepGraph::from_lower_triangular(&l)?;
         let g_u = DepGraph::from_upper_triangular(&u)?;
-        let plan_l = make_plan(g_l, nprocs, sorting)?;
-        let plan_u = make_plan(g_u, nprocs, sorting)?;
+        let (plan_l, coalesce_l) = make_plan(g_l, nprocs, sorting, grain)?;
+        let (plan_u, coalesce_u) = make_plan(g_u, nprocs, sorting, grain)?;
         Ok(TriangularSolvePlan {
             n,
             l,
@@ -221,6 +243,8 @@ impl TriangularSolvePlan {
             plan_l,
             plan_u,
             kind,
+            coalesce_l,
+            coalesce_u,
         })
     }
 
@@ -235,9 +259,16 @@ impl TriangularSolvePlan {
     }
 
     /// Phase counts `(forward, backward)` — the paper reports these per
-    /// problem in Tables 2–3.
+    /// problem in Tables 2–3. Coalesced plans report the *merged* counts.
     pub fn num_phases(&self) -> (usize, usize) {
         (self.plan_l.num_phases(), self.plan_u.num_phases())
+    }
+
+    /// Wavefront-coalescing statistics `(forward, backward)` — `None` per
+    /// sweep when the plan was built without a grain (or decoded from an
+    /// artifact that recorded none).
+    pub fn coalesce_stats(&self) -> (Option<CoalesceStats>, Option<CoalesceStats>) {
+        (self.coalesce_l, self.coalesce_u)
     }
 
     /// The forward schedule (for simulation/statistics).
@@ -681,7 +712,12 @@ impl CompiledTriSolve {
 
 /// Version tag of the structure-only plan artifact encoding. Bumped on any
 /// layout change; readers reject other versions with a typed error.
-pub const ARTIFACT_VERSION: u32 = 1;
+///
+/// Version 2: compiled layouts switched from per-position operand pointers
+/// (`op_ptr`) to the deduplicated supernode layout (`val_ptr` + `op_start`),
+/// and artifacts carry the wavefront-coalescing statistics per sweep.
+/// Version-1 artifacts are refused, forcing a cold re-inspect.
+pub const ARTIFACT_VERSION: u32 = 2;
 
 fn kind_to_u8(kind: ExecutorKind) -> u8 {
     match kind {
@@ -704,6 +740,32 @@ fn kind_from_u8(b: u8) -> Option<ExecutorKind> {
     })
 }
 
+fn put_coalesce(w: &mut WireWriter, s: Option<CoalesceStats>) {
+    match s {
+        None => w.put_u8(0),
+        Some(s) => {
+            w.put_u8(1);
+            w.put_u64(s.phases_before as u64);
+            w.put_u64(s.phases_after as u64);
+            w.put_u64(s.moved as u64);
+        }
+    }
+}
+
+fn get_coalesce(r: &mut WireReader) -> WireResult<Option<CoalesceStats>> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(CoalesceStats {
+            phases_before: r.u64()? as usize,
+            phases_after: r.u64()? as usize,
+            moved: r.u64()? as usize,
+        })),
+        other => Err(WireError::Invalid(format!(
+            "unknown coalesce-stats tag {other}"
+        ))),
+    }
+}
+
 impl CompiledTriSolve {
     /// Serializes everything the inspector and the compiler produced —
     /// factor *structure*, schedules, minimal barrier sets, and both
@@ -719,6 +781,8 @@ impl CompiledTriSolve {
         let p = &self.plan;
         w.put_u64(p.n as u64);
         w.put_u8(kind_to_u8(p.kind));
+        put_coalesce(&mut w, p.coalesce_l);
+        put_coalesce(&mut w, p.coalesce_u);
         w.put_usizes32(p.l.indptr());
         w.put_u32s(p.l.indices());
         w.put_usizes32(p.u.indptr());
@@ -775,6 +839,8 @@ impl CompiledTriSolve {
         }
         let kind = kind_from_u8(r.u8()?)
             .ok_or_else(|| WireError::Invalid("unknown executor kind tag".into()))?;
+        let coalesce_l = get_coalesce(&mut r)?;
+        let coalesce_u = get_coalesce(&mut r)?;
         let bad_csr =
             |e: rtpl_sparse::SparseError| WireError::Invalid(format!("artifact structure: {e}"));
         let l_indptr = r.usizes32()?;
@@ -863,19 +929,33 @@ impl CompiledTriSolve {
             plan_l,
             plan_u,
             kind,
+            coalesce_l,
+            coalesce_u,
         };
         Ok(CompiledTriSolve { plan, fwd, bwd })
     }
 }
 
-fn make_plan(g: DepGraph, nprocs: usize, sorting: Sorting) -> Result<PlannedLoop> {
+fn make_plan(
+    g: DepGraph,
+    nprocs: usize,
+    sorting: Sorting,
+    grain: Option<f64>,
+) -> Result<(PlannedLoop, Option<CoalesceStats>)> {
     let wf = Wavefronts::compute(&g)?;
     let schedule = match sorting {
         Sorting::Global => Schedule::global(&wf, nprocs)?,
         Sorting::LocalStriped => Schedule::local(&wf, &Partition::striped(g.n(), nprocs)?)?,
         Sorting::LocalContiguous => Schedule::local(&wf, &Partition::contiguous(g.n(), nprocs)?)?,
     };
-    Ok(PlannedLoop::new(g, schedule)?)
+    let (schedule, stats) = match grain {
+        Some(grain) => {
+            let (merged, stats) = schedule.coalesce(&g, grain)?;
+            (merged, Some(stats))
+        }
+        None => (schedule, None),
+    };
+    Ok((PlannedLoop::new(g, schedule)?, stats))
 }
 
 #[cfg(test)]
@@ -1179,6 +1259,82 @@ mod tests {
                 row: 3
             }))
         ));
+    }
+
+    #[test]
+    fn coalesced_plan_is_bit_exact_and_round_trips() {
+        let a = laplacian_5pt(9, 9);
+        let f = ilu0(&a).unwrap();
+        let n = f.n();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 * 0.17).sin()).collect();
+        for nprocs in [1usize, 2, 4] {
+            let pool = WorkerPool::new(nprocs);
+            let base =
+                TriangularSolvePlan::new(&f, nprocs, ExecutorKind::Sequential, Sorting::Global)
+                    .unwrap()
+                    .compile()
+                    .unwrap();
+            let coal = TriangularSolvePlan::new_with_grain(
+                &f,
+                nprocs,
+                ExecutorKind::Sequential,
+                Sorting::Global,
+                Some(64.0),
+            )
+            .unwrap()
+            .compile()
+            .unwrap();
+            let (sl, su) = coal.plan().coalesce_stats();
+            let (sl, su) = (sl.unwrap(), su.unwrap());
+            assert!(
+                sl.phases_after < sl.phases_before && su.phases_after < su.phases_before,
+                "grain 64 must merge phases on a 9x9 mesh ({sl:?}, {su:?})"
+            );
+            assert_eq!(coal.plan().num_phases(), (sl.phases_after, su.phases_after));
+            assert_eq!(base.plan().coalesce_stats(), (None, None));
+            let mut base_scratch = base.scratch();
+            let mut coal_scratch = coal.scratch();
+            let mut expect = vec![0.0; n];
+            base.solve_fused_sequential(&f, &b, &mut expect, &mut base_scratch)
+                .unwrap();
+            for kind in ExecutorKind::ALL {
+                let mut x = vec![0.0; n];
+                coal.solve(Some(&pool), kind, &f, &b, &mut x, &mut coal_scratch)
+                    .unwrap();
+                assert_eq!(x, expect, "{kind:?}/{nprocs} coalesced deviates");
+            }
+            // The artifact round-trips the merged schedule and its stats.
+            let decoded = CompiledTriSolve::decode_artifact(&coal.encode_artifact()).unwrap();
+            assert_eq!(
+                decoded.plan().coalesce_stats(),
+                (Some(sl), Some(su)),
+                "stats survive the artifact"
+            );
+            let mut d_scratch = decoded.scratch();
+            let mut x = vec![0.0; n];
+            decoded
+                .solve_fused_sequential(&f, &b, &mut x, &mut d_scratch)
+                .unwrap();
+            assert_eq!(x, expect, "decoded coalesced artifact deviates");
+        }
+    }
+
+    #[test]
+    fn pre_bump_artifact_version_is_refused() {
+        let f = ilu0(&laplacian_5pt(5, 5)).unwrap();
+        let compiled = TriangularSolvePlan::new(&f, 2, ExecutorKind::Sequential, Sorting::Global)
+            .unwrap()
+            .compile()
+            .unwrap();
+        let mut bytes = compiled.encode_artifact();
+        // The version is the leading little-endian u32; rewrite it to the
+        // pre-supernode tag and the reader must refuse outright.
+        bytes[..4].copy_from_slice(&1u32.to_le_bytes());
+        let err = CompiledTriSolve::decode_artifact(&bytes).unwrap_err();
+        assert!(
+            err.to_string().contains("version 1"),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]

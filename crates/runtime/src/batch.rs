@@ -492,6 +492,22 @@ impl Runtime {
         let (mut scratch, info) = entry.scratches.lease(|| entry.compiled.scratch());
         self.note_lease(info);
         let lease = kind.policy().map(|_| self.pools.lease());
+        // Sequential group leaders: a factor object appearing exactly once
+        // in the group gains nothing from the gather + run split (its
+        // gather would serve only itself), so such jobs take the one-pass
+        // fused sweep instead. Factors shared by two or more jobs keep the
+        // split path — one gather amortizes over all of them. The fused
+        // sweep never touches the scratch's loaded values, so the `loaded`
+        // memo stays valid across the mix.
+        let mut ptr_uses: HashMap<*const IluFactors, u32> = HashMap::new();
+        if kind == ExecutorKind::Sequential {
+            for (_, job) in &jobs {
+                if let JobKind::Solve { factors, .. } = &job.kind {
+                    let ptr: *const IluFactors = *factors;
+                    *ptr_uses.entry(ptr).or_insert(0) += 1;
+                }
+            }
+        }
         let mut loaded: Option<*const IluFactors> = None;
         let (mut wall_sum, mut runs) = (0.0f64, 0u64);
         let mut out = Vec::with_capacity(jobs.len());
@@ -503,19 +519,28 @@ impl Runtime {
             let ptr: *const IluFactors = factors;
             let token = deadline.map(CancelToken::with_deadline);
             let r = (|| {
-                if loaded != Some(ptr) {
-                    loaded = None;
-                    entry.compiled.load_values(factors, &mut scratch)?;
-                    loaded = Some(ptr);
-                }
-                let (fwd, bwd) = entry.compiled.solve_loaded_cancellable(
-                    lease.as_deref(),
-                    kind,
-                    b,
-                    x,
-                    &mut scratch,
-                    token.as_ref(),
-                )?;
+                let (fwd, bwd) = if ptr_uses.get(&ptr) == Some(&1) {
+                    if let Some(cause) = token.as_ref().and_then(CancelToken::check) {
+                        return Err(crate::RuntimeError::from(cause));
+                    }
+                    entry
+                        .compiled
+                        .solve_fused_sequential(factors, b, x, &mut scratch)?
+                } else {
+                    if loaded != Some(ptr) {
+                        loaded = None;
+                        entry.compiled.load_values(factors, &mut scratch)?;
+                        loaded = Some(ptr);
+                    }
+                    entry.compiled.solve_loaded_cancellable(
+                        lease.as_deref(),
+                        kind,
+                        b,
+                        x,
+                        &mut scratch,
+                        token.as_ref(),
+                    )?
+                };
                 wall_sum += (fwd.wall + bwd.wall).as_nanos() as f64;
                 runs += 1;
                 Ok(JobOutcome::Solve(SolveOutcome {

@@ -67,6 +67,16 @@ pub struct RuntimeConfig {
     pub breaker_threshold: u32,
     /// How long an open circuit rejects before admitting a probe.
     pub breaker_cooldown: Duration,
+    /// Wavefront-coalescing aggressiveness. The inspector merges
+    /// consecutive phases whose combined per-processor work stays at or
+    /// below `coalesce_factor × Tsynch / Tp` weighted operations — the
+    /// break-even point where a phase's work no longer covers its barrier
+    /// (or ready-flag round), scaled by this factor. `1.0` merges exactly
+    /// the phases the cost model says are synchronization-bound; `0.0`
+    /// disables coalescing (one phase per wavefront, the paper's layout).
+    /// Dependences inside a merged phase are honored by each processor's
+    /// baked execution order, so results stay bit-exact.
+    pub coalesce_factor: f64,
     /// Run the [`rtpl_verify`] plan verifier over every freshly built
     /// plan (schedules, barrier plans, compiled layouts) before caching
     /// it. A failed proof aborts the build with a typed
@@ -96,6 +106,7 @@ impl Default for RuntimeConfig {
             store_path: None,
             breaker_threshold: 8,
             breaker_cooldown: Duration::from_millis(100),
+            coalesce_factor: 1.0,
             verify_plans: cfg!(debug_assertions),
         }
     }
@@ -166,6 +177,19 @@ pub struct RuntimeStats {
     /// inspection; a rejected cold build fails the request with a typed
     /// `InvalidStructure` error naming the violated invariant.
     pub verify_failures: u64,
+    /// Barriered phases (forward + backward) the wavefront computation
+    /// produced, summed over every solve plan this runtime built cold or
+    /// decoded from the store. With coalescing off this equals
+    /// [`RuntimeStats::coalesce_phases_after`].
+    pub coalesce_phases_before: u64,
+    /// Barriered phases remaining after wavefront coalescing, summed the
+    /// same way. `before − after` synchronization points were converted
+    /// into baked intra-phase execution order.
+    pub coalesce_phases_after: u64,
+    /// Compiled positions whose operand run is shared with the preceding
+    /// position (the supernode layout's deduplicated rows), summed over
+    /// both sweeps of every solve plan built or decoded.
+    pub supernode_positions: u64,
 }
 
 impl RuntimeStats {
@@ -218,6 +242,9 @@ impl RuntimeStats {
         line("pool_rebuilds", self.pool_rebuilds);
         line("verified_plans", self.verified_plans);
         line("verify_failures", self.verify_failures);
+        line("coalesce_phases_before", self.coalesce_phases_before);
+        line("coalesce_phases_after", self.coalesce_phases_after);
+        line("supernode_positions", self.supernode_positions);
         for (k, kind) in ARMS.iter().enumerate() {
             line(
                 &format!("policy_runs_{}", format!("{kind:?}").to_lowercase()),
@@ -316,6 +343,9 @@ pub struct Runtime {
     pub(crate) circuit_open: AtomicU64,
     pub(crate) verified_plans: AtomicU64,
     pub(crate) verify_failures: AtomicU64,
+    pub(crate) coalesce_phases_before: AtomicU64,
+    pub(crate) coalesce_phases_after: AtomicU64,
+    pub(crate) supernode_positions: AtomicU64,
     /// Per-pattern consecutive-failure accounting for the circuit breaker
     /// (bounded; see [`BREAKER_CAPACITY`]).
     pub(crate) breaker: Mutex<HashMap<u128, BreakerState>>,
@@ -390,6 +420,9 @@ impl Runtime {
             circuit_open: AtomicU64::new(0),
             verified_plans: AtomicU64::new(0),
             verify_failures: AtomicU64::new(0),
+            coalesce_phases_before: AtomicU64::new(0),
+            coalesce_phases_after: AtomicU64::new(0),
+            supernode_positions: AtomicU64::new(0),
             breaker: Mutex::new(HashMap::new()),
             cfg,
         }
@@ -542,13 +575,48 @@ impl Runtime {
         Ok(entry)
     }
 
+    /// The wavefront-coalescing grain in weighted operations: the
+    /// break-even work a phase must carry to pay for its synchronization
+    /// point under the runtime's cost model (`Tsynch / Tp`), scaled by
+    /// [`RuntimeConfig::coalesce_factor`]. `None` when the factor is zero
+    /// (coalescing disabled).
+    pub fn coalesce_grain(&self) -> Option<f64> {
+        let factor = self.cfg.coalesce_factor;
+        // NaN and non-positive factors both disable coalescing.
+        if !factor.is_finite() || factor <= 0.0 {
+            return None;
+        }
+        let cost = self.selector.cost_model();
+        Some(factor * cost.tsynch / cost.tp)
+    }
+
+    /// Folds one freshly built or store-decoded solve plan's coalescing
+    /// and supernode-layout numbers into the runtime counters. Plans that
+    /// were never coalesced count their phases on both sides (before ==
+    /// after), so the two counters always describe the same plan set.
+    fn note_solve_plan(&self, compiled: &CompiledTriSolve) {
+        let (phases_l, phases_u) = compiled.plan().num_phases();
+        let (sl, su) = compiled.plan().coalesce_stats();
+        let before_l = sl.map_or(phases_l, |s| s.phases_before);
+        let before_u = su.map_or(phases_u, |s| s.phases_before);
+        self.coalesce_phases_before
+            .fetch_add((before_l + before_u) as u64, Ordering::Relaxed);
+        self.coalesce_phases_after
+            .fetch_add((phases_l + phases_u) as u64, Ordering::Relaxed);
+        let supernodes = compiled.forward_plan().supernode_positions()
+            + compiled.backward_plan().supernode_positions();
+        self.supernode_positions
+            .fetch_add(supernodes as u64, Ordering::Relaxed);
+    }
+
     /// The genuinely cold path: inspects, predicts, and compiles.
     fn inspect_solve_entry(&self, factors: &IluFactors) -> Result<SolveEntry> {
-        let plan = TriangularSolvePlan::new(
+        let plan = TriangularSolvePlan::new_with_grain(
             factors,
             self.cfg.nprocs,
             self.cfg.policy.unwrap_or(ExecutorKind::SelfExecuting),
             self.cfg.sorting,
+            self.coalesce_grain(),
         )?;
         let pl = self.selector.predict(plan.plan_l());
         let pu = self.selector.predict(plan.plan_u());
@@ -560,6 +628,7 @@ impl Runtime {
         if self.cfg.verify_plans {
             self.verify_or_reject(rtpl_verify::verify_tri_solve(&compiled))?;
         }
+        self.note_solve_plan(&compiled);
         Ok(SolveEntry {
             compiled,
             adaptive: Mutex::new(AdaptiveState::new(prior)),
@@ -632,7 +701,16 @@ impl Runtime {
         let cost = self.selector.cost_model();
         let mut w = WireWriter::new();
         w.put_u8s(&entry.compiled.encode_artifact());
-        w.put_f64s(&[cost.tp, cost.tsynch, cost.tinc, cost.tcheck]);
+        // The coalescing grain is part of the prior's context: a restarted
+        // runtime with a different grain would schedule (and price) the
+        // pattern differently, so its stored prior must not resume.
+        w.put_f64s(&[
+            cost.tp,
+            cost.tsynch,
+            cost.tinc,
+            cost.tcheck,
+            self.coalesce_grain().unwrap_or(0.0),
+        ]);
         w.put_u64(self.selector.host_procs().map_or(0, |p| p as u64));
         w.put_f64s(&prior);
         w.put_f64s(&measured);
@@ -654,10 +732,9 @@ impl Runtime {
     fn decode_solve_payload(&self, payload: &[u8]) -> std::result::Result<SolveEntry, WireError> {
         let mut r = WireReader::new(payload);
         let artifact = r.u8s_ref()?;
-        let stored_cost: [f64; 4] = r
-            .f64s()?
-            .try_into()
-            .map_err(|_| WireError::Invalid("prior context needs 4 cost parameters".into()))?;
+        let stored_cost: [f64; 5] = r.f64s()?.try_into().map_err(|_| {
+            WireError::Invalid("prior context needs 4 cost parameters and a grain".into())
+        })?;
         let stored_host = r.u64()?;
         let stored_prior: [f64; 5] = r
             .f64s()?
@@ -693,6 +770,7 @@ impl Runtime {
             && stored_cost[1].to_bits() == cost.tsynch.to_bits()
             && stored_cost[2].to_bits() == cost.tinc.to_bits()
             && stored_cost[3].to_bits() == cost.tcheck.to_bits()
+            && stored_cost[4].to_bits() == self.coalesce_grain().unwrap_or(0.0).to_bits()
             && stored_host == self.selector.host_procs().map_or(0, |p| p as u64);
         let prior = if same_context && stored_prior.iter().any(|p| p.is_finite()) {
             stored_prior
@@ -705,6 +783,7 @@ impl Runtime {
             }
             prior
         };
+        self.note_solve_plan(&compiled);
         Ok(SolveEntry {
             compiled,
             adaptive: Mutex::new(AdaptiveState::resume(prior, measured, count)),
@@ -725,7 +804,10 @@ impl Runtime {
     /// [`Runtime::run`], [`Runtime::run_spec`], and loop groups).
     pub(crate) fn build_loop_entry(&self, g: DepGraph) -> Result<LoopEntry> {
         let wf = Wavefronts::compute(&g)?;
-        let schedule = self.build_schedule(&wf, g.n())?;
+        let mut schedule = self.build_schedule(&wf, g.n())?;
+        if let Some(grain) = self.coalesce_grain() {
+            schedule = schedule.coalesce(&g, grain)?.0;
+        }
         let plan = PlannedLoop::new(g, schedule)?;
         if self.cfg.verify_plans {
             self.verify_or_reject(rtpl_verify::verify_plan(
@@ -748,7 +830,10 @@ impl Runtime {
     pub(crate) fn build_linear_entry(&self, spec: &crate::LoopSpec) -> Result<LinearEntry> {
         let g = spec.graph().clone();
         let wf = Wavefronts::compute(&g)?;
-        let schedule = self.build_schedule(&wf, g.n())?;
+        let mut schedule = self.build_schedule(&wf, g.n())?;
+        if let Some(grain) = self.coalesce_grain() {
+            schedule = schedule.coalesce(&g, grain)?.0;
+        }
         let plan = PlannedLoop::new(g, schedule)?;
         let prior = self.selector.predict(&plan);
         let cspec = rtpl_executor::compiled::CompiledSpec::linear_from_graph(plan.graph());
@@ -1145,6 +1230,9 @@ impl Runtime {
             pool_rebuilds: self.pools.rebuilds(),
             verified_plans: self.verified_plans.load(Ordering::Relaxed),
             verify_failures: self.verify_failures.load(Ordering::Relaxed),
+            coalesce_phases_before: self.coalesce_phases_before.load(Ordering::Relaxed),
+            coalesce_phases_after: self.coalesce_phases_after.load(Ordering::Relaxed),
+            supernode_positions: self.supernode_positions.load(Ordering::Relaxed),
         }
     }
 }
@@ -1299,6 +1387,76 @@ mod tests {
             .collect();
         let unique: std::collections::HashSet<&str> = names.iter().copied().collect();
         assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    fn coalescing_defaults_on_counts_and_stays_bit_exact() {
+        let f = ilu0(&laplacian_5pt(9, 8)).unwrap();
+        let n = f.n();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.19).sin()).collect();
+        // Identical requests under a forced sequential policy, with and
+        // without coalescing: same bits out, fewer phases in the stats.
+        let seq = |factor: f64| {
+            let rt = Runtime::new(RuntimeConfig {
+                policy: Some(ExecutorKind::Sequential),
+                coalesce_factor: factor,
+                ..test_cfg()
+            });
+            let mut x = vec![0.0; n];
+            rt.solve(&f, &b, &mut x).unwrap();
+            (x, rt.stats())
+        };
+        let (x_on, s_on) = seq(1.0);
+        let (x_off, s_off) = seq(0.0);
+        assert_eq!(x_on, x_off, "coalescing must not change a single bit");
+        assert!(
+            s_on.coalesce_phases_after < s_on.coalesce_phases_before,
+            "grain Tsynch/Tp must merge shallow mesh wavefronts ({s_on:?})"
+        );
+        assert_eq!(s_off.coalesce_phases_after, s_off.coalesce_phases_before);
+        assert_eq!(
+            s_on.coalesce_phases_before, s_off.coalesce_phases_before,
+            "both runtimes saw the same wavefront structure"
+        );
+        // The rendered metrics carry the new counters.
+        let text = s_on.render_plaintext();
+        for needle in [
+            "rtpl_coalesce_phases_before",
+            "rtpl_coalesce_phases_after",
+            "rtpl_supernode_positions",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn changed_grain_invalidates_the_stored_prior_context() {
+        // A restart with a different coalescing factor must neither reuse
+        // the stored artifact's schedule silently nor resume its prior as
+        // if nothing changed: the artifact decodes (structure is valid),
+        // but the prior context mismatch forces a fresh prediction. We
+        // can't observe the recompute directly, so pin the observable
+        // half: the solve stays correct and the store round-trip works
+        // under both grains.
+        let path = tmp_store("grain_context");
+        let f = ilu0(&laplacian_5pt(8, 8)).unwrap();
+        let n = f.n();
+        let b = vec![1.0; n];
+        {
+            let rt = Runtime::new(store_cfg(&path));
+            let mut x = vec![0.0; n];
+            rt.solve(&f, &b, &mut x).unwrap();
+            rt.store().unwrap().flush();
+        }
+        let rt = Runtime::new(RuntimeConfig {
+            coalesce_factor: 0.0,
+            ..store_cfg(&path)
+        });
+        let mut x = vec![0.0; n];
+        rt.solve(&f, &b, &mut x).unwrap();
+        assert!(rtpl_sparse::dense::max_abs_diff(&x, &reference(&f, &b)) < 1e-12);
+        assert_eq!(rt.stats().store_hits, 1, "artifact itself still serves");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

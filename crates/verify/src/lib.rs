@@ -72,9 +72,10 @@ pub enum VerifyError {
         phase: u32,
         wavefront: u32,
     },
-    /// Dependence `from → to` does not cross to a strictly later wavefront,
-    /// so neither the barrier nor the publish/wait happens-before model
-    /// orders it.
+    /// Dependence `from → to` neither crosses to a strictly later phase nor
+    /// sits earlier on the consumer's own processor within a coalesced
+    /// phase, so no happens-before model (barrier, publish/wait, or
+    /// same-thread program order) orders it.
     EdgeNotWavefrontOrdered {
         from: u32,
         to: u32,
@@ -106,8 +107,9 @@ pub enum VerifyError {
     OutMapNotBijective { row: u32 },
     /// An operand of `row` references a plan-space index out of range.
     OperandOutOfBounds { row: u32, operand: u32 },
-    /// An operand of `row` is not scheduled in a strictly earlier
-    /// wavefront, so the pre-scheduled plain read is unordered.
+    /// An operand of `row` is neither scheduled in a strictly earlier
+    /// phase nor at an earlier position on `row`'s own processor, so the
+    /// pre-scheduled plain read is unordered.
     OperandNotEarlier { row: u32, operand: u32 },
     /// A value-gather source at layout offset `pos` exceeds the declared
     /// caller value-array length.
@@ -230,9 +232,11 @@ fn last_kept_before(barriers: &BarrierPlan, num_phases: usize) -> Vec<usize> {
 /// (`SelfExecuting`, `PreScheduled`, `PreScheduledElided`):
 ///
 /// * the processor lists form a permutation of `0..n` and every row sits in
-///   the phase matching its wavefront label;
-/// * every dependence edge crosses to a strictly later wavefront (covers
-///   the publish/wait model *and* the full-barrier model);
+///   the phase matching its phase label;
+/// * every dependence edge crosses to a strictly later phase (covers the
+///   publish/wait model *and* the full-barrier model), **or** — for a
+///   coalesced schedule — stays inside one phase on the same processor at
+///   an earlier list position, where same-thread program order covers it;
 /// * every cross-processor edge has a kept barrier between its endpoint
 ///   phases (the elided model).
 ///
@@ -258,9 +262,12 @@ pub fn verify_plan(
             found: barriers.len(),
         });
     }
-    // Permutation + wavefront/phase agreement.
+    // Permutation + phase-label agreement, recording each row's processor
+    // and list position for the intra-phase order proof.
     let mut seen = vec![false; n];
+    let mut pos = vec![0u32; n];
     for p in 0..schedule.nprocs() {
+        let mut k = 0u32;
         for w in 0..num_phases {
             for &i in schedule.phase_slice(p, w) {
                 let row = i as usize;
@@ -268,6 +275,8 @@ pub fn verify_plan(
                     return Err(VerifyError::NotAPermutation { row: i });
                 }
                 seen[row] = true;
+                pos[row] = k;
+                k += 1;
                 if schedule.wavefront_of(row) as usize != w {
                     return Err(VerifyError::WavefrontMismatch {
                         row: i,
@@ -289,7 +298,8 @@ pub fn verify_plan(
         for &d in graph.deps(i) {
             let dep = d as usize;
             let wd = schedule.wavefront_of(dep) as usize;
-            if wd >= wi {
+            let ordered = wd < wi || (wd == wi && owners[dep] == owners[i] && pos[dep] < pos[i]);
+            if !ordered {
                 return Err(VerifyError::EdgeNotWavefrontOrdered {
                     from: d,
                     to: i as u32,
@@ -347,8 +357,11 @@ pub fn verify_doacross(graph: &DepGraph) -> Result<(), VerifyError> {
 ///   its exact inverse;
 /// * every layout phase slice equals the schedule's phase slice, in order;
 /// * the output map is a bijection;
-/// * every operand is in bounds and scheduled strictly earlier than its
-///   consumer; every value/scale gather source is in bounds;
+/// * every operand is in bounds and ordered before its consumer — a
+///   strictly earlier phase, or an earlier position on the consumer's own
+///   processor within a coalesced phase; every value/scale gather source
+///   is in bounds, and every supernode-shared operand run stays inside the
+///   deduplicated `ops` array;
 /// * the embedded barrier plan covers every cross-processor operand edge;
 /// * if the layout claims natural order (`forward`, doacross-eligible),
 ///   every operand points strictly backward in plan space.
@@ -368,14 +381,14 @@ pub fn verify_layout(schedule: &Schedule, layout: &LayoutView<'_>) -> Result<(),
         ("pos_of_row length", n, layout.pos_of_row.len()),
         ("out_map length", n, layout.out_map.len()),
         ("rhs length", n, layout.rhs.len()),
-        ("op_ptr length", n + 1, layout.op_ptr.len()),
+        ("val_ptr length", n + 1, layout.val_ptr.len()),
+        ("op_start length", n, layout.op_start.len()),
         ("proc_ptr length", nprocs + 1, layout.proc_ptr.len()),
         (
             "phase_ptr length",
             nprocs * (num_phases + 1),
             layout.phase_ptr.len(),
         ),
-        ("val_src length", layout.ops.len(), layout.val_src.len()),
     ] {
         if found != expected {
             return Err(VerifyError::SizeMismatch {
@@ -463,10 +476,10 @@ pub fn verify_layout(schedule: &Schedule, layout: &LayoutView<'_>) -> Result<(),
         out_seen[o] = true;
     }
     // Operand structure, gather bounds, barrier coverage, forward claim.
-    if layout.op_ptr[0] != 0 || layout.op_ptr[n] != layout.ops.len() {
+    if layout.val_ptr[0] != 0 || layout.val_ptr[n] != layout.val_src.len() {
         return Err(VerifyError::SegmentMalformed {
             proc: 0,
-            detail: "op_ptr does not cover the operand array",
+            detail: "val_ptr does not cover the value-source array",
         });
     }
     if layout.barriers.len() != num_phases.saturating_sub(1) {
@@ -484,15 +497,22 @@ pub fn verify_layout(schedule: &Schedule, layout: &LayoutView<'_>) -> Result<(),
         }
         let row = layout.target[t] as usize;
         let wi = schedule.wavefront_of(row) as usize;
-        let (lo, hi) = (layout.op_ptr[t], layout.op_ptr[t + 1]);
-        if lo > hi || hi > layout.ops.len() {
+        let (lo, hi) = (layout.val_ptr[t], layout.val_ptr[t + 1]);
+        if lo > hi || hi > layout.val_src.len() {
             return Err(VerifyError::SegmentMalformed {
                 proc: proc_of_pos as u32,
-                detail: "op_ptr not monotone",
+                detail: "val_ptr not monotone",
             });
         }
-        for k in lo..hi {
-            let op = layout.ops[k];
+        let olo = layout.op_start[t] as usize;
+        if olo + (hi - lo) > layout.ops.len() {
+            return Err(VerifyError::SegmentMalformed {
+                proc: proc_of_pos as u32,
+                detail: "operand run exceeds the ops array",
+            });
+        }
+        for k in 0..hi - lo {
+            let op = layout.ops[olo + k];
             let dep = op as usize;
             if dep >= n {
                 return Err(VerifyError::OperandOutOfBounds {
@@ -501,7 +521,14 @@ pub fn verify_layout(schedule: &Schedule, layout: &LayoutView<'_>) -> Result<(),
                 });
             }
             let wd = schedule.wavefront_of(dep) as usize;
-            if wd >= wi {
+            // Ordered: strictly earlier phase, or same coalesced phase on
+            // this processor at an earlier layout position (same-thread
+            // program order).
+            let ordered = wd < wi
+                || (wd == wi
+                    && owners[dep] as usize == proc_of_pos
+                    && (layout.pos_of_row[dep] as usize) < t);
+            if !ordered {
                 return Err(VerifyError::OperandNotEarlier {
                     row: row as u32,
                     operand: op,
@@ -524,10 +551,10 @@ pub fn verify_layout(schedule: &Schedule, layout: &LayoutView<'_>) -> Result<(),
                     dep: op,
                 });
             }
-            if layout.val_src[k] as usize >= layout.nvals {
+            if layout.val_src[lo + k] as usize >= layout.nvals {
                 return Err(VerifyError::ValueSourceOutOfBounds {
-                    pos: k as u32,
-                    src: layout.val_src[k],
+                    pos: (lo + k) as u32,
+                    src: layout.val_src[lo + k],
                 });
             }
         }
@@ -561,7 +588,11 @@ pub fn verify_layout_adjacency(
     layout: &LayoutView<'_>,
 ) -> Result<(), VerifyError> {
     let n = graph.n();
-    if layout.n != n || layout.pos_of_row.len() != n || layout.op_ptr.len() != n + 1 {
+    if layout.n != n
+        || layout.pos_of_row.len() != n
+        || layout.val_ptr.len() != n + 1
+        || layout.op_start.len() != n
+    {
         return Err(VerifyError::SizeMismatch {
             what: "layout vs graph nodes",
             expected: n,
@@ -578,8 +609,10 @@ pub fn verify_layout_adjacency(
                 row: row as u32,
             });
         }
+        let olo = layout.op_start[t] as usize;
+        let len = layout.val_ptr[t + 1] - layout.val_ptr[t];
         got.clear();
-        got.extend_from_slice(&layout.ops[layout.op_ptr[t]..layout.op_ptr[t + 1]]);
+        got.extend_from_slice(&layout.ops[olo..olo + len]);
         got.sort_unstable();
         want.clear();
         want.extend_from_slice(graph.deps(row));

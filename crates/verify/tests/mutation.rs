@@ -47,7 +47,8 @@ struct Raw {
     phase_ptr: Vec<usize>,
     target: Vec<u32>,
     rhs: Vec<u32>,
-    op_ptr: Vec<usize>,
+    val_ptr: Vec<usize>,
+    op_start: Vec<u32>,
     ops: Vec<u32>,
     val_src: Vec<u32>,
     recip_src: Option<Vec<u32>>,
@@ -72,7 +73,8 @@ impl Raw {
             phase_ptr: r.usizes32().unwrap(),
             target: r.u32s().unwrap(),
             rhs: r.u32s().unwrap(),
-            op_ptr: r.usizes32().unwrap(),
+            val_ptr: r.usizes32().unwrap(),
+            op_start: r.u32s().unwrap(),
             ops: r.u32s().unwrap(),
             val_src: r.u32s().unwrap(),
             recip_src: match r.u8().unwrap() {
@@ -98,7 +100,8 @@ impl Raw {
         w.put_usizes32(&self.phase_ptr);
         w.put_u32s(&self.target);
         w.put_u32s(&self.rhs);
-        w.put_usizes32(&self.op_ptr);
+        w.put_usizes32(&self.val_ptr);
+        w.put_u32s(&self.op_start);
         w.put_u32s(&self.ops);
         w.put_u32s(&self.val_src);
         match &self.recip_src {
@@ -114,10 +117,11 @@ impl Raw {
         w.into_bytes()
     }
 
-    /// Position of `row` in the layout, and its operand range.
+    /// `row`'s operand-index range in the deduplicated `ops` array.
     fn ops_of_row(&self, row: usize) -> std::ops::Range<usize> {
         let t = self.pos_of_row[row] as usize;
-        self.op_ptr[t]..self.op_ptr[t + 1]
+        let olo = self.op_start[t] as usize;
+        olo..olo + (self.val_ptr[t + 1] - self.val_ptr[t])
     }
 }
 
@@ -259,6 +263,83 @@ fn shifted_phase_boundary_is_flagged() {
             VerifyError::SegmentMalformed { .. } | VerifyError::PhaseDisagrees { .. }
         )
     });
+}
+
+/// A fully coalesced chain: every dependence lives *inside* the single
+/// phase, ordered only by one processor's execution order — the invariant
+/// the next two mutants attack.
+fn coalesced_chain_plan(n: usize) -> (PlannedLoop, CompiledPlan) {
+    let g = DepGraph::from_fn(n, |i| if i == 0 { vec![] } else { vec![i as u32 - 1] }).unwrap();
+    let wf = Wavefronts::compute(&g).unwrap();
+    let schedule = Schedule::local(&wf, &Partition::striped(n, 2).unwrap()).unwrap();
+    let (coalesced, stats) = schedule.coalesce(&g, 1e9).unwrap();
+    assert_eq!(stats.phases_after, 1, "the chain must merge into one phase");
+    let plan = PlannedLoop::new(g, coalesced).unwrap();
+    let spec = CompiledSpec::linear_from_graph(plan.graph());
+    let compiled = CompiledPlan::compile(&plan, &spec).unwrap();
+    verify_linear(&plan, &compiled).expect("the unmutated coalesced plan must verify");
+    (plan, compiled)
+}
+
+#[test]
+fn intra_phase_reorder_in_layout_is_flagged() {
+    let (plan, compiled) = coalesced_chain_plan(8);
+    let mut raw = Raw::of(&compiled);
+    // Swap two consecutive positions inside the merged phase and fix the
+    // inverse map, so the permutation stays intact and decode accepts it.
+    // The write-before-read order of the dependence between them is broken.
+    let (a, b) = (raw.pos_of_row[3] as usize, raw.pos_of_row[4] as usize);
+    raw.target.swap(a, b);
+    raw.pos_of_row.swap(3, 4);
+    verifier_rejects(&plan, &raw, |e| {
+        matches!(
+            e,
+            VerifyError::PhaseDisagrees { .. } | VerifyError::OperandNotEarlier { .. }
+        )
+    });
+}
+
+#[test]
+fn intra_phase_reorder_in_schedule_is_flagged() {
+    // Tamper the *schedule* itself through its public wire codec: swap two
+    // dependent indices within the merged phase of one processor's list.
+    // Both carry the same phase label, so decode's per-phase agreement
+    // check accepts the bytes — only the verifier's intra-phase order
+    // proof can object.
+    let (plan, _) = coalesced_chain_plan(8);
+    let mut w = WireWriter::new();
+    plan.schedule().encode(&mut w);
+    let bytes = w.into_bytes();
+    let mut r = WireReader::new(&bytes);
+    let nprocs = r.u64().unwrap();
+    let num_phases = r.u64().unwrap();
+    let wavefront = r.u32s().unwrap();
+    let mut lists: Vec<(Vec<u32>, Vec<usize>)> = (0..nprocs)
+        .map(|_| (r.u32s().unwrap(), r.usizes32().unwrap()))
+        .collect();
+    let busy = lists
+        .iter()
+        .position(|(l, _)| l.len() >= 2)
+        .expect("one processor owns the whole chain");
+    let len = lists[busy].0.len();
+    lists[busy].0.swap(len - 2, len - 1);
+    let mut w = WireWriter::new();
+    w.put_u64(nprocs);
+    w.put_u64(num_phases);
+    w.put_u32s(&wavefront);
+    for (list, ptr) in &lists {
+        w.put_u32s(list);
+        w.put_usizes32(ptr);
+    }
+    let tampered = w.into_bytes();
+    let schedule = Schedule::decode(&mut WireReader::new(&tampered))
+        .expect("same-phase swaps slip past decode's cheap checks");
+    let err = rtpl_verify::verify_plan(plan.graph(), &schedule, plan.barrier_plan())
+        .expect_err("the intra-phase misorder must be flagged");
+    assert!(
+        matches!(err, VerifyError::EdgeNotWavefrontOrdered { .. }),
+        "{err}"
+    );
 }
 
 #[test]

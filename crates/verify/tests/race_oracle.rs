@@ -95,6 +95,106 @@ fn healthy_plans_replay_race_free_across_policies_and_procs() {
     }
 }
 
+/// Coalesced schedules drop almost every barrier and rely on same-thread
+/// program order inside merged phases — the oracle must confirm that
+/// really is synchronization: every policy × 1/2/4 processors × random
+/// DAGs, coalesced at a grain that merges aggressively, replays race-free.
+#[test]
+fn coalesced_plans_replay_race_free_across_policies_and_procs() {
+    for seed in [0x5EED_u64, 0xC0A1] {
+        let n = 48;
+        let g = random_dag(n, seed);
+        let wf = Wavefronts::compute(&g).expect("acyclic");
+        for nprocs in [1usize, 2, 4] {
+            let schedule = Schedule::local(&wf, &Partition::striped(n, nprocs).unwrap()).unwrap();
+            let (coalesced, stats) = schedule.coalesce(&g, 64.0).unwrap();
+            assert!(
+                stats.phases_after < stats.phases_before,
+                "seed {seed:#x} x{nprocs}: the grain must merge something"
+            );
+            let plan = PlannedLoop::new(g.clone(), coalesced).unwrap();
+            let pool = WorkerPool::new(nprocs);
+            let body = SumBody {
+                graph: plan.graph(),
+            };
+            for policy in POLICIES {
+                let mut out = vec![0.0; n];
+                let (_, events) = trace::capture(|| plan.run(&pool, policy, &body, &mut out));
+                let report = check_trace(nprocs, &events).unwrap_or_else(|e| {
+                    panic!("coalesced seed {seed:#x} {policy:?} x{nprocs}: {e}")
+                });
+                assert!(report.writes >= n);
+            }
+        }
+    }
+}
+
+/// The phase-merge invariant, attacked: a dependence placed *inside* one
+/// phase but across processors has no happens-before edge at all — the
+/// static verifier must refuse it, and if run anyway the oracle must see
+/// the unsynchronized read.
+#[test]
+fn intra_phase_misorder_is_flagged_statically_and_dynamically() {
+    // Row 1 depends on row 0; a forged single-phase schedule puts them on
+    // different processors, as if a buggy coalescer forgot component
+    // grouping.
+    let g = DepGraph::from_fn(2, |i| if i == 1 { vec![0] } else { vec![] }).unwrap();
+    let mut w = WireWriter::new();
+    w.put_u64(2); // nprocs
+    w.put_u64(1); // num_phases
+    w.put_u32s(&[0, 0]); // phase labels
+    w.put_u32s(&[0]); // proc 0 runs row 0
+    w.put_usizes32(&[0, 1]);
+    w.put_u32s(&[1]); // proc 1 runs row 1
+    w.put_usizes32(&[0, 1]);
+    let bytes = w.into_bytes();
+    let schedule = Schedule::decode(&mut WireReader::new(&bytes))
+        .expect("structurally well-formed — only the dependence proof can object");
+
+    // Statically rejected, by both the schedule's own validator and the
+    // independent plan verifier.
+    assert!(schedule.validate(&g).is_err());
+    let mut w = WireWriter::new();
+    w.put_u8s(&[]);
+    let empty = BarrierPlan::decode(&mut WireReader::new(&w.into_bytes())).unwrap();
+    let err = rtpl_verify::verify_plan(&g, &schedule, &empty)
+        .expect_err("a cross-processor intra-phase dependence must not verify");
+    assert!(
+        matches!(
+            err,
+            rtpl_verify::VerifyError::EdgeNotWavefrontOrdered { .. }
+        ),
+        "wrong static rejection: {err}"
+    );
+
+    // Dynamically: run it anyway; the reader sleeps so the write lands
+    // first, and the oracle must still flag the missing ordering edge.
+    struct RacyBody;
+    impl LoopBody for RacyBody {
+        fn eval<S: ValueSource>(&self, i: usize, src: &S) -> f64 {
+            if i == 1 {
+                std::thread::sleep(std::time::Duration::from_millis(4));
+                src.get(0) + 1.0
+            } else {
+                0.5
+            }
+        }
+    }
+    let plan = PlannedLoop::from_parts(g, schedule, empty).unwrap();
+    let pool = WorkerPool::new(2);
+    let mut out = vec![0.0; 2];
+    let (_, events) =
+        trace::capture(|| plan.run(&pool, ExecPolicy::PreScheduled, &RacyBody, &mut out));
+    match check_trace(2, &events) {
+        Err(RaceError::UnsynchronizedRead { row, .. }) => assert_eq!(row, 0),
+        Err(other) => panic!("flagged, but not as an unsynchronized read: {other}"),
+        Ok(report) => panic!(
+            "the oracle missed the race ({} events, {} reads)",
+            report.events, report.reads
+        ),
+    }
+}
+
 /// A cancelled (chaos-style) run may leave the trace truncated mid-phase —
 /// the oracle must replay what *did* happen without false positives:
 /// poisoned waits panic before they record, so no phantom reads appear.

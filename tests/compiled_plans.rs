@@ -99,6 +99,72 @@ fn compiled_matches_fallback_and_reference_over_random_dags() {
     }
 }
 
+/// Wavefront coalescing sweep: the same random DAGs × every policy arm ×
+/// 1/2/4 procs × all three sortings, with coalescing forced **on**
+/// (a merge-everything-affordable grain) solved against the **uncoalesced**
+/// plan's answer. Merged phases bake dependence order into the schedule
+/// instead of synchronization — the numbers must not move by a bit, under
+/// any discipline, while the phase counts must actually drop.
+#[test]
+fn coalesced_plans_match_uncoalesced_bit_exactly_over_the_sweep() {
+    for (seed, n, deg) in [(404u64, 160usize, 4usize), (505, 96, 3)] {
+        let factors = factors_from_pattern(&random_lower(n, deg, seed));
+        let n = factors.n();
+        let b: Vec<f64> = (0..n)
+            .map(|i| 0.8 + ((i * 23 + seed as usize) % 83) as f64 * 0.017)
+            .collect();
+        for sorting in [
+            Sorting::Global,
+            Sorting::LocalStriped,
+            Sorting::LocalContiguous,
+        ] {
+            for nprocs in [1usize, 2, 4] {
+                let plain = compiled_for(&factors, nprocs, sorting);
+                let coalesced = TriangularSolvePlan::new_with_grain(
+                    &factors,
+                    nprocs,
+                    ExecutorKind::SelfExecuting,
+                    sorting,
+                    Some(64.0),
+                )
+                .unwrap()
+                .compile()
+                .unwrap();
+                let (sl, su) = coalesced.plan().coalesce_stats();
+                let (sl, su) = (sl.unwrap(), su.unwrap());
+                assert!(
+                    sl.phases_after < sl.phases_before && su.phases_after < su.phases_before,
+                    "seed {seed} {sorting:?}/{nprocs}: grain 64 merged nothing ({sl:?}, {su:?})"
+                );
+                let pool = WorkerPool::new(nprocs);
+                let mut p_scratch = plain.scratch();
+                let mut c_scratch = coalesced.scratch();
+                for kind in ALL_KINDS {
+                    let mut x_plain = vec![0.0; n];
+                    plain
+                        .solve(
+                            Some(&pool),
+                            kind,
+                            &factors,
+                            &b,
+                            &mut x_plain,
+                            &mut p_scratch,
+                        )
+                        .unwrap();
+                    let mut x_coal = vec![0.0; n];
+                    coalesced
+                        .solve(Some(&pool), kind, &factors, &b, &mut x_coal, &mut c_scratch)
+                        .unwrap();
+                    assert_eq!(
+                        x_coal, x_plain,
+                        "seed {seed} {sorting:?}/{nprocs}/{kind:?}: coalescing moved a bit"
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// The compiled plan is a function of structure only: refreshed numeric
 /// values on an unchanged pattern flow through the per-call gather.
 #[test]

@@ -290,6 +290,46 @@ fn concurrent_writers_never_interleave() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// A record persisted by a **pre-supernode build** (plan-artifact
+/// version 1) is refused at decode — the compiled layout bytes mean
+/// something different now — and the runtime pays one counted cold
+/// rebuild instead of misreading it. Emulated by rewriting the spilled
+/// artifact's leading version tag; the store re-checksums on put, so
+/// only the artifact version check can catch it.
+#[test]
+fn pre_bump_artifact_version_falls_back_cold() {
+    let f = factors(16, 2, 5);
+    let n = f.n();
+    let b: Vec<f64> = (0..n).map(|i| 0.9 + i as f64 * 0.04).collect();
+    let path = tmp("artifact-version-skew");
+    let config = cfg(&path, 2, Some(ExecutorKind::Sequential));
+
+    let rt = Runtime::new(config.clone());
+    let mut reference = vec![0.0; n];
+    rt.solve(&f, &b, &mut reference).expect("seed solve");
+    drop(rt);
+
+    // Payload layout: u64 artifact byte-length, then the artifact, whose
+    // first field is the little-endian u32 version.
+    let key = Runtime::solve_key(&f).as_u128();
+    let store = PlanStore::open(&path).expect("open store");
+    let mut payload = store.get(key).expect("get").expect("artifact present");
+    payload[8..12].copy_from_slice(&1u32.to_le_bytes());
+    assert!(store.put(key, payload), "queue refused the rewrite");
+    store.flush();
+    drop(store);
+
+    let rt = Runtime::new(config);
+    let mut x = vec![0.0; n];
+    rt.solve(&f, &b, &mut x).expect("solve over stale artifact");
+    let stats = rt.stats();
+    assert_eq!(stats.store_hits, 0, "a version-1 artifact served");
+    assert_eq!(stats.store_load_errors, 1, "the refusal left no trace");
+    assert_eq!(stats.solves.builds, 1, "no cold rebuild happened");
+    assert_eq!(bits(&reference), bits(&x), "answer deviates after fallback");
+    let _ = std::fs::remove_file(&path);
+}
+
 /// A persisted artifact whose **barrier plan has been hollowed out** —
 /// every kept barrier flipped to elided — decodes cleanly through every
 /// shape-and-bounds check in the store/codec stack: lengths agree,
@@ -333,6 +373,9 @@ fn verifier_refuses_a_store_artifact_with_dropped_barriers() {
     let path = tmp("verify-dropped-barrier");
     let mut config = cfg(&path, 2, Some(ExecutorKind::Sequential));
     config.sorting = rtpl::krylov::Sorting::LocalStriped;
+    // Coalescing would merge the whole chain into one phase and leave no
+    // barrier to drop; this test is about the per-wavefront cover.
+    config.coalesce_factor = 0.0;
 
     // Lifetime 1: cold inspect, spill the honest artifact.
     let rt = Runtime::new(config.clone());
@@ -363,6 +406,22 @@ fn verifier_refuses_a_store_artifact_with_dropped_barriers() {
     w.put_u32(a.u32().expect("version"));
     w.put_u64(a.u64().expect("n"));
     w.put_u8(a.u8().expect("kind"));
+    for sweep in ["fwd", "bwd"] {
+        // Wavefront-coalescing stats (artifact v2): tag byte, then three
+        // u64s when the sweep was coalesced.
+        let tag = a
+            .u8()
+            .unwrap_or_else(|e| panic!("{sweep} coalesce tag: {e}"));
+        w.put_u8(tag);
+        if tag == 1 {
+            for field in ["before", "after", "moved"] {
+                w.put_u64(
+                    a.u64()
+                        .unwrap_or_else(|e| panic!("{sweep} phases {field}: {e}")),
+                );
+            }
+        }
+    }
     w.put_usizes32(&a.usizes32().expect("l indptr"));
     w.put_u32s(&a.u32s().expect("l indices"));
     w.put_usizes32(&a.usizes32().expect("u indptr"));
